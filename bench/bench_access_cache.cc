@@ -1,0 +1,95 @@
+// E4 — Access-check caching (paper section 5.5): "many access checks will
+// have to be performed twice: once to allow the client to find out that it
+// should prompt the user ... and again when the query is actually executed.
+// It is expected that some form of access caching will eventually be worked
+// into the server for performance reasons."
+//
+// Measures the access+execute pair with the per-connection cache on and off,
+// and raw repeated access checks, on a paper-scale membership graph.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/client/client.h"
+#include "src/server/server.h"
+
+namespace moira {
+namespace {
+
+struct CacheBench {
+  explicit CacheBench(bool enable_cache) : site(SiteSpec{}) {
+    ServerOptions options;
+    options.enable_access_cache = enable_cache;
+    server = std::make_unique<MoiraServer>(site.mc.get(), site.realm.get(), options);
+    login = site.builder->admin_login();
+    site.realm->AddPrincipal("bench-admin-x", "pw");
+    client = std::make_unique<MrClient>(
+        [this] { return std::make_unique<LoopbackChannel>(server.get()); });
+    client->SetKerberosIdentity(site.realm.get(), login, "pw:opsmgr");
+    client->Connect();
+    client->Auth("bench");
+  }
+
+  BenchSite site;
+  std::unique_ptr<MoiraServer> server;
+  std::unique_ptr<MrClient> client;
+  std::string login;
+};
+
+CacheBench& Cached() {
+  static CacheBench* bench = new CacheBench(true);
+  return *bench;
+}
+
+CacheBench& Uncached() {
+  static CacheBench* bench = new CacheBench(false);
+  return *bench;
+}
+
+// The paper's double-check pattern: mr_access to decide whether to prompt,
+// then the query itself.  The admin's rights resolve through the dbadmin
+// list via CAPACLS.
+void AccessThenQuery(CacheBench& bench, benchmark::State& state) {
+  const std::string& user = bench.site.builder->active_logins()[0];
+  int flip = 0;
+  for (auto _ : state) {
+    int32_t access =
+        bench.client->Access("update_user_shell", {user, "/bin/bench"});
+    int32_t code = bench.client->Query(
+        "update_user_shell", {user, flip++ % 2 == 0 ? "/bin/a" : "/bin/b"}, [](Tuple) {});
+    benchmark::DoNotOptimize(access + code);
+  }
+}
+
+void BM_AccessThenQuery_CacheOn(benchmark::State& state) {
+  AccessThenQuery(Cached(), state);
+}
+BENCHMARK(BM_AccessThenQuery_CacheOn);
+
+void BM_AccessThenQuery_CacheOff(benchmark::State& state) {
+  AccessThenQuery(Uncached(), state);
+}
+BENCHMARK(BM_AccessThenQuery_CacheOff);
+
+// Repeated pure access checks (no intervening mutation): the cache's best
+// case vs the recursive list-membership walk every time.
+void RepeatedAccess(CacheBench& bench, benchmark::State& state) {
+  for (auto _ : state) {
+    int32_t code = bench.client->Access("add_machine", {"x.mit.edu", "VAX"});
+    benchmark::DoNotOptimize(code);
+  }
+}
+
+void BM_RepeatedAccess_CacheOn(benchmark::State& state) {
+  RepeatedAccess(Cached(), state);
+}
+BENCHMARK(BM_RepeatedAccess_CacheOn);
+
+void BM_RepeatedAccess_CacheOff(benchmark::State& state) {
+  RepeatedAccess(Uncached(), state);
+}
+BENCHMARK(BM_RepeatedAccess_CacheOff);
+
+}  // namespace
+}  // namespace moira
+
+BENCHMARK_MAIN();

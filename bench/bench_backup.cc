@@ -1,0 +1,99 @@
+// E5 — The backup system (paper section 5.2.2): "mrbackup copies each
+// relation of the current Moira database into an ASCII file ... the ascii
+// files take up about 3.2 MB of space."
+//
+// Reports the full-database ASCII dump size at paper scale against the
+// paper's 3.2 MB, and benchmarks dump, restore, and the nightly rotation.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench/bench_common.h"
+#include "src/backup/backup.h"
+
+namespace moira {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path BenchDir(const char* leaf) {
+  fs::path dir = fs::temp_directory_path() / "moira-bench-backup" / leaf;
+  fs::create_directories(dir);
+  return dir;
+}
+
+void PrintDumpSize() {
+  BenchSite& site = PaperSite();
+  int64_t bytes = BackupManager::Dump(*site.db, BenchDir("report"));
+  std::printf("E5 mrbackup at paper scale (%zu users):\n", site.mc->users()->LiveCount());
+  std::printf("  paper:    ~3.2 MB of ASCII files\n");
+  std::printf("  measured: %.2f MB (%lld bytes)\n\n", static_cast<double>(bytes) / 1e6,
+              static_cast<long long>(bytes));
+}
+
+void BM_MrBackupDump(benchmark::State& state) {
+  BenchSite& site = PaperSite();
+  fs::path dir = BenchDir("dump");
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    bytes = BackupManager::Dump(*site.db, dir);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["MB"] = static_cast<double>(bytes) / 1e6;
+}
+BENCHMARK(BM_MrBackupDump)->Unit(benchmark::kMillisecond);
+
+void BM_MrRestore(benchmark::State& state) {
+  BenchSite& site = PaperSite();
+  fs::path dir = BenchDir("restore");
+  BackupManager::Dump(*site.db, dir);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimulatedClock clock(0);
+    Database fresh(&clock);
+    CreateMoiraSchema(&fresh);
+    state.ResumeTiming();
+    int32_t code = BackupManager::Restore(&fresh, dir);
+    benchmark::DoNotOptimize(code);
+  }
+}
+BENCHMARK(BM_MrRestore)->Unit(benchmark::kMillisecond);
+
+void BM_NightlyRotation(benchmark::State& state) {
+  BenchSite& site = PaperSite();
+  fs::path root = BenchDir("nightly");
+  for (auto _ : state) {
+    int64_t bytes = BackupManager::RotateAndDump(*site.db, root);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_NightlyRotation)->Unit(benchmark::kMillisecond);
+
+void BM_JournalReplay(benchmark::State& state) {
+  // Replaying a day of changes (~1000 journalled updates) into a restored
+  // database.
+  BenchSite site{TestSiteSpec()};
+  std::vector<JournalEntry> entries;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string& login =
+        site.builder->active_logins()[i % site.builder->active_logins().size()];
+    entries.push_back(JournalEntry{site.clock.Now(), "root", "update_user_shell",
+                                   {login, "/bin/replay" + std::to_string(i % 7)}});
+  }
+  for (auto _ : state) {
+    int replayed = BackupManager::ReplayJournal(site.mc.get(), entries);
+    benchmark::DoNotOptimize(replayed);
+  }
+}
+BENCHMARK(BM_JournalReplay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace moira
+
+int main(int argc, char** argv) {
+  moira::PrintDumpSize();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

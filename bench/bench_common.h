@@ -1,0 +1,64 @@
+// Shared fixture for the Moira benchmark harness: a paper-scale synthetic
+// site (DESIGN.md experiment index) built once per process.
+#ifndef MOIRA_BENCH_BENCH_COMMON_H_
+#define MOIRA_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/context.h"
+#include "src/core/registry.h"
+#include "src/core/schema.h"
+#include "src/dcm/dcm.h"
+#include "src/krb/kerberos.h"
+#include "src/sim/population.h"
+#include "src/update/sim_host.h"
+#include "src/zephyrd/zephyr_bus.h"
+
+namespace moira {
+
+// One fully-provisioned site: database, KDC, hosts, DCM.
+struct BenchSite {
+  explicit BenchSite(const SiteSpec& spec) : clock(568000000) {
+    db = std::make_unique<Database>(&clock);
+    CreateMoiraSchema(db.get());
+    SeedMoiraDefaults(db.get());
+    mc = std::make_unique<MoiraContext>(db.get());
+    realm = std::make_unique<KerberosRealm>(&clock);
+    builder = std::make_unique<SiteBuilder>(mc.get(), realm.get());
+    builder->Build(spec);
+    zephyr = std::make_unique<ZephyrBus>(&clock);
+    hosts = CreateSimHosts(*mc, realm.get(), &directory);
+    dcm = std::make_unique<Dcm>(mc.get(), realm.get(), zephyr.get(), &directory);
+    ConfigureStandardServices(dcm.get());
+    clock.Advance(kSecondsPerDay);
+  }
+
+  SimulatedClock clock;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<MoiraContext> mc;
+  std::unique_ptr<KerberosRealm> realm;
+  std::unique_ptr<SiteBuilder> builder;
+  std::unique_ptr<ZephyrBus> zephyr;
+  HostDirectory directory;
+  std::vector<std::unique_ptr<SimHost>> hosts;
+  std::unique_ptr<Dcm> dcm;
+};
+
+// The paper-scale site (10,000 users, 20 NFS servers), built lazily once.
+inline BenchSite& PaperSite() {
+  static BenchSite* site = new BenchSite(SiteSpec{});
+  return *site;
+}
+
+// A small site for latency microbenchmarks.
+inline BenchSite& SmallSite() {
+  static BenchSite* site = new BenchSite(TestSiteSpec());
+  return *site;
+}
+
+}  // namespace moira
+
+#endif  // MOIRA_BENCH_BENCH_COMMON_H_

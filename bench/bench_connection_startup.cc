@@ -1,0 +1,72 @@
+// E3 — Persistent backend vs athenareg's per-connection DBMS startup (paper
+// section 5.4): "One of the limiting factors for Athenareg ... is the time it
+// takes to start up the Ingres back end subprocess ... for every client
+// connection.  The Moira server will do this only once."
+//
+// Measures connect + one query + disconnect with the Moira design (no
+// per-connection cost) against the athenareg model (simulated backend spawn
+// on every connection) across a sweep of spawn costs.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/client/client.h"
+#include "src/server/server.h"
+
+namespace moira {
+namespace {
+
+// One synthetic-work unit approximating the cost scale of forking and
+// initializing a 1988 Ingres backend relative to a query.
+constexpr int kSpawnCostUnits = 200000;
+
+void RunSession(MoiraServer* server) {
+  MrClient client([server] { return std::make_unique<LoopbackChannel>(server); });
+  client.Connect();
+  int count = 0;
+  client.Query("get_machine", {"SUOMI.MIT.EDU"}, [&](Tuple) { ++count; });
+  client.Disconnect();
+  benchmark::DoNotOptimize(count);
+}
+
+void BM_MoiraPersistentBackend(benchmark::State& state) {
+  BenchSite& site = SmallSite();
+  MoiraServer server(site.mc.get(), site.realm.get());
+  for (auto _ : state) {
+    RunSession(&server);
+  }
+}
+BENCHMARK(BM_MoiraPersistentBackend);
+
+void BM_AthenaregSpawnPerConnection(benchmark::State& state) {
+  BenchSite& site = SmallSite();
+  ServerOptions options;
+  options.simulated_backend_spawn_cost = static_cast<int>(state.range(0));
+  MoiraServer server(site.mc.get(), site.realm.get(), options);
+  for (auto _ : state) {
+    RunSession(&server);
+  }
+}
+BENCHMARK(BM_AthenaregSpawnPerConnection)
+    ->Arg(kSpawnCostUnits / 10)
+    ->Arg(kSpawnCostUnits)
+    ->Arg(kSpawnCostUnits * 10);
+
+// The steady-state contrast: one connection issuing many queries is identical
+// under both designs — the saving is purely per-connection.
+void BM_QueriesOnWarmConnection(benchmark::State& state) {
+  BenchSite& site = SmallSite();
+  MoiraServer server(site.mc.get(), site.realm.get());
+  MrClient client([&server] { return std::make_unique<LoopbackChannel>(&server); });
+  client.Connect();
+  for (auto _ : state) {
+    int count = 0;
+    client.Query("get_machine", {"SUOMI.MIT.EDU"}, [&](Tuple) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_QueriesOnWarmConnection);
+
+}  // namespace
+}  // namespace moira
+
+BENCHMARK_MAIN();

@@ -1,0 +1,179 @@
+// E9 — Figure 1's system structure, measured: the cost of the same operation
+// at each layer boundary — direct query execution, the glue library, loopback
+// RPC through the full server, and real TCP RPC — plus the raw protocol noop.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "src/client/client.h"
+#include "src/net/tcp.h"
+#include "src/server/server.h"
+
+namespace moira {
+namespace {
+
+MoiraServer& SharedServer() {
+  static MoiraServer* server = new MoiraServer(SmallSite().mc.get(),
+                                               SmallSite().realm.get());
+  return *server;
+}
+
+// Layer 0: query registry called directly (inside the server process).
+void BM_Layer0_DirectRegistry(benchmark::State& state) {
+  BenchSite& site = SmallSite();
+  for (auto _ : state) {
+    int count = 0;
+    int32_t code = QueryRegistry::Instance().Execute(
+        *site.mc, "root", "bench", "get_machine", {"SUOMI.MIT.EDU"},
+        [&](Tuple) { ++count; });
+    benchmark::DoNotOptimize(code + count);
+  }
+}
+BENCHMARK(BM_Layer0_DirectRegistry);
+
+// Layer 1: the glue library (DirectClient), as the DCM uses.
+void BM_Layer1_GlueLibrary(benchmark::State& state) {
+  DirectClient client(SmallSite().mc.get(), "bench");
+  for (auto _ : state) {
+    int count = 0;
+    int32_t code = client.Query("get_machine", {"SUOMI.MIT.EDU"},
+                                [&](Tuple) { ++count; });
+    benchmark::DoNotOptimize(code + count);
+  }
+}
+BENCHMARK(BM_Layer1_GlueLibrary);
+
+// Layer 2: full RPC path (encode, server dispatch, decode) over loopback.
+void BM_Layer2_LoopbackRpc(benchmark::State& state) {
+  MrClient client([] { return std::make_unique<LoopbackChannel>(&SharedServer()); });
+  client.Connect();
+  for (auto _ : state) {
+    int count = 0;
+    int32_t code = client.Query("get_machine", {"SUOMI.MIT.EDU"},
+                                [&](Tuple) { ++count; });
+    benchmark::DoNotOptimize(code + count);
+  }
+}
+BENCHMARK(BM_Layer2_LoopbackRpc);
+
+// The protocol noop at the same layer (paper: "useful for testing and
+// profiling of the RPC layer and the server in general").
+void BM_Layer2_LoopbackNoop(benchmark::State& state) {
+  MrClient client([] { return std::make_unique<LoopbackChannel>(&SharedServer()); });
+  client.Connect();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Noop());
+  }
+}
+BENCHMARK(BM_Layer2_LoopbackNoop);
+
+// Layer 3: real TCP sockets through the poll(2)-multiplexed server.
+class TcpFixture {
+ public:
+  TcpFixture() : tcp_server_(&SharedServer()) {
+    ok_ = tcp_server_.Listen(0) == MR_SUCCESS;
+    if (ok_) {
+      pump_ = std::thread([this] {
+        while (!stop_.load()) {
+          tcp_server_.Poll(5);
+        }
+      });
+    }
+  }
+  ~TcpFixture() {
+    if (pump_.joinable()) {
+      stop_.store(true);
+      pump_.join();
+    }
+  }
+
+  bool ok() const { return ok_; }
+  uint16_t port() { return tcp_server_.port(); }
+
+ private:
+  TcpServer tcp_server_;
+  std::thread pump_;
+  std::atomic<bool> stop_{false};
+  bool ok_ = false;
+};
+
+TcpFixture& Tcp() {
+  static TcpFixture* fixture = new TcpFixture;
+  return *fixture;
+}
+
+void BM_Layer3_TcpRpc(benchmark::State& state) {
+  if (!Tcp().ok()) {
+    state.SkipWithError("cannot listen on localhost");
+    return;
+  }
+  MrClient client([]() -> std::unique_ptr<ClientChannel> {
+    auto channel = std::make_unique<TcpChannel>();
+    if (channel->Connect(Tcp().port()) != MR_SUCCESS) {
+      return nullptr;
+    }
+    return channel;
+  });
+  if (client.Connect() != MR_SUCCESS) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  for (auto _ : state) {
+    int count = 0;
+    int32_t code = client.Query("get_machine", {"SUOMI.MIT.EDU"},
+                                [&](Tuple) { ++count; });
+    benchmark::DoNotOptimize(code + count);
+  }
+}
+BENCHMARK(BM_Layer3_TcpRpc);
+
+void BM_Layer3_TcpNoop(benchmark::State& state) {
+  if (!Tcp().ok()) {
+    state.SkipWithError("cannot listen on localhost");
+    return;
+  }
+  MrClient client([]() -> std::unique_ptr<ClientChannel> {
+    auto channel = std::make_unique<TcpChannel>();
+    if (channel->Connect(Tcp().port()) != MR_SUCCESS) {
+      return nullptr;
+    }
+    return channel;
+  });
+  if (client.Connect() != MR_SUCCESS) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Noop());
+  }
+}
+BENCHMARK(BM_Layer3_TcpNoop);
+
+// Bulk retrieval across layers: where the streaming protocol pays off.
+void BM_BulkRetrieval_Glue(benchmark::State& state) {
+  DirectClient client(SmallSite().mc.get(), "bench");
+  for (auto _ : state) {
+    int count = 0;
+    client.Query("get_all_active_logins", {}, [&](Tuple) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BulkRetrieval_Glue);
+
+void BM_BulkRetrieval_LoopbackRpc(benchmark::State& state) {
+  MrClient client([] { return std::make_unique<LoopbackChannel>(&SharedServer()); });
+  client.Connect();
+  for (auto _ : state) {
+    int count = 0;
+    client.Query("get_all_active_logins", {}, [&](Tuple) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BulkRetrieval_LoopbackRpc);
+
+}  // namespace
+}  // namespace moira
+
+BENCHMARK_MAIN();

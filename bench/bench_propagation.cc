@@ -1,0 +1,115 @@
+// E6 — The Moira-to-server update protocol under load and failure (paper
+// section 5.9): a full propagation cycle of 59 files / 90 propagations, the
+// per-host update cost, and retry behaviour under a crash-rate sweep.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/common/random.h"
+#include "src/update/update_client.h"
+
+namespace moira {
+namespace {
+
+// Full cycle: regenerate everything and push to all 27 server hosts.
+void BM_FullPropagationCycle(benchmark::State& state) {
+  static BenchSite* site = new BenchSite(SiteSpec{});
+  const std::string& login = site->builder->active_logins()[0];
+  int flip = 0;
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    site->clock.Advance(25 * kSecondsPerHour);
+    QueryRegistry::Instance().Execute(
+        *site->mc, "root", "bench", "update_user_shell",
+        {login, flip++ % 2 == 0 ? "/bin/a" : "/bin/b"}, [](Tuple) {});
+    QueryRegistry::Instance().Execute(
+        *site->mc, "root", "bench", "update_zephyr_class",
+        {"zclass-2", "zclass-2", "NONE", "NONE", "NONE", "NONE", "NONE", "NONE", "NONE",
+         "NONE"},
+        [](Tuple) {});
+    DcmRunSummary summary = site->dcm->RunOnce();
+    bytes = summary.bytes_propagated;
+    benchmark::DoNotOptimize(summary.hosts_updated);
+  }
+  state.counters["bytes/cycle"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_FullPropagationCycle)->Unit(benchmark::kMillisecond);
+
+// Single-host update: the three-phase protocol against one simulated server.
+void BM_SingleHostUpdate(benchmark::State& state) {
+  BenchSite& site = PaperSite();
+  SimHost* host = site.directory.Find(site.builder->nfs_server_names()[0]);
+  UpdateClient client(site.realm.get(), kDcmPrincipal, "dcm-service-password");
+  Archive archive;
+  archive.Add("credentials", std::string(static_cast<size_t>(state.range(0)), 'x'));
+  std::string payload = archive.Serialize();
+  for (auto _ : state) {
+    UpdateOutcome outcome =
+        client.Update(host, "/tmp/bench.out", payload, "syncdir /site/bench\n");
+    benchmark::DoNotOptimize(outcome.code);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_SingleHostUpdate)->Arg(1024)->Arg(150 * 1024)->Arg(1024 * 1024);
+
+// Crash-rate sweep: fraction of hosts failing softly per mille; the DCM
+// keeps retrying until everyone is caught up.  Reports passes needed.
+void BM_PropagationWithFailures(benchmark::State& state) {
+  int per_mille = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchSite site{TestSiteSpec()};
+    SplitMix64 rng(42);
+    state.ResumeTiming();
+    int passes = 0;
+    int total_soft = 0;
+    while (true) {
+      for (auto& host : site.hosts) {
+        if (rng.Below(1000) < static_cast<uint64_t>(per_mille)) {
+          host->SetFailMode(HostFailMode::kRefuseConnection);
+        }
+      }
+      DcmRunSummary summary = site.dcm->RunOnce();
+      ++passes;
+      total_soft += summary.host_soft_failures;
+      if (summary.host_soft_failures == 0 && summary.hosts_updated >= 0 && passes > 0 &&
+          summary.host_soft_failures + summary.host_hard_failures == 0) {
+        break;
+      }
+      site.clock.Advance(15 * kSecondsPerMinute);  // the paper's retry interval
+      if (passes > 50) {
+        break;
+      }
+    }
+    state.counters["passes"] = passes;
+    state.counters["soft_failures"] = total_soft;
+  }
+}
+BENCHMARK(BM_PropagationWithFailures)
+    ->Arg(0)
+    ->Arg(100)
+    ->Arg(300)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintCycleReport() {
+  BenchSite site{SiteSpec{}};
+  DcmRunSummary summary = site.dcm->RunOnce();
+  std::printf(
+      "E6 full first propagation at paper scale:\n"
+      "  %d hosts updated, %d propagations, %lld bytes, %d soft / %d hard failures\n\n",
+      summary.hosts_updated, summary.propagations,
+      static_cast<long long>(summary.bytes_propagated), summary.host_soft_failures,
+      summary.host_hard_failures);
+}
+
+}  // namespace
+}  // namespace moira
+
+int main(int argc, char** argv) {
+  moira::PrintCycleReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,193 @@
+// E10 — The breadth of the query system (paper section 7): latency of
+// representative queries from each of the four classes against the
+// paper-scale database, exercising indexed lookups, wildcard scans,
+// recursive membership, and mutation paths.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/common/random.h"
+
+namespace moira {
+namespace {
+
+int32_t Exec(std::string_view query, const std::vector<std::string>& args,
+             int* tuples = nullptr) {
+  return QueryRegistry::Instance().Execute(*PaperSite().mc, "root", "bench", query, args,
+                                           [&](Tuple) {
+                                             if (tuples != nullptr) {
+                                               ++*tuples;
+                                             }
+                                           });
+}
+
+const std::string& RandomLogin(SplitMix64& rng) {
+  const std::vector<std::string>& logins = PaperSite().builder->active_logins();
+  return logins[rng.Below(logins.size())];
+}
+
+// --- retrieve class ---
+
+void BM_Retrieve_UserByLogin(benchmark::State& state) {
+  SplitMix64 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Exec("get_user_by_login", {RandomLogin(rng)}));
+  }
+}
+BENCHMARK(BM_Retrieve_UserByLogin);
+
+void BM_Retrieve_UserByUid(benchmark::State& state) {
+  SplitMix64 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Exec("get_user_by_uid", {std::to_string(6500 + rng.Below(7000))}));
+  }
+}
+BENCHMARK(BM_Retrieve_UserByUid);
+
+void BM_Retrieve_WildcardLoginScan(benchmark::State& state) {
+  for (auto _ : state) {
+    int tuples = 0;
+    benchmark::DoNotOptimize(Exec("get_user_by_login", {"a*"}, &tuples));
+  }
+}
+BENCHMARK(BM_Retrieve_WildcardLoginScan)->Unit(benchmark::kMicrosecond);
+
+void BM_Retrieve_AllActiveLogins(benchmark::State& state) {
+  for (auto _ : state) {
+    int tuples = 0;
+    Exec("get_all_active_logins", {}, &tuples);
+    benchmark::DoNotOptimize(tuples);
+  }
+}
+BENCHMARK(BM_Retrieve_AllActiveLogins)->Unit(benchmark::kMillisecond);
+
+void BM_Retrieve_MembersOfList(benchmark::State& state) {
+  SplitMix64 rng(3);
+  for (auto _ : state) {
+    std::string list = "ml-" + std::to_string(1 + rng.Below(600));
+    int tuples = 0;
+    benchmark::DoNotOptimize(Exec("get_members_of_list", {list}, &tuples));
+  }
+}
+BENCHMARK(BM_Retrieve_MembersOfList);
+
+void BM_Retrieve_ListsOfMemberRecursive(benchmark::State& state) {
+  SplitMix64 rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Exec("get_lists_of_member", {"RUSER", RandomLogin(rng)}));
+  }
+}
+BENCHMARK(BM_Retrieve_ListsOfMemberRecursive)->Unit(benchmark::kMicrosecond);
+
+void BM_Retrieve_ServerHostInfo(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Exec("get_server_host_info", {"NFS", "*"}));
+  }
+}
+BENCHMARK(BM_Retrieve_ServerHostInfo)->Unit(benchmark::kMicrosecond);
+
+// --- update class ---
+
+void BM_Update_UserShell(benchmark::State& state) {
+  SplitMix64 rng(5);
+  int flip = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Exec("update_user_shell",
+                                  {RandomLogin(rng),
+                                   flip++ % 2 == 0 ? "/bin/a" : "/bin/b"}));
+  }
+}
+BENCHMARK(BM_Update_UserShell);
+
+void BM_Update_Finger(benchmark::State& state) {
+  SplitMix64 rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Exec("update_finger_by_login",
+                                  {RandomLogin(rng), "Full Name", "nick", "addr", "555",
+                                   "office", "556", "dept", "affil"}));
+  }
+}
+BENCHMARK(BM_Update_Finger);
+
+// --- append + delete pairs (kept balanced so the site doesn't grow) ---
+
+void BM_AppendDelete_Machine(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    std::string name = "bench-mach-" + std::to_string(i++) + ".mit.edu";
+    Exec("add_machine", {name, "VAX"});
+    benchmark::DoNotOptimize(Exec("delete_machine", {name}));
+  }
+}
+BENCHMARK(BM_AppendDelete_Machine);
+
+void BM_AppendDelete_ListMember(benchmark::State& state) {
+  Exec("add_list", {"bench-list", "1", "0", "0", "1", "0", "-1", "NONE", "NONE", "b"});
+  SplitMix64 rng(7);
+  for (auto _ : state) {
+    const std::string& login = RandomLogin(rng);
+    Exec("add_member_to_list", {"bench-list", "USER", login});
+    benchmark::DoNotOptimize(
+        Exec("delete_member_from_list", {"bench-list", "USER", login}));
+  }
+}
+BENCHMARK(BM_AppendDelete_ListMember);
+
+// --- access checks (the CAPACLS path with recursive membership) ---
+
+void BM_AccessCheck_AdminViaList(benchmark::State& state) {
+  const std::string& admin = PaperSite().builder->admin_login();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QueryRegistry::Instance().CheckAccess(
+        *PaperSite().mc, admin, "add_machine", {"x.mit.edu", "VAX"}));
+  }
+}
+BENCHMARK(BM_AccessCheck_AdminViaList);
+
+void BM_AccessCheck_DeniedUser(benchmark::State& state) {
+  SplitMix64 rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QueryRegistry::Instance().CheckAccess(
+        *PaperSite().mc, RandomLogin(rng), "add_machine", {"x.mit.edu", "VAX"}));
+  }
+}
+BENCHMARK(BM_AccessCheck_DeniedUser);
+
+void PrintRegistryReport() {
+  size_t retrieve = 0;
+  size_t append = 0;
+  size_t update = 0;
+  size_t del = 0;
+  for (const QueryDef& def : QueryRegistry::Instance().All()) {
+    switch (def.qclass) {
+      case QueryClass::kRetrieve:
+        ++retrieve;
+        break;
+      case QueryClass::kAppend:
+        ++append;
+        break;
+      case QueryClass::kUpdate:
+        ++update;
+        break;
+      case QueryClass::kDelete:
+        ++del;
+        break;
+    }
+  }
+  std::printf("E10 query registry: %zu handles (%zu retrieve, %zu append, %zu update, "
+              "%zu delete); paper: \"over 100 query handles\"\n\n",
+              QueryRegistry::Instance().All().size(), retrieve, append, update, del);
+}
+
+}  // namespace
+}  // namespace moira
+
+int main(int argc, char** argv) {
+  moira::PrintRegistryReport();
+  moira::PaperSite();  // build the site outside any timing loop
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

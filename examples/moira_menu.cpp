@@ -1,0 +1,114 @@
+// moira_menu: the full-screen "moira" administrative client, built on the
+// library's menu package (paper section 5.6.3).  Menus mirror the historical
+// client's layout (users / lists / machines / dcm) and every action goes
+// through the RPC application library.
+//
+// Run interactively:          ./build/examples/moira_menu -i
+// Or let it replay a session: ./build/examples/moira_menu
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "src/client/client.h"
+#include "src/client/menu.h"
+#include "src/comerr/error_table.h"
+#include "src/core/registry.h"
+#include "src/core/schema.h"
+#include "src/server/server.h"
+#include "src/sim/population.h"
+
+using namespace moira;
+
+namespace {
+
+// Formats a query result (tuples plus final status) for the menu.
+std::string RunToText(MrClient& client, const std::string& query,
+                      const std::vector<std::string>& args) {
+  std::ostringstream out;
+  int32_t code = client.Query(query, args, [&out](Tuple tuple) {
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      out << (i == 0 ? "  " : " | ") << tuple[i];
+    }
+    out << "\n";
+  });
+  out << "  => " << ErrorMessage(code);
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SimulatedClock clock(568000000);
+  Database db(&clock);
+  CreateMoiraSchema(&db);
+  SeedMoiraDefaults(&db);
+  MoiraContext mc(&db);
+  KerberosRealm realm(&clock);
+  SiteBuilder builder(&mc, &realm);
+  builder.Build(TestSiteSpec());
+  MoiraServer server(&mc, &realm);
+
+  MrClient client([&server] { return std::make_unique<LoopbackChannel>(&server); });
+  client.SetKerberosIdentity(&realm, builder.admin_login(), "pw:opsmgr");
+  client.Connect();
+  client.Auth("moira_menu");
+
+  Menu root("moira");
+  Menu* users = root.AddSubmenu("users", "user menu");
+  users->AddCommand(MenuCommand{"show", "show a user account", {"login"},
+                                [&](const std::vector<std::string>& args) {
+                                  return RunToText(client, "get_user_by_login", args);
+                                }});
+  users->AddCommand(MenuCommand{"chsh", "change a login shell", {"login", "shell"},
+                                [&](const std::vector<std::string>& args) {
+                                  return RunToText(client, "update_user_shell", args);
+                                }});
+  users->AddCommand(MenuCommand{"pobox", "show a post office box", {"login"},
+                                [&](const std::vector<std::string>& args) {
+                                  return RunToText(client, "get_pobox", args);
+                                }});
+  Menu* lists = root.AddSubmenu("lists", "list menu");
+  lists->AddCommand(MenuCommand{"members", "show list membership", {"list"},
+                                [&](const std::vector<std::string>& args) {
+                                  return RunToText(client, "get_members_of_list", args);
+                                }});
+  lists->AddCommand(MenuCommand{"addm", "add a member", {"list", "type", "member"},
+                                [&](const std::vector<std::string>& args) {
+                                  return RunToText(client, "add_member_to_list", args);
+                                }});
+  Menu* machines = root.AddSubmenu("machines", "machine menu");
+  machines->AddCommand(MenuCommand{"show", "look up machines (wildcards ok)", {"name"},
+                                   [&](const std::vector<std::string>& args) {
+                                     return RunToText(client, "get_machine", args);
+                                   }});
+  Menu* dcm = root.AddSubmenu("dcm", "DCM control menu");
+  dcm->AddCommand(MenuCommand{"status", "show service update state", {"service"},
+                              [&](const std::vector<std::string>& args) {
+                                return RunToText(client, "get_server_info", args);
+                              }});
+  dcm->AddCommand(MenuCommand{"hosts", "show serverhost state", {"service"},
+                              [&](const std::vector<std::string>& args) {
+                                return RunToText(client, "get_server_host_info",
+                                                 {args[0], "*"});
+                              }});
+
+  if (argc > 1 && std::strcmp(argv[1], "-i") == 0) {
+    return root.Run(std::cin, std::cout) > 0 ? 0 : 1;
+  }
+
+  // Scripted demo session.
+  std::string script;
+  script += "users\n";
+  script += "show\n" + builder.active_logins()[0] + "\n";
+  script += "chsh\n" + builder.active_logins()[0] + "\n/bin/athena/tcsh\n";
+  script += "pobox\n" + builder.active_logins()[0] + "\n";
+  script += "r\n";
+  script += "lists\nmembers\ndbadmin\nr\n";
+  script += "machines\nshow\nNFS-*\nr\n";
+  script += "dcm\nstatus\nHESIOD\nhosts\nNFS\nr\n";
+  script += "q\n";
+  std::istringstream in(script);
+  int executed = root.Run(in, std::cout);
+  std::cout << "(scripted session executed " << executed << " commands)\n";
+  return 0;
+}

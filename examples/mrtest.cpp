@@ -1,0 +1,53 @@
+// mrtest: a command-line Moira query tool in the spirit of the historical
+// test client.  Connects to a running moirad over TCP and executes one query
+// per invocation, unauthenticated — exactly the cheap read-only path the
+// paper's mr_connect supports ("for simple read-only queries which may not
+// need authentication, the overhead of authentication can be comparable to
+// that of the query", section 5.6.2).
+//
+// Usage: ./build/examples/mrtest <port> <query> [args...]
+//        ./build/examples/mrtest <port> _list_queries
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/client/client.h"
+#include "src/comerr/error_table.h"
+#include "src/net/tcp.h"
+
+using namespace moira;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <port> <query> [args...]\n", argv[0]);
+    return 2;
+  }
+  auto port = static_cast<uint16_t>(std::atoi(argv[1]));
+  std::string query = argv[2];
+  std::vector<std::string> args(argv + 3, argv + argc);
+
+  MrClient client([port]() -> std::unique_ptr<ClientChannel> {
+    auto channel = std::make_unique<TcpChannel>();
+    if (channel->Connect(port) != MR_SUCCESS) {
+      return nullptr;
+    }
+    return channel;
+  });
+  if (int32_t code = client.Connect(); code != MR_SUCCESS) {
+    std::fprintf(stderr, "mrtest: cannot connect to 127.0.0.1:%u: %s\n", port,
+                 ErrorMessage(code).c_str());
+    return 1;
+  }
+  int rows = 0;
+  int32_t code = client.Query(query, args, [&rows](Tuple tuple) {
+    ++rows;
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      std::printf("%s%s", i == 0 ? "" : ":", tuple[i].c_str());
+    }
+    std::printf("\n");
+  });
+  std::fprintf(stderr, "mrtest: %d tuple(s), status: %s\n", rows,
+               ErrorMessage(code).c_str());
+  return code == MR_SUCCESS ? 0 : 1;
+}

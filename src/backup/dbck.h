@@ -1,0 +1,58 @@
+// dbck — the database consistency checker (paper section 5.9.1: "a complete
+// set of recovery tools" for bringing Moira up with consistent data after a
+// catastrophic crash; the production system shipped exactly such a tool).
+//
+// Check() walks every cross-relation reference in the section 6 schema and
+// reports violations; Repair() removes dangling references and recomputes
+// derived values (nfsphys.allocated), the automatable subset of the manual
+// intervention the paper anticipates.
+#ifndef MOIRA_SRC_BACKUP_DBCK_H_
+#define MOIRA_SRC_BACKUP_DBCK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/context.h"
+
+namespace moira {
+
+struct DbckIssue {
+  std::string table;        // relation the problem lives in
+  std::string description;  // human-readable finding
+  bool repairable = false;  // whether Repair() can fix it mechanically
+};
+
+class DbConsistencyChecker {
+ public:
+  explicit DbConsistencyChecker(MoiraContext* mc) : mc_(mc) {}
+
+  // Runs every check; an empty result means the database is consistent.
+  std::vector<DbckIssue> Check();
+
+  // Fixes the repairable findings: deletes dangling membership, quota,
+  // mcmap, svc, serverhost, and capacls rows; clears poboxes pointing at
+  // missing machines; recomputes partition allocations.  Returns the number
+  // of repairs applied.  Idempotent: a second run repairs nothing.
+  int Repair();
+
+ private:
+  void CheckUsers(std::vector<DbckIssue>* issues);
+  void CheckLists(std::vector<DbckIssue>* issues);
+  void CheckMembers(std::vector<DbckIssue>* issues);
+  void CheckMachinesAndClusters(std::vector<DbckIssue>* issues);
+  void CheckFilesys(std::vector<DbckIssue>* issues);
+  void CheckQuotasAndAllocation(std::vector<DbckIssue>* issues);
+  void CheckServerHosts(std::vector<DbckIssue>* issues);
+  void CheckAcls(std::vector<DbckIssue>* issues);
+
+  bool UserIdExists(int64_t users_id);
+  bool ListIdExists(int64_t list_id);
+  bool MachineIdExists(int64_t mach_id);
+  bool StringIdExists(int64_t string_id);
+
+  MoiraContext* mc_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_BACKUP_DBCK_H_

@@ -1,0 +1,55 @@
+#include "src/client/attach.h"
+
+#include "src/comerr/moira_errors.h"
+#include "src/common/strutil.h"
+
+namespace moira {
+
+std::optional<FilsysEntry> ParseFilsysEntry(std::string_view record) {
+  std::vector<std::string> fields = Split(std::string(TrimWhitespace(record)), ' ');
+  if (fields.size() != 5 || (fields[0] != "NFS" && fields[0] != "RVD")) {
+    return std::nullopt;
+  }
+  return FilsysEntry{fields[0], fields[1], fields[2], fields[3], fields[4]};
+}
+
+int32_t AttachClient::Attach(std::string_view label, FilsysEntry* out) {
+  if (attached_.contains(label)) {
+    return MR_IN_USE;
+  }
+  std::vector<std::string> answers;
+  HesiodRcode rcode = resolver_->Resolve(label, "filsys", &answers);
+  if (rcode != HesiodRcode::kNoError || answers.empty()) {
+    return MR_FILESYS;
+  }
+  std::optional<FilsysEntry> entry = ParseFilsysEntry(answers[0]);
+  if (!entry.has_value()) {
+    return MR_FILESYS;
+  }
+  auto [it, inserted] = mounts_.emplace(entry->mount, std::string(label));
+  if (!inserted) {
+    return MR_IN_USE;  // another locker already mounted there
+  }
+  if (out != nullptr) {
+    *out = *entry;
+  }
+  attached_.emplace(std::string(label), std::move(*entry));
+  return MR_SUCCESS;
+}
+
+int32_t AttachClient::Detach(std::string_view label) {
+  auto it = attached_.find(label);
+  if (it == attached_.end()) {
+    return MR_NO_MATCH;
+  }
+  mounts_.erase(it->second.mount);
+  attached_.erase(it);
+  return MR_SUCCESS;
+}
+
+const FilsysEntry* AttachClient::Attached(std::string_view label) const {
+  auto it = attached_.find(label);
+  return it != attached_.end() ? &it->second : nullptr;
+}
+
+}  // namespace moira

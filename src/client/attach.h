@@ -1,0 +1,57 @@
+// The attach client (paper section 5.8.2, FILSYS.DB: "all of the filesystem
+// entries needed to find and attach NFS lockers and RVDs by name").
+//
+// A workstation resolves <label>.filsys through Hesiod and mounts the
+// filesystem at its default mount point.  This client parses the generated
+// filsys.db records and tracks the workstation's attach table.
+#ifndef MOIRA_SRC_CLIENT_ATTACH_H_
+#define MOIRA_SRC_CLIENT_ATTACH_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/hesiod/resolver.h"
+
+namespace moira {
+
+// One parsed filsys record: "NFS /u1/babette nfs-1.mit.edu w /mit/babette".
+struct FilsysEntry {
+  std::string type;    // NFS or RVD
+  std::string remote;  // server directory (NFS) or pack name (RVD)
+  std::string server;  // file server machine
+  std::string access;  // r or w
+  std::string mount;   // default client mount point
+};
+
+// Parses a filsys.db record payload; nullopt on malformed input.
+std::optional<FilsysEntry> ParseFilsysEntry(std::string_view record);
+
+class AttachClient {
+ public:
+  explicit AttachClient(const HesiodResolver* resolver) : resolver_(resolver) {}
+
+  // Resolves and attaches a filesystem by label.  Returns MR_SUCCESS and
+  // fills `out` (if non-null); MR_FILESYS if hesiod has no entry or it is
+  // garbled; MR_IN_USE if something is already attached at its mount point.
+  int32_t Attach(std::string_view label, FilsysEntry* out = nullptr);
+
+  // Detaches by label.  MR_NO_MATCH if not attached.
+  int32_t Detach(std::string_view label);
+
+  // The entry attached under `label`, or nullptr.
+  const FilsysEntry* Attached(std::string_view label) const;
+
+  size_t attach_count() const { return attached_.size(); }
+
+ private:
+  const HesiodResolver* resolver_;
+  std::map<std::string, FilsysEntry, std::less<>> attached_;   // by label
+  std::map<std::string, std::string, std::less<>> mounts_;     // mountpoint -> label
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_CLIENT_ATTACH_H_

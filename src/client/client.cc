@@ -1,0 +1,141 @@
+#include "src/client/client.h"
+
+#include "src/comerr/moira_errors.h"
+#include "src/protocol/wire.h"
+
+namespace moira {
+
+MrClient::MrClient(Connector connector) : connector_(std::move(connector)) {
+  RegisterMoiraErrorTable();
+}
+
+void MrClient::SetKerberosIdentity(KerberosRealm* realm, std::string principal,
+                                   std::string password) {
+  realm_ = realm;
+  principal_ = std::move(principal);
+  password_ = std::move(password);
+}
+
+int32_t MrClient::Connect() {
+  if (channel_ != nullptr) {
+    return MR_ALREADY_CONNECTED;
+  }
+  channel_ = connector_();
+  if (channel_ == nullptr) {
+    return MR_ABORTED;
+  }
+  return MR_SUCCESS;
+}
+
+int32_t MrClient::Disconnect() {
+  if (channel_ == nullptr) {
+    return MR_NOT_CONNECTED;
+  }
+  channel_.reset();
+  return MR_SUCCESS;
+}
+
+int32_t MrClient::RoundTrip(const MrRequest& request, const TupleSink* sink) {
+  if (channel_ == nullptr) {
+    return MR_NOT_CONNECTED;
+  }
+  if (int32_t code = channel_->Send(EncodeRequest(request)); code != MR_SUCCESS) {
+    channel_.reset();
+    return MR_ABORTED;
+  }
+  // Consume MR_MORE_DATA tuples until the final reply arrives.
+  while (true) {
+    std::string payload;
+    if (int32_t code = channel_->Recv(&payload); code != MR_SUCCESS) {
+      channel_.reset();
+      return MR_ABORTED;
+    }
+    std::optional<MrReply> reply = DecodeReply(payload);
+    if (!reply.has_value()) {
+      channel_.reset();
+      return MR_ABORTED;
+    }
+    if (reply->version != kMrProtocolVersion) {
+      channel_.reset();
+      return reply->version > kMrProtocolVersion ? MR_VERSION_LOW : MR_VERSION_HIGH;
+    }
+    if (reply->code == MR_MORE_DATA) {
+      if (sink != nullptr) {
+        (*sink)(std::move(reply->fields));
+      }
+      continue;
+    }
+    return reply->code;
+  }
+}
+
+int32_t MrClient::Noop() {
+  return RoundTrip(MrRequest{kMrProtocolVersion, MajorRequest::kNoop, {}}, nullptr);
+}
+
+int32_t MrClient::Auth(std::string_view client_name) {
+  if (channel_ == nullptr) {
+    return MR_NOT_CONNECTED;
+  }
+  if (realm_ == nullptr) {
+    return MR_KRB_NO_TKT;
+  }
+  Ticket ticket;
+  if (int32_t code =
+          realm_->GetInitialTickets(principal_, password_, kMoiraServiceName, &ticket);
+      code != MR_SUCCESS) {
+    return code;
+  }
+  MrRequest request{kMrProtocolVersion,
+                    MajorRequest::kAuthenticate,
+                    {realm_->MakeAuthenticator(ticket), std::string(client_name)}};
+  return RoundTrip(request, nullptr);
+}
+
+int32_t MrClient::Access(std::string_view name, const std::vector<std::string>& args) {
+  MrRequest request{kMrProtocolVersion, MajorRequest::kAccess, {}};
+  request.args.reserve(args.size() + 1);
+  request.args.emplace_back(name);
+  request.args.insert(request.args.end(), args.begin(), args.end());
+  return RoundTrip(request, nullptr);
+}
+
+int32_t MrClient::Query(std::string_view name, const std::vector<std::string>& args,
+                        const TupleSink& sink) {
+  MrRequest request{kMrProtocolVersion, MajorRequest::kQuery, {}};
+  request.args.reserve(args.size() + 1);
+  request.args.emplace_back(name);
+  request.args.insert(request.args.end(), args.begin(), args.end());
+  return RoundTrip(request, &sink);
+}
+
+int32_t MrClient::TriggerDcm() {
+  return RoundTrip(MrRequest{kMrProtocolVersion, MajorRequest::kTriggerDcm, {}}, nullptr);
+}
+
+DirectClient::DirectClient(MoiraContext* mc, std::string client_name)
+    : mc_(mc), client_name_(std::move(client_name)) {
+  RegisterMoiraErrorTable();
+}
+
+int32_t DirectClient::Query(std::string_view name, const std::vector<std::string>& args,
+                            const TupleSink& sink) {
+  return QueryRegistry::Instance().Execute(*mc_, "root", client_name_, name, args, sink);
+}
+
+int32_t DirectClient::Access(std::string_view name, const std::vector<std::string>& args) {
+  return QueryRegistry::Instance().CheckAccess(*mc_, "root", name, args);
+}
+
+TupleSink WrapCallback(MrCallbackProc callproc, void* callarg) {
+  return [callproc, callarg](Tuple tuple) {
+    std::vector<const char*> argv;
+    argv.reserve(tuple.size());
+    for (const std::string& field : tuple) {
+      argv.push_back(field.c_str());
+    }
+    callproc(static_cast<int>(argv.size()), argv.data(), callarg);
+  };
+}
+
+}  // namespace moira

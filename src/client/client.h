@@ -1,0 +1,112 @@
+// The Moira application library (paper section 5.6).
+//
+// Applications never touch the database; they call this library, which speaks
+// the Moira protocol to the server.  For the DCM and other utilities running
+// on the database host there is a "glue" version (DirectClient) presenting
+// the exact same interface but calling the query layer directly, without
+// Kerberos authentication, for throughput (paper section 5.6 "direct calls to
+// Ingres, rather than going through the server").
+#ifndef MOIRA_SRC_CLIENT_CLIENT_H_
+#define MOIRA_SRC_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/context.h"
+#include "src/core/registry.h"
+#include "src/krb/kerberos.h"
+#include "src/net/channel.h"
+#include "src/protocol/wire.h"
+
+namespace moira {
+
+// Common query interface shared by the RPC client and the direct glue
+// client, so the DCM and applications are transport-agnostic.
+class MoiraClientApi {
+ public:
+  virtual ~MoiraClientApi() = default;
+
+  // Runs a named query; `sink` is called once per returned tuple.
+  virtual int32_t Query(std::string_view name, const std::vector<std::string>& args,
+                        const TupleSink& sink) = 0;
+
+  // Checks access without executing (mr_access).
+  virtual int32_t Access(std::string_view name, const std::vector<std::string>& args) = 0;
+};
+
+// RPC client: mr_connect / mr_auth / mr_query / ... of section 5.6.2.
+class MrClient final : public MoiraClientApi {
+ public:
+  // Produces a connected channel; invoked by Connect().  Returning nullptr
+  // maps to ECONNREFUSED-style failure.
+  using Connector = std::function<std::unique_ptr<ClientChannel>()>;
+
+  explicit MrClient(Connector connector);
+
+  // Supplies the identity used by Auth().  The realm must outlive the client.
+  void SetKerberosIdentity(KerberosRealm* realm, std::string principal,
+                           std::string password);
+
+  // mr_connect: connects without authenticating (cheap read-only queries may
+  // not need authentication).  MR_ALREADY_CONNECTED if connected.
+  int32_t Connect();
+
+  // mr_disconnect: MR_NOT_CONNECTED if there was no connection.
+  int32_t Disconnect();
+
+  // mr_noop: protocol handshake for testing and performance measurement.
+  int32_t Noop();
+
+  // mr_auth: authenticates as the configured identity; `client_name` is the
+  // program acting on behalf of the user.
+  int32_t Auth(std::string_view client_name);
+
+  // mr_access / mr_query.
+  int32_t Access(std::string_view name, const std::vector<std::string>& args) override;
+  int32_t Query(std::string_view name, const std::vector<std::string>& args,
+                const TupleSink& sink) override;
+
+  // Asks the server to spawn a DCM immediately (Trigger_DCM).
+  int32_t TriggerDcm();
+
+  bool connected() const { return channel_ != nullptr; }
+
+ private:
+  int32_t RoundTrip(const MrRequest& request, const TupleSink* sink);
+
+  Connector connector_;
+  std::unique_ptr<ClientChannel> channel_;
+  KerberosRealm* realm_ = nullptr;
+  std::string principal_;
+  std::string password_;
+};
+
+// Glue client: same interface, direct execution, fixed root identity, no
+// Kerberos.  Used by the DCM and the backup programs.
+class DirectClient final : public MoiraClientApi {
+ public:
+  explicit DirectClient(MoiraContext* mc, std::string client_name = "direct");
+
+  int32_t Query(std::string_view name, const std::vector<std::string>& args,
+                const TupleSink& sink) override;
+  int32_t Access(std::string_view name, const std::vector<std::string>& args) override;
+
+ private:
+  MoiraContext* mc_;
+  std::string client_name_;
+};
+
+// Historical C-style callback signature (paper section 5.6.2): callproc is
+// called with the tuple size, the tuple fields, and the caller's argument.
+using MrCallbackProc = void (*)(int argc, const char** argv, void* callarg);
+
+// Adapts the historical callback to a TupleSink.
+TupleSink WrapCallback(MrCallbackProc callproc, void* callarg);
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_CLIENT_CLIENT_H_

@@ -1,0 +1,85 @@
+#include "src/client/menu.h"
+
+#include <istream>
+#include <ostream>
+
+#include "src/common/strutil.h"
+
+namespace moira {
+
+Menu* Menu::AddSubmenu(std::string name, std::string title) {
+  submenus_.emplace_back(std::move(name), std::make_unique<Menu>(std::move(title)));
+  return submenus_.back().second.get();
+}
+
+void Menu::AddCommand(MenuCommand command) { commands_.push_back(std::move(command)); }
+
+void Menu::PrintHelp(std::ostream& out) const {
+  out << "--- " << title_ << " ---\n";
+  for (const MenuCommand& command : commands_) {
+    out << "  " << command.name << " - " << command.description << "\n";
+  }
+  for (const auto& [name, submenu] : submenus_) {
+    out << "  " << name << " -> " << submenu->title() << "\n";
+  }
+  out << "  ? - this help; q - quit\n";
+}
+
+bool Menu::Dispatch(const std::string& line, std::istream& in, std::ostream& out,
+                    int* executed) const {
+  std::string choice(TrimWhitespace(line));
+  if (choice.empty()) {
+    return true;
+  }
+  if (choice == "q" || choice == "quit" || choice == "r" || choice == "return") {
+    return false;
+  }
+  if (choice == "?" || choice == "help") {
+    PrintHelp(out);
+    return true;
+  }
+  for (const auto& [name, submenu] : submenus_) {
+    if (choice == name) {
+      *executed += submenu->Run(in, out);
+      return true;
+    }
+  }
+  for (const MenuCommand& command : commands_) {
+    if (choice != command.name) {
+      continue;
+    }
+    std::vector<std::string> args;
+    for (const std::string& prompt : command.prompts) {
+      out << prompt << ": ";
+      std::string value;
+      if (!std::getline(in, value)) {
+        out << "(eof)\n";
+        return false;
+      }
+      args.emplace_back(TrimWhitespace(value));
+    }
+    out << command.action(args) << "\n";
+    ++*executed;
+    return true;
+  }
+  out << "unknown command: " << choice << " (? for help)\n";
+  return true;
+}
+
+int Menu::Run(std::istream& in, std::ostream& out) const {
+  PrintHelp(out);
+  int executed = 0;
+  std::string line;
+  while (true) {
+    out << title_ << "> ";
+    if (!std::getline(in, line)) {
+      break;
+    }
+    if (!Dispatch(line, in, out, &executed)) {
+      break;
+    }
+  }
+  return executed;
+}
+
+}  // namespace moira

@@ -1,0 +1,57 @@
+// The menu package used by some of the Moira clients (paper section 5.6.3).
+//
+// The historical library drove the full-screen "moira" administrative client:
+// nested menus of commands, each prompting for arguments and invoking a
+// query.  This version is I/O-agnostic (reads choices and arguments from any
+// istream, writes to any ostream) so clients are scriptable and testable.
+#ifndef MOIRA_SRC_CLIENT_MENU_H_
+#define MOIRA_SRC_CLIENT_MENU_H_
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace moira {
+
+class Menu;
+
+// A leaf command: prompts for each named argument, then runs the action with
+// the collected values.  The action's return text is printed.
+struct MenuCommand {
+  std::string name;                       // what the user types
+  std::string description;
+  std::vector<std::string> prompts;       // one prompt per argument
+  std::function<std::string(const std::vector<std::string>&)> action;
+};
+
+// A menu node: commands plus sub-menus.  "?"/"help" lists entries, "q"/"quit"
+// leaves the (sub)menu, "r"/"return" is a synonym historically used.
+class Menu {
+ public:
+  explicit Menu(std::string title) : title_(std::move(title)) {}
+
+  Menu* AddSubmenu(std::string name, std::string title);
+  void AddCommand(MenuCommand command);
+
+  const std::string& title() const { return title_; }
+
+  // Runs the interaction loop until quit or EOF.  Returns the number of
+  // commands executed (including in sub-menus).
+  int Run(std::istream& in, std::ostream& out) const;
+
+ private:
+  void PrintHelp(std::ostream& out) const;
+  // Executes one line of input; returns false when the loop should exit.
+  bool Dispatch(const std::string& line, std::istream& in, std::ostream& out,
+                int* executed) const;
+
+  std::string title_;
+  std::vector<MenuCommand> commands_;
+  std::vector<std::pair<std::string, std::unique_ptr<Menu>>> submenus_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_CLIENT_MENU_H_

@@ -1,0 +1,43 @@
+#include "src/comerr/com_err.h"
+
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "src/comerr/error_table.h"
+
+namespace moira {
+namespace {
+
+std::mutex g_hook_mu;
+ComErrHook g_hook;
+
+}  // namespace
+
+void ComErr(std::string_view whoami, int32_t code, std::string_view message) {
+  ComErrHook hook;
+  {
+    std::lock_guard<std::mutex> lock(g_hook_mu);
+    hook = g_hook;
+  }
+  if (hook) {
+    hook(whoami, code, message);
+    return;
+  }
+  std::string out(whoami);
+  out += ": ";
+  if (code != 0) {
+    out += ErrorMessage(code);
+    out += " ";
+  }
+  out += message;
+  out += "\n";
+  std::fputs(out.c_str(), stderr);
+}
+
+ComErrHook SetComErrHook(ComErrHook hook) {
+  std::lock_guard<std::mutex> lock(g_hook_mu);
+  return std::exchange(g_hook, std::move(hook));
+}
+
+}  // namespace moira

@@ -1,0 +1,29 @@
+// The com_err display front-end (paper section 5.6.1).
+//
+// By default, ComErr prints "whoami: error_message(code) message" to stderr.
+// A hook may be installed to redirect messages (e.g. to syslog or a window
+// system dialogue), exactly as the paper describes.
+#ifndef MOIRA_SRC_COMERR_COM_ERR_H_
+#define MOIRA_SRC_COMERR_COM_ERR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace moira {
+
+using ComErrHook =
+    std::function<void(std::string_view whoami, int32_t code, std::string_view message)>;
+
+// Reports an error.  If code is zero, nothing is printed for the error
+// message (only the supplied text).
+void ComErr(std::string_view whoami, int32_t code, std::string_view message);
+
+// Installs a hook; passing nullptr restores the default stderr behaviour.
+// Returns the previously installed hook (empty if default).
+ComErrHook SetComErrHook(ComErrHook hook);
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_COMERR_COM_ERR_H_

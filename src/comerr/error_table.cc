@@ -1,0 +1,52 @@
+#include "src/comerr/error_table.h"
+
+#include <cstring>
+#include <map>
+#include <mutex>
+
+namespace moira {
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::map<int32_t, ErrorTable> tables;  // keyed by base code
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+}  // namespace
+
+int32_t InitErrorTable(const ErrorTable& table) {
+  const int32_t base = ErrorTableBase(table.name);
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.tables.emplace(base, table);
+  return base;
+}
+
+std::string ErrorMessage(int32_t code) {
+  if (code == 0) {
+    return "Success";
+  }
+  const int32_t offset = code & (kMaxTableMessages - 1);
+  const int32_t base = code - offset;
+  if (base == 0) {
+    // System errno range.
+    const char* msg = std::strerror(code);
+    return msg != nullptr ? msg : "Unknown system error";
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.tables.find(base);
+  if (it != registry.tables.end() &&
+      offset < static_cast<int32_t>(it->second.messages.size())) {
+    return std::string(it->second.messages[offset]);
+  }
+  std::string name = it != registry.tables.end() ? std::string(it->second.name) : "?";
+  return "Unknown code " + name + " " + std::to_string(offset);
+}
+
+}  // namespace moira

@@ -1,0 +1,71 @@
+// Error-table system, a reproduction of Ken Raeburn's libcom_err as used by
+// Moira (paper section 5.6.1).
+//
+// Several independent sets of error codes coexist in one program: every error
+// code is an integer, and each error table reserves a subrange of the
+// integers based on a hash of the table name.  UNIX errno values occupy the
+// low range.  By convention zero indicates success.
+#ifndef MOIRA_SRC_COMERR_ERROR_TABLE_H_
+#define MOIRA_SRC_COMERR_ERROR_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace moira {
+
+// Number of low-order bits reserved for the code offset within a table.
+inline constexpr int kErrorCodeRange = 8;
+// Maximum number of messages a single table may hold.
+inline constexpr int kMaxTableMessages = 1 << kErrorCodeRange;
+
+// Maps a table-name character to its 6-bit value (historical char_to_num).
+constexpr int ErrorTableCharToNum(char c) {
+  if (c >= 'A' && c <= 'Z') {
+    return c - 'A' + 1;
+  }
+  if (c >= 'a' && c <= 'z') {
+    return c - 'a' + 27;
+  }
+  if (c >= '0' && c <= '9') {
+    return c - '0' + 53;
+  }
+  return c == '_' ? 63 : 0;
+}
+
+// Computes the base code of an error table from its (1..4 character) name,
+// using the historical com_err char_to_num packing: each character maps to a
+// 6-bit value, the packed name is shifted left by kErrorCodeRange.
+constexpr int32_t ErrorTableBase(std::string_view table_name) {
+  int32_t base = 0;
+  for (char c : table_name.substr(0, 4)) {
+    base = (base << 6) + ErrorTableCharToNum(c);
+  }
+  return base << kErrorCodeRange;
+}
+
+// A statically-defined error table.  `messages` must outlive the registry
+// registration (tables are expected to be static data).
+struct ErrorTable {
+  std::string_view name;                        // 1..4 character table name.
+  std::span<const std::string_view> messages;   // message for base+0, base+1...
+};
+
+// Registers a table; idempotent for the same name.  Returns the table base.
+// Thread-compatible: registration is expected at startup, lookups anywhere.
+int32_t InitErrorTable(const ErrorTable& table);
+
+// Returns the message associated with `code`.  Falls back to strerror() for
+// small codes, and to "Unknown code <table> <offset>" for unregistered codes.
+std::string ErrorMessage(int32_t code);
+
+// RAII helper so a translation unit can register its table at load time.
+class ErrorTableRegistration {
+ public:
+  explicit ErrorTableRegistration(const ErrorTable& table) { InitErrorTable(table); }
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_COMERR_ERROR_TABLE_H_

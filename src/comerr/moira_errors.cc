@@ -1,0 +1,24 @@
+#include "src/comerr/moira_errors.h"
+
+#include <array>
+
+namespace moira {
+namespace {
+
+constexpr std::string_view kMessages[] = {
+#define MOIRA_ERROR_MESSAGE(sym, msg) msg,
+    MOIRA_ERROR_LIST(MOIRA_ERROR_MESSAGE)
+#undef MOIRA_ERROR_MESSAGE
+};
+
+}  // namespace
+
+void RegisterMoiraErrorTable() {
+  static const ErrorTableRegistration registration{ErrorTable{
+      .name = "sms",
+      .messages = std::span<const std::string_view>(kMessages),
+  }};
+  (void)registration;
+}
+
+}  // namespace moira

@@ -1,0 +1,111 @@
+// The Moira ("sms") error table, reproducing the codes listed in paper
+// section 7.1 plus the library/protocol codes of sections 5.3 and 5.6.2.
+//
+// Codes live in the com_err subrange reserved by the table name "sms" (the
+// paper notes the string "sms" still crops up in the code; the error table
+// kept that name after the Moira rename).
+#ifndef MOIRA_SRC_COMERR_MOIRA_ERRORS_H_
+#define MOIRA_SRC_COMERR_MOIRA_ERRORS_H_
+
+#include <cstdint>
+
+#include "src/comerr/error_table.h"
+
+namespace moira {
+
+inline constexpr int32_t kMrErrorBase = ErrorTableBase("sms");
+
+// X-macro: (symbol, message).  Offsets are assigned in declaration order.
+#define MOIRA_ERROR_LIST(X)                                                            \
+  X(MR_SUCCESS, "Success")                                                             \
+  /* General errors (may be returned by all queries). */                              \
+  X(MR_ARG_TOO_LONG, "An argument contains too many characters")                      \
+  X(MR_ARGS, "Incorrect number of arguments")                                         \
+  X(MR_DEADLOCK, "Database deadlock; try again later")                                \
+  X(MR_INGRES_ERR, "An unexpected error occured in the underlying DBMS")              \
+  X(MR_INTERNAL, "Internal consistency failure")                                      \
+  X(MR_NO_HANDLE, "Unknown query specified")                                          \
+  X(MR_NO_MEM, "Server ran out of memory")                                            \
+  X(MR_PERM, "Insufficient permission to perform requested database access")          \
+  X(MR_NO_MATCH, "No records in database match query")                                \
+  X(MR_BAD_CHAR, "Illegal character in argument")                                     \
+  X(MR_EXISTS, "Record already exists")                                               \
+  X(MR_INTEGER, "String could not be parsed as an integer")                           \
+  X(MR_NO_ID, "Cannot allocate new ID")                                               \
+  X(MR_NOT_UNIQUE, "Arguments not unique")                                            \
+  X(MR_IN_USE, "Object is in use")                                                    \
+  /* Query-specific errors. */                                                        \
+  X(MR_ACE, "No such access control entity")                                          \
+  X(MR_BAD_CLASS, "Specified class is not known")                                     \
+  X(MR_BAD_GROUP, "Invalid group ID")                                                 \
+  X(MR_CLUSTER, "Unknown cluster")                                                    \
+  X(MR_DATE, "Invalid date")                                                          \
+  X(MR_FILESYS, "Named file system does not exist")                                   \
+  X(MR_FILESYS_EXISTS, "Named file system already exists")                            \
+  X(MR_FILESYS_ACCESS, "Invalid filesys access")                                      \
+  X(MR_FSTYPE, "Invalid filesys type")                                                \
+  X(MR_LIST, "No such list")                                                          \
+  X(MR_MACHINE, "Unknown machine")                                                    \
+  X(MR_NFS, "Specified directory not exported")                                       \
+  X(MR_NFSPHYS, "Machine/device pair not in nfsphys relation")                        \
+  X(MR_NO_FILESYS, "Cannot find space for filesys")                                   \
+  X(MR_NO_POBOX, "No post office box found")                                          \
+  X(MR_NO_QUOTA, "No quota found")                                                    \
+  X(MR_POBOX, "Invalid post office box")                                              \
+  X(MR_QUOTA, "Invalid quota")                                                        \
+  X(MR_SERVICE, "Unknown service")                                                    \
+  X(MR_STRING, "Unknown string")                                                      \
+  X(MR_TYPE, "Invalid type")                                                          \
+  X(MR_USER, "No such user")                                                          \
+  X(MR_WILDCARD, "Wildcards not allowed here")                                        \
+  X(MR_ZEPHYR, "Unknown zephyr class")                                                \
+  /* Application library / protocol errors (sections 5.3, 5.6.2). */                  \
+  X(MR_MORE_DATA, "More data available")                                              \
+  X(MR_NOT_CONNECTED, "Not connected to Moira server")                                \
+  X(MR_ALREADY_CONNECTED, "Already connected to Moira server")                        \
+  X(MR_ABORTED, "Connection aborted")                                                 \
+  X(MR_VERSION_HIGH, "Client version higher than server version")                     \
+  X(MR_VERSION_LOW, "Client version lower than server version")                       \
+  X(MR_UNKNOWN_PROC, "Unknown procedure requested")                                   \
+  X(MR_BAD_AUTH, "Authentication failure")                                            \
+  /* DCM / update protocol errors (sections 5.7, 5.9). */                             \
+  X(MR_NO_CHANGE, "No change in database since last file generation")                 \
+  X(MR_DCM_DISABLED, "The DCM has been disabled")                                     \
+  X(MR_GEN_FAILED, "Server file generator failed")                                    \
+  X(MR_UPDATE_CONN, "Could not connect to target server")                             \
+  X(MR_UPDATE_XFER, "File transfer to target server failed")                          \
+  X(MR_UPDATE_CKSUM, "Checksum mismatch in transferred file")                         \
+  X(MR_UPDATE_EXEC, "Install script failed on target server")                         \
+  X(MR_UPDATE_TIMEOUT, "Update timed out")                                            \
+  /* Kerberos simulation errors (section 5.10). */                                    \
+  X(MR_KRB_NO_PRINC, "Kerberos principal unknown")                                    \
+  X(MR_KRB_BAD_PASSWORD, "Kerberos password incorrect")                               \
+  X(MR_KRB_TKT_EXPIRED, "Kerberos ticket expired")                                    \
+  X(MR_KRB_NO_TKT, "Can't find Kerberos ticket")                                      \
+  X(MR_KRB_REPLAY, "Kerberos authenticator replayed")                                 \
+  /* Registration server errors (section 5.10). */                                    \
+  X(MR_REG_NOT_FOUND, "No such student in registration database")                     \
+  X(MR_REG_ALREADY, "Student already registered")                                     \
+  X(MR_REG_LOGIN_TAKEN, "Login name already taken")                                   \
+  X(MR_REG_BAD_AUTH, "Registration authenticator invalid")
+
+// Error code constants.  MR_SUCCESS is 0 by convention; all other codes are
+// offset into the "sms" com_err table.
+enum MrError : int32_t {
+#define MOIRA_DECLARE_ERROR(sym, msg) sym##_OFFSET_,
+  MOIRA_ERROR_LIST(MOIRA_DECLARE_ERROR)
+#undef MOIRA_DECLARE_ERROR
+};
+
+#define MOIRA_DEFINE_ERROR(sym, msg) \
+  inline constexpr int32_t sym = (sym##_OFFSET_ == 0) ? 0 : kMrErrorBase + sym##_OFFSET_;
+MOIRA_ERROR_LIST(MOIRA_DEFINE_ERROR)
+#undef MOIRA_DEFINE_ERROR
+
+// Registers the "sms" error table with the com_err registry.  Called lazily
+// by the library; safe to call repeatedly.
+void RegisterMoiraErrorTable();
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_COMERR_MOIRA_ERRORS_H_

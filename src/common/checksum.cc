@@ -1,0 +1,34 @@
+#include "src/common/checksum.h"
+
+#include <array>
+
+namespace moira {
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrcTable = MakeCrcTable();
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, std::string_view data) {
+  uint32_t c = crc ^ 0xffffffffu;
+  for (char ch : data) {
+    c = kCrcTable[(c ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+uint32_t Crc32(std::string_view data) { return Crc32Update(0, data); }
+
+}  // namespace moira

@@ -1,0 +1,9 @@
+#include "src/common/clock.h"
+
+#include <ctime>
+
+namespace moira {
+
+UnixTime SystemClock::Now() const { return static_cast<UnixTime>(std::time(nullptr)); }
+
+}  // namespace moira

@@ -1,0 +1,48 @@
+// Time source abstraction.
+//
+// Every Moira timestamp (modtime, dfgen, dfcheck, ltt, lts — paper section 6)
+// is a unix-format time: seconds since January 1, 1970 GMT.  The DCM's entire
+// behaviour is driven by comparing such timestamps against service update
+// intervals, so tests and benches inject a simulated clock and replay days of
+// operation in milliseconds.
+#ifndef MOIRA_SRC_COMMON_CLOCK_H_
+#define MOIRA_SRC_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace moira {
+
+// Unix-format time, seconds since the epoch.
+using UnixTime = int64_t;
+
+inline constexpr UnixTime kSecondsPerMinute = 60;
+inline constexpr UnixTime kSecondsPerHour = 3600;
+inline constexpr UnixTime kSecondsPerDay = 86400;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual UnixTime Now() const = 0;
+};
+
+// Wall-clock time.
+class SystemClock final : public Clock {
+ public:
+  UnixTime Now() const override;
+};
+
+// Manually-advanced time for tests and benches.
+class SimulatedClock final : public Clock {
+ public:
+  explicit SimulatedClock(UnixTime start = 0) : now_(start) {}
+  UnixTime Now() const override { return now_; }
+  void Advance(UnixTime seconds) { now_ += seconds; }
+  void Set(UnixTime t) { now_ = t; }
+
+ private:
+  UnixTime now_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_COMMON_CLOCK_H_

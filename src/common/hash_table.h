@@ -1,0 +1,144 @@
+// Hash table abstraction from the Moira library (paper section 5.6.3).
+//
+// The historical library provided a string-keyed chained hash table used by
+// the server's access cache and the DCM.  This is the same structure with a
+// typed C++ interface: separate chaining, power-of-two bucket count, grows at
+// load factor 1.
+#ifndef MOIRA_SRC_COMMON_HASH_TABLE_H_
+#define MOIRA_SRC_COMMON_HASH_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace moira {
+
+template <typename V>
+class MrHashTable {
+ public:
+  explicit MrHashTable(size_t initial_buckets = 16) : buckets_(RoundUp(initial_buckets)) {}
+
+  // Stores value under key, replacing any previous binding.
+  void Store(std::string_view key, V value) {
+    Node* node = FindNode(key);
+    if (node != nullptr) {
+      node->value = std::move(value);
+      return;
+    }
+    if (size_ >= buckets_.size()) {
+      Grow();
+    }
+    size_t b = Hash(key) & (buckets_.size() - 1);
+    auto fresh = std::make_unique<Node>();
+    fresh->key = std::string(key);
+    fresh->value = std::move(value);
+    fresh->next = std::move(buckets_[b]);
+    buckets_[b] = std::move(fresh);
+    ++size_;
+  }
+
+  // Returns a pointer to the stored value, or nullptr.
+  V* Fetch(std::string_view key) {
+    Node* node = FindNode(key);
+    return node != nullptr ? &node->value : nullptr;
+  }
+  const V* Fetch(std::string_view key) const {
+    return const_cast<MrHashTable*>(this)->Fetch(key);
+  }
+
+  // Removes the binding; returns true if one existed.
+  bool Remove(std::string_view key) {
+    size_t b = Hash(key) & (buckets_.size() - 1);
+    std::unique_ptr<Node>* link = &buckets_[b];
+    while (*link != nullptr) {
+      if ((*link)->key == key) {
+        *link = std::move((*link)->next);
+        --size_;
+        return true;
+      }
+      link = &(*link)->next;
+    }
+    return false;
+  }
+
+  // Visits every (key, value) pair.
+  void ForEach(const std::function<void(const std::string&, V&)>& fn) {
+    for (auto& head : buckets_) {
+      for (Node* node = head.get(); node != nullptr; node = node->next.get()) {
+        fn(node->key, node->value);
+      }
+    }
+  }
+
+  void Clear() {
+    for (auto& head : buckets_) {
+      head.reset();
+    }
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::string key;
+    V value;
+    std::unique_ptr<Node> next;
+  };
+
+  static size_t RoundUp(size_t n) {
+    size_t p = 1;
+    while (p < n) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  static uint64_t Hash(std::string_view key) {
+    // FNV-1a.
+    uint64_t h = 1469598103934665603ull;
+    for (char c : key) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  Node* FindNode(std::string_view key) {
+    size_t b = Hash(key) & (buckets_.size() - 1);
+    for (Node* node = buckets_[b].get(); node != nullptr; node = node->next.get()) {
+      if (node->key == key) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  void Grow() {
+    std::vector<std::unique_ptr<Node>> old = std::move(buckets_);
+    buckets_.clear();
+    buckets_.resize(old.size() * 2);
+    for (auto& head : old) {
+      while (head != nullptr) {
+        std::unique_ptr<Node> node = std::move(head);
+        head = std::move(node->next);
+        size_t b = Hash(node->key) & (buckets_.size() - 1);
+        node->next = std::move(buckets_[b]);
+        buckets_[b] = std::move(node);
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Node>> buckets_;
+  size_t size_ = 0;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_COMMON_HASH_TABLE_H_

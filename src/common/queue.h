@@ -1,0 +1,66 @@
+// Simple queue abstraction from the Moira library (paper section 5.6.3).
+//
+// A bounded-growth FIFO built on a ring buffer; used by the network layer for
+// per-connection outbound reply queues and by the DCM host scan.
+#ifndef MOIRA_SRC_COMMON_QUEUE_H_
+#define MOIRA_SRC_COMMON_QUEUE_H_
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace moira {
+
+template <typename T>
+class MrQueue {
+ public:
+  MrQueue() : slots_(8) {}
+
+  void Push(T value) {
+    if (size_ == slots_.size()) {
+      Grow();
+    }
+    slots_[(head_ + size_) % slots_.size()] = std::move(value);
+    ++size_;
+  }
+
+  // Removes and returns the front element; nullopt if empty.
+  std::optional<T> Pop() {
+    if (size_ == 0) {
+      return std::nullopt;
+    }
+    T out = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return out;
+  }
+
+  T* Front() { return size_ != 0 ? &slots_[head_] : nullptr; }
+  const T* Front() const { return size_ != 0 ? &slots_[head_] : nullptr; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void Grow() {
+    std::vector<T> bigger(slots_.size() * 2);
+    for (size_t i = 0; i < size_; ++i) {
+      bigger[i] = std::move(slots_[(head_ + i) % slots_.size()]);
+    }
+    slots_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_COMMON_QUEUE_H_

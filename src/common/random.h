@@ -1,0 +1,39 @@
+// Deterministic pseudo-random source for the synthetic population generator
+// and failure injection.  SplitMix64: tiny, fast, and reproducible across
+// platforms (unlike std::default_random_engine distributions).
+#ifndef MOIRA_SRC_COMMON_RANDOM_H_
+#define MOIRA_SRC_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace moira {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound).  bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Between(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Bernoulli with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_COMMON_RANDOM_H_

@@ -1,0 +1,72 @@
+#include "src/core/acl.h"
+
+namespace moira {
+
+bool IsUserInList(MoiraContext& mc, int64_t users_id, int64_t list_id, int depth) {
+  if (depth <= 0) {
+    return false;
+  }
+  Table* members = mc.members();
+  int list_col = members->ColumnIndex("list_id");
+  int type_col = members->ColumnIndex("member_type");
+  int id_col = members->ColumnIndex("member_id");
+  std::vector<size_t> rows =
+      members->Match({Condition{list_col, Condition::Op::kEq, Value(list_id)}});
+  for (size_t row : rows) {
+    const std::string& type = members->Cell(row, type_col).AsString();
+    int64_t member_id = members->Cell(row, id_col).AsInt();
+    if (type == "USER" && member_id == users_id) {
+      return true;
+    }
+    if (type == "LIST" && IsUserInList(mc, users_id, member_id, depth - 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool UserMatchesAce(MoiraContext& mc, int64_t users_id, std::string_view ace_type,
+                    int64_t ace_id) {
+  if (users_id < 0) {
+    return false;
+  }
+  if (ace_type == "USER") {
+    return ace_id == users_id;
+  }
+  if (ace_type == "LIST") {
+    return IsUserInList(mc, users_id, ace_id);
+  }
+  return false;
+}
+
+int64_t PrincipalUserId(MoiraContext& mc, std::string_view principal) {
+  if (principal.empty()) {
+    return -1;
+  }
+  RowRef ref = mc.UserByLogin(principal);
+  if (ref.code != MR_SUCCESS) {
+    return -1;
+  }
+  return MoiraContext::IntCell(mc.users(), ref.row, "users_id");
+}
+
+bool PrincipalOnCapability(MoiraContext& mc, std::string_view principal,
+                           std::string_view capability) {
+  int64_t users_id = PrincipalUserId(mc, principal);
+  if (users_id < 0) {
+    return false;
+  }
+  Table* capacls = mc.capacls();
+  int cap_col = capacls->ColumnIndex("capability");
+  int list_col = capacls->ColumnIndex("list_id");
+  std::vector<size_t> rows =
+      capacls->Match({Condition{cap_col, Condition::Op::kEq, Value(capability)}});
+  for (size_t row : rows) {
+    if (IsUserInList(mc, users_id, capacls->Cell(row, list_col).AsInt())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace moira

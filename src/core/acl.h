@@ -1,0 +1,40 @@
+// Access control (paper section 5.5).
+//
+// The right to view or modify data is determined by access control lists
+// residing with the data: each query name appears as a capability in the
+// CAPACLS relation pointing at a list; ACEs on individual objects (lists,
+// services, filesystems...) grant per-object rights.  List membership is
+// resolved recursively through sub-lists.
+#ifndef MOIRA_SRC_CORE_ACL_H_
+#define MOIRA_SRC_CORE_ACL_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/core/context.h"
+
+namespace moira {
+
+// Maximum sub-list recursion depth (defends against membership cycles).
+inline constexpr int kMaxAclDepth = 16;
+
+// True if the user is a direct or recursive member of the list.
+bool IsUserInList(MoiraContext& mc, int64_t users_id, int64_t list_id,
+                  int depth = kMaxAclDepth);
+
+// True if the user satisfies an ACE of the given type/id.  Type NONE never
+// matches (an empty ACE grants nobody).
+bool UserMatchesAce(MoiraContext& mc, int64_t users_id, std::string_view ace_type,
+                    int64_t ace_id);
+
+// Resolves a principal name to its users_id; -1 if no such user.  The
+// distinguished principal "root" is not a user row.
+int64_t PrincipalUserId(MoiraContext& mc, std::string_view principal);
+
+// True if the principal is on the CAPACLS list registered for `capability`.
+bool PrincipalOnCapability(MoiraContext& mc, std::string_view principal,
+                           std::string_view capability);
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_CORE_ACL_H_

@@ -1,0 +1,41 @@
+#include "src/core/queries_common.h"
+
+namespace moira {
+
+bool SelfIsArg0Login(MoiraContext& mc, std::string_view principal,
+                     const std::vector<std::string>& args) {
+  (void)mc;
+  return !args.empty() && args[0] == principal;
+}
+
+bool SelfOnListAce(MoiraContext& mc, std::string_view principal,
+                   const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return false;
+  }
+  RowRef ref = mc.ListByName(args[0]);
+  if (ref.code != MR_SUCCESS) {
+    return false;
+  }
+  int64_t users_id = PrincipalUserId(mc, principal);
+  return UserMatchesAce(mc, users_id,
+                        MoiraContext::StrCell(mc.list(), ref.row, "acl_type"),
+                        MoiraContext::IntCell(mc.list(), ref.row, "acl_id"));
+}
+
+bool SelfOnServiceAce(MoiraContext& mc, std::string_view principal,
+                      const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return false;
+  }
+  RowRef ref = mc.ServiceByName(args[0]);
+  if (ref.code != MR_SUCCESS) {
+    return false;
+  }
+  int64_t users_id = PrincipalUserId(mc, principal);
+  return UserMatchesAce(mc, users_id,
+                        MoiraContext::StrCell(mc.servers(), ref.row, "acl_type"),
+                        MoiraContext::IntCell(mc.servers(), ref.row, "acl_id"));
+}
+
+}  // namespace moira

@@ -1,0 +1,366 @@
+// Machine and cluster queries (paper section 7.0.2).
+#include "src/core/queries_common.h"
+
+namespace moira {
+namespace {
+
+// --- machines ---
+
+int32_t GetMachine(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  const Table* machine = mc.machine();
+  // Machine names are case insensitive and stored in uppercase.
+  std::string pattern = ToUpperCopy(call.args[0]);
+  for (size_t row : machine->Match({WildCond(machine, "name", pattern)})) {
+    call.emit({MoiraContext::StrCell(machine, row, "name"),
+               MoiraContext::StrCell(machine, row, "type"), IntStr(machine, row, "modtime"),
+               MoiraContext::StrCell(machine, row, "modby"),
+               MoiraContext::StrCell(machine, row, "modwith")});
+  }
+  return MR_SUCCESS;
+}
+
+int32_t AddMachine(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  std::string name = CanonicalizeHostname(call.args[0]);
+  if (int32_t code = RequireLegalChars(name); code != MR_SUCCESS) {
+    return code;
+  }
+  if (!mc.IsLegalType("mach_type", call.args[1])) {
+    return MR_TYPE;
+  }
+  if (mc.MachineByName(name).code == MR_SUCCESS) {
+    return MR_NOT_UNIQUE;
+  }
+  int64_t mach_id = 0;
+  if (int32_t code = mc.AllocateId("mach_id", mc.machine(), "mach_id", &mach_id);
+      code != MR_SUCCESS) {
+    return code;
+  }
+  size_t row = mc.machine()->Append(
+      {Value(name), Value(mach_id), Value(call.args[1]), Value(int64_t{0}), Value(""),
+       Value("")});
+  mc.Stamp(mc.machine(), row, call.principal, call.client_name);
+  return MR_SUCCESS;
+}
+
+int32_t UpdateMachine(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  RowRef mach = mc.MachineByName(call.args[0]);
+  if (mach.code != MR_SUCCESS) {
+    return mach.code;
+  }
+  std::string newname = CanonicalizeHostname(call.args[1]);
+  if (int32_t code = RequireLegalChars(newname); code != MR_SUCCESS) {
+    return code;
+  }
+  if (!mc.IsLegalType("mach_type", call.args[2])) {
+    return MR_TYPE;
+  }
+  if (newname != MoiraContext::StrCell(mc.machine(), mach.row, "name") &&
+      mc.MachineByName(newname).code == MR_SUCCESS) {
+    return MR_NOT_UNIQUE;
+  }
+  MoiraContext::SetCell(mc.machine(), mach.row, "name", Value(newname));
+  MoiraContext::SetCell(mc.machine(), mach.row, "type", Value(call.args[2]));
+  mc.Stamp(mc.machine(), mach.row, call.principal, call.client_name);
+  return MR_SUCCESS;
+}
+
+// True if the machine is referenced as a post office, filesystem server,
+// printer spooling host, hostaccess entry, nfs partition, or DCM serverhost.
+bool MachineIsReferenced(MoiraContext& mc, int64_t mach_id) {
+  auto refs = [&](Table* table, const char* column) {
+    int col = table->ColumnIndex(column);
+    return !table->Match({Condition{col, Condition::Op::kEq, Value(mach_id)}}).empty();
+  };
+  Table* users = mc.users();
+  int potype_col = users->ColumnIndex("potype");
+  int pop_col = users->ColumnIndex("pop_id");
+  bool pobox_ref = false;
+  users->Scan([&](size_t, const Row& r) {
+    if (r[potype_col].AsString() == "POP" && r[pop_col].AsInt() == mach_id) {
+      pobox_ref = true;
+      return false;
+    }
+    return true;
+  });
+  return pobox_ref || refs(mc.filesys(), "mach_id") || refs(mc.printcap(), "mach_id") ||
+         refs(mc.hostaccess(), "mach_id") || refs(mc.nfsphys(), "mach_id") ||
+         refs(mc.serverhosts(), "mach_id");
+}
+
+int32_t DeleteMachine(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  RowRef mach = mc.MachineByName(call.args[0]);
+  if (mach.code != MR_SUCCESS) {
+    return mach.code;
+  }
+  int64_t mach_id = MoiraContext::IntCell(mc.machine(), mach.row, "mach_id");
+  if (MachineIsReferenced(mc, mach_id)) {
+    return MR_IN_USE;
+  }
+  // Cluster assignments are dropped along with the machine.
+  Table* mcmap = mc.mcmap();
+  int mach_col = mcmap->ColumnIndex("mach_id");
+  for (size_t row : mcmap->Match({Condition{mach_col, Condition::Op::kEq, Value(mach_id)}})) {
+    mcmap->Delete(row);
+  }
+  mc.machine()->Delete(mach.row);
+  return MR_SUCCESS;
+}
+
+// --- clusters ---
+
+int32_t GetCluster(QueryCall& call) {
+  const Table* cluster = call.mc.cluster();
+  for (size_t row : cluster->Match({WildCond(cluster, "name", call.args[0])})) {
+    call.emit({MoiraContext::StrCell(cluster, row, "name"),
+               MoiraContext::StrCell(cluster, row, "desc"),
+               MoiraContext::StrCell(cluster, row, "location"),
+               IntStr(cluster, row, "modtime"), MoiraContext::StrCell(cluster, row, "modby"),
+               MoiraContext::StrCell(cluster, row, "modwith")});
+  }
+  return MR_SUCCESS;
+}
+
+int32_t AddCluster(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  if (int32_t code = RequireLegalChars(call.args[0]); code != MR_SUCCESS) {
+    return code;
+  }
+  if (mc.ClusterByName(call.args[0]).code == MR_SUCCESS) {
+    return MR_NOT_UNIQUE;
+  }
+  int64_t clu_id = 0;
+  if (int32_t code = mc.AllocateId("clu_id", mc.cluster(), "clu_id", &clu_id);
+      code != MR_SUCCESS) {
+    return code;
+  }
+  size_t row = mc.cluster()->Append({Value(call.args[0]), Value(clu_id), Value(call.args[1]),
+                                     Value(call.args[2]), Value(int64_t{0}), Value(""),
+                                     Value("")});
+  mc.Stamp(mc.cluster(), row, call.principal, call.client_name);
+  return MR_SUCCESS;
+}
+
+int32_t UpdateCluster(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  RowRef clu = mc.ClusterByName(call.args[0]);
+  if (clu.code != MR_SUCCESS) {
+    return clu.code;
+  }
+  const std::string& newname = call.args[1];
+  if (int32_t code = RequireLegalChars(newname); code != MR_SUCCESS) {
+    return code;
+  }
+  if (newname != call.args[0] && mc.ClusterByName(newname).code == MR_SUCCESS) {
+    return MR_NOT_UNIQUE;
+  }
+  MoiraContext::SetCell(mc.cluster(), clu.row, "name", Value(newname));
+  MoiraContext::SetCell(mc.cluster(), clu.row, "desc", Value(call.args[2]));
+  MoiraContext::SetCell(mc.cluster(), clu.row, "location", Value(call.args[3]));
+  mc.Stamp(mc.cluster(), clu.row, call.principal, call.client_name);
+  return MR_SUCCESS;
+}
+
+int32_t DeleteCluster(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  RowRef clu = mc.ClusterByName(call.args[0]);
+  if (clu.code != MR_SUCCESS) {
+    return clu.code;
+  }
+  int64_t clu_id = MoiraContext::IntCell(mc.cluster(), clu.row, "clu_id");
+  Table* mcmap = mc.mcmap();
+  int clu_col = mcmap->ColumnIndex("clu_id");
+  if (!mcmap->Match({Condition{clu_col, Condition::Op::kEq, Value(clu_id)}}).empty()) {
+    return MR_IN_USE;
+  }
+  // Any service cluster data assigned to the cluster is deleted with it.
+  Table* svc = mc.svc();
+  int svc_clu_col = svc->ColumnIndex("clu_id");
+  for (size_t row : svc->Match({Condition{svc_clu_col, Condition::Op::kEq, Value(clu_id)}})) {
+    svc->Delete(row);
+  }
+  mc.cluster()->Delete(clu.row);
+  return MR_SUCCESS;
+}
+
+// --- machine/cluster map ---
+
+int32_t GetMachineToClusterMap(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  const Table* machine = mc.machine();
+  const Table* cluster = mc.cluster();
+  const Table* mcmap = mc.mcmap();
+  std::string mach_pattern = ToUpperCopy(call.args[0]);
+  // Resolve cluster ids and machine ids up front, then join.
+  std::vector<size_t> machines = machine->Match({WildCond(machine, "name", mach_pattern)});
+  std::vector<size_t> clusters = cluster->Match({WildCond(cluster, "name", call.args[1])});
+  int map_mach_col = mcmap->ColumnIndex("mach_id");
+  int map_clu_col = mcmap->ColumnIndex("clu_id");
+  for (size_t m : machines) {
+    int64_t mach_id = MoiraContext::IntCell(machine, m, "mach_id");
+    for (size_t c : clusters) {
+      int64_t clu_id = MoiraContext::IntCell(cluster, c, "clu_id");
+      if (!mcmap->Match({Condition{map_mach_col, Condition::Op::kEq, Value(mach_id)},
+                         Condition{map_clu_col, Condition::Op::kEq, Value(clu_id)}})
+               .empty()) {
+        call.emit({MoiraContext::StrCell(machine, m, "name"),
+                   MoiraContext::StrCell(cluster, c, "name")});
+      }
+    }
+  }
+  return MR_SUCCESS;
+}
+
+int32_t AddMachineToCluster(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  RowRef mach = mc.MachineByName(call.args[0]);
+  if (mach.code != MR_SUCCESS) {
+    return mach.code;
+  }
+  RowRef clu = mc.ClusterByName(call.args[1]);
+  if (clu.code != MR_SUCCESS) {
+    return clu.code;
+  }
+  int64_t mach_id = MoiraContext::IntCell(mc.machine(), mach.row, "mach_id");
+  int64_t clu_id = MoiraContext::IntCell(mc.cluster(), clu.row, "clu_id");
+  Table* mcmap = mc.mcmap();
+  int mach_col = mcmap->ColumnIndex("mach_id");
+  int clu_col = mcmap->ColumnIndex("clu_id");
+  if (!mcmap->Match({Condition{mach_col, Condition::Op::kEq, Value(mach_id)},
+                     Condition{clu_col, Condition::Op::kEq, Value(clu_id)}})
+           .empty()) {
+    return MR_EXISTS;
+  }
+  mcmap->Append({Value(mach_id), Value(clu_id)});
+  mc.Stamp(mc.machine(), mach.row, call.principal, call.client_name);
+  return MR_SUCCESS;
+}
+
+int32_t DeleteMachineFromCluster(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  RowRef mach = mc.MachineByName(call.args[0]);
+  if (mach.code != MR_SUCCESS) {
+    return mach.code;
+  }
+  RowRef clu = mc.ClusterByName(call.args[1]);
+  if (clu.code != MR_SUCCESS) {
+    return clu.code;
+  }
+  int64_t mach_id = MoiraContext::IntCell(mc.machine(), mach.row, "mach_id");
+  int64_t clu_id = MoiraContext::IntCell(mc.cluster(), clu.row, "clu_id");
+  Table* mcmap = mc.mcmap();
+  int mach_col = mcmap->ColumnIndex("mach_id");
+  int clu_col = mcmap->ColumnIndex("clu_id");
+  std::vector<size_t> rows =
+      mcmap->Match({Condition{mach_col, Condition::Op::kEq, Value(mach_id)},
+                    Condition{clu_col, Condition::Op::kEq, Value(clu_id)}});
+  if (rows.empty()) {
+    return MR_NO_MATCH;
+  }
+  for (size_t row : rows) {
+    mcmap->Delete(row);
+  }
+  mc.Stamp(mc.machine(), mach.row, call.principal, call.client_name);
+  return MR_SUCCESS;
+}
+
+// --- service cluster data ---
+
+int32_t GetClusterData(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  const Table* cluster = mc.cluster();
+  const Table* svc = mc.svc();
+  int svc_clu_col = svc->ColumnIndex("clu_id");
+  for (size_t c : cluster->Match({WildCond(cluster, "name", call.args[0])})) {
+    int64_t clu_id = MoiraContext::IntCell(cluster, c, "clu_id");
+    for (size_t row :
+         svc->Match({Condition{svc_clu_col, Condition::Op::kEq, Value(clu_id)},
+                     WildCond(svc, "serv_label", call.args[1])})) {
+      call.emit({MoiraContext::StrCell(cluster, c, "name"),
+                 MoiraContext::StrCell(svc, row, "serv_label"),
+                 MoiraContext::StrCell(svc, row, "serv_cluster")});
+    }
+  }
+  return MR_SUCCESS;
+}
+
+int32_t AddClusterData(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  RowRef clu = mc.ClusterByName(call.args[0]);
+  if (clu.code != MR_SUCCESS) {
+    return clu.code;
+  }
+  if (!mc.IsLegalType("slabel", call.args[1])) {
+    return MR_TYPE;
+  }
+  int64_t clu_id = MoiraContext::IntCell(mc.cluster(), clu.row, "clu_id");
+  mc.svc()->Append({Value(clu_id), Value(call.args[1]), Value(call.args[2])});
+  mc.Stamp(mc.cluster(), clu.row, call.principal, call.client_name);
+  return MR_SUCCESS;
+}
+
+int32_t DeleteClusterData(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  RowRef clu = mc.ClusterByName(call.args[0]);
+  if (clu.code != MR_SUCCESS) {
+    return clu.code;
+  }
+  int64_t clu_id = MoiraContext::IntCell(mc.cluster(), clu.row, "clu_id");
+  Table* svc = mc.svc();
+  std::vector<size_t> rows = svc->Match({
+      Condition{svc->ColumnIndex("clu_id"), Condition::Op::kEq, Value(clu_id)},
+      Condition{svc->ColumnIndex("serv_label"), Condition::Op::kEq, Value(call.args[1])},
+      Condition{svc->ColumnIndex("serv_cluster"), Condition::Op::kEq, Value(call.args[2])},
+  });
+  if (rows.empty()) {
+    return MR_NO_MATCH;
+  }
+  if (rows.size() > 1) {
+    return MR_NOT_UNIQUE;
+  }
+  svc->Delete(rows[0]);
+  mc.Stamp(mc.cluster(), clu.row, call.principal, call.client_name);
+  return MR_SUCCESS;
+}
+
+}  // namespace
+
+void AppendMachineQueries(std::vector<QueryDef>* defs) {
+  defs->insert(
+      defs->end(),
+      {
+          {"get_machine", "gmac", QueryClass::kRetrieve, 1, true, "name",
+           "name, type, modtime, modby, modwith", nullptr, GetMachine},
+          {"add_machine", "amac", QueryClass::kAppend, 2, false, "name, type", "", nullptr,
+           AddMachine},
+          {"update_machine", "umac", QueryClass::kUpdate, 3, false, "name, newname, type", "",
+           nullptr, UpdateMachine},
+          {"delete_machine", "dmac", QueryClass::kDelete, 1, false, "name", "", nullptr,
+           DeleteMachine},
+          {"get_cluster", "gclu", QueryClass::kRetrieve, 1, true, "name",
+           "name, description, location, modtime, modby, modwith", nullptr, GetCluster},
+          {"add_cluster", "aclu", QueryClass::kAppend, 3, false,
+           "name, description, location", "", nullptr, AddCluster},
+          {"update_cluster", "uclu", QueryClass::kUpdate, 4, false,
+           "name, newname, description, location", "", nullptr, UpdateCluster},
+          {"delete_cluster", "dclu", QueryClass::kDelete, 1, false, "name", "", nullptr,
+           DeleteCluster},
+          {"get_machine_to_cluster_map", "gmcm", QueryClass::kRetrieve, 2, true,
+           "machine, cluster", "machine, cluster", nullptr, GetMachineToClusterMap},
+          {"add_machine_to_cluster", "amtc", QueryClass::kAppend, 2, false,
+           "machine, cluster", "", nullptr, AddMachineToCluster},
+          {"delete_machine_from_cluster", "dmfc", QueryClass::kDelete, 2, false,
+           "machine, cluster", "", nullptr, DeleteMachineFromCluster},
+          {"get_cluster_data", "gcld", QueryClass::kRetrieve, 2, true, "cluster, label",
+           "cluster, label, data", nullptr, GetClusterData},
+          {"add_cluster_data", "acld", QueryClass::kAppend, 3, false,
+           "cluster, label, data", "", nullptr, AddClusterData},
+          {"delete_cluster_data", "dcld", QueryClass::kDelete, 3, false,
+           "cluster, label, data", "", nullptr, DeleteClusterData},
+      });
+}
+
+}  // namespace moira

@@ -1,0 +1,180 @@
+#include "src/db/table.h"
+
+#include <cassert>
+
+#include "src/common/strutil.h"
+
+namespace moira {
+namespace {
+
+bool ConditionHolds(const Condition& cond, const Row& row) {
+  const Value& cell = row[cond.column];
+  switch (cond.op) {
+    case Condition::Op::kEq:
+      return cell == cond.operand;
+    case Condition::Op::kEqNoCase:
+      return cell.is_string() && cond.operand.is_string() &&
+             EqualsIgnoreCase(cell.AsString(), cond.operand.AsString());
+    case Condition::Op::kWild:
+      return WildcardMatch(cond.operand.ToString(), cell.ToString());
+    case Condition::Op::kWildNoCase:
+      return WildcardMatch(cond.operand.ToString(), cell.ToString(), /*case_insensitive=*/true);
+  }
+  return false;
+}
+
+}  // namespace
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+int Table::ColumnIndex(std::string_view column) const {
+  for (size_t i = 0; i < schema_.columns.size(); ++i) {
+    if (schema_.columns[i].name == column) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void Table::CreateIndex(std::string_view column) {
+  int col = ColumnIndex(column);
+  assert(col >= 0);
+  for (const Index& index : indexes_) {
+    if (index.column == col) {
+      return;
+    }
+  }
+  Index index;
+  index.column = col;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live) {
+      index.entries.emplace(slots_[i].row[col], i);
+    }
+  }
+  indexes_.push_back(std::move(index));
+}
+
+size_t Table::Append(Row row) {
+  assert(row.size() == schema_.columns.size());
+  slots_.push_back(Slot{std::move(row), /*live=*/true});
+  size_t row_index = slots_.size() - 1;
+  ++live_count_;
+  IndexInsert(row_index);
+  Touch(&stats_.appends);
+  return row_index;
+}
+
+void Table::Update(size_t row_index, int column, Value value) {
+  assert(IsLive(row_index));
+  IndexErase(row_index);
+  slots_[row_index].row[column] = std::move(value);
+  IndexInsert(row_index);
+  Touch(&stats_.updates);
+}
+
+void Table::UpdateNoStats(size_t row_index, int column, Value value) {
+  assert(IsLive(row_index));
+  IndexErase(row_index);
+  slots_[row_index].row[column] = std::move(value);
+  IndexInsert(row_index);
+}
+
+void Table::UpdateRow(size_t row_index, Row row) {
+  assert(IsLive(row_index));
+  assert(row.size() == schema_.columns.size());
+  IndexErase(row_index);
+  slots_[row_index].row = std::move(row);
+  IndexInsert(row_index);
+  Touch(&stats_.updates);
+}
+
+void Table::Delete(size_t row_index) {
+  assert(IsLive(row_index));
+  IndexErase(row_index);
+  slots_[row_index].live = false;
+  slots_[row_index].row.clear();
+  --live_count_;
+  Touch(&stats_.deletes);
+}
+
+const Table::Index* Table::FindIndexFor(const std::vector<Condition>& conditions,
+                                        size_t* cond_pos) const {
+  for (size_t c = 0; c < conditions.size(); ++c) {
+    if (conditions[c].op != Condition::Op::kEq) {
+      continue;
+    }
+    for (const Index& index : indexes_) {
+      if (index.column == conditions[c].column) {
+        *cond_pos = c;
+        return &index;
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::vector<size_t> Table::Match(const std::vector<Condition>& conditions) const {
+  std::vector<size_t> out;
+  size_t indexed_cond = 0;
+  const Index* index = FindIndexFor(conditions, &indexed_cond);
+  auto satisfies_rest = [&](size_t row_index) {
+    const Row& row = slots_[row_index].row;
+    for (size_t c = 0; c < conditions.size(); ++c) {
+      if (index != nullptr && c == indexed_cond) {
+        continue;  // already satisfied via the index
+      }
+      if (!ConditionHolds(conditions[c], row)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (index != nullptr) {
+    auto [begin, end] = index->entries.equal_range(conditions[indexed_cond].operand);
+    for (auto it = begin; it != end; ++it) {
+      if (slots_[it->second].live && satisfies_rest(it->second)) {
+        out.push_back(it->second);
+      }
+    }
+    return out;
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live && satisfies_rest(i)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+void Table::Scan(const std::function<bool(size_t, const Row&)>& visit) const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live && !visit(i, slots_[i].row)) {
+      return;
+    }
+  }
+}
+
+void Table::Touch(int64_t* counter) {
+  ++*counter;
+  stats_.modtime = now_ ? now_() : 0;
+}
+
+void Table::IndexInsert(size_t row_index) {
+  for (Index& index : indexes_) {
+    index.entries.emplace(slots_[row_index].row[index.column], row_index);
+  }
+}
+
+void Table::IndexErase(size_t row_index) {
+  for (Index& index : indexes_) {
+    auto [begin, end] = index.entries.equal_range(slots_[row_index].row[index.column]);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == row_index) {
+        index.entries.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace moira

@@ -1,0 +1,140 @@
+// A single relation of the Moira database engine.
+//
+// Rows are kept in an append-only slot vector with tombstoned deletes, so row
+// indices remain stable across mutation (scans that collect matches and then
+// update are safe).  Optional per-column equality indexes accelerate the id
+// and name lookups that dominate the query mix.
+#ifndef MOIRA_SRC_DB_TABLE_H_
+#define MOIRA_SRC_DB_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/db/value.h"
+
+namespace moira {
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+};
+
+using Row = std::vector<Value>;
+
+// A predicate on one column, used by Table::Match.
+struct Condition {
+  enum class Op {
+    kEq,          // exact equality
+    kEqNoCase,    // case-insensitive string equality
+    kWild,        // wildcard pattern match ('*' and '?')
+    kWildNoCase,  // case-insensitive wildcard match
+  };
+  int column = 0;
+  Op op = Op::kEq;
+  Value operand;
+};
+
+// Mutation counters, surfaced as the TBLSTATS relation (paper section 6).
+struct TableStats {
+  int64_t appends = 0;
+  int64_t updates = 0;
+  int64_t deletes = 0;
+  int64_t modtime = 0;  // unix time of last append/update/delete
+};
+
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name; }
+
+  // Returns the column position, or -1 if no such column.
+  int ColumnIndex(std::string_view column) const;
+
+  // Builds an equality index over `column`.  Idempotent.
+  void CreateIndex(std::string_view column);
+
+  // Appends a row (must match the schema arity); returns its stable index.
+  size_t Append(Row row);
+
+  // Overwrites one cell of a live row.
+  void Update(size_t row_index, int column, Value value);
+
+  // Bookkeeping write: updates the cell (and indexes) without counting in
+  // TBLSTATS or bumping the table modtime.  Used for DCM-internal fields —
+  // the paper's ModTime "refers only to modification by a user, not by the
+  // DCM", and the incremental-generation check must not see DCM writes.
+  void UpdateNoStats(size_t row_index, int column, Value value);
+
+  // Overwrites a whole row.
+  void UpdateRow(size_t row_index, Row row);
+
+  // Tombstones a row.
+  void Delete(size_t row_index);
+
+  bool IsLive(size_t row_index) const {
+    return row_index < slots_.size() && slots_[row_index].live;
+  }
+
+  const Row& At(size_t row_index) const { return slots_[row_index].row; }
+  const Value& Cell(size_t row_index, int column) const {
+    return slots_[row_index].row[column];
+  }
+
+  // Returns the indices of all live rows satisfying every condition.
+  std::vector<size_t> Match(const std::vector<Condition>& conditions) const;
+
+  // Visits every live row; stop early by returning false from the visitor.
+  void Scan(const std::function<bool(size_t, const Row&)>& visit) const;
+
+  // Number of live rows.
+  size_t LiveCount() const { return live_count_; }
+
+  // Total slots including tombstones (the valid row-index range).
+  size_t SlotCount() const { return slots_.size(); }
+
+  const TableStats& stats() const { return stats_; }
+
+  // The engine stamps stats modtimes through this hook; set by Database.
+  void set_time_source(const std::function<int64_t()>& now) { now_ = now; }
+
+ private:
+  struct Slot {
+    Row row;
+    bool live = true;
+  };
+
+  struct Index {
+    int column;
+    std::multimap<Value, size_t> entries;
+  };
+
+  void Touch(int64_t* counter);
+  void IndexInsert(size_t row_index);
+  void IndexErase(size_t row_index);
+  const Index* FindIndexFor(const std::vector<Condition>& conditions, size_t* cond_pos) const;
+
+  TableSchema schema_;
+  std::vector<Slot> slots_;
+  std::vector<Index> indexes_;
+  size_t live_count_ = 0;
+  TableStats stats_;
+  std::function<int64_t()> now_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_DB_TABLE_H_

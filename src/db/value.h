@@ -1,0 +1,51 @@
+// Typed cell values for the Moira database engine.
+//
+// The Moira schema (paper section 6) uses exactly two column types: integers
+// (ids, uids, flags, unix-format times) and strings (names, descriptions).
+#ifndef MOIRA_SRC_DB_VALUE_H_
+#define MOIRA_SRC_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace moira {
+
+enum class ColumnType { kInt, kString };
+
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t i) : v_(i) {}                       // NOLINT(google-explicit-constructor)
+  Value(int i) : v_(static_cast<int64_t>(i)) {}     // NOLINT(google-explicit-constructor)
+  Value(std::string s) : v_(std::move(s)) {}        // NOLINT(google-explicit-constructor)
+  Value(std::string_view s) : v_(std::string(s)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* s) : v_(std::string(s)) {}      // NOLINT(google-explicit-constructor)
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  ColumnType type() const { return is_int() ? ColumnType::kInt : ColumnType::kString; }
+
+  int64_t AsInt() const { return is_int() ? std::get<int64_t>(v_) : 0; }
+  const std::string& AsString() const {
+    static const std::string kEmpty;
+    return is_string() ? std::get<std::string>(v_) : kEmpty;
+  }
+
+  // Renders the value as the string used in wire tuples and generated files.
+  std::string ToString() const {
+    return is_int() ? std::to_string(std::get<int64_t>(v_)) : std::get<std::string>(v_);
+  }
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) { return a.v_ < b.v_; }
+
+ private:
+  std::variant<int64_t, std::string> v_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_DB_VALUE_H_

@@ -1,0 +1,41 @@
+#include "src/dcm/cron.h"
+
+#include <algorithm>
+
+namespace moira {
+
+void CronScheduler::Schedule(std::string name, UnixTime interval,
+                             std::function<void()> job) {
+  jobs_.push_back(Job{std::move(name), interval, clock_->Now() + interval,
+                      std::move(job)});
+}
+
+int CronScheduler::RunDue() {
+  const UnixTime now = clock_->Now();
+  int fired = 0;
+  for (Job& job : jobs_) {
+    if (now < job.next_due) {
+      continue;
+    }
+    job.run();
+    ++fired;
+    // Align the next firing to the schedule, skipping missed windows.
+    job.next_due += job.interval;
+    if (job.next_due <= now) {
+      job.next_due = now + job.interval;
+    }
+  }
+  return fired;
+}
+
+UnixTime CronScheduler::NextDue() const {
+  UnixTime earliest = 0;
+  for (const Job& job : jobs_) {
+    if (earliest == 0 || job.next_due < earliest) {
+      earliest = job.next_due;
+    }
+  }
+  return earliest;
+}
+
+}  // namespace moira

@@ -1,0 +1,48 @@
+// A minimal cron substrate (paper section 5.7): "the DCM is invoked
+// regularly by cron at intervals which become the minimum update time for
+// any service", and nightly.sh runs the backups.  Jobs fire against the
+// injected clock, so simulated days replay instantly in tests and benches.
+#ifndef MOIRA_SRC_DCM_CRON_H_
+#define MOIRA_SRC_DCM_CRON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace moira {
+
+class CronScheduler {
+ public:
+  explicit CronScheduler(const Clock* clock) : clock_(clock) {}
+
+  // Registers a job firing every `interval` seconds, first due one interval
+  // from now.
+  void Schedule(std::string name, UnixTime interval, std::function<void()> job);
+
+  // Fires every job whose due time has arrived (each at most once per call,
+  // as cron would — a missed window is not replayed N times).  Returns the
+  // number of jobs fired.
+  int RunDue();
+
+  // Earliest due time across all jobs; 0 if none scheduled.
+  UnixTime NextDue() const;
+
+  size_t job_count() const { return jobs_.size(); }
+
+ private:
+  struct Job {
+    std::string name;
+    UnixTime interval;
+    UnixTime next_due;
+    std::function<void()> run;
+  };
+
+  const Clock* clock_;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_DCM_CRON_H_

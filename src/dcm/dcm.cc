@@ -1,0 +1,292 @@
+#include "src/dcm/dcm.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/checksum.h"
+#include "src/common/strutil.h"
+
+namespace moira {
+
+// Snapshot of one servers-relation row the DCM works from.
+struct Dcm::ServiceRow {
+  size_t row = 0;
+  std::string name;
+  int64_t interval_minutes = 0;
+  std::string target;
+  int64_t dfgen = 0;
+  int64_t dfcheck = 0;
+  std::string type;
+  bool enable = false;
+  bool harderror = false;
+};
+
+Dcm::Dcm(MoiraContext* mc, KerberosRealm* realm, ZephyrBus* zephyr, HostDirectory* hosts)
+    : mc_(mc),
+      zephyr_(zephyr),
+      hosts_(hosts),
+      update_client_(realm, kDcmPrincipal, "dcm-service-password") {
+  // Register the DCM's own principal so it can obtain update tickets.
+  realm->AddPrincipal(kDcmPrincipal, "dcm-service-password");
+}
+
+void Dcm::ConfigureService(const std::string& service, DcmServiceConfig config) {
+  configs_[ToUpperCopy(service)] = std::move(config);
+}
+
+const GeneratorResult* Dcm::StagedPayload(const std::string& service) const {
+  auto it = staged_.find(ToUpperCopy(service));
+  return it != staged_.end() ? &it->second : nullptr;
+}
+
+bool Dcm::GenerationDue(const ServiceRow& service) const {
+  return mc_->Now() >= service.dfcheck + service.interval_minutes * kSecondsPerMinute;
+}
+
+bool Dcm::TablesChangedSince(const DcmServiceConfig& config, UnixTime since) const {
+  for (const std::string& table_name : config.relevant_tables) {
+    const Table* table = mc_->db().GetTable(table_name);
+    if (table != nullptr && table->stats().modtime > since) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Dcm::ReportHardError(const std::string& where, const std::string& message) {
+  // Paper section 5.7.1: a zephyr message is sent to class MOIRA instance
+  // DCM indicating the error.
+  zephyr_->Send("MOIRA", "DCM", "dcm", where + ": " + message);
+}
+
+void Dcm::GeneratePhase(const ServiceRow& service, DcmRunSummary* summary) {
+  auto config_it = configs_.find(service.name);
+  Table* servers = mc_->servers();
+  ScopedLock lock(&locks_, "service:" + service.name, LockManager::Mode::kExclusive);
+  if (!lock.held()) {
+    return;  // another DCM is generating this service right now
+  }
+  MoiraContext::SetCellInternal(servers, service.row, "inprogress", Value(int64_t{1}));
+  const UnixTime now = mc_->Now();
+  // Incremental check: only rebuild if a relevant table changed since the
+  // files were last generated (paper section 5.1.E).
+  if (staged_.contains(service.name) &&
+      !TablesChangedSince(config_it->second, service.dfgen)) {
+    MoiraContext::SetCellInternal(servers, service.row, "dfcheck", Value(now));
+    ++summary->services_no_change;
+    MoiraContext::SetCellInternal(servers, service.row, "inprogress", Value(int64_t{0}));
+    return;
+  }
+  GeneratorResult result;
+  int32_t code = config_it->second.generator(*mc_, &result);
+  if (code != MR_SUCCESS) {
+    MoiraContext::SetCellInternal(servers, service.row, "harderror", Value(int64_t{code}));
+    MoiraContext::SetCellInternal(servers, service.row, "errmsg", Value(ErrorMessage(code)));
+    ReportHardError("generator " + service.name, ErrorMessage(code));
+    ++summary->generation_hard_errors;
+    MoiraContext::SetCellInternal(servers, service.row, "inprogress", Value(int64_t{0}));
+    return;
+  }
+  // Count distinct generated files: per-host members with identical content
+  // (e.g. a shared credentials file) count once.
+  std::set<std::pair<std::string, uint32_t>> distinct;
+  for (const auto& [name, contents] : result.common.members()) {
+    distinct.emplace(name, Crc32(contents));
+  }
+  for (const auto& [host, archive] : result.per_host) {
+    for (const auto& [name, contents] : archive.members()) {
+      distinct.emplace(name, Crc32(contents));
+    }
+  }
+  summary->files_generated += static_cast<int>(distinct.size());
+  staged_[service.name] = std::move(result);
+  MoiraContext::SetCellInternal(servers, service.row, "dfgen", Value(now));
+  MoiraContext::SetCellInternal(servers, service.row, "dfcheck", Value(now));
+  ++summary->services_generated;
+  MoiraContext::SetCellInternal(servers, service.row, "inprogress", Value(int64_t{0}));
+}
+
+void Dcm::HostScanPhase(const ServiceRow& service, DcmRunSummary* summary) {
+  auto staged_it = staged_.find(service.name);
+  if (staged_it == staged_.end()) {
+    // Nothing staged (e.g. the DCM restarted): regenerate on demand without
+    // touching dfgen so host due-ness is preserved.
+    auto config_it = configs_.find(service.name);
+    GeneratorResult result;
+    if (config_it->second.generator(*mc_, &result) != MR_SUCCESS) {
+      return;
+    }
+    staged_it = staged_.emplace(service.name, std::move(result)).first;
+  }
+  // Replicated services are locked exclusively during the host scan; unique
+  // services share the lock (paper section 5.7.1).
+  LockManager::Mode mode = service.type == "REPLICAT" ? LockManager::Mode::kExclusive
+                                                      : LockManager::Mode::kShared;
+  ScopedLock service_lock(&locks_, "service:" + service.name, mode);
+  if (!service_lock.held()) {
+    return;
+  }
+  Table* servers = mc_->servers();
+  Table* sh = mc_->serverhosts();
+  int service_col = sh->ColumnIndex("service");
+  const UnixTime dfgen = MoiraContext::IntCell(servers, service.row, "dfgen");
+  std::vector<size_t> host_rows =
+      sh->Match({Condition{service_col, Condition::Op::kEq, Value(service.name)}});
+  bool replicated_halt = false;
+  for (size_t row : host_rows) {
+    if (replicated_halt) {
+      break;
+    }
+    if (MoiraContext::IntCell(sh, row, "enable") == 0 ||
+        MoiraContext::IntCell(sh, row, "hosterror") != 0) {
+      continue;
+    }
+    bool override_set = MoiraContext::IntCell(sh, row, "override") != 0;
+    if (!override_set && MoiraContext::IntCell(sh, row, "lts") >= dfgen) {
+      continue;  // already has the current files
+    }
+    RowRef mach = mc_->ExactOne(mc_->machine(), "mach_id",
+                                Value(MoiraContext::IntCell(sh, row, "mach_id")),
+                                MR_MACHINE);
+    if (mach.code != MR_SUCCESS) {
+      continue;
+    }
+    const std::string& machine_name =
+        MoiraContext::StrCell(mc_->machine(), mach.row, "name");
+    ScopedLock host_lock(&locks_, "host:" + machine_name, LockManager::Mode::kExclusive);
+    if (!host_lock.held()) {
+      continue;
+    }
+    MoiraContext::SetCellInternal(sh, row, "inprogress", Value(int64_t{1}));
+    const UnixTime now = mc_->Now();
+    MoiraContext::SetCellInternal(sh, row, "ltt", Value(now));
+    const Archive& archive = staged_it->second.ForHost(machine_name);
+    std::string payload = archive.Serialize();
+    UpdateOutcome outcome =
+        update_client_.Update(hosts_->Find(machine_name), service.target, payload,
+                              configs_[service.name].script);
+    if (outcome.code == MR_SUCCESS) {
+      MoiraContext::SetCellInternal(sh, row, "success", Value(int64_t{1}));
+      MoiraContext::SetCellInternal(sh, row, "lts", Value(now));
+      MoiraContext::SetCellInternal(sh, row, "override", Value(int64_t{0}));
+      MoiraContext::SetCellInternal(sh, row, "hosterrmsg", Value(""));
+      ++summary->hosts_updated;
+      summary->propagations += static_cast<int>(archive.size());
+      summary->bytes_propagated += static_cast<int64_t>(payload.size());
+    } else if (!outcome.hard) {
+      // Soft failure: record the message, retry on a later pass.
+      MoiraContext::SetCellInternal(sh, row, "success", Value(int64_t{0}));
+      MoiraContext::SetCellInternal(sh, row, "hosterrmsg", Value(outcome.message));
+      ++summary->host_soft_failures;
+    } else {
+      // Hard failure: record, notify via zephyr and mail, and for a
+      // replicated service stop updating its other hosts.
+      MoiraContext::SetCellInternal(sh, row, "success", Value(int64_t{0}));
+      MoiraContext::SetCellInternal(sh, row, "hosterror", Value(int64_t{outcome.code}));
+      MoiraContext::SetCellInternal(sh, row, "hosterrmsg", Value(outcome.message));
+      ReportHardError("update " + service.name + "/" + machine_name, outcome.message);
+      zephyr_->Send("MAIL", "moira-maintainers", "dcm",
+                    "update failed hard: " + service.name + "/" + machine_name);
+      ++summary->host_hard_failures;
+      if (service.type == "REPLICAT") {
+        MoiraContext::SetCellInternal(servers, service.row, "harderror",
+                              Value(int64_t{outcome.code}));
+        MoiraContext::SetCellInternal(servers, service.row, "errmsg", Value(outcome.message));
+        replicated_halt = true;
+      }
+    }
+    MoiraContext::SetCellInternal(sh, row, "inprogress", Value(int64_t{0}));
+  }
+}
+
+DcmRunSummary Dcm::RunOnce() {
+  DcmRunSummary summary;
+  // Disable file and dcm_enable state variable (paper section 5.7.1).
+  if (nodcm_) {
+    return summary;
+  }
+  int64_t dcm_enable = 0;
+  if (mc_->GetValue("dcm_enable", &dcm_enable) != MR_SUCCESS || dcm_enable == 0) {
+    return summary;
+  }
+  summary.ran = true;
+  Table* servers = mc_->servers();
+  std::vector<ServiceRow> services;
+  servers->Scan([&](size_t row, const Row&) {
+    ServiceRow service;
+    service.row = row;
+    service.name = MoiraContext::StrCell(servers, row, "name");
+    service.interval_minutes = MoiraContext::IntCell(servers, row, "update_int");
+    service.target = MoiraContext::StrCell(servers, row, "target_file");
+    service.dfgen = MoiraContext::IntCell(servers, row, "dfgen");
+    service.dfcheck = MoiraContext::IntCell(servers, row, "dfcheck");
+    service.type = MoiraContext::StrCell(servers, row, "type");
+    service.enable = MoiraContext::IntCell(servers, row, "enable") != 0;
+    service.harderror = MoiraContext::IntCell(servers, row, "harderror") != 0;
+    services.push_back(std::move(service));
+    return true;
+  });
+  for (const ServiceRow& service : services) {
+    // Qualify: enabled, no hard errors, non-zero interval, generator exists.
+    if (!service.enable || service.harderror || service.interval_minutes <= 0 ||
+        !configs_.contains(service.name)) {
+      continue;
+    }
+    ++summary.services_considered;
+    if (GenerationDue(service)) {
+      GeneratePhase(service, &summary);
+    }
+    // The hosts are scanned for every qualified service, regardless of
+    // whether it was time to build data files (paper section 5.7.1).
+    ServiceRow refreshed = service;
+    refreshed.dfgen = MoiraContext::IntCell(servers, service.row, "dfgen");
+    if (MoiraContext::IntCell(servers, service.row, "harderror") != 0) {
+      continue;  // generation just failed hard
+    }
+    HostScanPhase(refreshed, &summary);
+  }
+  return summary;
+}
+
+void ConfigureStandardServices(Dcm* dcm) {
+  // HESIOD: 11 .db files extracted one at a time and swapped in atomically,
+  // then the name server is killed and restarted to reload them.
+  std::string hesiod_script;
+  for (const char* file :
+       {"cluster.db", "filsys.db", "gid.db", "group.db", "grplist.db", "passwd.db",
+        "pobox.db", "printcap.db", "service.db", "sloc.db", "uid.db"}) {
+    hesiod_script += std::string("extract ") + file + " /etc/athena/hesiod/" + file + "\n";
+    hesiod_script += std::string("install /etc/athena/hesiod/") + file + "\n";
+  }
+  hesiod_script += "exec restart_hesiod\n";
+  dcm->ConfigureService(
+      "HESIOD",
+      DcmServiceConfig{GenerateHesiod,
+                       {kUsersTable, kMachineTable, kClusterTable, kMcmapTable, kSvcTable,
+                        kListTable, kMembersTable, kFilesysTable, kPrintcapTable,
+                        kServicesTable, kServerHostsTable},
+                       hesiod_script});
+
+  // NFS: partition files and credentials, then the quota/locker script runs.
+  dcm->ConfigureService(
+      "NFS", DcmServiceConfig{GenerateNfs,
+                              {kUsersTable, kListTable, kMembersTable, kFilesysTable,
+                               kNfsPhysTable, kNfsQuotaTable, kServerHostsTable},
+                              "syncdir /site/moira\nexec update_lockers\n"});
+
+  // SMTP (mail hub): the aliases file is staged but not auto-installed — the
+  // mail spool must be disabled during the switchover (paper section 5.8.2).
+  dcm->ConfigureService(
+      "SMTP", DcmServiceConfig{GenerateMail,
+                               {kUsersTable, kListTable, kMembersTable, kMachineTable,
+                                kStringsTable},
+                               "syncdir /usr/lib/moira.staged\n"});
+
+  // ZEPHYR: acl files installed and the servers restarted.
+  dcm->ConfigureService(
+      "ZEPHYR", DcmServiceConfig{GenerateZephyrAcls,
+                                 {kZephyrTable, kListTable, kMembersTable, kUsersTable},
+                                 "syncdir /etc/athena/zephyr/acl\nexec restart_zephyrd\n"});
+}
+
+}  // namespace moira

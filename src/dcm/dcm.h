@@ -1,0 +1,100 @@
+// The Data Control Manager (paper section 5.7).
+//
+// Invoked regularly by cron (here: RunOnce()), the DCM scans the services
+// table for services that are enabled, error-free, and due; generates their
+// server files (skipping generation with MR_NO_CHANGE when no relevant table
+// changed since dfgen); then scans the serverhosts table and pushes the
+// generated files to every enabled, error-free host that has not been updated
+// since the files were generated (or has override set), via the update
+// protocol of section 5.9.  Hard errors raise a zephyrgram on class MOIRA
+// instance DCM.
+#ifndef MOIRA_SRC_DCM_DCM_H_
+#define MOIRA_SRC_DCM_DCM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/context.h"
+#include "src/dcm/generators.h"
+#include "src/dcm/locks.h"
+#include "src/update/sim_host.h"
+#include "src/update/update_client.h"
+#include "src/zephyrd/zephyr_bus.h"
+
+namespace moira {
+
+// The principal the DCM authenticates as for host updates.
+inline constexpr char kDcmPrincipal[] = "moira.dcm";
+
+struct DcmServiceConfig {
+  GeneratorFn generator;
+  // Tables whose modification invalidates this service's generated files.
+  std::vector<std::string> relevant_tables;
+  // The install instruction sequence shipped to the hosts (the "script"
+  // column names it; the DCM owns the content, one per service).
+  std::string script;
+};
+
+struct DcmRunSummary {
+  bool ran = false;             // false if /etc/nodcm or dcm_enable=0
+  int services_considered = 0;
+  int services_generated = 0;   // generators that produced fresh files
+  int services_no_change = 0;   // skipped via MR_NO_CHANGE
+  int generation_hard_errors = 0;
+  int hosts_updated = 0;
+  int host_soft_failures = 0;
+  int host_hard_failures = 0;
+  int64_t bytes_propagated = 0;
+  int files_generated = 0;      // total archive members across fresh payloads
+  int propagations = 0;         // file deliveries: members x hosts reached
+};
+
+class Dcm {
+ public:
+  Dcm(MoiraContext* mc, KerberosRealm* realm, ZephyrBus* zephyr, HostDirectory* hosts);
+
+  // Registers the generator, incremental-check table list, and install
+  // script for a service name (uppercase, matching the servers relation).
+  void ConfigureService(const std::string& service, DcmServiceConfig config);
+
+  // The /etc/nodcm disable file (paper section 5.7.1).
+  void set_nodcm(bool nodcm) { nodcm_ = nodcm; }
+
+  // One cron-invoked DCM pass over all services and hosts.
+  DcmRunSummary RunOnce();
+
+  // The generated payload currently staged for a service (empty name -> the
+  // common archive).  Exposed for tests and benches.
+  const GeneratorResult* StagedPayload(const std::string& service) const;
+
+  LockManager& locks() { return locks_; }
+
+ private:
+  struct ServiceRow;
+
+  bool GenerationDue(const ServiceRow& service) const;
+  bool TablesChangedSince(const DcmServiceConfig& config, UnixTime since) const;
+  void GeneratePhase(const ServiceRow& service, DcmRunSummary* summary);
+  void HostScanPhase(const ServiceRow& service, DcmRunSummary* summary);
+  void ReportHardError(const std::string& where, const std::string& message);
+
+  MoiraContext* mc_;
+  ZephyrBus* zephyr_;
+  HostDirectory* hosts_;
+  UpdateClient update_client_;
+  LockManager locks_;
+  std::map<std::string, DcmServiceConfig> configs_;
+  std::map<std::string, GeneratorResult> staged_;
+  bool nodcm_ = false;
+};
+
+// Installs the four standard Athena services' generators and scripts
+// (HESIOD, NFS, SMTP, ZEPHYR) with the relevant-table lists used for
+// incremental generation.
+void ConfigureStandardServices(Dcm* dcm);
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_DCM_DCM_H_

@@ -1,0 +1,100 @@
+#include <set>
+
+#include "src/core/acl.h"
+#include "src/dcm/generators.h"
+
+namespace moira {
+namespace {
+
+// Recursive expansion with cycle protection.
+void ExpandInto(MoiraContext& mc, int64_t list_id, bool active_only,
+                std::set<int64_t>* seen_lists, std::set<std::string>* out) {
+  if (!seen_lists->insert(list_id).second) {
+    return;
+  }
+  Table* members = mc.members();
+  int list_col = members->ColumnIndex("list_id");
+  int type_col = members->ColumnIndex("member_type");
+  int id_col = members->ColumnIndex("member_id");
+  for (size_t row :
+       members->Match({Condition{list_col, Condition::Op::kEq, Value(list_id)}})) {
+    const std::string& type = members->Cell(row, type_col).AsString();
+    int64_t member_id = members->Cell(row, id_col).AsInt();
+    if (type == "USER") {
+      RowRef user = mc.ExactOne(mc.users(), "users_id", Value(member_id), MR_USER);
+      if (user.code != MR_SUCCESS) {
+        continue;
+      }
+      if (active_only &&
+          MoiraContext::IntCell(mc.users(), user.row, "status") != kUserActive) {
+        continue;
+      }
+      out->insert(MoiraContext::StrCell(mc.users(), user.row, "login"));
+    } else if (type == "LIST") {
+      ExpandInto(mc, member_id, active_only, seen_lists, out);
+    } else if (type == "STRING") {
+      out->insert(mc.StringById(member_id));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> ExpandListToLogins(MoiraContext& mc, int64_t list_id,
+                                            bool active_only) {
+  std::set<int64_t> seen;
+  std::set<std::string> logins;
+  ExpandInto(mc, list_id, active_only, &seen, &logins);
+  return {logins.begin(), logins.end()};
+}
+
+std::map<int64_t, std::vector<GroupMembership>> BuildUserGroupMap(MoiraContext& mc) {
+  std::map<int64_t, std::vector<GroupMembership>> out;
+  Table* lists = mc.list();
+  int active_col = lists->ColumnIndex("active");
+  int group_col = lists->ColumnIndex("grouplist");
+  int id_col = lists->ColumnIndex("list_id");
+  int gid_col = lists->ColumnIndex("gid");
+  int name_col = lists->ColumnIndex("name");
+  // For each active group list, expand to users once, then invert.
+  Table* users = mc.users();
+  int login_col = users->ColumnIndex("login");
+  int users_id_col = users->ColumnIndex("users_id");
+  std::map<std::string, int64_t> login_to_id;
+  users->Scan([&](size_t, const Row& r) {
+    login_to_id[r[login_col].AsString()] = r[users_id_col].AsInt();
+    return true;
+  });
+  lists->Scan([&](size_t, const Row& r) {
+    if (r[active_col].AsInt() == 0 || r[group_col].AsInt() == 0) {
+      return true;
+    }
+    GroupMembership membership{r[name_col].AsString(), r[gid_col].AsInt()};
+    for (const std::string& login :
+         ExpandListToLogins(mc, r[id_col].AsInt(), /*active_only=*/true)) {
+      auto it = login_to_id.find(login);
+      if (it != login_to_id.end()) {
+        out[it->second].push_back(membership);
+      }
+    }
+    return true;
+  });
+  return out;
+}
+
+std::string PasswdLine(MoiraContext& mc, size_t user_row) {
+  const Table* users = mc.users();
+  const std::string& login = MoiraContext::StrCell(users, user_row, "login");
+  std::string line = login;
+  line += ":*:";
+  line += std::to_string(MoiraContext::IntCell(users, user_row, "uid"));
+  line += ":101:";  // the default workstation group, as in the paper's examples
+  line += MoiraContext::StrCell(users, user_row, "fullname");
+  line += ",,,,:/mit/";
+  line += login;
+  line += ":";
+  line += MoiraContext::StrCell(users, user_row, "shell");
+  return line;
+}
+
+}  // namespace moira

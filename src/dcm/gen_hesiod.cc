@@ -1,0 +1,234 @@
+// Hesiod generator: the 11 BIND-format .db files of paper section 5.8.2.
+// All hesiod target machines receive identical files, so the DCM prepares one
+// archive and propagates it to every target host.
+#include <map>
+#include <set>
+
+#include "src/common/strutil.h"
+#include "src/dcm/generators.h"
+
+namespace moira {
+namespace {
+
+// Formats one UNSPECA record line.
+std::string UnspecA(std::string_view key, std::string_view data) {
+  return std::string(key) + " HS UNSPECA \"" + std::string(data) + "\"\n";
+}
+
+std::string Cname(std::string_view key, std::string_view target) {
+  return std::string(key) + " HS CNAME " + std::string(target) + "\n";
+}
+
+std::string MachineNameById(MoiraContext& mc, int64_t mach_id) {
+  RowRef mach = mc.ExactOne(mc.machine(), "mach_id", Value(mach_id), MR_MACHINE);
+  return mach.code == MR_SUCCESS ? MoiraContext::StrCell(mc.machine(), mach.row, "name")
+                                 : "???";
+}
+
+// cluster.db: per-cluster service data plus a CNAME for every machine; a
+// machine in several clusters gets a pseudo-cluster with the union of the
+// data (paper section 5.8.2, CLUSTER.DB).
+std::string BuildClusterDb(MoiraContext& mc) {
+  std::string out =
+      "; lines for per-cluster info (type UNSPECA)\n"
+      "; and a line for each machine (CNAME referring to one of the lines above)\n;\n";
+  Table* cluster = mc.cluster();
+  Table* svc = mc.svc();
+  Table* mcmap = mc.mcmap();
+  int svc_clu_col = svc->ColumnIndex("clu_id");
+  std::map<int64_t, std::string> cluster_names;
+  std::map<int64_t, std::vector<std::string>> cluster_data;  // clu_id -> "label data"
+  cluster->Scan([&](size_t row, const Row&) {
+    int64_t clu_id = MoiraContext::IntCell(cluster, row, "clu_id");
+    cluster_names[clu_id] = MoiraContext::StrCell(cluster, row, "name");
+    return true;
+  });
+  svc->Scan([&](size_t row, const Row& r) {
+    cluster_data[r[svc_clu_col].AsInt()].push_back(
+        MoiraContext::StrCell(svc, row, "serv_label") + " " +
+        MoiraContext::StrCell(svc, row, "serv_cluster"));
+    return true;
+  });
+  for (const auto& [clu_id, name] : cluster_names) {
+    for (const std::string& data : cluster_data[clu_id]) {
+      out += UnspecA(name + ".cluster", data);
+    }
+  }
+  // Machine memberships.
+  int map_mach_col = mcmap->ColumnIndex("mach_id");
+  int map_clu_col = mcmap->ColumnIndex("clu_id");
+  std::map<int64_t, std::vector<int64_t>> machine_clusters;
+  mcmap->Scan([&](size_t, const Row& r) {
+    machine_clusters[r[map_mach_col].AsInt()].push_back(r[map_clu_col].AsInt());
+    return true;
+  });
+  for (const auto& [mach_id, clusters] : machine_clusters) {
+    std::string machine_name = MachineNameById(mc, mach_id);
+    if (clusters.size() == 1) {
+      out += Cname(machine_name + ".cluster", cluster_names[clusters[0]] + ".cluster");
+      continue;
+    }
+    // Pseudo-cluster: union of the member clusters' data.
+    std::string pseudo = ToLowerCopy(machine_name) + "-pseudo";
+    for (int64_t clu_id : clusters) {
+      for (const std::string& data : cluster_data[clu_id]) {
+        out += UnspecA(pseudo + ".cluster", data);
+      }
+    }
+    out += Cname(machine_name + ".cluster", pseudo + ".cluster");
+  }
+  return out;
+}
+
+std::string BuildFilsysDb(MoiraContext& mc) {
+  std::string out;
+  Table* filesys = mc.filesys();
+  filesys->Scan([&](size_t row, const Row&) {
+    const std::string& type = MoiraContext::StrCell(filesys, row, "type");
+    if (type == "ERR") {
+      return true;
+    }
+    std::string machine =
+        ToLowerCopy(MachineNameById(mc, MoiraContext::IntCell(filesys, row, "mach_id")));
+    out += UnspecA(MoiraContext::StrCell(filesys, row, "label") + ".filsys",
+                   type + " " + MoiraContext::StrCell(filesys, row, "name") + " " + machine +
+                       " " + MoiraContext::StrCell(filesys, row, "access") + " " +
+                       MoiraContext::StrCell(filesys, row, "mount"));
+    return true;
+  });
+  return out;
+}
+
+// group.db / gid.db / grplist.db share the active-group scan.
+void BuildGroupFiles(MoiraContext& mc, std::string* group_db, std::string* gid_db,
+                     std::string* grplist_db) {
+  Table* lists = mc.list();
+  int active_col = lists->ColumnIndex("active");
+  int group_col = lists->ColumnIndex("grouplist");
+  lists->Scan([&](size_t row, const Row& r) {
+    if (r[active_col].AsInt() == 0 || r[group_col].AsInt() == 0) {
+      return true;
+    }
+    const std::string& name = MoiraContext::StrCell(lists, row, "name");
+    int64_t gid = MoiraContext::IntCell(lists, row, "gid");
+    *group_db += UnspecA(name + ".group", name + ":*:" + std::to_string(gid) + ":");
+    *gid_db += Cname(std::to_string(gid) + ".gid", name + ".group");
+    return true;
+  });
+  // grplist.db: one entry per active user listing (groupname, gid) pairs.
+  std::map<int64_t, std::vector<GroupMembership>> user_groups = BuildUserGroupMap(mc);
+  Table* users = mc.users();
+  int status_col = users->ColumnIndex("status");
+  int users_id_col = users->ColumnIndex("users_id");
+  users->Scan([&](size_t row, const Row& r) {
+    if (r[status_col].AsInt() != kUserActive) {
+      return true;
+    }
+    const std::string& login = MoiraContext::StrCell(users, row, "login");
+    std::string data = login;
+    auto it = user_groups.find(r[users_id_col].AsInt());
+    if (it != user_groups.end()) {
+      // The user's own group (named after the login) leads, as in the
+      // paper's examples.
+      for (const GroupMembership& m : it->second) {
+        if (m.group_name == login) {
+          data += ":" + std::to_string(m.gid);
+        }
+      }
+      for (const GroupMembership& m : it->second) {
+        if (m.group_name != login) {
+          data += ":" + m.group_name + ":" + std::to_string(m.gid);
+        }
+      }
+    }
+    *grplist_db += UnspecA(login + ".grplist", data);
+    return true;
+  });
+}
+
+void BuildUserFiles(MoiraContext& mc, std::string* passwd_db, std::string* uid_db,
+                    std::string* pobox_db) {
+  Table* users = mc.users();
+  int status_col = users->ColumnIndex("status");
+  users->Scan([&](size_t row, const Row& r) {
+    if (r[status_col].AsInt() != kUserActive) {
+      return true;
+    }
+    const std::string& login = MoiraContext::StrCell(users, row, "login");
+    *passwd_db += UnspecA(login + ".passwd", PasswdLine(mc, row));
+    *uid_db += Cname(std::to_string(MoiraContext::IntCell(users, row, "uid")) + ".uid",
+                     login + ".passwd");
+    if (MoiraContext::StrCell(users, row, "potype") == "POP") {
+      std::string machine = MachineNameById(mc, MoiraContext::IntCell(users, row, "pop_id"));
+      *pobox_db += UnspecA(login + ".pobox", "POP " + machine + " " + login);
+    }
+    return true;
+  });
+}
+
+std::string BuildPrintcapDb(MoiraContext& mc) {
+  std::string out;
+  Table* printcap = mc.printcap();
+  printcap->Scan([&](size_t row, const Row&) {
+    const std::string& name = MoiraContext::StrCell(printcap, row, "name");
+    std::string machine =
+        MachineNameById(mc, MoiraContext::IntCell(printcap, row, "mach_id"));
+    out += UnspecA(name + ".pcap",
+                   name + ":rp=" + MoiraContext::StrCell(printcap, row, "rp") +
+                       ":rm=" + machine +
+                       ":sd=" + MoiraContext::StrCell(printcap, row, "dir"));
+    return true;
+  });
+  return out;
+}
+
+std::string BuildServiceDb(MoiraContext& mc) {
+  std::string out;
+  Table* services = mc.services();
+  services->Scan([&](size_t row, const Row&) {
+    const std::string& name = MoiraContext::StrCell(services, row, "name");
+    out += UnspecA(name + ".service",
+                   name + " " + ToLowerCopy(MoiraContext::StrCell(services, row, "protocol")) +
+                       " " + std::to_string(MoiraContext::IntCell(services, row, "port")));
+    return true;
+  });
+  return out;
+}
+
+std::string BuildSlocDb(MoiraContext& mc) {
+  std::string out;
+  Table* sh = mc.serverhosts();
+  sh->Scan([&](size_t row, const Row&) {
+    out += MoiraContext::StrCell(sh, row, "service") + ".sloc HS UNSPECA " +
+           MachineNameById(mc, MoiraContext::IntCell(sh, row, "mach_id")) + "\n";
+    return true;
+  });
+  return out;
+}
+
+}  // namespace
+
+int32_t GenerateHesiod(MoiraContext& mc, GeneratorResult* out) {
+  std::string group_db;
+  std::string gid_db;
+  std::string grplist_db;
+  BuildGroupFiles(mc, &group_db, &gid_db, &grplist_db);
+  std::string passwd_db;
+  std::string uid_db;
+  std::string pobox_db;
+  BuildUserFiles(mc, &passwd_db, &uid_db, &pobox_db);
+  out->common.Add("cluster.db", BuildClusterDb(mc));
+  out->common.Add("filsys.db", BuildFilsysDb(mc));
+  out->common.Add("gid.db", std::move(gid_db));
+  out->common.Add("group.db", std::move(group_db));
+  out->common.Add("grplist.db", std::move(grplist_db));
+  out->common.Add("passwd.db", std::move(passwd_db));
+  out->common.Add("pobox.db", std::move(pobox_db));
+  out->common.Add("printcap.db", BuildPrintcapDb(mc));
+  out->common.Add("service.db", BuildServiceDb(mc));
+  out->common.Add("sloc.db", BuildSlocDb(mc));
+  out->common.Add("uid.db", std::move(uid_db));
+  return MR_SUCCESS;
+}
+
+}  // namespace moira

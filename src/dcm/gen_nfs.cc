@@ -1,0 +1,156 @@
+// NFS generator (paper section 5.8.2): per-server partition .dirs and
+// .quotas files plus the credentials file.  Unlike Hesiod, every NFS server
+// receives different partition files, so the payloads are per-host.
+#include <map>
+
+#include "src/common/strutil.h"
+#include "src/dcm/generators.h"
+
+namespace moira {
+namespace {
+
+// Flattens a partition directory ("/u1") into a file-name stem ("u1").
+std::string PartitionStem(std::string_view dir) {
+  std::string out;
+  for (char c : dir) {
+    if (c == '/') {
+      if (!out.empty()) {
+        out += '_';
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out.empty() ? "root" : out;
+}
+
+// Builds the credentials contents for every active user (the master file),
+// or for the membership of `list_id` if non-negative.
+std::string BuildCredentials(MoiraContext& mc,
+                             const std::map<int64_t, std::vector<GroupMembership>>& groups,
+                             int64_t list_id) {
+  std::string out;
+  Table* users = mc.users();
+  int status_col = users->ColumnIndex("status");
+  int users_id_col = users->ColumnIndex("users_id");
+  std::map<std::string, bool> allowed;
+  bool restrict = list_id >= 0;
+  if (restrict) {
+    for (const std::string& login : ExpandListToLogins(mc, list_id, /*active_only=*/true)) {
+      allowed[login] = true;
+    }
+  }
+  users->Scan([&](size_t row, const Row& r) {
+    if (r[status_col].AsInt() != kUserActive) {
+      return true;
+    }
+    const std::string& login = MoiraContext::StrCell(users, row, "login");
+    if (restrict && !allowed.contains(login)) {
+      return true;
+    }
+    out += login;
+    out += ":";
+    out += std::to_string(MoiraContext::IntCell(users, row, "uid"));
+    auto it = groups.find(r[users_id_col].AsInt());
+    if (it != groups.end()) {
+      for (const GroupMembership& m : it->second) {
+        out += ":" + std::to_string(m.gid);
+      }
+    }
+    out += "\n";
+    return true;
+  });
+  return out;
+}
+
+}  // namespace
+
+int32_t GenerateNfs(MoiraContext& mc, GeneratorResult* out) {
+  std::map<int64_t, std::vector<GroupMembership>> groups = BuildUserGroupMap(mc);
+  std::string master_credentials = BuildCredentials(mc, groups, -1);
+
+  // Index filesystems and quotas by physical partition.
+  Table* filesys = mc.filesys();
+  Table* quota = mc.nfsquota();
+  Table* phys = mc.nfsphys();
+  Table* users = mc.users();
+  std::map<int64_t, std::string> dirs_by_phys;
+  std::map<int64_t, std::string> quotas_by_phys;
+
+  int fs_phys_col = filesys->ColumnIndex("phys_id");
+  int fs_create_col = filesys->ColumnIndex("createflg");
+  filesys->Scan([&](size_t row, const Row& r) {
+    if (MoiraContext::StrCell(filesys, row, "type") != "NFS" ||
+        r[fs_create_col].AsInt() == 0) {
+      return true;
+    }
+    // directory name, owning uid, owning gid, locker type.
+    int64_t owner_id = MoiraContext::IntCell(filesys, row, "owner");
+    int64_t owners_list = MoiraContext::IntCell(filesys, row, "owners");
+    RowRef owner = mc.ExactOne(users, "users_id", Value(owner_id), MR_USER);
+    int64_t uid = owner.code == MR_SUCCESS ? MoiraContext::IntCell(users, owner.row, "uid")
+                                           : 0;
+    RowRef group = mc.ExactOne(mc.list(), "list_id", Value(owners_list), MR_LIST);
+    int64_t gid = group.code == MR_SUCCESS
+                      ? MoiraContext::IntCell(mc.list(), group.row, "gid")
+                      : 0;
+    dirs_by_phys[r[fs_phys_col].AsInt()] +=
+        MoiraContext::StrCell(filesys, row, "name") + " " + std::to_string(uid) + " " +
+        std::to_string(gid) + " " + MoiraContext::StrCell(filesys, row, "lockertype") + "\n";
+    return true;
+  });
+
+  int q_phys_col = quota->ColumnIndex("phys_id");
+  int q_user_col = quota->ColumnIndex("users_id");
+  int q_quota_col = quota->ColumnIndex("quota");
+  quota->Scan([&](size_t, const Row& r) {
+    RowRef user = mc.ExactOne(users, "users_id", Value(r[q_user_col].AsInt()), MR_USER);
+    int64_t uid = user.code == MR_SUCCESS ? MoiraContext::IntCell(users, user.row, "uid") : 0;
+    quotas_by_phys[r[q_phys_col].AsInt()] +=
+        std::to_string(uid) + " " + std::to_string(r[q_quota_col].AsInt()) + "\n";
+    return true;
+  });
+
+  // Assemble one archive per NFS serverhost.
+  Table* sh = mc.serverhosts();
+  int sh_service_col = sh->ColumnIndex("service");
+  int sh_mach_col = sh->ColumnIndex("mach_id");
+  int sh_value3_col = sh->ColumnIndex("value3");
+  for (size_t row :
+       sh->Match({Condition{sh_service_col, Condition::Op::kEq, Value("NFS")}})) {
+    int64_t mach_id = sh->Cell(row, sh_mach_col).AsInt();
+    RowRef mach = mc.ExactOne(mc.machine(), "mach_id", Value(mach_id), MR_MACHINE);
+    if (mach.code != MR_SUCCESS) {
+      continue;
+    }
+    const std::string& machine_name = MoiraContext::StrCell(mc.machine(), mach.row, "name");
+    Archive archive;
+    // Per-partition files for every partition exported by this machine.
+    int phys_mach_col = phys->ColumnIndex("mach_id");
+    for (size_t p :
+         phys->Match({Condition{phys_mach_col, Condition::Op::kEq, Value(mach_id)}})) {
+      int64_t phys_id = MoiraContext::IntCell(phys, p, "nfsphys_id");
+      std::string stem = PartitionStem(MoiraContext::StrCell(phys, p, "dir"));
+      archive.Add(stem + ".dirs", dirs_by_phys[phys_id]);
+      archive.Add(stem + ".quotas", quotas_by_phys[phys_id]);
+    }
+    // Which credentials file this server gets is determined by value3: blank
+    // means all active users, otherwise the named list's membership.
+    const std::string& value3 = sh->Cell(row, sh_value3_col).AsString();
+    if (value3.empty()) {
+      archive.Add("credentials", master_credentials);
+    } else {
+      RowRef list = mc.ListByName(value3);
+      archive.Add("credentials",
+                  list.code == MR_SUCCESS
+                      ? BuildCredentials(mc, groups,
+                                         MoiraContext::IntCell(mc.list(), list.row,
+                                                               "list_id"))
+                      : std::string());
+    }
+    out->per_host[machine_name] = std::move(archive);
+  }
+  return MR_SUCCESS;
+}
+
+}  // namespace moira

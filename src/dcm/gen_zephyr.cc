@@ -1,0 +1,42 @@
+// Zephyr ACL generator (paper section 5.8.2): for each controlled class, an
+// acl file with the recursive membership of its access control entities, one
+// entry per line.  Every zephyr server receives the same archive.
+#include "src/dcm/generators.h"
+
+namespace moira {
+namespace {
+
+constexpr const char* kAcePrefixes[4] = {"xmt", "sub", "iws", "iui"};
+
+}  // namespace
+
+int32_t GenerateZephyrAcls(MoiraContext& mc, GeneratorResult* out) {
+  Table* zephyr = mc.zephyr();
+  zephyr->Scan([&](size_t row, const Row&) {
+    const std::string& klass = MoiraContext::StrCell(zephyr, row, "class");
+    std::string contents;
+    for (const char* prefix : kAcePrefixes) {
+      std::string type_col = std::string(prefix) + "_type";
+      std::string id_col = std::string(prefix) + "_id";
+      const std::string& type = MoiraContext::StrCell(zephyr, row, type_col.c_str());
+      int64_t ace_id = MoiraContext::IntCell(zephyr, row, id_col.c_str());
+      contents += std::string("; ") + prefix + "\n";
+      if (type == "NONE") {
+        // An unrestricted function: the wildcard principal.
+        contents += "*.*@*\n";
+      } else if (type == "USER") {
+        contents += mc.AceName(type, ace_id) + "@ATHENA.MIT.EDU\n";
+      } else if (type == "LIST") {
+        for (const std::string& login :
+             ExpandListToLogins(mc, ace_id, /*active_only=*/true)) {
+          contents += login + "@ATHENA.MIT.EDU\n";
+        }
+      }
+    }
+    out->common.Add(klass + ".acl", contents);
+    return true;
+  });
+  return MR_SUCCESS;
+}
+
+}  // namespace moira

@@ -1,0 +1,66 @@
+// Server-specific file generators (paper sections 5.7, 5.8).
+//
+// Each generator is the sub-program the DCM runs to extract Moira data and
+// convert it to one service's format: Hesiod's 11 BIND .db files, the NFS
+// credentials/quotas/directories files, the sendmail aliases file plus the
+// mailhub password file, and the Zephyr ACL files.  A generator produces an
+// archive payload per target (a common one, plus per-host overrides for
+// services like NFS whose files differ per server).
+#ifndef MOIRA_SRC_DCM_GENERATORS_H_
+#define MOIRA_SRC_DCM_GENERATORS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/context.h"
+#include "src/update/archive.h"
+
+namespace moira {
+
+struct GeneratorResult {
+  // Payload shipped to every host of the service...
+  Archive common;
+  // ...unless the host has an override here (keyed by canonical machine
+  // name).  NFS partition files and per-host credentials land here.
+  std::map<std::string, Archive> per_host;
+
+  // The archive that will be shipped to `host`.
+  const Archive& ForHost(const std::string& host) const {
+    auto it = per_host.find(host);
+    return it != per_host.end() ? it->second : common;
+  }
+};
+
+// Returns MR_SUCCESS and fills `out`, or an error code.  Generators do not
+// decide MR_NO_CHANGE themselves; the DCM compares table modtimes first.
+using GeneratorFn = std::function<int32_t(MoiraContext&, GeneratorResult*)>;
+
+int32_t GenerateHesiod(MoiraContext& mc, GeneratorResult* out);
+int32_t GenerateNfs(MoiraContext& mc, GeneratorResult* out);
+int32_t GenerateMail(MoiraContext& mc, GeneratorResult* out);
+int32_t GenerateZephyrAcls(MoiraContext& mc, GeneratorResult* out);
+
+// --- helpers shared by the generators (exposed for tests) ---
+
+// Recursively expands a list to its USER member logins (active users only if
+// `active_only`); STRING members are returned verbatim.
+std::vector<std::string> ExpandListToLogins(MoiraContext& mc, int64_t list_id,
+                                            bool active_only);
+
+// The (login, gid) group pairs of every active group list a user belongs to,
+// directly or through sub-lists.
+struct GroupMembership {
+  std::string group_name;
+  int64_t gid = 0;
+};
+std::map<int64_t, std::vector<GroupMembership>> BuildUserGroupMap(MoiraContext& mc);
+
+// A standard /etc/passwd line for a users-relation row.
+std::string PasswdLine(MoiraContext& mc, size_t user_row);
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_DCM_GENERATORS_H_

@@ -1,0 +1,40 @@
+#include "src/dcm/locks.h"
+
+namespace moira {
+
+bool LockManager::Acquire(std::string_view name, Mode mode) {
+  State& state = locks_[std::string(name)];
+  if (mode == Mode::kExclusive) {
+    if (state.exclusive || state.shared > 0) {
+      return false;
+    }
+    state.exclusive = true;
+    return true;
+  }
+  if (state.exclusive) {
+    return false;
+  }
+  ++state.shared;
+  return true;
+}
+
+void LockManager::Release(std::string_view name, Mode mode) {
+  auto it = locks_.find(name);
+  if (it == locks_.end()) {
+    return;
+  }
+  if (mode == Mode::kExclusive) {
+    it->second.exclusive = false;
+  } else if (it->second.shared > 0) {
+    --it->second.shared;
+  }
+  if (!it->second.exclusive && it->second.shared == 0) {
+    locks_.erase(it);
+  }
+}
+
+bool LockManager::IsLocked(std::string_view name) const {
+  return locks_.contains(name);
+}
+
+}  // namespace moira

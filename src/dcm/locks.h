@@ -1,0 +1,61 @@
+// Shared/exclusive named locks used by the DCM (paper section 5.7.1): a
+// service is locked exclusively while its files are generated, shared (or
+// exclusively for replicated services) during the host scan, and each host is
+// locked exclusively while being updated.  The inprogress database flags are
+// advisory and "not relied upon for locking" — these locks are.
+#ifndef MOIRA_SRC_DCM_LOCKS_H_
+#define MOIRA_SRC_DCM_LOCKS_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace moira {
+
+class LockManager {
+ public:
+  enum class Mode { kShared, kExclusive };
+
+  // Attempts to take the lock; returns false on conflict.
+  bool Acquire(std::string_view name, Mode mode);
+
+  // Releases one hold.  Release of an unheld lock is a no-op.
+  void Release(std::string_view name, Mode mode);
+
+  bool IsLocked(std::string_view name) const;
+
+ private:
+  struct State {
+    int shared = 0;
+    bool exclusive = false;
+  };
+  std::map<std::string, State, std::less<>> locks_;
+};
+
+// RAII lock hold.
+class ScopedLock {
+ public:
+  ScopedLock(LockManager* manager, std::string name, LockManager::Mode mode)
+      : manager_(manager), name_(std::move(name)), mode_(mode) {
+    held_ = manager_->Acquire(name_, mode_);
+  }
+  ~ScopedLock() {
+    if (held_) {
+      manager_->Release(name_, mode_);
+    }
+  }
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+  bool held() const { return held_; }
+
+ private:
+  LockManager* manager_;
+  std::string name_;
+  LockManager::Mode mode_;
+  bool held_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_DCM_LOCKS_H_

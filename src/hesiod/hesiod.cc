@@ -1,0 +1,115 @@
+#include "src/hesiod/hesiod.h"
+
+#include "src/common/strutil.h"
+
+namespace moira {
+namespace {
+
+constexpr int kMaxCnameDepth = 8;
+
+// Splits a record line into whitespace-separated tokens, keeping a trailing
+// quoted string as one token (quotes stripped).
+bool TokenizeLine(std::string_view line, std::vector<std::string>* tokens) {
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) {
+      ++i;
+    }
+    if (i >= line.size()) {
+      break;
+    }
+    if (line[i] == '"') {
+      size_t end = line.find('"', i + 1);
+      if (end == std::string_view::npos) {
+        return false;
+      }
+      tokens->emplace_back(line.substr(i + 1, end - i - 1));
+      i = end + 1;
+    } else {
+      size_t end = i;
+      while (end < line.size() && line[end] != ' ' && line[end] != '\t') {
+        ++end;
+      }
+      tokens->emplace_back(line.substr(i, end - i));
+      i = end;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int HesiodServer::LoadDb(std::string_view text) {
+  int loaded = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos ? text.substr(pos)
+                                                          : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    line = TrimWhitespace(line);
+    if (line.empty() || line[0] == ';') {
+      continue;
+    }
+    std::vector<std::string> tokens;
+    if (!TokenizeLine(line, &tokens) || tokens.size() < 4 || tokens[1] != "HS") {
+      return -1;
+    }
+    HesiodRecord record;
+    if (tokens[2] == "UNSPECA") {
+      record.kind = HesiodRecord::Kind::kUnspecA;
+      record.data = tokens[3];
+    } else if (tokens[2] == "CNAME") {
+      record.kind = HesiodRecord::Kind::kCname;
+      record.data = ToLowerCopy(tokens[3]);
+    } else {
+      return -1;
+    }
+    records_.emplace(ToLowerCopy(tokens[0]), std::move(record));
+    ++loaded;
+  }
+  return loaded;
+}
+
+void HesiodServer::Clear() { records_.clear(); }
+
+std::vector<std::string> HesiodServer::Resolve(std::string_view name,
+                                               std::string_view type) const {
+  std::string key = ToLowerCopy(std::string(name) + "." + std::string(type));
+  std::vector<std::string> out;
+  for (int depth = 0; depth < kMaxCnameDepth; ++depth) {
+    auto [begin, end] = records_.equal_range(key);
+    if (begin == end) {
+      return out;
+    }
+    std::string next_key;
+    for (auto it = begin; it != end; ++it) {
+      if (it->second.kind == HesiodRecord::Kind::kUnspecA) {
+        out.push_back(it->second.data);
+      } else if (next_key.empty()) {
+        next_key = it->second.data;
+      }
+    }
+    if (!out.empty() || next_key.empty()) {
+      return out;
+    }
+    key = next_key;  // chase the CNAME
+  }
+  return out;
+}
+
+int HesiodServer::Reload(const std::vector<std::string>& db_texts) {
+  Clear();
+  int total = 0;
+  for (const std::string& text : db_texts) {
+    int loaded = LoadDb(text);
+    if (loaded < 0) {
+      return -1;
+    }
+    total += loaded;
+  }
+  ++reload_count_;
+  return total;
+}
+
+}  // namespace moira

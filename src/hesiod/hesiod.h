@@ -1,0 +1,52 @@
+// The Hesiod name server (paper section 5.8.2).
+//
+// Hesiod serves BIND HS-class records loaded from the .db files Moira
+// generates: UNSPECA records carrying quoted string data, and CNAME records
+// aliasing one name to another.  The real server loads the files into memory
+// at startup and is restarted by the Moira install script after an update;
+// this implementation does the same via Reload().
+#ifndef MOIRA_SRC_HESIOD_HESIOD_H_
+#define MOIRA_SRC_HESIOD_HESIOD_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moira {
+
+struct HesiodRecord {
+  enum class Kind { kUnspecA, kCname };
+  Kind kind = Kind::kUnspecA;
+  std::string data;  // the quoted payload, or the CNAME target key
+};
+
+class HesiodServer {
+ public:
+  // Parses one .db file's text and merges its records.  Returns the number of
+  // records loaded, or -1 on a malformed line.  Lines starting with ';' are
+  // comments.  Keys ("name.type") are case-insensitive.
+  int LoadDb(std::string_view text);
+
+  // Drops all records (used before re-loading after a Moira update).
+  void Clear();
+
+  // Resolves name.type: returns every UNSPECA data string, following CNAME
+  // chains (bounded depth to survive cycles).  Empty if no match.
+  std::vector<std::string> Resolve(std::string_view name, std::string_view type) const;
+
+  size_t record_count() const { return records_.size(); }
+  int reload_count() const { return reload_count_; }
+
+  // Install-script entry point: clears and reloads from the given file texts,
+  // bumping reload_count (the "kill and restart the server" of the paper).
+  int Reload(const std::vector<std::string>& db_texts);
+
+ private:
+  std::multimap<std::string, HesiodRecord> records_;  // key: lowercase name.type
+  int reload_count_ = 0;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_HESIOD_HESIOD_H_

@@ -1,0 +1,51 @@
+#include "src/hesiod/resolver.h"
+
+#include "src/krb/kerberos.h"  // PackField/UnpackField datagram helpers
+
+namespace moira {
+
+std::string HesiodProtocolServer::HandleQuery(std::string_view packet) const {
+  ++queries_served_;
+  std::string_view view = packet;
+  std::string name;
+  std::string type;
+  std::string reply;
+  if (!UnpackField(&view, &name) || !UnpackField(&view, &type) || !view.empty()) {
+    PackField(&reply, std::to_string(static_cast<uint32_t>(HesiodRcode::kFormErr)));
+    return reply;
+  }
+  std::vector<std::string> answers = server_->Resolve(name, type);
+  HesiodRcode rcode = answers.empty() ? HesiodRcode::kNxDomain : HesiodRcode::kNoError;
+  PackField(&reply, std::to_string(static_cast<uint32_t>(rcode)));
+  for (const std::string& answer : answers) {
+    PackField(&reply, answer);
+  }
+  return reply;
+}
+
+HesiodRcode HesiodResolver::Resolve(std::string_view name, std::string_view type,
+                                    std::vector<std::string>* answers) const {
+  std::string packet;
+  PackField(&packet, name);
+  PackField(&packet, type);
+  std::string reply = transport_(packet);
+  std::string_view view = reply;
+  std::string rcode_field;
+  if (!UnpackField(&view, &rcode_field)) {
+    return HesiodRcode::kFormErr;
+  }
+  answers->clear();
+  std::string answer;
+  while (UnpackField(&view, &answer)) {
+    answers->push_back(std::move(answer));
+  }
+  if (rcode_field == "0") {
+    return HesiodRcode::kNoError;
+  }
+  if (rcode_field == "3") {
+    return HesiodRcode::kNxDomain;
+  }
+  return HesiodRcode::kFormErr;
+}
+
+}  // namespace moira

@@ -1,0 +1,64 @@
+// The Hesiod wire interface: hes_resolve(name, type) over a datagram
+// exchange, as workstation clients (login, attach, lpr, zhm...) used it.
+//
+// The real Hesiod rode BIND's class-HS DNS messages; this reproduction keeps
+// the request/reply shape — a query for (name, type) answered by zero or
+// more strings, with an rcode — over the same counted-field packet framing
+// the rest of this codebase uses for datagrams.
+#ifndef MOIRA_SRC_HESIOD_RESOLVER_H_
+#define MOIRA_SRC_HESIOD_RESOLVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/hesiod/hesiod.h"
+
+namespace moira {
+
+// Reply codes, mirroring DNS rcodes.
+enum class HesiodRcode : uint32_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kNxDomain = 3,
+};
+
+// Server side: answers one query datagram.
+class HesiodProtocolServer {
+ public:
+  explicit HesiodProtocolServer(const HesiodServer* server) : server_(server) {}
+
+  // Parses a query packet {name, type}, resolves, and returns the reply
+  // packet {rcode, answer...}.
+  std::string HandleQuery(std::string_view packet) const;
+
+  uint64_t queries_served() const { return queries_served_; }
+
+ private:
+  const HesiodServer* server_;
+  mutable uint64_t queries_served_ = 0;
+};
+
+// Client side: hes_resolve.
+class HesiodResolver {
+ public:
+  // The transport delivers a query datagram and returns the reply (in tests
+  // and examples this is simply the server's HandleQuery).
+  using Transport = std::function<std::string(std::string_view packet)>;
+
+  explicit HesiodResolver(Transport transport) : transport_(std::move(transport)) {}
+
+  // Resolves name.type.  Returns kNoError and fills `answers`, kNxDomain for
+  // no match, kFormErr for a garbled reply.
+  HesiodRcode Resolve(std::string_view name, std::string_view type,
+                      std::vector<std::string>* answers) const;
+
+ private:
+  Transport transport_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_HESIOD_RESOLVER_H_

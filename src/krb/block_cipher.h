@@ -1,0 +1,35 @@
+// Error-propagating cipher-block-chaining over a toy 64-bit block cipher.
+//
+// SUBSTITUTION (see DESIGN.md): the registration protocol (paper section
+// 5.10) DES-encrypts {IDnumber, hashIDnumber, ...} in "the error propagating
+// cypher-block-chaining mode of DES" keyed by the crypt()ed ID.  The protocol
+// property actually relied upon is that decryption with the wrong key, or of
+// tampered ciphertext, garbles the embedded plaintext ID so verification
+// fails.  PCBC over this keyed 64-bit permutation preserves exactly that
+// property.  This is NOT DES and NOT cryptographically strong.
+#ifndef MOIRA_SRC_KRB_BLOCK_CIPHER_H_
+#define MOIRA_SRC_KRB_BLOCK_CIPHER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace moira {
+
+// Derives a 64-bit cipher key from an arbitrary key string (e.g. the
+// crypt()ed MIT ID, or a Kerberos password).
+uint64_t DeriveBlockKey(std::string_view key_string);
+
+// Encrypts `plaintext` in PCBC mode.  Output length is a multiple of 8 plus
+// an 8-byte length header; arbitrary binary-safe std::string.
+std::string PcbcEncrypt(uint64_t key, std::string_view plaintext);
+
+// Decrypts; returns nullopt if the ciphertext is structurally invalid
+// (wrong framing).  A wrong key yields garbage plaintext, as with real PCBC —
+// callers validate embedded fields, exactly as the registration server does.
+std::optional<std::string> PcbcDecrypt(uint64_t key, std::string_view ciphertext);
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_KRB_BLOCK_CIPHER_H_

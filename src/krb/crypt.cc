@@ -1,0 +1,76 @@
+#include "src/krb/crypt.h"
+
+#include <cstdint>
+
+namespace moira {
+namespace {
+
+constexpr char kAlphabet[] =
+    "./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+
+uint64_t Mix(uint64_t h, uint64_t x) {
+  h ^= x;
+  h *= 0x100000001b3ull;
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 32;
+  return h;
+}
+
+char SaltChar(char c) {
+  // Any byte is accepted as salt but is folded into the crypt alphabet.
+  for (const char* p = kAlphabet; *p != '\0'; ++p) {
+    if (*p == c) {
+      return c;
+    }
+  }
+  return kAlphabet[static_cast<unsigned char>(c) % 64];
+}
+
+}  // namespace
+
+std::string Crypt(std::string_view key, std::string_view salt) {
+  char s0 = SaltChar(salt.empty() ? '.' : salt[0]);
+  char s1 = SaltChar(salt.size() < 2 ? '.' : salt[1]);
+  uint64_t h = 0x6d6f697261ull;  // "moira"
+  h = Mix(h, static_cast<uint64_t>(s0) << 8 | static_cast<uint64_t>(s1));
+  for (char c : key) {
+    h = Mix(h, static_cast<unsigned char>(c));
+  }
+  // Iterate to make the transform mildly expensive, as crypt(3) did with its
+  // 25 DES iterations.
+  for (int i = 0; i < 25; ++i) {
+    h = Mix(h, 0x5deece66dull + static_cast<uint64_t>(i));
+  }
+  std::string out;
+  out.reserve(13);
+  out.push_back(s0);
+  out.push_back(s1);
+  uint64_t bits = h;
+  for (int i = 0; i < 11; ++i) {
+    out.push_back(kAlphabet[bits & 63]);
+    bits >>= 6;
+    if (i == 9) {
+      bits |= static_cast<uint64_t>(Mix(h, 0xa5a5a5a5ull)) << 4;  // top-up for 66 bits
+    }
+  }
+  return out;
+}
+
+std::string HashMitId(std::string_view id_number, std::string_view first_name,
+                      std::string_view last_name) {
+  std::string digits;
+  for (char c : id_number) {
+    if (c != '-') {
+      digits.push_back(c);
+    }
+  }
+  if (digits.size() > 7) {
+    digits = digits.substr(digits.size() - 7);
+  }
+  char salt[2] = {first_name.empty() ? '.' : first_name[0],
+                  last_name.empty() ? '.' : last_name[0]};
+  return Crypt(digits, std::string_view(salt, 2));
+}
+
+}  // namespace moira

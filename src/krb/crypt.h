@@ -1,0 +1,33 @@
+// crypt(3)-style one-way salted hash.
+//
+// SUBSTITUTION (see DESIGN.md): the paper stores each student's MIT ID
+// encrypted with the UNIX C library crypt() function, salted with the first
+// letters of the first and last names (section 5.10).  We reproduce the
+// interface and output format (2 salt characters + 11 hash characters drawn
+// from the ./0-9A-Za-z alphabet) over an iterated 64-bit mixing function.
+// This is NOT DES and NOT suitable for real password storage; it preserves
+// the properties the registration flow needs: deterministic, one-way in
+// practice for this system's purposes, salt-dependent.
+#ifndef MOIRA_SRC_KRB_CRYPT_H_
+#define MOIRA_SRC_KRB_CRYPT_H_
+
+#include <string>
+#include <string_view>
+
+namespace moira {
+
+// Returns a 13-character crypt-format string: salt[0] salt[1] then 11 hash
+// characters.  Only the first two characters of `salt` are used; missing salt
+// characters default to '.'.
+std::string Crypt(std::string_view key, std::string_view salt);
+
+// Convenience for the registration flow: hashes an MIT ID number using the
+// first letter of the first name and first letter of the last name as salt
+// (paper section 5.10).  Hyphens in the ID are removed and only the last
+// seven characters are hashed, as the paper specifies.
+std::string HashMitId(std::string_view id_number, std::string_view first_name,
+                      std::string_view last_name);
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_KRB_CRYPT_H_

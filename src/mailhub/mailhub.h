@@ -1,0 +1,54 @@
+// Mail hub substrate (paper section 5.8.2): the consumer of the
+// /usr/lib/aliases file Moira propagates.
+//
+// The paper notes the aliases file "is not automatically installed on the
+// mailhub because the mail spool must be disabled during the switchover" —
+// so the DCM stages it, and InstallStagedAliases() models the operator's
+// switchover.  Routing resolves aliases transitively, as sendmail does:
+// mailing-list names expand through sub-lists down to pobox targets
+// (login@PO.LOCAL) and external addresses.
+#ifndef MOIRA_SRC_MAILHUB_MAILHUB_H_
+#define MOIRA_SRC_MAILHUB_MAILHUB_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/update/sim_host.h"
+
+namespace moira {
+
+class MailhubSim {
+ public:
+  explicit MailhubSim(SimHost* host) : host_(host) {}
+
+  // The operator's switchover: disable the spool, move the staged file onto
+  // /usr/lib/aliases, re-enable.  Returns the number of aliases loaded, or
+  // -1 if no staged file exists.
+  int InstallStagedAliases(
+      const std::string& staged_path = "/usr/lib/moira.staged/aliases");
+
+  size_t alias_count() const { return aliases_.size(); }
+
+  // Resolves a recipient to final delivery addresses: alias entries expand
+  // transitively (with cycle protection); anything without an alias entry is
+  // final.  A bare name with no alias resolves to nothing (unknown user).
+  std::vector<std::string> Route(std::string_view recipient) const;
+
+  // Delivers a message to every final address; returns how many mailboxes
+  // received it (0 = bounced).
+  int Deliver(std::string_view recipient, std::string_view message);
+
+  // Messages delivered to a final address.
+  const std::vector<std::string>& Mailbox(std::string_view address) const;
+
+ private:
+  SimHost* host_;
+  std::map<std::string, std::vector<std::string>, std::less<>> aliases_;
+  std::map<std::string, std::vector<std::string>, std::less<>> mailboxes_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_MAILHUB_MAILHUB_H_

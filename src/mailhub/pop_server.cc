@@ -1,0 +1,73 @@
+#include "src/mailhub/pop_server.h"
+
+#include "src/comerr/moira_errors.h"
+#include "src/common/strutil.h"
+
+namespace moira {
+
+void PopServerSim::Deposit(std::string_view login, std::string_view message) {
+  boxes_[std::string(login)].emplace_back(message);
+}
+
+std::vector<std::string> PopServerSim::Retrieve(std::string_view login) {
+  auto it = boxes_.find(login);
+  if (it == boxes_.end()) {
+    return {};
+  }
+  std::vector<std::string> out = std::move(it->second);
+  boxes_.erase(it);
+  return out;
+}
+
+size_t PopServerSim::waiting(std::string_view login) const {
+  auto it = boxes_.find(login);
+  return it != boxes_.end() ? it->second.size() : 0;
+}
+
+bool PopDirectory::DeliverLocal(std::string_view address, std::string_view message) const {
+  size_t at = address.find('@');
+  if (at == std::string_view::npos) {
+    return false;
+  }
+  std::string_view login = address.substr(0, at);
+  std::string_view host = address.substr(at + 1);
+  if (!host.ends_with(".LOCAL")) {
+    return false;
+  }
+  std::string_view short_name = host.substr(0, host.size() - 6);
+  // Match the short name against the registered machines' first labels.
+  for (const auto& [machine, server] : servers_) {
+    std::string_view label(machine);
+    size_t dot = label.find('.');
+    if (dot != std::string_view::npos) {
+      label = label.substr(0, dot);
+    }
+    if (EqualsIgnoreCase(label, short_name)) {
+      server->Deposit(login, message);
+      return true;
+    }
+  }
+  return false;
+}
+
+int32_t IncFetchMail(const HesiodResolver& resolver, const PopDirectory& pops,
+                     std::string_view login, std::vector<std::string>* messages) {
+  std::vector<std::string> answers;
+  if (resolver.Resolve(login, "pobox", &answers) != HesiodRcode::kNoError ||
+      answers.empty()) {
+    return MR_NO_POBOX;
+  }
+  // "POP ATHENA-PO-2.MIT.EDU babette"
+  std::vector<std::string> fields = Split(answers[0], ' ');
+  if (fields.size() != 3 || fields[0] != "POP") {
+    return MR_NO_POBOX;
+  }
+  PopServerSim* server = pops.Find(fields[1]);
+  if (server == nullptr) {
+    return MR_MACHINE;
+  }
+  *messages = server->Retrieve(fields[2]);
+  return MR_SUCCESS;
+}
+
+}  // namespace moira

@@ -1,0 +1,65 @@
+// Post office (POP) substrate (paper sections 5.8.2 and 6): the machines
+// that hold users' mailboxes.  POBOX.DB locates each user's box; the inc /
+// movemail clients resolve it via Hesiod and fetch mail from the named
+// server.  Completes the mail path: mailhub aliases -> login@PO.LOCAL ->
+// the post office -> the workstation.
+#ifndef MOIRA_SRC_MAILHUB_POP_SERVER_H_
+#define MOIRA_SRC_MAILHUB_POP_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/hesiod/resolver.h"
+
+namespace moira {
+
+// One post office machine holding mailboxes keyed by login.
+class PopServerSim {
+ public:
+  explicit PopServerSim(std::string machine_name) : name_(std::move(machine_name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void Deposit(std::string_view login, std::string_view message);
+
+  // Retrieves and removes all waiting mail for `login` (what inc does).
+  std::vector<std::string> Retrieve(std::string_view login);
+
+  size_t waiting(std::string_view login) const;
+  size_t box_count() const { return boxes_.size(); }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::vector<std::string>, std::less<>> boxes_;
+};
+
+// A directory of post offices by canonical machine name.
+class PopDirectory {
+ public:
+  void Register(PopServerSim* server) { servers_[server->name()] = server; }
+  PopServerSim* Find(std::string_view name) const {
+    auto it = servers_.find(name);
+    return it != servers_.end() ? it->second : nullptr;
+  }
+
+  // Routes a final delivery address "login@<SHORT>.LOCAL" onto the matching
+  // post office ("<SHORT>" is the machine's first hostname label).  Returns
+  // false if no such post office is registered.
+  bool DeliverLocal(std::string_view address, std::string_view message) const;
+
+ private:
+  std::map<std::string, PopServerSim*, std::less<>> servers_;
+};
+
+// The inc client: finds the user's post office via <login>.pobox in Hesiod
+// ("POP <machine> <login>") and fetches their mail.  Returns MR_SUCCESS and
+// fills `messages` (possibly empty), or MR_NO_POBOX / MR_MACHINE.
+int32_t IncFetchMail(const HesiodResolver& resolver, const PopDirectory& pops,
+                     std::string_view login, std::vector<std::string>* messages);
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_MAILHUB_POP_SERVER_H_

@@ -1,0 +1,55 @@
+#include "src/net/channel.h"
+
+#include <atomic>
+
+#include "src/comerr/moira_errors.h"
+#include "src/protocol/wire.h"
+
+namespace moira {
+namespace {
+
+uint64_t NextLoopbackId() {
+  // Loopback connections use the high id space so they never collide with
+  // TCP connection ids.
+  static std::atomic<uint64_t> counter{1ull << 32};
+  return counter.fetch_add(1);
+}
+
+}  // namespace
+
+LoopbackChannel::LoopbackChannel(MessageHandler* handler)
+    : handler_(handler), conn_id_(NextLoopbackId()) {
+  handler_->OnConnect(conn_id_, "loopback");
+}
+
+LoopbackChannel::~LoopbackChannel() { handler_->OnDisconnect(conn_id_); }
+
+int32_t LoopbackChannel::Send(std::string_view framed) {
+  FrameReader reader;
+  reader.Feed(framed);
+  while (std::optional<std::string> payload = reader.Next()) {
+    inbound_ += handler_->OnMessage(conn_id_, *payload);
+  }
+  if (reader.corrupt()) {
+    return MR_ABORTED;
+  }
+  return MR_SUCCESS;
+}
+
+int32_t LoopbackChannel::Recv(std::string* payload) {
+  FrameReader reader;
+  reader.Feed(std::string_view(inbound_).substr(consumed_));
+  std::optional<std::string> next = reader.Next();
+  if (!next.has_value()) {
+    return MR_ABORTED;
+  }
+  consumed_ += 4 + next->size();
+  if (consumed_ == inbound_.size()) {
+    inbound_.clear();
+    consumed_ = 0;
+  }
+  *payload = std::move(*next);
+  return MR_SUCCESS;
+}
+
+}  // namespace moira

@@ -1,0 +1,65 @@
+// Transport abstractions for the Moira RPC layer.
+//
+// The paper builds its RPC on the GDB library over BSD non-blocking TCP
+// (section 5.4).  Here the server consumes framed messages through a
+// MessageHandler, pumped either by the poll(2)-based TcpServer or directly by
+// the in-process LoopbackChannel (which tests and benches use to run
+// hermetically).
+#ifndef MOIRA_SRC_NET_CHANNEL_H_
+#define MOIRA_SRC_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace moira {
+
+// Client side of a message stream.
+class ClientChannel {
+ public:
+  virtual ~ClientChannel() = default;
+
+  // Sends one framed message.  Returns MR_SUCCESS or MR_ABORTED.
+  virtual int32_t Send(std::string_view framed) = 0;
+
+  // Receives the next message payload (frame header stripped).  Returns
+  // MR_SUCCESS or MR_ABORTED.
+  virtual int32_t Recv(std::string* payload) = 0;
+};
+
+// Server side: consumes request payloads, returns framed reply bytes (a
+// single request may produce several reply frames — tuple streaming).
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+
+  virtual std::string OnMessage(uint64_t conn_id, std::string_view payload) = 0;
+  virtual void OnConnect(uint64_t conn_id, std::string peer) {
+    (void)conn_id;
+    (void)peer;
+  }
+  virtual void OnDisconnect(uint64_t conn_id) { (void)conn_id; }
+};
+
+// In-process channel: Send() synchronously dispatches into the handler and
+// queues its replies for Recv().
+class LoopbackChannel final : public ClientChannel {
+ public:
+  explicit LoopbackChannel(MessageHandler* handler);
+  ~LoopbackChannel() override;
+
+  int32_t Send(std::string_view framed) override;
+  int32_t Recv(std::string* payload) override;
+
+  uint64_t conn_id() const { return conn_id_; }
+
+ private:
+  MessageHandler* handler_;
+  uint64_t conn_id_;
+  std::string inbound_;   // frames queued for Recv
+  size_t consumed_ = 0;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_NET_CHANNEL_H_

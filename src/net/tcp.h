@@ -1,0 +1,84 @@
+// TCP transport: a single-process, poll(2)-multiplexed server and a blocking
+// client channel.
+//
+// This reproduces the GDB model of paper section 5.4: one UNIX process
+// listening on a well-known port, making progress reading new RPC requests
+// and sending old replies simultaneously via non-blocking I/O.
+#ifndef MOIRA_SRC_NET_TCP_H_
+#define MOIRA_SRC_NET_TCP_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/net/channel.h"
+#include "src/protocol/wire.h"
+
+namespace moira {
+
+class TcpServer {
+ public:
+  explicit TcpServer(MessageHandler* handler);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds and listens on 127.0.0.1:`port` (0 = ephemeral).  Returns MR_SUCCESS
+  // or an errno-based code.
+  int32_t Listen(uint16_t port);
+
+  // The bound port (valid after Listen).
+  uint16_t port() const { return port_; }
+
+  // Processes pending I/O, waiting up to `timeout_ms`.  Returns the number of
+  // events handled, or -1 after Stop()/fatal error.
+  int Poll(int timeout_ms);
+
+  void Stop();
+
+  size_t connection_count() const { return connections_.size(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameReader reader;
+    std::string outbound;   // bytes not yet written
+    size_t out_consumed = 0;
+    std::string peer;
+  };
+
+  void CloseConnection(uint64_t conn_id);
+  void FlushWrites(uint64_t conn_id);
+
+  MessageHandler* handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  uint64_t next_conn_id_ = 1;
+  std::map<uint64_t, Connection> connections_;
+};
+
+// Blocking client channel over TCP.
+class TcpChannel final : public ClientChannel {
+ public:
+  TcpChannel() = default;
+  ~TcpChannel() override;
+
+  // Connects to 127.0.0.1:`port`.  Returns MR_SUCCESS or an errno code.
+  int32_t Connect(uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  int32_t Send(std::string_view framed) override;
+  int32_t Recv(std::string* payload) override;
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_NET_TCP_H_

@@ -1,0 +1,146 @@
+#include "src/nfsd/nfs_server.h"
+
+#include "src/common/strutil.h"
+
+namespace moira {
+namespace {
+
+// Applies `fn` to each non-empty line.
+template <typename Fn>
+int ForEachLine(const std::string& contents, Fn fn) {
+  size_t pos = 0;
+  while (pos <= contents.size()) {
+    size_t eol = contents.find('\n', pos);
+    std::string_view line = eol == std::string::npos
+                                ? std::string_view(contents).substr(pos)
+                                : std::string_view(contents).substr(pos, eol - pos);
+    pos = eol == std::string::npos ? contents.size() + 1 : eol + 1;
+    line = TrimWhitespace(line);
+    if (!line.empty() && !fn(line)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+constexpr char kDefaultCshrc[] = "# Athena default .cshrc\nsource /usr/athena/lib/cshrc\n";
+constexpr char kDefaultLogin[] = "# Athena default .login\nsource /usr/athena/lib/login\n";
+
+}  // namespace
+
+int NfsServerSim::ApplyCredentials(const std::string& contents) {
+  credentials_.clear();
+  return ForEachLine(contents, [&](std::string_view line) {
+    std::vector<std::string> fields = Split(std::string(line), ':');
+    if (fields.size() < 2) {
+      return false;
+    }
+    std::optional<int64_t> uid = ParseInt(fields[1]);
+    if (!uid.has_value()) {
+      return false;
+    }
+    NfsCredential credential;
+    credential.uid = *uid;
+    for (size_t i = 2; i < fields.size(); ++i) {
+      std::optional<int64_t> gid = ParseInt(fields[i]);
+      if (!gid.has_value()) {
+        return false;
+      }
+      credential.gids.push_back(*gid);
+    }
+    credentials_[fields[0]] = std::move(credential);
+    return true;
+  });
+}
+
+int NfsServerSim::ApplyQuotas(const std::string& contents) {
+  return ForEachLine(contents, [&](std::string_view line) {
+    std::vector<std::string> fields = Split(std::string(line), ' ');
+    if (fields.size() != 2) {
+      return false;
+    }
+    std::optional<int64_t> uid = ParseInt(fields[0]);
+    std::optional<int64_t> quota = ParseInt(fields[1]);
+    if (!uid.has_value() || !quota.has_value()) {
+      return false;
+    }
+    // setquota <quota>
+    quotas_[*uid] = *quota;
+    return true;
+  });
+}
+
+int NfsServerSim::ApplyDirs(const std::string& contents) {
+  return ForEachLine(contents, [&](std::string_view line) {
+    std::vector<std::string> fields = Split(std::string(line), ' ');
+    if (fields.size() != 4) {
+      return false;
+    }
+    std::optional<int64_t> uid = ParseInt(fields[1]);
+    std::optional<int64_t> gid = ParseInt(fields[2]);
+    if (!uid.has_value() || !gid.has_value()) {
+      return false;
+    }
+    const std::string& path = fields[0];
+    if (lockers_.contains(path)) {
+      return true;  // "If the directory does not already exist..."
+    }
+    // mkdir, chown, chgrp, chmod.
+    NfsLocker locker{path, *uid, *gid, fields[3]};
+    lockers_.emplace(path, std::move(locker));
+    ++lockers_created_;
+    // HOMEDIR lockers are loaded with the default init files.
+    if (fields[3] == "HOMEDIR") {
+      host_->WriteFileDirect(path + "/.cshrc", kDefaultCshrc);
+      host_->WriteFileDirect(path + "/.login", kDefaultLogin);
+    }
+    return true;
+  });
+}
+
+int NfsServerSim::ApplyMoiraFiles(const std::string& dir) {
+  std::string prefix = dir + "/";
+  int status = 0;
+  for (const std::string& path : host_->ListFiles()) {
+    if (!path.starts_with(prefix)) {
+      continue;
+    }
+    const std::string& contents = *host_->ReadFile(path);
+    if (path == prefix + "credentials") {
+      status |= ApplyCredentials(contents);
+    } else if (path.ends_with(".quotas")) {
+      status |= ApplyQuotas(contents);
+    } else if (path.ends_with(".dirs")) {
+      status |= ApplyDirs(contents);
+    }
+  }
+  return status;
+}
+
+const NfsLocker* NfsServerSim::FindLocker(std::string_view path) const {
+  auto it = lockers_.find(path);
+  return it != lockers_.end() ? &it->second : nullptr;
+}
+
+int64_t NfsServerSim::QuotaFor(int64_t uid) const {
+  auto it = quotas_.find(uid);
+  return it != quotas_.end() ? it->second : 0;
+}
+
+bool NfsServerSim::HasCredential(std::string_view login) const {
+  return credentials_.contains(login);
+}
+
+const NfsCredential* NfsServerSim::CredentialFor(std::string_view login) const {
+  auto it = credentials_.find(login);
+  return it != credentials_.end() ? &it->second : nullptr;
+}
+
+void InstallNfsUpdateCommand(SimHost* host, NfsServerSim* server,
+                             const std::string& moira_dir) {
+  host->RegisterCommand("update_lockers", [server, moira_dir](SimHost&) {
+    return server->ApplyMoiraFiles(moira_dir);
+  });
+}
+
+}  // namespace moira

@@ -1,0 +1,76 @@
+// NFS fileserver substrate (paper section 5.8.2).
+//
+// Consumes the three Moira-generated files on a server host — credentials,
+// <partition>.quotas, and <partition>.dirs — and performs what the paper's
+// shell script does: "mkdir <username>, chown, chgrp, chmod - using
+// directories file; setquota <quota> - using quotas file".  Lockers of type
+// HOMEDIR are loaded with the default init files.  Creation is idempotent:
+// an existing locker is never re-created, so user files survive updates.
+#ifndef MOIRA_SRC_NFSD_NFS_SERVER_H_
+#define MOIRA_SRC_NFSD_NFS_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/update/sim_host.h"
+
+namespace moira {
+
+struct NfsLocker {
+  std::string path;
+  int64_t uid = 0;
+  int64_t gid = 0;
+  std::string type;  // HOMEDIR, PROJECT, ...
+};
+
+struct NfsCredential {
+  int64_t uid = 0;
+  std::vector<int64_t> gids;
+};
+
+class NfsServerSim {
+ public:
+  // The server owns no files itself; it reads and writes through the host's
+  // simulated filesystem.
+  explicit NfsServerSim(SimHost* host) : host_(host) {}
+
+  // The update_lockers script: parses every credentials/*.quotas/*.dirs file
+  // under `dir` and applies it.  Returns 0 on success, 1 on a parse error —
+  // the exit status the DCM's exec instruction reports.
+  int ApplyMoiraFiles(const std::string& dir);
+
+  // --- resulting state ---
+  const NfsLocker* FindLocker(std::string_view path) const;
+  size_t locker_count() const { return lockers_.size(); }
+  int lockers_created() const { return lockers_created_; }
+
+  // Quota in units for a uid; 0 if none assigned.
+  int64_t QuotaFor(int64_t uid) const;
+
+  // Credentials lookups, as the server would consult for NFS access mapping.
+  bool HasCredential(std::string_view login) const;
+  const NfsCredential* CredentialFor(std::string_view login) const;
+
+ private:
+  int ApplyCredentials(const std::string& contents);
+  int ApplyQuotas(const std::string& contents);
+  int ApplyDirs(const std::string& contents);
+
+  SimHost* host_;
+  std::map<std::string, NfsLocker, std::less<>> lockers_;
+  std::map<int64_t, int64_t> quotas_;  // uid -> units
+  std::map<std::string, NfsCredential, std::less<>> credentials_;
+  int lockers_created_ = 0;
+};
+
+// Registers the "update_lockers" exec command on `host`, backed by `server`
+// (which must outlive the host's command registry).
+void InstallNfsUpdateCommand(SimHost* host, NfsServerSim* server,
+                             const std::string& moira_dir = "/site/moira");
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_NFSD_NFS_SERVER_H_

@@ -1,0 +1,154 @@
+#include "src/protocol/wire.h"
+
+#include <cstring>
+
+namespace moira {
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char bytes[4] = {static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                   static_cast<char>(v >> 8), static_cast<char>(v)};
+  out->append(bytes, 4);
+}
+
+bool GetU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) {
+    return false;
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(in->data());
+  *v = (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+       (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+  in->remove_prefix(4);
+  return true;
+}
+
+void PutCounted(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetCounted(std::string_view* in, std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(in, &len) || in->size() < len) {
+    return false;
+  }
+  s->assign(in->data(), len);
+  in->remove_prefix(len);
+  return true;
+}
+
+std::string Frame(std::string payload) {
+  std::string framed;
+  framed.reserve(payload.size() + 4);
+  PutU32(&framed, static_cast<uint32_t>(payload.size()));
+  framed += payload;
+  return framed;
+}
+
+}  // namespace
+
+std::string EncodeRequest(const MrRequest& request) {
+  std::string payload;
+  PutU32(&payload, request.version);
+  PutU32(&payload, static_cast<uint32_t>(request.major));
+  PutU32(&payload, static_cast<uint32_t>(request.args.size()));
+  for (const std::string& arg : request.args) {
+    PutCounted(&payload, arg);
+  }
+  return Frame(std::move(payload));
+}
+
+std::string EncodeReply(const MrReply& reply) {
+  std::string payload;
+  PutU32(&payload, reply.version);
+  PutU32(&payload, static_cast<uint32_t>(reply.code));
+  PutU32(&payload, static_cast<uint32_t>(reply.fields.size()));
+  for (const std::string& field : reply.fields) {
+    PutCounted(&payload, field);
+  }
+  return Frame(std::move(payload));
+}
+
+std::optional<MrRequest> DecodeRequest(std::string_view payload) {
+  MrRequest request;
+  uint32_t major = 0;
+  uint32_t argc = 0;
+  if (!GetU32(&payload, &request.version) || !GetU32(&payload, &major) ||
+      !GetU32(&payload, &argc)) {
+    return std::nullopt;
+  }
+  // Each argument needs at least a 4-byte length; an argc beyond what the
+  // payload could hold is a garbled or malicious message ("deathgram").
+  if (argc > payload.size() / 4) {
+    return std::nullopt;
+  }
+  request.major = static_cast<MajorRequest>(major);
+  request.args.reserve(argc);
+  for (uint32_t i = 0; i < argc; ++i) {
+    std::string arg;
+    if (!GetCounted(&payload, &arg)) {
+      return std::nullopt;
+    }
+    request.args.push_back(std::move(arg));
+  }
+  if (!payload.empty()) {
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::optional<MrReply> DecodeReply(std::string_view payload) {
+  MrReply reply;
+  uint32_t code = 0;
+  uint32_t fieldc = 0;
+  if (!GetU32(&payload, &reply.version) || !GetU32(&payload, &code) ||
+      !GetU32(&payload, &fieldc)) {
+    return std::nullopt;
+  }
+  reply.code = static_cast<int32_t>(code);
+  if (fieldc > payload.size() / 4) {
+    return std::nullopt;
+  }
+  reply.fields.reserve(fieldc);
+  for (uint32_t i = 0; i < fieldc; ++i) {
+    std::string field;
+    if (!GetCounted(&payload, &field)) {
+      return std::nullopt;
+    }
+    reply.fields.push_back(std::move(field));
+  }
+  if (!payload.empty()) {
+    return std::nullopt;
+  }
+  return reply;
+}
+
+std::optional<std::string> FrameReader::Next() {
+  if (corrupt_) {
+    return std::nullopt;
+  }
+  // Compact lazily once half the buffer is dead.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  std::string_view view(buffer_);
+  view.remove_prefix(consumed_);
+  uint32_t len = 0;
+  std::string_view peek = view;
+  if (!GetU32(&peek, &len)) {
+    return std::nullopt;
+  }
+  if (len > kMaxFrame) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (peek.size() < len) {
+    return std::nullopt;
+  }
+  std::string payload(peek.substr(0, len));
+  consumed_ += 4 + len;
+  return payload;
+}
+
+}  // namespace moira

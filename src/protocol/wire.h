@@ -1,0 +1,77 @@
+// The Moira protocol (paper section 5.3): a remote procedure call protocol
+// layered on top of TCP/IP.
+//
+// Each request consists of a version number, a major request number, and
+// several counted strings of bytes.  Each reply consists of a version, a
+// single error code, and zero or more counted strings (one reply message per
+// tuple, flagged MR_MORE_DATA, followed by a final reply carrying the overall
+// code).  Messages are framed with a 32-bit length for stream transport.
+#ifndef MOIRA_SRC_PROTOCOL_WIRE_H_
+#define MOIRA_SRC_PROTOCOL_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moira {
+
+// Protocol version, checked on both sides to handle version skew cleanly.
+inline constexpr uint32_t kMrProtocolVersion = 2;
+
+// Major request numbers (paper section 5.3).
+enum class MajorRequest : uint32_t {
+  kNoop = 0,         // testing and profiling of the RPC layer
+  kAuthenticate = 1, // one argument: a Kerberos authenticator (+ client name)
+  kQuery = 2,        // query handle name + arguments
+  kAccess = 3,       // access check without executing
+  kTriggerDcm = 4,   // ask the server to spawn a DCM immediately
+};
+
+struct MrRequest {
+  uint32_t version = kMrProtocolVersion;
+  MajorRequest major = MajorRequest::kNoop;
+  std::vector<std::string> args;
+};
+
+struct MrReply {
+  uint32_t version = kMrProtocolVersion;
+  int32_t code = 0;
+  std::vector<std::string> fields;
+};
+
+// Serializes a request/reply into a framed message (length header included).
+std::string EncodeRequest(const MrRequest& request);
+std::string EncodeReply(const MrReply& reply);
+
+// Parses a complete message payload (frame header already stripped).
+std::optional<MrRequest> DecodeRequest(std::string_view payload);
+std::optional<MrReply> DecodeReply(std::string_view payload);
+
+// Incrementally extracts framed messages from a byte stream.  Append received
+// bytes with Feed(); Next() returns complete payloads in order.
+class FrameReader {
+ public:
+  // Upper bound on a single frame; larger frames indicate a corrupt or
+  // malicious stream ("arbitrary deathgrams", paper section 4).
+  static constexpr uint32_t kMaxFrame = 64 * 1024 * 1024;
+
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  // Returns the next complete message payload, or nullopt if more bytes are
+  // needed.  Sets corrupt() on an oversized frame.
+  std::optional<std::string> Next();
+
+  bool corrupt() const { return corrupt_; }
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_PROTOCOL_WIRE_H_

@@ -1,0 +1,204 @@
+#include "src/reg/regserver.h"
+
+#include "src/core/registry.h"
+#include "src/krb/block_cipher.h"
+#include "src/krb/crypt.h"
+
+namespace moira {
+namespace {
+
+std::string StripHyphens(std::string_view id_number) {
+  std::string digits;
+  for (char c : id_number) {
+    if (c != '-') {
+      digits.push_back(c);
+    }
+  }
+  return digits;
+}
+
+}  // namespace
+
+std::string BuildRegAuthenticator(std::string_view id_number, std::string_view hash_id,
+                                  std::string_view extra) {
+  std::string plain;
+  PackField(&plain, StripHyphens(id_number));
+  PackField(&plain, hash_id);
+  PackField(&plain, extra);
+  return PcbcEncrypt(DeriveBlockKey(hash_id), plain);
+}
+
+RegistrationServer::RegistrationServer(MoiraContext* mc, KerberosRealm* realm)
+    : mc_(mc), realm_(realm) {
+  // The registration server talks to the Kerberos admin server over a
+  // srvtab-srvtab channel; registering its service principal models that.
+  realm_->RegisterService("moira_reg");
+}
+
+int32_t RegistrationServer::Validate(std::string_view first, std::string_view last,
+                                     std::string_view authenticator, size_t* user_row,
+                                     std::string* extra) {
+  Table* users = mc_->users();
+  std::vector<size_t> candidates = users->Match({
+      Condition{users->ColumnIndex("first"), Condition::Op::kEq, Value(first)},
+      Condition{users->ColumnIndex("last"), Condition::Op::kEq, Value(last)},
+  });
+  if (candidates.empty()) {
+    return MR_REG_NOT_FOUND;
+  }
+  for (size_t row : candidates) {
+    const std::string& stored_hash = MoiraContext::StrCell(users, row, "mit_id");
+    if (stored_hash.empty()) {
+      continue;
+    }
+    std::optional<std::string> plain =
+        PcbcDecrypt(DeriveBlockKey(stored_hash), authenticator);
+    if (!plain.has_value()) {
+      continue;
+    }
+    std::string_view view(*plain);
+    std::string id_digits;
+    std::string hash_in_auth;
+    std::string extra_field;
+    if (!UnpackField(&view, &id_digits) || !UnpackField(&view, &hash_in_auth) ||
+        !UnpackField(&view, &extra_field) || !view.empty()) {
+      continue;  // wrong key garbles the framing
+    }
+    // The server verifies the request by re-encrypting the ID number and
+    // comparing against the stored hash (paper section 5.10).
+    if (hash_in_auth != stored_hash ||
+        HashMitId(id_digits, first, last) != stored_hash) {
+      continue;
+    }
+    *user_row = row;
+    *extra = std::move(extra_field);
+    return MR_SUCCESS;
+  }
+  return MR_REG_BAD_AUTH;
+}
+
+RegReply RegistrationServer::VerifyUser(std::string_view first, std::string_view last,
+                                        std::string_view authenticator) {
+  size_t row = 0;
+  std::string extra;
+  if (int32_t code = Validate(first, last, authenticator, &row, &extra);
+      code != MR_SUCCESS) {
+    return RegReply{code, 0};
+  }
+  int64_t status = MoiraContext::IntCell(mc_->users(), row, "status");
+  if (status != kUserNotRegistered) {
+    return RegReply{MR_REG_ALREADY, status};
+  }
+  return RegReply{MR_SUCCESS, status};
+}
+
+RegReply RegistrationServer::GrabLogin(std::string_view first, std::string_view last,
+                                       std::string_view authenticator) {
+  size_t row = 0;
+  std::string login;
+  if (int32_t code = Validate(first, last, authenticator, &row, &login);
+      code != MR_SUCCESS) {
+    return RegReply{code, 0};
+  }
+  if (MoiraContext::IntCell(mc_->users(), row, "status") != kUserNotRegistered) {
+    return RegReply{MR_REG_ALREADY, 0};
+  }
+  if (realm_->HasPrincipal(login)) {
+    return RegReply{MR_REG_LOGIN_TAKEN, 0};
+  }
+  // register_user assigns the login plus pobox, group, home filesystem, and
+  // quota in one step.
+  std::string uid = std::to_string(MoiraContext::IntCell(mc_->users(), row, "uid"));
+  int32_t code = QueryRegistry::Instance().Execute(
+      *mc_, "root", "userreg", "register_user",
+      {uid, login, std::to_string(kFsStudent)}, [](Tuple) {});
+  if (code == MR_IN_USE) {
+    return RegReply{MR_REG_LOGIN_TAKEN, 0};
+  }
+  if (code != MR_SUCCESS) {
+    return RegReply{code, 0};
+  }
+  // Reserve the name with Kerberos (no password yet).
+  realm_->AddPrincipal(login, "");
+  return RegReply{MR_SUCCESS, kUserHalfRegistered};
+}
+
+RegReply RegistrationServer::SetPassword(std::string_view first, std::string_view last,
+                                         std::string_view authenticator) {
+  size_t row = 0;
+  std::string password;
+  if (int32_t code = Validate(first, last, authenticator, &row, &password);
+      code != MR_SUCCESS) {
+    return RegReply{code, 0};
+  }
+  Table* users = mc_->users();
+  if (MoiraContext::IntCell(users, row, "status") != kUserHalfRegistered) {
+    return RegReply{MR_REG_NOT_FOUND, 0};
+  }
+  const std::string& login = MoiraContext::StrCell(users, row, "login");
+  if (int32_t code = realm_->SetPassword(login, password); code != MR_SUCCESS) {
+    return RegReply{code, 0};
+  }
+  // Fully established: pending propagation to hesiod, the mail hub, and the
+  // home fileserver, the account becomes active.
+  int32_t code = QueryRegistry::Instance().Execute(*mc_, "root", "userreg",
+                                                   "update_user_status",
+                                                   {login, "1"}, [](Tuple) {});
+  return RegReply{code, kUserActive};
+}
+
+std::string RegistrationServer::HandlePacket(std::string_view packet) {
+  std::string_view view = packet;
+  std::string type_field;
+  std::string first;
+  std::string last;
+  std::string authenticator;
+  RegReply reply{MR_REG_BAD_AUTH, 0};
+  if (UnpackField(&view, &type_field) && UnpackField(&view, &first) &&
+      UnpackField(&view, &last) && UnpackField(&view, &authenticator) && view.empty()) {
+    if (type_field == "1") {
+      reply = VerifyUser(first, last, authenticator);
+    } else if (type_field == "2") {
+      reply = GrabLogin(first, last, authenticator);
+    } else if (type_field == "3") {
+      reply = SetPassword(first, last, authenticator);
+    }
+  }
+  std::string out;
+  PackField(&out, std::to_string(reply.code));
+  PackField(&out, std::to_string(reply.user_status));
+  return out;
+}
+
+UserregClient::UserregClient(RegistrationServer* server, KerberosRealm* realm)
+    : server_(server), realm_(realm) {}
+
+int32_t UserregClient::Register(std::string_view first, std::string_view mi,
+                                std::string_view last, std::string_view id_number,
+                                std::string_view login, std::string_view password) {
+  (void)mi;  // the middle initial is displayed but not part of the lookup
+  std::string hash = HashMitId(id_number, first, last);
+  RegReply verify =
+      server_->VerifyUser(first, last, BuildRegAuthenticator(id_number, hash, ""));
+  if (verify.code != MR_SUCCESS) {
+    return verify.code;
+  }
+  // Two-step login probe: first try to get initial tickets for the name; if
+  // that *fails* with an unknown principal the name is free (paper section
+  // 5.10), and only then is grab_login sent.
+  Ticket probe;
+  int32_t krb = realm_->GetInitialTickets(login, "", kMoiraServiceName, &probe);
+  if (krb != MR_KRB_NO_PRINC) {
+    return MR_REG_LOGIN_TAKEN;
+  }
+  RegReply grab =
+      server_->GrabLogin(first, last, BuildRegAuthenticator(id_number, hash, login));
+  if (grab.code != MR_SUCCESS) {
+    return grab.code;
+  }
+  RegReply set =
+      server_->SetPassword(first, last, BuildRegAuthenticator(id_number, hash, password));
+  return set.code;
+}
+
+}  // namespace moira

@@ -1,0 +1,86 @@
+// New user registration (paper section 5.10).
+//
+// The Moira database machine runs a registration server listening on a
+// well-known UDP port for three request types: Verify User, Grab Login, and
+// Set Password.  Requests carry an authenticator — the student's ID number
+// and its crypt() hash, DES-PCBC-encrypted using the hash as the key — so the
+// server can validate the requester knows the ID without the ID travelling in
+// clear.  Grab Login registers the login in the Moira database (the
+// register_user query: pobox, group, home filesystem, quota) and reserves the
+// name with Kerberos; Set Password forwards to the Kerberos admin server over
+// a srvtab-srvtab channel.
+#ifndef MOIRA_SRC_REG_REGSERVER_H_
+#define MOIRA_SRC_REG_REGSERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/core/context.h"
+#include "src/krb/kerberos.h"
+
+namespace moira {
+
+enum class RegRequestType : uint32_t {
+  kVerifyUser = 1,
+  kGrabLogin = 2,
+  kSetPassword = 3,
+};
+
+// Reply codes carried alongside the Moira error code.
+struct RegReply {
+  int32_t code = 0;        // MR_SUCCESS / MR_REG_* / ...
+  int64_t user_status = 0; // current account status on kVerifyUser success
+};
+
+// Builds the wire authenticator: {IDnumber, hashIDnumber[, extra]} encrypted
+// with the error-propagating cipher keyed by hashIDnumber.
+std::string BuildRegAuthenticator(std::string_view id_number, std::string_view hash_id,
+                                  std::string_view extra);
+
+class RegistrationServer {
+ public:
+  RegistrationServer(MoiraContext* mc, KerberosRealm* realm);
+
+  // Handles one datagram; returns the reply datagram.  Packet format:
+  // counted fields {type, first, last, authenticator}.
+  std::string HandlePacket(std::string_view packet);
+
+  // Typed interface used by the userreg client (the packet path wraps this).
+  RegReply VerifyUser(std::string_view first, std::string_view last,
+                      std::string_view authenticator);
+  RegReply GrabLogin(std::string_view first, std::string_view last,
+                     std::string_view authenticator);
+  RegReply SetPassword(std::string_view first, std::string_view last,
+                       std::string_view authenticator);
+
+ private:
+  // Locates the user row by name + hashed id and validates the
+  // authenticator.  Fills `extra` with the decrypted trailing field.
+  int32_t Validate(std::string_view first, std::string_view last,
+                   std::string_view authenticator, size_t* user_row, std::string* extra);
+
+  MoiraContext* mc_;
+  KerberosRealm* realm_;
+};
+
+// The userreg workstation program: drives the full registration conversation
+// (paper section 5.10's "register"/"athena" login flow).
+class UserregClient {
+ public:
+  UserregClient(RegistrationServer* server, KerberosRealm* realm);
+
+  // Runs the whole flow: verify, probe the login against Kerberos, grab it,
+  // set the initial password.  Returns MR_SUCCESS or the first failure.
+  int32_t Register(std::string_view first, std::string_view mi, std::string_view last,
+                   std::string_view id_number, std::string_view login,
+                   std::string_view password);
+
+ private:
+  RegistrationServer* server_;
+  KerberosRealm* realm_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_REG_REGSERVER_H_

@@ -1,0 +1,146 @@
+#include "src/server/journal.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/strutil.h"
+
+namespace moira {
+
+std::string JournalEscape(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (char c : field) {
+    auto uc = static_cast<unsigned char>(c);
+    if (c == ':') {
+      out += "\\:";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (uc < 0x20 || uc >= 0x7f) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\%03o", uc);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string JournalUnescape(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] != '\\') {
+      out += field[i];
+      continue;
+    }
+    if (i + 1 >= field.size()) {
+      break;
+    }
+    char next = field[i + 1];
+    if (next == ':' || next == '\\') {
+      out += next;
+      ++i;
+    } else if (next >= '0' && next <= '7' && i + 3 < field.size()) {
+      int v = (field[i + 1] - '0') * 64 + (field[i + 2] - '0') * 8 + (field[i + 3] - '0');
+      out += static_cast<char>(v);
+      i += 3;
+    } else {
+      out += next;
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitEscaped(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      current += line[i];
+      current += line[i + 1];
+      ++i;
+    } else if (line[i] == ':') {
+      fields.push_back(JournalUnescape(current));
+      current.clear();
+    } else {
+      current += line[i];
+    }
+  }
+  fields.push_back(JournalUnescape(current));
+  return fields;
+}
+
+std::string JournalEntry::ToLine() const {
+  std::string line = std::to_string(when);
+  line += ':';
+  line += JournalEscape(principal);
+  line += ':';
+  line += JournalEscape(query);
+  for (const std::string& arg : args) {
+    line += ':';
+    line += JournalEscape(arg);
+  }
+  line += '\n';
+  return line;
+}
+
+std::optional<JournalEntry> JournalEntry::FromLine(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  std::vector<std::string> fields = SplitEscaped(line);
+  if (fields.size() < 3) {
+    return std::nullopt;
+  }
+  std::optional<int64_t> when = ParseInt(fields[0]);
+  if (!when.has_value()) {
+    return std::nullopt;
+  }
+  JournalEntry entry;
+  entry.when = *when;
+  entry.principal = fields[1];
+  entry.query = fields[2];
+  entry.args.assign(fields.begin() + 3, fields.end());
+  return entry;
+}
+
+void Journal::Append(JournalEntry entry) {
+  if (!file_path_.empty()) {
+    std::ofstream out(file_path_, std::ios::app | std::ios::binary);
+    if (out) {
+      out << entry.ToLine();
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<JournalEntry> Journal::EntriesSince(UnixTime since) const {
+  std::vector<JournalEntry> out;
+  for (const JournalEntry& entry : entries_) {
+    if (entry.when > since) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+int Journal::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return -1;
+  }
+  int count = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (std::optional<JournalEntry> entry = JournalEntry::FromLine(line)) {
+      entries_.push_back(std::move(*entry));
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace moira

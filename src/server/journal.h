@@ -1,0 +1,65 @@
+// The Moira server journal (paper section 5.2.2): "the journal file kept by
+// the Moira server daemon contains a listing of all successful changes to the
+// database", improving on the nightly backup by bounding transaction loss.
+//
+// Entries are kept in memory and optionally appended to a journal file, one
+// escaped line per change; mrrestore can replay entries newer than a backup.
+#ifndef MOIRA_SRC_SERVER_JOURNAL_H_
+#define MOIRA_SRC_SERVER_JOURNAL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace moira {
+
+struct JournalEntry {
+  UnixTime when = 0;
+  std::string principal;
+  std::string query;
+  std::vector<std::string> args;
+
+  // Line format: time:principal:query:arg... with ':' and '\' escaped, ending
+  // in a newline.  Identical escaping to the backup files (section 5.2.2).
+  std::string ToLine() const;
+  static std::optional<JournalEntry> FromLine(std::string_view line);
+};
+
+class Journal {
+ public:
+  Journal() = default;
+
+  // If set, every entry is also appended to this file.
+  void SetFile(std::string path) { file_path_ = std::move(path); }
+
+  void Append(JournalEntry entry);
+
+  const std::vector<JournalEntry>& entries() const { return entries_; }
+
+  // Entries recorded strictly after `since`.
+  std::vector<JournalEntry> EntriesSince(UnixTime since) const;
+
+  void Clear() { entries_.clear(); }
+
+  // Loads entries from a journal file (does not clear existing ones).
+  // Returns the number of entries read, or -1 if the file cannot be opened.
+  int LoadFile(const std::string& path);
+
+ private:
+  std::vector<JournalEntry> entries_;
+  std::string file_path_;
+};
+
+// Escapes one field: ':' -> "\:", '\' -> "\\", non-printing -> \nnn octal.
+std::string JournalEscape(std::string_view field);
+// Inverse of JournalEscape.
+std::string JournalUnescape(std::string_view field);
+// Splits a line on unescaped colons.
+std::vector<std::string> SplitEscaped(std::string_view line);
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_SERVER_JOURNAL_H_

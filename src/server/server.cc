@@ -1,0 +1,182 @@
+#include "src/server/server.h"
+
+#include "src/comerr/moira_errors.h"
+
+namespace moira {
+namespace {
+
+std::string SingleReply(int32_t code) {
+  return EncodeReply(MrReply{kMrProtocolVersion, code, {}});
+}
+
+// Burns deterministic work to model the cost athenareg paid forking an
+// Ingres backend for every client connection.
+void SimulateBackendSpawn(int iterations) {
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < iterations; ++i) {
+    sink = sink * 6364136223846793005ull + 1442695040888963407ull;
+  }
+}
+
+}  // namespace
+
+MoiraServer::MoiraServer(MoiraContext* mc, KerberosRealm* realm, ServerOptions options)
+    : mc_(mc),
+      verifier_(kMoiraServiceName, realm->RegisterService(kMoiraServiceName),
+                &mc->db().clock()),
+      options_(options) {
+  RegisterMoiraErrorTable();
+}
+
+void MoiraServer::OnConnect(uint64_t conn_id, std::string peer) {
+  ConnState conn;
+  conn.peer = std::move(peer);
+  conn.connect_time = mc_->Now();
+  conn.client_number = next_client_number_++;
+  connections_.emplace(conn_id, std::move(conn));
+  if (options_.simulated_backend_spawn_cost > 0) {
+    SimulateBackendSpawn(options_.simulated_backend_spawn_cost);
+  }
+}
+
+void MoiraServer::OnDisconnect(uint64_t conn_id) { connections_.erase(conn_id); }
+
+std::string MoiraServer::OnMessage(uint64_t conn_id, std::string_view payload) {
+  ++stats_.requests;
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) {
+    // Transport delivered a message for an unknown connection.
+    return SingleReply(MR_INTERNAL);
+  }
+  std::optional<MrRequest> request = DecodeRequest(payload);
+  if (!request.has_value()) {
+    return SingleReply(MR_ABORTED);
+  }
+  // Version skew is reported cleanly (paper section 5.3).
+  if (request->version != kMrProtocolVersion) {
+    return SingleReply(request->version > kMrProtocolVersion ? MR_VERSION_HIGH
+                                                             : MR_VERSION_LOW);
+  }
+  return HandleRequest(it->second, *request);
+}
+
+std::string MoiraServer::HandleRequest(ConnState& conn, const MrRequest& request) {
+  switch (request.major) {
+    case MajorRequest::kNoop:
+      return SingleReply(MR_SUCCESS);
+    case MajorRequest::kAuthenticate:
+      return HandleAuth(conn, request);
+    case MajorRequest::kQuery:
+      return HandleQuery(conn, request);
+    case MajorRequest::kAccess:
+      return HandleAccess(conn, request);
+    case MajorRequest::kTriggerDcm: {
+      int32_t code = CachedAccessCheck(conn, "trigger_dcm", {});
+      if (code == MR_SUCCESS && dcm_trigger_) {
+        dcm_trigger_();
+      }
+      return SingleReply(code);
+    }
+  }
+  return SingleReply(MR_UNKNOWN_PROC);
+}
+
+std::string MoiraServer::HandleAuth(ConnState& conn, const MrRequest& request) {
+  if (request.args.empty() || request.args.size() > 2) {
+    return SingleReply(MR_ARGS);
+  }
+  VerifiedIdentity identity;
+  int32_t code = verifier_.Verify(request.args[0], &identity);
+  if (code != MR_SUCCESS) {
+    ++stats_.auth_failures;
+    return SingleReply(code);
+  }
+  ++stats_.auth_successes;
+  conn.principal = identity.principal;
+  if (request.args.size() == 2) {
+    conn.client_name = request.args[1];
+  }
+  // Identity changed: cached access decisions no longer apply.
+  conn.access_cache.Clear();
+  return SingleReply(MR_SUCCESS);
+}
+
+std::string MoiraServer::HandleListUsers(const MrRequest& request) {
+  (void)request;
+  std::string out;
+  for (const auto& [conn_id, conn] : connections_) {
+    MrReply tuple{kMrProtocolVersion, MR_MORE_DATA,
+                  {conn.principal.empty() ? "(unauthenticated)" : conn.principal, conn.peer,
+                   std::to_string(conn.connect_time), std::to_string(conn.client_number)}};
+    out += EncodeReply(tuple);
+  }
+  out += EncodeReply(MrReply{kMrProtocolVersion, MR_SUCCESS, {}});
+  return out;
+}
+
+std::string MoiraServer::HandleQuery(ConnState& conn, const MrRequest& request) {
+  if (request.args.empty()) {
+    return SingleReply(MR_ARGS);
+  }
+  ++stats_.queries;
+  const std::string& name = request.args[0];
+  // _list_users is answered from server connection state, not the database
+  // (paper section 7.0.8).
+  if (name == "_list_users" || name == "lusr") {
+    return HandleListUsers(request);
+  }
+  std::vector<std::string> args(request.args.begin() + 1, request.args.end());
+  std::string out;
+  TupleSink emit = [&out](Tuple tuple) {
+    out += EncodeReply(MrReply{kMrProtocolVersion, MR_MORE_DATA, std::move(tuple)});
+  };
+  const QueryRegistry& registry = QueryRegistry::Instance();
+  int32_t code = registry.Execute(*mc_, conn.principal, conn.client_name, name, args, emit);
+  const QueryDef* def = registry.Find(name);
+  if (code == MR_SUCCESS && def != nullptr && def->qclass != QueryClass::kRetrieve) {
+    // Successful change: journal it and invalidate caches.
+    journal_.Append(JournalEntry{mc_->Now(), conn.principal, std::string(def->name), args});
+    ++mutation_epoch_;
+  }
+  out += EncodeReply(MrReply{kMrProtocolVersion, code, {}});
+  return out;
+}
+
+int32_t MoiraServer::CachedAccessCheck(ConnState& conn, const std::string& query,
+                                       const std::vector<std::string>& args) {
+  ++stats_.access_checks;
+  std::string key;
+  if (options_.enable_access_cache) {
+    key = conn.principal;
+    key += '\0';
+    key += query;
+    for (const std::string& arg : args) {
+      key += '\0';
+      key += arg;
+    }
+    if (conn.cache_epoch == mutation_epoch_) {
+      if (const int32_t* cached = conn.access_cache.Fetch(key)) {
+        ++stats_.access_cache_hits;
+        return *cached;
+      }
+    } else {
+      conn.access_cache.Clear();
+      conn.cache_epoch = mutation_epoch_;
+    }
+  }
+  int32_t code = QueryRegistry::Instance().CheckAccess(*mc_, conn.principal, query, args);
+  if (options_.enable_access_cache) {
+    conn.access_cache.Store(key, code);
+  }
+  return code;
+}
+
+std::string MoiraServer::HandleAccess(ConnState& conn, const MrRequest& request) {
+  if (request.args.empty()) {
+    return SingleReply(MR_ARGS);
+  }
+  std::vector<std::string> args(request.args.begin() + 1, request.args.end());
+  return SingleReply(CachedAccessCheck(conn, request.args[0], args));
+}
+
+}  // namespace moira

@@ -1,0 +1,96 @@
+// The Moira server (paper section 5.4).
+//
+// A single-process server holding the one persistent database backend (the
+// athenareg predecessor paid an Ingres-backend startup per client connection;
+// Moira pays it once at daemon startup — bench_connection_startup measures
+// the difference).  All remote communication goes through the wire protocol
+// of section 5.3; access control and the per-connection access cache of
+// section 5.5 live here.
+#ifndef MOIRA_SRC_SERVER_SERVER_H_
+#define MOIRA_SRC_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/common/hash_table.h"
+#include "src/core/context.h"
+#include "src/core/registry.h"
+#include "src/krb/kerberos.h"
+#include "src/net/channel.h"
+#include "src/protocol/wire.h"
+#include "src/server/journal.h"
+
+namespace moira {
+
+struct ServerOptions {
+  // Per-connection (principal, query, args) -> access result cache (paper
+  // section 5.5 anticipates "some form of access caching ... for performance
+  // reasons"); invalidated whenever the database changes.
+  bool enable_access_cache = true;
+  // Simulated per-request cost of spawning a DBMS backend per connection, in
+  // synthetic work iterations; 0 for the persistent-backend design.  Used by
+  // bench_connection_startup to model athenareg.
+  int simulated_backend_spawn_cost = 0;
+};
+
+class MoiraServer final : public MessageHandler {
+ public:
+  MoiraServer(MoiraContext* mc, KerberosRealm* realm, ServerOptions options = {});
+
+  // MessageHandler:
+  std::string OnMessage(uint64_t conn_id, std::string_view payload) override;
+  void OnConnect(uint64_t conn_id, std::string peer) override;
+  void OnDisconnect(uint64_t conn_id) override;
+
+  // Hook invoked by a successful Trigger_DCM request.
+  void set_dcm_trigger(std::function<void()> trigger) { dcm_trigger_ = std::move(trigger); }
+
+  Journal& journal() { return journal_; }
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t queries = 0;
+    uint64_t access_checks = 0;
+    uint64_t access_cache_hits = 0;
+    uint64_t auth_successes = 0;
+    uint64_t auth_failures = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  size_t connected_clients() const { return connections_.size(); }
+
+ private:
+  struct ConnState {
+    std::string principal;      // empty until authenticated
+    std::string client_name;    // program acting on behalf of the user
+    std::string peer;
+    UnixTime connect_time = 0;
+    uint64_t client_number = 0;
+    uint64_t cache_epoch = 0;
+    MrHashTable<int32_t> access_cache;
+  };
+
+  std::string HandleRequest(ConnState& conn, const MrRequest& request);
+  std::string HandleQuery(ConnState& conn, const MrRequest& request);
+  std::string HandleAccess(ConnState& conn, const MrRequest& request);
+  std::string HandleAuth(ConnState& conn, const MrRequest& request);
+  std::string HandleListUsers(const MrRequest& request);
+  int32_t CachedAccessCheck(ConnState& conn, const std::string& query,
+                            const std::vector<std::string>& args);
+
+  MoiraContext* mc_;
+  ServiceVerifier verifier_;
+  ServerOptions options_;
+  Journal journal_;
+  std::function<void()> dcm_trigger_;
+  std::map<uint64_t, ConnState> connections_;
+  uint64_t next_client_number_ = 1;
+  uint64_t mutation_epoch_ = 1;  // bumped on every successful mutation
+  Stats stats_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_SERVER_SERVER_H_

@@ -1,0 +1,432 @@
+#include "src/sim/population.h"
+
+#include <set>
+
+#include "src/common/random.h"
+#include "src/common/strutil.h"
+#include "src/core/registry.h"
+#include "src/krb/crypt.h"
+
+namespace moira {
+namespace {
+
+constexpr const char* kFirstNames[] = {
+    "Harmon", "Angela", "Gerhard", "Martin",  "Peter",  "Janet",  "Carol",  "Douglas",
+    "Elena",  "Frank",  "Grace",   "Henry",   "Irene",  "Jacob",  "Karen",  "Louis",
+    "Maria",  "Nathan", "Olivia",  "Patrick", "Quincy", "Rachel", "Samuel", "Teresa",
+    "Ulric",  "Vera",   "Walter",  "Xenia",   "Yusuf",  "Zelda",  "Alan",   "Beth",
+    "Carl",   "Dora",   "Evan",    "Fay",     "Glen",   "Hope",   "Ivan",   "June",
+};
+
+constexpr const char* kLastNames[] = {
+    "Fowler",   "Barba",     "Messmer",  "Zimmermann", "Delaney",  "Talford",  "Welsh",
+    "Stein",    "Abbott",    "Becker",   "Crowley",    "Dempsey",  "Ellison",  "Fitzroy",
+    "Garver",   "Holbrook",  "Ivers",    "Jansson",    "Keller",   "Lindqvist", "Maddox",
+    "Norwood",  "Oberlin",   "Paquette", "Quimby",     "Radcliffe", "Sampson", "Thackery",
+    "Underhill", "Vasquez",  "Whitford", "Xanthos",    "Yarrow",   "Zielinski", "Ames",
+    "Boone",    "Carver",    "Dunne",    "Eads",       "Finch",    "Gold",     "Hale",
+    "Innes",    "Judd",      "Kemp",     "Lowe",       "Mott",     "Nash",     "Orr",
+    "Pike",     "Quist",     "Reed",     "Shaw",       "Tate",     "Uhl",      "Vane",
+    "West",     "York",      "Zink",     "Bligh",
+};
+
+constexpr const char* kShells[] = {"/bin/csh", "/bin/sh", "/bin/athena/tcsh"};
+constexpr const char* kClasses[] = {"1989", "1990", "1991", "1992",
+                                    "G",    "STAFF", "FACULTY", "OTHER"};
+constexpr const char* kProtocols[] = {"TCP", "UDP"};
+
+// Unique-login construction: initial + lowercased last name, truncated to 7
+// characters, with a numeric suffix on collision.
+std::string MakeLogin(std::string_view first, std::string_view last,
+                      std::set<std::string>* taken) {
+  std::string base;
+  base += static_cast<char>(std::tolower(static_cast<unsigned char>(first[0])));
+  for (char c : last.substr(0, 7)) {
+    base += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  std::string login = base;
+  for (int suffix = 2; !taken->insert(login).second; ++suffix) {
+    login = base + std::to_string(suffix);
+  }
+  return login;
+}
+
+// Sequential id counters mirroring the values-relation hints; flushed back
+// into the values table when Build finishes.
+struct Counters {
+  int64_t users_id;
+  int64_t uid;
+  int64_t list_id;
+  int64_t gid;
+  int64_t mach_id;
+  int64_t clu_id;
+  int64_t filsys_id;
+  int64_t nfsphys_id;
+};
+
+}  // namespace
+
+SiteSpec TestSiteSpec() {
+  SiteSpec spec;
+  spec.total_users = 60;
+  spec.nfs_servers = 3;
+  spec.workstations = 12;
+  spec.clusters = 3;
+  spec.maillists = 8;
+  spec.maillist_avg_members = 4;
+  spec.project_groups = 5;
+  spec.printers = 3;
+  spec.network_services = 6;
+  return spec;
+}
+
+int SiteBuilder::Build(const SiteSpec& spec) {
+  MoiraContext& mc = *mc_;
+  SplitMix64 rng(spec.seed);
+  Counters id{};
+  mc.GetValue("users_id", &id.users_id);
+  mc.GetValue("uid", &id.uid);
+  mc.GetValue("list_id", &id.list_id);
+  mc.GetValue("gid", &id.gid);
+  mc.GetValue("mach_id", &id.mach_id);
+  mc.GetValue("clu_id", &id.clu_id);
+  mc.GetValue("filsys_id", &id.filsys_id);
+  mc.GetValue("nfsphys_id", &id.nfsphys_id);
+
+  const Value zero{int64_t{0}};
+  const Value setup{"site-setup"};
+  const Value root{"root"};
+  const UnixTime now = mc.Now();
+
+  auto add_machine = [&](const std::string& name, const char* type) {
+    int64_t mach_id = id.mach_id++;
+    mc.machine()->Append({Value(name), Value(mach_id), Value(type), Value(now), root, setup});
+    return mach_id;
+  };
+
+  // --- infrastructure machines (paper section 5.1.F) ---
+  hesiod_server_ = "SUOMI.MIT.EDU";
+  int64_t hesiod_mach = add_machine(hesiod_server_, "VAX");
+  mailhub_ = "ATHENA.MIT.EDU";
+  int64_t mail_mach = add_machine(mailhub_, "VAX");
+  std::vector<int64_t> pop_machs;
+  for (int i = 1; i <= spec.pop_servers; ++i) {
+    pop_servers_.push_back("ATHENA-PO-" + std::to_string(i) + ".MIT.EDU");
+    pop_machs.push_back(add_machine(pop_servers_.back(), "VAX"));
+  }
+  std::vector<int64_t> nfs_machs;
+  for (int i = 1; i <= spec.nfs_servers; ++i) {
+    nfs_servers_.push_back("NFS-" + std::to_string(i) + ".MIT.EDU");
+    nfs_machs.push_back(add_machine(nfs_servers_.back(), "VAX"));
+  }
+  std::vector<int64_t> zephyr_machs;
+  for (int i = 1; i <= spec.zephyr_servers; ++i) {
+    zephyr_servers_.push_back("ZEPHYR-" + std::to_string(i) + ".MIT.EDU");
+    zephyr_machs.push_back(add_machine(zephyr_servers_.back(), "RT"));
+  }
+  std::vector<int64_t> workstation_machs;
+  std::vector<std::string> workstation_names;
+  for (int i = 1; i <= spec.workstations; ++i) {
+    workstation_names.push_back("W" + std::to_string(i) + ".MIT.EDU");
+    workstation_machs.push_back(
+        add_machine(workstation_names.back(), i % 2 == 0 ? "RT" : "VAX"));
+  }
+
+  // --- clusters, service cluster data, machine assignments ---
+  std::vector<int64_t> cluster_ids;
+  for (int i = 1; i <= spec.clusters; ++i) {
+    int64_t clu_id = id.clu_id++;
+    cluster_ids.push_back(clu_id);
+    std::string name = "bldg" + std::to_string(i);
+    mc.cluster()->Append({Value(name), Value(clu_id), Value("cluster " + name),
+                          Value("Building " + std::to_string(i)), Value(now), root, setup});
+    mc.svc()->Append({Value(clu_id), Value("zephyr"),
+                      Value(zephyr_servers_[i % zephyr_servers_.size()])});
+    mc.svc()->Append({Value(clu_id), Value("usrlib"), Value(name + "-usrlib")});
+    mc.svc()->Append({Value(clu_id), Value("lpr"), Value("printer-" + std::to_string(
+                                                       1 + i % std::max(spec.printers, 1)))});
+  }
+  for (size_t i = 0; i < workstation_machs.size(); ++i) {
+    mc.mcmap()->Append({Value(workstation_machs[i]),
+                        Value(cluster_ids[i % cluster_ids.size()])});
+    if (i % 10 == 9 && cluster_ids.size() > 1) {
+      // Every tenth workstation sits in two clusters, exercising the
+      // pseudo-cluster path of the hesiod generator.
+      mc.mcmap()->Append({Value(workstation_machs[i]),
+                          Value(cluster_ids[(i + 1) % cluster_ids.size()])});
+    }
+  }
+
+  // --- NFS physical partitions ---
+  struct PhysSlot {
+    int64_t phys_id;
+    int64_t mach_id;
+    std::string dir;
+    int64_t allocated = 0;
+    size_t row = 0;
+  };
+  std::vector<PhysSlot> partitions;
+  constexpr int kStatusCycle[4] = {kFsStudent, kFsStudent | kFsMisc,
+                                   kFsFaculty | kFsStaff, kFsStudent | kFsStaff};
+  for (int s = 0; s < spec.nfs_servers; ++s) {
+    for (int p = 0; p < spec.partitions_per_server; ++p) {
+      PhysSlot slot;
+      slot.phys_id = id.nfsphys_id++;
+      slot.mach_id = nfs_machs[s];
+      slot.dir = "/u" + std::to_string(p + 1);
+      slot.row = mc.nfsphys()->Append(
+          {Value(slot.phys_id), Value(slot.mach_id), Value(slot.dir),
+           Value("ra0" + std::to_string(p)), Value(int64_t{kStatusCycle[s % 4] | kFsStudent}),
+           Value(int64_t{0}), Value(int64_t{400000}), Value(now), root, setup});
+      partitions.push_back(std::move(slot));
+    }
+  }
+
+  // --- users ---
+  int64_t def_quota = 300;
+  mc.GetValue("def_quota", &def_quota);
+  std::set<std::string> taken_logins;
+  std::vector<int64_t> active_user_ids;
+  std::vector<int64_t> pop_counts(pop_machs.size(), 0);
+  Table* users = mc.users();
+  size_t partition_cursor = 0;
+  for (int i = 0; i < spec.total_users; ++i) {
+    const char* first = kFirstNames[rng.Below(std::size(kFirstNames))];
+    const char* last = kLastNames[rng.Below(std::size(kLastNames))];
+    std::string middle(1, static_cast<char>('A' + rng.Below(26)));
+    std::string id_number = std::to_string(910000000 + i);
+    std::string mit_id = HashMitId(id_number, first, last);
+    int64_t uid = id.uid++;
+    int64_t users_id = id.users_id++;
+    int64_t roll = static_cast<int64_t>(rng.Below(1000));
+    int64_t status;
+    if (roll < spec.active_permille) {
+      status = kUserActive;
+    } else if (roll < spec.active_permille + spec.registerable_permille) {
+      status = kUserNotRegistered;
+    } else {
+      status = static_cast<int64_t>(2 + rng.Below(3));  // 2, 3, or 4
+    }
+    bool has_login = status == kUserActive || status == kUserHalfRegistered;
+    std::string login =
+        has_login ? MakeLogin(first, last, &taken_logins) : "#" + std::to_string(uid);
+    std::string fullname = std::string(first) + " " + middle + " " + last;
+    bool active = status == kUserActive;
+    int64_t pop_index = active ? static_cast<int64_t>(rng.Below(pop_machs.size())) : 0;
+    users->Append({
+        Value(login), Value(users_id), Value(uid),
+        Value(kShells[rng.Below(std::size(kShells))]), Value(last), Value(first),
+        Value(middle), Value(status), Value(mit_id),
+        Value(kClasses[rng.Below(std::size(kClasses))]), Value(now), root, setup,
+        Value(fullname), Value(""), Value(""), Value(""), Value(""), Value(""), Value(""),
+        Value(""), Value(now), root, setup,
+        Value(active ? "POP" : "NONE"), Value(active ? pop_machs[pop_index] : 0), zero,
+        Value(now), root, setup,
+    });
+    if (!active) {
+      continue;
+    }
+    ++pop_counts[pop_index];
+    active_logins_.push_back(login);
+    active_user_ids.push_back(users_id);
+    if (spec.per_user_groups) {
+      int64_t list_id = id.list_id++;
+      int64_t gid = id.gid++;
+      mc.list()->Append({Value(login), Value(list_id), Value(int64_t{1}), zero, zero, zero,
+                         Value(int64_t{1}), Value(gid), Value("user group"), Value("USER"),
+                         Value(users_id), Value(now), root, setup});
+      mc.members()->Append({Value(list_id), Value("USER"), Value(users_id)});
+    } else {
+      id.list_id++;  // keep id allocation stable across configurations
+    }
+    // Home filesystem + quota on the next partition (round robin).
+    PhysSlot& slot = partitions[partition_cursor];
+    partition_cursor = (partition_cursor + 1) % partitions.size();
+    int64_t filsys_id = id.filsys_id++;
+    mc.filesys()->Append({Value(login), zero, Value(filsys_id), Value(slot.phys_id),
+                          Value("NFS"), Value(slot.mach_id), Value(slot.dir + "/" + login),
+                          Value("/mit/" + login), Value("w"), Value(""), Value(users_id),
+                          Value(spec.per_user_groups ? id.list_id - 1 : 0),
+                          Value(int64_t{1}), Value("HOMEDIR"), Value(now), root, setup});
+    mc.nfsquota()->Append({Value(users_id), Value(filsys_id), Value(slot.phys_id),
+                           Value(def_quota), Value(now), root, setup});
+    slot.allocated += def_quota;
+    if (spec.register_kerberos_principals) {
+      realm_->AddPrincipal(login, "pw:" + login);
+    }
+  }
+  for (PhysSlot& slot : partitions) {
+    MoiraContext::SetCell(mc.nfsphys(), slot.row, "allocated", Value(slot.allocated));
+  }
+
+  // --- administrator: a member of dbadmin, which holds every capability ---
+  {
+    int64_t users_id = id.users_id++;
+    int64_t uid = id.uid++;
+    admin_login_ = "opsmgr";
+    taken_logins.insert(admin_login_);
+    users->Append({Value(admin_login_), Value(users_id), Value(uid), Value("/bin/csh"),
+                   Value("Operations"), Value("Moira"), Value("X"),
+                   Value(int64_t{kUserActive}), Value(HashMitId("900000000", "Moira",
+                                                                "Operations")),
+                   Value("STAFF"), Value(now), root, setup, Value("Moira X Operations"),
+                   Value(""), Value(""), Value(""), Value(""), Value(""), Value(""),
+                   Value(""), Value(now), root, setup, Value("NONE"), zero, zero,
+                   Value(now), root, setup});
+    RowRef dbadmin = mc.ListByName("dbadmin");
+    if (dbadmin.code == MR_SUCCESS) {
+      mc.members()->Append(
+          {Value(MoiraContext::IntCell(mc.list(), dbadmin.row, "list_id")), Value("USER"),
+           Value(users_id)});
+    }
+    realm_->AddPrincipal(admin_login_, "pw:opsmgr");
+    QueryRegistry::Instance().SeedCapacls(mc, "dbadmin");
+  }
+
+  // --- mailing lists and project groups ---
+  std::vector<int64_t> maillist_ids;
+  for (int i = 1; i <= spec.maillists; ++i) {
+    int64_t list_id = id.list_id++;
+    std::string name = "ml-" + std::to_string(i);
+    int64_t owner = active_user_ids.empty()
+                        ? 0
+                        : active_user_ids[rng.Below(active_user_ids.size())];
+    mc.list()->Append({Value(name), Value(list_id), Value(int64_t{1}),
+                       Value(int64_t{i % 3 == 0}), Value(int64_t{i % 17 == 0}),
+                       Value(int64_t{1}), zero, Value(int64_t{-1}),
+                       Value("mailing list " + name), Value("USER"), Value(owner),
+                       Value(now), root, setup});
+    int member_count =
+        1 + static_cast<int>(rng.Below(static_cast<uint64_t>(2 * spec.maillist_avg_members)));
+    for (int m = 0; m < member_count && !active_user_ids.empty(); ++m) {
+      mc.members()->Append({Value(list_id), Value("USER"),
+                            Value(active_user_ids[rng.Below(active_user_ids.size())])});
+    }
+    if (!maillist_ids.empty() && rng.Chance(1, 10)) {
+      mc.members()->Append({Value(list_id), Value("LIST"),
+                            Value(maillist_ids[rng.Below(maillist_ids.size())])});
+    }
+    if (rng.Chance(1, 20)) {
+      int64_t string_id = mc.InternString("ext" + std::to_string(i) + "@other.edu");
+      mc.members()->Append({Value(list_id), Value("STRING"), Value(string_id)});
+    }
+    maillist_ids.push_back(list_id);
+  }
+  std::vector<int64_t> group_ids;
+  for (int i = 1; i <= spec.project_groups; ++i) {
+    int64_t list_id = id.list_id++;
+    int64_t gid = id.gid++;
+    std::string name = "prj-" + std::to_string(i);
+    int64_t owner = active_user_ids.empty()
+                        ? 0
+                        : active_user_ids[rng.Below(active_user_ids.size())];
+    mc.list()->Append({Value(name), Value(list_id), Value(int64_t{1}), zero, zero, zero,
+                       Value(int64_t{1}), Value(gid), Value("project group " + name),
+                       Value("USER"), Value(owner), Value(now), root, setup});
+    int member_count = 2 + static_cast<int>(rng.Below(10));
+    for (int m = 0; m < member_count && !active_user_ids.empty(); ++m) {
+      mc.members()->Append({Value(list_id), Value("USER"),
+                            Value(active_user_ids[rng.Below(active_user_ids.size())])});
+    }
+    group_ids.push_back(list_id);
+  }
+
+  // --- printers ---
+  for (int i = 1; i <= spec.printers; ++i) {
+    std::string name = "printer-" + std::to_string(i);
+    int64_t spool_mach = workstation_machs.empty()
+                             ? hesiod_mach
+                             : workstation_machs[i % workstation_machs.size()];
+    mc.printcap()->Append({Value(name), Value(spool_mach),
+                           Value("/usr/spool/printer/" + name), Value(name), Value(""),
+                           Value(now), root, setup});
+  }
+
+  // --- network services ---
+  for (int i = 1; i <= spec.network_services; ++i) {
+    mc.services()->Append({Value("svc" + std::to_string(i)), Value(kProtocols[i % 2]),
+                           Value(int64_t{5000 + i}), Value("synthetic service"),
+                           Value(now), root, setup});
+  }
+
+  // --- zephyr classes ---
+  for (int i = 1; i <= spec.zephyr_classes; ++i) {
+    std::string klass = "zclass-" + std::to_string(i);
+    std::string xmt_type = "NONE";
+    int64_t xmt_id = 0;
+    if (i % 3 == 1 && !group_ids.empty()) {
+      xmt_type = "LIST";
+      xmt_id = group_ids[i % group_ids.size()];
+    } else if (i % 3 == 2 && !active_user_ids.empty()) {
+      xmt_type = "USER";
+      xmt_id = active_user_ids[i % active_user_ids.size()];
+    }
+    mc.zephyr()->Append({Value(klass), Value(xmt_type), Value(xmt_id), Value("NONE"), zero,
+                         Value("NONE"), zero, Value("NONE"), zero, Value(now), root, setup});
+  }
+
+  // --- the DCM service and serverhost tables (paper sections 5.7/5.8) ---
+  auto add_service = [&](const char* name, int64_t interval_minutes, const char* target,
+                         const char* script, const char* type) {
+    mc.servers()->Append({Value(name), Value(interval_minutes), Value(target), Value(script),
+                          zero, zero, Value(type), Value(int64_t{1}), zero, zero, Value(""),
+                          Value("NONE"), zero, Value(now), root, setup});
+  };
+  auto add_serverhost = [&](const char* service, int64_t mach_id, int64_t value1,
+                            int64_t value2, const std::string& value3) {
+    mc.serverhosts()->Append({Value(service), Value(mach_id), Value(int64_t{1}), zero, zero,
+                              zero, zero, Value(""), zero, zero, Value(value1),
+                              Value(value2), Value(value3), Value(now), root, setup});
+  };
+  add_service("HESIOD", 6 * 60, "/tmp/hesiod.out", "hesiod.sh", "REPLICAT");
+  add_serverhost("HESIOD", hesiod_mach, 0, 0, "");
+  add_service("NFS", 12 * 60, "/tmp/nfs.out", "nfs.sh", "UNIQUE");
+  for (int64_t mach : nfs_machs) {
+    add_serverhost("NFS", mach, 0, 0, "");
+  }
+  add_service("SMTP", 24 * 60, "/tmp/mail.out", "mail.sh", "UNIQUE");
+  add_serverhost("SMTP", mail_mach, 0, 0, "");
+  add_service("ZEPHYR", 24 * 60, "/tmp/zephyr.out", "zephyr.sh", "REPLICAT");
+  for (int64_t mach : zephyr_machs) {
+    add_serverhost("ZEPHYR", mach, 0, 0, "");
+  }
+  // POP is bookkeeping only (pobox placement), never updated by the DCM.
+  add_service("POP", 0, "", "", "UNIQUE");
+  for (size_t i = 0; i < pop_machs.size(); ++i) {
+    add_serverhost("POP", pop_machs[i], pop_counts[i], spec.pop_capacity, "");
+  }
+
+  // Flush the id counters back to the values relation.
+  mc.SetValue("users_id", id.users_id);
+  mc.SetValue("uid", id.uid);
+  mc.SetValue("list_id", id.list_id);
+  mc.SetValue("gid", id.gid);
+  mc.SetValue("mach_id", id.mach_id);
+  mc.SetValue("clu_id", id.clu_id);
+  mc.SetValue("filsys_id", id.filsys_id);
+  mc.SetValue("nfsphys_id", id.nfsphys_id);
+  return spec.total_users;
+}
+
+std::vector<std::unique_ptr<SimHost>> CreateSimHosts(MoiraContext& mc, KerberosRealm* realm,
+                                                     HostDirectory* directory) {
+  std::vector<std::unique_ptr<SimHost>> hosts;
+  std::set<std::string> seen;
+  Table* sh = mc.serverhosts();
+  sh->Scan([&](size_t row, const Row&) {
+    int64_t mach_id = MoiraContext::IntCell(sh, row, "mach_id");
+    RowRef mach = mc.ExactOne(mc.machine(), "mach_id", Value(mach_id), MR_MACHINE);
+    if (mach.code != MR_SUCCESS) {
+      return true;
+    }
+    const std::string& name = MoiraContext::StrCell(mc.machine(), mach.row, "name");
+    if (seen.insert(name).second) {
+      hosts.push_back(std::make_unique<SimHost>(name, realm, &mc.db().clock()));
+      directory->Register(hosts.back().get());
+    }
+    return true;
+  });
+  return hosts;
+}
+
+}  // namespace moira

@@ -1,0 +1,90 @@
+// Synthetic Athena site generator (DESIGN.md substitution for the registrar's
+// tape and the production MIT population).
+//
+// Builds a deterministic database matching the paper's scale assumptions
+// (section 5.1): ~10,000 users designed-for, one Hesiod server, 20 NFS locker
+// servers, one mail hub, Zephyr servers, post offices, clusters,
+// workstations, printers, network services, and mailing/group lists.  The
+// same seed always produces the same site, so benches are reproducible.
+#ifndef MOIRA_SRC_SIM_POPULATION_H_
+#define MOIRA_SRC_SIM_POPULATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/context.h"
+#include "src/krb/kerberos.h"
+#include "src/update/sim_host.h"
+
+namespace moira {
+
+struct SiteSpec {
+  // Population (paper: "designed optimally for 10,000 active users"; the
+  // File Organization table sizes correspond to ~7,500 active accounts).
+  int total_users = 10000;
+  int active_permille = 750;    // users with status 1, per 1000
+  int registerable_permille = 200;  // status 0, on the registrar's tape
+  // Infrastructure (paper section 5.1.F).
+  int nfs_servers = 20;
+  int partitions_per_server = 1;
+  int pop_servers = 2;
+  int pop_capacity = 8000;
+  int zephyr_servers = 3;
+  int zephyr_classes = 6;
+  // Site furniture, calibrated so generated file sizes land near the
+  // paper's File Organization table (section 5.1.G).
+  int workstations = 120;
+  int clusters = 12;
+  int maillists = 600;
+  int maillist_avg_members = 15;
+  int project_groups = 150;
+  int printers = 25;
+  int network_services = 120;
+  bool per_user_groups = true;
+  bool register_kerberos_principals = false;  // adds a principal per active user
+  uint64_t seed = 1988;
+};
+
+// A smaller site for unit tests: ~60 users, 3 NFS servers.
+SiteSpec TestSiteSpec();
+
+class SiteBuilder {
+ public:
+  SiteBuilder(MoiraContext* mc, KerberosRealm* realm) : mc_(mc), realm_(realm) {}
+
+  // Populates the (schema'd, seeded) database.  Returns the number of users
+  // created.
+  int Build(const SiteSpec& spec);
+
+  // Machine names created for each role.
+  const std::vector<std::string>& nfs_server_names() const { return nfs_servers_; }
+  const std::vector<std::string>& pop_server_names() const { return pop_servers_; }
+  const std::string& hesiod_server_name() const { return hesiod_server_; }
+  const std::string& mailhub_name() const { return mailhub_; }
+  const std::vector<std::string>& zephyr_server_names() const { return zephyr_servers_; }
+  const std::vector<std::string>& active_logins() const { return active_logins_; }
+  const std::string& admin_login() const { return admin_login_; }
+
+ private:
+  MoiraContext* mc_;
+  KerberosRealm* realm_;
+  std::vector<std::string> nfs_servers_;
+  std::vector<std::string> pop_servers_;
+  std::vector<std::string> zephyr_servers_;
+  std::string hesiod_server_;
+  std::string mailhub_;
+  std::vector<std::string> active_logins_;
+  std::string admin_login_;
+};
+
+// Creates one SimHost per serverhost machine in the database and registers
+// them in `directory`.  Hosts are owned by the returned vector.
+std::vector<std::unique_ptr<SimHost>> CreateSimHosts(MoiraContext& mc,
+                                                     KerberosRealm* realm,
+                                                     HostDirectory* directory);
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_SIM_POPULATION_H_

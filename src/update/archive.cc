@@ -1,0 +1,112 @@
+#include "src/update/archive.h"
+
+#include <cstring>
+
+#include "src/common/checksum.h"
+
+namespace moira {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'T', 'A', 'R'};
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool GetU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < sizeof(*v)) {
+    return false;
+  }
+  std::memcpy(v, in->data(), sizeof(*v));
+  in->remove_prefix(sizeof(*v));
+  return true;
+}
+
+void PutCounted(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetCounted(std::string_view* in, std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(in, &len) || in->size() < len) {
+    return false;
+  }
+  s->assign(in->data(), len);
+  in->remove_prefix(len);
+  return true;
+}
+
+}  // namespace
+
+void Archive::Add(std::string name, std::string contents) {
+  for (auto& [existing_name, existing_contents] : members_) {
+    if (existing_name == name) {
+      existing_contents = std::move(contents);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(name), std::move(contents));
+}
+
+const std::string* Archive::Find(std::string_view name) const {
+  for (const auto& [member_name, contents] : members_) {
+    if (member_name == name) {
+      return &contents;
+    }
+  }
+  return nullptr;
+}
+
+size_t Archive::ContentBytes() const {
+  size_t total = 0;
+  for (const auto& [name, contents] : members_) {
+    total += contents.size();
+  }
+  return total;
+}
+
+std::string Archive::Serialize() const {
+  std::string out(kMagic, sizeof(kMagic));
+  PutU32(&out, static_cast<uint32_t>(members_.size()));
+  for (const auto& [name, contents] : members_) {
+    PutCounted(&out, name);
+    PutCounted(&out, contents);
+  }
+  PutU32(&out, Crc32(out));
+  return out;
+}
+
+std::optional<Archive> Archive::Parse(std::string_view bytes) {
+  if (bytes.size() < sizeof(kMagic) + 2 * sizeof(uint32_t) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::string_view body = bytes.substr(0, bytes.size() - sizeof(uint32_t));
+  std::string_view crc_view = bytes.substr(bytes.size() - sizeof(uint32_t));
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, crc_view.data(), sizeof(stored_crc));
+  if (stored_crc != Crc32(body)) {
+    return std::nullopt;
+  }
+  std::string_view in = body.substr(sizeof(kMagic));
+  uint32_t count = 0;
+  if (!GetU32(&in, &count)) {
+    return std::nullopt;
+  }
+  Archive archive;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    std::string contents;
+    if (!GetCounted(&in, &name) || !GetCounted(&in, &contents)) {
+      return std::nullopt;
+    }
+    archive.Add(std::move(name), std::move(contents));
+  }
+  if (!in.empty()) {
+    return std::nullopt;
+  }
+  return archive;
+}
+
+}  // namespace moira

@@ -1,0 +1,278 @@
+#include "src/update/sim_host.h"
+
+#include "src/comerr/moira_errors.h"
+#include "src/common/checksum.h"
+#include "src/common/strutil.h"
+
+namespace moira {
+
+SimHost::SimHost(std::string name, KerberosRealm* realm, const Clock* clock)
+    : name_(std::move(name)),
+      verifier_(kUpdateServiceName, realm->RegisterService(kUpdateServiceName), clock) {}
+
+bool SimHost::HasFile(std::string_view path) const { return files_.contains(path); }
+
+const std::string* SimHost::ReadFile(std::string_view path) const {
+  auto it = files_.find(path);
+  return it != files_.end() ? &it->second : nullptr;
+}
+
+void SimHost::WriteFileDirect(std::string_view path, std::string contents) {
+  files_[std::string(path)] = std::move(contents);
+}
+
+void SimHost::RemoveFile(std::string_view path) {
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    files_.erase(it);
+  }
+}
+
+std::vector<std::string> SimHost::ListFiles() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, contents] : files_) {
+    out.push_back(path);
+  }
+  return out;
+}
+
+void SimHost::SetFailMode(HostFailMode mode, int count) {
+  fail_mode_ = mode;
+  fail_count_ = count;
+}
+
+void SimHost::Reboot() {
+  crashed_ = false;
+  session_open_ = false;
+  session_target_.clear();
+  session_script_.clear();
+}
+
+bool SimHost::ConsumeFailMode(HostFailMode mode) {
+  if (fail_mode_ != mode || fail_count_ <= 0) {
+    return false;
+  }
+  if (--fail_count_ == 0) {
+    fail_mode_ = HostFailMode::kNone;
+  }
+  return true;
+}
+
+int32_t SimHost::BeginSession(std::string_view authenticator) {
+  if (crashed_) {
+    return MR_UPDATE_CONN;
+  }
+  if (ConsumeFailMode(HostFailMode::kRefuseConnection)) {
+    return MR_UPDATE_CONN;
+  }
+  VerifiedIdentity identity;
+  if (int32_t code = verifier_.Verify(authenticator, &identity); code != MR_SUCCESS) {
+    return MR_BAD_AUTH;
+  }
+  session_open_ = true;
+  session_target_.clear();
+  session_script_.clear();
+  return MR_SUCCESS;
+}
+
+int32_t SimHost::ReceiveFile(const std::string& target, std::string_view data,
+                             uint32_t crc) {
+  if (crashed_ || !session_open_) {
+    return MR_UPDATE_CONN;
+  }
+  std::string temp_path = target + kUpdateSuffix;
+  // An existing temp file may be incomplete from a crashed update; it is
+  // deleted when the next update starts (paper section 5.9 trouble recovery).
+  RemoveFile(temp_path);
+  if (ConsumeFailMode(HostFailMode::kCrashDuringTransfer)) {
+    // Partial write, then the machine goes down.
+    files_[temp_path] = std::string(data.substr(0, data.size() / 2));
+    crashed_ = true;
+    session_open_ = false;
+    return MR_UPDATE_XFER;
+  }
+  if (Crc32(data) != crc) {
+    return MR_UPDATE_CKSUM;
+  }
+  // Complete transfer: the temp file is atomically renamed onto the target.
+  files_[target] = std::string(data);
+  session_target_ = target;
+  return MR_SUCCESS;
+}
+
+int32_t SimHost::ReceiveScript(std::string_view script_text) {
+  if (crashed_ || !session_open_) {
+    return MR_UPDATE_CONN;
+  }
+  session_script_ = std::string(script_text);
+  return MR_SUCCESS;
+}
+
+int32_t SimHost::Flush() {
+  if (crashed_ || !session_open_) {
+    return MR_UPDATE_CONN;
+  }
+  if (ConsumeFailMode(HostFailMode::kCrashBeforeExecute)) {
+    crashed_ = true;
+    session_open_ = false;
+    return MR_UPDATE_CONN;
+  }
+  return MR_SUCCESS;
+}
+
+int32_t SimHost::RunInstruction(std::string_view line, std::string* errmsg) {
+  std::string_view trimmed = TrimWhitespace(line);
+  if (trimmed.empty() || trimmed[0] == '#') {
+    return MR_SUCCESS;
+  }
+  std::vector<std::string> words = Split(std::string(trimmed), ' ');
+  const std::string& op = words[0];
+  if (op == "extract" && words.size() == 3) {
+    // extract <member> <dest>: pull a member from the transferred archive
+    // into <dest>.moira_update (one at a time, as the paper specifies).
+    const std::string* payload = ReadFile(session_target_);
+    if (payload == nullptr) {
+      *errmsg = "no transferred data file";
+      return MR_UPDATE_EXEC;
+    }
+    std::optional<Archive> archive = Archive::Parse(*payload);
+    if (!archive.has_value()) {
+      *errmsg = "transferred file is not a valid archive";
+      return MR_UPDATE_EXEC;
+    }
+    const std::string* member = archive->Find(words[1]);
+    if (member == nullptr) {
+      *errmsg = "archive member not found: " + words[1];
+      return MR_UPDATE_EXEC;
+    }
+    files_[words[2] + kUpdateSuffix] = *member;
+    return MR_SUCCESS;
+  }
+  if (op == "syncdir" && words.size() == 2) {
+    // syncdir <dir>: extract every archive member into <dir>/<member> with
+    // the same temp-file + atomic-rename discipline as extract/install.
+    const std::string* payload = ReadFile(session_target_);
+    if (payload == nullptr) {
+      *errmsg = "no transferred data file";
+      return MR_UPDATE_EXEC;
+    }
+    std::optional<Archive> archive = Archive::Parse(*payload);
+    if (!archive.has_value()) {
+      *errmsg = "transferred file is not a valid archive";
+      return MR_UPDATE_EXEC;
+    }
+    for (const auto& [member, contents] : archive->members()) {
+      std::string dest = words[1] + "/" + member;
+      files_[dest + kUpdateSuffix] = contents;
+      auto current = files_.find(dest);
+      if (current != files_.end()) {
+        files_[dest + kBackupSuffix] = std::move(current->second);
+      }
+      files_[dest] = contents;
+      files_.erase(dest + kUpdateSuffix);
+    }
+    return MR_SUCCESS;
+  }
+  if (op == "install" && words.size() == 2) {
+    // Atomic rename swap: current file to .moira_backup, .moira_update in.
+    // Both "files" live in the same map, mirroring same-partition renames.
+    auto temp_it = files_.find(words[1] + kUpdateSuffix);
+    if (temp_it == files_.end()) {
+      *errmsg = "nothing to install for " + words[1];
+      return MR_UPDATE_EXEC;
+    }
+    auto current = files_.find(words[1]);
+    if (current != files_.end()) {
+      files_[words[1] + kBackupSuffix] = std::move(current->second);
+    }
+    files_[words[1]] = std::move(temp_it->second);
+    files_.erase(words[1] + kUpdateSuffix);
+    return MR_SUCCESS;
+  }
+  if (op == "revert" && words.size() == 2) {
+    auto backup_it = files_.find(words[1] + kBackupSuffix);
+    if (backup_it == files_.end()) {
+      *errmsg = "no backup to revert for " + words[1];
+      return MR_UPDATE_EXEC;
+    }
+    files_[words[1]] = std::move(backup_it->second);
+    files_.erase(words[1] + kBackupSuffix);
+    return MR_SUCCESS;
+  }
+  if (op == "signal" && words.size() == 2) {
+    // The process id is read from the named file at execution time.
+    if (!HasFile(words[1])) {
+      *errmsg = "pid file missing: " + words[1];
+      return MR_UPDATE_EXEC;
+    }
+    signals_sent_.push_back(words[1]);
+    return MR_SUCCESS;
+  }
+  if (op == "exec" && words.size() >= 2) {
+    std::string command = std::string(trimmed.substr(5));
+    executed_commands_.push_back(command);
+    auto handler = commands_.find(words[1]);
+    if (handler != commands_.end()) {
+      int status = handler->second(*this);
+      if (status != 0) {
+        *errmsg = "command exited " + std::to_string(status) + ": " + command;
+        return MR_UPDATE_EXEC;
+      }
+    }
+    return MR_SUCCESS;
+  }
+  *errmsg = "unknown instruction: " + std::string(trimmed);
+  return MR_UPDATE_EXEC;
+}
+
+int32_t SimHost::ExecuteInstructions(std::string* errmsg) {
+  if (crashed_ || !session_open_) {
+    return MR_UPDATE_CONN;
+  }
+  if (ConsumeFailMode(HostFailMode::kScriptError)) {
+    *errmsg = "install script failed (injected)";
+    session_open_ = false;
+    return MR_UPDATE_EXEC;
+  }
+  bool crash_mid_execute = ConsumeFailMode(HostFailMode::kCrashDuringExecute);
+  int executed = 0;
+  size_t pos = 0;
+  const std::string& script = session_script_;
+  while (pos <= script.size()) {
+    size_t eol = script.find('\n', pos);
+    std::string_view line = eol == std::string::npos
+                                ? std::string_view(script).substr(pos)
+                                : std::string_view(script).substr(pos, eol - pos);
+    pos = eol == std::string::npos ? script.size() + 1 : eol + 1;
+    if (TrimWhitespace(line).empty()) {
+      continue;
+    }
+    if (crash_mid_execute && executed == 1) {
+      crashed_ = true;
+      session_open_ = false;
+      return MR_UPDATE_CONN;
+    }
+    if (int32_t code = RunInstruction(line, errmsg); code != MR_SUCCESS) {
+      session_open_ = false;
+      return code;
+    }
+    ++executed;
+  }
+  ++update_count_;
+  session_open_ = false;
+  return MR_SUCCESS;
+}
+
+void SimHost::RegisterCommand(std::string command, std::function<int(SimHost&)> handler) {
+  commands_[std::move(command)] = std::move(handler);
+}
+
+void HostDirectory::Register(SimHost* host) { hosts_[host->name()] = host; }
+
+SimHost* HostDirectory::Find(std::string_view name) const {
+  auto it = hosts_.find(name);
+  return it != hosts_.end() ? it->second : nullptr;
+}
+
+}  // namespace moira

@@ -1,0 +1,123 @@
+// Simulated server hosts (DESIGN.md substitution for the paper's real Hesiod,
+// NFS, mail-hub, and Zephyr machines).
+//
+// Each SimHost has its own in-memory filesystem and implements the server
+// side of the Moira-to-server update protocol (paper section 5.9): verify the
+// DCM's authenticator, receive the data file (with checksum) and the install
+// instruction sequence into temporary files, then on command execute the
+// instructions — extract archive members, swap files in with atomic renames,
+// revert, signal processes, execute commands.  Failure injection covers every
+// trouble-recovery scenario the paper enumerates.
+#ifndef MOIRA_SRC_UPDATE_SIM_HOST_H_
+#define MOIRA_SRC_UPDATE_SIM_HOST_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/krb/kerberos.h"
+#include "src/update/archive.h"
+
+namespace moira {
+
+// The Kerberos service name used for DCM-to-server updates.
+inline constexpr char kUpdateServiceName[] = "moira_update";
+
+// Suffixes used by the install protocol.
+inline constexpr char kUpdateSuffix[] = ".moira_update";
+inline constexpr char kBackupSuffix[] = ".moira_backup";
+
+enum class HostFailMode {
+  kNone,
+  kRefuseConnection,     // connect refused: soft error, retried later
+  kCrashDuringTransfer,  // host crashes mid-transfer; temp file incomplete
+  kCrashBeforeExecute,   // transfer completes, crash before the install command
+  kCrashDuringExecute,   // crash after the first install instruction
+  kScriptError,          // install script exits non-zero: hard error
+};
+
+class SimHost {
+ public:
+  SimHost(std::string name, KerberosRealm* realm, const Clock* clock);
+
+  SimHost(const SimHost&) = delete;
+  SimHost& operator=(const SimHost&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // --- filesystem ---
+  bool HasFile(std::string_view path) const;
+  const std::string* ReadFile(std::string_view path) const;
+  void WriteFileDirect(std::string_view path, std::string contents);
+  void RemoveFile(std::string_view path);
+  std::vector<std::string> ListFiles() const;
+
+  // --- failure injection and crash/reboot simulation ---
+  // Arms `mode` for the next `count` update attempts, then reverts to kNone.
+  void SetFailMode(HostFailMode mode, int count = 1);
+  bool crashed() const { return crashed_; }
+  // Brings a crashed host back up.  Installed files survive; per the paper,
+  // stale temporaries are cleaned when the next update starts, not at boot.
+  void Reboot();
+
+  // --- update protocol, server side ---
+  // Phase A step 1: authentication.  MR_UPDATE_CONN if down/refusing,
+  // MR_BAD_AUTH on a bad authenticator.
+  int32_t BeginSession(std::string_view authenticator);
+  // Phase A step 2: transfer the data file to `target`.  Stale `.moira_update`
+  // temporaries for this target are deleted first (paper section 5.9 B).
+  int32_t ReceiveFile(const std::string& target, std::string_view data, uint32_t crc);
+  // Phase A step 3: transfer the instruction sequence.
+  int32_t ReceiveScript(std::string_view script_text);
+  // Phase A step 4: flush to disk (no-op in memory, but honours crash modes).
+  int32_t Flush();
+  // Phase B + C: execute the instruction sequence; returns the script's exit
+  // status as an error code and fills `errmsg`.
+  int32_t ExecuteInstructions(std::string* errmsg);
+
+  // --- observability for tests ---
+  const std::vector<std::string>& executed_commands() const { return executed_commands_; }
+  const std::vector<std::string>& signals_sent() const { return signals_sent_; }
+  int update_count() const { return update_count_; }
+
+  // Registers a handler for `exec <command>` instructions (e.g. restarting a
+  // hesiod server).  The handler's return value is the command exit status.
+  void RegisterCommand(std::string command, std::function<int(SimHost&)> handler);
+
+ private:
+  bool ConsumeFailMode(HostFailMode mode);
+  int32_t RunInstruction(std::string_view line, std::string* errmsg);
+
+  std::string name_;
+  ServiceVerifier verifier_;
+  std::map<std::string, std::string, std::less<>> files_;
+  std::map<std::string, std::function<int(SimHost&)>, std::less<>> commands_;
+  std::vector<std::string> executed_commands_;
+  std::vector<std::string> signals_sent_;
+  HostFailMode fail_mode_ = HostFailMode::kNone;
+  int fail_count_ = 0;
+  bool crashed_ = false;
+  bool session_open_ = false;
+  std::string session_target_;  // target of the current session's data file
+  std::string session_script_;
+  int update_count_ = 0;
+};
+
+// A directory of hosts the DCM can reach, keyed by canonical machine name.
+class HostDirectory {
+ public:
+  void Register(SimHost* host);
+  SimHost* Find(std::string_view name) const;
+  size_t size() const { return hosts_.size(); }
+
+ private:
+  std::map<std::string, SimHost*, std::less<>> hosts_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_UPDATE_SIM_HOST_H_

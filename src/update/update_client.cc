@@ -1,0 +1,52 @@
+#include "src/update/update_client.h"
+
+#include "src/comerr/moira_errors.h"
+#include "src/common/checksum.h"
+
+namespace moira {
+
+UpdateClient::UpdateClient(KerberosRealm* realm, std::string principal,
+                           std::string password)
+    : realm_(realm), principal_(std::move(principal)), password_(std::move(password)) {}
+
+UpdateOutcome UpdateClient::Update(SimHost* host, const std::string& target,
+                                   const std::string& payload, const std::string& script) {
+  if (host == nullptr) {
+    return UpdateOutcome{MR_UPDATE_CONN, /*hard=*/false, "no such host"};
+  }
+  Ticket ticket;
+  if (int32_t code =
+          realm_->GetInitialTickets(principal_, password_, kUpdateServiceName, &ticket);
+      code != MR_SUCCESS) {
+    return UpdateOutcome{code, /*hard=*/true, "cannot obtain update tickets"};
+  }
+  // Phase A: transfer.
+  if (int32_t code = host->BeginSession(realm_->MakeAuthenticator(ticket));
+      code != MR_SUCCESS) {
+    return UpdateOutcome{code, /*hard=*/code == MR_BAD_AUTH,
+                         "connection/authentication failed"};
+  }
+  if (int32_t code = host->ReceiveFile(target, payload, Crc32(payload));
+      code != MR_SUCCESS) {
+    return UpdateOutcome{code, /*hard=*/false, "file transfer failed"};
+  }
+  if (int32_t code = host->ReceiveScript(script); code != MR_SUCCESS) {
+    return UpdateOutcome{code, /*hard=*/false, "script transfer failed"};
+  }
+  if (int32_t code = host->Flush(); code != MR_SUCCESS) {
+    return UpdateOutcome{code, /*hard=*/false, "flush failed"};
+  }
+  // Phase B + C: execute and confirm.
+  std::string errmsg;
+  int32_t code = host->ExecuteInstructions(&errmsg);
+  if (code == MR_SUCCESS) {
+    return UpdateOutcome{MR_SUCCESS, false, ""};
+  }
+  if (code == MR_UPDATE_EXEC) {
+    return UpdateOutcome{code, /*hard=*/true, errmsg};
+  }
+  return UpdateOutcome{code, /*hard=*/false,
+                       errmsg.empty() ? "update interrupted" : errmsg};
+}
+
+}  // namespace moira

@@ -1,0 +1,44 @@
+// DCM side of the Moira-to-server update protocol (paper section 5.9).
+//
+// Strategy: a transfer phase (authenticate, ship the data file with a
+// checksum, ship the install instruction sequence, flush), then an execution
+// phase triggered by a single command, then a confirmation recorded by the
+// DCM.  Failures are classified soft (likely transient: connection refused,
+// crash, checksum) or hard (the install script itself failed).
+#ifndef MOIRA_SRC_UPDATE_UPDATE_CLIENT_H_
+#define MOIRA_SRC_UPDATE_UPDATE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/krb/kerberos.h"
+#include "src/update/sim_host.h"
+
+namespace moira {
+
+struct UpdateOutcome {
+  int32_t code = 0;
+  bool hard = false;      // true: operator attention needed; false: retry later
+  std::string message;
+};
+
+class UpdateClient {
+ public:
+  // `principal`/`password` identify the DCM to the update service on each
+  // host ("Kerberos is used to verify the identity of both ends at
+  // connection set-up time", section 5.9.2).
+  UpdateClient(KerberosRealm* realm, std::string principal, std::string password);
+
+  // Runs the full three-phase update of one host.
+  UpdateOutcome Update(SimHost* host, const std::string& target,
+                       const std::string& payload, const std::string& script);
+
+ private:
+  KerberosRealm* realm_;
+  std::string principal_;
+  std::string password_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_UPDATE_UPDATE_CLIENT_H_

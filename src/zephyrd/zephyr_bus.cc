@@ -1,0 +1,40 @@
+#include "src/zephyrd/zephyr_bus.h"
+
+namespace moira {
+namespace {
+
+bool Matches(std::string_view pattern, std::string_view value) {
+  return pattern == "*" || pattern == value;
+}
+
+}  // namespace
+
+void ZephyrBus::Send(std::string_view klass, std::string_view instance,
+                     std::string_view sender, std::string_view message) {
+  ZephyrNotice notice{std::string(klass), std::string(instance), std::string(sender),
+                      std::string(message), clock_->Now()};
+  for (const Subscription& sub : subscriptions_) {
+    if (Matches(sub.klass, notice.klass) && Matches(sub.instance, notice.instance)) {
+      sub.subscriber(notice);
+    }
+  }
+  notices_.push_back(std::move(notice));
+}
+
+void ZephyrBus::Subscribe(std::string klass, std::string instance, Subscriber subscriber) {
+  subscriptions_.push_back(Subscription{std::move(klass), std::move(instance),
+                                        std::move(subscriber)});
+}
+
+std::vector<ZephyrNotice> ZephyrBus::Matching(std::string_view klass,
+                                              std::string_view instance) const {
+  std::vector<ZephyrNotice> out;
+  for (const ZephyrNotice& notice : notices_) {
+    if (Matches(klass, notice.klass) && Matches(instance, notice.instance)) {
+      out.push_back(notice);
+    }
+  }
+  return out;
+}
+
+}  // namespace moira

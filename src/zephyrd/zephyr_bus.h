@@ -1,0 +1,60 @@
+// Minimal Zephyr notification substrate.
+//
+// The DCM reports hard errors by sending a zephyrgram to class MOIRA instance
+// DCM (paper section 5.7.1), and the update protocol notifies maintainers of
+// failures (section 5.9).  This bus records notices and delivers them to
+// subscribers so tests can observe the failure-notification path.
+#ifndef MOIRA_SRC_ZEPHYRD_ZEPHYR_BUS_H_
+#define MOIRA_SRC_ZEPHYRD_ZEPHYR_BUS_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace moira {
+
+struct ZephyrNotice {
+  std::string klass;
+  std::string instance;
+  std::string sender;
+  std::string message;
+  UnixTime when = 0;
+};
+
+class ZephyrBus {
+ public:
+  using Subscriber = std::function<void(const ZephyrNotice&)>;
+
+  explicit ZephyrBus(const Clock* clock) : clock_(clock) {}
+
+  void Send(std::string_view klass, std::string_view instance, std::string_view sender,
+            std::string_view message);
+
+  // Delivers matching notices as they are sent; "*" matches any value.
+  void Subscribe(std::string klass, std::string instance, Subscriber subscriber);
+
+  const std::vector<ZephyrNotice>& notices() const { return notices_; }
+
+  // Notices matching the given class/instance ("*" wildcards allowed).
+  std::vector<ZephyrNotice> Matching(std::string_view klass, std::string_view instance) const;
+
+  void Clear() { notices_.clear(); }
+
+ private:
+  struct Subscription {
+    std::string klass;
+    std::string instance;
+    Subscriber subscriber;
+  };
+
+  const Clock* clock_;
+  std::vector<ZephyrNotice> notices_;
+  std::vector<Subscription> subscriptions_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_ZEPHYRD_ZEPHYR_BUS_H_

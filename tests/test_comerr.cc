@@ -1,0 +1,105 @@
+// Unit tests for the com_err error-table system (paper section 5.6.1).
+#include <gtest/gtest.h>
+
+#include "src/comerr/com_err.h"
+#include "src/comerr/error_table.h"
+#include "src/comerr/moira_errors.h"
+
+namespace moira {
+namespace {
+
+TEST(ErrorTableBase, IsDeterministic) {
+  EXPECT_EQ(ErrorTableBase("sms"), ErrorTableBase("sms"));
+  EXPECT_NE(ErrorTableBase("sms"), ErrorTableBase("krb"));
+}
+
+TEST(ErrorTableBase, MatchesManualPacking) {
+  // 's' = 27 + ('s'-'a') = 45; base = ((45<<6 | 39)<<6 | 45) << 8.
+  int32_t expected = ((((45 << 6) + 39) << 6) + 45) << 8;
+  EXPECT_EQ(expected, ErrorTableBase("sms"));
+}
+
+TEST(ErrorTableBase, IgnoresCharactersBeyondFour) {
+  EXPECT_EQ(ErrorTableBase("abcd"), ErrorTableBase("abcd"));
+  // Only the first 4 characters participate.
+  EXPECT_EQ(ErrorTableBase(std::string_view("abcdzzz").substr(0, 4)),
+            ErrorTableBase("abcd"));
+}
+
+TEST(ErrorTableBase, DistinctTablesGetDistinctRanges) {
+  int32_t a = ErrorTableBase("ath");
+  int32_t b = ErrorTableBase("atg");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(0, a & (kMaxTableMessages - 1));
+  EXPECT_EQ(0, b & (kMaxTableMessages - 1));
+}
+
+TEST(MoiraErrors, SuccessIsZero) { EXPECT_EQ(0, MR_SUCCESS); }
+
+TEST(MoiraErrors, CodesAreInSmsRange) {
+  EXPECT_EQ(kMrErrorBase + 1, MR_ARG_TOO_LONG);
+  EXPECT_EQ(kMrErrorBase, MR_PERM & ~(kMaxTableMessages - 1));
+  EXPECT_EQ(kMrErrorBase, MR_NO_CHANGE & ~(kMaxTableMessages - 1));
+}
+
+TEST(MoiraErrors, MessagesResolve) {
+  RegisterMoiraErrorTable();
+  EXPECT_EQ("Insufficient permission to perform requested database access",
+            ErrorMessage(MR_PERM));
+  EXPECT_EQ("No records in database match query", ErrorMessage(MR_NO_MATCH));
+  EXPECT_EQ("No change in database since last file generation", ErrorMessage(MR_NO_CHANGE));
+  EXPECT_EQ("Unknown machine", ErrorMessage(MR_MACHINE));
+}
+
+TEST(MoiraErrors, ZeroIsSuccessMessage) { EXPECT_EQ("Success", ErrorMessage(0)); }
+
+TEST(MoiraErrors, ErrnoRangeFallsBackToStrerror) {
+  std::string msg = ErrorMessage(2);  // ENOENT
+  EXPECT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("No such file"), std::string::npos);
+}
+
+TEST(MoiraErrors, UnknownOffsetReportsTableAndOffset) {
+  RegisterMoiraErrorTable();
+  std::string msg = ErrorMessage(kMrErrorBase + 250);
+  EXPECT_NE(msg.find("Unknown code"), std::string::npos);
+  EXPECT_NE(msg.find("sms"), std::string::npos);
+  EXPECT_NE(msg.find("250"), std::string::npos);
+}
+
+TEST(ComErr, HookReceivesMessage) {
+  RegisterMoiraErrorTable();
+  std::string captured_whoami;
+  int32_t captured_code = -1;
+  std::string captured_message;
+  SetComErrHook([&](std::string_view whoami, int32_t code, std::string_view message) {
+    captured_whoami = std::string(whoami);
+    captured_code = code;
+    captured_message = std::string(message);
+  });
+  ComErr("mrtest", MR_PERM, "while updating user");
+  SetComErrHook(nullptr);
+  EXPECT_EQ("mrtest", captured_whoami);
+  EXPECT_EQ(MR_PERM, captured_code);
+  EXPECT_EQ("while updating user", captured_message);
+}
+
+TEST(ComErr, RestoringHookReturnsPrevious) {
+  ComErrHook hook = [](std::string_view, int32_t, std::string_view) {};
+  SetComErrHook(hook);
+  ComErrHook previous = SetComErrHook(nullptr);
+  EXPECT_TRUE(previous != nullptr);
+}
+
+// Registering a second table and resolving codes from both.
+TEST(ErrorTable, MultipleTablesCoexist) {
+  static constexpr std::string_view kMessages[] = {"zeroth", "first", "second"};
+  ErrorTable table{"tst", std::span<const std::string_view>(kMessages)};
+  int32_t base = InitErrorTable(table);
+  RegisterMoiraErrorTable();
+  EXPECT_EQ("first", ErrorMessage(base + 1));
+  EXPECT_EQ("Unknown machine", ErrorMessage(MR_MACHINE));
+}
+
+}  // namespace
+}  // namespace moira

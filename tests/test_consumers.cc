@@ -1,0 +1,197 @@
+// End-to-end tests for the downstream consumers of DCM output: the NFS
+// fileserver substrate (locker creation, quotas, credentials) and the Zephyr
+// server substrate (ACL enforcement) — paper section 5.8.2.
+#include "src/dcm/dcm.h"
+#include "src/nfsd/nfs_server.h"
+#include "src/sim/population.h"
+#include "src/zephyrd/zephyr_server.h"
+#include "tests/test_env.h"
+
+namespace moira {
+namespace {
+
+class ConsumerTest : public MoiraEnv {
+ protected:
+  void SetUp() override {
+    SiteBuilder builder(mc_.get(), realm_.get());
+    builder.Build(TestSiteSpec());
+    logins_ = builder.active_logins();
+    nfs_names_ = builder.nfs_server_names();
+    zephyr_names_ = builder.zephyr_server_names();
+    zephyr_bus_ = std::make_unique<ZephyrBus>(&clock_);
+    hosts_ = CreateSimHosts(*mc_, realm_.get(), &directory_);
+    dcm_ = std::make_unique<Dcm>(mc_.get(), realm_.get(), zephyr_bus_.get(), &directory_);
+    ConfigureStandardServices(dcm_.get());
+    // Attach the real consumers to the install scripts' exec commands.
+    for (const std::string& name : nfs_names_) {
+      auto server = std::make_unique<NfsServerSim>(directory_.Find(name));
+      InstallNfsUpdateCommand(directory_.Find(name), server.get());
+      nfs_servers_.emplace(name, std::move(server));
+    }
+    for (const std::string& name : zephyr_names_) {
+      auto server = std::make_unique<ZephyrServerSim>(directory_.Find(name));
+      InstallZephyrReloadCommand(directory_.Find(name), server.get());
+      zephyr_servers_.emplace(name, std::move(server));
+    }
+    clock_.Advance(kSecondsPerDay);
+  }
+
+  NfsServerSim& Nfs(const std::string& name) { return *nfs_servers_.at(name); }
+  ZephyrServerSim& Zephyr(const std::string& name) { return *zephyr_servers_.at(name); }
+
+  std::vector<std::string> logins_;
+  std::vector<std::string> nfs_names_;
+  std::vector<std::string> zephyr_names_;
+  std::unique_ptr<ZephyrBus> zephyr_bus_;
+  HostDirectory directory_;
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+  std::map<std::string, std::unique_ptr<NfsServerSim>> nfs_servers_;
+  std::map<std::string, std::unique_ptr<ZephyrServerSim>> zephyr_servers_;
+  std::unique_ptr<Dcm> dcm_;
+};
+
+TEST_F(ConsumerTest, LockersCreatedWithOwnershipAndQuota) {
+  dcm_->RunOnce();
+  // Every active user's home locker exists on their fileserver with the
+  // right uid/gid/type and quota.
+  int found = 0;
+  for (const std::string& login : logins_) {
+    RowRef fs = mc_->FilesysByLabel(login);
+    ASSERT_EQ(MR_SUCCESS, fs.code);
+    RowRef mach = mc_->ExactOne(
+        mc_->machine(), "mach_id",
+        Value(MoiraContext::IntCell(mc_->filesys(), fs.row, "mach_id")), MR_MACHINE);
+    const std::string& server_name =
+        MoiraContext::StrCell(mc_->machine(), mach.row, "name");
+    NfsServerSim& server = Nfs(server_name);
+    const std::string& server_dir = MoiraContext::StrCell(mc_->filesys(), fs.row, "name");
+    const NfsLocker* locker = server.FindLocker(server_dir);
+    ASSERT_NE(nullptr, locker) << server_dir;
+    EXPECT_EQ("HOMEDIR", locker->type);
+    RowRef user = mc_->UserByLogin(login);
+    int64_t uid = MoiraContext::IntCell(mc_->users(), user.row, "uid");
+    EXPECT_EQ(uid, locker->uid);
+    EXPECT_EQ(300, server.QuotaFor(uid));
+    ++found;
+  }
+  EXPECT_EQ(static_cast<int>(logins_.size()), found);
+}
+
+TEST_F(ConsumerTest, HomedirGetsDefaultInitFiles) {
+  dcm_->RunOnce();
+  RowRef fs = mc_->FilesysByLabel(logins_[0]);
+  RowRef mach = mc_->ExactOne(
+      mc_->machine(), "mach_id",
+      Value(MoiraContext::IntCell(mc_->filesys(), fs.row, "mach_id")), MR_MACHINE);
+  SimHost* host = directory_.Find(MoiraContext::StrCell(mc_->machine(), mach.row, "name"));
+  const std::string& server_dir = MoiraContext::StrCell(mc_->filesys(), fs.row, "name");
+  EXPECT_TRUE(host->HasFile(server_dir + "/.cshrc"));
+  EXPECT_TRUE(host->HasFile(server_dir + "/.login"));
+}
+
+TEST_F(ConsumerTest, LockerCreationIsIdempotent) {
+  dcm_->RunOnce();
+  NfsServerSim& server = Nfs(nfs_names_[0]);
+  int created = server.lockers_created();
+  ASSERT_GT(created, 0);
+  // A user customizes their init file; a forced re-update must not clobber
+  // it or re-create the locker.
+  RowRef fs = mc_->FilesysByLabel(logins_[0]);
+  const std::string& dir = MoiraContext::StrCell(mc_->filesys(), fs.row, "name");
+  RowRef mach = mc_->ExactOne(
+      mc_->machine(), "mach_id",
+      Value(MoiraContext::IntCell(mc_->filesys(), fs.row, "mach_id")), MR_MACHINE);
+  SimHost* host = directory_.Find(MoiraContext::StrCell(mc_->machine(), mach.row, "name"));
+  host->WriteFileDirect(dir + "/.cshrc", "# my customizations\n");
+  clock_.Advance(kSecondsPerMinute);
+  for (const std::string& name : nfs_names_) {
+    ASSERT_EQ(MR_SUCCESS, RunRoot("set_server_host_override", {"NFS", name}));
+  }
+  dcm_->RunOnce();
+  if (host->name() == nfs_names_[0]) {
+    EXPECT_EQ(created, server.lockers_created());
+  }
+  EXPECT_EQ("# my customizations\n", *host->ReadFile(dir + "/.cshrc"));
+}
+
+TEST_F(ConsumerTest, CredentialsListActiveUsersOnly) {
+  dcm_->RunOnce();
+  NfsServerSim& server = Nfs(nfs_names_[0]);
+  for (const std::string& login : logins_) {
+    EXPECT_TRUE(server.HasCredential(login)) << login;
+  }
+  EXPECT_FALSE(server.HasCredential("no-such-user"));
+  // Credentials carry the user's gid list.
+  const NfsCredential* credential = server.CredentialFor(logins_[0]);
+  ASSERT_NE(nullptr, credential);
+  EXPECT_FALSE(credential->gids.empty());
+}
+
+TEST_F(ConsumerTest, QuotaChangeReachesSetquota) {
+  dcm_->RunOnce();
+  clock_.Advance(kSecondsPerMinute);
+  const std::string& login = logins_[0];
+  ASSERT_EQ(MR_SUCCESS, RunRoot("update_nfs_quota", {login, login, "750"}));
+  clock_.Advance(13 * kSecondsPerHour);
+  dcm_->RunOnce();
+  RowRef user = mc_->UserByLogin(login);
+  int64_t uid = MoiraContext::IntCell(mc_->users(), user.row, "uid");
+  RowRef fs = mc_->FilesysByLabel(login);
+  RowRef mach = mc_->ExactOne(
+      mc_->machine(), "mach_id",
+      Value(MoiraContext::IntCell(mc_->filesys(), fs.row, "mach_id")), MR_MACHINE);
+  const std::string& server_name = MoiraContext::StrCell(mc_->machine(), mach.row, "name");
+  EXPECT_EQ(750, Nfs(server_name).QuotaFor(uid));
+}
+
+TEST_F(ConsumerTest, ZephyrAclsLoadedOnAllServers) {
+  dcm_->RunOnce();
+  for (const std::string& name : zephyr_names_) {
+    EXPECT_EQ(1, Zephyr(name).reload_count()) << name;
+    EXPECT_EQ(6u, Zephyr(name).class_count()) << name;  // the 6 site classes
+  }
+}
+
+TEST_F(ConsumerTest, ZephyrTransmitEnforcement) {
+  dcm_->RunOnce();
+  ZephyrServerSim& server = Zephyr(zephyr_names_[0]);
+  // The site builder gives zclass-1 a LIST xmt ace, zclass-2 a USER ace,
+  // zclass-3 NONE (wildcard).
+  const ZephyrClassAcl* open_class = server.FindClass("zclass-3");
+  ASSERT_NE(nullptr, open_class);
+  EXPECT_TRUE(server.MayTransmit("zclass-3", "anyone@ATHENA.MIT.EDU"));
+  const ZephyrClassAcl* user_class = server.FindClass("zclass-2");
+  ASSERT_NE(nullptr, user_class);
+  ASSERT_EQ(1u, user_class->xmt.principals.size());
+  std::string allowed = *user_class->xmt.principals.begin();
+  EXPECT_TRUE(server.MayTransmit("zclass-2", allowed));
+  EXPECT_FALSE(server.MayTransmit("zclass-2", "someone-else@ATHENA.MIT.EDU"));
+  // Unknown classes are uncontrolled.
+  EXPECT_TRUE(server.MayTransmit("uncontrolled-class", "anyone@X"));
+}
+
+TEST_F(ConsumerTest, AclMembershipChangePropagatesToEnforcement) {
+  dcm_->RunOnce();
+  ZephyrServerSim& server = Zephyr(zephyr_names_[0]);
+  // zclass-1's xmt ace is a LIST; add a user to that list and the next DCM
+  // interval changes what the zephyr server enforces.
+  const ZephyrClassAcl* acl = server.FindClass("zclass-1");
+  ASSERT_NE(nullptr, acl);
+  const std::string& newcomer = logins_[3];
+  std::string principal = newcomer + "@ATHENA.MIT.EDU";
+  if (server.MayTransmit("zclass-1", principal)) {
+    GTEST_SKIP() << "picked user already on the ACL list";
+  }
+  clock_.Advance(kSecondsPerMinute);
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_zephyr_class", {"zclass-1"}, &tuples));
+  const std::string& list_name = tuples[0][2];
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_member_to_list", {list_name, "USER", newcomer}));
+  clock_.Advance(25 * kSecondsPerHour);
+  dcm_->RunOnce();
+  EXPECT_EQ(2, server.reload_count());
+  EXPECT_TRUE(server.MayTransmit("zclass-1", principal));
+}
+
+}  // namespace
+}  // namespace moira

@@ -1,0 +1,202 @@
+// Unit and property tests for the relational database engine (paper section
+// 5.2's INGRES substitute).
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/db/database.h"
+
+namespace moira {
+namespace {
+
+TableSchema PeopleSchema() {
+  return TableSchema{"people",
+                     {{"name", ColumnType::kString},
+                      {"uid", ColumnType::kInt},
+                      {"shell", ColumnType::kString}}};
+}
+
+class DbTest : public ::testing::Test {
+ protected:
+  DbTest() : clock_(1000), db_(&clock_) { table_ = db_.CreateTable(PeopleSchema()); }
+
+  SimulatedClock clock_;
+  Database db_;
+  Table* table_;
+};
+
+TEST_F(DbTest, AppendAndRead) {
+  size_t row = table_->Append({"alice", 100, "/bin/csh"});
+  EXPECT_TRUE(table_->IsLive(row));
+  EXPECT_EQ("alice", table_->Cell(row, 0).AsString());
+  EXPECT_EQ(100, table_->Cell(row, 1).AsInt());
+  EXPECT_EQ(1u, table_->LiveCount());
+}
+
+TEST_F(DbTest, ColumnIndexLookup) {
+  EXPECT_EQ(0, table_->ColumnIndex("name"));
+  EXPECT_EQ(1, table_->ColumnIndex("uid"));
+  EXPECT_EQ(-1, table_->ColumnIndex("nope"));
+}
+
+TEST_F(DbTest, UpdateCell) {
+  size_t row = table_->Append({"alice", 100, "/bin/csh"});
+  table_->Update(row, 2, Value("/bin/sh"));
+  EXPECT_EQ("/bin/sh", table_->Cell(row, 2).AsString());
+}
+
+TEST_F(DbTest, DeleteTombstonesRow) {
+  size_t a = table_->Append({"alice", 100, "/bin/csh"});
+  size_t b = table_->Append({"bob", 101, "/bin/sh"});
+  table_->Delete(a);
+  EXPECT_FALSE(table_->IsLive(a));
+  EXPECT_TRUE(table_->IsLive(b));
+  EXPECT_EQ(1u, table_->LiveCount());
+  // b's index is stable across a's deletion.
+  EXPECT_EQ("bob", table_->Cell(b, 0).AsString());
+}
+
+TEST_F(DbTest, MatchEquality) {
+  table_->Append({"alice", 100, "/bin/csh"});
+  table_->Append({"bob", 101, "/bin/sh"});
+  table_->Append({"alice", 102, "/bin/sh"});
+  auto rows = table_->Match({Condition{0, Condition::Op::kEq, Value("alice")}});
+  EXPECT_EQ(2u, rows.size());
+  rows = table_->Match({Condition{1, Condition::Op::kEq, Value(int64_t{101})}});
+  ASSERT_EQ(1u, rows.size());
+  EXPECT_EQ("bob", table_->Cell(rows[0], 0).AsString());
+}
+
+TEST_F(DbTest, MatchConjunction) {
+  table_->Append({"alice", 100, "/bin/csh"});
+  table_->Append({"alice", 101, "/bin/sh"});
+  auto rows = table_->Match({Condition{0, Condition::Op::kEq, Value("alice")},
+                             Condition{2, Condition::Op::kEq, Value("/bin/sh")}});
+  ASSERT_EQ(1u, rows.size());
+  EXPECT_EQ(101, table_->Cell(rows[0], 1).AsInt());
+}
+
+TEST_F(DbTest, MatchWildcardAndCaseInsensitive) {
+  table_->Append({"Kermit.MIT.EDU", 1, ""});
+  table_->Append({"gonzo.mit.edu", 2, ""});
+  auto rows = table_->Match({Condition{0, Condition::Op::kWildNoCase, Value("*.mit.edu")}});
+  EXPECT_EQ(2u, rows.size());
+  rows = table_->Match({Condition{0, Condition::Op::kEqNoCase, Value("KERMIT.mit.edu")}});
+  EXPECT_EQ(1u, rows.size());
+}
+
+TEST_F(DbTest, IndexedMatchEqualsScan) {
+  // Property: Match through an index returns the same rows as an unindexed
+  // scan, across appends, updates, and deletes.
+  Table* indexed = db_.CreateTable(TableSchema{
+      "indexed", {{"k", ColumnType::kString}, {"v", ColumnType::kInt}}});
+  indexed->CreateIndex("k");
+  Table* plain = db_.CreateTable(TableSchema{
+      "plain", {{"k", ColumnType::kString}, {"v", ColumnType::kInt}}});
+  auto mutate = [&](Table* t) {
+    for (int i = 0; i < 200; ++i) {
+      t->Append({"k" + std::to_string(i % 17), i});
+    }
+    for (size_t i = 0; i < 200; i += 3) {
+      t->Delete(i);
+    }
+    for (size_t i = 1; i < 200; i += 7) {
+      if (t->IsLive(i)) {
+        t->Update(i, 0, Value("rekeyed"));
+      }
+    }
+  };
+  mutate(indexed);
+  mutate(plain);
+  for (const char* key : {"k0", "k5", "k16", "rekeyed", "missing"}) {
+    auto a = indexed->Match({Condition{0, Condition::Op::kEq, Value(key)}});
+    auto b = plain->Match({Condition{0, Condition::Op::kEq, Value(key)}});
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(b, a) << "key " << key;
+  }
+}
+
+TEST_F(DbTest, ScanEarlyStop) {
+  for (int i = 0; i < 10; ++i) {
+    table_->Append({"u" + std::to_string(i), i, ""});
+  }
+  int visited = 0;
+  table_->Scan([&](size_t, const Row&) { return ++visited < 3; });
+  EXPECT_EQ(3, visited);
+}
+
+TEST_F(DbTest, StatsTrackMutations) {
+  clock_.Set(2000);
+  size_t row = table_->Append({"a", 1, ""});
+  EXPECT_EQ(1, table_->stats().appends);
+  EXPECT_EQ(2000, table_->stats().modtime);
+  clock_.Set(3000);
+  table_->Update(row, 1, Value(int64_t{2}));
+  EXPECT_EQ(1, table_->stats().updates);
+  EXPECT_EQ(3000, table_->stats().modtime);
+  clock_.Set(4000);
+  table_->Delete(row);
+  EXPECT_EQ(1, table_->stats().deletes);
+  EXPECT_EQ(4000, table_->stats().modtime);
+}
+
+TEST_F(DbTest, DatabaseLastModified) {
+  EXPECT_EQ(0, db_.LastModified());
+  clock_.Set(5555);
+  table_->Append({"x", 1, ""});
+  EXPECT_EQ(5555, db_.LastModified());
+}
+
+TEST_F(DbTest, DuplicateTableRejected) {
+  EXPECT_EQ(nullptr, db_.CreateTable(PeopleSchema()));
+}
+
+TEST_F(DbTest, TableNamesInCreationOrder) {
+  db_.CreateTable(TableSchema{"zeta", {{"a", ColumnType::kInt}}});
+  db_.CreateTable(TableSchema{"alpha", {{"a", ColumnType::kInt}}});
+  std::vector<std::string> names = db_.TableNames();
+  ASSERT_EQ(3u, names.size());
+  EXPECT_EQ("people", names[0]);
+  EXPECT_EQ("zeta", names[1]);
+  EXPECT_EQ("alpha", names[2]);
+}
+
+TEST_F(DbTest, ClearAllRowsKeepsSchemas) {
+  table_->Append({"a", 1, ""});
+  db_.ClearAllRows();
+  EXPECT_EQ(0u, table_->LiveCount());
+  EXPECT_NE(nullptr, db_.GetTable("people"));
+}
+
+TEST(ValueTest, TypeAndConversions) {
+  Value i{int64_t{42}};
+  Value s{"hello"};
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ("42", i.ToString());
+  EXPECT_EQ("hello", s.ToString());
+  EXPECT_EQ(0, s.AsInt());
+  EXPECT_EQ("", i.AsString());
+  EXPECT_EQ(Value(int64_t{42}), i);
+  EXPECT_NE(Value("hello "), s);
+}
+
+// Index maintenance across updates must not leave dangling entries.
+TEST_F(DbTest, IndexUpdatedOnRekey) {
+  table_->CreateIndex("name");
+  size_t row = table_->Append({"old", 1, ""});
+  table_->Update(row, 0, Value("new"));
+  EXPECT_TRUE(table_->Match({Condition{0, Condition::Op::kEq, Value("old")}}).empty());
+  ASSERT_EQ(1u, table_->Match({Condition{0, Condition::Op::kEq, Value("new")}}).size());
+}
+
+TEST_F(DbTest, IndexCreationOnPopulatedTable) {
+  for (int i = 0; i < 20; ++i) {
+    table_->Append({"name" + std::to_string(i % 5), i, ""});
+  }
+  table_->CreateIndex("name");
+  EXPECT_EQ(4u, table_->Match({Condition{0, Condition::Op::kEq, Value("name2")}}).size());
+}
+
+}  // namespace
+}  // namespace moira

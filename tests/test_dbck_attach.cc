@@ -1,0 +1,181 @@
+// Tests for the dbck consistency checker (paper section 5.9.1) and the
+// attach client (paper section 5.8.2).
+#include "src/backup/dbck.h"
+#include "src/client/attach.h"
+#include "src/dcm/generators.h"
+#include "src/hesiod/resolver.h"
+#include "src/sim/population.h"
+#include "tests/test_env.h"
+
+namespace moira {
+namespace {
+
+class DbckTest : public MoiraEnv {
+ protected:
+  void SetUp() override {
+    SiteBuilder builder(mc_.get(), realm_.get());
+    builder.Build(TestSiteSpec());
+    logins_ = builder.active_logins();
+  }
+
+  // Findings whose description mentions `needle`.
+  static int Count(const std::vector<DbckIssue>& issues, std::string_view table) {
+    int n = 0;
+    for (const DbckIssue& issue : issues) {
+      if (issue.table == table) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  std::vector<std::string> logins_;
+};
+
+TEST_F(DbckTest, FreshSiteIsConsistent) {
+  DbConsistencyChecker dbck(mc_.get());
+  std::vector<DbckIssue> issues = dbck.Check();
+  for (const DbckIssue& issue : issues) {
+    ADD_FAILURE() << issue.table << ": " << issue.description;
+  }
+}
+
+TEST_F(DbckTest, DetectsDanglingMember) {
+  mc_->members()->Append({Value(int64_t{999999}), Value("USER"), Value(int64_t{888888})});
+  DbConsistencyChecker dbck(mc_.get());
+  EXPECT_GE(Count(dbck.Check(), "members"), 1);
+}
+
+TEST_F(DbckTest, DetectsDanglingQuotaAndBadAllocation) {
+  // Delete a user out from under their quota by raw table surgery (the kind
+  // of damage a partial restore leaves).
+  RowRef user = mc_->UserByLogin(logins_[0]);
+  ASSERT_EQ(MR_SUCCESS, user.code);
+  mc_->users()->Delete(user.row);
+  DbConsistencyChecker dbck(mc_.get());
+  std::vector<DbckIssue> issues = dbck.Check();
+  EXPECT_GE(Count(issues, "nfsquota"), 1);   // quota for missing user
+  EXPECT_GE(Count(issues, "members"), 1);    // their group membership dangles
+  EXPECT_GE(Count(issues, "filesys"), 1);    // their home filesystem's owner
+}
+
+TEST_F(DbckTest, DetectsBrokenPobox) {
+  RowRef user = mc_->UserByLogin(logins_[1]);
+  MoiraContext::SetCell(mc_->users(), user.row, "pop_id", Value(int64_t{424242}));
+  DbConsistencyChecker dbck(mc_.get());
+  EXPECT_GE(Count(dbck.Check(), "users"), 1);
+}
+
+TEST_F(DbckTest, DetectsAllocationDrift) {
+  Table* phys = mc_->nfsphys();
+  size_t row = 0;
+  phys->Scan([&](size_t r, const Row&) {
+    row = r;
+    return false;
+  });
+  MoiraContext::SetCell(phys, row, "allocated",
+                        Value(MoiraContext::IntCell(phys, row, "allocated") + 1000));
+  DbConsistencyChecker dbck(mc_.get());
+  EXPECT_EQ(1, Count(dbck.Check(), "nfsphys"));
+}
+
+TEST_F(DbckTest, RepairFixesTheRepairable) {
+  // Inflict a spread of damage.
+  RowRef user = mc_->UserByLogin(logins_[0]);
+  mc_->users()->Delete(user.row);
+  mc_->members()->Append({Value(int64_t{999999}), Value("USER"), Value(int64_t{888888})});
+  RowRef broken_box = mc_->UserByLogin(logins_[1]);
+  MoiraContext::SetCell(mc_->users(), broken_box.row, "pop_id", Value(int64_t{424242}));
+  mc_->mcmap()->Append({Value(int64_t{777777}), Value(int64_t{666666})});
+  DbConsistencyChecker dbck(mc_.get());
+  int repairs = dbck.Repair();
+  EXPECT_GT(repairs, 0);
+  // Everything repairable is gone; what remains is flagged non-repairable
+  // (the deleted user's filesystem ownership needs human judgement).
+  for (const DbckIssue& issue : dbck.Check()) {
+    EXPECT_FALSE(issue.repairable) << issue.table << ": " << issue.description;
+  }
+  // A second repair pass finds nothing to do.
+  EXPECT_EQ(0, dbck.Repair());
+}
+
+TEST_F(DbckTest, RepairedPoboxIsNone) {
+  RowRef user = mc_->UserByLogin(logins_[2]);
+  MoiraContext::SetCell(mc_->users(), user.row, "pop_id", Value(int64_t{424242}));
+  DbConsistencyChecker dbck(mc_.get());
+  dbck.Repair();
+  user = mc_->UserByLogin(logins_[2]);
+  EXPECT_EQ("NONE", MoiraContext::StrCell(mc_->users(), user.row, "potype"));
+}
+
+class AttachTest : public MoiraEnv {
+ protected:
+  void SetUp() override {
+    SiteBuilder builder(mc_.get(), realm_.get());
+    builder.Build(TestSiteSpec());
+    logins_ = builder.active_logins();
+    GeneratorResult result;
+    ASSERT_EQ(MR_SUCCESS, GenerateHesiod(*mc_, &result));
+    for (const auto& [name, contents] : result.common.members()) {
+      ASSERT_GE(hesiod_.LoadDb(contents), 0);
+    }
+    protocol_ = std::make_unique<HesiodProtocolServer>(&hesiod_);
+    resolver_ = std::make_unique<HesiodResolver>(
+        [this](std::string_view packet) { return protocol_->HandleQuery(packet); });
+  }
+
+  std::vector<std::string> logins_;
+  HesiodServer hesiod_;
+  std::unique_ptr<HesiodProtocolServer> protocol_;
+  std::unique_ptr<HesiodResolver> resolver_;
+};
+
+TEST_F(AttachTest, ParseFilsysEntryFormats) {
+  std::optional<FilsysEntry> nfs =
+      ParseFilsysEntry("NFS /mit/aab charon w /mit/aab");
+  ASSERT_TRUE(nfs.has_value());
+  EXPECT_EQ("NFS", nfs->type);
+  EXPECT_EQ("/mit/aab", nfs->remote);
+  EXPECT_EQ("charon", nfs->server);
+  EXPECT_EQ("w", nfs->access);
+  EXPECT_EQ("/mit/aab", nfs->mount);
+  EXPECT_TRUE(ParseFilsysEntry("RVD ade helen r /mnt/ade").has_value());
+  EXPECT_FALSE(ParseFilsysEntry("AFS /x y r /z").has_value());
+  EXPECT_FALSE(ParseFilsysEntry("NFS missing fields").has_value());
+}
+
+TEST_F(AttachTest, AttachesHomeLockerViaHesiod) {
+  AttachClient attach(resolver_.get());
+  FilsysEntry entry;
+  ASSERT_EQ(MR_SUCCESS, attach.Attach(logins_[0], &entry));
+  EXPECT_EQ("NFS", entry.type);
+  EXPECT_EQ("/mit/" + logins_[0], entry.mount);
+  EXPECT_EQ("w", entry.access);
+  EXPECT_EQ(1u, attach.attach_count());
+  EXPECT_NE(nullptr, attach.Attached(logins_[0]));
+}
+
+TEST_F(AttachTest, DoubleAttachAndMountConflict) {
+  AttachClient attach(resolver_.get());
+  ASSERT_EQ(MR_SUCCESS, attach.Attach(logins_[0]));
+  EXPECT_EQ(MR_IN_USE, attach.Attach(logins_[0]));
+  // A different locker at a different mount point is fine.
+  EXPECT_EQ(MR_SUCCESS, attach.Attach(logins_[1]));
+  EXPECT_EQ(2u, attach.attach_count());
+}
+
+TEST_F(AttachTest, UnknownLockerFails) {
+  AttachClient attach(resolver_.get());
+  EXPECT_EQ(MR_FILESYS, attach.Attach("no-such-locker"));
+}
+
+TEST_F(AttachTest, DetachFreesMountPoint) {
+  AttachClient attach(resolver_.get());
+  ASSERT_EQ(MR_SUCCESS, attach.Attach(logins_[0]));
+  ASSERT_EQ(MR_SUCCESS, attach.Detach(logins_[0]));
+  EXPECT_EQ(MR_NO_MATCH, attach.Detach(logins_[0]));
+  EXPECT_EQ(MR_SUCCESS, attach.Attach(logins_[0]));
+}
+
+}  // namespace
+}  // namespace moira

@@ -1,0 +1,284 @@
+// Tests for the Data Control Manager (paper section 5.7): intervals,
+// incremental generation, host scans, overrides, soft/hard errors, locks,
+// and the failure-notification path.
+#include "src/dcm/dcm.h"
+#include "src/hesiod/hesiod.h"
+#include "src/sim/population.h"
+#include "src/zephyrd/zephyr_bus.h"
+#include "tests/test_env.h"
+
+namespace moira {
+namespace {
+
+class DcmTest : public MoiraEnv {
+ protected:
+  void SetUp() override {
+    SiteBuilder builder(mc_.get(), realm_.get());
+    builder.Build(TestSiteSpec());
+    hesiod_name_ = builder.hesiod_server_name();
+    nfs_names_ = builder.nfs_server_names();
+    zephyr_ = std::make_unique<ZephyrBus>(&clock_);
+    hosts_ = CreateSimHosts(*mc_, realm_.get(), &directory_);
+    dcm_ = std::make_unique<Dcm>(mc_.get(), realm_.get(), zephyr_.get(), &directory_);
+    ConfigureStandardServices(dcm_.get());
+    // First runs happen a day in, so every interval has elapsed.
+    clock_.Advance(kSecondsPerDay);
+  }
+
+  SimHost* Host(const std::string& name) { return directory_.Find(name); }
+
+  std::string hesiod_name_;
+  std::vector<std::string> nfs_names_;
+  std::unique_ptr<ZephyrBus> zephyr_;
+  HostDirectory directory_;
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+  std::unique_ptr<Dcm> dcm_;
+};
+
+TEST_F(DcmTest, FirstRunGeneratesAndPropagatesEverything) {
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_TRUE(summary.ran);
+  EXPECT_EQ(4, summary.services_considered);  // HESIOD NFS SMTP ZEPHYR (POP interval 0)
+  EXPECT_EQ(4, summary.services_generated);
+  EXPECT_EQ(0, summary.services_no_change);
+  // 1 hesiod + 3 NFS + 1 mail + 3 zephyr hosts.
+  EXPECT_EQ(8, summary.hosts_updated);
+  EXPECT_EQ(0, summary.host_soft_failures);
+  EXPECT_EQ(0, summary.host_hard_failures);
+  // Hesiod files were installed and the server restarted.
+  SimHost* hesiod = Host(hesiod_name_);
+  ASSERT_NE(nullptr, hesiod);
+  EXPECT_TRUE(hesiod->HasFile("/etc/athena/hesiod/passwd.db"));
+  EXPECT_TRUE(hesiod->HasFile("/etc/athena/hesiod/sloc.db"));
+  ASSERT_EQ(1u, hesiod->executed_commands().size());
+  EXPECT_EQ("restart_hesiod", hesiod->executed_commands()[0]);
+  // NFS hosts got their partition files and credentials.
+  SimHost* nfs = Host(nfs_names_[0]);
+  EXPECT_TRUE(nfs->HasFile("/site/moira/u1.dirs"));
+  EXPECT_TRUE(nfs->HasFile("/site/moira/u1.quotas"));
+  EXPECT_TRUE(nfs->HasFile("/site/moira/credentials"));
+  // The mail hub's aliases file is staged, not installed over /usr/lib.
+  SimHost* mail = Host("ATHENA.MIT.EDU");
+  EXPECT_TRUE(mail->HasFile("/usr/lib/moira.staged/aliases"));
+  EXPECT_TRUE(mail->HasFile("/usr/lib/moira.staged/passwd"));
+}
+
+TEST_F(DcmTest, NoDcmFileDisables) {
+  dcm_->set_nodcm(true);
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_FALSE(summary.ran);
+  EXPECT_EQ(0, summary.hosts_updated);
+}
+
+TEST_F(DcmTest, DcmEnableValueDisables) {
+  ASSERT_EQ(MR_SUCCESS, mc_->SetValue("dcm_enable", 0));
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_FALSE(summary.ran);
+}
+
+TEST_F(DcmTest, SecondRunWithinIntervalDoesNothing) {
+  dcm_->RunOnce();
+  clock_.Advance(15 * kSecondsPerMinute);
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_TRUE(summary.ran);
+  EXPECT_EQ(0, summary.services_generated);
+  EXPECT_EQ(0, summary.services_no_change);  // not even due for a check
+  EXPECT_EQ(0, summary.hosts_updated);
+}
+
+TEST_F(DcmTest, UnchangedDatabaseYieldsNoChange) {
+  dcm_->RunOnce();
+  // 6+ hours later HESIOD is due again, but nothing changed: no new files
+  // are generated and nothing propagates (paper section 5.1.E).
+  clock_.Advance(7 * kSecondsPerHour);
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_EQ(0, summary.services_generated);
+  EXPECT_EQ(1, summary.services_no_change);  // HESIOD checked, unchanged
+  EXPECT_EQ(0, summary.hosts_updated);
+  EXPECT_EQ(1, Host(hesiod_name_)->update_count());
+}
+
+TEST_F(DcmTest, RelevantChangeTriggersRegeneration) {
+  dcm_->RunOnce();
+  clock_.Advance(7 * kSecondsPerHour);
+  // A user change is relevant to HESIOD (and SMTP/NFS, but those are not due
+  // yet at +7h... NFS is 12h, SMTP 24h).
+  ASSERT_EQ(MR_SUCCESS, RunRoot("update_user_shell", {"opsmgr", "/bin/changed"}));
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_EQ(1, summary.services_generated);  // HESIOD only
+  EXPECT_EQ(1, summary.hosts_updated);
+  EXPECT_EQ(2, Host(hesiod_name_)->update_count());
+  const std::string* passwd = Host(hesiod_name_)->ReadFile("/etc/athena/hesiod/passwd.db");
+  EXPECT_NE(passwd->find("/bin/changed"), std::string::npos);
+}
+
+TEST_F(DcmTest, IrrelevantChangeYieldsNoChange) {
+  dcm_->RunOnce();
+  clock_.Advance(7 * kSecondsPerHour);
+  // Zephyr class changes are irrelevant to HESIOD.
+  ASSERT_EQ(MR_SUCCESS, RunRoot("update_zephyr_class",
+                                {"zclass-3", "zclass-3", "NONE", "NONE", "NONE", "NONE",
+                                 "NONE", "NONE", "NONE", "NONE"}));
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_EQ(0, summary.services_generated);
+  EXPECT_EQ(1, summary.services_no_change);
+}
+
+TEST_F(DcmTest, OverrideForcesHostUpdate) {
+  dcm_->RunOnce();
+  clock_.Advance(10 * kSecondsPerMinute);
+  ASSERT_EQ(MR_SUCCESS, RunRoot("set_server_host_override", {"NFS", nfs_names_[0]}));
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_EQ(1, summary.hosts_updated);
+  EXPECT_EQ(2, Host(nfs_names_[0])->update_count());
+  // The override flag clears after the successful update.
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_host_info", {"NFS", nfs_names_[0]}, &tuples));
+  EXPECT_EQ("0", tuples[0][3]);
+}
+
+TEST_F(DcmTest, DisabledServiceSkipped) {
+  ASSERT_EQ(MR_SUCCESS, RunRoot("update_server_info",
+                                {"HESIOD", "360", "/tmp/hesiod.out", "hesiod.sh",
+                                 "REPLICAT", "0", "NONE", "NONE"}));
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_EQ(3, summary.services_considered);
+  EXPECT_EQ(0, Host(hesiod_name_)->update_count());
+}
+
+TEST_F(DcmTest, DisabledHostSkipped) {
+  ASSERT_EQ(MR_SUCCESS, RunRoot("update_server_host_info",
+                                {"NFS", nfs_names_[1], "0", "0", "0", ""}));
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_EQ(7, summary.hosts_updated);
+  EXPECT_EQ(0, Host(nfs_names_[1])->update_count());
+}
+
+TEST_F(DcmTest, SoftFailureRetriesNextRun) {
+  Host(nfs_names_[0])->SetFailMode(HostFailMode::kRefuseConnection);
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_EQ(1, summary.host_soft_failures);
+  EXPECT_EQ(7, summary.hosts_updated);
+  // ltt was recorded, lts was not; the host has no hosterror, so a later run
+  // retries it.
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_host_info", {"NFS", nfs_names_[0]}, &tuples));
+  EXPECT_EQ("0", tuples[0][4]);   // success
+  EXPECT_EQ("0", tuples[0][6]);   // hosterror
+  EXPECT_NE("0", tuples[0][8]);   // lasttry
+  EXPECT_EQ("0", tuples[0][9]);   // lastsuccess
+  clock_.Advance(10 * kSecondsPerMinute);
+  summary = dcm_->RunOnce();
+  EXPECT_EQ(1, summary.hosts_updated);
+  EXPECT_EQ(1, Host(nfs_names_[0])->update_count());
+}
+
+TEST_F(DcmTest, HardFailureSetsHostErrorAndNotifies) {
+  Host(nfs_names_[0])->SetFailMode(HostFailMode::kScriptError);
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_EQ(1, summary.host_hard_failures);
+  // Zephyrgram to class MOIRA instance DCM plus the mail notification.
+  EXPECT_EQ(1u, zephyr_->Matching("MOIRA", "DCM").size());
+  EXPECT_EQ(1u, zephyr_->Matching("MAIL", "*").size());
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_host_info", {"NFS", nfs_names_[0]}, &tuples));
+  EXPECT_NE("0", tuples[0][6]);  // hosterror recorded
+  // The host is not retried until the error is reset.
+  clock_.Advance(10 * kSecondsPerMinute);
+  summary = dcm_->RunOnce();
+  EXPECT_EQ(0, Host(nfs_names_[0])->update_count());
+  ASSERT_EQ(MR_SUCCESS, RunRoot("reset_server_host_error", {"NFS", nfs_names_[0]}));
+  summary = dcm_->RunOnce();
+  EXPECT_EQ(1, Host(nfs_names_[0])->update_count());
+}
+
+TEST_F(DcmTest, ReplicatedHardFailureHaltsService) {
+  // ZEPHYR is replicated across 3 hosts; a hard failure on the first halts
+  // updates to the rest and records the error on the service itself.
+  SimHost* z1 = Host("ZEPHYR-1.MIT.EDU");
+  ASSERT_NE(nullptr, z1);
+  z1->SetFailMode(HostFailMode::kScriptError);
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_EQ(1, summary.host_hard_failures);
+  EXPECT_EQ(0, Host("ZEPHYR-2.MIT.EDU")->update_count());
+  EXPECT_EQ(0, Host("ZEPHYR-3.MIT.EDU")->update_count());
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_info", {"ZEPHYR"}, &tuples));
+  EXPECT_NE("0", tuples[0][9]);  // service harderror
+  // With the service hard error set, no further updates are attempted at all.
+  clock_.Advance(kSecondsPerDay + kSecondsPerHour);
+  summary = dcm_->RunOnce();
+  EXPECT_EQ(3, summary.services_considered);
+  // reset_server_error clears the error so the next run catches everyone up.
+  ASSERT_EQ(MR_SUCCESS, RunRoot("reset_server_error", {"ZEPHYR"}));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("reset_server_host_error", {"ZEPHYR", "zephyr-1.mit.edu"}));
+  summary = dcm_->RunOnce();
+  EXPECT_EQ(1, Host("ZEPHYR-1.MIT.EDU")->update_count());
+  EXPECT_EQ(1, Host("ZEPHYR-2.MIT.EDU")->update_count());
+  EXPECT_EQ(1, Host("ZEPHYR-3.MIT.EDU")->update_count());
+}
+
+TEST_F(DcmTest, CrashedHostCaughtUpAfterReboot) {
+  SimHost* nfs = Host(nfs_names_[2]);
+  nfs->SetFailMode(HostFailMode::kCrashDuringTransfer);
+  dcm_->RunOnce();
+  EXPECT_TRUE(nfs->crashed());
+  // Several runs while down: still a soft failure, still retried.
+  clock_.Advance(10 * kSecondsPerMinute);
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_EQ(1, summary.host_soft_failures);
+  nfs->Reboot();
+  clock_.Advance(10 * kSecondsPerMinute);
+  summary = dcm_->RunOnce();
+  EXPECT_EQ(1, summary.hosts_updated);
+  EXPECT_TRUE(nfs->HasFile("/site/moira/credentials"));
+}
+
+TEST_F(DcmTest, GenerationCountsDistinctFiles) {
+  DcmRunSummary summary = dcm_->RunOnce();
+  // 11 hesiod + (3 dirs + 3 quotas + 1 shared credentials) + 2 mail + 6
+  // zephyr acl files.
+  EXPECT_EQ(11 + 7 + 2 + 6, summary.files_generated);
+  // Propagations: 11 + 3x3 NFS members + 2 mail + 6x3 zephyr.
+  EXPECT_EQ(11 + 9 + 2 + 18, summary.propagations);
+}
+
+TEST_F(DcmTest, ServiceLockBlocksConcurrentGeneration) {
+  ASSERT_TRUE(dcm_->locks().Acquire("service:HESIOD", LockManager::Mode::kExclusive));
+  DcmRunSummary summary = dcm_->RunOnce();
+  // HESIOD generation was skipped (lock held); other services proceeded.
+  EXPECT_EQ(0, Host(hesiod_name_)->update_count());
+  EXPECT_EQ(3, summary.services_generated);
+  dcm_->locks().Release("service:HESIOD", LockManager::Mode::kExclusive);
+  DcmRunSummary second = dcm_->RunOnce();
+  EXPECT_EQ(1, second.services_generated);
+  EXPECT_EQ(1, Host(hesiod_name_)->update_count());
+}
+
+TEST_F(DcmTest, HesiodServesGeneratedFilesAfterUpdate) {
+  // Wire a HesiodServer to the host's restart command, as the install script
+  // does in production.
+  HesiodServer hesiod;
+  SimHost* host = Host(hesiod_name_);
+  host->RegisterCommand("restart_hesiod", [&hesiod](SimHost& h) {
+    std::vector<std::string> texts;
+    for (const char* file :
+         {"cluster.db", "filsys.db", "gid.db", "group.db", "grplist.db", "passwd.db",
+          "pobox.db", "printcap.db", "service.db", "sloc.db", "uid.db"}) {
+      const std::string* contents = h.ReadFile(std::string("/etc/athena/hesiod/") + file);
+      if (contents == nullptr) {
+        return 1;
+      }
+      texts.push_back(*contents);
+    }
+    return hesiod.Reload(texts) >= 0 ? 0 : 1;
+  });
+  dcm_->RunOnce();
+  EXPECT_EQ(1, hesiod.reload_count());
+  EXPECT_GT(hesiod.record_count(), 0u);
+  // A known active user resolves.
+  EXPECT_FALSE(hesiod.Resolve("opsmgr", "passwd").empty());
+}
+
+}  // namespace
+}  // namespace moira

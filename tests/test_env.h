@@ -1,0 +1,67 @@
+// Shared fixtures for the Moira test suite.
+#ifndef MOIRA_TESTS_TEST_ENV_H_
+#define MOIRA_TESTS_TEST_ENV_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/comerr/moira_errors.h"
+#include "src/common/clock.h"
+#include "src/core/context.h"
+#include "src/core/registry.h"
+#include "src/core/schema.h"
+#include "src/krb/kerberos.h"
+
+namespace moira {
+
+// A fresh, seeded, empty Moira database with a simulated clock starting at a
+// realistic 1988 timestamp.
+class MoiraEnv : public ::testing::Test {
+ protected:
+  MoiraEnv()
+      : clock_(568000000)  // late 1987, in keeping with the paper's era
+  {
+    db_ = std::make_unique<Database>(&clock_);
+    CreateMoiraSchema(db_.get());
+    SeedMoiraDefaults(db_.get());
+    mc_ = std::make_unique<MoiraContext>(db_.get());
+    realm_ = std::make_unique<KerberosRealm>(&clock_);
+    RegisterMoiraErrorTable();
+  }
+
+  // Runs a query as `principal` collecting tuples.
+  int32_t Run(std::string_view principal, std::string_view query,
+              const std::vector<std::string>& args, std::vector<Tuple>* tuples = nullptr) {
+    return QueryRegistry::Instance().Execute(
+        *mc_, principal, "test", query, args, [&](Tuple tuple) {
+          if (tuples != nullptr) {
+            tuples->push_back(std::move(tuple));
+          }
+        });
+  }
+
+  // Runs as root (the glue-library identity used by the DCM).
+  int32_t RunRoot(std::string_view query, const std::vector<std::string>& args,
+                  std::vector<Tuple>* tuples = nullptr) {
+    return Run("root", query, args, tuples);
+  }
+
+  // Adds a minimal active user directly through the query layer.
+  void AddActiveUser(const std::string& login, int uid) {
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_user", {login, std::to_string(uid), "/bin/csh",
+                                               "Last" + login, "First" + login, "Q", "1",
+                                               "hash" + login, "G"}));
+  }
+
+  SimulatedClock clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<MoiraContext> mc_;
+  std::unique_ptr<KerberosRealm> realm_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_TESTS_TEST_ENV_H_

@@ -1,0 +1,112 @@
+// Tests for the Hesiod name server substrate (paper section 5.8.2).
+#include <gtest/gtest.h>
+
+#include "src/hesiod/hesiod.h"
+
+namespace moira {
+namespace {
+
+constexpr char kSampleDb[] =
+    "; comment line\n"
+    "\n"
+    "babette.passwd HS UNSPECA \"babette:*:6530:101:Harmon C Fowler,,,,:/mit/babette"
+    ":/bin/csh\"\n"
+    "6530.uid HS CNAME babette.passwd\n"
+    "bldge40-vs.cluster HS UNSPECA \"zephyr neskaya.mit.edu\"\n"
+    "bldge40-vs.cluster HS UNSPECA \"lpr e40\"\n"
+    "TOTO.cluster HS CNAME bldge40-vs.cluster\n"
+    "HESIOD.sloc HS UNSPECA KIWI.MIT.EDU\n";
+
+TEST(Hesiod, LoadsAndCounts) {
+  HesiodServer server;
+  EXPECT_EQ(6, server.LoadDb(kSampleDb));
+  EXPECT_EQ(6u, server.record_count());
+}
+
+TEST(Hesiod, ResolvesUnspecA) {
+  HesiodServer server;
+  ASSERT_GT(server.LoadDb(kSampleDb), 0);
+  std::vector<std::string> result = server.Resolve("babette", "passwd");
+  ASSERT_EQ(1u, result.size());
+  EXPECT_NE(result[0].find("Harmon C Fowler"), std::string::npos);
+}
+
+TEST(Hesiod, ResolvesMultipleRecords) {
+  HesiodServer server;
+  ASSERT_GT(server.LoadDb(kSampleDb), 0);
+  EXPECT_EQ(2u, server.Resolve("bldge40-vs", "cluster").size());
+}
+
+TEST(Hesiod, ChasesCname) {
+  HesiodServer server;
+  ASSERT_GT(server.LoadDb(kSampleDb), 0);
+  // uid -> passwd entry, machine -> cluster data.
+  std::vector<std::string> uid = server.Resolve("6530", "uid");
+  ASSERT_EQ(1u, uid.size());
+  EXPECT_NE(uid[0].find("babette"), std::string::npos);
+  EXPECT_EQ(2u, server.Resolve("TOTO", "cluster").size());
+}
+
+TEST(Hesiod, CaseInsensitiveLookups) {
+  HesiodServer server;
+  ASSERT_GT(server.LoadDb(kSampleDb), 0);
+  EXPECT_EQ(1u, server.Resolve("BABETTE", "PASSWD").size());
+  EXPECT_EQ(2u, server.Resolve("toto", "cluster").size());
+}
+
+TEST(Hesiod, UnquotedDataToken) {
+  HesiodServer server;
+  ASSERT_GT(server.LoadDb(kSampleDb), 0);
+  std::vector<std::string> sloc = server.Resolve("HESIOD", "sloc");
+  ASSERT_EQ(1u, sloc.size());
+  EXPECT_EQ("KIWI.MIT.EDU", sloc[0]);
+}
+
+TEST(Hesiod, MissingNameIsEmpty) {
+  HesiodServer server;
+  ASSERT_GT(server.LoadDb(kSampleDb), 0);
+  EXPECT_TRUE(server.Resolve("nobody", "passwd").empty());
+  EXPECT_TRUE(server.Resolve("babette", "pobox").empty());
+}
+
+TEST(Hesiod, CnameCycleTerminates) {
+  HesiodServer server;
+  ASSERT_EQ(2, server.LoadDb("a.t HS CNAME b.t\nb.t HS CNAME a.t\n"));
+  EXPECT_TRUE(server.Resolve("a", "t").empty());
+}
+
+TEST(Hesiod, DanglingCnameIsEmpty) {
+  HesiodServer server;
+  ASSERT_EQ(1, server.LoadDb("a.t HS CNAME missing.t\n"));
+  EXPECT_TRUE(server.Resolve("a", "t").empty());
+}
+
+TEST(Hesiod, MalformedLinesRejected) {
+  HesiodServer empty;
+  EXPECT_EQ(-1, empty.LoadDb("not a record\n"));
+  EXPECT_EQ(-1, empty.LoadDb("name.type HS BOGUSTYPE data\n"));
+  EXPECT_EQ(-1, empty.LoadDb("name.type IN UNSPECA \"wrong class\"\n"));
+  EXPECT_EQ(-1, empty.LoadDb("name.type HS UNSPECA \"unterminated\n"));
+}
+
+TEST(Hesiod, ReloadReplacesRecords) {
+  HesiodServer server;
+  ASSERT_GT(server.LoadDb(kSampleDb), 0);
+  EXPECT_EQ(0, server.reload_count());
+  // The Moira install script kills and restarts the server so the new files
+  // are read into memory.
+  int loaded = server.Reload({"fresh.passwd HS UNSPECA \"fresh:*:1:101::/mit/fresh:/bin/sh\"\n"});
+  EXPECT_EQ(1, loaded);
+  EXPECT_EQ(1, server.reload_count());
+  EXPECT_TRUE(server.Resolve("babette", "passwd").empty());
+  EXPECT_EQ(1u, server.Resolve("fresh", "passwd").size());
+}
+
+TEST(Hesiod, EmptyAndCommentOnlyFiles) {
+  HesiodServer server;
+  EXPECT_EQ(0, server.LoadDb(""));
+  EXPECT_EQ(0, server.LoadDb("; nothing here\n;\n"));
+}
+
+}  // namespace
+}  // namespace moira

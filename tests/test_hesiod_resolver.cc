@@ -1,0 +1,72 @@
+// Tests for the hes_resolve wire interface.
+#include <gtest/gtest.h>
+
+#include "src/hesiod/resolver.h"
+#include "src/krb/kerberos.h"
+
+namespace moira {
+namespace {
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  ResolverTest()
+      : protocol_(&hesiod_),
+        resolver_([this](std::string_view packet) {
+          return protocol_.HandleQuery(packet);
+        }) {
+    hesiod_.LoadDb(
+        "babette.passwd HS UNSPECA \"babette:*:6530:101:,,,:/mit/babette:/bin/csh\"\n"
+        "6530.uid HS CNAME babette.passwd\n"
+        "babette.pobox HS UNSPECA \"POP PO-1.MIT.EDU babette\"\n");
+  }
+
+  HesiodServer hesiod_;
+  HesiodProtocolServer protocol_;
+  HesiodResolver resolver_;
+};
+
+TEST_F(ResolverTest, ResolvesOverTheWire) {
+  std::vector<std::string> answers;
+  EXPECT_EQ(HesiodRcode::kNoError, resolver_.Resolve("babette", "passwd", &answers));
+  ASSERT_EQ(1u, answers.size());
+  EXPECT_NE(answers[0].find("6530"), std::string::npos);
+  EXPECT_EQ(1u, protocol_.queries_served());
+}
+
+TEST_F(ResolverTest, CnameChaseOverTheWire) {
+  std::vector<std::string> answers;
+  EXPECT_EQ(HesiodRcode::kNoError, resolver_.Resolve("6530", "uid", &answers));
+  ASSERT_EQ(1u, answers.size());
+  EXPECT_NE(answers[0].find("babette"), std::string::npos);
+}
+
+TEST_F(ResolverTest, MissIsNxDomain) {
+  std::vector<std::string> answers;
+  EXPECT_EQ(HesiodRcode::kNxDomain, resolver_.Resolve("nobody", "passwd", &answers));
+  EXPECT_TRUE(answers.empty());
+}
+
+TEST_F(ResolverTest, GarbledQueryIsFormErr) {
+  std::string reply = protocol_.HandleQuery("garbage");
+  std::string_view view = reply;
+  std::string rcode;
+  ASSERT_TRUE(UnpackField(&view, &rcode));
+  EXPECT_EQ("1", rcode);
+}
+
+TEST_F(ResolverTest, GarbledReplyIsFormErr) {
+  HesiodResolver broken([](std::string_view) { return std::string("junk"); });
+  std::vector<std::string> answers;
+  EXPECT_EQ(HesiodRcode::kFormErr, broken.Resolve("a", "b", &answers));
+}
+
+TEST_F(ResolverTest, MultipleAnswersDelivered) {
+  hesiod_.LoadDb("multi.cluster HS UNSPECA \"zephyr z1\"\n"
+                 "multi.cluster HS UNSPECA \"lpr p1\"\n");
+  std::vector<std::string> answers;
+  EXPECT_EQ(HesiodRcode::kNoError, resolver_.Resolve("multi", "cluster", &answers));
+  EXPECT_EQ(2u, answers.size());
+}
+
+}  // namespace
+}  // namespace moira

@@ -1,0 +1,199 @@
+// Full-system integration: the paper's two motivating scenarios (section 3)
+// run end to end through every layer — RPC client, Moira server, database,
+// DCM, update protocol, simulated hosts, and the Hesiod/mail consumers.
+#include "src/client/client.h"
+#include "src/dcm/dcm.h"
+#include "src/hesiod/hesiod.h"
+#include "src/krb/crypt.h"
+#include "src/reg/regserver.h"
+#include "src/server/server.h"
+#include "src/sim/population.h"
+#include "src/zephyrd/zephyr_bus.h"
+#include "tests/test_env.h"
+
+namespace moira {
+namespace {
+
+class IntegrationTest : public MoiraEnv {
+ protected:
+  void SetUp() override {
+    SiteBuilder builder(mc_.get(), realm_.get());
+    builder.Build(TestSiteSpec());
+    admin_ = builder.admin_login();
+    a_login_ = builder.active_logins()[0];
+    hesiod_host_name_ = builder.hesiod_server_name();
+    zephyr_bus_ = std::make_unique<ZephyrBus>(&clock_);
+    sim_hosts_ = CreateSimHosts(*mc_, realm_.get(), &directory_);
+    dcm_ = std::make_unique<Dcm>(mc_.get(), realm_.get(), zephyr_bus_.get(), &directory_);
+    ConfigureStandardServices(dcm_.get());
+    moira_server_ = std::make_unique<MoiraServer>(mc_.get(), realm_.get());
+    moira_server_->set_dcm_trigger([this] { dcm_->RunOnce(); });
+    // Attach a live hesiod server to the hesiod host's restart command.
+    directory_.Find(hesiod_host_name_)
+        ->RegisterCommand("restart_hesiod", [this](SimHost& host) {
+          std::vector<std::string> texts;
+          for (const char* file :
+               {"cluster.db", "filsys.db", "gid.db", "group.db", "grplist.db",
+                "passwd.db", "pobox.db", "printcap.db", "service.db", "sloc.db",
+                "uid.db"}) {
+            const std::string* contents =
+                host.ReadFile(std::string("/etc/athena/hesiod/") + file);
+            if (contents == nullptr) {
+              return 1;
+            }
+            texts.push_back(*contents);
+          }
+          return hesiod_.Reload(texts) >= 0 ? 0 : 1;
+        });
+    clock_.Advance(kSecondsPerDay);
+  }
+
+  MrClient ClientFor(const std::string& principal, const std::string& password) {
+    MrClient client(
+        [this] { return std::make_unique<LoopbackChannel>(moira_server_.get()); });
+    client.SetKerberosIdentity(realm_.get(), principal, password);
+    return client;
+  }
+
+  std::string admin_;
+  std::string a_login_;
+  std::string hesiod_host_name_;
+  std::unique_ptr<ZephyrBus> zephyr_bus_;
+  HostDirectory directory_;
+  std::vector<std::unique_ptr<SimHost>> sim_hosts_;
+  std::unique_ptr<Dcm> dcm_;
+  std::unique_ptr<MoiraServer> moira_server_;
+  HesiodServer hesiod_;
+};
+
+// Paper section 3, example 1: the accounts administrator changes a user's
+// disk quota from her workstation; the change automatically reaches the
+// proper server a short time later.
+TEST_F(IntegrationTest, AdminQuotaChangePropagatesToFileserver) {
+  dcm_->RunOnce();  // initial propagation
+  clock_.Advance(kSecondsPerMinute);
+  MrClient admin = ClientFor(admin_, "pw:opsmgr");
+  ASSERT_EQ(MR_SUCCESS, admin.Connect());
+  ASSERT_EQ(MR_SUCCESS, admin.Auth("chquota"));
+  ASSERT_EQ(MR_SUCCESS,
+            admin.Query("update_nfs_quota", {a_login_, a_login_, "999"}, [](Tuple) {}));
+  // The fileserver still has the old quota until the next DCM interval.
+  RowRef fs = mc_->FilesysByLabel(a_login_);
+  ASSERT_EQ(MR_SUCCESS, fs.code);
+  RowRef mach =
+      mc_->ExactOne(mc_->machine(), "mach_id",
+                    Value(MoiraContext::IntCell(mc_->filesys(), fs.row, "mach_id")),
+                    MR_MACHINE);
+  const std::string& server_name =
+      MoiraContext::StrCell(mc_->machine(), mach.row, "name");
+  SimHost* server = directory_.Find(server_name);
+  ASSERT_NE(nullptr, server);
+  RowRef user = mc_->UserByLogin(a_login_);
+  std::string uid = std::to_string(MoiraContext::IntCell(mc_->users(), user.row, "uid"));
+  EXPECT_EQ(server->ReadFile("/site/moira/u1.quotas")->find(uid + " 999"),
+            std::string::npos);
+  // 12+ hours later the DCM regenerates and propagates NFS files.
+  clock_.Advance(13 * kSecondsPerHour);
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_GT(summary.hosts_updated, 0);
+  EXPECT_NE(server->ReadFile("/site/moira/u1.quotas")->find(uid + " 999"),
+            std::string::npos);
+}
+
+// Paper section 3, example 2: a user adds themselves to a public mailing
+// list; the aliases file on the mail hub shows the change later.
+TEST_F(IntegrationTest, SelfServiceMaillistReachesMailhub) {
+  dcm_->RunOnce();
+  clock_.Advance(kSecondsPerMinute);
+  MrClient admin = ClientFor(admin_, "pw:opsmgr");
+  ASSERT_EQ(MR_SUCCESS, admin.Connect());
+  ASSERT_EQ(MR_SUCCESS, admin.Auth("listmaint"));
+  ASSERT_EQ(MR_SUCCESS, admin.Query("add_list",
+                                    {"public-chatter", "1", "1", "0", "1", "0", "-1",
+                                     "NONE", "NONE", "open list"},
+                                    [](Tuple) {}));
+  // The user joins from any workstation, authenticated as themselves.
+  realm_->AddPrincipal(a_login_, "userpw");
+  MrClient user = ClientFor(a_login_, "userpw");
+  ASSERT_EQ(MR_SUCCESS, user.Connect());
+  ASSERT_EQ(MR_SUCCESS, user.Auth("mailmaint"));
+  ASSERT_EQ(MR_SUCCESS, user.Query("add_member_to_list",
+                                   {"public-chatter", "USER", a_login_}, [](Tuple) {}));
+  // Sometime later the mailing lists file on the central mail hub updates.
+  clock_.Advance(25 * kSecondsPerHour);
+  dcm_->RunOnce();
+  const std::string* aliases =
+      directory_.Find("ATHENA.MIT.EDU")->ReadFile("/usr/lib/moira.staged/aliases");
+  ASSERT_NE(nullptr, aliases);
+  EXPECT_NE(aliases->find("public-chatter: " + a_login_), std::string::npos);
+}
+
+// Registration followed by propagation: the lag the paper describes ("the
+// user will not benefit from this allocation for a maximum of six hours").
+TEST_F(IntegrationTest, NewRegistrationAppearsInHesiodAfterInterval) {
+  dcm_->RunOnce();
+  EXPECT_EQ(1, hesiod_.reload_count());
+  clock_.Advance(kSecondsPerMinute);
+  RegistrationServer reg(mc_.get(), realm_.get());
+  UserregClient userreg(&reg, realm_.get());
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_user", {kUniqueLogin, "-1", "/bin/csh", "Newman",
+                                             "Alice", "Q", "0",
+                                             HashMitId("321-00-1234", "Alice", "Newman"),
+                                             "1992"}));
+  ASSERT_EQ(MR_SUCCESS, userreg.Register("Alice", "Q", "Newman", "321-00-1234",
+                                         "anewman", "secret"));
+  // Not yet visible in hesiod.
+  EXPECT_TRUE(hesiod_.Resolve("anewman", "passwd").empty());
+  // After the hesiod interval, the DCM pushes fresh files and the install
+  // script restarts the server.
+  clock_.Advance(7 * kSecondsPerHour);
+  dcm_->RunOnce();
+  EXPECT_EQ(2, hesiod_.reload_count());
+  ASSERT_EQ(1u, hesiod_.Resolve("anewman", "passwd").size());
+  EXPECT_FALSE(hesiod_.Resolve("anewman", "pobox").empty());
+  EXPECT_FALSE(hesiod_.Resolve("anewman", "filsys").empty());
+}
+
+// Trigger_DCM through the RPC layer: the admin forces an immediate run.
+TEST_F(IntegrationTest, TriggerDcmRunsImmediately) {
+  MrClient admin = ClientFor(admin_, "pw:opsmgr");
+  ASSERT_EQ(MR_SUCCESS, admin.Connect());
+  ASSERT_EQ(MR_SUCCESS, admin.Auth("ops"));
+  EXPECT_EQ(0, directory_.Find(hesiod_host_name_)->update_count());
+  ASSERT_EQ(MR_SUCCESS, admin.TriggerDcm());
+  EXPECT_EQ(1, directory_.Find(hesiod_host_name_)->update_count());
+  // A plain user cannot trigger the DCM.
+  realm_->AddPrincipal(a_login_, "userpw");
+  MrClient user = ClientFor(a_login_, "userpw");
+  ASSERT_EQ(MR_SUCCESS, user.Connect());
+  ASSERT_EQ(MR_SUCCESS, user.Auth("sneaky"));
+  EXPECT_EQ(MR_PERM, user.TriggerDcm());
+}
+
+// Hesiod serves cluster data for workstations (the save_cluster_info client).
+TEST_F(IntegrationTest, WorkstationClusterLookupViaHesiod) {
+  dcm_->RunOnce();
+  std::vector<std::string> data = hesiod_.Resolve("W1.MIT.EDU", "cluster");
+  ASSERT_FALSE(data.empty());
+  bool has_zephyr = false;
+  for (const std::string& item : data) {
+    if (item.find("zephyr ") == 0) {
+      has_zephyr = true;
+    }
+  }
+  EXPECT_TRUE(has_zephyr);
+}
+
+// A machine in two clusters resolves through its pseudo-cluster to the union
+// of both clusters' data.
+TEST_F(IntegrationTest, PseudoClusterUnionServed) {
+  dcm_->RunOnce();
+  // W10 is the every-tenth workstation placed in two clusters by the site
+  // builder.
+  std::vector<std::string> data = hesiod_.Resolve("W10.MIT.EDU", "cluster");
+  std::vector<std::string> single = hesiod_.Resolve("W1.MIT.EDU", "cluster");
+  EXPECT_GT(data.size(), single.size());
+}
+
+}  // namespace
+}  // namespace moira

@@ -1,0 +1,232 @@
+// Tests for the crypt() substitute, the PCBC block cipher, and the simulated
+// Kerberos realm (paper sections 5.9.2 and 5.10).
+#include <gtest/gtest.h>
+
+#include "src/comerr/moira_errors.h"
+#include "src/common/clock.h"
+#include "src/krb/block_cipher.h"
+#include "src/krb/crypt.h"
+#include "src/krb/kerberos.h"
+
+namespace moira {
+namespace {
+
+TEST(Crypt, OutputFormat) {
+  std::string out = Crypt("secret", "ab");
+  ASSERT_EQ(13u, out.size());
+  EXPECT_EQ('a', out[0]);
+  EXPECT_EQ('b', out[1]);
+  for (char c : out) {
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '/') << c;
+  }
+}
+
+TEST(Crypt, DeterministicAndSaltSensitive) {
+  EXPECT_EQ(Crypt("secret", "ab"), Crypt("secret", "ab"));
+  EXPECT_NE(Crypt("secret", "ab"), Crypt("secret", "cd"));
+  EXPECT_NE(Crypt("secret", "ab"), Crypt("secret2", "ab"));
+}
+
+TEST(Crypt, ShortSaltDefaults) {
+  std::string out = Crypt("x", "");
+  EXPECT_EQ('.', out[0]);
+  EXPECT_EQ('.', out[1]);
+}
+
+TEST(HashMitId, UsesNameInitialsAsSalt) {
+  // The paper: last seven digits hashed, salted with the first letters of
+  // the first and last names.
+  std::string hash = HashMitId("123-45-6789", "Harmon", "Fowler");
+  EXPECT_EQ('H', hash[0]);
+  EXPECT_EQ('F', hash[1]);
+  // Hyphens are stripped; only the last 7 digits matter.
+  EXPECT_EQ(hash, HashMitId("123456789", "Harmon", "Fowler"));
+  EXPECT_EQ(hash, HashMitId("993456789", "Harmon", "Fowler"));
+  EXPECT_NE(hash, HashMitId("123456788", "Harmon", "Fowler"));
+}
+
+TEST(BlockCipher, RoundTripsVariousLengths) {
+  uint64_t key = DeriveBlockKey("some key");
+  for (size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u}) {
+    std::string plain(len, '\0');
+    for (size_t i = 0; i < len; ++i) {
+      plain[i] = static_cast<char>(i * 31 + 7);
+    }
+    std::string cipher = PcbcEncrypt(key, plain);
+    auto back = PcbcDecrypt(key, cipher);
+    ASSERT_TRUE(back.has_value()) << len;
+    EXPECT_EQ(plain, *back) << len;
+  }
+}
+
+TEST(BlockCipher, WrongKeyGarbles) {
+  uint64_t key = DeriveBlockKey("right");
+  std::string cipher = PcbcEncrypt(key, "attack at dawn, the usual spot");
+  auto back = PcbcDecrypt(DeriveBlockKey("wrong"), cipher);
+  // Either framing breaks (nullopt) or the plaintext is garbage.
+  if (back.has_value()) {
+    EXPECT_NE("attack at dawn, the usual spot", *back);
+  }
+}
+
+TEST(BlockCipher, TamperPropagates) {
+  uint64_t key = DeriveBlockKey("k");
+  std::string plain = "0123456789abcdef0123456789abcdef";
+  std::string cipher = PcbcEncrypt(key, plain);
+  cipher[4] ^= 0x40;  // flip a bit in the first block (the length header)
+  auto back = PcbcDecrypt(key, cipher);
+  if (back.has_value()) {
+    EXPECT_NE(plain, *back);
+  }
+}
+
+TEST(BlockCipher, CiphertextDiffersFromPlaintext) {
+  uint64_t key = DeriveBlockKey("k");
+  std::string plain = "plaintext plaintext plaintext";
+  std::string cipher = PcbcEncrypt(key, plain);
+  EXPECT_EQ(std::string::npos, cipher.find("plaintext"));
+}
+
+TEST(BlockCipher, RejectsBadFraming) {
+  EXPECT_FALSE(PcbcDecrypt(1, "short").has_value());
+  EXPECT_FALSE(PcbcDecrypt(1, std::string(12, 'x')).has_value());
+}
+
+class KerberosTest : public ::testing::Test {
+ protected:
+  KerberosTest() : clock_(1000000), realm_(&clock_) {
+    realm_.AddPrincipal("jrandom", "hunter2");
+    service_key_ = realm_.RegisterService("moira");
+  }
+
+  SimulatedClock clock_;
+  KerberosRealm realm_;
+  uint64_t service_key_;
+};
+
+TEST_F(KerberosTest, PrincipalLifecycle) {
+  EXPECT_TRUE(realm_.HasPrincipal("jrandom"));
+  EXPECT_EQ(MR_EXISTS, realm_.AddPrincipal("jrandom", "x"));
+  EXPECT_EQ(MR_SUCCESS, realm_.SetPassword("jrandom", "new"));
+  EXPECT_EQ(MR_KRB_NO_PRINC, realm_.SetPassword("nobody", "x"));
+  EXPECT_EQ(MR_SUCCESS, realm_.DeletePrincipal("jrandom"));
+  EXPECT_EQ(MR_KRB_NO_PRINC, realm_.DeletePrincipal("jrandom"));
+}
+
+TEST_F(KerberosTest, InitialTicketsRequireCorrectPassword) {
+  Ticket ticket;
+  EXPECT_EQ(MR_KRB_BAD_PASSWORD,
+            realm_.GetInitialTickets("jrandom", "wrong", "moira", &ticket));
+  EXPECT_EQ(MR_KRB_NO_PRINC, realm_.GetInitialTickets("ghost", "x", "moira", &ticket));
+  EXPECT_EQ(MR_SUCCESS, realm_.GetInitialTickets("jrandom", "hunter2", "moira", &ticket));
+  EXPECT_EQ("jrandom", ticket.client);
+  EXPECT_EQ("moira", ticket.service);
+  EXPECT_FALSE(ticket.sealed.empty());
+}
+
+TEST_F(KerberosTest, AuthenticatorVerifies) {
+  Ticket ticket;
+  ASSERT_EQ(MR_SUCCESS, realm_.GetInitialTickets("jrandom", "hunter2", "moira", &ticket));
+  ServiceVerifier verifier("moira", service_key_, &clock_);
+  VerifiedIdentity identity;
+  EXPECT_EQ(MR_SUCCESS, verifier.Verify(realm_.MakeAuthenticator(ticket), &identity));
+  EXPECT_EQ("jrandom", identity.principal);
+  EXPECT_EQ(ticket.session_key, identity.session_key);
+}
+
+TEST_F(KerberosTest, ReplayDetected) {
+  Ticket ticket;
+  ASSERT_EQ(MR_SUCCESS, realm_.GetInitialTickets("jrandom", "hunter2", "moira", &ticket));
+  ServiceVerifier verifier("moira", service_key_, &clock_);
+  std::string authenticator = realm_.MakeAuthenticator(ticket);
+  VerifiedIdentity identity;
+  EXPECT_EQ(MR_SUCCESS, verifier.Verify(authenticator, &identity));
+  // "safe from ... replay of transactions" (paper section 4).
+  EXPECT_EQ(MR_KRB_REPLAY, verifier.Verify(authenticator, &identity));
+}
+
+TEST_F(KerberosTest, FreshAuthenticatorsKeepWorking) {
+  Ticket ticket;
+  ASSERT_EQ(MR_SUCCESS, realm_.GetInitialTickets("jrandom", "hunter2", "moira", &ticket));
+  ServiceVerifier verifier("moira", service_key_, &clock_);
+  VerifiedIdentity identity;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(MR_SUCCESS, verifier.Verify(realm_.MakeAuthenticator(ticket), &identity));
+  }
+}
+
+TEST_F(KerberosTest, ExpiredTicketRejected) {
+  Ticket ticket;
+  ASSERT_EQ(MR_SUCCESS, realm_.GetInitialTickets("jrandom", "hunter2", "moira", &ticket));
+  ServiceVerifier verifier("moira", service_key_, &clock_);
+  clock_.Advance(KerberosRealm::kDefaultLifetime + 1);
+  VerifiedIdentity identity;
+  EXPECT_EQ(MR_KRB_TKT_EXPIRED, verifier.Verify(realm_.MakeAuthenticator(ticket), &identity));
+}
+
+TEST_F(KerberosTest, SkewedAuthenticatorRejected) {
+  Ticket ticket;
+  ASSERT_EQ(MR_SUCCESS, realm_.GetInitialTickets("jrandom", "hunter2", "moira", &ticket));
+  std::string authenticator = realm_.MakeAuthenticator(ticket);
+  ServiceVerifier verifier("moira", service_key_, &clock_);
+  clock_.Advance(KerberosRealm::kMaxSkew + 60);  // authenticator is now stale
+  VerifiedIdentity identity;
+  EXPECT_EQ(MR_KRB_TKT_EXPIRED, verifier.Verify(authenticator, &identity));
+}
+
+TEST_F(KerberosTest, WrongServiceCannotOpenTicket) {
+  Ticket ticket;
+  ASSERT_EQ(MR_SUCCESS, realm_.GetInitialTickets("jrandom", "hunter2", "moira", &ticket));
+  uint64_t other_key = realm_.RegisterService("other");
+  ServiceVerifier verifier("other", other_key, &clock_);
+  VerifiedIdentity identity;
+  EXPECT_EQ(MR_BAD_AUTH, verifier.Verify(realm_.MakeAuthenticator(ticket), &identity));
+}
+
+TEST_F(KerberosTest, GarbageAuthenticatorRejected) {
+  ServiceVerifier verifier("moira", service_key_, &clock_);
+  VerifiedIdentity identity;
+  EXPECT_EQ(MR_BAD_AUTH, verifier.Verify("not an authenticator", &identity));
+  EXPECT_EQ(MR_BAD_AUTH, verifier.Verify("", &identity));
+}
+
+TEST_F(KerberosTest, ReplayCacheExpires) {
+  Ticket ticket;
+  ASSERT_EQ(MR_SUCCESS, realm_.GetInitialTickets("jrandom", "hunter2", "moira", &ticket));
+  ServiceVerifier verifier("moira", service_key_, &clock_);
+  VerifiedIdentity identity;
+  ASSERT_EQ(MR_SUCCESS, verifier.Verify(realm_.MakeAuthenticator(ticket), &identity));
+  EXPECT_EQ(1u, verifier.replay_cache_size());
+  clock_.Advance(KerberosRealm::kMaxSkew + 1);
+  verifier.ExpireReplayCache();
+  EXPECT_EQ(0u, verifier.replay_cache_size());
+}
+
+TEST(PackField, RoundTrips) {
+  std::string buffer;
+  PackField(&buffer, "hello");
+  PackField(&buffer, "");
+  PackField(&buffer, std::string("\0\x01binary", 8));
+  std::string_view view(buffer);
+  std::string a;
+  std::string b;
+  std::string c;
+  ASSERT_TRUE(UnpackField(&view, &a));
+  ASSERT_TRUE(UnpackField(&view, &b));
+  ASSERT_TRUE(UnpackField(&view, &c));
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ("hello", a);
+  EXPECT_EQ("", b);
+  EXPECT_EQ(std::string("\0\x01binary", 8), c);
+}
+
+TEST(PackField, TruncationFails) {
+  std::string buffer;
+  PackField(&buffer, "hello");
+  std::string_view view = std::string_view(buffer).substr(0, buffer.size() - 1);
+  std::string out;
+  EXPECT_FALSE(UnpackField(&view, &out));
+}
+
+}  // namespace
+}  // namespace moira

@@ -1,0 +1,76 @@
+// Tests for the DCM's shared/exclusive named locks (paper section 5.7.1).
+#include <gtest/gtest.h>
+
+#include "src/dcm/locks.h"
+
+namespace moira {
+namespace {
+
+TEST(LockManager, ExclusiveExcludesEverything) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire("svc", LockManager::Mode::kExclusive));
+  EXPECT_FALSE(locks.Acquire("svc", LockManager::Mode::kExclusive));
+  EXPECT_FALSE(locks.Acquire("svc", LockManager::Mode::kShared));
+  locks.Release("svc", LockManager::Mode::kExclusive);
+  EXPECT_TRUE(locks.Acquire("svc", LockManager::Mode::kShared));
+}
+
+TEST(LockManager, SharedAllowsSharersBlocksExclusive) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire("svc", LockManager::Mode::kShared));
+  ASSERT_TRUE(locks.Acquire("svc", LockManager::Mode::kShared));
+  EXPECT_FALSE(locks.Acquire("svc", LockManager::Mode::kExclusive));
+  locks.Release("svc", LockManager::Mode::kShared);
+  EXPECT_FALSE(locks.Acquire("svc", LockManager::Mode::kExclusive));
+  locks.Release("svc", LockManager::Mode::kShared);
+  EXPECT_TRUE(locks.Acquire("svc", LockManager::Mode::kExclusive));
+}
+
+TEST(LockManager, DistinctNamesIndependent) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire("a", LockManager::Mode::kExclusive));
+  EXPECT_TRUE(locks.Acquire("b", LockManager::Mode::kExclusive));
+  EXPECT_TRUE(locks.IsLocked("a"));
+  EXPECT_TRUE(locks.IsLocked("b"));
+  EXPECT_FALSE(locks.IsLocked("c"));
+}
+
+TEST(LockManager, ReleaseOfUnheldIsNoop) {
+  LockManager locks;
+  locks.Release("never", LockManager::Mode::kExclusive);
+  locks.Release("never", LockManager::Mode::kShared);
+  EXPECT_FALSE(locks.IsLocked("never"));
+}
+
+TEST(LockManager, StateCleanedAfterFullRelease) {
+  LockManager locks;
+  locks.Acquire("svc", LockManager::Mode::kShared);
+  locks.Release("svc", LockManager::Mode::kShared);
+  EXPECT_FALSE(locks.IsLocked("svc"));
+}
+
+TEST(ScopedLockTest, ReleasesOnDestruction) {
+  LockManager locks;
+  {
+    ScopedLock lock(&locks, "svc", LockManager::Mode::kExclusive);
+    EXPECT_TRUE(lock.held());
+    EXPECT_TRUE(locks.IsLocked("svc"));
+    ScopedLock conflict(&locks, "svc", LockManager::Mode::kShared);
+    EXPECT_FALSE(conflict.held());
+  }
+  EXPECT_FALSE(locks.IsLocked("svc"));
+}
+
+TEST(ScopedLockTest, FailedAcquireDoesNotRelease) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire("svc", LockManager::Mode::kExclusive));
+  {
+    ScopedLock lock(&locks, "svc", LockManager::Mode::kExclusive);
+    EXPECT_FALSE(lock.held());
+  }
+  // The original hold must survive the failed ScopedLock's destructor.
+  EXPECT_TRUE(locks.IsLocked("svc"));
+}
+
+}  // namespace
+}  // namespace moira

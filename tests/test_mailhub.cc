@@ -1,0 +1,123 @@
+// Tests for the mail hub substrate: the staged-aliases switchover and
+// sendmail-style routing of the file the SMTP DCM service ships.
+#include "src/dcm/dcm.h"
+#include "src/mailhub/mailhub.h"
+#include "src/sim/population.h"
+#include "src/zephyrd/zephyr_bus.h"
+#include "tests/test_env.h"
+
+namespace moira {
+namespace {
+
+class MailhubUnitTest : public ::testing::Test {
+ protected:
+  MailhubUnitTest()
+      : clock_(0), realm_(&clock_), host_("ATHENA.MIT.EDU", &realm_, &clock_),
+        hub_(&host_) {}
+
+  void Stage(const std::string& contents) {
+    host_.WriteFileDirect("/usr/lib/moira.staged/aliases", contents);
+  }
+
+  SimulatedClock clock_;
+  KerberosRealm realm_;
+  SimHost host_;
+  MailhubSim hub_;
+};
+
+TEST_F(MailhubUnitTest, InstallRequiresStagedFile) {
+  EXPECT_EQ(-1, hub_.InstallStagedAliases());
+  Stage("a: a@po-1.LOCAL\n");
+  EXPECT_EQ(1, hub_.InstallStagedAliases());
+  EXPECT_TRUE(host_.HasFile("/usr/lib/aliases"));
+}
+
+TEST_F(MailhubUnitTest, RoutesDirectPobox) {
+  Stage("babette: babette@ATHENA-PO-2.LOCAL\n");
+  ASSERT_EQ(1, hub_.InstallStagedAliases());
+  std::vector<std::string> route = hub_.Route("babette");
+  ASSERT_EQ(1u, route.size());
+  EXPECT_EQ("babette@ATHENA-PO-2.LOCAL", route[0]);
+}
+
+TEST_F(MailhubUnitTest, ExpandsListsTransitively) {
+  Stage("# comment\n"
+        "video-users: smyser, paul, inner-list, rubin@media-lab.mit.edu\n"
+        "inner-list: danapple\n"
+        "smyser: smyser@PO-1.LOCAL\n"
+        "paul: paul@PO-2.LOCAL\n"
+        "danapple: danapple@PO-1.LOCAL\n");
+  ASSERT_EQ(5, hub_.InstallStagedAliases());
+  std::vector<std::string> route = hub_.Route("video-users");
+  std::set<std::string> got(route.begin(), route.end());
+  EXPECT_EQ(4u, got.size());
+  EXPECT_TRUE(got.contains("rubin@media-lab.mit.edu"));
+  EXPECT_TRUE(got.contains("danapple@PO-1.LOCAL"));
+}
+
+TEST_F(MailhubUnitTest, AliasCycleTerminates) {
+  Stage("a: b\nb: a, c@x.LOCAL\n");
+  ASSERT_EQ(2, hub_.InstallStagedAliases());
+  std::vector<std::string> route = hub_.Route("a");
+  ASSERT_EQ(1u, route.size());
+  EXPECT_EQ("c@x.LOCAL", route[0]);
+}
+
+TEST_F(MailhubUnitTest, UnknownUserBounces) {
+  Stage("known: known@PO-1.LOCAL\n");
+  ASSERT_EQ(1, hub_.InstallStagedAliases());
+  EXPECT_TRUE(hub_.Route("stranger").empty());
+  EXPECT_EQ(0, hub_.Deliver("stranger", "hello?"));
+}
+
+TEST_F(MailhubUnitTest, DeliverFillsMailboxes) {
+  Stage("duo: a, b\na: a@PO-1.LOCAL\nb: b@PO-2.LOCAL\n");
+  ASSERT_EQ(3, hub_.InstallStagedAliases());
+  EXPECT_EQ(2, hub_.Deliver("duo", "meeting at 5"));
+  ASSERT_EQ(1u, hub_.Mailbox("a@PO-1.LOCAL").size());
+  EXPECT_EQ("meeting at 5", hub_.Mailbox("a@PO-1.LOCAL")[0]);
+  EXPECT_EQ(1u, hub_.Mailbox("b@PO-2.LOCAL").size());
+  EXPECT_TRUE(hub_.Mailbox("nobody@PO-9.LOCAL").empty());
+}
+
+TEST_F(MailhubUnitTest, ReinstallReplacesAliases) {
+  Stage("old: old@PO-1.LOCAL\n");
+  ASSERT_EQ(1, hub_.InstallStagedAliases());
+  Stage("new: new@PO-1.LOCAL\n");
+  ASSERT_EQ(1, hub_.InstallStagedAliases());
+  EXPECT_TRUE(hub_.Route("old").empty());
+  EXPECT_FALSE(hub_.Route("new").empty());
+}
+
+// End to end: Moira -> DCM -> staged file -> switchover -> routing.
+class MailhubEndToEndTest : public MoiraEnv {};
+
+TEST_F(MailhubEndToEndTest, MoiraGeneratedAliasesRouteMail) {
+  SiteBuilder builder(mc_.get(), realm_.get());
+  builder.Build(TestSiteSpec());
+  ZephyrBus zephyr(&clock_);
+  HostDirectory directory;
+  auto hosts = CreateSimHosts(*mc_, realm_.get(), &directory);
+  Dcm dcm(mc_.get(), realm_.get(), &zephyr, &directory);
+  ConfigureStandardServices(&dcm);
+  clock_.Advance(kSecondsPerDay);
+  dcm.RunOnce();
+  MailhubSim hub(directory.Find("ATHENA.MIT.EDU"));
+  ASSERT_GT(hub.InstallStagedAliases(), 0);
+  // Every active user routes to exactly one pobox address on a .LOCAL host.
+  for (const std::string& login : builder.active_logins()) {
+    std::vector<std::string> route = hub.Route(login);
+    ASSERT_EQ(1u, route.size()) << login;
+    EXPECT_NE(route[0].find(login + "@"), std::string::npos);
+    EXPECT_NE(route[0].find(".LOCAL"), std::string::npos);
+  }
+  // A maillist expands to its member poboxes.
+  std::vector<Tuple> members;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_members_of_list", {"ml-1"}, &members));
+  std::vector<std::string> route = hub.Route("ml-1");
+  EXPECT_GE(route.size(), 1u);
+  EXPECT_EQ(1, hub.Deliver(builder.active_logins()[0], "direct note"));
+}
+
+}  // namespace
+}  // namespace moira

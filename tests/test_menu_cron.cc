@@ -1,0 +1,147 @@
+// Tests for the menu package (paper section 5.6.3) and the cron substrate
+// driving the DCM (paper section 5.7).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/client/menu.h"
+#include "src/common/clock.h"
+#include "src/dcm/cron.h"
+
+namespace moira {
+namespace {
+
+Menu BuildTestMenu(std::vector<std::string>* log) {
+  Menu menu("main");
+  menu.AddCommand(MenuCommand{
+      "greet",
+      "prompt for a name and greet it",
+      {"name"},
+      [log](const std::vector<std::string>& args) {
+        log->push_back("greet:" + args[0]);
+        return "hello " + args[0];
+      }});
+  menu.AddCommand(MenuCommand{
+      "noargs", "no prompts", {}, [log](const std::vector<std::string>&) {
+        log->push_back("noargs");
+        return std::string("done");
+      }});
+  Menu* sub = menu.AddSubmenu("users", "user menu");
+  sub->AddCommand(MenuCommand{
+      "shell",
+      "change a shell",
+      {"login", "shell"},
+      [log](const std::vector<std::string>& args) {
+        log->push_back("shell:" + args[0] + ":" + args[1]);
+        return std::string("changed");
+      }});
+  return menu;
+}
+
+TEST(Menu, ExecutesCommandWithPrompts) {
+  std::vector<std::string> log;
+  Menu menu = BuildTestMenu(&log);
+  std::istringstream in("greet\nworld\nq\n");
+  std::ostringstream out;
+  EXPECT_EQ(1, menu.Run(in, out));
+  ASSERT_EQ(1u, log.size());
+  EXPECT_EQ("greet:world", log[0]);
+  EXPECT_NE(out.str().find("hello world"), std::string::npos);
+  EXPECT_NE(out.str().find("name: "), std::string::npos);
+}
+
+TEST(Menu, SubmenuNavigationAndReturn) {
+  std::vector<std::string> log;
+  Menu menu = BuildTestMenu(&log);
+  std::istringstream in("users\nshell\njr\n/bin/sh\nr\nnoargs\nq\n");
+  std::ostringstream out;
+  EXPECT_EQ(2, menu.Run(in, out));
+  ASSERT_EQ(2u, log.size());
+  EXPECT_EQ("shell:jr:/bin/sh", log[0]);
+  EXPECT_EQ("noargs", log[1]);
+}
+
+TEST(Menu, UnknownCommandAndHelp) {
+  std::vector<std::string> log;
+  Menu menu = BuildTestMenu(&log);
+  std::istringstream in("bogus\n?\nq\n");
+  std::ostringstream out;
+  EXPECT_EQ(0, menu.Run(in, out));
+  EXPECT_NE(out.str().find("unknown command: bogus"), std::string::npos);
+  EXPECT_NE(out.str().find("users -> user menu"), std::string::npos);
+}
+
+TEST(Menu, EofDuringPromptExitsCleanly) {
+  std::vector<std::string> log;
+  Menu menu = BuildTestMenu(&log);
+  std::istringstream in("greet\n");  // EOF before the name arrives
+  std::ostringstream out;
+  EXPECT_EQ(0, menu.Run(in, out));
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(Menu, BlankLinesIgnored) {
+  std::vector<std::string> log;
+  Menu menu = BuildTestMenu(&log);
+  std::istringstream in("\n\n  \nnoargs\nq\n");
+  std::ostringstream out;
+  EXPECT_EQ(1, menu.Run(in, out));
+}
+
+TEST(Cron, FiresAtInterval) {
+  SimulatedClock clock(1000);
+  CronScheduler cron(&clock);
+  int fired = 0;
+  cron.Schedule("dcm", 900, [&fired] { ++fired; });
+  EXPECT_EQ(0, cron.RunDue());  // not yet due
+  clock.Advance(899);
+  EXPECT_EQ(0, cron.RunDue());
+  clock.Advance(1);
+  EXPECT_EQ(1, cron.RunDue());
+  EXPECT_EQ(1, fired);
+  // Not due again immediately.
+  EXPECT_EQ(0, cron.RunDue());
+  clock.Advance(900);
+  EXPECT_EQ(1, cron.RunDue());
+  EXPECT_EQ(2, fired);
+}
+
+TEST(Cron, MissedWindowsFireOnceNotNTimes) {
+  SimulatedClock clock(0);
+  CronScheduler cron(&clock);
+  int fired = 0;
+  cron.Schedule("dcm", 100, [&fired] { ++fired; });
+  clock.Advance(1000);  // ten windows missed
+  EXPECT_EQ(1, cron.RunDue());
+  EXPECT_EQ(1, fired);
+  clock.Advance(100);
+  EXPECT_EQ(1, cron.RunDue());
+  EXPECT_EQ(2, fired);
+}
+
+TEST(Cron, MultipleJobsIndependent) {
+  SimulatedClock clock(0);
+  CronScheduler cron(&clock);
+  int fast = 0;
+  int slow = 0;
+  cron.Schedule("fast", 10, [&fast] { ++fast; });
+  cron.Schedule("slow", 100, [&slow] { ++slow; });
+  EXPECT_EQ(2u, cron.job_count());
+  EXPECT_EQ(10, cron.NextDue());
+  for (int t = 0; t < 10; ++t) {
+    clock.Advance(10);
+    cron.RunDue();
+  }
+  EXPECT_EQ(10, fast);
+  EXPECT_EQ(1, slow);
+}
+
+TEST(Cron, NextDueEmptyIsZero) {
+  SimulatedClock clock(0);
+  CronScheduler cron(&clock);
+  EXPECT_EQ(0, cron.NextDue());
+  EXPECT_EQ(0, cron.RunDue());
+}
+
+}  // namespace
+}  // namespace moira

@@ -1,0 +1,114 @@
+// Tests for the wire protocol (paper section 5.3): counted-string encoding,
+// framing, version handling, and incremental stream parsing.
+#include <gtest/gtest.h>
+
+#include "src/protocol/wire.h"
+
+namespace moira {
+namespace {
+
+TEST(Wire, RequestRoundTrip) {
+  MrRequest request{kMrProtocolVersion, MajorRequest::kQuery,
+                    {"get_user_by_login", "babette", "", std::string("\x00\xff", 2)}};
+  std::string framed = EncodeRequest(request);
+  FrameReader reader;
+  reader.Feed(framed);
+  std::optional<std::string> payload = reader.Next();
+  ASSERT_TRUE(payload.has_value());
+  std::optional<MrRequest> decoded = DecodeRequest(*payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(request.version, decoded->version);
+  EXPECT_EQ(request.major, decoded->major);
+  EXPECT_EQ(request.args, decoded->args);
+}
+
+TEST(Wire, ReplyRoundTrip) {
+  MrReply reply{kMrProtocolVersion, 42, {"a", "b", "c"}};
+  std::string framed = EncodeReply(reply);
+  FrameReader reader;
+  reader.Feed(framed);
+  std::optional<MrReply> decoded = DecodeReply(reader.Next().value());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(42, decoded->code);
+  EXPECT_EQ(reply.fields, decoded->fields);
+}
+
+TEST(Wire, NegativeErrorCodeSurvives) {
+  MrReply reply{kMrProtocolVersion, -7, {}};
+  FrameReader reader;
+  reader.Feed(EncodeReply(reply));
+  EXPECT_EQ(-7, DecodeReply(reader.Next().value())->code);
+}
+
+TEST(Wire, DecodeRejectsTruncation) {
+  std::string framed = EncodeRequest(
+      MrRequest{kMrProtocolVersion, MajorRequest::kQuery, {"q", "arg"}});
+  std::string payload = framed.substr(4);  // strip frame header
+  for (size_t cut = 1; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeRequest(payload.substr(0, payload.size() - cut)).has_value())
+        << "cut " << cut;
+  }
+}
+
+TEST(Wire, DecodeRejectsTrailingGarbage) {
+  std::string framed = EncodeReply(MrReply{kMrProtocolVersion, 0, {"x"}});
+  std::string payload = framed.substr(4) + "junk";
+  EXPECT_FALSE(DecodeReply(payload).has_value());
+}
+
+// Property: a stream of several messages parses identically no matter how it
+// is sliced into Feed() calls.
+class FrameSliceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FrameSliceTest, SlicedFeedsReassemble) {
+  std::string stream;
+  for (int i = 0; i < 5; ++i) {
+    stream += EncodeReply(MrReply{kMrProtocolVersion, i,
+                                  {std::string(static_cast<size_t>(i) * 7, 'x')}});
+  }
+  size_t chunk = GetParam();
+  FrameReader reader;
+  std::vector<int32_t> codes;
+  for (size_t off = 0; off < stream.size(); off += chunk) {
+    reader.Feed(std::string_view(stream).substr(off, chunk));
+    while (std::optional<std::string> payload = reader.Next()) {
+      codes.push_back(DecodeReply(*payload)->code);
+    }
+  }
+  EXPECT_EQ((std::vector<int32_t>{0, 1, 2, 3, 4}), codes);
+  EXPECT_FALSE(reader.corrupt());
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, FrameSliceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 13, 64, 1024));
+
+TEST(FrameReader, OversizedFrameMarksCorrupt) {
+  FrameReader reader;
+  // A frame header claiming 2GB: a "deathgram" (paper section 4).
+  std::string header = {'\x7f', '\xff', '\xff', '\xff'};
+  reader.Feed(header);
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_TRUE(reader.corrupt());
+}
+
+TEST(FrameReader, EmptyFrameIsValid) {
+  FrameReader reader;
+  reader.Feed(std::string(4, '\0'));
+  std::optional<std::string> payload = reader.Next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_TRUE(payload->empty());
+}
+
+TEST(FrameReader, BuffersCompact) {
+  FrameReader reader;
+  std::string frame = EncodeReply(MrReply{kMrProtocolVersion, 1, {"data"}});
+  for (int i = 0; i < 1000; ++i) {
+    reader.Feed(frame);
+    ASSERT_TRUE(reader.Next().has_value());
+  }
+  // The internal buffer must not grow without bound.
+  EXPECT_LT(reader.buffered_bytes(), 10 * frame.size());
+}
+
+}  // namespace
+}  // namespace moira

@@ -1,0 +1,201 @@
+// Tests for the filesystem / nfsphys / quota queries (paper section 7.0.5).
+#include "tests/test_env.h"
+
+namespace moira {
+namespace {
+
+class FilesysQueriesTest : public MoiraEnv {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_machine", {"charon.mit.edu", "VAX"}));
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_machine", {"helen.mit.edu", "VAX"}));
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_nfsphys", {"charon.mit.edu", "/u1", "ra00",
+                                                  std::to_string(kFsStudent), "0",
+                                                  "100000"}));
+    AddActiveUser("aab", 100);
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_list", {"aab-group", "1", "0", "0", "0", "1", "-1",
+                                               "NONE", "NONE", "g"}));
+  }
+
+  int32_t AddNfsFilesys(const std::string& label) {
+    return RunRoot("add_filesys", {label, "NFS", "charon.mit.edu", "/u1", "/mit/" + label,
+                                   "w", "", "aab", "aab-group", "1", "HOMEDIR"});
+  }
+};
+
+TEST_F(FilesysQueriesTest, AddAndGetNfsFilesys) {
+  ASSERT_EQ(MR_SUCCESS, AddNfsFilesys("aab"));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_filesys_by_label", {"aab"}, &tuples));
+  ASSERT_EQ(1u, tuples.size());
+  const Tuple& t = tuples[0];
+  ASSERT_EQ(14u, t.size());
+  EXPECT_EQ("aab", t[0]);
+  EXPECT_EQ("NFS", t[1]);
+  EXPECT_EQ("CHARON.MIT.EDU", t[2]);
+  EXPECT_EQ("/u1", t[3]);
+  EXPECT_EQ("/mit/aab", t[4]);
+  EXPECT_EQ("w", t[5]);
+  EXPECT_EQ("aab", t[7]);
+  EXPECT_EQ("aab-group", t[8]);
+  EXPECT_EQ("1", t[9]);
+  EXPECT_EQ("HOMEDIR", t[10]);
+}
+
+TEST_F(FilesysQueriesTest, AddFilesysValidation) {
+  EXPECT_EQ(MR_FSTYPE, RunRoot("add_filesys", {"x", "AFS", "charon.mit.edu", "/u1", "/m",
+                                               "w", "", "aab", "aab-group", "1",
+                                               "HOMEDIR"}));
+  EXPECT_EQ(MR_TYPE, RunRoot("add_filesys", {"x", "NFS", "charon.mit.edu", "/u1", "/m",
+                                             "w", "", "aab", "aab-group", "1", "CLOSET"}));
+  EXPECT_EQ(MR_MACHINE, RunRoot("add_filesys", {"x", "NFS", "ghost.mit.edu", "/u1", "/m",
+                                                "w", "", "aab", "aab-group", "1",
+                                                "HOMEDIR"}));
+  EXPECT_EQ(MR_USER, RunRoot("add_filesys", {"x", "NFS", "charon.mit.edu", "/u1", "/m",
+                                             "w", "", "ghost", "aab-group", "1",
+                                             "HOMEDIR"}));
+  EXPECT_EQ(MR_LIST, RunRoot("add_filesys", {"x", "NFS", "charon.mit.edu", "/u1", "/m",
+                                             "w", "", "aab", "ghostlist", "1", "HOMEDIR"}));
+  // NFS packname must name an exported partition.
+  EXPECT_EQ(MR_NFS, RunRoot("add_filesys", {"x", "NFS", "charon.mit.edu", "/u9", "/m", "w",
+                                            "", "aab", "aab-group", "1", "HOMEDIR"}));
+  // NFS access must be r or w.
+  EXPECT_EQ(MR_FILESYS_ACCESS,
+            RunRoot("add_filesys", {"x", "NFS", "charon.mit.edu", "/u1", "/m", "x", "",
+                                    "aab", "aab-group", "1", "HOMEDIR"}));
+  ASSERT_EQ(MR_SUCCESS, AddNfsFilesys("dup"));
+  EXPECT_EQ(MR_FILESYS_EXISTS, AddNfsFilesys("dup"));
+}
+
+TEST_F(FilesysQueriesTest, RvdFilesysSkipsNfsChecks) {
+  // For RVD the packname and access may contain anything.
+  EXPECT_EQ(MR_SUCCESS, RunRoot("add_filesys", {"ade", "RVD", "helen.mit.edu", "ade-pack",
+                                                "/mnt/ade", "r", "", "aab", "aab-group",
+                                                "0", "OTHER"}));
+}
+
+TEST_F(FilesysQueriesTest, LookupByMachineGroupAndNfsphys) {
+  ASSERT_EQ(MR_SUCCESS, AddNfsFilesys("fs1"));
+  ASSERT_EQ(MR_SUCCESS, AddNfsFilesys("fs2"));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_filesys_by_machine", {"charon.mit.edu"}, &tuples));
+  EXPECT_EQ(2u, tuples.size());
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS,
+            RunRoot("get_filesys_by_nfsphys", {"charon.mit.edu", "/u1"}, &tuples));
+  EXPECT_EQ(2u, tuples.size());
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_filesys_by_group", {"aab-group"}, &tuples));
+  EXPECT_EQ(2u, tuples.size());
+  EXPECT_EQ(MR_MACHINE, RunRoot("get_filesys_by_machine", {"ghost.mit.edu"}));
+}
+
+TEST_F(FilesysQueriesTest, UpdateFilesys) {
+  ASSERT_EQ(MR_SUCCESS, AddNfsFilesys("mover"));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("update_filesys",
+                                {"mover", "moved", "NFS", "charon.mit.edu", "/u1",
+                                 "/mit/moved", "r", "c", "aab", "aab-group", "0",
+                                 "PROJECT"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_filesys_by_label", {"moved"}, &tuples));
+  EXPECT_EQ("r", tuples[0][5]);
+  EXPECT_EQ("PROJECT", tuples[0][10]);
+  EXPECT_EQ(MR_FILESYS, RunRoot("update_filesys",
+                                {"mover", "x", "NFS", "charon.mit.edu", "/u1", "/m", "w",
+                                 "", "aab", "aab-group", "1", "HOMEDIR"}));
+}
+
+TEST_F(FilesysQueriesTest, NfsphysLifecycle) {
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_all_nfsphys", {}, &tuples));
+  ASSERT_EQ(1u, tuples.size());
+  EXPECT_EQ("CHARON.MIT.EDU", tuples[0][0]);
+  EXPECT_EQ("/u1", tuples[0][1]);
+  EXPECT_EQ("100000", tuples[0][5]);
+  EXPECT_EQ(MR_EXISTS, RunRoot("add_nfsphys", {"charon.mit.edu", "/u1", "ra01", "1", "0",
+                                               "5"}));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("update_nfsphys", {"charon.mit.edu", "/u1", "ra09", "3",
+                                                   "10", "200000"}));
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_nfsphys", {"charon.mit.edu", "/u*"}, &tuples));
+  EXPECT_EQ("ra09", tuples[0][2]);
+  EXPECT_EQ("10", tuples[0][4]);
+  ASSERT_EQ(MR_SUCCESS, RunRoot("adjust_nfsphys_allocation", {"charon.mit.edu", "/u1",
+                                                              "-4"}));
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_nfsphys", {"charon.mit.edu", "/u1"}, &tuples));
+  EXPECT_EQ("6", tuples[0][4]);
+}
+
+TEST_F(FilesysQueriesTest, DeleteNfsphysBlockedWhileInUse) {
+  ASSERT_EQ(MR_SUCCESS, AddNfsFilesys("blocker"));
+  EXPECT_EQ(MR_IN_USE, RunRoot("delete_nfsphys", {"charon.mit.edu", "/u1"}));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("delete_filesys", {"blocker"}));
+  EXPECT_EQ(MR_SUCCESS, RunRoot("delete_nfsphys", {"charon.mit.edu", "/u1"}));
+  EXPECT_EQ(MR_NFSPHYS, RunRoot("delete_nfsphys", {"charon.mit.edu", "/u1"}));
+}
+
+TEST_F(FilesysQueriesTest, QuotaLifecycleMaintainsAllocation) {
+  ASSERT_EQ(MR_SUCCESS, AddNfsFilesys("qfs"));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_nfs_quota", {"qfs", "aab", "500"}));
+  EXPECT_EQ(MR_EXISTS, RunRoot("add_nfs_quota", {"qfs", "aab", "100"}));
+  EXPECT_EQ(MR_QUOTA, RunRoot("add_nfs_quota", {"qfs", "aab", "-5"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_nfsphys", {"charon.mit.edu", "/u1"}, &tuples));
+  EXPECT_EQ("500", tuples[0][4]);
+  // Update adjusts allocation by the delta.
+  ASSERT_EQ(MR_SUCCESS, RunRoot("update_nfs_quota", {"qfs", "aab", "300"}));
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_nfsphys", {"charon.mit.edu", "/u1"}, &tuples));
+  EXPECT_EQ("300", tuples[0][4]);
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_nfs_quota", {"qfs", "aab"}, &tuples));
+  ASSERT_EQ(1u, tuples.size());
+  EXPECT_EQ("300", tuples[0][2]);
+  EXPECT_EQ("/u1", tuples[0][3]);
+  EXPECT_EQ("CHARON.MIT.EDU", tuples[0][4]);
+  // Delete releases the allocation.
+  ASSERT_EQ(MR_SUCCESS, RunRoot("delete_nfs_quota", {"qfs", "aab"}));
+  EXPECT_EQ(MR_NO_QUOTA, RunRoot("delete_nfs_quota", {"qfs", "aab"}));
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_nfsphys", {"charon.mit.edu", "/u1"}, &tuples));
+  EXPECT_EQ("0", tuples[0][4]);
+}
+
+TEST_F(FilesysQueriesTest, QuotasByPartition) {
+  ASSERT_EQ(MR_SUCCESS, AddNfsFilesys("p1"));
+  ASSERT_EQ(MR_SUCCESS, AddNfsFilesys("p2"));
+  AddActiveUser("second", 101);
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_nfs_quota", {"p1", "aab", "100"}));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_nfs_quota", {"p2", "second", "200"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS,
+            RunRoot("get_nfs_quotas_by_partition", {"charon.mit.edu", "*"}, &tuples));
+  EXPECT_EQ(2u, tuples.size());
+}
+
+TEST_F(FilesysQueriesTest, DeleteFilesysCascadesQuotas) {
+  ASSERT_EQ(MR_SUCCESS, AddNfsFilesys("cascade"));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_nfs_quota", {"cascade", "aab", "250"}));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("delete_filesys", {"cascade"}));
+  EXPECT_EQ(0u, mc_->nfsquota()->LiveCount());
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_nfsphys", {"charon.mit.edu", "/u1"}, &tuples));
+  EXPECT_EQ("0", tuples[0][4]);  // allocation released
+}
+
+TEST_F(FilesysQueriesTest, QuotaSelfAccessAndGroupAccess) {
+  ASSERT_EQ(MR_SUCCESS, AddNfsFilesys("selfq"));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_nfs_quota", {"selfq", "aab", "100"}));
+  // aab may view their own quota.
+  EXPECT_EQ(MR_SUCCESS, Run("aab", "get_nfs_quota", {"selfq", "aab"}));
+  AddActiveUser("noseyq", 102);
+  EXPECT_EQ(MR_PERM, Run("noseyq", "get_nfs_quota", {"selfq", "aab"}));
+  // A member of the owning group may list the group's filesystems.
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_member_to_list", {"aab-group", "USER", "aab"}));
+  EXPECT_EQ(MR_SUCCESS, Run("aab", "get_filesys_by_group", {"aab-group"}));
+  EXPECT_EQ(MR_PERM, Run("noseyq", "get_filesys_by_group", {"aab-group"}));
+}
+
+}  // namespace
+}  // namespace moira

@@ -1,0 +1,176 @@
+// Tests for the servers / serverhosts queries driving the DCM (paper
+// section 7.0.4).
+#include "tests/test_env.h"
+
+namespace moira {
+namespace {
+
+class ServerQueriesTest : public MoiraEnv {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_machine", {"suomi.mit.edu", "VAX"}));
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_machine", {"kiwi.mit.edu", "VAX"}));
+    ASSERT_EQ(MR_SUCCESS,
+              RunRoot("add_server_info", {"hesiod", "360", "/tmp/hesiod.out", "hesiod.sh",
+                                          "REPLICAT", "1", "NONE", "NONE"}));
+  }
+};
+
+TEST_F(ServerQueriesTest, AddUppercasesAndValidates) {
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_info", {"HESIOD"}, &tuples));
+  ASSERT_EQ(1u, tuples.size());
+  EXPECT_EQ("HESIOD", tuples[0][0]);
+  EXPECT_EQ("360", tuples[0][1]);
+  EXPECT_EQ("/tmp/hesiod.out", tuples[0][2]);
+  EXPECT_EQ("REPLICAT", tuples[0][6]);
+  // Lowercase lookup also works (names are upper-cased before comparing).
+  EXPECT_EQ(MR_SUCCESS, RunRoot("get_server_info", {"hesiod"}));
+  EXPECT_EQ(MR_EXISTS, RunRoot("add_server_info", {"HESIOD", "1", "", "", "UNIQUE", "1",
+                                                   "NONE", "NONE"}));
+  EXPECT_EQ(MR_TYPE, RunRoot("add_server_info", {"NEW", "1", "", "", "SOMETIMES", "1",
+                                                 "NONE", "NONE"}));
+  EXPECT_EQ(MR_ACE, RunRoot("add_server_info", {"NEW", "1", "", "", "UNIQUE", "1", "USER",
+                                                "ghost"}));
+}
+
+TEST_F(ServerQueriesTest, UpdateAndResetError) {
+  ASSERT_EQ(MR_SUCCESS, RunRoot("update_server_info",
+                                {"HESIOD", "720", "/tmp/h2.out", "h2.sh", "REPLICAT", "0",
+                                 "NONE", "NONE"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_info", {"HESIOD"}, &tuples));
+  EXPECT_EQ("720", tuples[0][1]);
+  EXPECT_EQ("0", tuples[0][7]);  // disabled
+  // DCM-internal flags, including a hard error.
+  ASSERT_EQ(MR_SUCCESS, RunRoot("set_server_internal_flags",
+                                {"HESIOD", "1000", "2000", "0", "5", "boom"}));
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_info", {"HESIOD"}, &tuples));
+  EXPECT_EQ("1000", tuples[0][4]);
+  EXPECT_EQ("2000", tuples[0][5]);
+  EXPECT_EQ("5", tuples[0][9]);
+  EXPECT_EQ("boom", tuples[0][10]);
+  // reset_server_error clears harderror and pulls dfcheck back to dfgen.
+  ASSERT_EQ(MR_SUCCESS, RunRoot("reset_server_error", {"HESIOD"}));
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_info", {"HESIOD"}, &tuples));
+  EXPECT_EQ("0", tuples[0][9]);
+  EXPECT_EQ("1000", tuples[0][5]);
+}
+
+TEST_F(ServerQueriesTest, QualifiedGetServer) {
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_server_info", {"NFS", "720", "", "", "UNIQUE", "0",
+                                                    "NONE", "NONE"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS,
+            RunRoot("qualified_get_server", {"TRUE", "DONTCARE", "DONTCARE"}, &tuples));
+  ASSERT_EQ(1u, tuples.size());
+  EXPECT_EQ("HESIOD", tuples[0][0]);
+  EXPECT_EQ(MR_TYPE, RunRoot("qualified_get_server", {"MAYBE", "TRUE", "TRUE"}));
+}
+
+TEST_F(ServerQueriesTest, ServerHostLifecycle) {
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_server_host_info",
+                                {"HESIOD", "suomi.mit.edu", "1", "7", "9", "extra"}));
+  EXPECT_EQ(MR_EXISTS, RunRoot("add_server_host_info",
+                               {"HESIOD", "suomi.mit.edu", "1", "0", "0", ""}));
+  EXPECT_EQ(MR_SERVICE, RunRoot("add_server_host_info",
+                                {"GHOST", "suomi.mit.edu", "1", "0", "0", ""}));
+  EXPECT_EQ(MR_MACHINE, RunRoot("add_server_host_info",
+                                {"HESIOD", "ghost.mit.edu", "1", "0", "0", ""}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_host_info", {"HESIOD", "*"}, &tuples));
+  ASSERT_EQ(1u, tuples.size());
+  EXPECT_EQ("SUOMI.MIT.EDU", tuples[0][1]);
+  EXPECT_EQ("7", tuples[0][10]);
+  EXPECT_EQ("9", tuples[0][11]);
+  EXPECT_EQ("extra", tuples[0][12]);
+  ASSERT_EQ(MR_SUCCESS, RunRoot("update_server_host_info",
+                                {"HESIOD", "suomi.mit.edu", "1", "8", "9", "e2"}));
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_host_info", {"HESIOD", "SUOMI*"}, &tuples));
+  EXPECT_EQ("8", tuples[0][10]);
+  ASSERT_EQ(MR_SUCCESS, RunRoot("delete_server_host_info", {"HESIOD", "suomi.mit.edu"}));
+  EXPECT_EQ(MR_NO_MATCH, RunRoot("delete_server_host_info", {"HESIOD", "suomi.mit.edu"}));
+}
+
+TEST_F(ServerQueriesTest, ServerHostInternalFlagsAndOverride) {
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_server_host_info",
+                                {"HESIOD", "suomi.mit.edu", "1", "0", "0", ""}));
+  ASSERT_EQ(MR_SUCCESS,
+            RunRoot("set_server_host_internal",
+                    {"HESIOD", "suomi.mit.edu", "0", "1", "0", "0", "", "111", "222"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_host_info", {"HESIOD", "*"}, &tuples));
+  EXPECT_EQ("1", tuples[0][4]);   // success
+  EXPECT_EQ("111", tuples[0][8]);  // lasttry
+  EXPECT_EQ("222", tuples[0][9]);  // lastsuccess
+  ASSERT_EQ(MR_SUCCESS, RunRoot("set_server_host_override", {"HESIOD", "suomi.mit.edu"}));
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_host_info", {"HESIOD", "*"}, &tuples));
+  EXPECT_EQ("1", tuples[0][3]);  // override
+  ASSERT_EQ(MR_SUCCESS, RunRoot("reset_server_host_error", {"HESIOD", "suomi.mit.edu"}));
+}
+
+TEST_F(ServerQueriesTest, UpdateBlockedWhileInProgress) {
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_server_host_info",
+                                {"HESIOD", "suomi.mit.edu", "1", "0", "0", ""}));
+  ASSERT_EQ(MR_SUCCESS,
+            RunRoot("set_server_host_internal",
+                    {"HESIOD", "suomi.mit.edu", "0", "0", "1", "0", "", "0", "0"}));
+  EXPECT_EQ(MR_IN_USE, RunRoot("update_server_host_info",
+                               {"HESIOD", "suomi.mit.edu", "1", "0", "0", ""}));
+  EXPECT_EQ(MR_IN_USE, RunRoot("delete_server_host_info", {"HESIOD", "suomi.mit.edu"}));
+}
+
+TEST_F(ServerQueriesTest, DeleteServerBlockedByHosts) {
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_server_host_info",
+                                {"HESIOD", "suomi.mit.edu", "1", "0", "0", ""}));
+  EXPECT_EQ(MR_IN_USE, RunRoot("delete_server_info", {"HESIOD"}));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("delete_server_host_info", {"HESIOD", "suomi.mit.edu"}));
+  EXPECT_EQ(MR_SUCCESS, RunRoot("delete_server_info", {"HESIOD"}));
+  EXPECT_EQ(MR_SERVICE, RunRoot("delete_server_info", {"HESIOD"}));
+}
+
+TEST_F(ServerQueriesTest, GetServerLocationsIsWorldReadable) {
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_server_host_info",
+                                {"HESIOD", "suomi.mit.edu", "1", "0", "0", ""}));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_server_host_info",
+                                {"HESIOD", "kiwi.mit.edu", "1", "0", "0", ""}));
+  std::vector<Tuple> tuples;
+  EXPECT_EQ(MR_SUCCESS, Run("", "get_server_locations", {"HES*"}, &tuples));
+  EXPECT_EQ(2u, tuples.size());
+}
+
+TEST_F(ServerQueriesTest, QualifiedGetServerHost) {
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_server_host_info",
+                                {"HESIOD", "suomi.mit.edu", "1", "0", "0", ""}));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_server_host_info",
+                                {"HESIOD", "kiwi.mit.edu", "0", "0", "0", ""}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS,
+            RunRoot("qualified_get_server_host",
+                    {"HESIOD", "TRUE", "DONTCARE", "DONTCARE", "DONTCARE", "DONTCARE"},
+                    &tuples));
+  ASSERT_EQ(1u, tuples.size());
+  EXPECT_EQ("SUOMI.MIT.EDU", tuples[0][1]);
+}
+
+TEST_F(ServerQueriesTest, ServiceAceHolderMayManage) {
+  AddActiveUser("svcmgr", 200);
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_server_info", {"MINE", "60", "/t", "s", "UNIQUE", "1",
+                                                    "USER", "svcmgr"}));
+  EXPECT_EQ(MR_SUCCESS, Run("svcmgr", "get_server_info", {"MINE"}));
+  EXPECT_EQ(MR_SUCCESS, Run("svcmgr", "add_server_host_info",
+                            {"MINE", "suomi.mit.edu", "1", "0", "0", ""}));
+  EXPECT_EQ(MR_SUCCESS, Run("svcmgr", "set_server_host_override",
+                            {"MINE", "suomi.mit.edu"}));
+  AddActiveUser("intruder", 201);
+  EXPECT_EQ(MR_PERM, Run("intruder", "get_server_info", {"MINE"}));
+  EXPECT_EQ(MR_PERM, Run("intruder", "update_server_info",
+                         {"MINE", "1", "", "", "UNIQUE", "1", "NONE", "NONE"}));
+}
+
+}  // namespace
+}  // namespace moira

@@ -1,0 +1,323 @@
+// Tests for the users / finger / pobox queries (paper section 7.0.1).
+#include "tests/test_env.h"
+
+namespace moira {
+namespace {
+
+class UserQueriesTest : public MoiraEnv {
+ protected:
+  void SetUp() override {
+    // A POP server and an NFS partition so register_user can allocate.
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_machine", {"po-1.mit.edu", "VAX"}));
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_machine", {"nfs-1.mit.edu", "VAX"}));
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_server_info",
+                                  {"POP", "0", "", "", "UNIQUE", "1", "NONE", "NONE"}));
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_server_host_info",
+                                  {"POP", "po-1.mit.edu", "1", "0", "500", ""}));
+    ASSERT_EQ(MR_SUCCESS,
+              RunRoot("add_nfsphys", {"nfs-1.mit.edu", "/u1", "ra00",
+                                      std::to_string(kFsStudent), "0", "100000"}));
+  }
+};
+
+TEST_F(UserQueriesTest, AddAndGetByLogin) {
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_user", {"babette", "6530", "/bin/csh", "Fowler",
+                                             "Harmon", "C", "1", "HFabc", "G"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_user_by_login", {"babette"}, &tuples));
+  ASSERT_EQ(1u, tuples.size());
+  const Tuple& t = tuples[0];
+  ASSERT_EQ(12u, t.size());
+  EXPECT_EQ("babette", t[0]);
+  EXPECT_EQ("6530", t[1]);
+  EXPECT_EQ("/bin/csh", t[2]);
+  EXPECT_EQ("Fowler", t[3]);
+  EXPECT_EQ("Harmon", t[4]);
+  EXPECT_EQ("C", t[5]);
+  EXPECT_EQ("1", t[6]);
+  EXPECT_EQ("HFabc", t[7]);
+  EXPECT_EQ("G", t[8]);
+}
+
+TEST_F(UserQueriesTest, AddUserRejectsDuplicateLogin) {
+  AddActiveUser("dup", 100);
+  EXPECT_EQ(MR_NOT_UNIQUE, RunRoot("add_user", {"dup", "101", "/bin/csh", "L", "F", "M",
+                                                "1", "id", "G"}));
+}
+
+TEST_F(UserQueriesTest, AddUserValidatesClassAndIntegers) {
+  EXPECT_EQ(MR_BAD_CLASS, RunRoot("add_user", {"u1", "100", "/bin/csh", "L", "F", "M", "1",
+                                               "id", "SOPHMORE"}));
+  EXPECT_EQ(MR_INTEGER, RunRoot("add_user", {"u1", "abc", "/bin/csh", "L", "F", "M", "1",
+                                             "id", "G"}));
+  EXPECT_EQ(MR_INTEGER, RunRoot("add_user", {"u1", "100", "/bin/csh", "L", "F", "M", "x",
+                                             "id", "G"}));
+  EXPECT_EQ(MR_BAD_CHAR, RunRoot("add_user", {"bad:login", "100", "/bin/csh", "L", "F",
+                                              "M", "1", "id", "G"}));
+}
+
+TEST_F(UserQueriesTest, UniqueUidAndUniqueLogin) {
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_user", {kUniqueLogin, "-1", "/bin/csh", "Fowler",
+                                             "Harmon", "C", "0", "hash", "1989"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_user_by_name", {"Harmon", "Fowler"}, &tuples));
+  ASSERT_EQ(1u, tuples.size());
+  // Login is "#" followed by the allocated uid.
+  EXPECT_EQ("#" + tuples[0][1], tuples[0][0]);
+}
+
+TEST_F(UserQueriesTest, GetAllLoginsAndActive) {
+  AddActiveUser("active1", 201);
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_user", {"inactive1", "202", "/bin/csh", "L", "F", "M",
+                                             "0", "id", "G"}));
+  std::vector<Tuple> all;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_all_logins", {}, &all));
+  EXPECT_EQ(2u, all.size());
+  std::vector<Tuple> active;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_all_active_logins", {}, &active));
+  ASSERT_EQ(1u, active.size());
+  EXPECT_EQ("active1", active[0][0]);
+  EXPECT_EQ(6u, active[0].size());
+}
+
+TEST_F(UserQueriesTest, LookupsByUidNameClassMitid) {
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_user", {"zeta", "399", "/bin/sh", "Zimmer", "Karl",
+                                             "Q", "1", "KZhash", "1990"}));
+  std::vector<Tuple> tuples;
+  EXPECT_EQ(MR_SUCCESS, RunRoot("get_user_by_uid", {"399"}, &tuples));
+  EXPECT_EQ(1u, tuples.size());
+  tuples.clear();
+  EXPECT_EQ(MR_SUCCESS, RunRoot("get_user_by_name", {"K*", "Zim*"}, &tuples));
+  EXPECT_EQ(1u, tuples.size());
+  tuples.clear();
+  EXPECT_EQ(MR_SUCCESS, RunRoot("get_user_by_class", {"1990"}, &tuples));
+  EXPECT_EQ(1u, tuples.size());
+  tuples.clear();
+  EXPECT_EQ(MR_SUCCESS, RunRoot("get_user_by_mitid", {"KZhash"}, &tuples));
+  EXPECT_EQ(1u, tuples.size());
+  EXPECT_EQ(MR_NO_MATCH, RunRoot("get_user_by_uid", {"77777"}));
+  EXPECT_EQ(MR_INTEGER, RunRoot("get_user_by_uid", {"notanumber"}));
+}
+
+TEST_F(UserQueriesTest, WildcardLoginRetrieval) {
+  AddActiveUser("wild1", 301);
+  AddActiveUser("wild2", 302);
+  AddActiveUser("tame", 303);
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_user_by_login", {"wild*"}, &tuples));
+  EXPECT_EQ(2u, tuples.size());
+}
+
+TEST_F(UserQueriesTest, NonPrivilegedSeesOnlySelf) {
+  AddActiveUser("alice", 401);
+  AddActiveUser("bob", 402);
+  std::vector<Tuple> tuples;
+  // alice asking about herself: allowed.
+  EXPECT_EQ(MR_SUCCESS, Run("alice", "get_user_by_login", {"alice"}, &tuples));
+  // alice asking about bob: denied.
+  EXPECT_EQ(MR_PERM, Run("alice", "get_user_by_login", {"bob"}));
+  // alice asking by her own uid: allowed through the handler's self filter.
+  EXPECT_EQ(MR_SUCCESS, Run("alice", "get_user_by_uid", {"401"}));
+  EXPECT_EQ(MR_PERM, Run("alice", "get_user_by_uid", {"402"}));
+}
+
+TEST_F(UserQueriesTest, UpdateUserFullRewrite) {
+  AddActiveUser("renameme", 500);
+  ASSERT_EQ(MR_SUCCESS, RunRoot("update_user", {"renameme", "renamed", "501", "/bin/sh",
+                                                "NewLast", "NewFirst", "Z", "1", "newid",
+                                                "STAFF"}));
+  EXPECT_EQ(MR_USER, RunRoot("update_user", {"renameme", "x", "1", "s", "l", "f", "m", "1",
+                                             "i", "G"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_user_by_login", {"renamed"}, &tuples));
+  EXPECT_EQ("501", tuples[0][1]);
+  EXPECT_EQ("STAFF", tuples[0][8]);
+}
+
+TEST_F(UserQueriesTest, UpdateUserRejectsTakenNewLogin) {
+  AddActiveUser("u1", 601);
+  AddActiveUser("u2", 602);
+  EXPECT_EQ(MR_NOT_UNIQUE, RunRoot("update_user", {"u1", "u2", "601", "/bin/csh", "L", "F",
+                                                   "M", "1", "id", "G"}));
+}
+
+TEST_F(UserQueriesTest, ShellAndStatusUpdates) {
+  AddActiveUser("chsh", 700);
+  // A user may change their own shell...
+  EXPECT_EQ(MR_SUCCESS, Run("chsh", "update_user_shell", {"chsh", "/bin/newsh"}));
+  // ...but not someone else's.
+  AddActiveUser("other", 701);
+  EXPECT_EQ(MR_PERM, Run("other", "update_user_shell", {"chsh", "/bin/evil"}));
+  // Nor their own status.
+  EXPECT_EQ(MR_PERM, Run("chsh", "update_user_status", {"chsh", "0"}));
+  EXPECT_EQ(MR_SUCCESS, RunRoot("update_user_status", {"chsh", "3"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_user_by_login", {"chsh"}, &tuples));
+  EXPECT_EQ("/bin/newsh", tuples[0][2]);
+  EXPECT_EQ("3", tuples[0][6]);
+}
+
+TEST_F(UserQueriesTest, DeleteUserRequiresStatusZeroAndNoReferences) {
+  AddActiveUser("victim", 800);
+  EXPECT_EQ(MR_IN_USE, RunRoot("delete_user", {"victim"}));  // status 1
+  ASSERT_EQ(MR_SUCCESS, RunRoot("update_user_status", {"victim", "0"}));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_list", {"holders", "1", "0", "0", "0", "0", "-1",
+                                             "NONE", "NONE", "d"}));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_member_to_list", {"holders", "USER", "victim"}));
+  EXPECT_EQ(MR_IN_USE, RunRoot("delete_user", {"victim"}));  // list member
+  ASSERT_EQ(MR_SUCCESS, RunRoot("delete_member_from_list", {"holders", "USER", "victim"}));
+  EXPECT_EQ(MR_SUCCESS, RunRoot("delete_user", {"victim"}));
+  EXPECT_EQ(MR_USER, RunRoot("delete_user", {"victim"}));
+}
+
+TEST_F(UserQueriesTest, DeleteUserByUid) {
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_user", {"uidvictim", "900", "/bin/csh", "L", "F", "M",
+                                             "0", "id", "G"}));
+  EXPECT_EQ(MR_SUCCESS, RunRoot("delete_user_by_uid", {"900"}));
+  EXPECT_EQ(MR_USER, RunRoot("delete_user_by_uid", {"900"}));
+}
+
+TEST_F(UserQueriesTest, FingerRoundTrip) {
+  AddActiveUser("finger", 1000);
+  ASSERT_EQ(MR_SUCCESS,
+            RunRoot("update_finger_by_login",
+                    {"finger", "Full Name", "nick", "1 Home St", "555-0100",
+                     "E40-342", "555-0200", "EECS", "undergraduate"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_finger_by_login", {"finger"}, &tuples));
+  ASSERT_EQ(12u, tuples[0].size());
+  EXPECT_EQ("Full Name", tuples[0][1]);
+  EXPECT_EQ("nick", tuples[0][2]);
+  EXPECT_EQ("EECS", tuples[0][7]);
+  EXPECT_EQ("undergraduate", tuples[0][8]);
+  // Self-service finger update is allowed.
+  EXPECT_EQ(MR_SUCCESS, Run("finger", "update_finger_by_login",
+                            {"finger", "F", "", "", "", "", "", "", ""}));
+  AddActiveUser("stranger", 1001);
+  EXPECT_EQ(MR_PERM, Run("stranger", "update_finger_by_login",
+                         {"finger", "X", "", "", "", "", "", "", ""}));
+}
+
+TEST_F(UserQueriesTest, PoboxLifecycle) {
+  AddActiveUser("mailer", 1100);
+  // New users default to no pobox.
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_pobox", {"mailer"}, &tuples));
+  EXPECT_EQ("NONE", tuples[0][1]);
+  // POP requires a known machine.
+  EXPECT_EQ(MR_MACHINE, RunRoot("set_pobox", {"mailer", "POP", "e40-p0"}));
+  EXPECT_EQ(MR_SUCCESS, RunRoot("set_pobox", {"mailer", "POP", "po-1.mit.edu"}));
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_pobox", {"mailer"}, &tuples));
+  EXPECT_EQ("POP", tuples[0][1]);
+  EXPECT_EQ("PO-1.MIT.EDU", tuples[0][2]);
+  // SMTP stores the address via the strings relation.
+  EXPECT_EQ(MR_SUCCESS, RunRoot("set_pobox", {"mailer", "SMTP", "mailer@other.edu"}));
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_pobox", {"mailer"}, &tuples));
+  EXPECT_EQ("SMTP", tuples[0][1]);
+  EXPECT_EQ("mailer@other.edu", tuples[0][2]);
+  // Invalid type.
+  EXPECT_EQ(MR_TYPE, RunRoot("set_pobox", {"mailer", "UUCP", "x"}));
+  // Delete sets type NONE.
+  EXPECT_EQ(MR_SUCCESS, RunRoot("delete_pobox", {"mailer"}));
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_pobox", {"mailer"}, &tuples));
+  EXPECT_EQ("NONE", tuples[0][1]);
+  // set_pobox_pop restores the previous POP machine.
+  EXPECT_EQ(MR_SUCCESS, RunRoot("set_pobox_pop", {"mailer"}));
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_pobox", {"mailer"}, &tuples));
+  EXPECT_EQ("POP", tuples[0][1]);
+  EXPECT_EQ("PO-1.MIT.EDU", tuples[0][2]);
+}
+
+TEST_F(UserQueriesTest, SetPoboxPopWithoutHistoryFails) {
+  AddActiveUser("nohist", 1200);
+  EXPECT_EQ(MR_MACHINE, RunRoot("set_pobox_pop", {"nohist"}));
+}
+
+TEST_F(UserQueriesTest, PoboxEnumerationQueries) {
+  AddActiveUser("pop1", 1300);
+  AddActiveUser("smtp1", 1301);
+  AddActiveUser("none1", 1302);
+  ASSERT_EQ(MR_SUCCESS, RunRoot("set_pobox", {"pop1", "POP", "po-1.mit.edu"}));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("set_pobox", {"smtp1", "SMTP", "s@x.edu"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_all_poboxes", {}, &tuples));
+  EXPECT_EQ(2u, tuples.size());
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_poboxes_pop", {}, &tuples));
+  ASSERT_EQ(1u, tuples.size());
+  EXPECT_EQ("pop1", tuples[0][0]);
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_poboxes_smtp", {}, &tuples));
+  ASSERT_EQ(1u, tuples.size());
+  EXPECT_EQ("smtp1", tuples[0][0]);
+}
+
+TEST_F(UserQueriesTest, PoboxSelfService) {
+  AddActiveUser("selfpo", 1400);
+  AddActiveUser("peer", 1401);
+  EXPECT_EQ(MR_SUCCESS, Run("selfpo", "set_pobox", {"selfpo", "POP", "po-1.mit.edu"}));
+  EXPECT_EQ(MR_PERM, Run("peer", "set_pobox", {"selfpo", "NONE", ""}));
+  EXPECT_EQ(MR_SUCCESS, Run("selfpo", "get_pobox", {"selfpo"}));
+  EXPECT_EQ(MR_PERM, Run("peer", "get_pobox", {"selfpo"}));
+}
+
+TEST_F(UserQueriesTest, RegisterUserAllocatesEverything) {
+  // A registerable user from the registrar's tape: no login, status 0.
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_user", {kUniqueLogin, "-1", "/bin/csh", "Fowler",
+                                             "Harmon", "C", "0", "hash", "1989"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_user_by_name", {"Harmon", "Fowler"}, &tuples));
+  std::string uid = tuples[0][1];
+  ASSERT_EQ(MR_SUCCESS,
+            RunRoot("register_user", {uid, "hfowler", std::to_string(kFsStudent)}));
+  // Login assigned, status half-registered.
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_user_by_login", {"hfowler"}, &tuples));
+  EXPECT_EQ(std::to_string(kUserHalfRegistered), tuples[0][6]);
+  // Pobox of type POP on the post office.
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_pobox", {"hfowler"}, &tuples));
+  EXPECT_EQ("POP", tuples[0][1]);
+  EXPECT_EQ("PO-1.MIT.EDU", tuples[0][2]);
+  // Group list named after the login with a fresh gid.
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_list_info", {"hfowler"}, &tuples));
+  EXPECT_EQ("1", tuples[0][5]);  // group flag
+  // Home filesystem with a quota.
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_filesys_by_label", {"hfowler"}, &tuples));
+  EXPECT_EQ("NFS", tuples[0][1]);
+  EXPECT_EQ("/mit/hfowler", tuples[0][4]);
+  EXPECT_EQ("HOMEDIR", tuples[0][10]);
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_nfs_quota", {"hfowler", "hfowler"}, &tuples));
+  EXPECT_EQ("300", tuples[0][2]);
+  // The partition allocation was bumped by the default quota.
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_nfsphys", {"nfs-1.mit.edu", "/u1"}, &tuples));
+  EXPECT_EQ("300", tuples[0][4]);
+  // POP load count bumped.
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_host_info", {"POP", "po-1.mit.edu"}, &tuples));
+  EXPECT_EQ("1", tuples[0][10]);
+}
+
+TEST_F(UserQueriesTest, RegisterUserRejectsTakenLoginAndWrongStatus) {
+  AddActiveUser("taken", 1500);
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_user", {kUniqueLogin, "-1", "/bin/csh", "New", "Stu",
+                                             "D", "0", "h", "1989"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_user_by_name", {"Stu", "New"}, &tuples));
+  std::string uid = tuples[0][1];
+  EXPECT_EQ(MR_IN_USE, RunRoot("register_user", {uid, "taken", "1"}));
+  // Registering an already-active uid fails.
+  EXPECT_EQ(MR_IN_USE, RunRoot("register_user", {"1500", "fresh", "1"}));
+  EXPECT_EQ(MR_NO_MATCH, RunRoot("register_user", {"424242", "fresh", "1"}));
+}
+
+}  // namespace
+}  // namespace moira

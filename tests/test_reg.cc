@@ -1,0 +1,178 @@
+// Tests for the registration server and userreg flow (paper section 5.10).
+#include "src/krb/crypt.h"
+#include "src/reg/regserver.h"
+#include "tests/test_env.h"
+
+namespace moira {
+namespace {
+
+class RegTest : public MoiraEnv {
+ protected:
+  void SetUp() override {
+    // Infrastructure register_user needs.
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_machine", {"po-1.mit.edu", "VAX"}));
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_machine", {"nfs-1.mit.edu", "VAX"}));
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_server_info",
+                                  {"POP", "0", "", "", "UNIQUE", "1", "NONE", "NONE"}));
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_server_host_info",
+                                  {"POP", "po-1.mit.edu", "1", "0", "500", ""}));
+    ASSERT_EQ(MR_SUCCESS, RunRoot("add_nfsphys", {"nfs-1.mit.edu", "/u1", "ra00",
+                                                  std::to_string(kFsStudent), "0",
+                                                  "100000"}));
+    realm_->RegisterService(kMoiraServiceName);
+    server_ = std::make_unique<RegistrationServer>(mc_.get(), realm_.get());
+    // The registrar's tape: a student known by name and encrypted MIT id,
+    // with no login and no Kerberos principal.
+    ImportStudent("Harmon", "Fowler", kId);
+  }
+
+  void ImportStudent(const std::string& first, const std::string& last,
+                     const std::string& id) {
+    ASSERT_EQ(MR_SUCCESS,
+              RunRoot("add_user", {kUniqueLogin, "-1", "/bin/csh", last, first, "X", "0",
+                                   HashMitId(id, first, last), "1989"}));
+  }
+
+  static constexpr char kId[] = "123-45-6789";
+
+  std::unique_ptr<RegistrationServer> server_;
+};
+
+TEST_F(RegTest, VerifyUserSucceedsForRegisterableStudent) {
+  std::string hash = HashMitId(kId, "Harmon", "Fowler");
+  RegReply reply =
+      server_->VerifyUser("Harmon", "Fowler", BuildRegAuthenticator(kId, hash, ""));
+  EXPECT_EQ(MR_SUCCESS, reply.code);
+  EXPECT_EQ(kUserNotRegistered, reply.user_status);
+}
+
+TEST_F(RegTest, VerifyUserNotFoundForUnknownName) {
+  std::string hash = HashMitId(kId, "No", "Body");
+  RegReply reply =
+      server_->VerifyUser("No", "Body", BuildRegAuthenticator(kId, hash, ""));
+  EXPECT_EQ(MR_REG_NOT_FOUND, reply.code);
+}
+
+TEST_F(RegTest, VerifyUserRejectsWrongId) {
+  // Right name, wrong ID number: the authenticator decrypts with the wrong
+  // key and validation fails.
+  std::string wrong_hash = HashMitId("999-99-9999", "Harmon", "Fowler");
+  RegReply reply = server_->VerifyUser(
+      "Harmon", "Fowler", BuildRegAuthenticator("999-99-9999", wrong_hash, ""));
+  EXPECT_EQ(MR_REG_BAD_AUTH, reply.code);
+}
+
+TEST_F(RegTest, VerifyUserRejectsTamperedAuthenticator) {
+  std::string hash = HashMitId(kId, "Harmon", "Fowler");
+  std::string authenticator = BuildRegAuthenticator(kId, hash, "");
+  authenticator[authenticator.size() / 2] ^= 0x10;
+  RegReply reply = server_->VerifyUser("Harmon", "Fowler", authenticator);
+  EXPECT_EQ(MR_REG_BAD_AUTH, reply.code);
+}
+
+TEST_F(RegTest, FullUserregFlow) {
+  UserregClient userreg(server_.get(), realm_.get());
+  ASSERT_EQ(MR_SUCCESS,
+            userreg.Register("Harmon", "C", "Fowler", kId, "hfowler", "initialpw"));
+  // The account is fully established: active status, kerberos principal with
+  // the chosen password, pobox, group, filesystem, quota.
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_user_by_login", {"hfowler"}, &tuples));
+  EXPECT_EQ(std::to_string(kUserActive), tuples[0][6]);
+  Ticket ticket;
+  EXPECT_EQ(MR_SUCCESS,
+            realm_->GetInitialTickets("hfowler", "initialpw", kMoiraServiceName, &ticket));
+  EXPECT_EQ(MR_SUCCESS, RunRoot("get_pobox", {"hfowler"}));
+  EXPECT_EQ(MR_SUCCESS, RunRoot("get_filesys_by_label", {"hfowler"}));
+  EXPECT_EQ(MR_SUCCESS, RunRoot("get_list_info", {"hfowler"}));
+}
+
+TEST_F(RegTest, SecondRegistrationRejected) {
+  UserregClient userreg(server_.get(), realm_.get());
+  ASSERT_EQ(MR_SUCCESS,
+            userreg.Register("Harmon", "C", "Fowler", kId, "hfowler", "pw"));
+  EXPECT_EQ(MR_REG_ALREADY,
+            userreg.Register("Harmon", "C", "Fowler", kId, "hfowler2", "pw"));
+}
+
+TEST_F(RegTest, LoginTakenByKerberosPrincipal) {
+  realm_->AddPrincipal("squatter", "pw");
+  UserregClient userreg(server_.get(), realm_.get());
+  EXPECT_EQ(MR_REG_LOGIN_TAKEN,
+            userreg.Register("Harmon", "C", "Fowler", kId, "squatter", "pw"));
+}
+
+TEST_F(RegTest, LoginTakenByMoiraAccount) {
+  AddActiveUser("existing", 4000);
+  std::string hash = HashMitId(kId, "Harmon", "Fowler");
+  RegReply reply = server_->GrabLogin("Harmon", "Fowler",
+                                      BuildRegAuthenticator(kId, hash, "existing"));
+  EXPECT_EQ(MR_REG_LOGIN_TAKEN, reply.code);
+}
+
+TEST_F(RegTest, SetPasswordRequiresGrabLoginFirst) {
+  std::string hash = HashMitId(kId, "Harmon", "Fowler");
+  RegReply reply = server_->SetPassword("Harmon", "Fowler",
+                                        BuildRegAuthenticator(kId, hash, "pw"));
+  EXPECT_EQ(MR_REG_NOT_FOUND, reply.code);
+}
+
+TEST_F(RegTest, PacketInterfaceRoundTrip) {
+  std::string hash = HashMitId(kId, "Harmon", "Fowler");
+  std::string packet;
+  PackField(&packet, "1");  // Verify User
+  PackField(&packet, "Harmon");
+  PackField(&packet, "Fowler");
+  PackField(&packet, BuildRegAuthenticator(kId, hash, ""));
+  std::string reply = server_->HandlePacket(packet);
+  std::string_view view(reply);
+  std::string code_field;
+  std::string status_field;
+  ASSERT_TRUE(UnpackField(&view, &code_field));
+  ASSERT_TRUE(UnpackField(&view, &status_field));
+  EXPECT_EQ("0", code_field);
+  EXPECT_EQ("0", status_field);
+}
+
+TEST_F(RegTest, MalformedPacketRejected) {
+  std::string reply = server_->HandlePacket("garbage");
+  std::string_view view(reply);
+  std::string code_field;
+  ASSERT_TRUE(UnpackField(&view, &code_field));
+  EXPECT_EQ(std::to_string(MR_REG_BAD_AUTH), code_field);
+}
+
+TEST_F(RegTest, TwoStudentsSameNameDistinguishedById) {
+  // A second Harmon Fowler with a different ID registers independently.
+  ImportStudent("Harmon", "Fowler", "555-00-1111");
+  UserregClient userreg(server_.get(), realm_.get());
+  ASSERT_EQ(MR_SUCCESS,
+            userreg.Register("Harmon", "C", "Fowler", kId, "hfowler1", "pw1"));
+  ASSERT_EQ(MR_SUCCESS,
+            userreg.Register("Harmon", "Q", "Fowler", "555-00-1111", "hfowler2", "pw2"));
+  EXPECT_EQ(MR_SUCCESS, RunRoot("get_user_by_login", {"hfowler1"}));
+  EXPECT_EQ(MR_SUCCESS, RunRoot("get_user_by_login", {"hfowler2"}));
+}
+
+TEST_F(RegTest, RegistrationStorm) {
+  // ~1000 accounts at the start of term with no staff intervention (paper
+  // section 5.10).  Scaled to 100 here; the bench runs the full 1000.
+  UserregClient userreg(server_.get(), realm_.get());
+  for (int i = 0; i < 100; ++i) {
+    std::string id = "900-00-" + std::to_string(1000 + i);
+    ImportStudent("Stu" + std::to_string(i), "Dent", id);
+    ASSERT_EQ(MR_SUCCESS, userreg.Register("Stu" + std::to_string(i), "M", "Dent", id,
+                                           "stu" + std::to_string(i), "pw"))
+        << i;
+  }
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_all_active_logins", {}, &tuples));
+  EXPECT_EQ(100u, tuples.size());
+  // Pobox load tracked on the POP server.
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_host_info", {"POP", "po-1.mit.edu"}, &tuples));
+  EXPECT_EQ("100", tuples[0][10]);
+}
+
+}  // namespace
+}  // namespace moira

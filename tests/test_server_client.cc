@@ -1,0 +1,237 @@
+// Integration tests for the Moira server and application library over the
+// loopback transport (paper sections 5.4 - 5.6).
+#include <memory>
+
+#include "src/client/client.h"
+#include "src/server/server.h"
+#include "tests/test_env.h"
+
+namespace moira {
+namespace {
+
+class ServerClientTest : public MoiraEnv {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<MoiraServer>(mc_.get(), realm_.get());
+    AddActiveUser("jrandom", 100);
+    realm_->AddPrincipal("jrandom", "hunter2");
+  }
+
+  MrClient MakeClient() {
+    return MrClient([this] { return std::make_unique<LoopbackChannel>(server_.get()); });
+  }
+
+  std::unique_ptr<MoiraServer> server_;
+};
+
+TEST_F(ServerClientTest, ConnectNoopDisconnect) {
+  MrClient client = MakeClient();
+  EXPECT_EQ(MR_NOT_CONNECTED, client.Noop());
+  EXPECT_EQ(MR_SUCCESS, client.Connect());
+  EXPECT_EQ(MR_ALREADY_CONNECTED, client.Connect());
+  EXPECT_EQ(MR_SUCCESS, client.Noop());
+  EXPECT_EQ(MR_SUCCESS, client.Disconnect());
+  EXPECT_EQ(MR_NOT_CONNECTED, client.Disconnect());
+}
+
+TEST_F(ServerClientTest, UnauthenticatedWorldQueryWorks) {
+  MrClient client = MakeClient();
+  ASSERT_EQ(MR_SUCCESS, client.Connect());
+  std::vector<Tuple> tuples;
+  EXPECT_EQ(MR_SUCCESS, client.Query("get_all_logins", {}, [&](Tuple t) {
+    tuples.push_back(std::move(t));
+  }));
+  EXPECT_EQ(1u, tuples.size());
+}
+
+TEST_F(ServerClientTest, UnauthenticatedMutationDenied) {
+  MrClient client = MakeClient();
+  ASSERT_EQ(MR_SUCCESS, client.Connect());
+  EXPECT_EQ(MR_PERM, client.Query("add_machine", {"m.mit.edu", "VAX"}, [](Tuple) {}));
+}
+
+TEST_F(ServerClientTest, AuthEstablishesIdentity) {
+  MrClient client = MakeClient();
+  ASSERT_EQ(MR_SUCCESS, client.Connect());
+  // No identity configured: can't find ticket.
+  EXPECT_EQ(MR_KRB_NO_TKT, client.Auth("testapp"));
+  client.SetKerberosIdentity(realm_.get(), "jrandom", "wrong");
+  EXPECT_EQ(MR_KRB_BAD_PASSWORD, client.Auth("testapp"));
+  client.SetKerberosIdentity(realm_.get(), "jrandom", "hunter2");
+  ASSERT_EQ(MR_SUCCESS, client.Auth("testapp"));
+  // Self-service now works.
+  EXPECT_EQ(MR_SUCCESS,
+            client.Query("update_user_shell", {"jrandom", "/bin/sh"}, [](Tuple) {}));
+  EXPECT_EQ(1u, server_->stats().auth_successes);
+}
+
+TEST_F(ServerClientTest, AccessRequestDoesNotExecute) {
+  MrClient client = MakeClient();
+  ASSERT_EQ(MR_SUCCESS, client.Connect());
+  client.SetKerberosIdentity(realm_.get(), "jrandom", "hunter2");
+  ASSERT_EQ(MR_SUCCESS, client.Auth("testapp"));
+  EXPECT_EQ(MR_SUCCESS, client.Access("update_user_shell", {"jrandom", "/bin/zsh"}));
+  // The shell was not actually changed.
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_user_by_login", {"jrandom"}, &tuples));
+  EXPECT_NE("/bin/zsh", tuples[0][2]);
+  EXPECT_EQ(MR_PERM, client.Access("add_machine", {"m.mit.edu", "VAX"}));
+}
+
+TEST_F(ServerClientTest, AccessCacheHitsOnRepeat) {
+  MrClient client = MakeClient();
+  ASSERT_EQ(MR_SUCCESS, client.Connect());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(MR_PERM, client.Access("add_machine", {"m.mit.edu", "VAX"}));
+  }
+  EXPECT_EQ(5u, server_->stats().access_checks);
+  EXPECT_EQ(4u, server_->stats().access_cache_hits);
+}
+
+TEST_F(ServerClientTest, AccessCacheInvalidatedByMutation) {
+  MrClient admin = MakeClient();
+  ASSERT_EQ(MR_SUCCESS, admin.Connect());
+  realm_->AddPrincipal("root", "rootpw");
+  admin.SetKerberosIdentity(realm_.get(), "root", "rootpw");
+  ASSERT_EQ(MR_SUCCESS, admin.Auth("admin"));
+  ASSERT_EQ(MR_SUCCESS, admin.Access("add_machine", {"m.mit.edu", "VAX"}));
+  uint64_t hits_before = server_->stats().access_cache_hits;
+  // A mutation bumps the epoch; the next check must re-evaluate.
+  ASSERT_EQ(MR_SUCCESS, admin.Query("add_machine", {"m.mit.edu", "VAX"}, [](Tuple) {}));
+  ASSERT_EQ(MR_SUCCESS, admin.Access("add_machine", {"m2.mit.edu", "VAX"}));
+  EXPECT_EQ(hits_before, server_->stats().access_cache_hits);
+}
+
+TEST_F(ServerClientTest, TupleStreamingDeliversAll) {
+  for (int i = 0; i < 20; ++i) {
+    AddActiveUser("user" + std::to_string(i), 200 + i);
+  }
+  MrClient client = MakeClient();
+  ASSERT_EQ(MR_SUCCESS, client.Connect());
+  int count = 0;
+  EXPECT_EQ(MR_SUCCESS, client.Query("get_all_logins", {}, [&](Tuple) { ++count; }));
+  EXPECT_EQ(21, count);
+}
+
+TEST_F(ServerClientTest, QueryErrorsPropagate) {
+  MrClient client = MakeClient();
+  ASSERT_EQ(MR_SUCCESS, client.Connect());
+  EXPECT_EQ(MR_NO_HANDLE, client.Query("bogus", {}, [](Tuple) {}));
+  EXPECT_EQ(MR_NO_MATCH, client.Query("get_machine", {"NONESUCH"}, [](Tuple) {}));
+}
+
+TEST_F(ServerClientTest, ListUsersReportsConnections) {
+  MrClient a = MakeClient();
+  MrClient b = MakeClient();
+  ASSERT_EQ(MR_SUCCESS, a.Connect());
+  ASSERT_EQ(MR_SUCCESS, b.Connect());
+  a.SetKerberosIdentity(realm_.get(), "jrandom", "hunter2");
+  ASSERT_EQ(MR_SUCCESS, a.Auth("app-a"));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, b.Query("_list_users", {}, [&](Tuple t) {
+    tuples.push_back(std::move(t));
+  }));
+  ASSERT_EQ(2u, tuples.size());
+  int authed = 0;
+  for (const Tuple& t : tuples) {
+    if (t[0] == "jrandom") {
+      ++authed;
+    }
+  }
+  EXPECT_EQ(1, authed);
+}
+
+TEST_F(ServerClientTest, VersionSkewReportedCleanly) {
+  // Hand-roll a request with a higher version.
+  LoopbackChannel channel(server_.get());
+  MrRequest request{kMrProtocolVersion + 1, MajorRequest::kNoop, {}};
+  ASSERT_EQ(MR_SUCCESS, channel.Send(EncodeRequest(request)));
+  std::string payload;
+  ASSERT_EQ(MR_SUCCESS, channel.Recv(&payload));
+  EXPECT_EQ(MR_VERSION_HIGH, DecodeReply(payload)->code);
+  request.version = kMrProtocolVersion - 1;
+  ASSERT_EQ(MR_SUCCESS, channel.Send(EncodeRequest(request)));
+  ASSERT_EQ(MR_SUCCESS, channel.Recv(&payload));
+  EXPECT_EQ(MR_VERSION_LOW, DecodeReply(payload)->code);
+}
+
+TEST_F(ServerClientTest, TriggerDcmGatedByAcl) {
+  bool triggered = false;
+  server_->set_dcm_trigger([&] { triggered = true; });
+  MrClient pleb = MakeClient();
+  ASSERT_EQ(MR_SUCCESS, pleb.Connect());
+  EXPECT_EQ(MR_PERM, pleb.TriggerDcm());
+  EXPECT_FALSE(triggered);
+  MrClient admin = MakeClient();
+  realm_->AddPrincipal("root", "rootpw");
+  admin.SetKerberosIdentity(realm_.get(), "root", "rootpw");
+  ASSERT_EQ(MR_SUCCESS, admin.Connect());
+  ASSERT_EQ(MR_SUCCESS, admin.Auth("ops"));
+  EXPECT_EQ(MR_SUCCESS, admin.TriggerDcm());
+  EXPECT_TRUE(triggered);
+}
+
+TEST_F(ServerClientTest, JournalRecordsSuccessfulChangesOnly) {
+  MrClient admin = MakeClient();
+  realm_->AddPrincipal("root", "rootpw");
+  admin.SetKerberosIdentity(realm_.get(), "root", "rootpw");
+  ASSERT_EQ(MR_SUCCESS, admin.Connect());
+  ASSERT_EQ(MR_SUCCESS, admin.Auth("ops"));
+  ASSERT_EQ(MR_SUCCESS, admin.Query("add_machine", {"j1.mit.edu", "VAX"}, [](Tuple) {}));
+  EXPECT_EQ(MR_NOT_UNIQUE, admin.Query("add_machine", {"j1.mit.edu", "VAX"}, [](Tuple) {}));
+  ASSERT_EQ(MR_SUCCESS, admin.Query("get_machine", {"*"}, [](Tuple) {}));
+  ASSERT_EQ(1u, server_->journal().entries().size());
+  const JournalEntry& entry = server_->journal().entries()[0];
+  EXPECT_EQ("add_machine", entry.query);
+  EXPECT_EQ("root", entry.principal);
+  ASSERT_EQ(2u, entry.args.size());
+  EXPECT_EQ("j1.mit.edu", entry.args[0]);
+}
+
+TEST_F(ServerClientTest, DirectClientBypassesKerberos) {
+  // The glue library used by the DCM: same interface, root identity.
+  DirectClient direct(mc_.get(), "dcm");
+  EXPECT_EQ(MR_SUCCESS, direct.Query("add_machine", {"g.mit.edu", "VAX"}, [](Tuple) {}));
+  EXPECT_EQ(MR_SUCCESS, direct.Access("add_machine", {"g2.mit.edu", "VAX"}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_machine", {"G.MIT.EDU"}, &tuples));
+  EXPECT_EQ("dcm", tuples[0][4]);  // modwith records the application
+}
+
+TEST_F(ServerClientTest, HistoricalCallbackSignature) {
+  MrClient client = MakeClient();
+  ASSERT_EQ(MR_SUCCESS, client.Connect());
+  struct Capture {
+    int calls = 0;
+    int argc = 0;
+  } capture;
+  MrCallbackProc proc = [](int argc, const char**, void* callarg) {
+    auto* c = static_cast<Capture*>(callarg);
+    ++c->calls;
+    c->argc = argc;
+  };
+  EXPECT_EQ(MR_SUCCESS, client.Query("get_all_logins", {}, WrapCallback(proc, &capture)));
+  EXPECT_EQ(1, capture.calls);
+  EXPECT_EQ(6, capture.argc);
+}
+
+TEST_F(ServerClientTest, ReplayedAuthenticatorRejected) {
+  // Build a raw Authenticate request and send it twice.
+  Ticket ticket;
+  ASSERT_EQ(MR_SUCCESS,
+            realm_->GetInitialTickets("jrandom", "hunter2", kMoiraServiceName, &ticket));
+  std::string authenticator = realm_->MakeAuthenticator(ticket);
+  LoopbackChannel channel(server_.get());
+  MrRequest request{kMrProtocolVersion, MajorRequest::kAuthenticate,
+                    {authenticator, "evil"}};
+  std::string payload;
+  ASSERT_EQ(MR_SUCCESS, channel.Send(EncodeRequest(request)));
+  ASSERT_EQ(MR_SUCCESS, channel.Recv(&payload));
+  EXPECT_EQ(MR_SUCCESS, DecodeReply(payload)->code);
+  ASSERT_EQ(MR_SUCCESS, channel.Send(EncodeRequest(request)));
+  ASSERT_EQ(MR_SUCCESS, channel.Recv(&payload));
+  EXPECT_EQ(MR_KRB_REPLAY, DecodeReply(payload)->code);
+}
+
+}  // namespace
+}  // namespace moira

@@ -1,0 +1,149 @@
+// Tests for the synthetic site generator (DESIGN.md substitution for the MIT
+// population): determinism and internal consistency invariants.
+#include "src/sim/population.h"
+#include "tests/test_env.h"
+
+namespace moira {
+namespace {
+
+class SimTest : public MoiraEnv {
+ protected:
+  int BuildSite(const SiteSpec& spec) {
+    SiteBuilder builder(mc_.get(), realm_.get());
+    int users = builder.Build(spec);
+    builder_logins_ = builder.active_logins();
+    return users;
+  }
+
+  std::vector<std::string> builder_logins_;
+};
+
+TEST_F(SimTest, BuildsRequestedScale) {
+  SiteSpec spec = TestSiteSpec();
+  EXPECT_EQ(spec.total_users, BuildSite(spec));
+  // +1 for the opsmgr admin account.
+  EXPECT_EQ(static_cast<size_t>(spec.total_users) + 1, mc_->users()->LiveCount());
+  EXPECT_EQ(static_cast<size_t>(spec.clusters), mc_->cluster()->LiveCount());
+  EXPECT_EQ(static_cast<size_t>(spec.printers), mc_->printcap()->LiveCount());
+  EXPECT_EQ(static_cast<size_t>(spec.zephyr_classes), mc_->zephyr()->LiveCount());
+  EXPECT_EQ(static_cast<size_t>(spec.network_services), mc_->services()->LiveCount());
+  EXPECT_EQ(static_cast<size_t>(spec.nfs_servers * spec.partitions_per_server),
+            mc_->nfsphys()->LiveCount());
+}
+
+TEST_F(SimTest, DeterministicAcrossBuilds) {
+  SiteSpec spec = TestSiteSpec();
+  BuildSite(spec);
+  std::vector<std::string> first_logins = builder_logins_;
+  // Fresh environment, same seed: identical logins.
+  SimulatedClock clock2(568000000);
+  Database db2(&clock2);
+  CreateMoiraSchema(&db2);
+  SeedMoiraDefaults(&db2);
+  MoiraContext mc2(&db2);
+  KerberosRealm realm2(&clock2);
+  SiteBuilder builder2(&mc2, &realm2);
+  builder2.Build(spec);
+  EXPECT_EQ(first_logins, builder2.active_logins());
+}
+
+TEST_F(SimTest, EveryActiveUserFullyProvisioned) {
+  SiteSpec spec = TestSiteSpec();
+  BuildSite(spec);
+  for (const std::string& login : builder_logins_) {
+    RowRef user = mc_->UserByLogin(login);
+    ASSERT_EQ(MR_SUCCESS, user.code) << login;
+    EXPECT_EQ(kUserActive, MoiraContext::IntCell(mc_->users(), user.row, "status"));
+    EXPECT_EQ("POP", MoiraContext::StrCell(mc_->users(), user.row, "potype"));
+    EXPECT_EQ(MR_SUCCESS, mc_->FilesysByLabel(login).code) << login;
+    EXPECT_EQ(MR_SUCCESS, mc_->ListByName(login).code) << login;
+  }
+}
+
+TEST_F(SimTest, QuotaAllocationConsistent) {
+  BuildSite(TestSiteSpec());
+  // Sum of quotas per partition equals the partition's allocated count.
+  std::map<int64_t, int64_t> by_phys;
+  Table* quota = mc_->nfsquota();
+  int phys_col = quota->ColumnIndex("phys_id");
+  int q_col = quota->ColumnIndex("quota");
+  quota->Scan([&](size_t, const Row& r) {
+    by_phys[r[phys_col].AsInt()] += r[q_col].AsInt();
+    return true;
+  });
+  Table* phys = mc_->nfsphys();
+  phys->Scan([&](size_t row, const Row&) {
+    int64_t phys_id = MoiraContext::IntCell(phys, row, "nfsphys_id");
+    EXPECT_EQ(by_phys[phys_id], MoiraContext::IntCell(phys, row, "allocated"));
+    return true;
+  });
+}
+
+TEST_F(SimTest, PopCountsMatchAssignments) {
+  BuildSite(TestSiteSpec());
+  // value1 on each POP serverhost equals the number of users assigned to it.
+  Table* sh = mc_->serverhosts();
+  int service_col = sh->ColumnIndex("service");
+  Table* users = mc_->users();
+  int potype_col = users->ColumnIndex("potype");
+  int pop_col = users->ColumnIndex("pop_id");
+  for (size_t row :
+       sh->Match({Condition{service_col, Condition::Op::kEq, Value("POP")}})) {
+    int64_t mach_id = MoiraContext::IntCell(sh, row, "mach_id");
+    int64_t counted = 0;
+    users->Scan([&](size_t, const Row& r) {
+      if (r[potype_col].AsString() == "POP" && r[pop_col].AsInt() == mach_id) {
+        ++counted;
+      }
+      return true;
+    });
+    EXPECT_EQ(counted, MoiraContext::IntCell(sh, row, "value1"));
+  }
+}
+
+TEST_F(SimTest, ServerTableMatchesPaperServices) {
+  BuildSite(TestSiteSpec());
+  for (const char* service : {"HESIOD", "NFS", "SMTP", "ZEPHYR", "POP"}) {
+    EXPECT_EQ(MR_SUCCESS, mc_->ServiceByName(service).code) << service;
+  }
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_info", {"HESIOD"}, &tuples));
+  EXPECT_EQ("360", tuples[0][1]);   // 6 hours
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_info", {"NFS"}, &tuples));
+  EXPECT_EQ("720", tuples[0][1]);   // 12 hours
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_info", {"SMTP"}, &tuples));
+  EXPECT_EQ("1440", tuples[0][1]);  // 24 hours
+}
+
+TEST_F(SimTest, AdminHasAllCapabilities) {
+  BuildSite(TestSiteSpec());
+  EXPECT_EQ(MR_SUCCESS, Run("opsmgr", "add_machine", {"extra.mit.edu", "VAX"}));
+  EXPECT_EQ(MR_SUCCESS,
+            Run("opsmgr", "update_user_shell", {builder_logins_[0], "/bin/new"}));
+}
+
+TEST_F(SimTest, IdCountersFlushedToValues) {
+  BuildSite(TestSiteSpec());
+  // Allocating a fresh id through the normal path must not collide.
+  int64_t users_id = 0;
+  ASSERT_EQ(MR_SUCCESS, mc_->AllocateId("users_id", mc_->users(), "users_id", &users_id));
+  Table* users = mc_->users();
+  int col = users->ColumnIndex("users_id");
+  EXPECT_TRUE(users->Match({Condition{col, Condition::Op::kEq, Value(users_id)}}).empty());
+}
+
+TEST_F(SimTest, SimHostsCoverAllServerMachines) {
+  BuildSite(TestSiteSpec());
+  HostDirectory directory;
+  std::vector<std::unique_ptr<SimHost>> hosts =
+      CreateSimHosts(*mc_, realm_.get(), &directory);
+  // 1 hesiod + 3 nfs + 1 mail + 3 zephyr + 2 pop = 10 distinct machines.
+  EXPECT_EQ(10u, hosts.size());
+  EXPECT_NE(nullptr, directory.Find("SUOMI.MIT.EDU"));
+  EXPECT_NE(nullptr, directory.Find("ATHENA.MIT.EDU"));
+}
+
+}  // namespace
+}  // namespace moira

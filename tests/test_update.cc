@@ -1,0 +1,247 @@
+// Tests for the archive container, the simulated server hosts, and the
+// Moira-to-server update protocol (paper section 5.9).
+#include <gtest/gtest.h>
+
+#include "src/comerr/moira_errors.h"
+#include "src/common/checksum.h"
+#include "src/common/clock.h"
+#include "src/krb/kerberos.h"
+#include "src/update/archive.h"
+#include "src/update/sim_host.h"
+#include "src/update/update_client.h"
+
+namespace moira {
+namespace {
+
+TEST(Archive, RoundTrip) {
+  Archive archive;
+  archive.Add("passwd.db", "contents-1");
+  archive.Add("group.db", std::string("\0binary\xff", 8));
+  archive.Add("empty", "");
+  std::string bytes = archive.Serialize();
+  std::optional<Archive> back = Archive::Parse(bytes);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(3u, back->size());
+  EXPECT_EQ("contents-1", *back->Find("passwd.db"));
+  EXPECT_EQ(std::string("\0binary\xff", 8), *back->Find("group.db"));
+  EXPECT_EQ("", *back->Find("empty"));
+  EXPECT_EQ(nullptr, back->Find("missing"));
+  EXPECT_EQ(18u, back->ContentBytes());
+}
+
+TEST(Archive, AddReplacesSameName) {
+  Archive archive;
+  archive.Add("f", "v1");
+  archive.Add("f", "v2");
+  EXPECT_EQ(1u, archive.size());
+  EXPECT_EQ("v2", *archive.Find("f"));
+}
+
+TEST(Archive, ParseRejectsCorruption) {
+  Archive archive;
+  archive.Add("f", "data");
+  std::string bytes = archive.Serialize();
+  EXPECT_FALSE(Archive::Parse("").has_value());
+  EXPECT_FALSE(Archive::Parse("XXXX").has_value());
+  EXPECT_FALSE(Archive::Parse(bytes.substr(0, bytes.size() - 1)).has_value());
+  std::string flipped = bytes;
+  flipped[10] ^= 1;
+  EXPECT_FALSE(Archive::Parse(flipped).has_value());
+}
+
+class SimHostTest : public ::testing::Test {
+ protected:
+  SimHostTest()
+      : clock_(1000),
+        realm_(&clock_),
+        host_("SERVER-1.MIT.EDU", &realm_, &clock_),
+        client_(&realm_, "moira.dcm", "pw") {
+    realm_.AddPrincipal("moira.dcm", "pw");
+    Archive archive;
+    archive.Add("passwd.db", "passwd contents");
+    archive.Add("group.db", "group contents");
+    payload_ = archive.Serialize();
+  }
+
+  std::string Authenticator() {
+    Ticket ticket;
+    EXPECT_EQ(MR_SUCCESS,
+              realm_.GetInitialTickets("moira.dcm", "pw", kUpdateServiceName, &ticket));
+    return realm_.MakeAuthenticator(ticket);
+  }
+
+  SimulatedClock clock_;
+  KerberosRealm realm_;
+  SimHost host_;
+  UpdateClient client_;
+  std::string payload_;
+  const std::string script_ =
+      "extract passwd.db /etc/hes/passwd.db\n"
+      "install /etc/hes/passwd.db\n"
+      "extract group.db /etc/hes/group.db\n"
+      "install /etc/hes/group.db\n"
+      "exec restart_hesiod\n";
+};
+
+TEST_F(SimHostTest, FullUpdateInstallsFiles) {
+  UpdateOutcome outcome = client_.Update(&host_, "/tmp/hes.out", payload_, script_);
+  EXPECT_EQ(MR_SUCCESS, outcome.code) << outcome.message;
+  EXPECT_EQ("passwd contents", *host_.ReadFile("/etc/hes/passwd.db"));
+  EXPECT_EQ("group contents", *host_.ReadFile("/etc/hes/group.db"));
+  ASSERT_EQ(1u, host_.executed_commands().size());
+  EXPECT_EQ("restart_hesiod", host_.executed_commands()[0]);
+  EXPECT_EQ(1, host_.update_count());
+  // The transferred payload remains at the target path; temp files are gone.
+  EXPECT_TRUE(host_.HasFile("/tmp/hes.out"));
+  EXPECT_FALSE(host_.HasFile("/etc/hes/passwd.db.moira_update"));
+}
+
+TEST_F(SimHostTest, InstallKeepsBackupAndRevertRestores) {
+  host_.WriteFileDirect("/etc/hes/passwd.db", "old contents");
+  UpdateOutcome outcome = client_.Update(&host_, "/tmp/hes.out", payload_, script_);
+  ASSERT_EQ(MR_SUCCESS, outcome.code);
+  EXPECT_EQ("old contents", *host_.ReadFile("/etc/hes/passwd.db.moira_backup"));
+  // Revert puts the old file back (paper: "may be useful in the case of an
+  // erroneous installation").
+  outcome = client_.Update(&host_, "/tmp/hes.out", payload_,
+                           "revert /etc/hes/passwd.db\n");
+  ASSERT_EQ(MR_SUCCESS, outcome.code);
+  EXPECT_EQ("old contents", *host_.ReadFile("/etc/hes/passwd.db"));
+}
+
+TEST_F(SimHostTest, SyncdirInstallsAllMembers) {
+  UpdateOutcome outcome =
+      client_.Update(&host_, "/tmp/out", payload_, "syncdir /site/moira\n");
+  ASSERT_EQ(MR_SUCCESS, outcome.code);
+  EXPECT_EQ("passwd contents", *host_.ReadFile("/site/moira/passwd.db"));
+  EXPECT_EQ("group contents", *host_.ReadFile("/site/moira/group.db"));
+}
+
+TEST_F(SimHostTest, ChecksumMismatchDetected) {
+  ASSERT_EQ(MR_SUCCESS, host_.BeginSession(Authenticator()));
+  EXPECT_EQ(MR_UPDATE_CKSUM,
+            host_.ReceiveFile("/tmp/out", payload_, Crc32(payload_) ^ 0xdeadbeef));
+}
+
+TEST_F(SimHostTest, BadAuthenticatorIsHardFailure) {
+  UpdateOutcome outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  ASSERT_EQ(MR_SUCCESS, outcome.code);
+  EXPECT_EQ(MR_BAD_AUTH, host_.BeginSession("garbage"));
+}
+
+TEST_F(SimHostTest, RefusedConnectionIsSoft) {
+  host_.SetFailMode(HostFailMode::kRefuseConnection);
+  UpdateOutcome outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_UPDATE_CONN, outcome.code);
+  EXPECT_FALSE(outcome.hard);
+  // The very next attempt succeeds (fail mode consumed).
+  outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_SUCCESS, outcome.code);
+}
+
+TEST_F(SimHostTest, CrashDuringTransferLeavesPartialTemp) {
+  host_.SetFailMode(HostFailMode::kCrashDuringTransfer);
+  UpdateOutcome outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_UPDATE_XFER, outcome.code);
+  EXPECT_FALSE(outcome.hard);
+  EXPECT_TRUE(host_.crashed());
+  // The partial temp file exists but is incomplete.
+  const std::string* partial = host_.ReadFile("/tmp/out.moira_update");
+  ASSERT_NE(nullptr, partial);
+  EXPECT_LT(partial->size(), payload_.size());
+  // While down, connections fail.
+  EXPECT_EQ(MR_UPDATE_CONN, host_.BeginSession(Authenticator()));
+  // After reboot, the retried update deletes the stale temp and succeeds.
+  host_.Reboot();
+  outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_SUCCESS, outcome.code);
+  EXPECT_EQ("passwd contents", *host_.ReadFile("/etc/hes/passwd.db"));
+}
+
+TEST_F(SimHostTest, CrashBeforeExecuteRecoversOnRetry) {
+  host_.SetFailMode(HostFailMode::kCrashBeforeExecute);
+  UpdateOutcome outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_UPDATE_CONN, outcome.code);
+  EXPECT_FALSE(outcome.hard);
+  EXPECT_FALSE(host_.HasFile("/etc/hes/passwd.db"));  // nothing installed
+  host_.Reboot();
+  outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_SUCCESS, outcome.code);
+}
+
+TEST_F(SimHostTest, CrashDuringExecuteLeavesPartialInstallThatRetries) {
+  host_.SetFailMode(HostFailMode::kCrashDuringExecute);
+  UpdateOutcome outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_UPDATE_CONN, outcome.code);
+  // Extra installations are not harmful: the retry re-sends everything.
+  host_.Reboot();
+  outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_SUCCESS, outcome.code);
+  EXPECT_EQ("passwd contents", *host_.ReadFile("/etc/hes/passwd.db"));
+  EXPECT_EQ("group contents", *host_.ReadFile("/etc/hes/group.db"));
+}
+
+TEST_F(SimHostTest, ScriptErrorIsHard) {
+  host_.SetFailMode(HostFailMode::kScriptError);
+  UpdateOutcome outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_UPDATE_EXEC, outcome.code);
+  EXPECT_TRUE(outcome.hard);
+}
+
+TEST_F(SimHostTest, UnknownInstructionIsHard) {
+  UpdateOutcome outcome = client_.Update(&host_, "/tmp/out", payload_, "frobnicate x\n");
+  EXPECT_EQ(MR_UPDATE_EXEC, outcome.code);
+  EXPECT_TRUE(outcome.hard);
+  EXPECT_NE(outcome.message.find("unknown instruction"), std::string::npos);
+}
+
+TEST_F(SimHostTest, ExecHandlerFailureIsHard) {
+  host_.RegisterCommand("restart_hesiod", [](SimHost&) { return 1; });
+  UpdateOutcome outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_UPDATE_EXEC, outcome.code);
+  EXPECT_TRUE(outcome.hard);
+}
+
+TEST_F(SimHostTest, SignalReadsPidFileAtExecutionTime) {
+  host_.WriteFileDirect("/var/run/named.pid", "123");
+  UpdateOutcome outcome =
+      client_.Update(&host_, "/tmp/out", payload_, "signal /var/run/named.pid\n");
+  ASSERT_EQ(MR_SUCCESS, outcome.code);
+  ASSERT_EQ(1u, host_.signals_sent().size());
+  // Missing pid file fails at execution time.
+  outcome = client_.Update(&host_, "/tmp/out", payload_, "signal /var/run/gone.pid\n");
+  EXPECT_EQ(MR_UPDATE_EXEC, outcome.code);
+}
+
+TEST_F(SimHostTest, ReplayedUpdateAuthenticatorRejected) {
+  std::string authenticator = Authenticator();
+  ASSERT_EQ(MR_SUCCESS, host_.BeginSession(authenticator));
+  EXPECT_EQ(MR_BAD_AUTH, host_.BeginSession(authenticator));
+}
+
+TEST(HostDirectoryTest, RegisterAndFind) {
+  SimulatedClock clock(0);
+  KerberosRealm realm(&clock);
+  SimHost a("A.MIT.EDU", &realm, &clock);
+  SimHost b("B.MIT.EDU", &realm, &clock);
+  HostDirectory directory;
+  directory.Register(&a);
+  directory.Register(&b);
+  EXPECT_EQ(&a, directory.Find("A.MIT.EDU"));
+  EXPECT_EQ(&b, directory.Find("B.MIT.EDU"));
+  EXPECT_EQ(nullptr, directory.Find("C.MIT.EDU"));
+  EXPECT_EQ(2u, directory.size());
+}
+
+TEST(UpdateClientTest, NullHostIsSoftConnFailure) {
+  SimulatedClock clock(0);
+  KerberosRealm realm(&clock);
+  realm.AddPrincipal("moira.dcm", "pw");
+  UpdateClient client(&realm, "moira.dcm", "pw");
+  UpdateOutcome outcome = client.Update(nullptr, "/t", "p", "s");
+  EXPECT_EQ(MR_UPDATE_CONN, outcome.code);
+  EXPECT_FALSE(outcome.hard);
+}
+
+}  // namespace
+}  // namespace moira
