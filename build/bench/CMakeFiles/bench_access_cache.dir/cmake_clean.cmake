@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_access_cache.dir/bench_access_cache.cc.o"
+  "CMakeFiles/bench_access_cache.dir/bench_access_cache.cc.o.d"
+  "bench_access_cache"
+  "bench_access_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_access_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backup.dir/bench_backup.cc.o"
+  "CMakeFiles/bench_backup.dir/bench_backup.cc.o.d"
+  "bench_backup"
+  "bench_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_connection_startup.dir/bench_connection_startup.cc.o"
+  "CMakeFiles/bench_connection_startup.dir/bench_connection_startup.cc.o.d"
+  "bench_connection_startup"
+  "bench_connection_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_connection_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

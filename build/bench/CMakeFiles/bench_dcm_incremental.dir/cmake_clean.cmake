@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dcm_incremental.dir/bench_dcm_incremental.cc.o"
+  "CMakeFiles/bench_dcm_incremental.dir/bench_dcm_incremental.cc.o.d"
+  "bench_dcm_incremental"
+  "bench_dcm_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dcm_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_file_organization.dir/bench_file_organization.cc.o"
+  "CMakeFiles/bench_file_organization.dir/bench_file_organization.cc.o.d"
+  "bench_file_organization"
+  "bench_file_organization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_file_organization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hesiod.dir/bench_hesiod.cc.o"
+  "CMakeFiles/bench_hesiod.dir/bench_hesiod.cc.o.d"
+  "bench_hesiod"
+  "bench_hesiod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hesiod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

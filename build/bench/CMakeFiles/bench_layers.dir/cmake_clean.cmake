@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layers.dir/bench_layers.cc.o"
+  "CMakeFiles/bench_layers.dir/bench_layers.cc.o.d"
+  "bench_layers"
+  "bench_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

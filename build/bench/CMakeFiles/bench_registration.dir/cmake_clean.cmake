@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_registration.dir/bench_registration.cc.o"
+  "CMakeFiles/bench_registration.dir/bench_registration.cc.o.d"
+  "bench_registration"
+  "bench_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

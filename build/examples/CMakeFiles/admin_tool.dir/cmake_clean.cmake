@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_tool.dir/admin_tool.cpp.o"
+  "CMakeFiles/admin_tool.dir/admin_tool.cpp.o.d"
+  "admin_tool"
+  "admin_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_site.dir/full_site.cpp.o"
+  "CMakeFiles/full_site.dir/full_site.cpp.o.d"
+  "full_site"
+  "full_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_menu.dir/moira_menu.cpp.o"
+  "CMakeFiles/moira_menu.dir/moira_menu.cpp.o.d"
+  "moira_menu"
+  "moira_menu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_menu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

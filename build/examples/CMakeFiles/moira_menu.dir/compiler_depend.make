@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for moira_menu.
+# This may be replaced when dependencies are built.

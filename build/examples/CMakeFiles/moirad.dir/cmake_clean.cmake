@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moirad.dir/moirad.cpp.o"
+  "CMakeFiles/moirad.dir/moirad.cpp.o.d"
+  "moirad"
+  "moirad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moirad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrtest.dir/mrtest.cpp.o"
+  "CMakeFiles/mrtest.dir/mrtest.cpp.o.d"
+  "mrtest"
+  "mrtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

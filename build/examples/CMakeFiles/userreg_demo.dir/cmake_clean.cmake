@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/userreg_demo.dir/userreg_demo.cpp.o"
+  "CMakeFiles/userreg_demo.dir/userreg_demo.cpp.o.d"
+  "userreg_demo"
+  "userreg_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/userreg_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

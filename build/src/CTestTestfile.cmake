@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("comerr")
+subdirs("common")
+subdirs("db")
+subdirs("krb")
+subdirs("core")
+subdirs("protocol")
+subdirs("net")
+subdirs("server")
+subdirs("client")
+subdirs("zephyrd")
+subdirs("hesiod")
+subdirs("update")
+subdirs("dcm")
+subdirs("reg")
+subdirs("backup")
+subdirs("sim")
+subdirs("nfsd")
+subdirs("mailhub")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backup/backup.cc" "src/backup/CMakeFiles/moira_backup.dir/backup.cc.o" "gcc" "src/backup/CMakeFiles/moira_backup.dir/backup.cc.o.d"
+  "/root/repo/src/backup/dbck.cc" "src/backup/CMakeFiles/moira_backup.dir/dbck.cc.o" "gcc" "src/backup/CMakeFiles/moira_backup.dir/dbck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/moira_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/moira_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/moira_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/krb/CMakeFiles/moira_krb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/moira_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/moira_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/moira_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comerr/CMakeFiles/moira_comerr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_backup.dir/backup.cc.o"
+  "CMakeFiles/moira_backup.dir/backup.cc.o.d"
+  "CMakeFiles/moira_backup.dir/dbck.cc.o"
+  "CMakeFiles/moira_backup.dir/dbck.cc.o.d"
+  "libmoira_backup.a"
+  "libmoira_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

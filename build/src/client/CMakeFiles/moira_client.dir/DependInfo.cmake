@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/attach.cc" "src/client/CMakeFiles/moira_client.dir/attach.cc.o" "gcc" "src/client/CMakeFiles/moira_client.dir/attach.cc.o.d"
+  "/root/repo/src/client/client.cc" "src/client/CMakeFiles/moira_client.dir/client.cc.o" "gcc" "src/client/CMakeFiles/moira_client.dir/client.cc.o.d"
+  "/root/repo/src/client/menu.cc" "src/client/CMakeFiles/moira_client.dir/menu.cc.o" "gcc" "src/client/CMakeFiles/moira_client.dir/menu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/moira_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/krb/CMakeFiles/moira_krb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/moira_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/moira_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/hesiod/CMakeFiles/moira_hesiod.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/moira_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/moira_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comerr/CMakeFiles/moira_comerr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_client.dir/attach.cc.o"
+  "CMakeFiles/moira_client.dir/attach.cc.o.d"
+  "CMakeFiles/moira_client.dir/client.cc.o"
+  "CMakeFiles/moira_client.dir/client.cc.o.d"
+  "CMakeFiles/moira_client.dir/menu.cc.o"
+  "CMakeFiles/moira_client.dir/menu.cc.o.d"
+  "libmoira_client.a"
+  "libmoira_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

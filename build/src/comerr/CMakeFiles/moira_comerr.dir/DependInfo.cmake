@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comerr/com_err.cc" "src/comerr/CMakeFiles/moira_comerr.dir/com_err.cc.o" "gcc" "src/comerr/CMakeFiles/moira_comerr.dir/com_err.cc.o.d"
+  "/root/repo/src/comerr/error_table.cc" "src/comerr/CMakeFiles/moira_comerr.dir/error_table.cc.o" "gcc" "src/comerr/CMakeFiles/moira_comerr.dir/error_table.cc.o.d"
+  "/root/repo/src/comerr/moira_errors.cc" "src/comerr/CMakeFiles/moira_comerr.dir/moira_errors.cc.o" "gcc" "src/comerr/CMakeFiles/moira_comerr.dir/moira_errors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

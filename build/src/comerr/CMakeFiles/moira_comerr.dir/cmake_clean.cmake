@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_comerr.dir/com_err.cc.o"
+  "CMakeFiles/moira_comerr.dir/com_err.cc.o.d"
+  "CMakeFiles/moira_comerr.dir/error_table.cc.o"
+  "CMakeFiles/moira_comerr.dir/error_table.cc.o.d"
+  "CMakeFiles/moira_comerr.dir/moira_errors.cc.o"
+  "CMakeFiles/moira_comerr.dir/moira_errors.cc.o.d"
+  "libmoira_comerr.a"
+  "libmoira_comerr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_comerr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

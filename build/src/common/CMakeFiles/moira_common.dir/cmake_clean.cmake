@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_common.dir/checksum.cc.o"
+  "CMakeFiles/moira_common.dir/checksum.cc.o.d"
+  "CMakeFiles/moira_common.dir/clock.cc.o"
+  "CMakeFiles/moira_common.dir/clock.cc.o.d"
+  "CMakeFiles/moira_common.dir/strutil.cc.o"
+  "CMakeFiles/moira_common.dir/strutil.cc.o.d"
+  "libmoira_common.a"
+  "libmoira_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

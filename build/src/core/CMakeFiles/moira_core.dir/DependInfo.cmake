@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acl.cc" "src/core/CMakeFiles/moira_core.dir/acl.cc.o" "gcc" "src/core/CMakeFiles/moira_core.dir/acl.cc.o.d"
+  "/root/repo/src/core/context.cc" "src/core/CMakeFiles/moira_core.dir/context.cc.o" "gcc" "src/core/CMakeFiles/moira_core.dir/context.cc.o.d"
+  "/root/repo/src/core/queries_common.cc" "src/core/CMakeFiles/moira_core.dir/queries_common.cc.o" "gcc" "src/core/CMakeFiles/moira_core.dir/queries_common.cc.o.d"
+  "/root/repo/src/core/queries_filesys.cc" "src/core/CMakeFiles/moira_core.dir/queries_filesys.cc.o" "gcc" "src/core/CMakeFiles/moira_core.dir/queries_filesys.cc.o.d"
+  "/root/repo/src/core/queries_lists.cc" "src/core/CMakeFiles/moira_core.dir/queries_lists.cc.o" "gcc" "src/core/CMakeFiles/moira_core.dir/queries_lists.cc.o.d"
+  "/root/repo/src/core/queries_machines.cc" "src/core/CMakeFiles/moira_core.dir/queries_machines.cc.o" "gcc" "src/core/CMakeFiles/moira_core.dir/queries_machines.cc.o.d"
+  "/root/repo/src/core/queries_misc.cc" "src/core/CMakeFiles/moira_core.dir/queries_misc.cc.o" "gcc" "src/core/CMakeFiles/moira_core.dir/queries_misc.cc.o.d"
+  "/root/repo/src/core/queries_servers.cc" "src/core/CMakeFiles/moira_core.dir/queries_servers.cc.o" "gcc" "src/core/CMakeFiles/moira_core.dir/queries_servers.cc.o.d"
+  "/root/repo/src/core/queries_users.cc" "src/core/CMakeFiles/moira_core.dir/queries_users.cc.o" "gcc" "src/core/CMakeFiles/moira_core.dir/queries_users.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/core/CMakeFiles/moira_core.dir/registry.cc.o" "gcc" "src/core/CMakeFiles/moira_core.dir/registry.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/core/CMakeFiles/moira_core.dir/schema.cc.o" "gcc" "src/core/CMakeFiles/moira_core.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/moira_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/moira_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comerr/CMakeFiles/moira_comerr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

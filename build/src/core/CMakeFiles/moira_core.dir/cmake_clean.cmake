@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_core.dir/acl.cc.o"
+  "CMakeFiles/moira_core.dir/acl.cc.o.d"
+  "CMakeFiles/moira_core.dir/context.cc.o"
+  "CMakeFiles/moira_core.dir/context.cc.o.d"
+  "CMakeFiles/moira_core.dir/queries_common.cc.o"
+  "CMakeFiles/moira_core.dir/queries_common.cc.o.d"
+  "CMakeFiles/moira_core.dir/queries_filesys.cc.o"
+  "CMakeFiles/moira_core.dir/queries_filesys.cc.o.d"
+  "CMakeFiles/moira_core.dir/queries_lists.cc.o"
+  "CMakeFiles/moira_core.dir/queries_lists.cc.o.d"
+  "CMakeFiles/moira_core.dir/queries_machines.cc.o"
+  "CMakeFiles/moira_core.dir/queries_machines.cc.o.d"
+  "CMakeFiles/moira_core.dir/queries_misc.cc.o"
+  "CMakeFiles/moira_core.dir/queries_misc.cc.o.d"
+  "CMakeFiles/moira_core.dir/queries_servers.cc.o"
+  "CMakeFiles/moira_core.dir/queries_servers.cc.o.d"
+  "CMakeFiles/moira_core.dir/queries_users.cc.o"
+  "CMakeFiles/moira_core.dir/queries_users.cc.o.d"
+  "CMakeFiles/moira_core.dir/registry.cc.o"
+  "CMakeFiles/moira_core.dir/registry.cc.o.d"
+  "CMakeFiles/moira_core.dir/schema.cc.o"
+  "CMakeFiles/moira_core.dir/schema.cc.o.d"
+  "libmoira_core.a"
+  "libmoira_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_db.dir/database.cc.o"
+  "CMakeFiles/moira_db.dir/database.cc.o.d"
+  "CMakeFiles/moira_db.dir/table.cc.o"
+  "CMakeFiles/moira_db.dir/table.cc.o.d"
+  "libmoira_db.a"
+  "libmoira_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

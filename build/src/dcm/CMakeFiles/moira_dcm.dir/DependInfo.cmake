@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dcm/cron.cc" "src/dcm/CMakeFiles/moira_dcm.dir/cron.cc.o" "gcc" "src/dcm/CMakeFiles/moira_dcm.dir/cron.cc.o.d"
+  "/root/repo/src/dcm/dcm.cc" "src/dcm/CMakeFiles/moira_dcm.dir/dcm.cc.o" "gcc" "src/dcm/CMakeFiles/moira_dcm.dir/dcm.cc.o.d"
+  "/root/repo/src/dcm/gen_common.cc" "src/dcm/CMakeFiles/moira_dcm.dir/gen_common.cc.o" "gcc" "src/dcm/CMakeFiles/moira_dcm.dir/gen_common.cc.o.d"
+  "/root/repo/src/dcm/gen_hesiod.cc" "src/dcm/CMakeFiles/moira_dcm.dir/gen_hesiod.cc.o" "gcc" "src/dcm/CMakeFiles/moira_dcm.dir/gen_hesiod.cc.o.d"
+  "/root/repo/src/dcm/gen_mail.cc" "src/dcm/CMakeFiles/moira_dcm.dir/gen_mail.cc.o" "gcc" "src/dcm/CMakeFiles/moira_dcm.dir/gen_mail.cc.o.d"
+  "/root/repo/src/dcm/gen_nfs.cc" "src/dcm/CMakeFiles/moira_dcm.dir/gen_nfs.cc.o" "gcc" "src/dcm/CMakeFiles/moira_dcm.dir/gen_nfs.cc.o.d"
+  "/root/repo/src/dcm/gen_zephyr.cc" "src/dcm/CMakeFiles/moira_dcm.dir/gen_zephyr.cc.o" "gcc" "src/dcm/CMakeFiles/moira_dcm.dir/gen_zephyr.cc.o.d"
+  "/root/repo/src/dcm/locks.cc" "src/dcm/CMakeFiles/moira_dcm.dir/locks.cc.o" "gcc" "src/dcm/CMakeFiles/moira_dcm.dir/locks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/moira_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/update/CMakeFiles/moira_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/zephyrd/CMakeFiles/moira_zephyrd.dir/DependInfo.cmake"
+  "/root/repo/build/src/krb/CMakeFiles/moira_krb.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/moira_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/moira_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comerr/CMakeFiles/moira_comerr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

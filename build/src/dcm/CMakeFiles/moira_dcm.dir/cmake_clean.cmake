@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_dcm.dir/cron.cc.o"
+  "CMakeFiles/moira_dcm.dir/cron.cc.o.d"
+  "CMakeFiles/moira_dcm.dir/dcm.cc.o"
+  "CMakeFiles/moira_dcm.dir/dcm.cc.o.d"
+  "CMakeFiles/moira_dcm.dir/gen_common.cc.o"
+  "CMakeFiles/moira_dcm.dir/gen_common.cc.o.d"
+  "CMakeFiles/moira_dcm.dir/gen_hesiod.cc.o"
+  "CMakeFiles/moira_dcm.dir/gen_hesiod.cc.o.d"
+  "CMakeFiles/moira_dcm.dir/gen_mail.cc.o"
+  "CMakeFiles/moira_dcm.dir/gen_mail.cc.o.d"
+  "CMakeFiles/moira_dcm.dir/gen_nfs.cc.o"
+  "CMakeFiles/moira_dcm.dir/gen_nfs.cc.o.d"
+  "CMakeFiles/moira_dcm.dir/gen_zephyr.cc.o"
+  "CMakeFiles/moira_dcm.dir/gen_zephyr.cc.o.d"
+  "CMakeFiles/moira_dcm.dir/locks.cc.o"
+  "CMakeFiles/moira_dcm.dir/locks.cc.o.d"
+  "libmoira_dcm.a"
+  "libmoira_dcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_dcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hesiod/hesiod.cc" "src/hesiod/CMakeFiles/moira_hesiod.dir/hesiod.cc.o" "gcc" "src/hesiod/CMakeFiles/moira_hesiod.dir/hesiod.cc.o.d"
+  "/root/repo/src/hesiod/resolver.cc" "src/hesiod/CMakeFiles/moira_hesiod.dir/resolver.cc.o" "gcc" "src/hesiod/CMakeFiles/moira_hesiod.dir/resolver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/moira_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/krb/CMakeFiles/moira_krb.dir/DependInfo.cmake"
+  "/root/repo/build/src/comerr/CMakeFiles/moira_comerr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

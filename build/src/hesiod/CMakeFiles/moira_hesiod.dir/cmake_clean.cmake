@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_hesiod.dir/hesiod.cc.o"
+  "CMakeFiles/moira_hesiod.dir/hesiod.cc.o.d"
+  "CMakeFiles/moira_hesiod.dir/resolver.cc.o"
+  "CMakeFiles/moira_hesiod.dir/resolver.cc.o.d"
+  "libmoira_hesiod.a"
+  "libmoira_hesiod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_hesiod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

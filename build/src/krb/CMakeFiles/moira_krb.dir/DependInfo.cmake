@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/krb/block_cipher.cc" "src/krb/CMakeFiles/moira_krb.dir/block_cipher.cc.o" "gcc" "src/krb/CMakeFiles/moira_krb.dir/block_cipher.cc.o.d"
+  "/root/repo/src/krb/crypt.cc" "src/krb/CMakeFiles/moira_krb.dir/crypt.cc.o" "gcc" "src/krb/CMakeFiles/moira_krb.dir/crypt.cc.o.d"
+  "/root/repo/src/krb/kerberos.cc" "src/krb/CMakeFiles/moira_krb.dir/kerberos.cc.o" "gcc" "src/krb/CMakeFiles/moira_krb.dir/kerberos.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/moira_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comerr/CMakeFiles/moira_comerr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

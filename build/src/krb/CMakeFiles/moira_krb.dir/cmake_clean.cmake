@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_krb.dir/block_cipher.cc.o"
+  "CMakeFiles/moira_krb.dir/block_cipher.cc.o.d"
+  "CMakeFiles/moira_krb.dir/crypt.cc.o"
+  "CMakeFiles/moira_krb.dir/crypt.cc.o.d"
+  "CMakeFiles/moira_krb.dir/kerberos.cc.o"
+  "CMakeFiles/moira_krb.dir/kerberos.cc.o.d"
+  "libmoira_krb.a"
+  "libmoira_krb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_krb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_mailhub.dir/mailhub.cc.o"
+  "CMakeFiles/moira_mailhub.dir/mailhub.cc.o.d"
+  "CMakeFiles/moira_mailhub.dir/pop_server.cc.o"
+  "CMakeFiles/moira_mailhub.dir/pop_server.cc.o.d"
+  "libmoira_mailhub.a"
+  "libmoira_mailhub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_mailhub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_net.dir/channel.cc.o"
+  "CMakeFiles/moira_net.dir/channel.cc.o.d"
+  "CMakeFiles/moira_net.dir/tcp.cc.o"
+  "CMakeFiles/moira_net.dir/tcp.cc.o.d"
+  "libmoira_net.a"
+  "libmoira_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

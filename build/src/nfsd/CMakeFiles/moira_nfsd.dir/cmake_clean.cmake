@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_nfsd.dir/nfs_server.cc.o"
+  "CMakeFiles/moira_nfsd.dir/nfs_server.cc.o.d"
+  "libmoira_nfsd.a"
+  "libmoira_nfsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_nfsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

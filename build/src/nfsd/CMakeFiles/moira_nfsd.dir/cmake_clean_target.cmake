@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmoira_nfsd.a"
+)

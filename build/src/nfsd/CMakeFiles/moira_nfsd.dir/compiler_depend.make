@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for moira_nfsd.
+# This may be replaced when dependencies are built.

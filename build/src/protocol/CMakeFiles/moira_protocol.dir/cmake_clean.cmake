@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_protocol.dir/wire.cc.o"
+  "CMakeFiles/moira_protocol.dir/wire.cc.o.d"
+  "libmoira_protocol.a"
+  "libmoira_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

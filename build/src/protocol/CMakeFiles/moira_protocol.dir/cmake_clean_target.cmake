@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmoira_protocol.a"
+)

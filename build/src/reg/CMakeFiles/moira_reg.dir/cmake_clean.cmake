@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_reg.dir/regserver.cc.o"
+  "CMakeFiles/moira_reg.dir/regserver.cc.o.d"
+  "libmoira_reg.a"
+  "libmoira_reg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_reg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

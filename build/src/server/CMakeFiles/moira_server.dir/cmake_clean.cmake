@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_server.dir/journal.cc.o"
+  "CMakeFiles/moira_server.dir/journal.cc.o.d"
+  "CMakeFiles/moira_server.dir/server.cc.o"
+  "CMakeFiles/moira_server.dir/server.cc.o.d"
+  "libmoira_server.a"
+  "libmoira_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_sim.dir/population.cc.o"
+  "CMakeFiles/moira_sim.dir/population.cc.o.d"
+  "libmoira_sim.a"
+  "libmoira_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_update.dir/archive.cc.o"
+  "CMakeFiles/moira_update.dir/archive.cc.o.d"
+  "CMakeFiles/moira_update.dir/sim_host.cc.o"
+  "CMakeFiles/moira_update.dir/sim_host.cc.o.d"
+  "CMakeFiles/moira_update.dir/update_client.cc.o"
+  "CMakeFiles/moira_update.dir/update_client.cc.o.d"
+  "libmoira_update.a"
+  "libmoira_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

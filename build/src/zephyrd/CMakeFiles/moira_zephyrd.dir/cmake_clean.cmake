@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moira_zephyrd.dir/zephyr_bus.cc.o"
+  "CMakeFiles/moira_zephyrd.dir/zephyr_bus.cc.o.d"
+  "CMakeFiles/moira_zephyrd.dir/zephyr_server.cc.o"
+  "CMakeFiles/moira_zephyrd.dir/zephyr_server.cc.o.d"
+  "libmoira_zephyrd.a"
+  "libmoira_zephyrd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moira_zephyrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

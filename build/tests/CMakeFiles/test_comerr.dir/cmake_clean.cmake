@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comerr.dir/test_comerr.cc.o"
+  "CMakeFiles/test_comerr.dir/test_comerr.cc.o.d"
+  "test_comerr"
+  "test_comerr.pdb"
+  "test_comerr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comerr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

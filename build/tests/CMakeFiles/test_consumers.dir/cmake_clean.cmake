@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consumers.dir/test_consumers.cc.o"
+  "CMakeFiles/test_consumers.dir/test_consumers.cc.o.d"
+  "test_consumers"
+  "test_consumers.pdb"
+  "test_consumers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consumers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

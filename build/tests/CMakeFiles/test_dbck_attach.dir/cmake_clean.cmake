@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbck_attach.dir/test_dbck_attach.cc.o"
+  "CMakeFiles/test_dbck_attach.dir/test_dbck_attach.cc.o.d"
+  "test_dbck_attach"
+  "test_dbck_attach.pdb"
+  "test_dbck_attach[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbck_attach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcm.dir/test_dcm.cc.o"
+  "CMakeFiles/test_dcm.dir/test_dcm.cc.o.d"
+  "test_dcm"
+  "test_dcm.pdb"
+  "test_dcm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hesiod.dir/test_hesiod.cc.o"
+  "CMakeFiles/test_hesiod.dir/test_hesiod.cc.o.d"
+  "test_hesiod"
+  "test_hesiod.pdb"
+  "test_hesiod[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hesiod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hesiod_resolver.cc" "tests/CMakeFiles/test_hesiod_resolver.dir/test_hesiod_resolver.cc.o" "gcc" "tests/CMakeFiles/test_hesiod_resolver.dir/test_hesiod_resolver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/moira_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfsd/CMakeFiles/moira_nfsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/mailhub/CMakeFiles/moira_mailhub.dir/DependInfo.cmake"
+  "/root/repo/build/src/backup/CMakeFiles/moira_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/reg/CMakeFiles/moira_reg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcm/CMakeFiles/moira_dcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/update/CMakeFiles/moira_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/hesiod/CMakeFiles/moira_hesiod.dir/DependInfo.cmake"
+  "/root/repo/build/src/zephyrd/CMakeFiles/moira_zephyrd.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/moira_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/moira_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/moira_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/moira_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/moira_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/krb/CMakeFiles/moira_krb.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/moira_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/moira_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comerr/CMakeFiles/moira_comerr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

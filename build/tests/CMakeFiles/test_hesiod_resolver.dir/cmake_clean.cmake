@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hesiod_resolver.dir/test_hesiod_resolver.cc.o"
+  "CMakeFiles/test_hesiod_resolver.dir/test_hesiod_resolver.cc.o.d"
+  "test_hesiod_resolver"
+  "test_hesiod_resolver.pdb"
+  "test_hesiod_resolver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hesiod_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_journal_backup.dir/test_journal_backup.cc.o"
+  "CMakeFiles/test_journal_backup.dir/test_journal_backup.cc.o.d"
+  "test_journal_backup"
+  "test_journal_backup.pdb"
+  "test_journal_backup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_journal_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

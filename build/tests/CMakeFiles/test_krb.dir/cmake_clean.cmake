@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_krb.dir/test_krb.cc.o"
+  "CMakeFiles/test_krb.dir/test_krb.cc.o.d"
+  "test_krb"
+  "test_krb.pdb"
+  "test_krb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_krb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mailhub.dir/test_mailhub.cc.o"
+  "CMakeFiles/test_mailhub.dir/test_mailhub.cc.o.d"
+  "test_mailhub"
+  "test_mailhub.pdb"
+  "test_mailhub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mailhub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_menu_cron.dir/test_menu_cron.cc.o"
+  "CMakeFiles/test_menu_cron.dir/test_menu_cron.cc.o.d"
+  "test_menu_cron"
+  "test_menu_cron.pdb"
+  "test_menu_cron[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_menu_cron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

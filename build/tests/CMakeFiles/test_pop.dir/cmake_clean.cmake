@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pop.dir/test_pop.cc.o"
+  "CMakeFiles/test_pop.dir/test_pop.cc.o.d"
+  "test_pop"
+  "test_pop.pdb"
+  "test_pop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

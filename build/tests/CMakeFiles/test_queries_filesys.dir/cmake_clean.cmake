@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queries_filesys.dir/test_queries_filesys.cc.o"
+  "CMakeFiles/test_queries_filesys.dir/test_queries_filesys.cc.o.d"
+  "test_queries_filesys"
+  "test_queries_filesys.pdb"
+  "test_queries_filesys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queries_filesys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

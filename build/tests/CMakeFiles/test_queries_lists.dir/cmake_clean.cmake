@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queries_lists.dir/test_queries_lists.cc.o"
+  "CMakeFiles/test_queries_lists.dir/test_queries_lists.cc.o.d"
+  "test_queries_lists"
+  "test_queries_lists.pdb"
+  "test_queries_lists[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queries_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queries_machines.dir/test_queries_machines.cc.o"
+  "CMakeFiles/test_queries_machines.dir/test_queries_machines.cc.o.d"
+  "test_queries_machines"
+  "test_queries_machines.pdb"
+  "test_queries_machines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queries_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queries_misc.dir/test_queries_misc.cc.o"
+  "CMakeFiles/test_queries_misc.dir/test_queries_misc.cc.o.d"
+  "test_queries_misc"
+  "test_queries_misc.pdb"
+  "test_queries_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queries_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queries_servers.dir/test_queries_servers.cc.o"
+  "CMakeFiles/test_queries_servers.dir/test_queries_servers.cc.o.d"
+  "test_queries_servers"
+  "test_queries_servers.pdb"
+  "test_queries_servers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queries_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

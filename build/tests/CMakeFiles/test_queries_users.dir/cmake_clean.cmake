@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queries_users.dir/test_queries_users.cc.o"
+  "CMakeFiles/test_queries_users.dir/test_queries_users.cc.o.d"
+  "test_queries_users"
+  "test_queries_users.pdb"
+  "test_queries_users[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queries_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

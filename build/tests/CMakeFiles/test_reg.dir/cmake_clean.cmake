@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reg.dir/test_reg.cc.o"
+  "CMakeFiles/test_reg.dir/test_reg.cc.o.d"
+  "test_reg"
+  "test_reg.pdb"
+  "test_reg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schema_context.dir/test_schema_context.cc.o"
+  "CMakeFiles/test_schema_context.dir/test_schema_context.cc.o.d"
+  "test_schema_context"
+  "test_schema_context.pdb"
+  "test_schema_context[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schema_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

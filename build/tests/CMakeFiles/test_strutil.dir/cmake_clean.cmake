@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strutil.dir/test_strutil.cc.o"
+  "CMakeFiles/test_strutil.dir/test_strutil.cc.o.d"
+  "test_strutil"
+  "test_strutil.pdb"
+  "test_strutil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

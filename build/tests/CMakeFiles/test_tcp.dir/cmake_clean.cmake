@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp.dir/test_tcp.cc.o"
+  "CMakeFiles/test_tcp.dir/test_tcp.cc.o.d"
+  "test_tcp"
+  "test_tcp.pdb"
+  "test_tcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_update.dir/test_update.cc.o"
+  "CMakeFiles/test_update.dir/test_update.cc.o.d"
+  "test_update"
+  "test_update.pdb"
+  "test_update[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
