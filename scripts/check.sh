@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+set -e
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+cmake -B "$BUILD_DIR" -S . -DMOIRA_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j

@@ -1,5 +1,7 @@
 #include "src/core/acl.h"
 
+#include "src/db/exec.h"
+
 namespace moira {
 
 bool IsUserInList(MoiraContext& mc, int64_t users_id, int64_t list_id, int depth) {
@@ -7,12 +9,9 @@ bool IsUserInList(MoiraContext& mc, int64_t users_id, int64_t list_id, int depth
     return false;
   }
   Table* members = mc.members();
-  int list_col = members->ColumnIndex("list_id");
   int type_col = members->ColumnIndex("member_type");
   int id_col = members->ColumnIndex("member_id");
-  std::vector<size_t> rows =
-      members->Match({Condition{list_col, Condition::Op::kEq, Value(list_id)}});
-  for (size_t row : rows) {
+  for (size_t row : From(members).WhereEq("list_id", Value(list_id)).Rows()) {
     const std::string& type = members->Cell(row, type_col).AsString();
     int64_t member_id = members->Cell(row, id_col).AsInt();
     if (type == "USER" && member_id == users_id) {
@@ -57,11 +56,8 @@ bool PrincipalOnCapability(MoiraContext& mc, std::string_view principal,
     return false;
   }
   Table* capacls = mc.capacls();
-  int cap_col = capacls->ColumnIndex("capability");
   int list_col = capacls->ColumnIndex("list_id");
-  std::vector<size_t> rows =
-      capacls->Match({Condition{cap_col, Condition::Op::kEq, Value(capability)}});
-  for (size_t row : rows) {
+  for (size_t row : From(capacls).WhereEq("capability", Value(capability)).Rows()) {
     if (IsUserInList(mc, users_id, capacls->Cell(row, list_col).AsInt())) {
       return true;
     }

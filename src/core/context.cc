@@ -3,15 +3,13 @@
 #include <cassert>
 
 #include "src/common/strutil.h"
+#include "src/db/exec.h"
 
 namespace moira {
 
 RowRef MoiraContext::ExactOne(Table* table, const char* column, const Value& key,
                               int32_t missing_code) const {
-  int col = table->ColumnIndex(column);
-  assert(col >= 0);
-  std::vector<size_t> rows =
-      table->Match({Condition{col, Condition::Op::kEq, key}});
+  std::vector<size_t> rows = From(table).WhereEq(column, key).Rows();
   if (rows.empty()) {
     return RowRef{missing_code, 0};
   }
@@ -59,14 +57,12 @@ int32_t MoiraContext::AllocateId(const char* counter, Table* unique_in, const ch
   if (GetValue(counter, &hint) != MR_SUCCESS) {
     return MR_NO_ID;
   }
-  int col = unique_in->ColumnIndex(column);
-  assert(col >= 0);
   // The hint is the next id to try; advance past collisions (ids may have
   // been assigned explicitly).
   constexpr int kMaxProbes = 1 << 20;
   for (int probe = 0; probe < kMaxProbes; ++probe) {
     int64_t candidate = hint + probe;
-    if (unique_in->Match({Condition{col, Condition::Op::kEq, Value(candidate)}}).empty()) {
+    if (!From(unique_in).WhereEq(column, Value(candidate)).Any()) {
       SetValue(counter, candidate + 1);
       *out = candidate;
       return MR_SUCCESS;
@@ -109,34 +105,25 @@ int64_t MoiraContext::InternString(std::string_view s) {
 
 std::optional<int64_t> MoiraContext::LookupString(std::string_view s) const {
   const Table* table = db_->GetTable(kStringsTable);
-  int col = table->ColumnIndex("string");
-  std::vector<size_t> rows =
-      table->Match({Condition{col, Condition::Op::kEq, Value(s)}});
-  if (rows.empty()) {
+  std::optional<size_t> row = From(table).WhereEq("string", Value(s)).One();
+  if (!row.has_value()) {
     return std::nullopt;
   }
-  return IntCell(table, rows[0], "string_id");
+  return IntCell(table, *row, "string_id");
 }
 
 std::string MoiraContext::StringById(int64_t string_id) const {
   const Table* table = db_->GetTable(kStringsTable);
-  int col = table->ColumnIndex("string_id");
-  std::vector<size_t> rows =
-      table->Match({Condition{col, Condition::Op::kEq, Value(string_id)}});
-  return rows.empty() ? std::string() : StrCell(table, rows[0], "string");
+  std::optional<size_t> row = From(table).WhereEq("string_id", Value(string_id)).One();
+  return row.has_value() ? StrCell(table, *row, "string") : std::string();
 }
 
 bool MoiraContext::IsLegalType(std::string_view type_name, std::string_view value) const {
-  const Table* table = db_->GetTable(kAliasTable);
-  int name_col = table->ColumnIndex("name");
-  int type_col = table->ColumnIndex("type");
-  int trans_col = table->ColumnIndex("trans");
-  std::vector<size_t> rows = table->Match({
-      Condition{name_col, Condition::Op::kEq, Value(type_name)},
-      Condition{type_col, Condition::Op::kEq, Value("TYPE")},
-      Condition{trans_col, Condition::Op::kEq, Value(value)},
-  });
-  return !rows.empty();
+  return From(db_->GetTable(kAliasTable))
+      .WhereEq("name", Value(type_name))
+      .WhereEq("type", Value("TYPE"))
+      .WhereEq("trans", Value(value))
+      .Any();
 }
 
 int32_t MoiraContext::ResolveAce(std::string_view ace_type, std::string_view ace_name,

@@ -11,6 +11,7 @@
 #include "src/core/acl.h"
 #include "src/core/context.h"
 #include "src/core/registry.h"
+#include "src/db/exec.h"
 
 namespace moira {
 

@@ -29,10 +29,11 @@ Tuple FilesysTuple(MoiraContext& mc, size_t row) {
 }
 
 int32_t GetFilesysByLabel(QueryCall& call) {
-  Table* filesys = call.mc.filesys();
-  for (size_t row : filesys->Match({WildCond(filesys, "label", call.args[0])})) {
-    call.emit(FilesysTuple(call.mc, row));
-  }
+  From(call.mc.filesys())
+      .WhereWild("label", call.args[0])
+      .Emit([&](const std::vector<size_t>& rows) {
+        call.emit(FilesysTuple(call.mc, rows[0]));
+      });
   return MR_SUCCESS;
 }
 
@@ -43,11 +44,9 @@ int32_t GetFilesysByMachine(QueryCall& call) {
     return mach.code;
   }
   int64_t mach_id = MoiraContext::IntCell(mc.machine(), mach.row, "mach_id");
-  Table* filesys = mc.filesys();
-  int col = filesys->ColumnIndex("mach_id");
-  for (size_t row : filesys->Match({Condition{col, Condition::Op::kEq, Value(mach_id)}})) {
-    call.emit(FilesysTuple(mc, row));
-  }
+  From(mc.filesys()).WhereEq("mach_id", Value(mach_id)).Emit([&](const std::vector<size_t>& rows) {
+    call.emit(FilesysTuple(mc, rows[0]));
+  });
   return MR_SUCCESS;
 }
 
@@ -59,11 +58,10 @@ int32_t FindNfsPhys(MoiraContext& mc, std::string_view machine_arg, std::string_
     return mach.code;
   }
   int64_t mach_id = MoiraContext::IntCell(mc.machine(), mach.row, "mach_id");
-  Table* phys = mc.nfsphys();
-  std::vector<size_t> rows = phys->Match({
-      Condition{phys->ColumnIndex("mach_id"), Condition::Op::kEq, Value(mach_id)},
-      Condition{phys->ColumnIndex("dir"), Condition::Op::kEq, Value(dir)},
-  });
+  std::vector<size_t> rows = From(mc.nfsphys())
+                                 .WhereEq("mach_id", Value(mach_id))
+                                 .WhereEq("dir", Value(dir))
+                                 .Rows();
   if (rows.empty()) {
     return MR_NFSPHYS;
   }
@@ -79,19 +77,15 @@ int32_t GetFilesysByNfsphys(QueryCall& call) {
   }
   int64_t mach_id = MoiraContext::IntCell(mc.machine(), mach.row, "mach_id");
   Table* phys = mc.nfsphys();
-  std::vector<size_t> phys_rows =
-      phys->Match({Condition{phys->ColumnIndex("mach_id"), Condition::Op::kEq,
-                             Value(mach_id)},
-                   WildCond(phys, "dir", call.args[1])});
   Table* filesys = mc.filesys();
-  int phys_col = filesys->ColumnIndex("phys_id");
-  for (size_t p : phys_rows) {
-    int64_t phys_id = MoiraContext::IntCell(phys, p, "nfsphys_id");
-    for (size_t row :
-         filesys->Match({Condition{phys_col, Condition::Op::kEq, Value(phys_id)}})) {
-      call.emit(FilesysTuple(mc, row));
-    }
-  }
+  From(phys)
+      .WhereEq("mach_id", Value(mach_id))
+      .WhereWild("dir", call.args[1])
+      .Emit([&](const std::vector<size_t>& phys_rows) {
+        int64_t phys_id = MoiraContext::IntCell(phys, phys_rows[0], "nfsphys_id");
+        From(filesys).WhereEq("phys_id", Value(phys_id)).Emit(
+            [&](const std::vector<size_t>& rows) { call.emit(FilesysTuple(mc, rows[0])); });
+      });
   return MR_SUCCESS;
 }
 
@@ -102,12 +96,9 @@ int32_t GetFilesysByGroup(QueryCall& call) {
     return list.code;
   }
   int64_t list_id = MoiraContext::IntCell(mc.list(), list.row, "list_id");
-  Table* filesys = mc.filesys();
-  int owners_col = filesys->ColumnIndex("owners");
-  for (size_t row :
-       filesys->Match({Condition{owners_col, Condition::Op::kEq, Value(list_id)}})) {
-    call.emit(FilesysTuple(mc, row));
-  }
+  From(mc.filesys()).WhereEq("owners", Value(list_id)).Emit([&](const std::vector<size_t>& rows) {
+    call.emit(FilesysTuple(mc, rows[0]));
+  });
   return MR_SUCCESS;
 }
 
@@ -156,8 +147,7 @@ int32_t ParseFilesysArgs(MoiraContext& mc, const std::vector<std::string>& args,
     Table* phys = mc.nfsphys();
     const std::string& packname = args[base + 2];
     int64_t found_phys = 0;
-    for (size_t row : phys->Match({Condition{phys->ColumnIndex("mach_id"),
-                                             Condition::Op::kEq, Value(out->mach_id)}})) {
+    for (size_t row : From(phys).WhereEq("mach_id", Value(out->mach_id)).Rows()) {
       const std::string& dir = MoiraContext::StrCell(phys, row, "dir");
       if (packname == dir || packname.starts_with(dir + "/")) {
         found_phys = MoiraContext::IntCell(phys, row, "nfsphys_id");
@@ -267,8 +257,7 @@ int32_t DeleteFilesys(QueryCall& call) {
   int fs_col = quota->ColumnIndex("filsys_id");
   int q_col = quota->ColumnIndex("quota");
   int64_t released = 0;
-  std::vector<size_t> quota_rows =
-      quota->Match({Condition{fs_col, Condition::Op::kEq, Value(filsys_id)}});
+  std::vector<size_t> quota_rows = From(quota).WhereEq("filsys_id", Value(filsys_id)).Rows();
   for (size_t row : quota_rows) {
     released += quota->Cell(row, q_col).AsInt();
     quota->Delete(row);
@@ -295,10 +284,8 @@ Tuple NfsPhysTuple(MoiraContext& mc, size_t row) {
 }
 
 int32_t GetAllNfsphys(QueryCall& call) {
-  const Table* phys = call.mc.nfsphys();
-  phys->Scan([&](size_t row, const Row&) {
-    call.emit(NfsPhysTuple(call.mc, row));
-    return true;
+  From(call.mc.nfsphys()).Emit([&](const std::vector<size_t>& rows) {
+    call.emit(NfsPhysTuple(call.mc, rows[0]));
   });
   return MR_SUCCESS;
 }
@@ -310,12 +297,10 @@ int32_t GetNfsphys(QueryCall& call) {
     return mach.code;
   }
   int64_t mach_id = MoiraContext::IntCell(mc.machine(), mach.row, "mach_id");
-  Table* phys = mc.nfsphys();
-  for (size_t row : phys->Match({Condition{phys->ColumnIndex("mach_id"), Condition::Op::kEq,
-                                           Value(mach_id)},
-                                 WildCond(phys, "dir", call.args[1])})) {
-    call.emit(NfsPhysTuple(mc, row));
-  }
+  From(mc.nfsphys())
+      .WhereEq("mach_id", Value(mach_id))
+      .WhereWild("dir", call.args[1])
+      .Emit([&](const std::vector<size_t>& rows) { call.emit(NfsPhysTuple(mc, rows[0])); });
   return MR_SUCCESS;
 }
 
@@ -339,11 +324,10 @@ int32_t AddNfsphys(QueryCall& call) {
     return code;
   }
   Table* phys = mc.nfsphys();
-  if (!phys->Match({Condition{phys->ColumnIndex("mach_id"), Condition::Op::kEq,
-                              Value(mach_id)},
-                    Condition{phys->ColumnIndex("dir"), Condition::Op::kEq,
-                              Value(call.args[1])}})
-           .empty()) {
+  if (From(phys)
+          .WhereEq("mach_id", Value(mach_id))
+          .WhereEq("dir", Value(call.args[1]))
+          .Any()) {
     return MR_EXISTS;
   }
   int64_t nfsphys_id = 0;
@@ -410,9 +394,7 @@ int32_t DeleteNfsphys(QueryCall& call) {
   }
   Table* phys = mc.nfsphys();
   int64_t phys_id = MoiraContext::IntCell(phys, row, "nfsphys_id");
-  Table* filesys = mc.filesys();
-  int phys_col = filesys->ColumnIndex("phys_id");
-  if (!filesys->Match({Condition{phys_col, Condition::Op::kEq, Value(phys_id)}}).empty()) {
+  if (From(mc.filesys()).WhereEq("phys_id", Value(phys_id)).Any()) {
     return MR_IN_USE;
   }
   phys->Delete(row);
@@ -462,16 +444,15 @@ int32_t GetNfsQuota(QueryCall& call) {
   int64_t users_id = MoiraContext::IntCell(mc.users(), user.row, "users_id");
   Table* filesys = mc.filesys();
   Table* quota = mc.nfsquota();
-  int fs_col = quota->ColumnIndex("filsys_id");
-  int user_col = quota->ColumnIndex("users_id");
-  for (size_t fs_row : filesys->Match({WildCond(filesys, "label", call.args[0])})) {
-    int64_t filsys_id = MoiraContext::IntCell(filesys, fs_row, "filsys_id");
-    for (size_t row :
-         quota->Match({Condition{fs_col, Condition::Op::kEq, Value(filsys_id)},
-                       Condition{user_col, Condition::Op::kEq, Value(users_id)}})) {
-      call.emit(QuotaTuple(mc, row, /*with_modtriple=*/true));
-    }
-  }
+  // Join label-matched filesystems to their quota rows (indexed filsys_id
+  // probe), keeping only this user's entries.
+  From(filesys)
+      .WhereWild("label", call.args[0])
+      .Join(quota, "filsys_id", "filsys_id")
+      .WhereEq("users_id", Value(users_id))
+      .Emit([&](const std::vector<size_t>& rows) {
+        call.emit(QuotaTuple(mc, rows[1], /*with_modtriple=*/true));
+      });
   return MR_SUCCESS;
 }
 
@@ -484,16 +465,16 @@ int32_t GetNfsQuotasByPartition(QueryCall& call) {
   int64_t mach_id = MoiraContext::IntCell(mc.machine(), mach.row, "mach_id");
   Table* phys = mc.nfsphys();
   Table* quota = mc.nfsquota();
-  int phys_col = quota->ColumnIndex("phys_id");
-  for (size_t p : phys->Match({Condition{phys->ColumnIndex("mach_id"), Condition::Op::kEq,
-                                         Value(mach_id)},
-                               WildCond(phys, "dir", call.args[1])})) {
-    int64_t phys_id = MoiraContext::IntCell(phys, p, "nfsphys_id");
-    for (size_t row :
-         quota->Match({Condition{phys_col, Condition::Op::kEq, Value(phys_id)}})) {
-      call.emit(QuotaTuple(mc, row, /*with_modtriple=*/false));
-    }
-  }
+  From(phys)
+      .WhereEq("mach_id", Value(mach_id))
+      .WhereWild("dir", call.args[1])
+      .Emit([&](const std::vector<size_t>& phys_rows) {
+        int64_t phys_id = MoiraContext::IntCell(phys, phys_rows[0], "nfsphys_id");
+        From(quota).WhereEq("phys_id", Value(phys_id)).Emit(
+            [&](const std::vector<size_t>& rows) {
+              call.emit(QuotaTuple(mc, rows[0], /*with_modtriple=*/false));
+            });
+      });
   return MR_SUCCESS;
 }
 
@@ -511,11 +492,10 @@ int32_t FindQuota(MoiraContext& mc, std::string_view fs_arg, std::string_view lo
   *filsys_id_out = MoiraContext::IntCell(mc.filesys(), fs.row, "filsys_id");
   *phys_id_out = MoiraContext::IntCell(mc.filesys(), fs.row, "phys_id");
   int64_t users_id = MoiraContext::IntCell(mc.users(), user.row, "users_id");
-  Table* quota = mc.nfsquota();
-  std::vector<size_t> rows = quota->Match({
-      Condition{quota->ColumnIndex("filsys_id"), Condition::Op::kEq, Value(*filsys_id_out)},
-      Condition{quota->ColumnIndex("users_id"), Condition::Op::kEq, Value(users_id)},
-  });
+  std::vector<size_t> rows = From(mc.nfsquota())
+                                 .WhereEq("filsys_id", Value(*filsys_id_out))
+                                 .WhereEq("users_id", Value(users_id))
+                                 .Rows();
   if (rows.empty()) {
     *row_out = SIZE_MAX;
     return MR_SUCCESS;

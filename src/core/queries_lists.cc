@@ -97,22 +97,21 @@ int32_t GetListInfo(QueryCall& call) {
     return MR_PERM;
   }
   Table* list = mc.list();
-  for (size_t row : list->Match({WildCond(list, "name", call.args[0])})) {
-    if (!MaySeeList(call, row)) {
-      continue;
-    }
-    call.emit(ListInfoTuple(mc, row));
-  }
+  From(list)
+      .WhereWild("name", call.args[0])
+      .Filter([&](const Table&, size_t row) { return MaySeeList(call, row); })
+      .Emit([&](const std::vector<size_t>& rows) { call.emit(ListInfoTuple(mc, rows[0])); });
   return MR_SUCCESS;
 }
 
 int32_t ExpandListNames(QueryCall& call) {
-  Table* list = call.mc.list();
-  for (size_t row : list->Match({WildCond(list, "name", call.args[0])})) {
-    if (MaySeeList(call, row)) {
-      call.emit({MoiraContext::StrCell(list, row, "name")});
-    }
-  }
+  const Table* list = call.mc.list();
+  From(list)
+      .WhereWild("name", call.args[0])
+      .Filter([&](const Table&, size_t row) { return MaySeeList(call, row); })
+      .Emit([&](const std::vector<size_t>& rows) {
+        call.emit({MoiraContext::StrCell(list, rows[0], "name")});
+      });
   return MR_SUCCESS;
 }
 
@@ -223,32 +222,18 @@ int32_t UpdateList(QueryCall& call) {
 // True if the list is referenced: as a member of another list, or as an ACE
 // anywhere, or as a filesystem owners group, or a CAPACLS target.
 bool ListIsReferenced(MoiraContext& mc, int64_t list_id) {
-  Table* members = mc.members();
-  int type_col = members->ColumnIndex("member_type");
-  int id_col = members->ColumnIndex("member_id");
-  bool hit = false;
-  members->Scan([&](size_t, const Row& r) {
-    if (r[type_col].AsString() == "LIST" && r[id_col].AsInt() == list_id) {
-      hit = true;
-      return false;
-    }
-    return true;
-  });
-  if (hit) {
+  // Membership in another list (member_id is indexed).
+  if (From(mc.members())
+          .WhereEq("member_type", Value("LIST"))
+          .WhereEq("member_id", Value(list_id))
+          .Any()) {
     return true;
   }
   auto ace_ref = [&](Table* table, const char* tname, const char* iname) {
-    int tcol = table->ColumnIndex(tname);
-    int icol = table->ColumnIndex(iname);
-    bool found = false;
-    table->Scan([&](size_t, const Row& r) {
-      if (r[tcol].AsString() == "LIST" && r[icol].AsInt() == list_id) {
-        found = true;
-        return false;
-      }
-      return true;
-    });
-    return found;
+    return From(table)
+        .WhereEq(tname, Value("LIST"))
+        .WhereEq(iname, Value(list_id))
+        .Any();
   };
   if (ace_ref(mc.servers(), "acl_type", "acl_id") ||
       ace_ref(mc.hostaccess(), "acl_type", "acl_id") ||
@@ -260,37 +245,19 @@ bool ListIsReferenced(MoiraContext& mc, int64_t list_id) {
   // self-referential).
   Table* lists = mc.list();
   int l_id_col = lists->ColumnIndex("list_id");
-  int l_tcol = lists->ColumnIndex("acl_type");
-  int l_icol = lists->ColumnIndex("acl_id");
-  bool acl_hit = false;
-  lists->Scan([&](size_t, const Row& r) {
-    if (r[l_tcol].AsString() == "LIST" && r[l_icol].AsInt() == list_id &&
-        r[l_id_col].AsInt() != list_id) {
-      acl_hit = true;
-      return false;
-    }
-    return true;
-  });
-  if (acl_hit) {
+  if (From(lists)
+          .WhereEq("acl_type", Value("LIST"))
+          .WhereEq("acl_id", Value(list_id))
+          .Filter([&](const Table& t, size_t row) {
+            return t.Cell(row, l_id_col).AsInt() != list_id;
+          })
+          .Any()) {
     return true;
   }
-  Table* filesys = mc.filesys();
-  int owners_col = filesys->ColumnIndex("owners");
-  bool owns = false;
-  filesys->Scan([&](size_t, const Row& r) {
-    if (r[owners_col].AsInt() == list_id) {
-      owns = true;
-      return false;
-    }
-    return true;
-  });
-  if (owns) {
+  if (From(mc.filesys()).WhereEq("owners", Value(list_id)).Any()) {
     return true;
   }
-  Table* capacls = mc.capacls();
-  int cap_list_col = capacls->ColumnIndex("list_id");
-  return !capacls->Match({Condition{cap_list_col, Condition::Op::kEq, Value(list_id)}})
-              .empty();
+  return From(mc.capacls()).WhereEq("list_id", Value(list_id)).Any();
 }
 
 int32_t DeleteList(QueryCall& call) {
@@ -300,9 +267,7 @@ int32_t DeleteList(QueryCall& call) {
     return list.code;
   }
   int64_t list_id = MoiraContext::IntCell(mc.list(), list.row, "list_id");
-  Table* members = mc.members();
-  int list_col = members->ColumnIndex("list_id");
-  if (!members->Match({Condition{list_col, Condition::Op::kEq, Value(list_id)}}).empty()) {
+  if (From(mc.members()).WhereEq("list_id", Value(list_id)).Any()) {
     return MR_IN_USE;  // the list itself must be empty
   }
   if (ListIsReferenced(mc, list_id)) {
@@ -343,12 +308,11 @@ int32_t AddMemberToList(QueryCall& call) {
   }
   int64_t list_id = MoiraContext::IntCell(mc.list(), list.row, "list_id");
   Table* members = mc.members();
-  std::vector<size_t> existing = members->Match({
-      Condition{members->ColumnIndex("list_id"), Condition::Op::kEq, Value(list_id)},
-      Condition{members->ColumnIndex("member_type"), Condition::Op::kEq, Value(call.args[1])},
-      Condition{members->ColumnIndex("member_id"), Condition::Op::kEq, Value(member_id)},
-  });
-  if (!existing.empty()) {
+  if (From(members)
+          .WhereEq("list_id", Value(list_id))
+          .WhereEq("member_type", Value(call.args[1]))
+          .WhereEq("member_id", Value(member_id))
+          .Any()) {
     return MR_EXISTS;
   }
   members->Append({Value(list_id), Value(call.args[1]), Value(member_id)});
@@ -370,11 +334,11 @@ int32_t DeleteMemberFromList(QueryCall& call) {
   }
   int64_t list_id = MoiraContext::IntCell(mc.list(), list.row, "list_id");
   Table* members = mc.members();
-  std::vector<size_t> rows = members->Match({
-      Condition{members->ColumnIndex("list_id"), Condition::Op::kEq, Value(list_id)},
-      Condition{members->ColumnIndex("member_type"), Condition::Op::kEq, Value(call.args[1])},
-      Condition{members->ColumnIndex("member_id"), Condition::Op::kEq, Value(member_id)},
-  });
+  std::vector<size_t> rows = From(members)
+                                 .WhereEq("list_id", Value(list_id))
+                                 .WhereEq("member_type", Value(call.args[1]))
+                                 .WhereEq("member_id", Value(member_id))
+                                 .Rows();
   if (rows.empty()) {
     return MR_NO_MATCH;
   }
@@ -417,24 +381,25 @@ int32_t CollectAceEntities(MoiraContext& mc, std::string_view ace_type,
     return MR_SUCCESS;
   }
   // Fixed point: every list containing any already-collected entity as a
-  // member is itself collected (as a LIST entity).
+  // member is itself collected (as a LIST entity).  Worklist of entities
+  // whose containing lists have not been probed yet; each probe is an
+  // indexed member_id lookup, not a table sweep.
   Table* members = mc.members();
   int list_col = members->ColumnIndex("list_id");
-  int type_col = members->ColumnIndex("member_type");
-  int id_col = members->ColumnIndex("member_id");
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    members->Scan([&](size_t, const Row& r) {
-      std::pair<std::string, int64_t> member{r[type_col].AsString(), r[id_col].AsInt()};
-      if (out->contains(member)) {
-        std::pair<std::string, int64_t> parent{"LIST", r[list_col].AsInt()};
-        if (out->insert(parent).second) {
-          changed = true;
-        }
-      }
-      return true;
-    });
+  std::vector<std::pair<std::string, int64_t>> worklist(out->begin(), out->end());
+  while (!worklist.empty()) {
+    auto [type, id] = worklist.back();
+    worklist.pop_back();
+    From(members)
+        .WhereEq("member_type", Value(type))
+        .WhereEq("member_id", Value(id))
+        .Emit([&](const std::vector<size_t>& rows) {
+          std::pair<std::string, int64_t> parent{"LIST",
+                                                 members->Cell(rows[0], list_col).AsInt()};
+          if (out->insert(parent).second) {
+            worklist.push_back(parent);
+          }
+        });
   }
   return MR_SUCCESS;
 }
@@ -453,12 +418,13 @@ int32_t GetAceUse(QueryCall& call) {
                       const char* obj_type, const char* name_col) {
     int tcol = table->ColumnIndex(tname);
     int icol = table->ColumnIndex(iname);
-    table->Scan([&](size_t row, const Row& r) {
-      if (matches(r[tcol].AsString(), r[icol].AsInt())) {
-        call.emit({obj_type, MoiraContext::StrCell(table, row, name_col)});
-      }
-      return true;
-    });
+    From(table)
+        .Filter([&](const Table& t, size_t row) {
+          return matches(t.Cell(row, tcol).AsString(), t.Cell(row, icol).AsInt());
+        })
+        .Emit([&](const std::vector<size_t>& rows) {
+          call.emit({obj_type, MoiraContext::StrCell(table, rows[0], name_col)});
+        });
   };
   scan_ace(mc.list(), "acl_type", "acl_id", "LIST", "name");
   scan_ace(mc.servers(), "acl_type", "acl_id", "SERVICE", "name");
@@ -470,35 +436,39 @@ int32_t GetAceUse(QueryCall& call) {
   Table* filesys = mc.filesys();
   int owner_col = filesys->ColumnIndex("owner");
   int owners_col = filesys->ColumnIndex("owners");
-  filesys->Scan([&](size_t row, const Row& r) {
-    if (matches("USER", r[owner_col].AsInt()) || matches("LIST", r[owners_col].AsInt())) {
-      call.emit({"FILESYS", MoiraContext::StrCell(filesys, row, "label")});
-    }
-    return true;
-  });
+  From(filesys)
+      .Filter([&](const Table& t, size_t row) {
+        return matches("USER", t.Cell(row, owner_col).AsInt()) ||
+               matches("LIST", t.Cell(row, owners_col).AsInt());
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        call.emit({"FILESYS", MoiraContext::StrCell(filesys, rows[0], "label")});
+      });
   // Hostaccess.
   Table* hostaccess = mc.hostaccess();
   int ha_tcol = hostaccess->ColumnIndex("acl_type");
   int ha_icol = hostaccess->ColumnIndex("acl_id");
-  hostaccess->Scan([&](size_t row, const Row& r) {
-    if (matches(r[ha_tcol].AsString(), r[ha_icol].AsInt())) {
-      int64_t mach_id = MoiraContext::IntCell(hostaccess, row, "mach_id");
-      RowRef mach = mc.ExactOne(mc.machine(), "mach_id", Value(mach_id), MR_MACHINE);
-      call.emit({"HOSTACCESS", mach.code == MR_SUCCESS
-                                   ? MoiraContext::StrCell(mc.machine(), mach.row, "name")
-                                   : "???"});
-    }
-    return true;
-  });
+  From(hostaccess)
+      .Filter([&](const Table& t, size_t row) {
+        return matches(t.Cell(row, ha_tcol).AsString(), t.Cell(row, ha_icol).AsInt());
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        int64_t mach_id = MoiraContext::IntCell(hostaccess, rows[0], "mach_id");
+        RowRef mach = mc.ExactOne(mc.machine(), "mach_id", Value(mach_id), MR_MACHINE);
+        call.emit({"HOSTACCESS", mach.code == MR_SUCCESS
+                                     ? MoiraContext::StrCell(mc.machine(), mach.row, "name")
+                                     : "???"});
+      });
   // Queries (CAPACLS): only LIST entities appear there.
   Table* capacls = mc.capacls();
   int cap_list_col = capacls->ColumnIndex("list_id");
-  capacls->Scan([&](size_t row, const Row& r) {
-    if (matches("LIST", r[cap_list_col].AsInt())) {
-      call.emit({"QUERY", MoiraContext::StrCell(capacls, row, "capability")});
-    }
-    return true;
-  });
+  From(capacls)
+      .Filter([&](const Table& t, size_t row) {
+        return matches("LIST", t.Cell(row, cap_list_col).AsInt());
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        call.emit({"QUERY", MoiraContext::StrCell(capacls, rows[0], "capability")});
+      });
   return MR_SUCCESS;
 }
 
@@ -513,15 +483,18 @@ int32_t QualifiedGetLists(QueryCall& call) {
   int cols[5] = {list->ColumnIndex("active"), list->ColumnIndex("public"),
                  list->ColumnIndex("hidden"), list->ColumnIndex("maillist"),
                  list->ColumnIndex("grouplist")};
-  list->Scan([&](size_t row, const Row& r) {
-    for (int i = 0; i < 5; ++i) {
-      if (!TriMatches(tri[i], r[cols[i]].AsInt())) {
+  From(list)
+      .Filter([&](const Table& t, size_t row) {
+        for (int i = 0; i < 5; ++i) {
+          if (!TriMatches(tri[i], t.Cell(row, cols[i]).AsInt())) {
+            return false;
+          }
+        }
         return true;
-      }
-    }
-    call.emit({MoiraContext::StrCell(list, row, "name")});
-    return true;
-  });
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        call.emit({MoiraContext::StrCell(list, rows[0], "name")});
+      });
   return MR_SUCCESS;
 }
 
@@ -536,13 +509,12 @@ int32_t GetMembersOfList(QueryCall& call) {
   }
   int64_t list_id = MoiraContext::IntCell(mc.list(), list.row, "list_id");
   Table* members = mc.members();
-  int list_col = members->ColumnIndex("list_id");
   int type_col = members->ColumnIndex("member_type");
   int id_col = members->ColumnIndex("member_id");
-  for (size_t row : members->Match({Condition{list_col, Condition::Op::kEq, Value(list_id)}})) {
-    const std::string& type = members->Cell(row, type_col).AsString();
-    call.emit({type, MemberName(mc, type, members->Cell(row, id_col).AsInt())});
-  }
+  From(members).WhereEq("list_id", Value(list_id)).Emit([&](const std::vector<size_t>& rows) {
+    const std::string& type = members->Cell(rows[0], type_col).AsString();
+    call.emit({type, MemberName(mc, type, members->Cell(rows[0], id_col).AsInt())});
+  });
   return MR_SUCCESS;
 }
 
@@ -563,30 +535,30 @@ int32_t GetListsOfMember(QueryCall& call) {
     return code;
   }
   // Direct containing lists; the recursive form follows sub-list containment
-  // to a fixed point.
+  // to a fixed point.  Each step is an indexed member_id probe driven by a
+  // worklist instead of repeated table sweeps.
   std::set<int64_t> containing;
   Table* members = mc.members();
   int list_col = members->ColumnIndex("list_id");
-  int type_col = members->ColumnIndex("member_type");
-  int id_col = members->ColumnIndex("member_id");
-  members->Scan([&](size_t, const Row& r) {
-    if (r[type_col].AsString() == type && r[id_col].AsInt() == member_id) {
-      containing.insert(r[list_col].AsInt());
-    }
-    return true;
-  });
-  if (recursive) {
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      members->Scan([&](size_t, const Row& r) {
-        if (r[type_col].AsString() == "LIST" && containing.contains(r[id_col].AsInt())) {
-          if (containing.insert(r[list_col].AsInt()).second) {
-            changed = true;
+  auto containing_lists = [&](std::string_view member_type, int64_t id,
+                              std::vector<int64_t>* fresh) {
+    From(members)
+        .WhereEq("member_type", Value(member_type))
+        .WhereEq("member_id", Value(id))
+        .Emit([&](const std::vector<size_t>& rows) {
+          int64_t parent = members->Cell(rows[0], list_col).AsInt();
+          if (containing.insert(parent).second && fresh != nullptr) {
+            fresh->push_back(parent);
           }
-        }
-        return true;
-      });
+        });
+  };
+  std::vector<int64_t> worklist;
+  containing_lists(type, member_id, &worklist);
+  if (recursive) {
+    while (!worklist.empty()) {
+      int64_t id = worklist.back();
+      worklist.pop_back();
+      containing_lists("LIST", id, &worklist);
     }
   }
   const Table* list = mc.list();
@@ -612,9 +584,7 @@ int32_t CountMembersOfList(QueryCall& call) {
     return MR_PERM;
   }
   int64_t list_id = MoiraContext::IntCell(mc.list(), list.row, "list_id");
-  Table* members = mc.members();
-  int list_col = members->ColumnIndex("list_id");
-  size_t count = members->Match({Condition{list_col, Condition::Op::kEq, Value(list_id)}}).size();
+  size_t count = From(mc.members()).WhereEq("list_id", Value(list_id)).Count();
   call.emit({std::to_string(count)});
   return MR_SUCCESS;
 }

@@ -11,12 +11,13 @@ int32_t GetMachine(QueryCall& call) {
   const Table* machine = mc.machine();
   // Machine names are case insensitive and stored in uppercase.
   std::string pattern = ToUpperCopy(call.args[0]);
-  for (size_t row : machine->Match({WildCond(machine, "name", pattern)})) {
+  From(machine).WhereWild("name", pattern).Emit([&](const std::vector<size_t>& rows) {
+    size_t row = rows[0];
     call.emit({MoiraContext::StrCell(machine, row, "name"),
                MoiraContext::StrCell(machine, row, "type"), IntStr(machine, row, "modtime"),
                MoiraContext::StrCell(machine, row, "modby"),
                MoiraContext::StrCell(machine, row, "modwith")});
-  }
+  });
   return MR_SUCCESS;
 }
 
@@ -71,20 +72,12 @@ int32_t UpdateMachine(QueryCall& call) {
 // printer spooling host, hostaccess entry, nfs partition, or DCM serverhost.
 bool MachineIsReferenced(MoiraContext& mc, int64_t mach_id) {
   auto refs = [&](Table* table, const char* column) {
-    int col = table->ColumnIndex(column);
-    return !table->Match({Condition{col, Condition::Op::kEq, Value(mach_id)}}).empty();
+    return From(table).WhereEq(column, Value(mach_id)).Any();
   };
-  Table* users = mc.users();
-  int potype_col = users->ColumnIndex("potype");
-  int pop_col = users->ColumnIndex("pop_id");
-  bool pobox_ref = false;
-  users->Scan([&](size_t, const Row& r) {
-    if (r[potype_col].AsString() == "POP" && r[pop_col].AsInt() == mach_id) {
-      pobox_ref = true;
-      return false;
-    }
-    return true;
-  });
+  bool pobox_ref = From(mc.users())
+                       .WhereEq("potype", Value("POP"))
+                       .WhereEq("pop_id", Value(mach_id))
+                       .Any();
   return pobox_ref || refs(mc.filesys(), "mach_id") || refs(mc.printcap(), "mach_id") ||
          refs(mc.hostaccess(), "mach_id") || refs(mc.nfsphys(), "mach_id") ||
          refs(mc.serverhosts(), "mach_id");
@@ -102,8 +95,7 @@ int32_t DeleteMachine(QueryCall& call) {
   }
   // Cluster assignments are dropped along with the machine.
   Table* mcmap = mc.mcmap();
-  int mach_col = mcmap->ColumnIndex("mach_id");
-  for (size_t row : mcmap->Match({Condition{mach_col, Condition::Op::kEq, Value(mach_id)}})) {
+  for (size_t row : From(mcmap).WhereEq("mach_id", Value(mach_id)).Rows()) {
     mcmap->Delete(row);
   }
   mc.machine()->Delete(mach.row);
@@ -114,13 +106,14 @@ int32_t DeleteMachine(QueryCall& call) {
 
 int32_t GetCluster(QueryCall& call) {
   const Table* cluster = call.mc.cluster();
-  for (size_t row : cluster->Match({WildCond(cluster, "name", call.args[0])})) {
+  From(cluster).WhereWild("name", call.args[0]).Emit([&](const std::vector<size_t>& rows) {
+    size_t row = rows[0];
     call.emit({MoiraContext::StrCell(cluster, row, "name"),
                MoiraContext::StrCell(cluster, row, "desc"),
                MoiraContext::StrCell(cluster, row, "location"),
                IntStr(cluster, row, "modtime"), MoiraContext::StrCell(cluster, row, "modby"),
                MoiraContext::StrCell(cluster, row, "modwith")});
-  }
+  });
   return MR_SUCCESS;
 }
 
@@ -171,15 +164,12 @@ int32_t DeleteCluster(QueryCall& call) {
     return clu.code;
   }
   int64_t clu_id = MoiraContext::IntCell(mc.cluster(), clu.row, "clu_id");
-  Table* mcmap = mc.mcmap();
-  int clu_col = mcmap->ColumnIndex("clu_id");
-  if (!mcmap->Match({Condition{clu_col, Condition::Op::kEq, Value(clu_id)}}).empty()) {
+  if (From(mc.mcmap()).WhereEq("clu_id", Value(clu_id)).Any()) {
     return MR_IN_USE;
   }
   // Any service cluster data assigned to the cluster is deleted with it.
   Table* svc = mc.svc();
-  int svc_clu_col = svc->ColumnIndex("clu_id");
-  for (size_t row : svc->Match({Condition{svc_clu_col, Condition::Op::kEq, Value(clu_id)}})) {
+  for (size_t row : From(svc).WhereEq("clu_id", Value(clu_id)).Rows()) {
     svc->Delete(row);
   }
   mc.cluster()->Delete(clu.row);
@@ -194,23 +184,23 @@ int32_t GetMachineToClusterMap(QueryCall& call) {
   const Table* cluster = mc.cluster();
   const Table* mcmap = mc.mcmap();
   std::string mach_pattern = ToUpperCopy(call.args[0]);
-  // Resolve cluster ids and machine ids up front, then join.
-  std::vector<size_t> machines = machine->Match({WildCond(machine, "name", mach_pattern)});
-  std::vector<size_t> clusters = cluster->Match({WildCond(cluster, "name", call.args[1])});
-  int map_mach_col = mcmap->ColumnIndex("mach_id");
+  // Machines that match the pattern drive the pipeline; each one joins to
+  // its mcmap rows by mach_id, and the cluster pattern filters the targets.
+  std::vector<size_t> clusters =
+      From(cluster).WhereWild("name", call.args[1]).Rows();
   int map_clu_col = mcmap->ColumnIndex("clu_id");
-  for (size_t m : machines) {
-    int64_t mach_id = MoiraContext::IntCell(machine, m, "mach_id");
-    for (size_t c : clusters) {
-      int64_t clu_id = MoiraContext::IntCell(cluster, c, "clu_id");
-      if (!mcmap->Match({Condition{map_mach_col, Condition::Op::kEq, Value(mach_id)},
-                         Condition{map_clu_col, Condition::Op::kEq, Value(clu_id)}})
-               .empty()) {
-        call.emit({MoiraContext::StrCell(machine, m, "name"),
-                   MoiraContext::StrCell(cluster, c, "name")});
-      }
-    }
-  }
+  From(machine)
+      .WhereWild("name", mach_pattern)
+      .Join(mcmap, "mach_id", "mach_id")
+      .Emit([&](const std::vector<size_t>& rows) {
+        int64_t clu_id = mcmap->Cell(rows[1], map_clu_col).AsInt();
+        for (size_t c : clusters) {
+          if (MoiraContext::IntCell(cluster, c, "clu_id") == clu_id) {
+            call.emit({MoiraContext::StrCell(machine, rows[0], "name"),
+                       MoiraContext::StrCell(cluster, c, "name")});
+          }
+        }
+      });
   return MR_SUCCESS;
 }
 
@@ -227,11 +217,10 @@ int32_t AddMachineToCluster(QueryCall& call) {
   int64_t mach_id = MoiraContext::IntCell(mc.machine(), mach.row, "mach_id");
   int64_t clu_id = MoiraContext::IntCell(mc.cluster(), clu.row, "clu_id");
   Table* mcmap = mc.mcmap();
-  int mach_col = mcmap->ColumnIndex("mach_id");
-  int clu_col = mcmap->ColumnIndex("clu_id");
-  if (!mcmap->Match({Condition{mach_col, Condition::Op::kEq, Value(mach_id)},
-                     Condition{clu_col, Condition::Op::kEq, Value(clu_id)}})
-           .empty()) {
+  if (From(mcmap)
+          .WhereEq("mach_id", Value(mach_id))
+          .WhereEq("clu_id", Value(clu_id))
+          .Any()) {
     return MR_EXISTS;
   }
   mcmap->Append({Value(mach_id), Value(clu_id)});
@@ -252,11 +241,10 @@ int32_t DeleteMachineFromCluster(QueryCall& call) {
   int64_t mach_id = MoiraContext::IntCell(mc.machine(), mach.row, "mach_id");
   int64_t clu_id = MoiraContext::IntCell(mc.cluster(), clu.row, "clu_id");
   Table* mcmap = mc.mcmap();
-  int mach_col = mcmap->ColumnIndex("mach_id");
-  int clu_col = mcmap->ColumnIndex("clu_id");
-  std::vector<size_t> rows =
-      mcmap->Match({Condition{mach_col, Condition::Op::kEq, Value(mach_id)},
-                    Condition{clu_col, Condition::Op::kEq, Value(clu_id)}});
+  std::vector<size_t> rows = From(mcmap)
+                                 .WhereEq("mach_id", Value(mach_id))
+                                 .WhereEq("clu_id", Value(clu_id))
+                                 .Rows();
   if (rows.empty()) {
     return MR_NO_MATCH;
   }
@@ -273,17 +261,15 @@ int32_t GetClusterData(QueryCall& call) {
   MoiraContext& mc = call.mc;
   const Table* cluster = mc.cluster();
   const Table* svc = mc.svc();
-  int svc_clu_col = svc->ColumnIndex("clu_id");
-  for (size_t c : cluster->Match({WildCond(cluster, "name", call.args[0])})) {
-    int64_t clu_id = MoiraContext::IntCell(cluster, c, "clu_id");
-    for (size_t row :
-         svc->Match({Condition{svc_clu_col, Condition::Op::kEq, Value(clu_id)},
-                     WildCond(svc, "serv_label", call.args[1])})) {
-      call.emit({MoiraContext::StrCell(cluster, c, "name"),
-                 MoiraContext::StrCell(svc, row, "serv_label"),
-                 MoiraContext::StrCell(svc, row, "serv_cluster")});
-    }
-  }
+  From(cluster)
+      .WhereWild("name", call.args[0])
+      .Join(svc, "clu_id", "clu_id")
+      .WhereWild("serv_label", call.args[1])
+      .Emit([&](const std::vector<size_t>& rows) {
+        call.emit({MoiraContext::StrCell(cluster, rows[0], "name"),
+                   MoiraContext::StrCell(svc, rows[1], "serv_label"),
+                   MoiraContext::StrCell(svc, rows[1], "serv_cluster")});
+      });
   return MR_SUCCESS;
 }
 
@@ -310,11 +296,11 @@ int32_t DeleteClusterData(QueryCall& call) {
   }
   int64_t clu_id = MoiraContext::IntCell(mc.cluster(), clu.row, "clu_id");
   Table* svc = mc.svc();
-  std::vector<size_t> rows = svc->Match({
-      Condition{svc->ColumnIndex("clu_id"), Condition::Op::kEq, Value(clu_id)},
-      Condition{svc->ColumnIndex("serv_label"), Condition::Op::kEq, Value(call.args[1])},
-      Condition{svc->ColumnIndex("serv_cluster"), Condition::Op::kEq, Value(call.args[2])},
-  });
+  std::vector<size_t> rows = From(svc)
+                                 .WhereEq("clu_id", Value(clu_id))
+                                 .WhereEq("serv_label", Value(call.args[1]))
+                                 .WhereEq("serv_cluster", Value(call.args[2]))
+                                 .Rows();
   if (rows.empty()) {
     return MR_NO_MATCH;
   }

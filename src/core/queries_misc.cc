@@ -24,7 +24,8 @@ int32_t ParseZephyrAces(MoiraContext& mc, const std::vector<std::string>& args, 
 int32_t GetZephyrClass(QueryCall& call) {
   MoiraContext& mc = call.mc;
   Table* zephyr = mc.zephyr();
-  for (size_t row : zephyr->Match({WildCond(zephyr, "class", call.args[0])})) {
+  From(zephyr).WhereWild("class", call.args[0]).Emit([&](const std::vector<size_t>& rows) {
+    size_t row = rows[0];
     Tuple tuple = {MoiraContext::StrCell(zephyr, row, "class")};
     for (const char* prefix : kZephyrAcePrefixes) {
       std::string type_col = std::string(prefix) + "_type";
@@ -37,7 +38,7 @@ int32_t GetZephyrClass(QueryCall& call) {
     tuple.push_back(MoiraContext::StrCell(zephyr, row, "modby"));
     tuple.push_back(MoiraContext::StrCell(zephyr, row, "modwith"));
     call.emit(std::move(tuple));
-  }
+  });
   return MR_SUCCESS;
 }
 
@@ -106,20 +107,19 @@ int32_t GetServerHostAccess(QueryCall& call) {
   MoiraContext& mc = call.mc;
   const Table* machine = mc.machine();
   Table* hostaccess = mc.hostaccess();
-  int mach_col = hostaccess->ColumnIndex("mach_id");
   std::string pattern = ToUpperCopy(call.args[0]);
-  for (size_t m : machine->Match({WildCond(machine, "name", pattern)})) {
-    int64_t mach_id = MoiraContext::IntCell(machine, m, "mach_id");
-    for (size_t row :
-         hostaccess->Match({Condition{mach_col, Condition::Op::kEq, Value(mach_id)}})) {
-      const std::string& type = MoiraContext::StrCell(hostaccess, row, "acl_type");
-      call.emit({MoiraContext::StrCell(machine, m, "name"), type,
-                 mc.AceName(type, MoiraContext::IntCell(hostaccess, row, "acl_id")),
-                 IntStr(hostaccess, row, "modtime"),
-                 MoiraContext::StrCell(hostaccess, row, "modby"),
-                 MoiraContext::StrCell(hostaccess, row, "modwith")});
-    }
-  }
+  From(machine)
+      .WhereWild("name", pattern)
+      .Join(hostaccess, "mach_id", "mach_id")
+      .Emit([&](const std::vector<size_t>& rows) {
+        size_t row = rows[1];
+        const std::string& type = MoiraContext::StrCell(hostaccess, row, "acl_type");
+        call.emit({MoiraContext::StrCell(machine, rows[0], "name"), type,
+                   mc.AceName(type, MoiraContext::IntCell(hostaccess, row, "acl_id")),
+                   IntStr(hostaccess, row, "modtime"),
+                   MoiraContext::StrCell(hostaccess, row, "modby"),
+                   MoiraContext::StrCell(hostaccess, row, "modwith")});
+      });
   return MR_SUCCESS;
 }
 
@@ -136,8 +136,7 @@ int32_t AddServerHostAccess(QueryCall& call) {
   }
   int64_t mach_id = MoiraContext::IntCell(mc.machine(), mach.row, "mach_id");
   Table* hostaccess = mc.hostaccess();
-  int mach_col = hostaccess->ColumnIndex("mach_id");
-  if (!hostaccess->Match({Condition{mach_col, Condition::Op::kEq, Value(mach_id)}}).empty()) {
+  if (From(hostaccess).WhereEq("mach_id", Value(mach_id)).Any()) {
     return MR_EXISTS;
   }
   size_t row = hostaccess->Append({Value(mach_id), Value(call.args[1]), Value(ace_id),
@@ -189,13 +188,14 @@ int32_t DeleteServerHostAccess(QueryCall& call) {
 
 int32_t GetService(QueryCall& call) {
   Table* services = call.mc.services();
-  for (size_t row : services->Match({WildCond(services, "name", call.args[0])})) {
+  From(services).WhereWild("name", call.args[0]).Emit([&](const std::vector<size_t>& rows) {
+    size_t row = rows[0];
     call.emit({MoiraContext::StrCell(services, row, "name"),
                MoiraContext::StrCell(services, row, "protocol"), IntStr(services, row, "port"),
                MoiraContext::StrCell(services, row, "desc"), IntStr(services, row, "modtime"),
                MoiraContext::StrCell(services, row, "modby"),
                MoiraContext::StrCell(services, row, "modwith")});
-  }
+  });
   return MR_SUCCESS;
 }
 
@@ -238,7 +238,8 @@ int32_t DeleteService(QueryCall& call) {
 int32_t GetPrintcap(QueryCall& call) {
   MoiraContext& mc = call.mc;
   Table* printcap = mc.printcap();
-  for (size_t row : printcap->Match({WildCond(printcap, "name", call.args[0])})) {
+  From(printcap).WhereWild("name", call.args[0]).Emit([&](const std::vector<size_t>& rows) {
+    size_t row = rows[0];
     int64_t mach_id = MoiraContext::IntCell(printcap, row, "mach_id");
     RowRef mach = mc.ExactOne(mc.machine(), "mach_id", Value(mach_id), MR_MACHINE);
     call.emit({MoiraContext::StrCell(printcap, row, "name"),
@@ -250,7 +251,7 @@ int32_t GetPrintcap(QueryCall& call) {
                MoiraContext::StrCell(printcap, row, "comments"),
                MoiraContext::StrCell(printcap, row, "modby"),
                MoiraContext::StrCell(printcap, row, "modwith")});
-  }
+  });
   return MR_SUCCESS;
 }
 
@@ -292,13 +293,15 @@ int32_t DeletePrintcap(QueryCall& call) {
 
 int32_t GetAlias(QueryCall& call) {
   Table* alias = call.mc.alias();
-  for (size_t row : alias->Match({WildCond(alias, "name", call.args[0]),
-                                  WildCond(alias, "type", call.args[1]),
-                                  WildCond(alias, "trans", call.args[2])})) {
-    call.emit({MoiraContext::StrCell(alias, row, "name"),
-               MoiraContext::StrCell(alias, row, "type"),
-               MoiraContext::StrCell(alias, row, "trans")});
-  }
+  From(alias)
+      .WhereWild("name", call.args[0])
+      .WhereWild("type", call.args[1])
+      .WhereWild("trans", call.args[2])
+      .Emit([&](const std::vector<size_t>& rows) {
+        call.emit({MoiraContext::StrCell(alias, rows[0], "name"),
+                   MoiraContext::StrCell(alias, rows[0], "type"),
+                   MoiraContext::StrCell(alias, rows[0], "trans")});
+      });
   return MR_SUCCESS;
 }
 
@@ -310,13 +313,11 @@ int32_t AddAlias(QueryCall& call) {
   Table* alias = mc.alias();
   // Exact duplicates are rejected; duplicate translations for a (name, type)
   // pair are allowed.
-  if (!alias->Match({Condition{alias->ColumnIndex("name"), Condition::Op::kEq,
-                               Value(call.args[0])},
-                     Condition{alias->ColumnIndex("type"), Condition::Op::kEq,
-                               Value(call.args[1])},
-                     Condition{alias->ColumnIndex("trans"), Condition::Op::kEq,
-                               Value(call.args[2])}})
-           .empty()) {
+  if (From(alias)
+          .WhereEq("name", Value(call.args[0]))
+          .WhereEq("type", Value(call.args[1]))
+          .WhereEq("trans", Value(call.args[2]))
+          .Any()) {
     return MR_EXISTS;
   }
   alias->Append({Value(call.args[0]), Value(call.args[1]), Value(call.args[2])});
@@ -325,11 +326,11 @@ int32_t AddAlias(QueryCall& call) {
 
 int32_t DeleteAlias(QueryCall& call) {
   Table* alias = call.mc.alias();
-  std::vector<size_t> rows = alias->Match({
-      Condition{alias->ColumnIndex("name"), Condition::Op::kEq, Value(call.args[0])},
-      Condition{alias->ColumnIndex("type"), Condition::Op::kEq, Value(call.args[1])},
-      Condition{alias->ColumnIndex("trans"), Condition::Op::kEq, Value(call.args[2])},
-  });
+  std::vector<size_t> rows = From(alias)
+                                 .WhereEq("name", Value(call.args[0]))
+                                 .WhereEq("type", Value(call.args[1]))
+                                 .WhereEq("trans", Value(call.args[2]))
+                                 .Rows();
   if (rows.empty()) {
     return MR_NO_MATCH;
   }
@@ -395,6 +396,23 @@ int32_t GetAllTableStats(QueryCall& call) {
     // section 6, TBLSTATS): always reported as 0.
     call.emit({name, "0", std::to_string(stats.appends), std::to_string(stats.updates),
                std::to_string(stats.deletes), std::to_string(stats.modtime)});
+  }
+  return MR_SUCCESS;
+}
+
+// Per-table access-path statistics: how queries actually executed.  A row per
+// table: mutation counters plus planner counters (index hits, prefix-pruned
+// scans, full scans, rows examined vs emitted).  Privileged (dbadmin only via
+// CAPACLS; not world_ok) since it exposes workload shape.
+int32_t GetTableStatistics(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  for (const std::string& name : mc.db().TableNames()) {
+    const Table* table = mc.db().GetTable(name);
+    const TableStats& stats = table->stats();
+    call.emit({name, std::to_string(stats.appends), std::to_string(stats.updates),
+               std::to_string(stats.deletes), std::to_string(stats.index_hits),
+               std::to_string(stats.prefix_scans), std::to_string(stats.full_scans),
+               std::to_string(stats.rows_examined), std::to_string(stats.rows_emitted)});
   }
   return MR_SUCCESS;
 }
@@ -489,6 +507,10 @@ void AppendMiscQueries(std::vector<QueryDef>* defs) {
           {"get_all_table_stats", "gats", QueryClass::kRetrieve, 0, true, "",
            "table, retrieves, appends, updates, deletes, modtime", nullptr,
            GetAllTableStats},
+          {"get_table_statistics", "gtst", QueryClass::kRetrieve, 0, false, "",
+           "table, appends, updates, deletes, index_hits, prefix_scans, full_scans, "
+           "rows_examined, rows_emitted",
+           nullptr, GetTableStatistics},
           {"_help", "help", QueryClass::kRetrieve, 1, true, "query", "help_message", nullptr,
            HelpQuery},
           {"_list_queries", "lque", QueryClass::kRetrieve, 0, true, "",

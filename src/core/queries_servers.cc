@@ -30,9 +30,9 @@ int32_t GetServerInfo(QueryCall& call) {
   MoiraContext& mc = call.mc;
   Table* servers = mc.servers();
   std::string pattern = ToUpperCopy(call.args[0]);
-  for (size_t row : servers->Match({WildCond(servers, "name", pattern)})) {
-    call.emit(ServerInfoTuple(mc, row));
-  }
+  From(servers).WhereWild("name", pattern).Emit([&](const std::vector<size_t>& rows) {
+    call.emit(ServerInfoTuple(mc, rows[0]));
+  });
   return MR_SUCCESS;
 }
 
@@ -46,15 +46,18 @@ int32_t QualifiedGetServer(QueryCall& call) {
   const Table* servers = call.mc.servers();
   int cols[3] = {servers->ColumnIndex("enable"), servers->ColumnIndex("inprogress"),
                  servers->ColumnIndex("harderror")};
-  servers->Scan([&](size_t row, const Row& r) {
-    for (int i = 0; i < 3; ++i) {
-      if (!TriMatches(tri[i], r[cols[i]].AsInt())) {
+  From(servers)
+      .Filter([&](const Table& t, size_t row) {
+        for (int i = 0; i < 3; ++i) {
+          if (!TriMatches(tri[i], t.Cell(row, cols[i]).AsInt())) {
+            return false;
+          }
+        }
         return true;
-      }
-    }
-    call.emit({MoiraContext::StrCell(servers, row, "name")});
-    return true;
-  });
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        call.emit({MoiraContext::StrCell(servers, rows[0], "name")});
+      });
   return MR_SUCCESS;
 }
 
@@ -183,9 +186,7 @@ int32_t DeleteServerInfo(QueryCall& call) {
     return MR_IN_USE;
   }
   const std::string& name = MoiraContext::StrCell(servers, service.row, "name");
-  Table* sh = mc.serverhosts();
-  int service_col = sh->ColumnIndex("service");
-  if (!sh->Match({Condition{service_col, Condition::Op::kEq, Value(name)}}).empty()) {
+  if (From(mc.serverhosts()).WhereEq("service", Value(name)).Any()) {
     return MR_IN_USE;
   }
   servers->Delete(service.row);
@@ -203,13 +204,12 @@ int32_t FindServerHost(MoiraContext& mc, std::string_view service_arg,
   if (mach.code != MR_SUCCESS) {
     return mach.code;
   }
-  Table* sh = mc.serverhosts();
-  std::vector<size_t> rows = sh->Match({
-      Condition{sh->ColumnIndex("service"), Condition::Op::kEq,
-                Value(MoiraContext::StrCell(mc.servers(), service.row, "name"))},
-      Condition{sh->ColumnIndex("mach_id"), Condition::Op::kEq,
-                Value(MoiraContext::IntCell(mc.machine(), mach.row, "mach_id"))},
-  });
+  std::vector<size_t> rows =
+      From(mc.serverhosts())
+          .WhereEq("service", Value(MoiraContext::StrCell(mc.servers(), service.row, "name")))
+          .WhereEq("mach_id",
+                   Value(MoiraContext::IntCell(mc.machine(), mach.row, "mach_id")))
+          .Rows();
   if (rows.empty()) {
     return MR_NO_MATCH;
   }
@@ -227,22 +227,28 @@ std::string ServerHostMachineName(MoiraContext& mc, const Table* sh, size_t row)
 int32_t GetServerHostInfo(QueryCall& call) {
   MoiraContext& mc = call.mc;
   const Table* sh = mc.serverhosts();
+  const Table* machine = mc.machine();
   std::string service_pattern = ToUpperCopy(call.args[0]);
   std::string machine_pattern = ToUpperCopy(call.args[1]);
-  for (size_t row : sh->Match({WildCond(sh, "service", service_pattern)})) {
-    std::string machine_name = ServerHostMachineName(mc, sh, row);
-    if (!WildcardMatch(machine_pattern, machine_name)) {
-      continue;
-    }
-    call.emit({MoiraContext::StrCell(sh, row, "service"), machine_name,
-               IntStr(sh, row, "enable"), IntStr(sh, row, "override"),
-               IntStr(sh, row, "success"), IntStr(sh, row, "inprogress"),
-               IntStr(sh, row, "hosterror"), MoiraContext::StrCell(sh, row, "hosterrmsg"),
-               IntStr(sh, row, "ltt"), IntStr(sh, row, "lts"), IntStr(sh, row, "value1"),
-               IntStr(sh, row, "value2"), MoiraContext::StrCell(sh, row, "value3"),
-               IntStr(sh, row, "modtime"), MoiraContext::StrCell(sh, row, "modby"),
-               MoiraContext::StrCell(sh, row, "modwith")});
-  }
+  int mname_col = machine->ColumnIndex("name");
+  // Join each matching serverhost to its machine row (indexed mach_id probe);
+  // the machine-name pattern runs as a planned condition on the join stage.
+  From(sh)
+      .WhereWild("service", service_pattern)
+      .Join(machine, "mach_id", "mach_id")
+      .WhereWild("name", machine_pattern)
+      .Emit([&](const std::vector<size_t>& rows) {
+        size_t row = rows[0];
+        call.emit({MoiraContext::StrCell(sh, row, "service"),
+                   machine->Cell(rows[1], mname_col).AsString(),
+                   IntStr(sh, row, "enable"), IntStr(sh, row, "override"),
+                   IntStr(sh, row, "success"), IntStr(sh, row, "inprogress"),
+                   IntStr(sh, row, "hosterror"), MoiraContext::StrCell(sh, row, "hosterrmsg"),
+                   IntStr(sh, row, "ltt"), IntStr(sh, row, "lts"), IntStr(sh, row, "value1"),
+                   IntStr(sh, row, "value2"), MoiraContext::StrCell(sh, row, "value3"),
+                   IntStr(sh, row, "modtime"), MoiraContext::StrCell(sh, row, "modby"),
+                   MoiraContext::StrCell(sh, row, "modwith")});
+      });
   return MR_SUCCESS;
 }
 
@@ -259,19 +265,20 @@ int32_t QualifiedGetServerHost(QueryCall& call) {
   int cols[5] = {sh->ColumnIndex("enable"), sh->ColumnIndex("override"),
                  sh->ColumnIndex("success"), sh->ColumnIndex("inprogress"),
                  sh->ColumnIndex("hosterror")};
-  for (size_t row : sh->Match({WildCond(sh, "service", service_pattern)})) {
-    bool ok = true;
-    for (int i = 0; i < 5; ++i) {
-      if (!TriMatches(tri[i], sh->Cell(row, cols[i]).AsInt())) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) {
-      call.emit({MoiraContext::StrCell(sh, row, "service"),
-                 ServerHostMachineName(mc, sh, row)});
-    }
-  }
+  From(sh)
+      .WhereWild("service", service_pattern)
+      .Filter([&](const Table& t, size_t row) {
+        for (int i = 0; i < 5; ++i) {
+          if (!TriMatches(tri[i], t.Cell(row, cols[i]).AsInt())) {
+            return false;
+          }
+        }
+        return true;
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        call.emit({MoiraContext::StrCell(sh, rows[0], "service"),
+                   ServerHostMachineName(mc, sh, rows[0])});
+      });
   return MR_SUCCESS;
 }
 
@@ -300,10 +307,10 @@ int32_t AddServerHostInfo(QueryCall& call) {
   const std::string& service_name = MoiraContext::StrCell(mc.servers(), service.row, "name");
   int64_t mach_id = MoiraContext::IntCell(mc.machine(), mach.row, "mach_id");
   Table* sh = mc.serverhosts();
-  if (!sh->Match({Condition{sh->ColumnIndex("service"), Condition::Op::kEq,
-                            Value(service_name)},
-                  Condition{sh->ColumnIndex("mach_id"), Condition::Op::kEq, Value(mach_id)}})
-           .empty()) {
+  if (From(sh)
+          .WhereEq("service", Value(service_name))
+          .WhereEq("mach_id", Value(mach_id))
+          .Any()) {
     return MR_EXISTS;
   }
   size_t row = sh->Append({
@@ -437,10 +444,10 @@ int32_t GetServerLocations(QueryCall& call) {
   MoiraContext& mc = call.mc;
   const Table* sh = mc.serverhosts();
   std::string pattern = ToUpperCopy(call.args[0]);
-  for (size_t row : sh->Match({WildCond(sh, "service", pattern)})) {
-    call.emit({MoiraContext::StrCell(sh, row, "service"),
-               ServerHostMachineName(mc, sh, row)});
-  }
+  From(sh).WhereWild("service", pattern).Emit([&](const std::vector<size_t>& rows) {
+    call.emit({MoiraContext::StrCell(sh, rows[0], "service"),
+               ServerHostMachineName(mc, sh, rows[0])});
+  });
   return MR_SUCCESS;
 }
 

@@ -70,25 +70,24 @@ std::string PoboxBox(MoiraContext& mc, size_t user_row) {
 // MR_MACHINE if none has room.
 int32_t LeastLoadedPop(MoiraContext& mc, int64_t* mach_id_out, size_t* sh_row_out) {
   Table* sh = mc.serverhosts();
-  int service_col = sh->ColumnIndex("service");
-  std::vector<size_t> rows =
-      sh->Match({Condition{service_col, Condition::Op::kEq, Value("POP")}});
-  int32_t best_room = 0;
+  int64_t best_room = 0;
   bool found = false;
-  for (size_t row : rows) {
-    if (MoiraContext::IntCell(sh, row, "enable") == 0) {
-      continue;
-    }
-    int64_t used = MoiraContext::IntCell(sh, row, "value1");
-    int64_t cap = MoiraContext::IntCell(sh, row, "value2");
-    int64_t room = cap - used;
-    if (room > best_room) {
-      best_room = static_cast<int32_t>(room);
-      *mach_id_out = MoiraContext::IntCell(sh, row, "mach_id");
-      *sh_row_out = row;
-      found = true;
-    }
-  }
+  From(sh)
+      .WhereEq("service", Value("POP"))
+      .Filter([&](const Table& t, size_t row) {
+        return MoiraContext::IntCell(&t, row, "enable") != 0;
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        size_t row = rows[0];
+        int64_t room = MoiraContext::IntCell(sh, row, "value2") -
+                       MoiraContext::IntCell(sh, row, "value1");
+        if (room > best_room) {
+          best_room = room;
+          *mach_id_out = MoiraContext::IntCell(sh, row, "mach_id");
+          *sh_row_out = row;
+          found = true;
+        }
+      });
   return found ? MR_SUCCESS : MR_MACHINE;
 }
 
@@ -97,18 +96,18 @@ int32_t LeastLoadedPop(MoiraContext& mc, int64_t* mach_id_out, size_t* sh_row_ou
 int32_t LeastLoadedNfsPhys(MoiraContext& mc, int64_t fstype_bits, size_t* phys_row_out) {
   Table* phys = mc.nfsphys();
   int64_t best_free = -1;
-  phys->Scan([&](size_t row, const Row&) {
-    if ((MoiraContext::IntCell(phys, row, "status") & fstype_bits) == 0) {
-      return true;
-    }
-    int64_t free_units = MoiraContext::IntCell(phys, row, "size") -
-                         MoiraContext::IntCell(phys, row, "allocated");
-    if (free_units > best_free) {
-      best_free = free_units;
-      *phys_row_out = row;
-    }
-    return true;
-  });
+  From(phys)
+      .Filter([&](const Table& t, size_t row) {
+        return (MoiraContext::IntCell(&t, row, "status") & fstype_bits) != 0;
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        int64_t free_units = MoiraContext::IntCell(phys, rows[0], "size") -
+                             MoiraContext::IntCell(phys, rows[0], "allocated");
+        if (free_units > best_free) {
+          best_free = free_units;
+          *phys_row_out = rows[0];
+        }
+      });
   return best_free >= 0 ? MR_SUCCESS : MR_NO_FILESYS;
 }
 
@@ -116,9 +115,8 @@ int32_t LeastLoadedNfsPhys(MoiraContext& mc, int64_t fstype_bits, size_t* phys_r
 
 int32_t GetAllLogins(QueryCall& call) {
   const Table* users = call.mc.users();
-  users->Scan([&](size_t row, const Row&) {
-    call.emit(UserSummaryTuple(users, row));
-    return true;
+  From(users).Emit([&](const std::vector<size_t>& rows) {
+    call.emit(UserSummaryTuple(users, rows[0]));
   });
   return MR_SUCCESS;
 }
@@ -126,18 +124,17 @@ int32_t GetAllLogins(QueryCall& call) {
 int32_t GetAllActiveLogins(QueryCall& call) {
   const Table* users = call.mc.users();
   int status_col = users->ColumnIndex("status");
-  users->Scan([&](size_t row, const Row& r) {
-    if (r[status_col].AsInt() != 0) {
-      call.emit(UserSummaryTuple(users, row));
-    }
-    return true;
-  });
+  From(users)
+      .Filter([&](const Table& t, size_t row) { return t.Cell(row, status_col).AsInt() != 0; })
+      .Emit([&](const std::vector<size_t>& rows) {
+        call.emit(UserSummaryTuple(users, rows[0]));
+      });
   return MR_SUCCESS;
 }
 
 int32_t GetUserByLogin(QueryCall& call) {
-  Table* users = call.mc.users();
-  return EmitFullUsers(call, users->Match({WildCond(users, "login", call.args[0])}));
+  return EmitFullUsers(call,
+                       From(call.mc.users()).WhereWild("login", call.args[0]).Rows());
 }
 
 int32_t GetUserByUid(QueryCall& call) {
@@ -145,25 +142,24 @@ int32_t GetUserByUid(QueryCall& call) {
   if (int32_t code = RequireInt(call.args[0], &uid); code != MR_SUCCESS) {
     return code;
   }
-  Table* users = call.mc.users();
-  int col = users->ColumnIndex("uid");
-  return EmitFullUsers(call, users->Match({Condition{col, Condition::Op::kEq, Value(uid)}}));
+  return EmitFullUsers(call, From(call.mc.users()).WhereEq("uid", Value(uid)).Rows());
 }
 
 int32_t GetUserByName(QueryCall& call) {
-  Table* users = call.mc.users();
-  return EmitFullUsers(call, users->Match({WildCond(users, "first", call.args[0]),
-                                           WildCond(users, "last", call.args[1])}));
+  return EmitFullUsers(call, From(call.mc.users())
+                                 .WhereWild("first", call.args[0])
+                                 .WhereWild("last", call.args[1])
+                                 .Rows());
 }
 
 int32_t GetUserByClass(QueryCall& call) {
-  Table* users = call.mc.users();
-  return EmitFullUsers(call, users->Match({WildCond(users, "mit_year", call.args[0])}));
+  return EmitFullUsers(call,
+                       From(call.mc.users()).WhereWild("mit_year", call.args[0]).Rows());
 }
 
 int32_t GetUserByMitId(QueryCall& call) {
-  Table* users = call.mc.users();
-  return EmitFullUsers(call, users->Match({WildCond(users, "mit_id", call.args[0])}));
+  return EmitFullUsers(call,
+                       From(call.mc.users()).WhereWild("mit_id", call.args[0]).Rows());
 }
 
 // Initializes the non-account columns of a fresh users row.
@@ -414,39 +410,22 @@ int32_t UpdateUserStatus(QueryCall& call) {
 // True if the user is referenced anywhere that blocks deletion: list
 // membership, quotas, or ownership of an object (as an ACE).
 bool UserIsReferenced(MoiraContext& mc, int64_t users_id) {
-  Table* members = mc.members();
-  int type_col = members->ColumnIndex("member_type");
-  int id_col = members->ColumnIndex("member_id");
-  bool referenced = false;
-  members->Scan([&](size_t, const Row& r) {
-    if (r[type_col].AsString() == "USER" && r[id_col].AsInt() == users_id) {
-      referenced = true;
-      return false;
-    }
-    return true;
-  });
-  if (referenced) {
+  // List membership (member_id is indexed, so this is a probe, not a sweep).
+  if (From(mc.members())
+          .WhereEq("member_type", Value("USER"))
+          .WhereEq("member_id", Value(users_id))
+          .Any()) {
     return true;
   }
-  Table* quota = mc.nfsquota();
-  if (!quota->Match({Condition{quota->ColumnIndex("users_id"), Condition::Op::kEq,
-                               Value(users_id)}})
-           .empty()) {
+  if (From(mc.nfsquota()).WhereEq("users_id", Value(users_id)).Any()) {
     return true;
   }
   // ACE references: lists, servers, filesys owner, zephyr, hostaccess.
   auto ace_ref = [&](Table* table, const char* type_col_name, const char* id_col_name) {
-    int tcol = table->ColumnIndex(type_col_name);
-    int icol = table->ColumnIndex(id_col_name);
-    bool hit = false;
-    table->Scan([&](size_t, const Row& r) {
-      if (r[tcol].AsString() == "USER" && r[icol].AsInt() == users_id) {
-        hit = true;
-        return false;
-      }
-      return true;
-    });
-    return hit;
+    return From(table)
+        .WhereEq(type_col_name, Value("USER"))
+        .WhereEq(id_col_name, Value(users_id))
+        .Any();
   };
   if (ace_ref(mc.list(), "acl_type", "acl_id") || ace_ref(mc.servers(), "acl_type", "acl_id") ||
       ace_ref(mc.hostaccess(), "acl_type", "acl_id") ||
@@ -454,17 +433,7 @@ bool UserIsReferenced(MoiraContext& mc, int64_t users_id) {
       ace_ref(mc.zephyr(), "iws_type", "iws_id") || ace_ref(mc.zephyr(), "iui_type", "iui_id")) {
     return true;
   }
-  Table* filesys = mc.filesys();
-  int owner_col = filesys->ColumnIndex("owner");
-  bool owns = false;
-  filesys->Scan([&](size_t, const Row& r) {
-    if (r[owner_col].AsInt() == users_id) {
-      owns = true;
-      return false;
-    }
-    return true;
-  });
-  return owns;
+  return From(mc.filesys()).WhereEq("owner", Value(users_id)).Any();
 }
 
 int32_t DeleteUserRow(QueryCall& call, RowRef user) {
@@ -562,26 +531,23 @@ int32_t GetAllPoboxes(QueryCall& call) {
   MoiraContext& mc = call.mc;
   const Table* users = mc.users();
   int potype_col = users->ColumnIndex("potype");
-  users->Scan([&](size_t row, const Row& r) {
-    if (r[potype_col].AsString() != "NONE") {
-      call.emit({MoiraContext::StrCell(users, row, "login"), r[potype_col].AsString(),
-                 PoboxBox(mc, row)});
-    }
-    return true;
-  });
+  From(users)
+      .Filter([&](const Table& t, size_t row) {
+        return t.Cell(row, potype_col).AsString() != "NONE";
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        call.emit({MoiraContext::StrCell(users, rows[0], "login"),
+                   users->Cell(rows[0], potype_col).AsString(), PoboxBox(mc, rows[0])});
+      });
   return MR_SUCCESS;
 }
 
 int32_t GetPoboxesOfType(QueryCall& call, const char* type) {
   MoiraContext& mc = call.mc;
   const Table* users = mc.users();
-  int potype_col = users->ColumnIndex("potype");
-  users->Scan([&](size_t row, const Row& r) {
-    if (r[potype_col].AsString() == type) {
-      call.emit({MoiraContext::StrCell(users, row, "login"), r[potype_col].AsString(),
-                 PoboxBox(mc, row)});
-    }
-    return true;
+  From(users).WhereEq("potype", Value(type)).Emit([&](const std::vector<size_t>& rows) {
+    call.emit({MoiraContext::StrCell(users, rows[0], "login"),
+               MoiraContext::StrCell(users, rows[0], "potype"), PoboxBox(mc, rows[0])});
   });
   return MR_SUCCESS;
 }

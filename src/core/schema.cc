@@ -9,11 +9,15 @@ constexpr ColumnType kInt = ColumnType::kInt;
 constexpr ColumnType kStr = ColumnType::kString;
 
 void MakeTable(Database* db, const char* name, std::vector<ColumnDef> columns,
-               std::vector<const char*> indexes) {
+               std::vector<const char*> indexes,
+               std::vector<const char*> folded_indexes = {}) {
   Table* table = db->CreateTable(TableSchema{name, std::move(columns)});
   assert(table != nullptr);
   for (const char* column : indexes) {
     table->CreateIndex(column);
+  }
+  for (const char* column : folded_indexes) {
+    table->CreateFoldedIndex(column);
   }
 }
 
@@ -34,7 +38,10 @@ void CreateMoiraSchema(Database* db) {
                 {"potype", kStr},     {"pop_id", kInt},      {"box_id", kInt},
                 {"pmodtime", kInt},   {"pmodby", kStr},      {"pmodwith", kStr},
             },
-            {"login", "users_id", "uid", "mit_id"});
+            {"login", "users_id", "uid", "mit_id"},
+            // Folded-case indexes back the case-insensitive name retrievals
+            // (and prefix-prune their wildcard forms).
+            {"login", "last"});
 
   MakeTable(db, kMachineTable,
             {
@@ -82,7 +89,7 @@ void CreateMoiraSchema(Database* db) {
                 {"acl_type", kStr}, {"acl_id", kInt},  {"modtime", kInt},
                 {"modby", kStr},   {"modwith", kStr},
             },
-            {"name", "list_id"});
+            {"name", "list_id"}, {"name"});
 
   MakeTable(db, kMembersTable,
             {
@@ -123,7 +130,7 @@ void CreateMoiraSchema(Database* db) {
                 {"createflg", kInt},  {"lockertype", kStr}, {"modtime", kInt},
                 {"modby", kStr},      {"modwith", kStr},
             },
-            {"label", "filsys_id", "mach_id"});
+            {"label", "filsys_id", "mach_id"}, {"label"});
 
   MakeTable(db, kNfsPhysTable,
             {

@@ -1,0 +1,271 @@
+#include "src/db/exec.h"
+
+#include <cassert>
+
+#include "src/common/strutil.h"
+
+namespace moira {
+namespace {
+
+// Literal prefix of a wildcard pattern: the characters before the first
+// metacharacter.  "mit-*" -> "mit-"; "*x" -> ""; "abc" -> "abc".
+std::string_view LiteralPrefix(std::string_view pattern) {
+  size_t pos = pattern.find_first_of("*?");
+  return pos == std::string_view::npos ? pattern : pattern.substr(0, pos);
+}
+
+// Smallest string greater than every string with prefix `prefix`, or "" when
+// no such bound exists (prefix is all 0xff): the range is [prefix, upper).
+std::string PrefixUpperBound(std::string_view prefix) {
+  std::string upper(prefix);
+  while (!upper.empty()) {
+    unsigned char last = static_cast<unsigned char>(upper.back());
+    if (last < 0xff) {
+      upper.back() = static_cast<char>(last + 1);
+      return upper;
+    }
+    upper.pop_back();
+  }
+  return upper;
+}
+
+bool IsStringColumn(const Table& table, int column) {
+  const auto& cols = table.schema().columns;
+  return column >= 0 && static_cast<size_t>(column) < cols.size() &&
+         cols[column].type == ColumnType::kString;
+}
+
+}  // namespace
+
+Value FoldCaseKey(const Value& v) {
+  return v.is_string() ? Value(ToLowerCopy(v.AsString())) : v;
+}
+
+AccessPath PlanAccess(const Table& table, const std::vector<Condition>& conditions) {
+  const std::vector<IndexDesc> indexes = table.IndexDescs();
+  AccessPath path;
+
+  // 1. Equality probes, most selective index first.  An exact index answers
+  // kEq outright; a folded index answers kEqNoCase outright and kEq as a
+  // superset needing a residual check.  Rank candidates by cardinality
+  // (more distinct keys => fewer expected rows per key), preferring a
+  // residual-free probe on ties.
+  size_t best_keys = 0;
+  bool best_skip = false;
+  for (size_t c = 0; c < conditions.size(); ++c) {
+    const Condition& cond = conditions[c];
+    if (cond.op != Condition::Op::kEq && cond.op != Condition::Op::kEqNoCase) {
+      continue;
+    }
+    for (size_t i = 0; i < indexes.size(); ++i) {
+      if (indexes[i].column != cond.column) {
+        continue;
+      }
+      bool skip;
+      if (cond.op == Condition::Op::kEq) {
+        skip = !indexes[i].folded;  // folded probe is a superset of exact
+      } else if (indexes[i].folded) {
+        skip = true;  // folded keys equal iff strings equal ignoring case
+      } else {
+        continue;  // exact index cannot answer kEqNoCase
+      }
+      if (path.kind == AccessPath::Kind::kIndexEq &&
+          (indexes[i].distinct_keys < best_keys ||
+           (indexes[i].distinct_keys == best_keys && (best_skip || !skip)))) {
+        continue;
+      }
+      path.kind = AccessPath::Kind::kIndexEq;
+      path.index_pos = i;
+      path.cond_pos = c;
+      path.skip_cond = skip;
+      path.eq_key = indexes[i].folded ? FoldCaseKey(cond.operand) : cond.operand;
+      best_keys = indexes[i].distinct_keys;
+      best_skip = skip;
+    }
+  }
+  if (path.kind == AccessPath::Kind::kIndexEq) {
+    return path;
+  }
+
+  // 2. Literal-prefix pruning for wildcard patterns over an ordered index on
+  // a string column.  A kWild range needs the index keys unfolded; a
+  // kWildNoCase range needs them folded; a folded index can also prune a
+  // kWild pattern (superset range).  Prefer the longest prefix.
+  size_t best_prefix = 0;
+  for (size_t c = 0; c < conditions.size(); ++c) {
+    const Condition& cond = conditions[c];
+    if (cond.op != Condition::Op::kWild && cond.op != Condition::Op::kWildNoCase) {
+      continue;
+    }
+    if (!cond.operand.is_string() || !IsStringColumn(table, cond.column)) {
+      continue;
+    }
+    std::string_view prefix = LiteralPrefix(cond.operand.AsString());
+    if (prefix.empty() || prefix.size() <= best_prefix) {
+      continue;
+    }
+    for (size_t i = 0; i < indexes.size(); ++i) {
+      if (indexes[i].column != cond.column) {
+        continue;
+      }
+      if (cond.op == Condition::Op::kWildNoCase && !indexes[i].folded) {
+        continue;  // unfolded keys are not ordered case-insensitively
+      }
+      path.kind = AccessPath::Kind::kIndexPrefix;
+      path.index_pos = i;
+      path.cond_pos = c;
+      path.skip_cond = false;  // the range only prunes; the pattern still runs
+      path.lower = indexes[i].folded ? ToLowerCopy(prefix) : std::string(prefix);
+      path.upper = PrefixUpperBound(path.lower);
+      best_prefix = prefix.size();
+      break;
+    }
+  }
+  return path;
+}
+
+// --- Selector ---
+
+Selector::Selector(const Table* table) {
+  assert(table != nullptr);
+  Stage stage;
+  stage.table = table;
+  stages_.push_back(std::move(stage));
+}
+
+Selector& Selector::Where(Condition cond) {
+  stages_.back().conds.push_back(std::move(cond));
+  return *this;
+}
+
+Selector& Selector::Where(std::string_view column, Condition::Op op, Value operand) {
+  int col = stages_.back().table->ColumnIndex(column);
+  assert(col >= 0);
+  return Where(Condition{col, op, std::move(operand)});
+}
+
+Selector& Selector::WhereEq(std::string_view column, Value operand) {
+  return Where(column, Condition::Op::kEq, std::move(operand));
+}
+
+Selector& Selector::WhereWild(std::string_view column, std::string_view pattern,
+                              bool case_insensitive) {
+  Condition::Op op;
+  if (HasWildcard(pattern)) {
+    op = case_insensitive ? Condition::Op::kWildNoCase : Condition::Op::kWild;
+  } else {
+    op = case_insensitive ? Condition::Op::kEqNoCase : Condition::Op::kEq;
+  }
+  return Where(column, op, Value(pattern));
+}
+
+Selector& Selector::Filter(std::function<bool(const Table&, size_t)> pred) {
+  stages_.back().filters.push_back(std::move(pred));
+  return *this;
+}
+
+Selector& Selector::Join(const Table* other, std::string_view left_col,
+                         std::string_view right_col) {
+  assert(other != nullptr);
+  Stage stage;
+  stage.table = other;
+  stage.left_col = stages_.back().table->ColumnIndex(left_col);
+  stage.right_col = other->ColumnIndex(right_col);
+  assert(stage.left_col >= 0 && stage.right_col >= 0);
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+bool Selector::PassesFilters(const Stage& stage, size_t row) const {
+  for (const auto& pred : stage.filters) {
+    if (!pred(*stage.table, row)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Selector::RunStage(size_t stage_pos, std::vector<size_t>* rows,
+                        const std::function<bool(const std::vector<size_t>&)>& visit) const {
+  const Stage& stage = stages_[stage_pos];
+  std::vector<Condition> conds = stage.conds;
+  if (stage_pos > 0) {
+    const Stage& prev_stage = stages_[stage_pos - 1];
+    const Value& key = prev_stage.table->Cell((*rows)[stage_pos - 1], stage.left_col);
+    conds.push_back(Condition{stage.right_col, Condition::Op::kEq, key});
+  }
+  for (size_t row : stage.table->Match(conds)) {
+    if (!PassesFilters(stage, row)) {
+      continue;
+    }
+    (*rows)[stage_pos] = row;
+    if (stage_pos + 1 < stages_.size()) {
+      if (!RunStage(stage_pos + 1, rows, visit)) {
+        return false;
+      }
+    } else if (!visit(*rows)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Selector::ForEach(const std::function<bool(const std::vector<size_t>&)>& visit) const {
+  std::vector<size_t> rows(stages_.size(), 0);
+  RunStage(0, &rows, visit);
+}
+
+void Selector::Emit(const std::function<void(const std::vector<size_t>&)>& visit) const {
+  ForEach([&](const std::vector<size_t>& rows) {
+    visit(rows);
+    return true;
+  });
+}
+
+std::vector<size_t> Selector::Rows() const {
+  std::vector<size_t> out;
+  ForEach([&](const std::vector<size_t>& rows) {
+    if (out.empty() || out.back() != rows[0]) {
+      out.push_back(rows[0]);
+    }
+    return true;
+  });
+  return out;
+}
+
+std::optional<size_t> Selector::One() const {
+  std::optional<size_t> found;
+  bool unique = true;
+  ForEach([&](const std::vector<size_t>& rows) {
+    if (found.has_value() && *found != rows[0]) {
+      unique = false;
+      return false;
+    }
+    found = rows[0];
+    return true;
+  });
+  return unique ? found : std::nullopt;
+}
+
+size_t Selector::Count() const {
+  size_t n = 0;
+  ForEach([&](const std::vector<size_t>&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+bool Selector::Any() const {
+  bool any = false;
+  ForEach([&](const std::vector<size_t>&) {
+    any = true;
+    return false;
+  });
+  return any;
+}
+
+Selector From(const Table* table) { return Selector(table); }
+Selector From(const Table& table) { return Selector(&table); }
+
+}  // namespace moira

@@ -1,0 +1,137 @@
+// Query-execution layer of the Moira database engine.
+//
+// Two pieces live here:
+//
+//  * The access-path planner.  Given a condition list, PlanAccess picks the
+//    cheapest way to satisfy it against a table using live statistics: the
+//    most selective equality index (estimated via index cardinality), a
+//    folded-case index for case-insensitive equality, a literal-prefix range
+//    over an ordered index for wildcard patterns, or — only as a last
+//    resort — a full scan.  Table::Match executes the chosen plan and keeps
+//    per-table counters (TableStats) of which paths ran and how many rows
+//    they examined vs. emitted.
+//
+//  * Selector, a small fluent query API that encapsulates the
+//    scan/filter/join/emit idiom the query handlers and DCM generators
+//    previously hand-rolled:
+//
+//      From(mc.serverhosts())
+//          .Where(service_col, Condition::Op::kEq, Value("NFS"))
+//          .Join(mc.machine(), "mach_id", "mach_id")
+//          .Emit([&](const std::vector<size_t>& rows) { ... });
+//
+//    Every stage goes through the planner, so a Selector pipeline is
+//    index-backed wherever an index exists.
+#ifndef MOIRA_SRC_DB_EXEC_H_
+#define MOIRA_SRC_DB_EXEC_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/db/table.h"
+
+namespace moira {
+
+// The plan for one Table::Match call.
+struct AccessPath {
+  enum class Kind {
+    kFullScan,     // visit every live row
+    kIndexEq,      // equality probe of one index
+    kIndexPrefix,  // range scan of one index over a literal prefix
+  };
+  Kind kind = Kind::kFullScan;
+  size_t index_pos = 0;    // position in Table::IndexDescs()
+  size_t cond_pos = 0;     // the condition the index serves
+  bool skip_cond = false;  // probe fully satisfies the condition (no residual)
+  Value eq_key;            // kIndexEq: probe key (already folded if needed)
+  std::string lower;       // kIndexPrefix: scan keys in [lower, upper)
+  std::string upper;       // empty upper = scan to the end of the index
+};
+
+// Case-folds an index key: strings are lowercased, other values pass
+// through.  Shared by index maintenance (table.cc) and the planner so probe
+// keys and stored keys always agree.
+Value FoldCaseKey(const Value& v);
+
+// Picks the cheapest access path for `conditions` against `table`:
+//   1. the equality-indexable condition whose index has the highest
+//      cardinality (fewest expected rows per key) — kEq on an exact index,
+//      kEqNoCase on a folded index, kEq on a folded index as a fallback;
+//   2. otherwise the wildcard condition with the longest literal prefix that
+//      has an ordered index to range-scan — kWild on an exact index,
+//      kWildNoCase (or kWild) on a folded index;
+//   3. otherwise a full scan.
+AccessPath PlanAccess(const Table& table, const std::vector<Condition>& conditions);
+
+// Fluent multi-stage query over one or more tables.  Stage 0 is the base
+// table; each Join adds a stage.  Where/Filter apply to the most recently
+// added stage.  Terminal operations (Emit/ForEach/Rows/One/Count) run the
+// pipeline; each stage's conditions go through the planner.
+class Selector {
+ public:
+  explicit Selector(const Table* table);
+
+  // Adds a predicate on the current stage.
+  Selector& Where(Condition cond);
+  Selector& Where(std::string_view column, Condition::Op op, Value operand);
+  Selector& WhereEq(std::string_view column, Value operand);
+  // Wildcard helper: picks kEq/kEqNoCase when the pattern has no
+  // metacharacters, else kWild/kWildNoCase.
+  Selector& WhereWild(std::string_view column, std::string_view pattern,
+                      bool case_insensitive = false);
+
+  // Residual predicate the planner cannot index (ranges, bitmasks,
+  // tri-state).  Runs after the stage's conditions.
+  Selector& Filter(std::function<bool(const Table&, size_t)> pred);
+
+  // Inner join: rows of `other` where other[right_col] == current[left_col].
+  // The per-row equality lookup goes through the planner, so it is an index
+  // probe whenever `other` indexes right_col.
+  Selector& Join(const Table* other, std::string_view left_col,
+                 std::string_view right_col);
+
+  // --- Terminal operations ---
+
+  // Visits every surviving tuple; `rows[i]` is the row index in stage i's
+  // table.  ForEach stops early when the visitor returns false.
+  void Emit(const std::function<void(const std::vector<size_t>&)>& visit) const;
+  void ForEach(const std::function<bool(const std::vector<size_t>&)>& visit) const;
+
+  // Base-table row indices of every surviving tuple (deduplicated, in
+  // storage order).  With no joins this is exactly Table::Match + filters.
+  std::vector<size_t> Rows() const;
+
+  // The single surviving base row; nullopt when zero or several match.
+  std::optional<size_t> One() const;
+
+  size_t Count() const;
+  bool Any() const;
+
+ private:
+  struct Stage {
+    const Table* table = nullptr;
+    // Join columns linking this stage to the previous one (-1 for stage 0).
+    int left_col = -1;
+    int right_col = -1;
+    std::vector<Condition> conds;
+    std::vector<std::function<bool(const Table&, size_t)>> filters;
+  };
+
+  bool RunStage(size_t stage_pos, std::vector<size_t>* rows,
+                const std::function<bool(const std::vector<size_t>&)>& visit) const;
+  bool PassesFilters(const Stage& stage, size_t row) const;
+
+  std::vector<Stage> stages_;
+};
+
+// Entry points reading as a query: From(table).Where(...).Emit(...).
+Selector From(const Table* table);
+Selector From(const Table& table);
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_DB_EXEC_H_

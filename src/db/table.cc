@@ -1,8 +1,10 @@
 #include "src/db/table.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/common/strutil.h"
+#include "src/db/exec.h"
 
 namespace moira {
 namespace {
@@ -39,19 +41,45 @@ int Table::ColumnIndex(std::string_view column) const {
 void Table::CreateIndex(std::string_view column) {
   int col = ColumnIndex(column);
   assert(col >= 0);
+  BuildIndex(col, /*folded=*/false);
+}
+
+void Table::CreateFoldedIndex(std::string_view column) {
+  int col = ColumnIndex(column);
+  assert(col >= 0);
+  BuildIndex(col, /*folded=*/true);
+}
+
+void Table::BuildIndex(int column, bool folded) {
   for (const Index& index : indexes_) {
-    if (index.column == col) {
+    if (index.column == column && index.folded == folded) {
       return;
     }
   }
   Index index;
-  index.column = col;
+  index.column = column;
+  index.folded = folded;
   for (size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].live) {
-      index.entries.emplace(slots_[i].row[col], i);
+    if (!slots_[i].live) {
+      continue;
     }
+    Value key = folded ? FoldCaseKey(slots_[i].row[column]) : slots_[i].row[column];
+    if (index.entries.find(key) == index.entries.end()) {
+      ++index.distinct_keys;
+    }
+    index.entries.emplace(std::move(key), i);
   }
   indexes_.push_back(std::move(index));
+}
+
+std::vector<IndexDesc> Table::IndexDescs() const {
+  std::vector<IndexDesc> out;
+  out.reserve(indexes_.size());
+  for (const Index& index : indexes_) {
+    out.push_back(IndexDesc{index.column, index.folded, index.distinct_keys,
+                            index.entries.size()});
+  }
+  return out;
 }
 
 size_t Table::Append(Row row) {
@@ -97,31 +125,19 @@ void Table::Delete(size_t row_index) {
   Touch(&stats_.deletes);
 }
 
-const Table::Index* Table::FindIndexFor(const std::vector<Condition>& conditions,
-                                        size_t* cond_pos) const {
-  for (size_t c = 0; c < conditions.size(); ++c) {
-    if (conditions[c].op != Condition::Op::kEq) {
-      continue;
-    }
-    for (const Index& index : indexes_) {
-      if (index.column == conditions[c].column) {
-        *cond_pos = c;
-        return &index;
-      }
-    }
-  }
-  return nullptr;
+std::vector<size_t> Table::Match(const std::vector<Condition>& conditions) const {
+  return ExecutePath(PlanAccess(*this, conditions), conditions);
 }
 
-std::vector<size_t> Table::Match(const std::vector<Condition>& conditions) const {
+std::vector<size_t> Table::ExecutePath(const AccessPath& path,
+                                       const std::vector<Condition>& conditions) const {
   std::vector<size_t> out;
-  size_t indexed_cond = 0;
-  const Index* index = FindIndexFor(conditions, &indexed_cond);
-  auto satisfies_rest = [&](size_t row_index) {
+  auto satisfies = [&](size_t row_index, bool skip_planned) {
+    ++stats_.rows_examined;
     const Row& row = slots_[row_index].row;
     for (size_t c = 0; c < conditions.size(); ++c) {
-      if (index != nullptr && c == indexed_cond) {
-        continue;  // already satisfied via the index
+      if (skip_planned && c == path.cond_pos) {
+        continue;  // fully satisfied by the index probe
       }
       if (!ConditionHolds(conditions[c], row)) {
         return false;
@@ -129,27 +145,56 @@ std::vector<size_t> Table::Match(const std::vector<Condition>& conditions) const
     }
     return true;
   };
-  if (index != nullptr) {
-    auto [begin, end] = index->entries.equal_range(conditions[indexed_cond].operand);
-    for (auto it = begin; it != end; ++it) {
-      if (slots_[it->second].live && satisfies_rest(it->second)) {
-        out.push_back(it->second);
+  switch (path.kind) {
+    case AccessPath::Kind::kIndexEq: {
+      ++stats_.index_hits;
+      const Index& index = indexes_[path.index_pos];
+      auto [begin, end] = index.entries.equal_range(path.eq_key);
+      for (auto it = begin; it != end; ++it) {
+        if (slots_[it->second].live && satisfies(it->second, path.skip_cond)) {
+          out.push_back(it->second);
+        }
       }
+      break;
     }
-    return out;
-  }
-  for (size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].live && satisfies_rest(i)) {
-      out.push_back(i);
+    case AccessPath::Kind::kIndexPrefix: {
+      ++stats_.prefix_scans;
+      const Index& index = indexes_[path.index_pos];
+      auto it = index.entries.lower_bound(Value(path.lower));
+      auto end = path.upper.empty() ? index.entries.end()
+                                    : index.entries.lower_bound(Value(path.upper));
+      for (; it != end; ++it) {
+        if (slots_[it->second].live && satisfies(it->second, /*skip_planned=*/false)) {
+          out.push_back(it->second);
+        }
+      }
+      // The range visits rows in key order; report them in storage order like
+      // the scan path would, so result order is stable across plan changes.
+      std::sort(out.begin(), out.end());
+      break;
+    }
+    case AccessPath::Kind::kFullScan: {
+      ++stats_.full_scans;
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].live && satisfies(i, /*skip_planned=*/false)) {
+          out.push_back(i);
+        }
+      }
+      break;
     }
   }
+  stats_.rows_emitted += static_cast<int64_t>(out.size());
   return out;
 }
 
 void Table::Scan(const std::function<bool(size_t, const Row&)>& visit) const {
+  ++stats_.full_scans;
   for (size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].live && !visit(i, slots_[i].row)) {
-      return;
+    if (slots_[i].live) {
+      ++stats_.rows_examined;
+      if (!visit(i, slots_[i].row)) {
+        return;
+      }
     }
   }
 }
@@ -161,18 +206,28 @@ void Table::Touch(int64_t* counter) {
 
 void Table::IndexInsert(size_t row_index) {
   for (Index& index : indexes_) {
-    index.entries.emplace(slots_[row_index].row[index.column], row_index);
+    Value key = index.folded ? FoldCaseKey(slots_[row_index].row[index.column])
+                             : slots_[row_index].row[index.column];
+    if (index.entries.find(key) == index.entries.end()) {
+      ++index.distinct_keys;
+    }
+    index.entries.emplace(std::move(key), row_index);
   }
 }
 
 void Table::IndexErase(size_t row_index) {
   for (Index& index : indexes_) {
-    auto [begin, end] = index.entries.equal_range(slots_[row_index].row[index.column]);
+    Value key = index.folded ? FoldCaseKey(slots_[row_index].row[index.column])
+                             : slots_[row_index].row[index.column];
+    auto [begin, end] = index.entries.equal_range(key);
     for (auto it = begin; it != end; ++it) {
       if (it->second == row_index) {
         index.entries.erase(it);
         break;
       }
+    }
+    if (index.entries.find(key) == index.entries.end()) {
+      --index.distinct_keys;
     }
   }
 }

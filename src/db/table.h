@@ -3,7 +3,10 @@
 // Rows are kept in an append-only slot vector with tombstoned deletes, so row
 // indices remain stable across mutation (scans that collect matches and then
 // update are safe).  Optional per-column equality indexes accelerate the id
-// and name lookups that dominate the query mix.
+// and name lookups that dominate the query mix; folded-case indexes back the
+// case-insensitive predicates, and because indexes are ordered they also
+// serve literal-prefix pruning for wildcard patterns (see src/db/exec.h for
+// the planner that chooses among them).
 #ifndef MOIRA_SRC_DB_TABLE_H_
 #define MOIRA_SRC_DB_TABLE_H_
 
@@ -43,13 +46,35 @@ struct Condition {
   Value operand;
 };
 
-// Mutation counters, surfaced as the TBLSTATS relation (paper section 6).
+// Mutation counters, surfaced as the TBLSTATS relation (paper section 6),
+// plus the access-path counters the query executor maintains so load can be
+// reasoned about per table (index-backed vs. scanning execution).
 struct TableStats {
   int64_t appends = 0;
   int64_t updates = 0;
   int64_t deletes = 0;
   int64_t modtime = 0;  // unix time of last append/update/delete
+
+  // Access paths taken by Match (one increment per Match call).
+  int64_t index_hits = 0;    // answered by an equality-index probe
+  int64_t prefix_scans = 0;  // answered by a literal-prefix index range
+  int64_t full_scans = 0;    // had to visit every live row
+
+  // Work done vs. work returned across all Match calls.
+  int64_t rows_examined = 0;  // rows fetched and tested against predicates
+  int64_t rows_emitted = 0;   // rows that satisfied every predicate
 };
+
+// Public description of one index, consumed by the planner (src/db/exec.cc)
+// to estimate selectivity without reaching into Table internals.
+struct IndexDesc {
+  int column = 0;
+  bool folded = false;       // keys are stored case-folded (supports NoCase ops)
+  size_t distinct_keys = 0;  // live cardinality; higher means more selective
+  size_t entries = 0;        // live rows indexed (== Table::LiveCount())
+};
+
+struct AccessPath;  // planner output; defined in src/db/exec.h
 
 class Table {
  public:
@@ -66,6 +91,14 @@ class Table {
 
   // Builds an equality index over `column`.  Idempotent.
   void CreateIndex(std::string_view column);
+
+  // Builds a case-folded index over `column`: keys are stored lowercased, so
+  // kEqNoCase probes and kWildNoCase prefix ranges are index-backed.
+  // Idempotent, and independent of any exact index on the same column.
+  void CreateFoldedIndex(std::string_view column);
+
+  // Describes every index (for the planner and for tests).
+  std::vector<IndexDesc> IndexDescs() const;
 
   // Appends a row (must match the schema arity); returns its stable index.
   size_t Append(Row row);
@@ -94,10 +127,13 @@ class Table {
     return slots_[row_index].row[column];
   }
 
-  // Returns the indices of all live rows satisfying every condition.
+  // Returns the indices of all live rows satisfying every condition, using
+  // the cheapest access path the planner finds (see src/db/exec.h).
   std::vector<size_t> Match(const std::vector<Condition>& conditions) const;
 
   // Visits every live row; stop early by returning false from the visitor.
+  // This is the raw storage sweep — it bypasses the planner and counts as a
+  // full scan.  Query handlers should go through Selector instead.
   void Scan(const std::function<bool(size_t, const Row&)>& visit) const;
 
   // Number of live rows.
@@ -119,19 +155,27 @@ class Table {
 
   struct Index {
     int column;
+    bool folded = false;
+    size_t distinct_keys = 0;
     std::multimap<Value, size_t> entries;
   };
 
   void Touch(int64_t* counter);
+  void BuildIndex(int column, bool folded);
   void IndexInsert(size_t row_index);
   void IndexErase(size_t row_index);
-  const Index* FindIndexFor(const std::vector<Condition>& conditions, size_t* cond_pos) const;
+  // Executes a plan produced by PlanAccess (src/db/exec.cc), bumping the
+  // access-path counters.
+  std::vector<size_t> ExecutePath(const AccessPath& path,
+                                  const std::vector<Condition>& conditions) const;
 
   TableSchema schema_;
   std::vector<Slot> slots_;
   std::vector<Index> indexes_;
   size_t live_count_ = 0;
-  TableStats stats_;
+  // Mutation counters are bumped by writers; the access-path counters are
+  // bumped by const reads, hence mutable.
+  mutable TableStats stats_;
   std::function<int64_t()> now_;
 };
 

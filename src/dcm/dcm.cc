@@ -5,6 +5,7 @@
 
 #include "src/common/checksum.h"
 #include "src/common/strutil.h"
+#include "src/db/exec.h"
 
 namespace moira {
 
@@ -128,10 +129,9 @@ void Dcm::HostScanPhase(const ServiceRow& service, DcmRunSummary* summary) {
   }
   Table* servers = mc_->servers();
   Table* sh = mc_->serverhosts();
-  int service_col = sh->ColumnIndex("service");
   const UnixTime dfgen = MoiraContext::IntCell(servers, service.row, "dfgen");
   std::vector<size_t> host_rows =
-      sh->Match({Condition{service_col, Condition::Op::kEq, Value(service.name)}});
+      From(sh).WhereEq("service", Value(service.name)).Rows();
   bool replicated_halt = false;
   for (size_t row : host_rows) {
     if (replicated_halt) {
@@ -212,7 +212,8 @@ DcmRunSummary Dcm::RunOnce() {
   summary.ran = true;
   Table* servers = mc_->servers();
   std::vector<ServiceRow> services;
-  servers->Scan([&](size_t row, const Row&) {
+  From(servers).Emit([&](const std::vector<size_t>& rows) {
+    size_t row = rows[0];
     ServiceRow service;
     service.row = row;
     service.name = MoiraContext::StrCell(servers, row, "name");
@@ -224,7 +225,6 @@ DcmRunSummary Dcm::RunOnce() {
     service.enable = MoiraContext::IntCell(servers, row, "enable") != 0;
     service.harderror = MoiraContext::IntCell(servers, row, "harderror") != 0;
     services.push_back(std::move(service));
-    return true;
   });
   for (const ServiceRow& service : services) {
     // Qualify: enabled, no hard errors, non-zero interval, generator exists.

@@ -1,6 +1,7 @@
 #include <set>
 
 #include "src/core/acl.h"
+#include "src/db/exec.h"
 #include "src/dcm/generators.h"
 
 namespace moira {
@@ -13,11 +14,9 @@ void ExpandInto(MoiraContext& mc, int64_t list_id, bool active_only,
     return;
   }
   Table* members = mc.members();
-  int list_col = members->ColumnIndex("list_id");
   int type_col = members->ColumnIndex("member_type");
   int id_col = members->ColumnIndex("member_id");
-  for (size_t row :
-       members->Match({Condition{list_col, Condition::Op::kEq, Value(list_id)}})) {
+  for (size_t row : From(members).WhereEq("list_id", Value(list_id)).Rows()) {
     const std::string& type = members->Cell(row, type_col).AsString();
     int64_t member_id = members->Cell(row, id_col).AsInt();
     if (type == "USER") {
@@ -61,24 +60,26 @@ std::map<int64_t, std::vector<GroupMembership>> BuildUserGroupMap(MoiraContext& 
   int login_col = users->ColumnIndex("login");
   int users_id_col = users->ColumnIndex("users_id");
   std::map<std::string, int64_t> login_to_id;
-  users->Scan([&](size_t, const Row& r) {
-    login_to_id[r[login_col].AsString()] = r[users_id_col].AsInt();
-    return true;
+  From(users).Emit([&](const std::vector<size_t>& rows) {
+    login_to_id[users->Cell(rows[0], login_col).AsString()] =
+        users->Cell(rows[0], users_id_col).AsInt();
   });
-  lists->Scan([&](size_t, const Row& r) {
-    if (r[active_col].AsInt() == 0 || r[group_col].AsInt() == 0) {
-      return true;
-    }
-    GroupMembership membership{r[name_col].AsString(), r[gid_col].AsInt()};
-    for (const std::string& login :
-         ExpandListToLogins(mc, r[id_col].AsInt(), /*active_only=*/true)) {
-      auto it = login_to_id.find(login);
-      if (it != login_to_id.end()) {
-        out[it->second].push_back(membership);
-      }
-    }
-    return true;
-  });
+  From(lists)
+      .Filter([&](const Table& t, size_t row) {
+        return t.Cell(row, active_col).AsInt() != 0 && t.Cell(row, group_col).AsInt() != 0;
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        size_t row = rows[0];
+        GroupMembership membership{lists->Cell(row, name_col).AsString(),
+                                   lists->Cell(row, gid_col).AsInt()};
+        for (const std::string& login :
+             ExpandListToLogins(mc, lists->Cell(row, id_col).AsInt(), /*active_only=*/true)) {
+          auto it = login_to_id.find(login);
+          if (it != login_to_id.end()) {
+            out[it->second].push_back(membership);
+          }
+        }
+      });
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/common/strutil.h"
+#include "src/db/exec.h"
 #include "src/dcm/generators.h"
 
 namespace moira {
@@ -38,16 +39,14 @@ std::string BuildClusterDb(MoiraContext& mc) {
   int svc_clu_col = svc->ColumnIndex("clu_id");
   std::map<int64_t, std::string> cluster_names;
   std::map<int64_t, std::vector<std::string>> cluster_data;  // clu_id -> "label data"
-  cluster->Scan([&](size_t row, const Row&) {
-    int64_t clu_id = MoiraContext::IntCell(cluster, row, "clu_id");
-    cluster_names[clu_id] = MoiraContext::StrCell(cluster, row, "name");
-    return true;
+  From(cluster).Emit([&](const std::vector<size_t>& rows) {
+    int64_t clu_id = MoiraContext::IntCell(cluster, rows[0], "clu_id");
+    cluster_names[clu_id] = MoiraContext::StrCell(cluster, rows[0], "name");
   });
-  svc->Scan([&](size_t row, const Row& r) {
-    cluster_data[r[svc_clu_col].AsInt()].push_back(
-        MoiraContext::StrCell(svc, row, "serv_label") + " " +
-        MoiraContext::StrCell(svc, row, "serv_cluster"));
-    return true;
+  From(svc).Emit([&](const std::vector<size_t>& rows) {
+    cluster_data[svc->Cell(rows[0], svc_clu_col).AsInt()].push_back(
+        MoiraContext::StrCell(svc, rows[0], "serv_label") + " " +
+        MoiraContext::StrCell(svc, rows[0], "serv_cluster"));
   });
   for (const auto& [clu_id, name] : cluster_names) {
     for (const std::string& data : cluster_data[clu_id]) {
@@ -58,9 +57,9 @@ std::string BuildClusterDb(MoiraContext& mc) {
   int map_mach_col = mcmap->ColumnIndex("mach_id");
   int map_clu_col = mcmap->ColumnIndex("clu_id");
   std::map<int64_t, std::vector<int64_t>> machine_clusters;
-  mcmap->Scan([&](size_t, const Row& r) {
-    machine_clusters[r[map_mach_col].AsInt()].push_back(r[map_clu_col].AsInt());
-    return true;
+  From(mcmap).Emit([&](const std::vector<size_t>& rows) {
+    machine_clusters[mcmap->Cell(rows[0], map_mach_col).AsInt()].push_back(
+        mcmap->Cell(rows[0], map_clu_col).AsInt());
   });
   for (const auto& [mach_id, clusters] : machine_clusters) {
     std::string machine_name = MachineNameById(mc, mach_id);
@@ -83,19 +82,21 @@ std::string BuildClusterDb(MoiraContext& mc) {
 std::string BuildFilsysDb(MoiraContext& mc) {
   std::string out;
   Table* filesys = mc.filesys();
-  filesys->Scan([&](size_t row, const Row&) {
-    const std::string& type = MoiraContext::StrCell(filesys, row, "type");
-    if (type == "ERR") {
-      return true;
-    }
-    std::string machine =
-        ToLowerCopy(MachineNameById(mc, MoiraContext::IntCell(filesys, row, "mach_id")));
-    out += UnspecA(MoiraContext::StrCell(filesys, row, "label") + ".filsys",
-                   type + " " + MoiraContext::StrCell(filesys, row, "name") + " " + machine +
-                       " " + MoiraContext::StrCell(filesys, row, "access") + " " +
-                       MoiraContext::StrCell(filesys, row, "mount"));
-    return true;
-  });
+  int type_col = filesys->ColumnIndex("type");
+  From(filesys)
+      .Filter([&](const Table& t, size_t row) {
+        return t.Cell(row, type_col).AsString() != "ERR";
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        size_t row = rows[0];
+        const std::string& type = MoiraContext::StrCell(filesys, row, "type");
+        std::string machine =
+            ToLowerCopy(MachineNameById(mc, MoiraContext::IntCell(filesys, row, "mach_id")));
+        out += UnspecA(MoiraContext::StrCell(filesys, row, "label") + ".filsys",
+                       type + " " + MoiraContext::StrCell(filesys, row, "name") + " " +
+                           machine + " " + MoiraContext::StrCell(filesys, row, "access") +
+                           " " + MoiraContext::StrCell(filesys, row, "mount"));
+      });
   return out;
 }
 
@@ -105,28 +106,30 @@ void BuildGroupFiles(MoiraContext& mc, std::string* group_db, std::string* gid_d
   Table* lists = mc.list();
   int active_col = lists->ColumnIndex("active");
   int group_col = lists->ColumnIndex("grouplist");
-  lists->Scan([&](size_t row, const Row& r) {
-    if (r[active_col].AsInt() == 0 || r[group_col].AsInt() == 0) {
-      return true;
-    }
-    const std::string& name = MoiraContext::StrCell(lists, row, "name");
-    int64_t gid = MoiraContext::IntCell(lists, row, "gid");
-    *group_db += UnspecA(name + ".group", name + ":*:" + std::to_string(gid) + ":");
-    *gid_db += Cname(std::to_string(gid) + ".gid", name + ".group");
-    return true;
-  });
+  From(lists)
+      .Filter([&](const Table& t, size_t row) {
+        return t.Cell(row, active_col).AsInt() != 0 && t.Cell(row, group_col).AsInt() != 0;
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        const std::string& name = MoiraContext::StrCell(lists, rows[0], "name");
+        int64_t gid = MoiraContext::IntCell(lists, rows[0], "gid");
+        *group_db += UnspecA(name + ".group", name + ":*:" + std::to_string(gid) + ":");
+        *gid_db += Cname(std::to_string(gid) + ".gid", name + ".group");
+      });
   // grplist.db: one entry per active user listing (groupname, gid) pairs.
   std::map<int64_t, std::vector<GroupMembership>> user_groups = BuildUserGroupMap(mc);
   Table* users = mc.users();
   int status_col = users->ColumnIndex("status");
   int users_id_col = users->ColumnIndex("users_id");
-  users->Scan([&](size_t row, const Row& r) {
-    if (r[status_col].AsInt() != kUserActive) {
-      return true;
-    }
+  From(users)
+      .Filter([&](const Table& t, size_t row) {
+        return t.Cell(row, status_col).AsInt() == kUserActive;
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+    size_t row = rows[0];
     const std::string& login = MoiraContext::StrCell(users, row, "login");
     std::string data = login;
-    auto it = user_groups.find(r[users_id_col].AsInt());
+    auto it = user_groups.find(users->Cell(row, users_id_col).AsInt());
     if (it != user_groups.end()) {
       // The user's own group (named after the login) leads, as in the
       // paper's examples.
@@ -142,7 +145,6 @@ void BuildGroupFiles(MoiraContext& mc, std::string* group_db, std::string* gid_d
       }
     }
     *grplist_db += UnspecA(login + ".grplist", data);
-    return true;
   });
 }
 
@@ -150,26 +152,29 @@ void BuildUserFiles(MoiraContext& mc, std::string* passwd_db, std::string* uid_d
                     std::string* pobox_db) {
   Table* users = mc.users();
   int status_col = users->ColumnIndex("status");
-  users->Scan([&](size_t row, const Row& r) {
-    if (r[status_col].AsInt() != kUserActive) {
-      return true;
-    }
-    const std::string& login = MoiraContext::StrCell(users, row, "login");
-    *passwd_db += UnspecA(login + ".passwd", PasswdLine(mc, row));
-    *uid_db += Cname(std::to_string(MoiraContext::IntCell(users, row, "uid")) + ".uid",
-                     login + ".passwd");
-    if (MoiraContext::StrCell(users, row, "potype") == "POP") {
-      std::string machine = MachineNameById(mc, MoiraContext::IntCell(users, row, "pop_id"));
-      *pobox_db += UnspecA(login + ".pobox", "POP " + machine + " " + login);
-    }
-    return true;
-  });
+  From(users)
+      .Filter([&](const Table& t, size_t row) {
+        return t.Cell(row, status_col).AsInt() == kUserActive;
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        size_t row = rows[0];
+        const std::string& login = MoiraContext::StrCell(users, row, "login");
+        *passwd_db += UnspecA(login + ".passwd", PasswdLine(mc, row));
+        *uid_db += Cname(std::to_string(MoiraContext::IntCell(users, row, "uid")) + ".uid",
+                         login + ".passwd");
+        if (MoiraContext::StrCell(users, row, "potype") == "POP") {
+          std::string machine =
+              MachineNameById(mc, MoiraContext::IntCell(users, row, "pop_id"));
+          *pobox_db += UnspecA(login + ".pobox", "POP " + machine + " " + login);
+        }
+      });
 }
 
 std::string BuildPrintcapDb(MoiraContext& mc) {
   std::string out;
   Table* printcap = mc.printcap();
-  printcap->Scan([&](size_t row, const Row&) {
+  From(printcap).Emit([&](const std::vector<size_t>& rows) {
+    size_t row = rows[0];
     const std::string& name = MoiraContext::StrCell(printcap, row, "name");
     std::string machine =
         MachineNameById(mc, MoiraContext::IntCell(printcap, row, "mach_id"));
@@ -177,7 +182,6 @@ std::string BuildPrintcapDb(MoiraContext& mc) {
                    name + ":rp=" + MoiraContext::StrCell(printcap, row, "rp") +
                        ":rm=" + machine +
                        ":sd=" + MoiraContext::StrCell(printcap, row, "dir"));
-    return true;
   });
   return out;
 }
@@ -185,12 +189,12 @@ std::string BuildPrintcapDb(MoiraContext& mc) {
 std::string BuildServiceDb(MoiraContext& mc) {
   std::string out;
   Table* services = mc.services();
-  services->Scan([&](size_t row, const Row&) {
-    const std::string& name = MoiraContext::StrCell(services, row, "name");
+  From(services).Emit([&](const std::vector<size_t>& rows) {
+    const std::string& name = MoiraContext::StrCell(services, rows[0], "name");
     out += UnspecA(name + ".service",
-                   name + " " + ToLowerCopy(MoiraContext::StrCell(services, row, "protocol")) +
-                       " " + std::to_string(MoiraContext::IntCell(services, row, "port")));
-    return true;
+                   name + " " +
+                       ToLowerCopy(MoiraContext::StrCell(services, rows[0], "protocol")) +
+                       " " + std::to_string(MoiraContext::IntCell(services, rows[0], "port")));
   });
   return out;
 }
@@ -198,10 +202,9 @@ std::string BuildServiceDb(MoiraContext& mc) {
 std::string BuildSlocDb(MoiraContext& mc) {
   std::string out;
   Table* sh = mc.serverhosts();
-  sh->Scan([&](size_t row, const Row&) {
-    out += MoiraContext::StrCell(sh, row, "service") + ".sloc HS UNSPECA " +
-           MachineNameById(mc, MoiraContext::IntCell(sh, row, "mach_id")) + "\n";
-    return true;
+  From(sh).Emit([&](const std::vector<size_t>& rows) {
+    out += MoiraContext::StrCell(sh, rows[0], "service") + ".sloc HS UNSPECA " +
+           MachineNameById(mc, MoiraContext::IntCell(sh, rows[0], "mach_id")) + "\n";
   });
   return out;
 }

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/common/strutil.h"
+#include "src/db/exec.h"
 #include "src/dcm/generators.h"
 
 namespace moira {
@@ -40,26 +41,27 @@ std::string BuildCredentials(MoiraContext& mc,
       allowed[login] = true;
     }
   }
-  users->Scan([&](size_t row, const Row& r) {
-    if (r[status_col].AsInt() != kUserActive) {
-      return true;
-    }
-    const std::string& login = MoiraContext::StrCell(users, row, "login");
-    if (restrict && !allowed.contains(login)) {
-      return true;
-    }
-    out += login;
-    out += ":";
-    out += std::to_string(MoiraContext::IntCell(users, row, "uid"));
-    auto it = groups.find(r[users_id_col].AsInt());
-    if (it != groups.end()) {
-      for (const GroupMembership& m : it->second) {
-        out += ":" + std::to_string(m.gid);
-      }
-    }
-    out += "\n";
-    return true;
-  });
+  From(users)
+      .Filter([&](const Table& t, size_t row) {
+        return t.Cell(row, status_col).AsInt() == kUserActive;
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        size_t row = rows[0];
+        const std::string& login = MoiraContext::StrCell(users, row, "login");
+        if (restrict && !allowed.contains(login)) {
+          return;
+        }
+        out += login;
+        out += ":";
+        out += std::to_string(MoiraContext::IntCell(users, row, "uid"));
+        auto it = groups.find(users->Cell(row, users_id_col).AsInt());
+        if (it != groups.end()) {
+          for (const GroupMembership& m : it->second) {
+            out += ":" + std::to_string(m.gid);
+          }
+        }
+        out += "\n";
+      });
   return out;
 }
 
@@ -79,45 +81,47 @@ int32_t GenerateNfs(MoiraContext& mc, GeneratorResult* out) {
 
   int fs_phys_col = filesys->ColumnIndex("phys_id");
   int fs_create_col = filesys->ColumnIndex("createflg");
-  filesys->Scan([&](size_t row, const Row& r) {
-    if (MoiraContext::StrCell(filesys, row, "type") != "NFS" ||
-        r[fs_create_col].AsInt() == 0) {
-      return true;
-    }
-    // directory name, owning uid, owning gid, locker type.
-    int64_t owner_id = MoiraContext::IntCell(filesys, row, "owner");
-    int64_t owners_list = MoiraContext::IntCell(filesys, row, "owners");
-    RowRef owner = mc.ExactOne(users, "users_id", Value(owner_id), MR_USER);
-    int64_t uid = owner.code == MR_SUCCESS ? MoiraContext::IntCell(users, owner.row, "uid")
-                                           : 0;
-    RowRef group = mc.ExactOne(mc.list(), "list_id", Value(owners_list), MR_LIST);
-    int64_t gid = group.code == MR_SUCCESS
-                      ? MoiraContext::IntCell(mc.list(), group.row, "gid")
-                      : 0;
-    dirs_by_phys[r[fs_phys_col].AsInt()] +=
-        MoiraContext::StrCell(filesys, row, "name") + " " + std::to_string(uid) + " " +
-        std::to_string(gid) + " " + MoiraContext::StrCell(filesys, row, "lockertype") + "\n";
-    return true;
-  });
+  From(filesys)
+      .WhereEq("type", Value("NFS"))
+      .Filter([&](const Table& t, size_t row) {
+        return t.Cell(row, fs_create_col).AsInt() != 0;
+      })
+      .Emit([&](const std::vector<size_t>& rows) {
+        size_t row = rows[0];
+        // directory name, owning uid, owning gid, locker type.
+        int64_t owner_id = MoiraContext::IntCell(filesys, row, "owner");
+        int64_t owners_list = MoiraContext::IntCell(filesys, row, "owners");
+        RowRef owner = mc.ExactOne(users, "users_id", Value(owner_id), MR_USER);
+        int64_t uid =
+            owner.code == MR_SUCCESS ? MoiraContext::IntCell(users, owner.row, "uid") : 0;
+        RowRef group = mc.ExactOne(mc.list(), "list_id", Value(owners_list), MR_LIST);
+        int64_t gid = group.code == MR_SUCCESS
+                          ? MoiraContext::IntCell(mc.list(), group.row, "gid")
+                          : 0;
+        dirs_by_phys[filesys->Cell(row, fs_phys_col).AsInt()] +=
+            MoiraContext::StrCell(filesys, row, "name") + " " + std::to_string(uid) + " " +
+            std::to_string(gid) + " " + MoiraContext::StrCell(filesys, row, "lockertype") +
+            "\n";
+      });
 
   int q_phys_col = quota->ColumnIndex("phys_id");
   int q_user_col = quota->ColumnIndex("users_id");
   int q_quota_col = quota->ColumnIndex("quota");
-  quota->Scan([&](size_t, const Row& r) {
-    RowRef user = mc.ExactOne(users, "users_id", Value(r[q_user_col].AsInt()), MR_USER);
+  From(quota).Emit([&](const std::vector<size_t>& rows) {
+    size_t row = rows[0];
+    RowRef user =
+        mc.ExactOne(users, "users_id", Value(quota->Cell(row, q_user_col).AsInt()), MR_USER);
     int64_t uid = user.code == MR_SUCCESS ? MoiraContext::IntCell(users, user.row, "uid") : 0;
-    quotas_by_phys[r[q_phys_col].AsInt()] +=
-        std::to_string(uid) + " " + std::to_string(r[q_quota_col].AsInt()) + "\n";
-    return true;
+    quotas_by_phys[quota->Cell(row, q_phys_col).AsInt()] +=
+        std::to_string(uid) + " " + std::to_string(quota->Cell(row, q_quota_col).AsInt()) +
+        "\n";
   });
 
   // Assemble one archive per NFS serverhost.
   Table* sh = mc.serverhosts();
-  int sh_service_col = sh->ColumnIndex("service");
   int sh_mach_col = sh->ColumnIndex("mach_id");
   int sh_value3_col = sh->ColumnIndex("value3");
-  for (size_t row :
-       sh->Match({Condition{sh_service_col, Condition::Op::kEq, Value("NFS")}})) {
+  for (size_t row : From(sh).WhereEq("service", Value("NFS")).Rows()) {
     int64_t mach_id = sh->Cell(row, sh_mach_col).AsInt();
     RowRef mach = mc.ExactOne(mc.machine(), "mach_id", Value(mach_id), MR_MACHINE);
     if (mach.code != MR_SUCCESS) {
@@ -126,9 +130,7 @@ int32_t GenerateNfs(MoiraContext& mc, GeneratorResult* out) {
     const std::string& machine_name = MoiraContext::StrCell(mc.machine(), mach.row, "name");
     Archive archive;
     // Per-partition files for every partition exported by this machine.
-    int phys_mach_col = phys->ColumnIndex("mach_id");
-    for (size_t p :
-         phys->Match({Condition{phys_mach_col, Condition::Op::kEq, Value(mach_id)}})) {
+    for (size_t p : From(phys).WhereEq("mach_id", Value(mach_id)).Rows()) {
       int64_t phys_id = MoiraContext::IntCell(phys, p, "nfsphys_id");
       std::string stem = PartitionStem(MoiraContext::StrCell(phys, p, "dir"));
       archive.Add(stem + ".dirs", dirs_by_phys[phys_id]);

@@ -1,6 +1,7 @@
 // Zephyr ACL generator (paper section 5.8.2): for each controlled class, an
 // acl file with the recursive membership of its access control entities, one
 // entry per line.  Every zephyr server receives the same archive.
+#include "src/db/exec.h"
 #include "src/dcm/generators.h"
 
 namespace moira {
@@ -12,7 +13,8 @@ constexpr const char* kAcePrefixes[4] = {"xmt", "sub", "iws", "iui"};
 
 int32_t GenerateZephyrAcls(MoiraContext& mc, GeneratorResult* out) {
   Table* zephyr = mc.zephyr();
-  zephyr->Scan([&](size_t row, const Row&) {
+  From(zephyr).Emit([&](const std::vector<size_t>& rows) {
+    size_t row = rows[0];
     const std::string& klass = MoiraContext::StrCell(zephyr, row, "class");
     std::string contents;
     for (const char* prefix : kAcePrefixes) {
@@ -34,7 +36,6 @@ int32_t GenerateZephyrAcls(MoiraContext& mc, GeneratorResult* out) {
       }
     }
     out->common.Add(klass + ".acl", contents);
-    return true;
   });
   return MR_SUCCESS;
 }

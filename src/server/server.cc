@@ -41,6 +41,20 @@ void MoiraServer::OnConnect(uint64_t conn_id, std::string peer) {
 
 void MoiraServer::OnDisconnect(uint64_t conn_id) { connections_.erase(conn_id); }
 
+MoiraServer::AccessPathStats MoiraServer::access_path_stats() const {
+  AccessPathStats out;
+  const Database& db = mc_->db();
+  for (const std::string& name : db.TableNames()) {
+    const TableStats& stats = db.GetTable(name)->stats();
+    out.index_hits += stats.index_hits;
+    out.prefix_scans += stats.prefix_scans;
+    out.full_scans += stats.full_scans;
+    out.rows_examined += stats.rows_examined;
+    out.rows_emitted += stats.rows_emitted;
+  }
+  return out;
+}
+
 std::string MoiraServer::OnMessage(uint64_t conn_id, std::string_view payload) {
   ++stats_.requests;
   auto it = connections_.find(conn_id);

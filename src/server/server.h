@@ -59,6 +59,18 @@ class MoiraServer final : public MessageHandler {
   };
   const Stats& stats() const { return stats_; }
 
+  // Access-path counters summed over every table in the attached database:
+  // how the executor actually answered this server's queries (see
+  // TableStats).
+  struct AccessPathStats {
+    uint64_t index_hits = 0;
+    uint64_t prefix_scans = 0;
+    uint64_t full_scans = 0;
+    uint64_t rows_examined = 0;
+    uint64_t rows_emitted = 0;
+  };
+  AccessPathStats access_path_stats() const;
+
   size_t connected_clients() const { return connections_.size(); }
 
  private:

@@ -2,8 +2,12 @@
 // 5.2's INGRES substitute).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/common/clock.h"
+#include "src/common/strutil.h"
 #include "src/db/database.h"
+#include "src/db/exec.h"
 
 namespace moira {
 namespace {
@@ -196,6 +200,246 @@ TEST_F(DbTest, IndexCreationOnPopulatedTable) {
   }
   table_->CreateIndex("name");
   EXPECT_EQ(4u, table_->Match({Condition{0, Condition::Op::kEq, Value("name2")}}).size());
+}
+
+// Regression: with several equality-indexable conditions the planner must
+// probe the index with the most distinct keys, not the first one declared.
+// (The pre-planner Table::FindIndexFor took whichever index it saw first,
+// so a 2-key "shell" index could swallow a lookup the unique "name" index
+// answers in one row.)
+TEST_F(DbTest, PlannerPicksMostSelectiveIndex) {
+  table_->CreateIndex("shell");  // declared first, nearly useless: 2 keys
+  table_->CreateIndex("name");   // unique
+  for (int i = 0; i < 100; ++i) {
+    table_->Append({"user" + std::to_string(i), i, i % 2 ? "/bin/csh" : "/bin/sh"});
+  }
+  std::vector<Condition> conds = {Condition{2, Condition::Op::kEq, Value("/bin/csh")},
+                                  Condition{0, Condition::Op::kEq, Value("user41")}};
+  AccessPath path = PlanAccess(*table_, conds);
+  EXPECT_EQ(AccessPath::Kind::kIndexEq, path.kind);
+  EXPECT_EQ(1u, path.cond_pos) << "must serve the name condition, not shell";
+
+  int64_t examined_before = table_->stats().rows_examined;
+  std::vector<size_t> rows = table_->Match(conds);
+  ASSERT_EQ(1u, rows.size());
+  EXPECT_EQ(41, table_->Cell(rows[0], 1).AsInt());
+  // A unique-index probe fetches one row; the shell index would fetch 50.
+  EXPECT_EQ(1, table_->stats().rows_examined - examined_before);
+}
+
+TEST_F(DbTest, PlannerUsesFoldedIndexForNoCase) {
+  table_->CreateFoldedIndex("name");
+  table_->Append({"Kermit", 1, ""});
+  table_->Append({"gonzo", 2, ""});
+  std::vector<Condition> conds = {Condition{0, Condition::Op::kEqNoCase, Value("KERMIT")}};
+  AccessPath path = PlanAccess(*table_, conds);
+  EXPECT_EQ(AccessPath::Kind::kIndexEq, path.kind);
+  EXPECT_TRUE(path.skip_cond) << "folded probe fully answers kEqNoCase";
+  int64_t hits_before = table_->stats().index_hits;
+  ASSERT_EQ(1u, table_->Match(conds).size());
+  EXPECT_EQ(1, table_->stats().index_hits - hits_before);
+}
+
+TEST_F(DbTest, PlannerPrefixPrunesWildcards) {
+  table_->CreateIndex("name");
+  for (int i = 0; i < 500; ++i) {
+    table_->Append({"host" + std::to_string(i) + ".mit.edu", i, ""});
+  }
+  std::vector<Condition> conds = {Condition{0, Condition::Op::kWild, Value("host42?.*")}};
+  AccessPath path = PlanAccess(*table_, conds);
+  EXPECT_EQ(AccessPath::Kind::kIndexPrefix, path.kind);
+  EXPECT_EQ("host42", path.lower);
+
+  int64_t examined_before = table_->stats().rows_examined;
+  // host42.mit.edu doesn't match (no digit before '.'), host420..host429 do.
+  std::vector<size_t> rows = table_->Match(conds);
+  EXPECT_EQ(10u, rows.size());
+  // The range touches the 11 "host42"-prefixed keys, not all 500 rows.
+  EXPECT_EQ(11, table_->stats().rows_examined - examined_before);
+  // Prefix results come back in storage order like every other path.
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+}
+
+TEST_F(DbTest, IntColumnWildcardNotPrefixPruned) {
+  table_->CreateIndex("uid");
+  table_->Append({"a", 123, ""});
+  table_->Append({"b", 456, ""});
+  // "12*" has a literal prefix but uid keys are ints; the planner must not
+  // build a string range over an int index.
+  std::vector<Condition> conds = {Condition{1, Condition::Op::kWild, Value("12*")}};
+  AccessPath path = PlanAccess(*table_, conds);
+  EXPECT_EQ(AccessPath::Kind::kFullScan, path.kind);
+  EXPECT_EQ(1u, table_->Match(conds).size());
+}
+
+TEST_F(DbTest, AccessPathCountersDistinguishPaths) {
+  table_->CreateIndex("name");
+  table_->Append({"alice", 1, "/bin/sh"});
+  table_->Append({"bob", 2, "/bin/csh"});
+
+  table_->Match({Condition{0, Condition::Op::kEq, Value("alice")}});
+  EXPECT_EQ(1, table_->stats().index_hits);
+  table_->Match({Condition{0, Condition::Op::kWild, Value("ali*")}});
+  EXPECT_EQ(1, table_->stats().prefix_scans);
+  table_->Match({Condition{2, Condition::Op::kEq, Value("/bin/sh")}});
+  EXPECT_EQ(1, table_->stats().full_scans);
+  EXPECT_EQ(3, table_->stats().rows_emitted);
+
+  // Raw storage sweeps count as full scans too.
+  table_->Scan([](size_t, const Row&) { return true; });
+  EXPECT_EQ(2, table_->stats().full_scans);
+}
+
+TEST_F(DbTest, UpdateRowKeepsIndexesConsistent) {
+  table_->CreateIndex("name");
+  table_->CreateFoldedIndex("name");
+  size_t row = table_->Append({"Old", 1, ""});
+  table_->Append({"other", 2, ""});
+  table_->UpdateRow(row, {"New", 3, "/bin/sh"});
+  EXPECT_TRUE(table_->Match({Condition{0, Condition::Op::kEq, Value("Old")}}).empty());
+  EXPECT_TRUE(table_->Match({Condition{0, Condition::Op::kEqNoCase, Value("old")}}).empty());
+  ASSERT_EQ(1u, table_->Match({Condition{0, Condition::Op::kEq, Value("New")}}).size());
+  ASSERT_EQ(1u, table_->Match({Condition{0, Condition::Op::kEqNoCase, Value("NEW")}}).size());
+}
+
+TEST_F(DbTest, DeleteRemovesIndexEntries) {
+  table_->CreateIndex("name");
+  table_->CreateFoldedIndex("name");
+  size_t a = table_->Append({"dup", 1, ""});
+  table_->Append({"dup", 2, ""});
+  table_->Delete(a);
+  auto rows = table_->Match({Condition{0, Condition::Op::kEq, Value("dup")}});
+  ASSERT_EQ(1u, rows.size());
+  EXPECT_EQ(2, table_->Cell(rows[0], 1).AsInt());
+  rows = table_->Match({Condition{0, Condition::Op::kEqNoCase, Value("DUP")}});
+  ASSERT_EQ(1u, rows.size());
+}
+
+TEST_F(DbTest, ClearAllRowsEmptiesIndexes) {
+  table_->CreateIndex("name");
+  table_->CreateFoldedIndex("name");
+  table_->Append({"alice", 1, ""});
+  db_.ClearAllRows();
+  EXPECT_TRUE(table_->Match({Condition{0, Condition::Op::kEq, Value("alice")}}).empty());
+  EXPECT_TRUE(table_->Match({Condition{0, Condition::Op::kEqNoCase, Value("ALICE")}}).empty());
+  for (const IndexDesc& desc : table_->IndexDescs()) {
+    EXPECT_EQ(0u, desc.entries);
+    EXPECT_EQ(0u, desc.distinct_keys);
+  }
+  // The table is fully usable after the wipe.
+  table_->Append({"alice", 1, ""});
+  EXPECT_EQ(1u, table_->Match({Condition{0, Condition::Op::kEqNoCase, Value("Alice")}}).size());
+}
+
+TEST_F(DbTest, IndexCardinalityTracksLiveKeys) {
+  table_->CreateIndex("name");
+  size_t a = table_->Append({"x", 1, ""});
+  table_->Append({"y", 2, ""});
+  table_->Append({"y", 3, ""});
+  ASSERT_EQ(1u, table_->IndexDescs().size());
+  EXPECT_EQ(2u, table_->IndexDescs()[0].distinct_keys);
+  EXPECT_EQ(3u, table_->IndexDescs()[0].entries);
+  table_->Delete(a);
+  EXPECT_EQ(1u, table_->IndexDescs()[0].distinct_keys);
+  table_->Update(1, 0, Value("z"));
+  EXPECT_EQ(2u, table_->IndexDescs()[0].distinct_keys);
+}
+
+// Property: across a randomized mutation history, every Match — equality,
+// folded equality, wildcard, folded wildcard — agrees with a brute-force
+// scan that evaluates the predicates directly.
+TEST_F(DbTest, RandomizedIndexConsistency) {
+  Table* t = db_.CreateTable(TableSchema{
+      "rand", {{"k", ColumnType::kString}, {"v", ColumnType::kInt}}});
+  t->CreateIndex("k");
+  t->CreateFoldedIndex("k");
+  t->CreateIndex("v");
+
+  uint64_t rng = 0x9e3779b97f4a7c15ull;  // deterministic: no seed plumbing
+  auto next = [&rng](uint64_t bound) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return (rng >> 33) % bound;
+  };
+  auto random_key = [&next] {
+    static const char* stems[] = {"Alpha", "beta", "GAMMA", "delta"};
+    return std::string(stems[next(4)]) + std::to_string(next(25));
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    switch (next(4)) {
+      case 0:
+        t->Append({random_key(), static_cast<int64_t>(next(50))});
+        break;
+      case 1: {
+        if (t->SlotCount() == 0) break;
+        size_t row = next(t->SlotCount());
+        if (t->IsLive(row)) t->Update(row, 0, Value(random_key()));
+        break;
+      }
+      case 2: {
+        if (t->SlotCount() == 0) break;
+        size_t row = next(t->SlotCount());
+        if (t->IsLive(row)) {
+          t->UpdateRow(row, {random_key(), static_cast<int64_t>(next(50))});
+        }
+        break;
+      }
+      default: {
+        if (t->SlotCount() == 0) break;
+        size_t row = next(t->SlotCount());
+        if (t->IsLive(row)) t->Delete(row);
+        break;
+      }
+    }
+  }
+
+  auto brute_force = [&](const std::vector<Condition>& conds) {
+    std::vector<size_t> out;
+    for (size_t row = 0; row < t->SlotCount(); ++row) {
+      if (!t->IsLive(row)) continue;
+      bool ok = true;
+      for (const Condition& c : conds) {
+        const Value& cell = t->Cell(row, c.column);
+        switch (c.op) {
+          case Condition::Op::kEq:
+            ok = cell == c.operand;
+            break;
+          case Condition::Op::kEqNoCase:
+            ok = EqualsIgnoreCase(cell.AsString(), c.operand.AsString());
+            break;
+          case Condition::Op::kWild:
+            ok = WildcardMatch(c.operand.AsString(), cell.ToString());
+            break;
+          case Condition::Op::kWildNoCase:
+            ok = WildcardMatch(c.operand.AsString(), cell.ToString(),
+                               /*fold_case=*/true);
+            break;
+        }
+        if (!ok) break;
+      }
+      if (ok) out.push_back(row);
+    }
+    return out;
+  };
+  auto check = [&](std::vector<Condition> conds, const char* what) {
+    std::vector<size_t> via_planner = t->Match(conds);
+    std::sort(via_planner.begin(), via_planner.end());
+    EXPECT_EQ(brute_force(conds), via_planner) << what;
+  };
+
+  for (const char* probe : {"Alpha3", "beta17", "GAMMA0", "delta24", "missing9"}) {
+    check({Condition{0, Condition::Op::kEq, Value(probe)}}, "kEq");
+    check({Condition{0, Condition::Op::kEqNoCase, Value(ToUpperCopy(probe))}}, "kEqNoCase");
+  }
+  for (const char* pattern : {"Alpha*", "beta1?", "GAMMA*", "*2", "de*a5"}) {
+    check({Condition{0, Condition::Op::kWild, Value(pattern)}}, "kWild");
+    check({Condition{0, Condition::Op::kWildNoCase, Value(pattern)}}, "kWildNoCase");
+  }
+  for (int64_t v : {int64_t{0}, int64_t{25}, int64_t{49}}) {
+    check({Condition{1, Condition::Op::kEq, Value(v)},
+           Condition{0, Condition::Op::kWildNoCase, Value("alpha*")}},
+          "conjunction");
+  }
 }
 
 }  // namespace

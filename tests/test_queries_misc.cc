@@ -137,6 +137,31 @@ TEST_F(MiscQueriesTest, TableStats) {
   EXPECT_TRUE(found_users);
 }
 
+TEST_F(MiscQueriesTest, TableStatisticsReportAccessPaths) {
+  AddActiveUser("pathuser", 103);
+  // Privileged only: world_ok is false and anonymous principals hold no
+  // capability ACLs.
+  EXPECT_EQ(MR_PERM, Run("", "get_table_statistics", {}));
+  // An indexed lookup should be answered by the login index, not a scan.
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_user_by_login", {"pathuser"}, &tuples));
+  ASSERT_EQ(1u, tuples.size());
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_table_statistics", {}, &tuples));
+  ASSERT_FALSE(tuples.empty());
+  bool found_users = false;
+  for (const Tuple& t : tuples) {
+    ASSERT_EQ(9u, t.size());
+    if (t[0] == "users") {
+      found_users = true;
+      EXPECT_NE("0", t[1]);  // appends from AddActiveUser
+      EXPECT_NE("0", t[4]);  // index_hits from get_user_by_login
+      EXPECT_NE("0", t[8]);  // rows_emitted
+    }
+  }
+  EXPECT_TRUE(found_users);
+}
+
 TEST_F(MiscQueriesTest, HelpAndListQueries) {
   std::vector<Tuple> tuples;
   ASSERT_EQ(MR_SUCCESS, Run("", "_help", {"get_user_by_login"}, &tuples));

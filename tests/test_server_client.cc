@@ -44,6 +44,24 @@ TEST_F(ServerClientTest, UnauthenticatedWorldQueryWorks) {
   EXPECT_EQ(1u, tuples.size());
 }
 
+TEST_F(ServerClientTest, AccessPathStatsAggregateOverTables) {
+  MrClient client = MakeClient();
+  ASSERT_EQ(MR_SUCCESS, client.Connect());
+  client.SetKerberosIdentity(realm_.get(), "jrandom", "hunter2");
+  ASSERT_EQ(MR_SUCCESS, client.Auth("testapp"));
+  MoiraServer::AccessPathStats before = server_->access_path_stats();
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, client.Query("get_user_by_login", {"jrandom"}, [&](Tuple t) {
+    tuples.push_back(std::move(t));
+  }));
+  ASSERT_EQ(1u, tuples.size());
+  MoiraServer::AccessPathStats after = server_->access_path_stats();
+  // The login lookup is answered by the users login index, not a scan.
+  EXPECT_GT(after.index_hits, before.index_hits);
+  EXPECT_GT(after.rows_emitted, before.rows_emitted);
+  EXPECT_EQ(after.full_scans, before.full_scans);
+}
+
 TEST_F(ServerClientTest, UnauthenticatedMutationDenied) {
   MrClient client = MakeClient();
   ASSERT_EQ(MR_SUCCESS, client.Connect());
