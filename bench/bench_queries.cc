@@ -164,7 +164,9 @@ BENCHMARK(BM_AccessCheck_DeniedUser);
 // selective index wins), case-insensitive equality (folded index), and
 // wildcard lookups with a literal prefix (index range pruning).  Reported as
 // wall time AND rows examined per operation; the scan baseline shows the
-// reduction factor.  Results also land in BENCH_queries.json.
+// reduction factor.  A fourth workload probes a closed uid window (kBetween)
+// — an ordered-index range scan against the Filter-style full sweep it
+// replaced.  Results also land in BENCH_queries.json.
 
 struct PathSample {
   const char* workload;
@@ -175,6 +177,7 @@ struct PathSample {
   double rows_emitted_per_op;
   int64_t index_hits;
   int64_t prefix_scans;
+  int64_t range_scans;
   int64_t full_scans;
 };
 
@@ -208,19 +211,31 @@ using Workload = std::vector<Condition> (*)(const Table&, SplitMix64&);
 
 std::vector<Condition> MultiConditionEq(const Table& t, SplitMix64& rng) {
   size_t i = rng.Below(t.LiveCount());
-  return {Condition{2, Condition::Op::kEq, Value("/bin/shell" + std::to_string(i % 20))},
-          Condition{0, Condition::Op::kEq, Value("login" + std::to_string(i))}};
+  return {Condition{2, Condition::Op::kEq, Value("/bin/shell" + std::to_string(i % 20)),
+                    Value()},
+          Condition{0, Condition::Op::kEq, Value("login" + std::to_string(i)), Value()}};
 }
 
 std::vector<Condition> CaseInsensitiveEq(const Table& t, SplitMix64& rng) {
   return {Condition{0, Condition::Op::kEqNoCase,
-                    Value("LOGIN" + std::to_string(rng.Below(t.LiveCount())))}};
+                    Value("LOGIN" + std::to_string(rng.Below(t.LiveCount()))), Value()}};
 }
 
 std::vector<Condition> WildcardPrefix(const Table& t, SplitMix64& rng) {
   // ~10-row result window regardless of table size.
   return {Condition{0, Condition::Op::kWild,
-                    Value("login" + std::to_string(rng.Below(t.LiveCount() / 10)) + "?")}};
+                    Value("login" + std::to_string(rng.Below(t.LiveCount() / 10)) + "?"),
+                    Value()}};
+}
+
+std::vector<Condition> UidRangeWindow(const Table& t, SplitMix64& rng) {
+  // Closed ~rows/1000-row uid window.  With the uid index this is a single
+  // ordered-index range scan (kBetween fully absorbed, no residual); without
+  // it the same predicate degenerates to the Filter-style full sweep it
+  // replaced.
+  int64_t width = static_cast<int64_t>(t.LiveCount() / 1000);
+  int64_t lo = static_cast<int64_t>(rng.Below(t.LiveCount() - width));
+  return {Condition{1, Condition::Op::kBetween, Value(lo), Value(lo + width - 1)}};
 }
 
 PathSample RunWorkload(const char* name, Workload workload, size_t rows, bool indexed,
@@ -249,6 +264,7 @@ PathSample RunWorkload(const char* name, Workload workload, size_t rows, bool in
       static_cast<double>(after.rows_emitted - before.rows_emitted) / iterations;
   sample.index_hits = after.index_hits - before.index_hits;
   sample.prefix_scans = after.prefix_scans - before.prefix_scans;
+  sample.range_scans = after.range_scans - before.range_scans;
   sample.full_scans = after.full_scans - before.full_scans;
   return sample;
 }
@@ -259,7 +275,8 @@ void RunAccessPathReport() {
     Workload fn;
   } workloads[] = {{"multi_condition_eq", MultiConditionEq},
                    {"case_insensitive_eq", CaseInsensitiveEq},
-                   {"wildcard_prefix", WildcardPrefix}};
+                   {"wildcard_prefix", WildcardPrefix},
+                   {"uid_range_window", UidRangeWindow}};
   std::printf("Access-path executor: rows examined per lookup, planner vs full scan\n");
   std::printf("%-22s %9s %14s %14s %10s %10s\n", "workload", "rows", "planner ns/op",
               "scan ns/op", "examined", "reduction");
@@ -295,10 +312,12 @@ void WriteBenchJson(const char* path) {
                  "    {\"workload\": \"%s\", \"table_rows\": %zu, \"indexed\": %s, "
                  "\"ns_per_op\": %.1f, \"rows_examined_per_op\": %.2f, "
                  "\"rows_emitted_per_op\": %.2f, \"index_hits\": %lld, "
-                 "\"prefix_scans\": %lld, \"full_scans\": %lld}%s\n",
+                 "\"prefix_scans\": %lld, \"range_scans\": %lld, "
+                 "\"full_scans\": %lld}%s\n",
                  s.workload, s.table_rows, s.indexed ? "true" : "false", s.ns_per_op,
                  s.rows_examined_per_op, s.rows_emitted_per_op,
                  static_cast<long long>(s.index_hits), static_cast<long long>(s.prefix_scans),
+                 static_cast<long long>(s.range_scans),
                  static_cast<long long>(s.full_scans), i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

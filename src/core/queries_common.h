@@ -19,14 +19,15 @@ namespace moira {
 // pattern has no metacharacters, wildcard match otherwise.
 inline Condition WildCond(const Table* table, const char* column, std::string_view pattern,
                           bool case_insensitive = false) {
-  int col = table->ColumnIndex(column);
+  Condition cond;
+  cond.column = table->ColumnIndex(column);
   if (HasWildcard(pattern)) {
-    return Condition{col,
-                     case_insensitive ? Condition::Op::kWildNoCase : Condition::Op::kWild,
-                     Value(pattern)};
+    cond.op = case_insensitive ? Condition::Op::kWildNoCase : Condition::Op::kWild;
+  } else {
+    cond.op = case_insensitive ? Condition::Op::kEqNoCase : Condition::Op::kEq;
   }
-  return Condition{col, case_insensitive ? Condition::Op::kEqNoCase : Condition::Op::kEq,
-                   Value(pattern)};
+  cond.operand = Value(pattern);
+  return cond;
 }
 
 // Parses an integer argument; MR_INTEGER on failure.
@@ -67,6 +68,20 @@ inline int32_t RequireTriState(std::string_view arg, int* out) {
 // True if an int cell matches a tri-state filter.
 inline bool TriMatches(int tri, int64_t cell) {
   return tri == -1 || (tri == 1) == (cell != 0);
+}
+
+// Adds a tri-state flag test as a *planned* predicate: DONTCARE adds nothing,
+// FALSE probes for 0, TRUE becomes the range predicate `cell >= 1`.  The
+// range form is equivalent to `cell != 0` because every tri-state column is
+// non-negative (RequireBool coerces flags to 0/1; MR error codes are
+// positive), and unlike `!= 0` the planner can serve it from an ordered
+// index.
+inline void WhereTriState(Selector* sel, std::string_view column, int tri) {
+  if (tri == 0) {
+    sel->WhereEq(column, Value(int64_t{0}));
+  } else if (tri == 1) {
+    sel->WhereGe(column, Value(int64_t{1}));
+  }
 }
 
 // Validates name-field characters; MR_BAD_CHAR on violation.

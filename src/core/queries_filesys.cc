@@ -254,7 +254,6 @@ int32_t DeleteFilesys(QueryCall& call) {
   // Quotas assigned to the filesystem are deleted; the partition allocation
   // is decremented accordingly.
   Table* quota = mc.nfsquota();
-  int fs_col = quota->ColumnIndex("filsys_id");
   int q_col = quota->ColumnIndex("quota");
   int64_t released = 0;
   std::vector<size_t> quota_rows = From(quota).WhereEq("filsys_id", Value(filsys_id)).Rows();

@@ -480,21 +480,15 @@ int32_t QualifiedGetLists(QueryCall& call) {
     }
   }
   const Table* list = call.mc.list();
-  int cols[5] = {list->ColumnIndex("active"), list->ColumnIndex("public"),
-                 list->ColumnIndex("hidden"), list->ColumnIndex("maillist"),
-                 list->ColumnIndex("grouplist")};
-  From(list)
-      .Filter([&](const Table& t, size_t row) {
-        for (int i = 0; i < 5; ++i) {
-          if (!TriMatches(tri[i], t.Cell(row, cols[i]).AsInt())) {
-            return false;
-          }
-        }
-        return true;
-      })
-      .Emit([&](const std::vector<size_t>& rows) {
-        call.emit({MoiraContext::StrCell(list, rows[0], "name")});
-      });
+  static constexpr const char* kFlagCols[5] = {"active", "public", "hidden", "maillist",
+                                               "grouplist"};
+  Selector sel = From(list);
+  for (int i = 0; i < 5; ++i) {
+    WhereTriState(&sel, kFlagCols[i], tri[i]);
+  }
+  sel.Emit([&](const std::vector<size_t>& rows) {
+    call.emit({MoiraContext::StrCell(list, rows[0], "name")});
+  });
   return MR_SUCCESS;
 }
 

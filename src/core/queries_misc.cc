@@ -411,8 +411,9 @@ int32_t GetTableStatistics(QueryCall& call) {
     const TableStats& stats = table->stats();
     call.emit({name, std::to_string(stats.appends), std::to_string(stats.updates),
                std::to_string(stats.deletes), std::to_string(stats.index_hits),
-               std::to_string(stats.prefix_scans), std::to_string(stats.full_scans),
-               std::to_string(stats.rows_examined), std::to_string(stats.rows_emitted)});
+               std::to_string(stats.prefix_scans), std::to_string(stats.range_scans),
+               std::to_string(stats.full_scans), std::to_string(stats.rows_examined),
+               std::to_string(stats.rows_emitted)});
   }
   return MR_SUCCESS;
 }
@@ -508,8 +509,8 @@ void AppendMiscQueries(std::vector<QueryDef>* defs) {
            "table, retrieves, appends, updates, deletes, modtime", nullptr,
            GetAllTableStats},
           {"get_table_statistics", "gtst", QueryClass::kRetrieve, 0, false, "",
-           "table, appends, updates, deletes, index_hits, prefix_scans, full_scans, "
-           "rows_examined, rows_emitted",
+           "table, appends, updates, deletes, index_hits, prefix_scans, range_scans, "
+           "full_scans, rows_examined, rows_emitted",
            nullptr, GetTableStatistics},
           {"_help", "help", QueryClass::kRetrieve, 1, true, "query", "help_message", nullptr,
            HelpQuery},

@@ -44,20 +44,14 @@ int32_t QualifiedGetServer(QueryCall& call) {
     }
   }
   const Table* servers = call.mc.servers();
-  int cols[3] = {servers->ColumnIndex("enable"), servers->ColumnIndex("inprogress"),
-                 servers->ColumnIndex("harderror")};
-  From(servers)
-      .Filter([&](const Table& t, size_t row) {
-        for (int i = 0; i < 3; ++i) {
-          if (!TriMatches(tri[i], t.Cell(row, cols[i]).AsInt())) {
-            return false;
-          }
-        }
-        return true;
-      })
-      .Emit([&](const std::vector<size_t>& rows) {
-        call.emit({MoiraContext::StrCell(servers, rows[0], "name")});
-      });
+  static constexpr const char* kFlagCols[3] = {"enable", "inprogress", "harderror"};
+  Selector sel = From(servers);
+  for (int i = 0; i < 3; ++i) {
+    WhereTriState(&sel, kFlagCols[i], tri[i]);
+  }
+  sel.Emit([&](const std::vector<size_t>& rows) {
+    call.emit({MoiraContext::StrCell(servers, rows[0], "name")});
+  });
   return MR_SUCCESS;
 }
 
@@ -262,23 +256,16 @@ int32_t QualifiedGetServerHost(QueryCall& call) {
   }
   const Table* sh = mc.serverhosts();
   std::string service_pattern = ToUpperCopy(call.args[0]);
-  int cols[5] = {sh->ColumnIndex("enable"), sh->ColumnIndex("override"),
-                 sh->ColumnIndex("success"), sh->ColumnIndex("inprogress"),
-                 sh->ColumnIndex("hosterror")};
-  From(sh)
-      .WhereWild("service", service_pattern)
-      .Filter([&](const Table& t, size_t row) {
-        for (int i = 0; i < 5; ++i) {
-          if (!TriMatches(tri[i], t.Cell(row, cols[i]).AsInt())) {
-            return false;
-          }
-        }
-        return true;
-      })
-      .Emit([&](const std::vector<size_t>& rows) {
-        call.emit({MoiraContext::StrCell(sh, rows[0], "service"),
-                   ServerHostMachineName(mc, sh, rows[0])});
-      });
+  static constexpr const char* kFlagCols[5] = {"enable", "override", "success",
+                                               "inprogress", "hosterror"};
+  Selector sel = From(sh).WhereWild("service", service_pattern);
+  for (int i = 0; i < 5; ++i) {
+    WhereTriState(&sel, kFlagCols[i], tri[i]);
+  }
+  sel.Emit([&](const std::vector<size_t>& rows) {
+    call.emit({MoiraContext::StrCell(sh, rows[0], "service"),
+               ServerHostMachineName(mc, sh, rows[0])});
+  });
   return MR_SUCCESS;
 }
 

@@ -74,9 +74,8 @@ int32_t LeastLoadedPop(MoiraContext& mc, int64_t* mach_id_out, size_t* sh_row_ou
   bool found = false;
   From(sh)
       .WhereEq("service", Value("POP"))
-      .Filter([&](const Table& t, size_t row) {
-        return MoiraContext::IntCell(&t, row, "enable") != 0;
-      })
+      // enable is 0/1, so `>= 1` is `!= 0` in a form the planner can index.
+      .WhereGe("enable", Value(int64_t{1}))
       .Emit([&](const std::vector<size_t>& rows) {
         size_t row = rows[0];
         int64_t room = MoiraContext::IntCell(sh, row, "value2") -
@@ -123,9 +122,10 @@ int32_t GetAllLogins(QueryCall& call) {
 
 int32_t GetAllActiveLogins(QueryCall& call) {
   const Table* users = call.mc.users();
-  int status_col = users->ColumnIndex("status");
+  // Statuses are the non-negative UserStatus codes (0 = not registered), so
+  // "active" (`status != 0`) is the plannable range predicate `status >= 1`.
   From(users)
-      .Filter([&](const Table& t, size_t row) { return t.Cell(row, status_col).AsInt() != 0; })
+      .WhereGe("status", Value(int64_t{1}))
       .Emit([&](const std::vector<size_t>& rows) {
         call.emit(UserSummaryTuple(users, rows[0]));
       });

@@ -38,7 +38,9 @@ void CreateMoiraSchema(Database* db) {
                 {"potype", kStr},     {"pop_id", kInt},      {"box_id", kInt},
                 {"pmodtime", kInt},   {"pmodby", kStr},      {"pmodwith", kStr},
             },
-            {"login", "users_id", "uid", "mit_id"},
+            // status backs the active-user sweeps (`status >= 1`), which the
+            // planner runs as an ordered-index range scan.
+            {"login", "users_id", "uid", "mit_id", "status"},
             // Folded-case indexes back the case-insensitive name retrievals
             // (and prefix-prune their wildcard forms).
             {"login", "last"});

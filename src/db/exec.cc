@@ -1,6 +1,8 @@
 #include "src/db/exec.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/common/strutil.h"
 
@@ -33,6 +35,39 @@ bool IsStringColumn(const Table& table, int column) {
   const auto& cols = table.schema().columns;
   return column >= 0 && static_cast<size_t>(column) < cols.size() &&
          cols[column].type == ColumnType::kString;
+}
+
+bool IsRangeOp(Condition::Op op) {
+  return op == Condition::Op::kLt || op == Condition::Op::kLe ||
+         op == Condition::Op::kGt || op == Condition::Op::kGe ||
+         op == Condition::Op::kBetween;
+}
+
+// Tightens `bound` with a new candidate endpoint; `is_lower` picks the
+// direction.  A lower bound tightens upward, an upper bound downward; on
+// equal keys the exclusive endpoint is the tighter one.
+void Tighten(AccessPath::Bound* bound, const Value& key, bool inclusive, bool is_lower) {
+  if (!bound->present) {
+    *bound = AccessPath::Bound{true, inclusive, key};
+    return;
+  }
+  bool tighter = is_lower ? bound->key < key : key < bound->key;
+  if (tighter || (!(key < bound->key) && !(bound->key < key) && !inclusive)) {
+    *bound = AccessPath::Bound{true, inclusive && bound->inclusive, key};
+  }
+}
+
+// Column positions a Selector resolved by name must exist: a silently
+// dropped predicate or join key would return rows the caller asked to
+// exclude, so this aborts in every build mode (not just with asserts on).
+int MustResolveColumn(const Table* table, std::string_view column, const char* what) {
+  int col = table->ColumnIndex(column);
+  if (col < 0) {
+    std::fprintf(stderr, "moira: Selector::%s: no column '%.*s' in table '%s'\n", what,
+                 static_cast<int>(column.size()), column.data(), table->name().c_str());
+    std::abort();
+  }
+  return col;
 }
 
 }  // namespace
@@ -87,7 +122,71 @@ AccessPath PlanAccess(const Table& table, const std::vector<Condition>& conditio
     return path;
   }
 
-  // 2. Literal-prefix pruning for wildcard patterns over an ordered index on
+  // 2. Ordered-range scans.  All range conditions on one indexed column are
+  // a single interval (the conjunction of intervals is their intersection),
+  // so intersect them into the tightest [lower, upper] window and scan that
+  // slice of the index.  The window expresses the absorbed conditions
+  // exactly — index keys are the unfolded cell values — so they run no
+  // residual check.  Folded indexes are skipped for string columns (their
+  // keys are lowercased, which breaks the ordering the operands assume).
+  size_t best_range_keys = 0;
+  bool best_two_sided = false;
+  for (size_t i = 0; i < indexes.size(); ++i) {
+    if (indexes[i].folded && IsStringColumn(table, indexes[i].column)) {
+      continue;
+    }
+    AccessPath::Bound lower;
+    AccessPath::Bound upper;
+    std::vector<size_t> absorbed;
+    for (size_t c = 0; c < conditions.size(); ++c) {
+      const Condition& cond = conditions[c];
+      if (cond.column != indexes[i].column || !IsRangeOp(cond.op)) {
+        continue;
+      }
+      switch (cond.op) {
+        case Condition::Op::kLt:
+          Tighten(&upper, cond.operand, /*inclusive=*/false, /*is_lower=*/false);
+          break;
+        case Condition::Op::kLe:
+          Tighten(&upper, cond.operand, /*inclusive=*/true, /*is_lower=*/false);
+          break;
+        case Condition::Op::kGt:
+          Tighten(&lower, cond.operand, /*inclusive=*/false, /*is_lower=*/true);
+          break;
+        case Condition::Op::kGe:
+          Tighten(&lower, cond.operand, /*inclusive=*/true, /*is_lower=*/true);
+          break;
+        case Condition::Op::kBetween:
+          Tighten(&lower, cond.operand, /*inclusive=*/true, /*is_lower=*/true);
+          Tighten(&upper, cond.operand2, /*inclusive=*/true, /*is_lower=*/false);
+          break;
+        default:
+          break;
+      }
+      absorbed.push_back(c);
+    }
+    if (absorbed.empty()) {
+      continue;
+    }
+    bool two_sided = lower.present && upper.present;
+    if (path.kind == AccessPath::Kind::kIndexRange &&
+        (best_two_sided > two_sided ||
+         (best_two_sided == two_sided && indexes[i].distinct_keys <= best_range_keys))) {
+      continue;
+    }
+    path.kind = AccessPath::Kind::kIndexRange;
+    path.index_pos = i;
+    path.range_lower = std::move(lower);
+    path.range_upper = std::move(upper);
+    path.range_conds = std::move(absorbed);
+    best_range_keys = indexes[i].distinct_keys;
+    best_two_sided = two_sided;
+  }
+  if (path.kind == AccessPath::Kind::kIndexRange) {
+    return path;
+  }
+
+  // 3. Literal-prefix pruning for wildcard patterns over an ordered index on
   // a string column.  A kWild range needs the index keys unfolded; a
   // kWildNoCase range needs them folded; a folded index can also prune a
   // kWild pattern (superset range).  Prefer the longest prefix.
@@ -139,13 +238,33 @@ Selector& Selector::Where(Condition cond) {
 }
 
 Selector& Selector::Where(std::string_view column, Condition::Op op, Value operand) {
-  int col = stages_.back().table->ColumnIndex(column);
-  assert(col >= 0);
-  return Where(Condition{col, op, std::move(operand)});
+  int col = MustResolveColumn(stages_.back().table, column, "Where");
+  return Where(Condition{col, op, std::move(operand), Value()});
 }
 
 Selector& Selector::WhereEq(std::string_view column, Value operand) {
   return Where(column, Condition::Op::kEq, std::move(operand));
+}
+
+Selector& Selector::WhereLt(std::string_view column, Value operand) {
+  return Where(column, Condition::Op::kLt, std::move(operand));
+}
+
+Selector& Selector::WhereLe(std::string_view column, Value operand) {
+  return Where(column, Condition::Op::kLe, std::move(operand));
+}
+
+Selector& Selector::WhereGt(std::string_view column, Value operand) {
+  return Where(column, Condition::Op::kGt, std::move(operand));
+}
+
+Selector& Selector::WhereGe(std::string_view column, Value operand) {
+  return Where(column, Condition::Op::kGe, std::move(operand));
+}
+
+Selector& Selector::WhereBetween(std::string_view column, Value lower, Value upper) {
+  int col = MustResolveColumn(stages_.back().table, column, "WhereBetween");
+  return Where(Condition{col, Condition::Op::kBetween, std::move(lower), std::move(upper)});
 }
 
 Selector& Selector::WhereWild(std::string_view column, std::string_view pattern,
@@ -169,9 +288,8 @@ Selector& Selector::Join(const Table* other, std::string_view left_col,
   assert(other != nullptr);
   Stage stage;
   stage.table = other;
-  stage.left_col = stages_.back().table->ColumnIndex(left_col);
-  stage.right_col = other->ColumnIndex(right_col);
-  assert(stage.left_col >= 0 && stage.right_col >= 0);
+  stage.left_col = MustResolveColumn(stages_.back().table, left_col, "Join");
+  stage.right_col = MustResolveColumn(other, right_col, "Join");
   stages_.push_back(std::move(stage));
   return *this;
 }
@@ -192,7 +310,7 @@ bool Selector::RunStage(size_t stage_pos, std::vector<size_t>* rows,
   if (stage_pos > 0) {
     const Stage& prev_stage = stages_[stage_pos - 1];
     const Value& key = prev_stage.table->Cell((*rows)[stage_pos - 1], stage.left_col);
-    conds.push_back(Condition{stage.right_col, Condition::Op::kEq, key});
+    conds.push_back(Condition{stage.right_col, Condition::Op::kEq, key, Value()});
   }
   for (size_t row : stage.table->Match(conds)) {
     if (!PassesFilters(stage, row)) {

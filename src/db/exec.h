@@ -5,7 +5,8 @@
 //  * The access-path planner.  Given a condition list, PlanAccess picks the
 //    cheapest way to satisfy it against a table using live statistics: the
 //    most selective equality index (estimated via index cardinality), a
-//    folded-case index for case-insensitive equality, a literal-prefix range
+//    folded-case index for case-insensitive equality, an ordered-index range
+//    scan for kLt/kLe/kGt/kGe/kBetween predicates, a literal-prefix range
 //    over an ordered index for wildcard patterns, or — only as a last
 //    resort — a full scan.  Table::Match executes the chosen plan and keeps
 //    per-table counters (TableStats) of which paths ran and how many rows
@@ -42,6 +43,14 @@ struct AccessPath {
     kFullScan,     // visit every live row
     kIndexEq,      // equality probe of one index
     kIndexPrefix,  // range scan of one index over a literal prefix
+    kIndexRange,   // range scan of one index over an ordered-predicate window
+  };
+  // One end of a kIndexRange window.  An absent bound scans to that end of
+  // the index.
+  struct Bound {
+    bool present = false;
+    bool inclusive = false;
+    Value key;
   };
   Kind kind = Kind::kFullScan;
   size_t index_pos = 0;    // position in Table::IndexDescs()
@@ -50,6 +59,10 @@ struct AccessPath {
   Value eq_key;            // kIndexEq: probe key (already folded if needed)
   std::string lower;       // kIndexPrefix: scan keys in [lower, upper)
   std::string upper;       // empty upper = scan to the end of the index
+  Bound range_lower;       // kIndexRange: window over the index keys; the
+  Bound range_upper;       //   tightest intersection of every range condition
+  std::vector<size_t> range_conds;  // kIndexRange: conditions the window
+                                    // fully absorbs (no residual check)
 };
 
 // Case-folds an index key: strings are lowercased, other values pass
@@ -61,10 +74,15 @@ Value FoldCaseKey(const Value& v);
 //   1. the equality-indexable condition whose index has the highest
 //      cardinality (fewest expected rows per key) — kEq on an exact index,
 //      kEqNoCase on a folded index, kEq on a folded index as a fallback;
-//   2. otherwise the wildcard condition with the longest literal prefix that
+//   2. otherwise the indexed column with the tightest ordered-range window:
+//      every kLt/kLe/kGt/kGe/kBetween condition on one indexed column is
+//      intersected into a single [lower, upper] window over the index keys
+//      (preferring a window bounded on both ends, then the index with the
+//      most distinct keys), and the absorbed conditions run no residual;
+//   3. otherwise the wildcard condition with the longest literal prefix that
 //      has an ordered index to range-scan — kWild on an exact index,
 //      kWildNoCase (or kWild) on a folded index;
-//   3. otherwise a full scan.
+//   4. otherwise a full scan.
 AccessPath PlanAccess(const Table& table, const std::vector<Condition>& conditions);
 
 // Fluent multi-stage query over one or more tables.  Stage 0 is the base
@@ -75,10 +93,20 @@ class Selector {
  public:
   explicit Selector(const Table* table);
 
-  // Adds a predicate on the current stage.
+  // Adds a predicate on the current stage.  Naming a column the stage's
+  // table does not have is a caller bug and aborts in every build mode
+  // (release included): a silently dropped predicate would leak rows.
   Selector& Where(Condition cond);
   Selector& Where(std::string_view column, Condition::Op op, Value operand);
   Selector& WhereEq(std::string_view column, Value operand);
+  // Ordered-range helpers; planned as index range scans when the column has
+  // an index (see PlanAccess step 2).
+  Selector& WhereLt(std::string_view column, Value operand);
+  Selector& WhereLe(std::string_view column, Value operand);
+  Selector& WhereGt(std::string_view column, Value operand);
+  Selector& WhereGe(std::string_view column, Value operand);
+  // Closed range: lower <= column <= upper.
+  Selector& WhereBetween(std::string_view column, Value lower, Value upper);
   // Wildcard helper: picks kEq/kEqNoCase when the pattern has no
   // metacharacters, else kWild/kWildNoCase.
   Selector& WhereWild(std::string_view column, std::string_view pattern,

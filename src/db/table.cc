@@ -15,12 +15,26 @@ bool ConditionHolds(const Condition& cond, const Row& row) {
     case Condition::Op::kEq:
       return cell == cond.operand;
     case Condition::Op::kEqNoCase:
-      return cell.is_string() && cond.operand.is_string() &&
-             EqualsIgnoreCase(cell.AsString(), cond.operand.AsString());
+      // Case only exists for strings; against anything else (an int uid
+      // probed case-insensitively, say) this is plain equality.
+      if (!cell.is_string() || !cond.operand.is_string()) {
+        return cell == cond.operand;
+      }
+      return EqualsIgnoreCase(cell.AsString(), cond.operand.AsString());
     case Condition::Op::kWild:
       return WildcardMatch(cond.operand.ToString(), cell.ToString());
     case Condition::Op::kWildNoCase:
       return WildcardMatch(cond.operand.ToString(), cell.ToString(), /*case_insensitive=*/true);
+    case Condition::Op::kLt:
+      return cell < cond.operand;
+    case Condition::Op::kLe:
+      return !(cond.operand < cell);
+    case Condition::Op::kGt:
+      return cond.operand < cell;
+    case Condition::Op::kGe:
+      return !(cell < cond.operand);
+    case Condition::Op::kBetween:
+      return !(cell < cond.operand) && !(cond.operand2 < cell);
   }
   return false;
 }
@@ -132,12 +146,24 @@ std::vector<size_t> Table::Match(const std::vector<Condition>& conditions) const
 std::vector<size_t> Table::ExecutePath(const AccessPath& path,
                                        const std::vector<Condition>& conditions) const {
   std::vector<size_t> out;
-  auto satisfies = [&](size_t row_index, bool skip_planned) {
+  // True when the access path itself already guarantees condition `c`, so the
+  // residual pass must not re-evaluate it.
+  auto planned_away = [&](size_t c) {
+    if (path.kind == AccessPath::Kind::kIndexEq) {
+      return path.skip_cond && c == path.cond_pos;
+    }
+    if (path.kind == AccessPath::Kind::kIndexRange) {
+      return std::find(path.range_conds.begin(), path.range_conds.end(), c) !=
+             path.range_conds.end();
+    }
+    return false;
+  };
+  auto satisfies = [&](size_t row_index) {
     ++stats_.rows_examined;
     const Row& row = slots_[row_index].row;
     for (size_t c = 0; c < conditions.size(); ++c) {
-      if (skip_planned && c == path.cond_pos) {
-        continue;  // fully satisfied by the index probe
+      if (planned_away(c)) {
+        continue;  // fully satisfied by the index probe or range window
       }
       if (!ConditionHolds(conditions[c], row)) {
         return false;
@@ -151,10 +177,42 @@ std::vector<size_t> Table::ExecutePath(const AccessPath& path,
       const Index& index = indexes_[path.index_pos];
       auto [begin, end] = index.entries.equal_range(path.eq_key);
       for (auto it = begin; it != end; ++it) {
-        if (slots_[it->second].live && satisfies(it->second, path.skip_cond)) {
+        if (slots_[it->second].live && satisfies(it->second)) {
           out.push_back(it->second);
         }
       }
+      // An equal range holds rows in insertion order (an update re-inserts
+      // its row at the end), so report storage order like the other paths —
+      // result order must not depend on the plan chosen.
+      std::sort(out.begin(), out.end());
+      break;
+    }
+    case AccessPath::Kind::kIndexRange: {
+      ++stats_.range_scans;
+      const Index& index = indexes_[path.index_pos];
+      const AccessPath::Bound& lo = path.range_lower;
+      const AccessPath::Bound& hi = path.range_upper;
+      // A contradictory window (lower above upper, or a touching pair with
+      // an exclusive end) is empty; skip before deriving iterators, where an
+      // inverted pair would walk off the map.
+      bool empty = lo.present && hi.present &&
+                   (hi.key < lo.key ||
+                    (!(lo.key < hi.key) && !(lo.inclusive && hi.inclusive)));
+      if (!empty) {
+        auto begin = !lo.present          ? index.entries.begin()
+                     : lo.inclusive       ? index.entries.lower_bound(lo.key)
+                                          : index.entries.upper_bound(lo.key);
+        auto end = !hi.present      ? index.entries.end()
+                   : hi.inclusive   ? index.entries.upper_bound(hi.key)
+                                    : index.entries.lower_bound(hi.key);
+        for (auto it = begin; it != end; ++it) {
+          if (slots_[it->second].live && satisfies(it->second)) {
+            out.push_back(it->second);
+          }
+        }
+      }
+      // Key order -> storage order, as for every other path.
+      std::sort(out.begin(), out.end());
       break;
     }
     case AccessPath::Kind::kIndexPrefix: {
@@ -164,7 +222,7 @@ std::vector<size_t> Table::ExecutePath(const AccessPath& path,
       auto end = path.upper.empty() ? index.entries.end()
                                     : index.entries.lower_bound(Value(path.upper));
       for (; it != end; ++it) {
-        if (slots_[it->second].live && satisfies(it->second, /*skip_planned=*/false)) {
+        if (slots_[it->second].live && satisfies(it->second)) {
           out.push_back(it->second);
         }
       }
@@ -176,7 +234,7 @@ std::vector<size_t> Table::ExecutePath(const AccessPath& path,
     case AccessPath::Kind::kFullScan: {
       ++stats_.full_scans;
       for (size_t i = 0; i < slots_.size(); ++i) {
-        if (slots_[i].live && satisfies(i, /*skip_planned=*/false)) {
+        if (slots_[i].live && satisfies(i)) {
           out.push_back(i);
         }
       }
@@ -192,6 +250,10 @@ void Table::Scan(const std::function<bool(size_t, const Row&)>& visit) const {
   for (size_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].live) {
       ++stats_.rows_examined;
+      // A raw sweep has no predicate: every visited row reaches the caller,
+      // so it counts as emitted too, keeping the examined/emitted selectivity
+      // ratio meaningful for scan-heavy callers.
+      ++stats_.rows_emitted;
       if (!visit(i, slots_[i].row)) {
         return;
       }

@@ -5,8 +5,9 @@
 // update are safe).  Optional per-column equality indexes accelerate the id
 // and name lookups that dominate the query mix; folded-case indexes back the
 // case-insensitive predicates, and because indexes are ordered they also
-// serve literal-prefix pruning for wildcard patterns (see src/db/exec.h for
-// the planner that chooses among them).
+// serve literal-prefix pruning for wildcard patterns and ordered-range
+// predicates (kLt/kLe/kGt/kGe/kBetween) — see src/db/exec.h for the planner
+// that chooses among them.
 #ifndef MOIRA_SRC_DB_TABLE_H_
 #define MOIRA_SRC_DB_TABLE_H_
 
@@ -37,13 +38,19 @@ using Row = std::vector<Value>;
 struct Condition {
   enum class Op {
     kEq,          // exact equality
-    kEqNoCase,    // case-insensitive string equality
+    kEqNoCase,    // case-insensitive string equality (exact for non-strings)
     kWild,        // wildcard pattern match ('*' and '?')
     kWildNoCase,  // case-insensitive wildcard match
+    kLt,          // cell <  operand
+    kLe,          // cell <= operand
+    kGt,          // cell >  operand
+    kGe,          // cell >= operand
+    kBetween,     // operand <= cell <= operand2 (closed range)
   };
   int column = 0;
   Op op = Op::kEq;
   Value operand;
+  Value operand2{};  // kBetween only: the upper bound
 };
 
 // Mutation counters, surfaced as the TBLSTATS relation (paper section 6),
@@ -58,6 +65,7 @@ struct TableStats {
   // Access paths taken by Match (one increment per Match call).
   int64_t index_hits = 0;    // answered by an equality-index probe
   int64_t prefix_scans = 0;  // answered by a literal-prefix index range
+  int64_t range_scans = 0;   // answered by an ordered-index range scan
   int64_t full_scans = 0;    // had to visit every live row
 
   // Work done vs. work returned across all Match calls.

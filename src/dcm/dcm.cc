@@ -1,6 +1,7 @@
 #include "src/dcm/dcm.h"
 
 #include <algorithm>
+#include <iterator>
 #include <set>
 
 #include "src/common/checksum.h"
@@ -130,20 +131,28 @@ void Dcm::HostScanPhase(const ServiceRow& service, DcmRunSummary* summary) {
   Table* servers = mc_->servers();
   Table* sh = mc_->serverhosts();
   const UnixTime dfgen = MoiraContext::IntCell(servers, service.row, "dfgen");
-  std::vector<size_t> host_rows =
-      From(sh).WhereEq("service", Value(service.name)).Rows();
+  // A host needs an update when it is eligible (enabled, no standing hard
+  // error) and either stale — last success predates the current data files
+  // (lts < dfgen) — or explicitly forced via the override flag.  Both arms
+  // are planned predicates rather than opaque in-loop checks, so the planner
+  // picks the most selective index for each; Rows() is storage-ordered and
+  // deduplicated, so the two arms merge with a set union.
+  auto eligible = [&] {
+    return From(sh)
+        .WhereEq("service", Value(service.name))
+        .WhereGe("enable", Value(int64_t{1}))
+        .WhereEq("hosterror", Value(int64_t{0}));
+  };
+  std::vector<size_t> stale = eligible().WhereLt("lts", Value(dfgen)).Rows();
+  std::vector<size_t> forced = eligible().WhereGe("override", Value(int64_t{1})).Rows();
+  std::vector<size_t> host_rows;
+  host_rows.reserve(stale.size() + forced.size());
+  std::set_union(stale.begin(), stale.end(), forced.begin(), forced.end(),
+                 std::back_inserter(host_rows));
   bool replicated_halt = false;
   for (size_t row : host_rows) {
     if (replicated_halt) {
       break;
-    }
-    if (MoiraContext::IntCell(sh, row, "enable") == 0 ||
-        MoiraContext::IntCell(sh, row, "hosterror") != 0) {
-      continue;
-    }
-    bool override_set = MoiraContext::IntCell(sh, row, "override") != 0;
-    if (!override_set && MoiraContext::IntCell(sh, row, "lts") >= dfgen) {
-      continue;  // already has the current files
     }
     RowRef mach = mc_->ExactOne(mc_->machine(), "mach_id",
                                 Value(MoiraContext::IntCell(sh, row, "mach_id")),

@@ -40,8 +40,8 @@ int32_t RegistrationServer::Validate(std::string_view first, std::string_view la
                                      std::string* extra) {
   Table* users = mc_->users();
   std::vector<size_t> candidates = users->Match({
-      Condition{users->ColumnIndex("first"), Condition::Op::kEq, Value(first)},
-      Condition{users->ColumnIndex("last"), Condition::Op::kEq, Value(last)},
+      Condition{users->ColumnIndex("first"), Condition::Op::kEq, Value(first), Value()},
+      Condition{users->ColumnIndex("last"), Condition::Op::kEq, Value(last), Value()},
   });
   if (candidates.empty()) {
     return MR_REG_NOT_FOUND;

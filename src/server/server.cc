@@ -48,6 +48,7 @@ MoiraServer::AccessPathStats MoiraServer::access_path_stats() const {
     const TableStats& stats = db.GetTable(name)->stats();
     out.index_hits += stats.index_hits;
     out.prefix_scans += stats.prefix_scans;
+    out.range_scans += stats.range_scans;
     out.full_scans += stats.full_scans;
     out.rows_examined += stats.rows_examined;
     out.rows_emitted += stats.rows_emitted;

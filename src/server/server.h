@@ -65,6 +65,7 @@ class MoiraServer final : public MessageHandler {
   struct AccessPathStats {
     uint64_t index_hits = 0;
     uint64_t prefix_scans = 0;
+    uint64_t range_scans = 0;
     uint64_t full_scans = 0;
     uint64_t rows_examined = 0;
     uint64_t rows_emitted = 0;

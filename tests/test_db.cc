@@ -127,6 +127,9 @@ TEST_F(DbTest, ScanEarlyStop) {
   int visited = 0;
   table_->Scan([&](size_t, const Row&) { return ++visited < 3; });
   EXPECT_EQ(3, visited);
+  // Every row a Scan hands to its visitor counts as emitted — including on
+  // an early stop, where only the visited prefix reached the caller.
+  EXPECT_EQ(3, table_->stats().rows_emitted);
 }
 
 TEST_F(DbTest, StatsTrackMutations) {
@@ -285,9 +288,16 @@ TEST_F(DbTest, AccessPathCountersDistinguishPaths) {
   EXPECT_EQ(1, table_->stats().full_scans);
   EXPECT_EQ(3, table_->stats().rows_emitted);
 
-  // Raw storage sweeps count as full scans too.
+  // Raw storage sweeps count as full scans too, and every visited row is
+  // emitted (a sweep has no predicate), so selectivity ratios stay honest
+  // for scan-heavy callers.
   table_->Scan([](size_t, const Row&) { return true; });
   EXPECT_EQ(2, table_->stats().full_scans);
+  EXPECT_EQ(5, table_->stats().rows_emitted);
+
+  table_->CreateIndex("uid");
+  table_->Match({Condition{1, Condition::Op::kLt, Value(int64_t{2}), Value()}});
+  EXPECT_EQ(1, table_->stats().range_scans);
 }
 
 TEST_F(DbTest, UpdateRowKeepsIndexesConsistent) {
@@ -343,6 +353,186 @@ TEST_F(DbTest, IndexCardinalityTracksLiveKeys) {
   EXPECT_EQ(1u, table_->IndexDescs()[0].distinct_keys);
   table_->Update(1, 0, Value("z"));
   EXPECT_EQ(2u, table_->IndexDescs()[0].distinct_keys);
+}
+
+// --- ordered-range predicates (kLt/kLe/kGt/kGe/kBetween) ---
+
+TEST_F(DbTest, PlannerPlansOrderedRangeScan) {
+  table_->CreateIndex("uid");
+  for (int i = 0; i < 100; ++i) {
+    table_->Append({"u" + std::to_string(i), i, ""});
+  }
+  std::vector<Condition> conds = {
+      Condition{1, Condition::Op::kGe, Value(int64_t{40}), Value()},
+      Condition{1, Condition::Op::kLt, Value(int64_t{50}), Value()}};
+  AccessPath path = PlanAccess(*table_, conds);
+  ASSERT_EQ(AccessPath::Kind::kIndexRange, path.kind);
+  EXPECT_TRUE(path.range_lower.present);
+  EXPECT_TRUE(path.range_lower.inclusive);
+  EXPECT_EQ(Value(int64_t{40}), path.range_lower.key);
+  EXPECT_TRUE(path.range_upper.present);
+  EXPECT_FALSE(path.range_upper.inclusive);
+  EXPECT_EQ(Value(int64_t{50}), path.range_upper.key);
+  EXPECT_EQ(2u, path.range_conds.size()) << "both conditions absorbed, no residual";
+
+  int64_t examined_before = table_->stats().rows_examined;
+  std::vector<size_t> rows = table_->Match(conds);
+  EXPECT_EQ(10u, rows.size());
+  EXPECT_EQ(1, table_->stats().range_scans);
+  // The scan touches only the 10 keys in [40, 50), not all 100 rows.
+  EXPECT_EQ(10, table_->stats().rows_examined - examined_before);
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+}
+
+TEST_F(DbTest, PlannerIntersectsRangeConditionsToTightestWindow) {
+  table_->CreateIndex("uid");
+  for (int i = 0; i < 100; ++i) {
+    table_->Append({"u", i, ""});
+  }
+  // uid >= 10, uid > 19, uid <= 90, uid in [0, 30] intersect to (19, 30].
+  std::vector<Condition> conds = {
+      Condition{1, Condition::Op::kGe, Value(int64_t{10}), Value()},
+      Condition{1, Condition::Op::kGt, Value(int64_t{19}), Value()},
+      Condition{1, Condition::Op::kLe, Value(int64_t{90}), Value()},
+      Condition{1, Condition::Op::kBetween, Value(int64_t{0}), Value(int64_t{30})}};
+  AccessPath path = PlanAccess(*table_, conds);
+  ASSERT_EQ(AccessPath::Kind::kIndexRange, path.kind);
+  EXPECT_EQ(Value(int64_t{19}), path.range_lower.key);
+  EXPECT_FALSE(path.range_lower.inclusive);
+  EXPECT_EQ(Value(int64_t{30}), path.range_upper.key);
+  EXPECT_TRUE(path.range_upper.inclusive);
+  EXPECT_EQ(4u, path.range_conds.size()) << "every range condition absorbed";
+  EXPECT_EQ(11u, table_->Match(conds).size());  // uids 20..30
+}
+
+TEST_F(DbTest, RangeScanAppliesResidualPredicates) {
+  table_->CreateIndex("uid");
+  for (int i = 0; i < 100; ++i) {
+    table_->Append({i % 2 ? "odd" : "even", i, ""});
+  }
+  std::vector<Condition> conds = {
+      Condition{1, Condition::Op::kBetween, Value(int64_t{10}), Value(int64_t{19})},
+      Condition{0, Condition::Op::kEq, Value("odd"), Value()}};
+  AccessPath path = PlanAccess(*table_, conds);
+  ASSERT_EQ(AccessPath::Kind::kIndexRange, path.kind);
+  ASSERT_EQ(1u, path.range_conds.size());
+  EXPECT_EQ(0u, path.range_conds[0]) << "only the window condition is absorbed";
+  std::vector<size_t> rows = table_->Match(conds);
+  EXPECT_EQ(5u, rows.size());
+  for (size_t row : rows) {
+    EXPECT_EQ("odd", table_->Cell(row, 0).AsString());
+  }
+}
+
+TEST_F(DbTest, EqualityProbeBeatsRangeScan) {
+  table_->CreateIndex("name");
+  table_->CreateIndex("uid");
+  for (int i = 0; i < 50; ++i) {
+    table_->Append({"user" + std::to_string(i), i, ""});
+  }
+  // With both an equality and a range condition indexable, the probe wins:
+  // one key beats a window.
+  std::vector<Condition> conds = {
+      Condition{1, Condition::Op::kGe, Value(int64_t{0}), Value()},
+      Condition{0, Condition::Op::kEq, Value("user7"), Value()}};
+  AccessPath path = PlanAccess(*table_, conds);
+  EXPECT_EQ(AccessPath::Kind::kIndexEq, path.kind);
+  ASSERT_EQ(1u, table_->Match(conds).size());
+}
+
+TEST_F(DbTest, ContradictoryRangeWindowMatchesNothing) {
+  table_->CreateIndex("uid");
+  for (int i = 0; i < 10; ++i) {
+    table_->Append({"u", i, ""});
+  }
+  // uid > 5 AND uid < 5: empty, and must not derive inverted iterators.
+  EXPECT_TRUE(table_->Match({Condition{1, Condition::Op::kGt, Value(int64_t{5}), Value()},
+                             Condition{1, Condition::Op::kLt, Value(int64_t{5}), Value()}})
+                  .empty());
+  // Touching bounds with one exclusive end: still empty.
+  EXPECT_TRUE(table_->Match({Condition{1, Condition::Op::kGe, Value(int64_t{5}), Value()},
+                             Condition{1, Condition::Op::kLt, Value(int64_t{5}), Value()}})
+                  .empty());
+  // Both ends inclusive on the same key: exactly that key.
+  EXPECT_EQ(1u, table_->Match({Condition{1, Condition::Op::kGe, Value(int64_t{5}), Value()},
+                               Condition{1, Condition::Op::kLe, Value(int64_t{5}), Value()}})
+                    .size());
+}
+
+TEST_F(DbTest, FoldedIndexNotUsedForStringRange) {
+  table_->CreateFoldedIndex("name");
+  table_->Append({"Apple", 1, ""});
+  table_->Append({"banana", 2, ""});
+  table_->Append({"Cherry", 3, ""});
+  // Folded keys are lowercased, which reorders them relative to the operand
+  // ("Apple" < "B" but "apple" > "B"); the planner must fall back to a scan.
+  std::vector<Condition> conds = {Condition{0, Condition::Op::kGe, Value("B"), Value()}};
+  AccessPath path = PlanAccess(*table_, conds);
+  EXPECT_EQ(AccessPath::Kind::kFullScan, path.kind);
+  EXPECT_EQ(2u, table_->Match(conds).size());  // banana, Cherry
+}
+
+TEST_F(DbTest, SelectorRangeHelpers) {
+  table_->CreateIndex("uid");
+  for (int i = 0; i < 20; ++i) {
+    table_->Append({"u" + std::to_string(i), i, ""});
+  }
+  EXPECT_EQ(3u, From(table_).WhereLt("uid", Value(int64_t{3})).Count());
+  EXPECT_EQ(4u, From(table_).WhereLe("uid", Value(int64_t{3})).Count());
+  EXPECT_EQ(3u, From(table_).WhereGt("uid", Value(int64_t{16})).Count());
+  EXPECT_EQ(4u, From(table_).WhereGe("uid", Value(int64_t{16})).Count());
+  EXPECT_EQ(5u, From(table_).WhereBetween("uid", Value(int64_t{3}), Value(int64_t{7})).Count());
+  EXPECT_EQ(5, table_->stats().range_scans) << "each helper ran as a range scan";
+}
+
+// Regression: an update re-inserts the row's index entry at the end of its
+// multimap equal range, so an equality probe used to return rows in
+// index-insertion order while the prefix and scan paths return storage
+// order.  Result order must not depend on the plan chosen.
+TEST_F(DbTest, EqualityProbeResultOrderIsPlanIndependent) {
+  Table* indexed = db_.CreateTable(TableSchema{
+      "ordered", {{"k", ColumnType::kString}, {"v", ColumnType::kInt}}});
+  indexed->CreateIndex("k");
+  Table* plain = db_.CreateTable(TableSchema{
+      "plain", {{"k", ColumnType::kString}, {"v", ColumnType::kInt}}});
+  for (Table* t : {indexed, plain}) {
+    t->Append({"dup", 0});
+    t->Append({"dup", 1});
+    t->Append({"dup", 2});
+    // Rewriting row 0 moves its entry to the end of the "dup" equal range.
+    t->Update(0, 1, Value(int64_t{9}));
+  }
+  std::vector<Condition> conds = {Condition{0, Condition::Op::kEq, Value("dup"), Value()}};
+  std::vector<size_t> via_probe = indexed->Match(conds);
+  std::vector<size_t> via_scan = plain->Match(conds);
+  EXPECT_TRUE(std::is_sorted(via_probe.begin(), via_probe.end()));
+  EXPECT_EQ(via_scan, via_probe);
+}
+
+TEST_F(DbTest, EqNoCaseOnIntColumnFallsBackToEquality) {
+  table_->Append({"a", 42, ""});
+  std::vector<Condition> conds = {
+      Condition{1, Condition::Op::kEqNoCase, Value(int64_t{42}), Value()}};
+  // Case only exists for strings; against an int column this must behave as
+  // exact equality, not silently match nothing.
+  ASSERT_EQ(1u, table_->Match(conds).size());
+  EXPECT_TRUE(
+      table_->Match({Condition{1, Condition::Op::kEqNoCase, Value(int64_t{7}), Value()}})
+          .empty());
+  // Same through a folded index: FoldCaseKey passes ints through unchanged.
+  table_->CreateFoldedIndex("uid");
+  ASSERT_EQ(1u, table_->Match(conds).size());
+}
+
+using DbDeathTest = DbTest;
+
+TEST_F(DbDeathTest, SelectorUnknownColumnAbortsInAllBuilds) {
+  // An unresolved column would silently drop the predicate (and index out of
+  // bounds) in NDEBUG builds; Selector aborts instead, assert or no assert.
+  EXPECT_DEATH(From(table_).WhereEq("no_such_column", Value(int64_t{1})), "no column");
+  EXPECT_DEATH(From(table_).WhereGe("no_such_column", Value(int64_t{1})), "no column");
+  EXPECT_DEATH(From(table_).Join(table_, "name", "no_such_column"), "no column");
+  EXPECT_DEATH(From(table_).Join(table_, "no_such_column", "name"), "no column");
 }
 
 // Property: across a randomized mutation history, every Match — equality,
@@ -414,6 +604,21 @@ TEST_F(DbTest, RandomizedIndexConsistency) {
             ok = WildcardMatch(c.operand.AsString(), cell.ToString(),
                                /*fold_case=*/true);
             break;
+          case Condition::Op::kLt:
+            ok = cell < c.operand;
+            break;
+          case Condition::Op::kLe:
+            ok = !(c.operand < cell);
+            break;
+          case Condition::Op::kGt:
+            ok = c.operand < cell;
+            break;
+          case Condition::Op::kGe:
+            ok = !(cell < c.operand);
+            break;
+          case Condition::Op::kBetween:
+            ok = !(cell < c.operand) && !(c.operand2 < cell);
+            break;
         }
         if (!ok) break;
       }
@@ -439,6 +644,28 @@ TEST_F(DbTest, RandomizedIndexConsistency) {
     check({Condition{1, Condition::Op::kEq, Value(v)},
            Condition{0, Condition::Op::kWildNoCase, Value("alpha*")}},
           "conjunction");
+  }
+  // Ordered-range predicates: int windows ride the v index, string bounds
+  // ride the exact k index (the folded one is skipped for string ranges).
+  // The mutation history above already left tombstones and duplicate keys.
+  for (int64_t v : {int64_t{0}, int64_t{10}, int64_t{25}, int64_t{49}}) {
+    check({Condition{1, Condition::Op::kLt, Value(v), Value()}}, "kLt");
+    check({Condition{1, Condition::Op::kLe, Value(v), Value()}}, "kLe");
+    check({Condition{1, Condition::Op::kGt, Value(v), Value()}}, "kGt");
+    check({Condition{1, Condition::Op::kGe, Value(v), Value()}}, "kGe");
+    check({Condition{1, Condition::Op::kBetween, Value(v), Value(v + 15)}}, "kBetween");
+    check({Condition{1, Condition::Op::kGe, Value(v), Value()},
+           Condition{1, Condition::Op::kLt, Value(v + 10), Value()}},
+          "intersected window");
+    check({Condition{1, Condition::Op::kGe, Value(v), Value()},
+           Condition{0, Condition::Op::kWild, Value("beta*"), Value()}},
+          "range plus residual");
+  }
+  for (const char* bound : {"Alpha", "beta2", "GAMMA10", "delta", "zzz"}) {
+    check({Condition{0, Condition::Op::kGe, Value(bound), Value()}}, "string kGe");
+    check({Condition{0, Condition::Op::kLt, Value(bound), Value()}}, "string kLt");
+    check({Condition{0, Condition::Op::kBetween, Value("A"), Value(bound)}},
+          "string kBetween");
   }
 }
 

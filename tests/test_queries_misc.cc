@@ -151,12 +151,12 @@ TEST_F(MiscQueriesTest, TableStatisticsReportAccessPaths) {
   ASSERT_FALSE(tuples.empty());
   bool found_users = false;
   for (const Tuple& t : tuples) {
-    ASSERT_EQ(9u, t.size());
+    ASSERT_EQ(10u, t.size());
     if (t[0] == "users") {
       found_users = true;
       EXPECT_NE("0", t[1]);  // appends from AddActiveUser
       EXPECT_NE("0", t[4]);  // index_hits from get_user_by_login
-      EXPECT_NE("0", t[8]);  // rows_emitted
+      EXPECT_NE("0", t[9]);  // rows_emitted
     }
   }
   EXPECT_TRUE(found_users);
