@@ -52,8 +52,13 @@ void Tighten(AccessPath::Bound* bound, const Value& key, bool inclusive, bool is
     return;
   }
   bool tighter = is_lower ? bound->key < key : key < bound->key;
-  if (tighter || (!(key < bound->key) && !(bound->key < key) && !inclusive)) {
-    *bound = AccessPath::Bound{true, inclusive && bound->inclusive, key};
+  if (tighter) {
+    // A strictly tighter key replaces the old endpoint entirely; the old
+    // bound's inclusivity is irrelevant once its key no longer binds.
+    *bound = AccessPath::Bound{true, inclusive, key};
+  } else if (!(key < bound->key) && !(bound->key < key)) {
+    // Equal keys: exclusive wins (x > 5 AND x >= 5 is x > 5).
+    bound->inclusive = bound->inclusive && inclusive;
   }
 }
 
@@ -238,6 +243,12 @@ Selector& Selector::Where(Condition cond) {
 }
 
 Selector& Selector::Where(std::string_view column, Condition::Op op, Value operand) {
+  if (op == Condition::Op::kBetween) {
+    // This overload has no second operand; letting kBetween through would
+    // quietly build the window [operand, 0].
+    std::fprintf(stderr, "moira: Selector::Where: kBetween needs two operands; use WhereBetween\n");
+    std::abort();
+  }
   int col = MustResolveColumn(stages_.back().table, column, "Where");
   return Where(Condition{col, op, std::move(operand), Value()});
 }

@@ -146,23 +146,22 @@ std::vector<size_t> Table::Match(const std::vector<Condition>& conditions) const
 std::vector<size_t> Table::ExecutePath(const AccessPath& path,
                                        const std::vector<Condition>& conditions) const {
   std::vector<size_t> out;
-  // True when the access path itself already guarantees condition `c`, so the
-  // residual pass must not re-evaluate it.
-  auto planned_away = [&](size_t c) {
-    if (path.kind == AccessPath::Kind::kIndexEq) {
-      return path.skip_cond && c == path.cond_pos;
+  // planned_away[c] is true when the access path itself already guarantees
+  // condition `c`, so the residual pass must not re-evaluate it.  Computed
+  // once up front: the per-row loop is the hot path.
+  std::vector<bool> planned_away(conditions.size(), false);
+  if (path.kind == AccessPath::Kind::kIndexEq && path.skip_cond) {
+    planned_away[path.cond_pos] = true;
+  } else if (path.kind == AccessPath::Kind::kIndexRange) {
+    for (size_t c : path.range_conds) {
+      planned_away[c] = true;
     }
-    if (path.kind == AccessPath::Kind::kIndexRange) {
-      return std::find(path.range_conds.begin(), path.range_conds.end(), c) !=
-             path.range_conds.end();
-    }
-    return false;
-  };
+  }
   auto satisfies = [&](size_t row_index) {
     ++stats_.rows_examined;
     const Row& row = slots_[row_index].row;
     for (size_t c = 0; c < conditions.size(); ++c) {
-      if (planned_away(c)) {
+      if (planned_away[c]) {
         continue;  // fully satisfied by the index probe or range window
       }
       if (!ConditionHolds(conditions[c], row)) {

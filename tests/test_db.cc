@@ -405,6 +405,46 @@ TEST_F(DbTest, PlannerIntersectsRangeConditionsToTightestWindow) {
   EXPECT_EQ(11u, table_->Match(conds).size());  // uids 20..30
 }
 
+// Regression: tightening used to AND the old bound's inclusivity into the new
+// one even when the new key was strictly tighter, so `uid > 5 AND uid >= 10`
+// planned an exclusive lower bound at 10 and silently dropped uid == 10 (the
+// absorbed conditions run no residual check).  Same defect mirrored on the
+// upper side.
+TEST_F(DbTest, TighterInclusiveBoundKeepsItsInclusivity) {
+  table_->CreateIndex("uid");
+  for (int i = 0; i < 30; ++i) {
+    table_->Append({"u", i, ""});
+  }
+  // kGt then kGe with a strictly larger key: bound is inclusive-at-10.
+  std::vector<Condition> lower_conds = {
+      Condition{1, Condition::Op::kGt, Value(int64_t{5}), Value()},
+      Condition{1, Condition::Op::kGe, Value(int64_t{10}), Value()}};
+  AccessPath lower_path = PlanAccess(*table_, lower_conds);
+  ASSERT_EQ(AccessPath::Kind::kIndexRange, lower_path.kind);
+  EXPECT_EQ(Value(int64_t{10}), lower_path.range_lower.key);
+  EXPECT_TRUE(lower_path.range_lower.inclusive);
+  EXPECT_EQ(20u, table_->Match(lower_conds).size());  // uids 10..29, 10 included
+
+  // kLt then kLe with a strictly smaller key: bound is inclusive-at-10.
+  std::vector<Condition> upper_conds = {
+      Condition{1, Condition::Op::kLt, Value(int64_t{20}), Value()},
+      Condition{1, Condition::Op::kLe, Value(int64_t{10}), Value()}};
+  AccessPath upper_path = PlanAccess(*table_, upper_conds);
+  ASSERT_EQ(AccessPath::Kind::kIndexRange, upper_path.kind);
+  EXPECT_EQ(Value(int64_t{10}), upper_path.range_upper.key);
+  EXPECT_TRUE(upper_path.range_upper.inclusive);
+  EXPECT_EQ(11u, table_->Match(upper_conds).size());  // uids 0..10, 10 included
+
+  // Equal keys still AND: x >= 7 AND x > 7 is exclusive-at-7.
+  std::vector<Condition> equal_conds = {
+      Condition{1, Condition::Op::kGe, Value(int64_t{7}), Value()},
+      Condition{1, Condition::Op::kGt, Value(int64_t{7}), Value()}};
+  AccessPath equal_path = PlanAccess(*table_, equal_conds);
+  ASSERT_EQ(AccessPath::Kind::kIndexRange, equal_path.kind);
+  EXPECT_FALSE(equal_path.range_lower.inclusive);
+  EXPECT_EQ(22u, table_->Match(equal_conds).size());  // uids 8..29
+}
+
 TEST_F(DbTest, RangeScanAppliesResidualPredicates) {
   table_->CreateIndex("uid");
   for (int i = 0; i < 100; ++i) {
