@@ -298,6 +298,145 @@ void RunAccessPathReport() {
   std::printf("\n");
 }
 
+// --- join-planner workloads (tentpole: cost-based join planning) ---
+//
+// fact (10k/100k rows, key = i % 100, indexed) joined to dim (100 keys x 20
+// rows, key and unique name both indexed), run cost-based and with
+// ForceNaiveJoin (the pre-cost-based left-to-right, one-probe-per-row
+// executor).  join_fanout joins the bare tables: the cost-based executor
+// starts from the 50x-smaller dim side and batches its 2000 outer keys into
+// 100 distinct probes of fact.  join_selective_tail adds a unique-name
+// equality on dim: the planner starts from that single row and probes fact
+// once, where the naive order scans all of fact first and probes dim per
+// row.  Both reductions (rows examined and index probes) land in
+// BENCH_queries.json.
+
+struct JoinSample {
+  const char* workload;
+  size_t fact_rows;
+  bool cost_based;
+  double ns_per_op;
+  double rows_examined_per_op;
+  double index_probes_per_op;
+  double probe_cache_hits_per_op;
+  int64_t join_reorders;
+  double tuples_per_op;
+};
+
+std::vector<JoinSample>& JoinSamples() {
+  static auto* samples = new std::vector<JoinSample>();
+  return *samples;
+}
+
+constexpr size_t kJoinDimKeys = 100;
+constexpr size_t kJoinDimRowsPerKey = 20;
+
+struct JoinTables {
+  std::unique_ptr<Database> db;
+  Table* fact;
+  Table* dim;
+};
+
+JoinTables MakeJoinTables(size_t fact_rows) {
+  static SimulatedClock clock(568000000);
+  JoinTables jt;
+  jt.db = std::make_unique<Database>(&clock);
+  jt.fact = jt.db->CreateTable(TableSchema{
+      "fact", {{"key", ColumnType::kInt}, {"payload", ColumnType::kString}}});
+  jt.fact->CreateIndex("key");
+  for (size_t i = 0; i < fact_rows; ++i) {
+    jt.fact->Append({static_cast<int64_t>(i % kJoinDimKeys), "p" + std::to_string(i)});
+  }
+  jt.dim = jt.db->CreateTable(TableSchema{
+      "dim", {{"key", ColumnType::kInt}, {"name", ColumnType::kString}}});
+  jt.dim->CreateIndex("key");
+  jt.dim->CreateIndex("name");
+  for (size_t k = 0; k < kJoinDimKeys; ++k) {
+    for (size_t j = 0; j < kJoinDimRowsPerKey; ++j) {
+      jt.dim->Append({static_cast<int64_t>(k),
+                      "name" + std::to_string(k * kJoinDimRowsPerKey + j)});
+    }
+  }
+  return jt;
+}
+
+JoinSample RunJoinWorkload(const char* name, bool selective_tail, size_t fact_rows,
+                           bool cost_based, int iterations) {
+  JoinTables jt = MakeJoinTables(fact_rows);
+  SplitMix64 rng(43);
+  auto examined = [&] {
+    return jt.fact->stats().rows_examined + jt.dim->stats().rows_examined;
+  };
+  auto probes = [&] { return jt.fact->stats().index_hits + jt.dim->stats().index_hits; };
+  auto cache_hits = [&] {
+    return jt.fact->stats().probe_cache_hits + jt.dim->stats().probe_cache_hits;
+  };
+  const int64_t examined0 = examined();
+  const int64_t probes0 = probes();
+  const int64_t cache0 = cache_hits();
+  const int64_t reorders0 = jt.fact->stats().join_reorders;
+  size_t tuples = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    Selector s = From(jt.fact).Join(jt.dim, "key", "key");
+    if (selective_tail) {
+      s.WhereEq("name", Value("name" + std::to_string(
+                                  rng.Below(kJoinDimKeys * kJoinDimRowsPerKey))));
+    }
+    if (!cost_based) {
+      s.ForceNaiveJoin();
+    }
+    s.Emit([&](const std::vector<size_t>&) { ++tuples; });
+    benchmark::DoNotOptimize(tuples);
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  JoinSample sample;
+  sample.workload = name;
+  sample.fact_rows = fact_rows;
+  sample.cost_based = cost_based;
+  sample.ns_per_op =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+      iterations;
+  sample.rows_examined_per_op = static_cast<double>(examined() - examined0) / iterations;
+  sample.index_probes_per_op = static_cast<double>(probes() - probes0) / iterations;
+  sample.probe_cache_hits_per_op = static_cast<double>(cache_hits() - cache0) / iterations;
+  sample.join_reorders = jt.fact->stats().join_reorders - reorders0;
+  sample.tuples_per_op = static_cast<double>(tuples) / iterations;
+  return sample;
+}
+
+void RunJoinReport() {
+  struct {
+    const char* name;
+    bool selective_tail;
+  } workloads[] = {{"join_fanout", false}, {"join_selective_tail", true}};
+  std::printf("Join planner: cost-based (reordered, batched) vs naive left-to-right\n");
+  std::printf("%-22s %9s %13s %13s %11s %11s %9s\n", "workload", "rows", "cost ns/op",
+              "naive ns/op", "exam. red.", "probe red.", "cache/op");
+  for (size_t rows : {size_t{10000}, size_t{100000}}) {
+    // The fan-out join materializes ~20 tuples per fact row; keep the 100k
+    // iteration count small.
+    const int iters = rows > 50000 ? 3 : 10;
+    for (const auto& w : workloads) {
+      JoinSample cost = RunJoinWorkload(w.name, w.selective_tail, rows,
+                                        /*cost_based=*/true, iters);
+      JoinSample naive = RunJoinWorkload(w.name, w.selective_tail, rows,
+                                         /*cost_based=*/false, iters);
+      JoinSamples().push_back(cost);
+      JoinSamples().push_back(naive);
+      std::printf("%-22s %9zu %13.0f %13.0f %10.0fx %10.0fx %9.0f\n", w.name, rows,
+                  cost.ns_per_op, naive.ns_per_op,
+                  naive.rows_examined_per_op /
+                      (cost.rows_examined_per_op > 0 ? cost.rows_examined_per_op : 1.0),
+                  naive.index_probes_per_op /
+                      (cost.index_probes_per_op > 0 ? cost.index_probes_per_op : 1.0),
+                  cost.probe_cache_hits_per_op);
+    }
+  }
+  std::printf("\n");
+}
+
 void WriteBenchJson(const char* path) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -319,6 +458,20 @@ void WriteBenchJson(const char* path) {
                  static_cast<long long>(s.index_hits), static_cast<long long>(s.prefix_scans),
                  static_cast<long long>(s.range_scans),
                  static_cast<long long>(s.full_scans), i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"join_samples\": [\n");
+  const std::vector<JoinSample>& joins = JoinSamples();
+  for (size_t i = 0; i < joins.size(); ++i) {
+    const JoinSample& s = joins[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"fact_rows\": %zu, \"cost_based\": %s, "
+                 "\"ns_per_op\": %.1f, \"rows_examined_per_op\": %.2f, "
+                 "\"index_probes_per_op\": %.2f, \"probe_cache_hits_per_op\": %.2f, "
+                 "\"join_reorders\": %lld, \"tuples_per_op\": %.2f}%s\n",
+                 s.workload, s.fact_rows, s.cost_based ? "true" : "false", s.ns_per_op,
+                 s.rows_examined_per_op, s.index_probes_per_op, s.probe_cache_hits_per_op,
+                 static_cast<long long>(s.join_reorders), s.tuples_per_op,
+                 i + 1 < joins.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -357,6 +510,7 @@ void PrintRegistryReport() {
 int main(int argc, char** argv) {
   moira::PrintRegistryReport();
   moira::RunAccessPathReport();
+  moira::RunJoinReport();
   moira::WriteBenchJson("BENCH_queries.json");
   moira::PaperSite();  // build the site outside any timing loop
   benchmark::Initialize(&argc, argv);

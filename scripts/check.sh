@@ -1,8 +1,27 @@
 #!/bin/sh
-# Tier-1 test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
-# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+# Tier-1 test suite under AddressSanitizer + UndefinedBehaviorSanitizer,
+# plus a bench smoke mode that runs the report-generating benchmark once
+# (microbenchmarks filtered out) and fails on malformed BENCH_*.json.
+# Usage: scripts/check.sh [build-dir]                 (default: build-asan)
+#        scripts/check.sh --bench-smoke [build-dir]   (default: build)
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "$1" = "--bench-smoke" ]; then
+  BUILD_DIR="${2:-build}"
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" -j --target bench_queries
+  SMOKE_DIR="$BUILD_DIR/bench-smoke"
+  rm -rf "$SMOKE_DIR"
+  mkdir -p "$SMOKE_DIR"
+  BENCH_BIN="$(pwd)/$BUILD_DIR/bench/bench_queries"
+  # An unmatchable filter skips the timing loops but still runs the report
+  # paths, which write BENCH_*.json into the working directory.
+  (cd "$SMOKE_DIR" && "$BENCH_BIN" --benchmark_filter='^$')
+  python3 scripts/validate_bench_json.py "$SMOKE_DIR"/BENCH_*.json
+  exit 0
+fi
+
 BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DMOIRA_SANITIZE=ON
 cmake --build "$BUILD_DIR" -j

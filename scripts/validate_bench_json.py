@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Validates the BENCH_*.json files the benchmark binaries emit.
+
+A valid file is a JSON object with a string "benchmark" name and at least
+one non-empty array of flat sample records; every record field must be a
+finite number, a string, or a boolean.  Exits non-zero (failing the
+check_bench target) on the first malformed file.
+"""
+import json
+import math
+import sys
+
+
+def fail(msg):
+    print("validate_bench_json: " + msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def main(paths):
+    if not paths:
+        fail("no BENCH_*.json files to validate")
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            fail("%s: %s" % (path, e))
+        if not isinstance(doc, dict) or not isinstance(doc.get("benchmark"), str):
+            fail("%s: missing string 'benchmark' key" % path)
+        arrays = [(k, v) for k, v in doc.items() if isinstance(v, list)]
+        if not arrays:
+            fail("%s: no sample arrays" % path)
+        for key, rows in arrays:
+            if not rows:
+                fail("%s: sample array '%s' is empty" % (path, key))
+            for i, row in enumerate(rows):
+                if not isinstance(row, dict) or not row:
+                    fail("%s: %s[%d] is not a record" % (path, key, i))
+                for field, value in row.items():
+                    if isinstance(value, bool):
+                        continue
+                    if isinstance(value, (int, float)):
+                        if not math.isfinite(value):
+                            fail("%s: %s[%d].%s is not finite" % (path, key, i, field))
+                    elif not isinstance(value, str):
+                        fail("%s: %s[%d].%s has type %s" %
+                             (path, key, i, field, type(value).__name__))
+    print("validate_bench_json: %d file(s) OK" % len(paths))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,27 +1,16 @@
 #include "src/core/acl.h"
 
+#include <algorithm>
+
 #include "src/db/exec.h"
 
 namespace moira {
 
-bool IsUserInList(MoiraContext& mc, int64_t users_id, int64_t list_id, int depth) {
-  if (depth <= 0) {
-    return false;
-  }
-  Table* members = mc.members();
-  int type_col = members->ColumnIndex("member_type");
-  int id_col = members->ColumnIndex("member_id");
-  for (size_t row : From(members).WhereEq("list_id", Value(list_id)).Rows()) {
-    const std::string& type = members->Cell(row, type_col).AsString();
-    int64_t member_id = members->Cell(row, id_col).AsInt();
-    if (type == "USER" && member_id == users_id) {
-      return true;
-    }
-    if (type == "LIST" && IsUserInList(mc, users_id, member_id, depth - 1)) {
-      return true;
-    }
-  }
-  return false;
+bool IsUserInList(MoiraContext& mc, int64_t users_id, int64_t list_id) {
+  // The user is in the list iff the list appears in the user's transitive
+  // containing-lists closure (user in L directly, or in L' with L' under L).
+  const std::vector<int64_t>& closure = mc.ContainingListClosure("USER", users_id);
+  return std::binary_search(closure.begin(), closure.end(), list_id);
 }
 
 bool UserMatchesAce(MoiraContext& mc, int64_t users_id, std::string_view ace_type,

@@ -15,12 +15,12 @@
 
 namespace moira {
 
-// Maximum sub-list recursion depth (defends against membership cycles).
-inline constexpr int kMaxAclDepth = 16;
-
-// True if the user is a direct or recursive member of the list.
-bool IsUserInList(MoiraContext& mc, int64_t users_id, int64_t list_id,
-                  int depth = kMaxAclDepth);
+// True if the user is a direct or recursive member of the list.  Runs on the
+// memoized list-closure cache (MoiraContext::ContainingListClosure), so
+// repeated ACL checks against an unchanged members relation are a binary
+// search rather than a membership walk; cycles are handled by the closure's
+// visited set rather than a depth cap.
+bool IsUserInList(MoiraContext& mc, int64_t users_id, int64_t list_id);
 
 // True if the user satisfies an ACE of the given type/id.  Type NONE never
 // matches (an empty ACE grants nobody).

@@ -1,6 +1,7 @@
 #include "src/core/context.h"
 
 #include <cassert>
+#include <set>
 
 #include "src/common/strutil.h"
 #include "src/db/exec.h"
@@ -124,6 +125,55 @@ bool MoiraContext::IsLegalType(std::string_view type_name, std::string_view valu
       .WhereEq("type", Value("TYPE"))
       .WhereEq("trans", Value(value))
       .Any();
+}
+
+int64_t MoiraContext::MembersVersion() const {
+  const TableStats& s = db_->GetTable(kMembersTable)->stats();
+  return s.appends + s.updates + s.deletes;
+}
+
+const std::vector<int64_t>& MoiraContext::ContainingListClosure(std::string_view type,
+                                                                int64_t id) {
+  const int64_t version = MembersVersion();
+  if (version != closure_version_) {
+    if (!closures_.empty()) {
+      ++closure_stats_.invalidations;
+      closures_.clear();
+    }
+    closure_version_ = version;
+  }
+  auto key = std::make_pair(std::string(type), id);
+  if (auto it = closures_.find(key); it != closures_.end()) {
+    ++closure_stats_.hits;
+    return it->second;
+  }
+  ++closure_stats_.misses;
+  // Fixed point over the members relation: probe the containing lists of
+  // every newly discovered list (indexed member_id lookups, not sweeps).
+  Table* members_table = members();
+  int list_col = members_table->ColumnIndex("list_id");
+  std::set<int64_t> closure;
+  std::vector<int64_t> fresh;
+  auto containing_lists = [&](std::string_view member_type, int64_t member_id) {
+    From(members_table)
+        .WhereEq("member_type", Value(member_type))
+        .WhereEq("member_id", Value(member_id))
+        .Emit([&](const std::vector<size_t>& rows) {
+          int64_t parent = members_table->Cell(rows[0], list_col).AsInt();
+          if (closure.insert(parent).second) {
+            fresh.push_back(parent);
+          }
+        });
+  };
+  containing_lists(type, id);
+  while (!fresh.empty()) {
+    int64_t next = fresh.back();
+    fresh.pop_back();
+    containing_lists("LIST", next);
+  }
+  return closures_
+      .emplace(std::move(key), std::vector<int64_t>(closure.begin(), closure.end()))
+      .first->second;
 }
 
 int32_t MoiraContext::ResolveAce(std::string_view ace_type, std::string_view ace_name,

@@ -9,9 +9,11 @@
 #define MOIRA_SRC_CORE_CONTEXT_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/comerr/moira_errors.h"
@@ -24,6 +26,13 @@ namespace moira {
 struct RowRef {
   int32_t code = MR_SUCCESS;  // MR_SUCCESS, or the query-specific error
   size_t row = 0;             // valid only when code == MR_SUCCESS
+};
+
+// Counters for the memoized list-closure cache (ContainingListClosure).
+struct ListClosureStats {
+  int64_t hits = 0;           // lookups answered from a memoized closure
+  int64_t misses = 0;         // lookups that computed a fresh closure
+  int64_t invalidations = 0;  // wholesale flushes after a members write
 };
 
 class MoiraContext {
@@ -96,6 +105,20 @@ class MoiraContext {
   // True if (name, "TYPE", value) is present (value compared exactly).
   bool IsLegalType(std::string_view type_name, std::string_view value) const;
 
+  // --- Transitive list membership (memoized closure cache) ---
+
+  // Sorted list_ids of every list the (type, id) entity — type USER, LIST,
+  // or STRING — belongs to directly or through sub-list containment, to a
+  // fixed point (membership cycles are handled by the visited set, not a
+  // depth cap).  Closures are memoized per entity and the whole cache is
+  // keyed on the members-table write version, so any members mutation
+  // lazily invalidates everything on the next lookup; the returned
+  // reference is only valid until then.  Backs IsUserInList (src/core/acl.cc),
+  // recursive get_lists_of_member, and RUSER/RLIST ACE expansion.
+  const std::vector<int64_t>& ContainingListClosure(std::string_view type, int64_t id);
+
+  const ListClosureStats& closure_stats() const { return closure_stats_; }
+
   // --- ACE resolution ---
 
   // Validates an ace (type in USER/LIST/NONE, name resolvable) and returns
@@ -121,7 +144,15 @@ class MoiraContext {
   static void SetCellInternal(Table* table, size_t row, const char* column, Value v);
 
  private:
+  // The members-table write version the cached closures were computed at:
+  // the mutation counters (monotonic; every members write goes through
+  // Append/Update/Delete, never the no-stats DCM path).
+  int64_t MembersVersion() const;
+
   Database* db_;
+  std::map<std::pair<std::string, int64_t>, std::vector<int64_t>> closures_;
+  int64_t closure_version_ = -1;
+  ListClosureStats closure_stats_;
 };
 
 }  // namespace moira

@@ -464,15 +464,14 @@ int32_t GetNfsQuotasByPartition(QueryCall& call) {
   int64_t mach_id = MoiraContext::IntCell(mc.machine(), mach.row, "mach_id");
   Table* phys = mc.nfsphys();
   Table* quota = mc.nfsquota();
+  // One two-stage join instead of a nested per-partition pipeline: the
+  // executor batches quota probes across partitions sharing a phys_id.
   From(phys)
       .WhereEq("mach_id", Value(mach_id))
       .WhereWild("dir", call.args[1])
-      .Emit([&](const std::vector<size_t>& phys_rows) {
-        int64_t phys_id = MoiraContext::IntCell(phys, phys_rows[0], "nfsphys_id");
-        From(quota).WhereEq("phys_id", Value(phys_id)).Emit(
-            [&](const std::vector<size_t>& rows) {
-              call.emit(QuotaTuple(mc, rows[0], /*with_modtriple=*/false));
-            });
+      .Join(quota, "nfsphys_id", "phys_id")
+      .Emit([&](const std::vector<size_t>& rows) {
+        call.emit(QuotaTuple(mc, rows[1], /*with_modtriple=*/false));
       });
   return MR_SUCCESS;
 }

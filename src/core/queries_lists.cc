@@ -380,26 +380,11 @@ int32_t CollectAceEntities(MoiraContext& mc, std::string_view ace_type,
   if (!recursive) {
     return MR_SUCCESS;
   }
-  // Fixed point: every list containing any already-collected entity as a
-  // member is itself collected (as a LIST entity).  Worklist of entities
-  // whose containing lists have not been probed yet; each probe is an
-  // indexed member_id lookup, not a table sweep.
-  Table* members = mc.members();
-  int list_col = members->ColumnIndex("list_id");
-  std::vector<std::pair<std::string, int64_t>> worklist(out->begin(), out->end());
-  while (!worklist.empty()) {
-    auto [type, id] = worklist.back();
-    worklist.pop_back();
-    From(members)
-        .WhereEq("member_type", Value(type))
-        .WhereEq("member_id", Value(id))
-        .Emit([&](const std::vector<size_t>& rows) {
-          std::pair<std::string, int64_t> parent{"LIST",
-                                                 members->Cell(rows[0], list_col).AsInt()};
-          if (out->insert(parent).second) {
-            worklist.push_back(parent);
-          }
-        });
+  // Every list transitively containing the base entity is collected as a
+  // LIST entity; the closure cache memoizes the fixed point against the
+  // members-table version, so repeated expansions are a map lookup.
+  for (int64_t id : mc.ContainingListClosure(is_user ? "USER" : "LIST", base_id)) {
+    out->emplace("LIST", id);
   }
   return MR_SUCCESS;
 }
@@ -528,32 +513,23 @@ int32_t GetListsOfMember(QueryCall& call) {
       code != MR_SUCCESS) {
     return code;
   }
-  // Direct containing lists; the recursive form follows sub-list containment
-  // to a fixed point.  Each step is an indexed member_id probe driven by a
-  // worklist instead of repeated table sweeps.
+  // Direct containing lists come from an indexed member_id probe; the
+  // recursive form is the memoized transitive closure (invalidated whenever
+  // the members relation changes), so repeated expansions of a stable
+  // membership graph cost one cache lookup.
   std::set<int64_t> containing;
-  Table* members = mc.members();
-  int list_col = members->ColumnIndex("list_id");
-  auto containing_lists = [&](std::string_view member_type, int64_t id,
-                              std::vector<int64_t>* fresh) {
-    From(members)
-        .WhereEq("member_type", Value(member_type))
-        .WhereEq("member_id", Value(id))
-        .Emit([&](const std::vector<size_t>& rows) {
-          int64_t parent = members->Cell(rows[0], list_col).AsInt();
-          if (containing.insert(parent).second && fresh != nullptr) {
-            fresh->push_back(parent);
-          }
-        });
-  };
-  std::vector<int64_t> worklist;
-  containing_lists(type, member_id, &worklist);
   if (recursive) {
-    while (!worklist.empty()) {
-      int64_t id = worklist.back();
-      worklist.pop_back();
-      containing_lists("LIST", id, &worklist);
-    }
+    const std::vector<int64_t>& closure = mc.ContainingListClosure(type, member_id);
+    containing.insert(closure.begin(), closure.end());
+  } else {
+    Table* members = mc.members();
+    int list_col = members->ColumnIndex("list_id");
+    From(members)
+        .WhereEq("member_type", Value(type))
+        .WhereEq("member_id", Value(member_id))
+        .Emit([&](const std::vector<size_t>& rows) {
+          containing.insert(members->Cell(rows[0], list_col).AsInt());
+        });
   }
   const Table* list = mc.list();
   for (int64_t id : containing) {

@@ -184,22 +184,17 @@ int32_t GetMachineToClusterMap(QueryCall& call) {
   const Table* cluster = mc.cluster();
   const Table* mcmap = mc.mcmap();
   std::string mach_pattern = ToUpperCopy(call.args[0]);
-  // Machines that match the pattern drive the pipeline; each one joins to
-  // its mcmap rows by mach_id, and the cluster pattern filters the targets.
-  std::vector<size_t> clusters =
-      From(cluster).WhereWild("name", call.args[1]).Rows();
-  int map_clu_col = mcmap->ColumnIndex("clu_id");
+  // A three-stage join machine ⋈ mcmap ⋈ cluster; the cost-based join
+  // planner starts from whichever pattern is the more selective, so "*" on
+  // one side no longer forces a sweep from that side.
   From(machine)
       .WhereWild("name", mach_pattern)
       .Join(mcmap, "mach_id", "mach_id")
+      .Join(cluster, "clu_id", "clu_id")
+      .WhereWild("name", call.args[1])
       .Emit([&](const std::vector<size_t>& rows) {
-        int64_t clu_id = mcmap->Cell(rows[1], map_clu_col).AsInt();
-        for (size_t c : clusters) {
-          if (MoiraContext::IntCell(cluster, c, "clu_id") == clu_id) {
-            call.emit({MoiraContext::StrCell(machine, rows[0], "name"),
-                       MoiraContext::StrCell(cluster, c, "name")});
-          }
-        }
+        call.emit({MoiraContext::StrCell(machine, rows[0], "name"),
+                   MoiraContext::StrCell(cluster, rows[2], "name")});
       });
   return MR_SUCCESS;
 }

@@ -402,8 +402,9 @@ int32_t GetAllTableStats(QueryCall& call) {
 
 // Per-table access-path statistics: how queries actually executed.  A row per
 // table: mutation counters plus planner counters (index hits, prefix-pruned
-// scans, full scans, rows examined vs emitted).  Privileged (dbadmin only via
-// CAPACLS; not world_ok) since it exposes workload shape.
+// scans, full scans, rows examined vs emitted, join reorders, batched-probe
+// cache hits).  Privileged (dbadmin only via CAPACLS; not world_ok) since it
+// exposes workload shape.
 int32_t GetTableStatistics(QueryCall& call) {
   MoiraContext& mc = call.mc;
   for (const std::string& name : mc.db().TableNames()) {
@@ -413,7 +414,8 @@ int32_t GetTableStatistics(QueryCall& call) {
                std::to_string(stats.deletes), std::to_string(stats.index_hits),
                std::to_string(stats.prefix_scans), std::to_string(stats.range_scans),
                std::to_string(stats.full_scans), std::to_string(stats.rows_examined),
-               std::to_string(stats.rows_emitted)});
+               std::to_string(stats.rows_emitted), std::to_string(stats.join_reorders),
+               std::to_string(stats.probe_cache_hits)});
   }
   return MR_SUCCESS;
 }
@@ -510,7 +512,7 @@ void AppendMiscQueries(std::vector<QueryDef>* defs) {
            GetAllTableStats},
           {"get_table_statistics", "gtst", QueryClass::kRetrieve, 0, false, "",
            "table, appends, updates, deletes, index_hits, prefix_scans, range_scans, "
-           "full_scans, rows_examined, rows_emitted",
+           "full_scans, rows_examined, rows_emitted, join_reorders, probe_cache_hits",
            nullptr, GetTableStatistics},
           {"_help", "help", QueryClass::kRetrieve, 1, true, "query", "help_message", nullptr,
            HelpQuery},

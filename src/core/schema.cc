@@ -153,7 +153,7 @@ void CreateMoiraSchema(Database* db) {
                 {"modby", kStr},
                 {"modwith", kStr},
             },
-            {"users_id", "filsys_id"});
+            {"users_id", "filsys_id", "phys_id"});
 
   MakeTable(db, kZephyrTable,
             {

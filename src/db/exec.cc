@@ -1,8 +1,10 @@
 #include "src/db/exec.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <numeric>
 
 #include "src/common/strutil.h"
 
@@ -79,6 +81,29 @@ int MustResolveColumn(const Table* table, std::string_view column, const char* w
 
 Value FoldCaseKey(const Value& v) {
   return v.is_string() ? Value(ToLowerCopy(v.AsString())) : v;
+}
+
+double EstimateMatchRows(const Table& table, const std::vector<Condition>& conditions) {
+  const double live = static_cast<double>(table.LiveCount());
+  const AccessPath path = PlanAccess(table, conditions);
+  switch (path.kind) {
+    case AccessPath::Kind::kIndexEq: {
+      const IndexDesc desc = table.IndexDescs()[path.index_pos];
+      return desc.distinct_keys > 0
+                 ? static_cast<double>(desc.entries) / static_cast<double>(desc.distinct_keys)
+                 : 0.0;
+    }
+    case AccessPath::Kind::kIndexRange:
+      return path.range_lower.present && path.range_upper.present ? live / 4.0 : live / 2.0;
+    case AccessPath::Kind::kIndexPrefix:
+      return live / 4.0;
+    case AccessPath::Kind::kFullScan:
+      // Residual predicates discard some rows; how many is unknowable for
+      // opaque conditions, so charge a flat factor that still ranks a
+      // filtered scan below an unfiltered one.
+      return conditions.empty() ? live : live / 2.0;
+  }
+  return live;
 }
 
 AccessPath PlanAccess(const Table& table, const std::vector<Condition>& conditions) {
@@ -305,6 +330,181 @@ Selector& Selector::Join(const Table* other, std::string_view left_col,
   return *this;
 }
 
+Selector& Selector::ForceNaiveJoin() {
+  naive_join_ = true;
+  return *this;
+}
+
+std::vector<size_t> Selector::PlannedJoinOrder() const {
+  const size_t n = stages_.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (naive_join_ || n < 2) {
+    return order;
+  }
+  std::vector<double> est(n);
+  for (size_t i = 0; i < n; ++i) {
+    est[i] = EstimateMatchRows(*stages_[i].table, stages_[i].conds);
+  }
+  // Start from the most selective stage (ties keep the leftmost, so an
+  // unambiguous pipeline stays in declared order), then walk the join chain
+  // outward, always extending toward the cheaper unbound neighbour.
+  size_t start = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (est[i] < est[start]) {
+      start = i;
+    }
+  }
+  order.clear();
+  order.push_back(start);
+  size_t lo = start;
+  size_t hi = start;
+  while (order.size() < n) {
+    const bool has_lo = lo > 0;
+    const bool has_hi = hi + 1 < n;
+    size_t next;
+    if (has_lo && has_hi) {
+      next = est[lo - 1] <= est[hi + 1] ? lo - 1 : hi + 1;
+    } else {
+      next = has_lo ? lo - 1 : hi + 1;
+    }
+    (next < lo ? lo : hi) = next;
+    order.push_back(next);
+  }
+  return order;
+}
+
+// Cost-based multi-stage execution: bind stages in planner order, carrying a
+// flat tuple buffer (ntuples x nstages row indices); each new stage groups
+// the live tuples by join key, probes once per distinct key, and expands the
+// buffer with the matches.  Tuples are emitted in the order the naive
+// left-to-right nested loop would have produced (lexicographic by per-stage
+// row index — every Match reports storage order), so callers cannot observe
+// which plan ran.
+bool Selector::ExecuteJoin(
+    const std::function<bool(const std::vector<size_t>&)>& visit) const {
+  const size_t n = stages_.size();
+  const std::vector<size_t> order = PlannedJoinOrder();
+  if (order[0] != 0) {
+    stages_[0].table->NoteJoinReorder();
+  }
+
+  std::vector<size_t> tuples;  // flat: tuples[t * n + i] = stage i's row in tuple t
+  {
+    const Stage& first = stages_[order[0]];
+    for (size_t row : first.table->Match(first.conds)) {
+      if (!PassesFilters(first, row)) {
+        continue;
+      }
+      tuples.resize(tuples.size() + n, 0);
+      tuples[tuples.size() - n + order[0]] = row;
+    }
+  }
+
+  std::vector<bool> bound(n, false);
+  bound[order[0]] = true;
+  std::vector<size_t> next_tuples;
+  std::vector<size_t> tuple_order;
+  for (size_t k = 1; k < n && !tuples.empty(); ++k) {
+    const size_t t = order[k];
+    // The already-bound neighbour supplies the join key.  Binding t after
+    // t-1 is the declared (forward) direction; binding it after t+1 runs the
+    // same equality edge in reverse.
+    size_t outer;
+    int outer_col;
+    int inner_col;
+    if (t > 0 && bound[t - 1]) {
+      outer = t - 1;
+      outer_col = stages_[t].left_col;
+      inner_col = stages_[t].right_col;
+    } else {
+      outer = t + 1;
+      outer_col = stages_[t + 1].right_col;
+      inner_col = stages_[t + 1].left_col;
+    }
+    bound[t] = true;
+    const Stage& stage = stages_[t];
+    const Table* outer_table = stages_[outer].table;
+
+    // Stage-invariant hoisting: the condition list (with one slot reserved
+    // for the join key) and the access plan are built once per stage; each
+    // distinct key only overwrites the operand (and the plan's probe key).
+    std::vector<Condition> conds = stage.conds;
+    conds.push_back(Condition{inner_col, Condition::Op::kEq, Value(), Value()});
+    const size_t key_slot = conds.size() - 1;
+
+    const size_t ntuples = tuples.size() / n;
+    auto key_of = [&](size_t ti) -> const Value& {
+      return outer_table->Cell(tuples[ti * n + outer], outer_col);
+    };
+    // Sort/group the outer tuples by join key so duplicates probe once.
+    tuple_order.resize(ntuples);
+    std::iota(tuple_order.begin(), tuple_order.end(), size_t{0});
+    std::sort(tuple_order.begin(), tuple_order.end(),
+              [&](size_t a, size_t b) { return key_of(a) < key_of(b); });
+
+    bool planned = false;
+    AccessPath plan;
+    bool plan_probes_key = false;
+    bool plan_key_folded = false;
+    next_tuples.clear();
+    std::vector<size_t> matched;  // survivors of the current key group
+    const Value* prev_key = nullptr;
+    for (size_t ti : tuple_order) {
+      const Value& key = key_of(ti);
+      if (prev_key != nullptr && !(*prev_key < key) && !(key < *prev_key)) {
+        // Same key as the previous tuple: reuse its probe result.
+        stage.table->NoteProbeCacheHits(1);
+      } else {
+        conds[key_slot].operand = key;
+        if (!planned) {
+          plan = PlanAccess(*stage.table, conds);
+          // PlanAccess ranks candidates by index statistics and ops alone,
+          // never by operand value, so the plan is reusable across keys once
+          // the probe key is patched.
+          plan_probes_key =
+              plan.kind == AccessPath::Kind::kIndexEq && plan.cond_pos == key_slot;
+          if (plan_probes_key) {
+            plan_key_folded = stage.table->IndexDescs()[plan.index_pos].folded;
+          }
+          planned = true;
+        } else if (plan_probes_key) {
+          plan.eq_key = plan_key_folded ? FoldCaseKey(key) : key;
+        }
+        matched.clear();
+        for (size_t row : stage.table->Match(conds, plan)) {
+          if (PassesFilters(stage, row)) {
+            matched.push_back(row);
+          }
+        }
+      }
+      prev_key = &key;
+      for (size_t row : matched) {
+        next_tuples.insert(next_tuples.end(), tuples.begin() + ti * n,
+                           tuples.begin() + (ti + 1) * n);
+        next_tuples[next_tuples.size() - n + t] = row;
+      }
+    }
+    tuples.swap(next_tuples);
+  }
+
+  const size_t ntuples = tuples.size() / n;
+  std::vector<size_t> emit_order(ntuples);
+  std::iota(emit_order.begin(), emit_order.end(), size_t{0});
+  std::sort(emit_order.begin(), emit_order.end(), [&](size_t a, size_t b) {
+    return std::lexicographical_compare(tuples.begin() + a * n, tuples.begin() + (a + 1) * n,
+                                        tuples.begin() + b * n, tuples.begin() + (b + 1) * n);
+  });
+  std::vector<size_t> rows(n);
+  for (size_t ti : emit_order) {
+    std::copy(tuples.begin() + ti * n, tuples.begin() + (ti + 1) * n, rows.begin());
+    if (!visit(rows)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool Selector::PassesFilters(const Stage& stage, size_t row) const {
   for (const auto& pred : stage.filters) {
     if (!pred(*stage.table, row)) {
@@ -340,8 +540,15 @@ bool Selector::RunStage(size_t stage_pos, std::vector<size_t>* rows,
 }
 
 void Selector::ForEach(const std::function<bool(const std::vector<size_t>&)>& visit) const {
-  std::vector<size_t> rows(stages_.size(), 0);
-  RunStage(0, &rows, visit);
+  // Single-stage pipelines keep the lazy per-row loop (Any/One on one table
+  // must not materialize); joins go through the cost-based executor unless
+  // the caller pinned the naive order.
+  if (stages_.size() == 1 || naive_join_) {
+    std::vector<size_t> rows(stages_.size(), 0);
+    RunStage(0, &rows, visit);
+    return;
+  }
+  ExecuteJoin(visit);
 }
 
 void Selector::Emit(const std::function<void(const std::vector<size_t>&)>& visit) const {
@@ -354,11 +561,14 @@ void Selector::Emit(const std::function<void(const std::vector<size_t>&)>& visit
 std::vector<size_t> Selector::Rows() const {
   std::vector<size_t> out;
   ForEach([&](const std::vector<size_t>& rows) {
-    if (out.empty() || out.back() != rows[0]) {
-      out.push_back(rows[0]);
-    }
+    out.push_back(rows[0]);
     return true;
   });
+  // Dedup must not assume duplicates arrive adjacent (a reordered join may
+  // revisit base rows in any pattern), and the result must stay sorted to
+  // storage order so it is independent of the plan that ran.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

@@ -70,6 +70,14 @@ struct AccessPath {
 // keys and stored keys always agree.
 Value FoldCaseKey(const Value& v);
 
+// Estimated number of rows Match(conditions) would emit, derived from the
+// same statistics PlanAccess consults: an equality probe expects
+// entries/distinct_keys rows, a two-sided range window a quarter of the
+// table, a one-sided window or a residual-only scan half of it.  The join
+// planner orders probe stages by this estimate; it only needs the estimates
+// to rank correctly, not to be exact.
+double EstimateMatchRows(const Table& table, const std::vector<Condition>& conditions);
+
 // Picks the cheapest access path for `conditions` against `table`:
 //   1. the equality-indexable condition whose index has the highest
 //      cardinality (fewest expected rows per key) — kEq on an exact index,
@@ -89,6 +97,21 @@ AccessPath PlanAccess(const Table& table, const std::vector<Condition>& conditio
 // table; each Join adds a stage.  Where/Filter apply to the most recently
 // added stage.  Terminal operations (Emit/ForEach/Rows/One/Count) run the
 // pipeline; each stage's conditions go through the planner.
+//
+// Multi-stage execution is cost-based.  At terminal time the join planner
+// estimates each stage's standalone output cardinality (EstimateMatchRows)
+// and starts from the most selective stage, walking the join chain outward
+// toward whichever neighbour is cheaper next — so a pipeline whose tail
+// carries the selective predicate runs tail-first with reverse index probes
+// instead of fanning out from an unselective base.  Each probe stage batches
+// its outer keys: tuples are sorted and grouped by join key, the stage is
+// planned once (the key operand is patched per group), and duplicate keys
+// reuse the previous group's rows, so a fan-out join costs O(distinct keys)
+// index lookups rather than O(outer rows).  Emission order is unaffected:
+// tuples are restored to the order the left-to-right nested loop would have
+// produced (lexicographic by per-stage row index), so results are
+// plan-independent.  TableStats counts both behaviours (join_reorders on the
+// base table, probe_cache_hits on the probed table).
 class Selector {
  public:
   explicit Selector(const Table* table);
@@ -122,6 +145,15 @@ class Selector {
   Selector& Join(const Table* other, std::string_view left_col,
                  std::string_view right_col);
 
+  // Forces the pre-cost-based behaviour: probe stages strictly left to
+  // right, one planner pass and one index probe per outer row, no batching.
+  // The baseline for consistency tests and the bench reduction factors.
+  Selector& ForceNaiveJoin();
+
+  // The stage order the cost-based planner would execute (identity when
+  // naive execution is forced or there is no join).  Exposed for tests.
+  std::vector<size_t> PlannedJoinOrder() const;
+
   // --- Terminal operations ---
 
   // Visits every surviving tuple; `rows[i]` is the row index in stage i's
@@ -151,9 +183,11 @@ class Selector {
 
   bool RunStage(size_t stage_pos, std::vector<size_t>* rows,
                 const std::function<bool(const std::vector<size_t>&)>& visit) const;
+  bool ExecuteJoin(const std::function<bool(const std::vector<size_t>&)>& visit) const;
   bool PassesFilters(const Stage& stage, size_t row) const;
 
   std::vector<Stage> stages_;
+  bool naive_join_ = false;
 };
 
 // Entry points reading as a query: From(table).Where(...).Emit(...).

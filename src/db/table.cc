@@ -143,6 +143,11 @@ std::vector<size_t> Table::Match(const std::vector<Condition>& conditions) const
   return ExecutePath(PlanAccess(*this, conditions), conditions);
 }
 
+std::vector<size_t> Table::Match(const std::vector<Condition>& conditions,
+                                 const AccessPath& path) const {
+  return ExecutePath(path, conditions);
+}
+
 std::vector<size_t> Table::ExecutePath(const AccessPath& path,
                                        const std::vector<Condition>& conditions) const {
   std::vector<size_t> out;

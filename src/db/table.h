@@ -71,6 +71,13 @@ struct TableStats {
   // Work done vs. work returned across all Match calls.
   int64_t rows_examined = 0;  // rows fetched and tested against predicates
   int64_t rows_emitted = 0;   // rows that satisfied every predicate
+
+  // Join-executor counters, bumped by Selector (src/db/exec.cc) rather than
+  // by Match itself.
+  int64_t join_reorders = 0;     // pipelines rooted here whose probe order
+                                 // was rewritten by the cost-based planner
+  int64_t probe_cache_hits = 0;  // join probes of this table answered from
+                                 // the batched distinct-key cache
 };
 
 // Public description of one index, consumed by the planner (src/db/exec.cc)
@@ -138,6 +145,19 @@ class Table {
   // Returns the indices of all live rows satisfying every condition, using
   // the cheapest access path the planner finds (see src/db/exec.h).
   std::vector<size_t> Match(const std::vector<Condition>& conditions) const;
+
+  // Executes `conditions` along a caller-supplied plan.  The Selector join
+  // executor plans each probe stage once and patches the probe key between
+  // calls instead of re-planning per key; the plan must have been produced
+  // by PlanAccess against this table and a structurally identical condition
+  // list (only operand values may differ).
+  std::vector<size_t> Match(const std::vector<Condition>& conditions,
+                            const AccessPath& path) const;
+
+  // Join-executor hooks: these counters belong to TableStats but are bumped
+  // by Selector (a const reader), outside any Match call.
+  void NoteJoinReorder() const { ++stats_.join_reorders; }
+  void NoteProbeCacheHits(int64_t n) const { stats_.probe_cache_hits += n; }
 
   // Visits every live row; stop early by returning false from the visitor.
   // This is the raw storage sweep — it bypasses the planner and counts as a

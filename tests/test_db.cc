@@ -709,5 +709,176 @@ TEST_F(DbTest, RandomizedIndexConsistency) {
   }
 }
 
+// --- cost-based join planning ---
+
+// fact: 60 rows fanning out over 3 keys; dim: one row per key, with a
+// unique indexed name column that makes a dim-side equality maximally
+// selective.
+class JoinPlanTest : public ::testing::Test {
+ protected:
+  JoinPlanTest() : clock_(1000), db_(&clock_) {
+    fact_ = db_.CreateTable(TableSchema{
+        "fact", {{"key", ColumnType::kInt}, {"tag", ColumnType::kString}}});
+    dim_ = db_.CreateTable(TableSchema{
+        "dim", {{"key", ColumnType::kInt}, {"name", ColumnType::kString}}});
+    fact_->CreateIndex("key");
+    dim_->CreateIndex("key");
+    dim_->CreateIndex("name");
+    for (int i = 0; i < 60; ++i) {
+      fact_->Append({i % 3, "t" + std::to_string(i)});
+    }
+    for (int k = 0; k < 3; ++k) {
+      dim_->Append({k, "name" + std::to_string(k)});
+    }
+  }
+
+  using Tuples = std::vector<std::vector<size_t>>;
+  static Tuples Collect(Selector& s) {
+    Tuples out;
+    s.Emit([&](const std::vector<size_t>& rows) { out.push_back(rows); });
+    return out;
+  }
+
+  SimulatedClock clock_;
+  Database db_;
+  Table* fact_;
+  Table* dim_;
+};
+
+TEST_F(JoinPlanTest, PlannedOrderStartsFromSelectiveStage) {
+  // name is unique on dim (est 1 row) vs. 60 unconditioned fact rows: the
+  // planner must start from the tail and probe fact in reverse.
+  Selector s = From(fact_).Join(dim_, "key", "key").WhereEq("name", Value("name1"));
+  EXPECT_EQ((std::vector<size_t>{1, 0}), s.PlannedJoinOrder());
+  // Forcing naive execution restores the declared left-to-right order.
+  EXPECT_EQ((std::vector<size_t>{0, 1}),
+            From(fact_).Join(dim_, "key", "key").WhereEq("name", Value("name1"))
+                .ForceNaiveJoin().PlannedJoinOrder());
+  // Without the selective tail predicate, dim (3 rows) still beats fact (60).
+  EXPECT_EQ((std::vector<size_t>{1, 0}),
+            From(fact_).Join(dim_, "key", "key").PlannedJoinOrder());
+}
+
+TEST_F(JoinPlanTest, ReorderedJoinMatchesNaiveAndSavesWork) {
+  auto run = [&](bool naive) {
+    Selector s = From(fact_).Join(dim_, "key", "key").WhereEq("name", Value("name1"));
+    if (naive) s.ForceNaiveJoin();
+    return Collect(s);
+  };
+  const int64_t reorders_before = fact_->stats().join_reorders;
+  const int64_t examined_before = fact_->stats().rows_examined;
+  Tuples cost_based = run(/*naive=*/false);
+  const int64_t cost_examined = fact_->stats().rows_examined - examined_before;
+  EXPECT_EQ(reorders_before + 1, fact_->stats().join_reorders);
+
+  const int64_t naive_before = fact_->stats().rows_examined;
+  Tuples naive = run(/*naive=*/true);
+  const int64_t naive_examined = fact_->stats().rows_examined - naive_before;
+
+  // Identical tuple sequences (not just multisets): emission order is
+  // restored to the left-to-right nested-loop order after reordering.
+  EXPECT_EQ(naive, cost_based);
+  ASSERT_EQ(20u, cost_based.size());
+  // Reverse execution probes fact's key index for the single surviving dim
+  // row instead of scanning all 60 fact rows first.
+  EXPECT_LT(cost_examined, naive_examined);
+}
+
+TEST_F(JoinPlanTest, BatchedProbesCollapseDuplicateKeys) {
+  // Five outer rows but only two distinct join keys: the batched probe
+  // plans once, probes twice, and answers the other three from the cache.
+  Table* small = db_.CreateTable(TableSchema{
+      "small", {{"key", ColumnType::kInt}, {"w", ColumnType::kInt}}});
+  for (int64_t k : {1, 1, 1, 2, 2}) small->Append({k, k * 10});
+
+  const int64_t hits_before = fact_->stats().probe_cache_hits;
+  const int64_t probes_before = fact_->stats().index_hits;
+  Selector s = From(small).Join(fact_, "key", "key");
+  Tuples got = Collect(s);
+  EXPECT_EQ(5u * 20u, got.size());  // each key matches 20 fact rows
+  EXPECT_EQ(hits_before + 3, fact_->stats().probe_cache_hits);
+  EXPECT_EQ(probes_before + 2, fact_->stats().index_hits);
+
+  // The naive path probes once per outer row and never hits the cache.
+  Selector naive = From(small).Join(fact_, "key", "key");
+  naive.ForceNaiveJoin();
+  const int64_t naive_probes_before = fact_->stats().index_hits;
+  EXPECT_EQ(got, Collect(naive));
+  EXPECT_EQ(hits_before + 3, fact_->stats().probe_cache_hits);
+  EXPECT_EQ(naive_probes_before + 5, fact_->stats().index_hits);
+}
+
+TEST_F(JoinPlanTest, ThreeStageChainReordersAroundSelectiveMiddle) {
+  // wide(60) -> dim(3, unique name eq) -> fact(60): the middle stage is the
+  // cheapest start; both neighbours are then probed in reverse/forward.
+  Table* wide = db_.CreateTable(TableSchema{
+      "wide", {{"key", ColumnType::kInt}, {"pad", ColumnType::kString}}});
+  wide->CreateIndex("key");
+  for (int i = 0; i < 60; ++i) wide->Append({i % 3, "p"});
+
+  Selector s = From(wide)
+                   .Join(dim_, "key", "key")
+                   .WhereEq("name", Value("name2"))
+                   .Join(fact_, "key", "key");
+  EXPECT_EQ((std::vector<size_t>{1, 0, 2}), s.PlannedJoinOrder());
+  Tuples cost_based = Collect(s);
+
+  Selector naive = From(wide)
+                       .Join(dim_, "key", "key")
+                       .WhereEq("name", Value("name2"))
+                       .Join(fact_, "key", "key");
+  naive.ForceNaiveJoin();
+  EXPECT_EQ(Collect(naive), cost_based);
+  ASSERT_EQ(20u * 20u, cost_based.size());
+}
+
+TEST_F(JoinPlanTest, JoinSkipsTombstonedRows) {
+  Table* small = db_.CreateTable(TableSchema{
+      "small", {{"key", ColumnType::kInt}, {"w", ColumnType::kInt}}});
+  std::vector<size_t> rows;
+  for (int64_t k : {0, 1, 2}) rows.push_back(small->Append({k, k}));
+  small->Delete(rows[1]);
+  dim_->Delete(dim_->Match({Condition{0, Condition::Op::kEq, Value(int64_t{2}),
+                                      Value()}})[0]);
+
+  Selector s = From(small).Join(dim_, "key", "key");
+  Tuples got = Collect(s);
+  Selector naive = From(small).Join(dim_, "key", "key");
+  naive.ForceNaiveJoin();
+  EXPECT_EQ(Collect(naive), got);
+  // Only small key 0 survives: key 1's outer row and key 2's dim row are
+  // tombstoned.
+  ASSERT_EQ(1u, got.size());
+  EXPECT_EQ(rows[0], got[0][0]);
+}
+
+TEST_F(JoinPlanTest, RowsDedupIsOrderIndependent) {
+  // Each fact key matches 20 dim-side... inverted: each dim row matches 20
+  // fact rows, so base rows repeat; under reordering the repeats need not be
+  // adjacent in probe order.  Rows() must still return each base row once,
+  // in storage order.
+  Selector s = From(dim_).Join(fact_, "key", "key");
+  std::vector<size_t> rows = s.Rows();
+  ASSERT_EQ(3u, rows.size());
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+  EXPECT_EQ(rows.end(), std::adjacent_find(rows.begin(), rows.end()));
+  Selector naive = From(dim_).Join(fact_, "key", "key");
+  naive.ForceNaiveJoin();
+  EXPECT_EQ(rows, naive.Rows());
+}
+
+TEST_F(JoinPlanTest, EstimateMatchRowsRanksPaths) {
+  // Unconditioned: every live row.
+  EXPECT_DOUBLE_EQ(60.0, EstimateMatchRows(*fact_, {}));
+  // Equality on an indexed column: entries / distinct keys.
+  EXPECT_DOUBLE_EQ(20.0, EstimateMatchRows(
+      *fact_, {Condition{0, Condition::Op::kEq, Value(int64_t{1}), Value()}}));
+  EXPECT_DOUBLE_EQ(1.0, EstimateMatchRows(
+      *dim_, {Condition{1, Condition::Op::kEq, Value("name1"), Value()}}));
+  // Unindexed residual: half the table.
+  EXPECT_DOUBLE_EQ(30.0, EstimateMatchRows(
+      *fact_, {Condition{1, Condition::Op::kEq, Value("t7"), Value()}}));
+}
+
 }  // namespace
 }  // namespace moira

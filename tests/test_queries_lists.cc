@@ -1,5 +1,8 @@
 // Tests for the list queries (paper section 7.0.3).
 #include "src/core/acl.h"
+
+#include <algorithm>
+
 #include "tests/test_env.h"
 
 namespace moira {
@@ -252,6 +255,82 @@ TEST_F(ListQueriesTest, RecursiveMembershipCycleIsSafe) {
   RowRef cyc_a = mc_->ListByName("cyc-a");
   EXPECT_TRUE(IsUserInList(*mc_, users_id,
                            MoiraContext::IntCell(mc_->list(), cyc_a.row, "list_id")));
+}
+
+TEST_F(ListQueriesTest, ClosureCacheServesRepeatedRecursiveQueries) {
+  AddActiveUser("deep", 113);
+  MakeList("inner");
+  MakeList("outer");
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_member_to_list", {"inner", "USER", "deep"}));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_member_to_list", {"outer", "LIST", "inner"}));
+
+  std::vector<Tuple> first;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_lists_of_member", {"RUSER", "deep"}, &first));
+  EXPECT_EQ(2u, first.size());
+  const int64_t hits_after_first = mc_->closure_stats().hits;
+  const int64_t misses_after_first = mc_->closure_stats().misses;
+  EXPECT_GT(misses_after_first, 0);
+
+  // Re-running against an unchanged members table is answered from the
+  // memoized closure: hits rise, misses do not.
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Tuple> again;
+    ASSERT_EQ(MR_SUCCESS, RunRoot("get_lists_of_member", {"RUSER", "deep"}, &again));
+    EXPECT_EQ(first, again);
+  }
+  EXPECT_EQ(misses_after_first, mc_->closure_stats().misses);
+  EXPECT_EQ(hits_after_first + 3, mc_->closure_stats().hits);
+}
+
+TEST_F(ListQueriesTest, ClosureCacheInvalidatedByMembershipWrite) {
+  AddActiveUser("deep", 113);
+  MakeList("inner");
+  MakeList("outer");
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_member_to_list", {"inner", "USER", "deep"}));
+
+  std::vector<Tuple> before;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_lists_of_member", {"RUSER", "deep"}, &before));
+  EXPECT_EQ(1u, before.size());
+  const int64_t invalidations_before = mc_->closure_stats().invalidations;
+
+  // A members-table write makes every memoized closure stale; the next
+  // recursive query must rebuild and see the new edge.
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_member_to_list", {"outer", "LIST", "inner"}));
+  std::vector<Tuple> after;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_lists_of_member", {"RUSER", "deep"}, &after));
+  EXPECT_EQ(2u, after.size());
+  EXPECT_EQ(invalidations_before + 1, mc_->closure_stats().invalidations);
+
+  // Removal invalidates too.
+  ASSERT_EQ(MR_SUCCESS, RunRoot("delete_member_from_list", {"outer", "LIST", "inner"}));
+  std::vector<Tuple> removed;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_lists_of_member", {"RUSER", "deep"}, &removed));
+  EXPECT_EQ(before, removed);
+}
+
+TEST_F(ListQueriesTest, ContainingListClosureHandlesCyclesAndIsSorted) {
+  MakeList("cyc-a");
+  MakeList("cyc-b");
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_member_to_list", {"cyc-a", "LIST", "cyc-b"}));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_member_to_list", {"cyc-b", "LIST", "cyc-a"}));
+  AddActiveUser("cycuser", 116);
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_member_to_list", {"cyc-a", "USER", "cycuser"}));
+
+  const int64_t users_id = PrincipalUserId(*mc_, "cycuser");
+  const std::vector<int64_t>& closure = mc_->ContainingListClosure("USER", users_id);
+  ASSERT_EQ(2u, closure.size());
+  EXPECT_TRUE(std::is_sorted(closure.begin(), closure.end()));
+  RowRef cyc_a = mc_->ListByName("cyc-a");
+  RowRef cyc_b = mc_->ListByName("cyc-b");
+  const int64_t id_a = MoiraContext::IntCell(mc_->list(), cyc_a.row, "list_id");
+  const int64_t id_b = MoiraContext::IntCell(mc_->list(), cyc_b.row, "list_id");
+  EXPECT_TRUE(std::binary_search(closure.begin(), closure.end(), id_a));
+  EXPECT_TRUE(std::binary_search(closure.begin(), closure.end(), id_b));
+
+  // IsUserInList is exact over the cycle (no depth cap to fall off).
+  EXPECT_TRUE(IsUserInList(*mc_, users_id, id_a));
+  EXPECT_TRUE(IsUserInList(*mc_, users_id, id_b));
+  EXPECT_FALSE(IsUserInList(*mc_, users_id, id_a + 1000));
 }
 
 }  // namespace

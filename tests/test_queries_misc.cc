@@ -151,7 +151,10 @@ TEST_F(MiscQueriesTest, TableStatisticsReportAccessPaths) {
   ASSERT_FALSE(tuples.empty());
   bool found_users = false;
   for (const Tuple& t : tuples) {
-    ASSERT_EQ(10u, t.size());
+    // table, appends, updates, deletes, index_hits, prefix_scans,
+    // range_scans, full_scans, rows_examined, rows_emitted, join_reorders,
+    // probe_cache_hits.
+    ASSERT_EQ(12u, t.size());
     if (t[0] == "users") {
       found_users = true;
       EXPECT_NE("0", t[1]);  // appends from AddActiveUser

@@ -62,6 +62,26 @@ TEST_F(ServerClientTest, AccessPathStatsAggregateOverTables) {
   EXPECT_EQ(after.full_scans, before.full_scans);
 }
 
+TEST_F(ServerClientTest, AccessPathStatsExposeClosureCacheCounters) {
+  MrClient client = MakeClient();
+  ASSERT_EQ(MR_SUCCESS, client.Connect());
+  client.SetKerberosIdentity(realm_.get(), "jrandom", "hunter2");
+  ASSERT_EQ(MR_SUCCESS, client.Auth("testapp"));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_list", {"jlist", "1", "0", "0", "1", "0", "-1",
+                                             "NONE", "NONE", "d"}));
+  ASSERT_EQ(MR_SUCCESS, RunRoot("add_member_to_list", {"jlist", "USER", "jrandom"}));
+  MoiraServer::AccessPathStats before = server_->access_path_stats();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(MR_SUCCESS,
+              client.Query("get_lists_of_member", {"RUSER", "jrandom"}, [](Tuple) {}));
+  }
+  MoiraServer::AccessPathStats after = server_->access_path_stats();
+  // The first recursive expansion computes and memoizes jrandom's list
+  // closure; the repeat is served from the cache.
+  EXPECT_GT(after.closure_cache_misses, before.closure_cache_misses);
+  EXPECT_GT(after.closure_cache_hits, before.closure_cache_hits);
+}
+
 TEST_F(ServerClientTest, UnauthenticatedMutationDenied) {
   MrClient client = MakeClient();
   ASSERT_EQ(MR_SUCCESS, client.Connect());
