@@ -1,9 +1,13 @@
 // E6 — The Moira-to-server update protocol under load and failure (paper
 // section 5.9): a full propagation cycle of 59 files / 90 propagations, the
-// per-host update cost, and retry behaviour under a crash-rate sweep.
+// per-host update cost, retry behaviour under a crash-rate sweep, and the
+// resilience-layer report (flaky-fleet convergence with the retry/breaker
+// layer on vs off, and quarantine economics for a dead host), which lands in
+// BENCH_propagation.json.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/common/random.h"
@@ -93,6 +97,183 @@ BENCHMARK(BM_PropagationWithFailures)
     ->Arg(300)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Resilience report: deterministic flaky-fleet convergence and quarantine
+// economics, written to BENCH_propagation.json.
+
+struct ConvergenceSample {
+  const char* config;   // "retry+breaker" or "baseline"
+  int flaky_permille;
+  uint64_t seed;
+  int hosts;
+  int passes;           // DCM passes until a fully clean pass (capped at 60)
+  bool converged;
+  int soft_failures;    // total across the run
+  int host_retries;     // in-pass retries beyond the first attempt
+};
+
+struct QuarantineSample {
+  const char* config;
+  int passes;
+  int attempts_on_down_host;  // connection attempts the dead host received
+  int breaker_opens;
+  int breaker_skips;          // attempts saved by the open breaker
+  int probe_failures;
+};
+
+// A ~20-host fleet: 1 hesiod + 15 NFS + mail hub + 3 zephyr + 2 POP servers.
+SiteSpec FleetSpec() {
+  SiteSpec spec = TestSiteSpec();
+  spec.nfs_servers = 15;
+  return spec;
+}
+
+ConvergenceSample RunConvergence(bool resilient, int flaky_permille, uint64_t seed) {
+  BenchSite site{FleetSpec()};
+  DcmResilienceConfig config;
+  if (resilient) {
+    config.retry.max_attempts = 3;  // outlasts the plan's 2 flaky refusals
+    config.retry.initial_backoff = 30;
+    config.retry.jitter_permille = 200;
+    config.retry.seed = seed;
+  } else {
+    config.enabled = false;  // the paper's one-attempt-per-pass behaviour
+  }
+  site.dcm->set_resilience(config);
+  site.dcm->update_client().set_sleep_fn(
+      [&site](UnixTime s) { site.clock.Advance(s); });
+  FaultPlanSpec fault;
+  fault.seed = seed;
+  fault.flaky_permille = flaky_permille;
+  fault.flaky_fail_count = 2;
+  FaultPlan plan(fault);
+  ConvergenceSample sample{resilient ? "retry+breaker" : "baseline",
+                           flaky_permille,
+                           seed,
+                           static_cast<int>(site.hosts.size()),
+                           0,
+                           false,
+                           0,
+                           0};
+  while (sample.passes < 60) {
+    // The draw depends only on (seed, pass, host index): both configs replay
+    // the identical fault schedule no matter how many passes each needs.
+    plan.ArmPass(site.hosts, sample.passes);
+    DcmRunSummary summary = site.dcm->RunOnce();
+    ++sample.passes;
+    sample.soft_failures += summary.host_soft_failures;
+    sample.host_retries += summary.host_retries;
+    if (summary.host_soft_failures == 0 && summary.host_hard_failures == 0 &&
+        summary.breaker_skips == 0) {
+      sample.converged = true;
+      break;
+    }
+    site.clock.Advance(15 * kSecondsPerMinute);  // the paper's retry interval
+  }
+  return sample;
+}
+
+QuarantineSample RunQuarantine(bool breaker_on, int passes) {
+  BenchSite site{FleetSpec()};
+  DcmResilienceConfig config;
+  config.enabled = breaker_on;
+  config.breaker_threshold = 3;
+  config.breaker_cooldown = 45 * kSecondsPerMinute;
+  site.dcm->set_resilience(config);
+  SimHost* down = site.directory.Find(site.builder->nfs_server_names()[0]);
+  down->SetFailMode(HostFailMode::kRefuseConnection, 1 << 20);  // dead for good
+  QuarantineSample sample{breaker_on ? "retry+breaker" : "baseline", passes, 0, 0, 0, 0};
+  for (int pass = 0; pass < passes; ++pass) {
+    DcmRunSummary summary = site.dcm->RunOnce();
+    sample.breaker_opens += summary.breaker_opens;
+    sample.breaker_skips += summary.breaker_skips;
+    sample.probe_failures += summary.probe_failures;
+    site.clock.Advance(15 * kSecondsPerMinute);
+  }
+  sample.attempts_on_down_host = down->connect_attempts();
+  return sample;
+}
+
+// Runs the sweep, writes BENCH_propagation.json, prints a summary.  Returns
+// false if the resilient configuration fails its acceptance bar (convergence,
+// strictly fewer passes than baseline, quarantine saving attempts), which
+// scripts/check.sh --fault-smoke turns into a build failure.
+bool RunResilienceReport(const char* path) {
+  constexpr uint64_t kSeed = 1988;
+  std::vector<ConvergenceSample> convergence;
+  for (int flaky_permille : {100, 300, 500}) {
+    convergence.push_back(RunConvergence(/*resilient=*/false, flaky_permille, kSeed));
+    convergence.push_back(RunConvergence(/*resilient=*/true, flaky_permille, kSeed));
+  }
+  std::vector<QuarantineSample> quarantine;
+  quarantine.push_back(RunQuarantine(/*breaker_on=*/false, 12));
+  quarantine.push_back(RunQuarantine(/*breaker_on=*/true, 12));
+
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_propagation_resilience\",\n"
+                  "  \"convergence\": [\n");
+  for (size_t i = 0; i < convergence.size(); ++i) {
+    const ConvergenceSample& s = convergence[i];
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"flaky_permille\": %d, \"seed\": %llu, "
+                 "\"hosts\": %d, \"passes\": %d, \"converged\": %s, "
+                 "\"soft_failures\": %d, \"host_retries\": %d}%s\n",
+                 s.config, s.flaky_permille, static_cast<unsigned long long>(s.seed),
+                 s.hosts, s.passes, s.converged ? "true" : "false", s.soft_failures,
+                 s.host_retries, i + 1 < convergence.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"quarantine\": [\n");
+  for (size_t i = 0; i < quarantine.size(); ++i) {
+    const QuarantineSample& s = quarantine[i];
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"passes\": %d, "
+                 "\"attempts_on_down_host\": %d, \"breaker_opens\": %d, "
+                 "\"breaker_skips\": %d, \"probe_failures\": %d}%s\n",
+                 s.config, s.passes, s.attempts_on_down_host, s.breaker_opens,
+                 s.breaker_skips, s.probe_failures,
+                 i + 1 < quarantine.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  bool ok = true;
+  std::printf("E6 resilience: flaky-fleet convergence (%d hosts, seed %llu)\n",
+              convergence[0].hosts, static_cast<unsigned long long>(kSeed));
+  std::printf("  %-8s %-14s %7s %10s %6s %8s\n", "flaky", "config", "passes",
+              "converged", "soft", "retries");
+  for (size_t i = 0; i + 1 < convergence.size(); i += 2) {
+    const ConvergenceSample& base = convergence[i];
+    const ConvergenceSample& res = convergence[i + 1];
+    for (const ConvergenceSample* s : {&base, &res}) {
+      std::printf("  %3d/1000 %-14s %7d %10s %6d %8d\n", s->flaky_permille, s->config,
+                  s->passes, s->converged ? "yes" : "NO", s->soft_failures,
+                  s->host_retries);
+    }
+    if (!res.converged || !base.converged || res.passes >= base.passes) {
+      std::printf("  ^^ FAIL: resilient config must converge in strictly fewer "
+                  "passes\n");
+      ok = false;
+    }
+  }
+  const QuarantineSample& qbase = quarantine[0];
+  const QuarantineSample& qres = quarantine[1];
+  std::printf("  quarantine (dead host, %d passes): baseline %d attempts, "
+              "breaker %d attempts (%d skipped, %d opens, %d failed probes)\n",
+              qbase.passes, qbase.attempts_on_down_host, qres.attempts_on_down_host,
+              qres.breaker_skips, qres.breaker_opens, qres.probe_failures);
+  if (qres.breaker_skips <= 0 ||
+      qres.attempts_on_down_host >= qbase.attempts_on_down_host) {
+    std::printf("  ^^ FAIL: an open breaker must stop consuming update attempts\n");
+    ok = false;
+  }
+  std::printf("wrote %s\n\n", path);
+  return ok;
+}
+
 void PrintCycleReport() {
   BenchSite site{SiteSpec{}};
   DcmRunSummary summary = site.dcm->RunOnce();
@@ -109,7 +290,8 @@ void PrintCycleReport() {
 
 int main(int argc, char** argv) {
   moira::PrintCycleReport();
+  bool resilience_ok = moira::RunResilienceReport("BENCH_propagation.json");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return resilience_ok ? 0 : 1;
 }

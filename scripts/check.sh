@@ -1,11 +1,30 @@
 #!/bin/sh
 # Tier-1 test suite under AddressSanitizer + UndefinedBehaviorSanitizer,
 # plus a bench smoke mode that runs the report-generating benchmark once
-# (microbenchmarks filtered out) and fails on malformed BENCH_*.json.
+# (microbenchmarks filtered out) and fails on malformed BENCH_*.json, plus a
+# fault smoke mode that replays the deterministic flaky-fleet sweep under the
+# sanitizers and fails if the resilience layer stops converging the fleet.
 # Usage: scripts/check.sh [build-dir]                 (default: build-asan)
 #        scripts/check.sh --bench-smoke [build-dir]   (default: build)
+#        scripts/check.sh --fault-smoke [build-dir]   (default: build-asan)
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "$1" = "--fault-smoke" ]; then
+  BUILD_DIR="${2:-build-asan}"
+  cmake -B "$BUILD_DIR" -S . -DMOIRA_SANITIZE=ON >/dev/null
+  cmake --build "$BUILD_DIR" -j --target bench_propagation
+  SMOKE_DIR="$BUILD_DIR/fault-smoke"
+  rm -rf "$SMOKE_DIR"
+  mkdir -p "$SMOKE_DIR"
+  BENCH_BIN="$(pwd)/$BUILD_DIR/bench/bench_propagation"
+  # The unmatchable filter skips the timing loops; the resilience report still
+  # runs, writes BENCH_propagation.json, and exits non-zero if the flaky
+  # fleet fails to converge (or converges no faster than the baseline).
+  (cd "$SMOKE_DIR" && "$BENCH_BIN" --benchmark_filter='^$')
+  python3 scripts/validate_bench_json.py "$SMOKE_DIR"/BENCH_*.json
+  exit 0
+fi
 
 if [ "$1" = "--bench-smoke" ]; then
   BUILD_DIR="${2:-build}"

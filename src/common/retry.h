@@ -1,0 +1,70 @@
+// Reusable clock-driven retry policy (resilience layer, DESIGN.md).
+//
+// A RetryPolicy bounds how stubbornly a caller re-attempts a failing
+// operation: a per-pass attempt budget, exponential backoff between attempts
+// with deterministic seeded jitter (so fleets of retriers decorrelate without
+// losing reproducibility), and an overall wall-clock deadline.  Everything is
+// computed against the injectable Clock, so tests and benches replay hours of
+// backoff in milliseconds on a SimulatedClock.
+#ifndef MOIRA_SRC_COMMON_RETRY_H_
+#define MOIRA_SRC_COMMON_RETRY_H_
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+
+namespace moira {
+
+struct RetryPolicy {
+  // Total attempts allowed, first try included.  1 = no retries.
+  int max_attempts = 1;
+  // Backoff before the second attempt, in seconds; doubles (times
+  // `multiplier`) per failure, capped at `max_backoff`.
+  UnixTime initial_backoff = 1;
+  int multiplier = 2;
+  UnixTime max_backoff = 10 * kSecondsPerMinute;
+  // Overall budget in seconds from the first attempt; 0 = unbounded.  A new
+  // attempt (or a backoff that would overrun it) is refused once exceeded.
+  UnixTime deadline = 0;
+  // Backoff is scaled by a factor drawn uniformly from
+  // [1 - jitter_permille/1000, 1 + jitter_permille/1000]; 0 = no jitter.
+  uint32_t jitter_permille = 0;
+  // Seed for the jitter stream; the same seed replays the same schedule.
+  uint64_t seed = 0;
+};
+
+// Tracks one operation's attempts against a policy.  Typical loop:
+//
+//   RetryController retry(policy, clock);
+//   while (true) {
+//     if (TryOnce()) break;
+//     UnixTime backoff = retry.RecordFailure();
+//     if (backoff < 0) break;      // budget exhausted
+//     Sleep(backoff);              // tests: clock->Advance(backoff)
+//   }
+class RetryController {
+ public:
+  RetryController(const RetryPolicy& policy, const Clock* clock);
+
+  // Records a failed attempt.  Returns the backoff (seconds, possibly 0) to
+  // wait before the next attempt, or -1 when the attempt budget or the
+  // overall deadline is exhausted.
+  UnixTime RecordFailure();
+
+  // True while the deadline (if any) has not passed.
+  bool WithinDeadline() const;
+
+  int attempts() const { return attempts_; }
+  UnixTime elapsed() const { return clock_->Now() - start_; }
+
+ private:
+  RetryPolicy policy_;
+  const Clock* clock_;
+  SplitMix64 jitter_;
+  UnixTime start_;
+  UnixTime next_backoff_;
+  int attempts_ = 0;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_COMMON_RETRY_H_

@@ -304,8 +304,10 @@ int32_t AddServerHostInfo(QueryCall& call) {
       Value(service_name), Value(mach_id), Value(enable), Value(int64_t{0}) /* override */,
       Value(int64_t{0}) /* success */, Value(int64_t{0}) /* inprogress */,
       Value(int64_t{0}) /* hosterror */, Value("") /* hosterrmsg */, Value(int64_t{0}),
-      Value(int64_t{0}), Value(value1), Value(value2), Value(call.args[5]), Value(int64_t{0}),
-      Value(""), Value(""),
+      Value(int64_t{0}), Value(int64_t{0}) /* consec_soft */,
+      Value(int64_t{0}) /* breaker */, Value(int64_t{0}) /* breaker_until */,
+      Value(int64_t{0}) /* breaker_opens */, Value(value1), Value(value2),
+      Value(call.args[5]), Value(int64_t{0}), Value(""), Value(""),
   });
   mc.Stamp(sh, row, call.principal, call.client_name);
   return MR_SUCCESS;
@@ -352,6 +354,11 @@ int32_t ResetServerHostError(QueryCall& call) {
   Table* sh = mc.serverhosts();
   MoiraContext::SetCell(sh, row, "hosterror", Value(int64_t{0}));
   MoiraContext::SetCell(sh, row, "hosterrmsg", Value(""));
+  // An operator reset also forgives the circuit breaker: the host re-enters
+  // the rotation immediately instead of waiting out a cool-down.
+  MoiraContext::SetCell(sh, row, "consec_soft", Value(int64_t{0}));
+  MoiraContext::SetCell(sh, row, "breaker", Value(int64_t{0}));
+  MoiraContext::SetCell(sh, row, "breaker_until", Value(int64_t{0}));
   mc.Stamp(sh, row, call.principal, call.client_name);
   return MR_SUCCESS;
 }
@@ -427,6 +434,26 @@ int32_t DeleteServerHostInfo(QueryCall& call) {
   return MR_SUCCESS;
 }
 
+// Per-host resilience state: breaker position, consecutive soft failures,
+// cool-down expiry, lifetime quarantine count, and the last try/success
+// timestamps.  Privileged (dbadmin via CAPACLS, not world_ok): it exposes
+// fleet health, which is operator material, not user material.
+int32_t GetServerHostHealth(QueryCall& call) {
+  MoiraContext& mc = call.mc;
+  const Table* sh = mc.serverhosts();
+  From(sh).Emit([&](const std::vector<size_t>& rows) {
+    size_t row = rows[0];
+    int64_t breaker = MoiraContext::IntCell(sh, row, "breaker");
+    const char* state = breaker == 1 ? "OPEN" : breaker == 2 ? "HALF-OPEN" : "CLOSED";
+    call.emit({MoiraContext::StrCell(sh, row, "service"),
+               ServerHostMachineName(mc, sh, row), state,
+               IntStr(sh, row, "consec_soft"), IntStr(sh, row, "breaker_until"),
+               IntStr(sh, row, "breaker_opens"), IntStr(sh, row, "hosterror"),
+               IntStr(sh, row, "ltt"), IntStr(sh, row, "lts")});
+  });
+  return MR_SUCCESS;
+}
+
 int32_t GetServerLocations(QueryCall& call) {
   MoiraContext& mc = call.mc;
   const Table* sh = mc.serverhosts();
@@ -489,6 +516,10 @@ void AppendServerQueries(std::vector<QueryDef>* defs) {
            "service, machine", "", SelfOnServiceAce, DeleteServerHostInfo},
           {"get_server_locations", "gslo", QueryClass::kRetrieve, 1, true, "service",
            "service, machine", nullptr, GetServerLocations},
+          {"get_server_host_health", "gshh", QueryClass::kRetrieve, 0, false, "",
+           "service, machine, breaker, consec_soft, breaker_until, breaker_opens, "
+           "hosterror, lasttry, lastsuccess",
+           nullptr, GetServerHostHealth},
       });
 }
 

@@ -112,12 +112,18 @@ void CreateMoiraSchema(Database* db) {
             },
             {"name"});
 
+  // consec_soft / breaker / breaker_until / breaker_opens persist the DCM's
+  // per-host circuit breaker (DESIGN.md resilience layer): consecutive soft
+  // failures, breaker state (0 closed / 1 open / 2 half-open), the cool-down
+  // expiry, and how many times the host has been quarantined.
   MakeTable(db, kServerHostsTable,
             {
                 {"service", kStr},    {"mach_id", kInt},   {"enable", kInt},
                 {"override", kInt},   {"success", kInt},   {"inprogress", kInt},
                 {"hosterror", kInt},  {"hosterrmsg", kStr}, {"ltt", kInt},
-                {"lts", kInt},        {"value1", kInt},    {"value2", kInt},
+                {"lts", kInt},        {"consec_soft", kInt}, {"breaker", kInt},
+                {"breaker_until", kInt}, {"breaker_opens", kInt},
+                {"value1", kInt},     {"value2", kInt},
                 {"value3", kStr},     {"modtime", kInt},   {"modby", kStr},
                 {"modwith", kStr},
             },

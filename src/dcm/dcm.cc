@@ -30,6 +30,13 @@ Dcm::Dcm(MoiraContext* mc, KerberosRealm* realm, ZephyrBus* zephyr, HostDirector
       update_client_(realm, kDcmPrincipal, "dcm-service-password") {
   // Register the DCM's own principal so it can obtain update tickets.
   realm->AddPrincipal(kDcmPrincipal, "dcm-service-password");
+  set_resilience(resilience_);
+}
+
+void Dcm::set_resilience(const DcmResilienceConfig& config) {
+  resilience_ = config;
+  update_client_.set_retry_policy(config.enabled ? config.retry : RetryPolicy{});
+  update_client_.set_deadlines(config.enabled ? config.deadlines : UpdateDeadlines{});
 }
 
 void Dcm::ConfigureService(const std::string& service, DcmServiceConfig config) {
@@ -166,6 +173,25 @@ void Dcm::HostScanPhase(const ServiceRow& service, DcmRunSummary* summary) {
     if (!host_lock.held()) {
       continue;
     }
+    // Circuit breaker: an open breaker quarantines the host — skipped
+    // outright, consuming zero update attempts — until its cool-down
+    // expires, after which one half-open probe attempt decides whether to
+    // close it again.
+    bool half_open_probe = false;
+    if (resilience_.enabled) {
+      int64_t breaker = MoiraContext::IntCell(sh, row, "breaker");
+      if (breaker == kBreakerOpen) {
+        if (mc_->Now() < MoiraContext::IntCell(sh, row, "breaker_until")) {
+          ++summary->breaker_skips;
+          continue;
+        }
+        MoiraContext::SetCellInternal(sh, row, "breaker", Value(kBreakerHalfOpen));
+        half_open_probe = true;
+      } else if (breaker == kBreakerHalfOpen) {
+        // A previous DCM died mid-probe; probe again rather than trust it.
+        half_open_probe = true;
+      }
+    }
     MoiraContext::SetCellInternal(sh, row, "inprogress", Value(int64_t{1}));
     const UnixTime now = mc_->Now();
     MoiraContext::SetCellInternal(sh, row, "ltt", Value(now));
@@ -173,12 +199,27 @@ void Dcm::HostScanPhase(const ServiceRow& service, DcmRunSummary* summary) {
     std::string payload = archive.Serialize();
     UpdateOutcome outcome =
         update_client_.Update(hosts_->Find(machine_name), service.target, payload,
-                              configs_[service.name].script);
+                              configs_[service.name].script,
+                              /*single_attempt=*/half_open_probe);
+    if (outcome.attempts > 1) {
+      summary->host_retries += outcome.attempts - 1;
+    }
+    if (outcome.code == MR_UPDATE_TIMEOUT) {
+      ++summary->update_timeouts;
+    }
     if (outcome.code == MR_SUCCESS) {
       MoiraContext::SetCellInternal(sh, row, "success", Value(int64_t{1}));
       MoiraContext::SetCellInternal(sh, row, "lts", Value(now));
       MoiraContext::SetCellInternal(sh, row, "override", Value(int64_t{0}));
       MoiraContext::SetCellInternal(sh, row, "hosterrmsg", Value(""));
+      MoiraContext::SetCellInternal(sh, row, "consec_soft", Value(int64_t{0}));
+      if (MoiraContext::IntCell(sh, row, "breaker") != kBreakerClosed) {
+        MoiraContext::SetCellInternal(sh, row, "breaker", Value(kBreakerClosed));
+        MoiraContext::SetCellInternal(sh, row, "breaker_until", Value(int64_t{0}));
+      }
+      if (half_open_probe) {
+        ++summary->probe_successes;
+      }
       ++summary->hosts_updated;
       summary->propagations += static_cast<int>(archive.size());
       summary->bytes_propagated += static_cast<int64_t>(payload.size());
@@ -187,6 +228,31 @@ void Dcm::HostScanPhase(const ServiceRow& service, DcmRunSummary* summary) {
       MoiraContext::SetCellInternal(sh, row, "success", Value(int64_t{0}));
       MoiraContext::SetCellInternal(sh, row, "hosterrmsg", Value(outcome.message));
       ++summary->host_soft_failures;
+      const int64_t consec = MoiraContext::IntCell(sh, row, "consec_soft") + 1;
+      MoiraContext::SetCellInternal(sh, row, "consec_soft", Value(consec));
+      if (resilience_.enabled) {
+        // In-pass backoffs may have advanced the clock; the cool-down starts
+        // from when the attempt actually ended.
+        const UnixTime after = mc_->Now();
+        if (half_open_probe) {
+          MoiraContext::SetCellInternal(sh, row, "breaker", Value(kBreakerOpen));
+          MoiraContext::SetCellInternal(sh, row, "breaker_until",
+                                        Value(after + resilience_.breaker_cooldown));
+          ++summary->probe_failures;
+        } else if (consec >= resilience_.breaker_threshold) {
+          MoiraContext::SetCellInternal(sh, row, "breaker", Value(kBreakerOpen));
+          MoiraContext::SetCellInternal(sh, row, "breaker_until",
+                                        Value(after + resilience_.breaker_cooldown));
+          MoiraContext::SetCellInternal(
+              sh, row, "breaker_opens",
+              Value(MoiraContext::IntCell(sh, row, "breaker_opens") + 1));
+          ++summary->breaker_opens;
+          // Escalate once per quarantine, not once per skipped pass.
+          ReportHardError("quarantine " + service.name + "/" + machine_name,
+                          outcome.message + " (" + std::to_string(consec) +
+                              " consecutive soft failures)");
+        }
+      }
     } else {
       // Hard failure: record, notify via zephyr and mail, and for a
       // replicated service stop updating its other hosts.

@@ -28,6 +28,12 @@ namespace moira {
 // The principal the DCM authenticates as for host updates.
 inline constexpr char kDcmPrincipal[] = "moira.dcm";
 
+// serverhosts.breaker states, persisted across DCM passes (and rendered by
+// the privileged get_server_host_health query).
+inline constexpr int64_t kBreakerClosed = 0;
+inline constexpr int64_t kBreakerOpen = 1;
+inline constexpr int64_t kBreakerHalfOpen = 2;
+
 struct DcmServiceConfig {
   GeneratorFn generator;
   // Tables whose modification invalidates this service's generated files.
@@ -49,6 +55,26 @@ struct DcmRunSummary {
   int64_t bytes_propagated = 0;
   int files_generated = 0;      // total archive members across fresh payloads
   int propagations = 0;         // file deliveries: members x hosts reached
+  // Resilience-layer counters (DESIGN.md).
+  int host_retries = 0;         // in-pass retry attempts beyond the first
+  int update_timeouts = 0;      // updates that ended on a phase deadline
+  int breaker_opens = 0;        // hosts quarantined this pass
+  int breaker_skips = 0;        // update attempts saved by open breakers
+  int probe_successes = 0;      // half-open probes that closed the breaker
+  int probe_failures = 0;       // half-open probes that re-opened it
+};
+
+// Knobs for the DCM's resilience layer: the in-pass retry policy handed to
+// the UpdateClient and the per-host circuit breaker.  Disabled reproduces the
+// paper's one-attempt-per-pass behaviour exactly.
+struct DcmResilienceConfig {
+  bool enabled = true;
+  // Consecutive soft failures (across passes) that open a host's breaker.
+  int breaker_threshold = 3;
+  // How long an open breaker quarantines its host before a half-open probe.
+  UnixTime breaker_cooldown = kSecondsPerHour;
+  RetryPolicy retry;            // default: one attempt, no in-pass retries
+  UpdateDeadlines deadlines;    // default: unbounded phases
 };
 
 class Dcm {
@@ -61,6 +87,15 @@ class Dcm {
 
   // The /etc/nodcm disable file (paper section 5.7.1).
   void set_nodcm(bool nodcm) { nodcm_ = nodcm; }
+
+  // Installs the resilience configuration (retry policy, phase deadlines,
+  // breaker thresholds).  May be called between runs to reconfigure.
+  void set_resilience(const DcmResilienceConfig& config);
+  const DcmResilienceConfig& resilience() const { return resilience_; }
+
+  // Access to the update client, e.g. to install a sleep hook that advances
+  // a simulated clock during retry backoffs.
+  UpdateClient& update_client() { return update_client_; }
 
   // One cron-invoked DCM pass over all services and hosts.
   DcmRunSummary RunOnce();
@@ -87,6 +122,7 @@ class Dcm {
   LockManager locks_;
   std::map<std::string, DcmServiceConfig> configs_;
   std::map<std::string, GeneratorResult> staged_;
+  DcmResilienceConfig resilience_;
   bool nodcm_ = false;
 };
 

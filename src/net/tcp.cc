@@ -26,7 +26,8 @@ void SetNonBlocking(int fd) {
 
 }  // namespace
 
-TcpServer::TcpServer(MessageHandler* handler) : handler_(handler) {}
+TcpServer::TcpServer(MessageHandler* handler, const Clock* clock)
+    : handler_(handler), clock_(clock) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -77,6 +78,24 @@ void TcpServer::CloseConnection(uint64_t conn_id) {
   handler_->OnDisconnect(conn_id);
 }
 
+void TcpServer::SweepIdleConnections() {
+  if (clock_ == nullptr || idle_timeout_ <= 0) {
+    return;
+  }
+  const UnixTime now = clock_->Now();
+  std::vector<uint64_t> stale;
+  for (const auto& [conn_id, conn] : connections_) {
+    if (now - conn.last_activity > idle_timeout_) {
+      stale.push_back(conn_id);
+    }
+  }
+  for (uint64_t conn_id : stale) {
+    FlushWrites(conn_id);  // drain any pending reply before hanging up
+    CloseConnection(conn_id);
+    ++idle_closes_;
+  }
+}
+
 void TcpServer::FlushWrites(uint64_t conn_id) {
   auto it = connections_.find(conn_id);
   if (it == connections_.end()) {
@@ -119,6 +138,9 @@ int TcpServer::Poll(int timeout_ms) {
     ids.push_back(conn_id);
   }
   int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  // Idle connections produce no poll events, so the sweep must run even on a
+  // timeout round.
+  SweepIdleConnections();
   if (ready <= 0) {
     return ready;
   }
@@ -132,6 +154,14 @@ int TcpServer::Poll(int timeout_ms) {
       if (fd < 0) {
         break;
       }
+      if (max_connections_ != 0 && connections_.size() >= max_connections_) {
+        // Shed gracefully: the client sees an orderly EOF instead of hanging
+        // in the listen backlog behind a full server.
+        ::close(fd);
+        ++shed_connections_;
+        ++handled;
+        continue;
+      }
       SetNonBlocking(fd);
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -139,7 +169,9 @@ int TcpServer::Poll(int timeout_ms) {
       char ip[INET_ADDRSTRLEN] = {0};
       ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
       std::string peer_name = std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port));
-      connections_[conn_id] = Connection{fd, FrameReader(), "", 0, peer_name};
+      connections_[conn_id] =
+          Connection{fd, FrameReader(), "", 0, peer_name,
+                     clock_ != nullptr ? clock_->Now() : 0};
       handler_->OnConnect(conn_id, peer_name);
       ++handled;
     }
@@ -162,6 +194,9 @@ int TcpServer::Poll(int timeout_ms) {
         ssize_t n = ::recv(it->second.fd, buf, sizeof(buf), 0);
         if (n > 0) {
           it->second.reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+          if (clock_ != nullptr) {
+            it->second.last_activity = clock_->Now();
+          }
           continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "src/common/clock.h"
 #include "src/net/channel.h"
 #include "src/protocol/wire.h"
 
@@ -19,7 +20,9 @@ namespace moira {
 
 class TcpServer {
  public:
-  explicit TcpServer(MessageHandler* handler);
+  // The clock, when provided, drives the idle-connection sweep; without one
+  // idle timeouts are disabled regardless of set_idle_timeout.
+  explicit TcpServer(MessageHandler* handler, const Clock* clock = nullptr);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -40,6 +43,18 @@ class TcpServer {
 
   size_t connection_count() const { return connections_.size(); }
 
+  // Connections idle (no bytes received) for more than this many seconds are
+  // closed during Poll.  0 disables the sweep (the default).
+  void set_idle_timeout(UnixTime seconds) { idle_timeout_ = seconds; }
+
+  // Cap on concurrent connections; excess accepts are shed gracefully — the
+  // connection is accepted and immediately closed, so the client observes EOF
+  // rather than hanging in the listen backlog.  0 means unlimited.
+  void set_max_connections(size_t cap) { max_connections_ = cap; }
+
+  int idle_closes() const { return idle_closes_; }
+  int shed_connections() const { return shed_connections_; }
+
  private:
   struct Connection {
     int fd = -1;
@@ -47,15 +62,22 @@ class TcpServer {
     std::string outbound;   // bytes not yet written
     size_t out_consumed = 0;
     std::string peer;
+    UnixTime last_activity = 0;
   };
 
   void CloseConnection(uint64_t conn_id);
   void FlushWrites(uint64_t conn_id);
+  void SweepIdleConnections();
 
   MessageHandler* handler_;
+  const Clock* clock_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   uint64_t next_conn_id_ = 1;
+  UnixTime idle_timeout_ = 0;
+  size_t max_connections_ = 0;
+  int idle_closes_ = 0;
+  int shed_connections_ = 0;
   std::map<uint64_t, Connection> connections_;
 };
 

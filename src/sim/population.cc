@@ -375,8 +375,9 @@ int SiteBuilder::Build(const SiteSpec& spec) {
   auto add_serverhost = [&](const char* service, int64_t mach_id, int64_t value1,
                             int64_t value2, const std::string& value3) {
     mc.serverhosts()->Append({Value(service), Value(mach_id), Value(int64_t{1}), zero, zero,
-                              zero, zero, Value(""), zero, zero, Value(value1),
-                              Value(value2), Value(value3), Value(now), root, setup});
+                              zero, zero, Value(""), zero, zero, zero, zero, zero, zero,
+                              Value(value1), Value(value2), Value(value3), Value(now), root,
+                              setup});
   };
   add_service("HESIOD", 6 * 60, "/tmp/hesiod.out", "hesiod.sh", "REPLICAT");
   add_serverhost("HESIOD", hesiod_mach, 0, 0, "");

@@ -2,6 +2,7 @@
 
 #include "src/comerr/moira_errors.h"
 #include "src/common/checksum.h"
+#include "src/common/random.h"
 #include "src/common/strutil.h"
 
 namespace moira {
@@ -60,10 +61,12 @@ bool SimHost::ConsumeFailMode(HostFailMode mode) {
 }
 
 int32_t SimHost::BeginSession(std::string_view authenticator) {
+  ++connect_attempts_;
   if (crashed_) {
     return MR_UPDATE_CONN;
   }
-  if (ConsumeFailMode(HostFailMode::kRefuseConnection)) {
+  if (ConsumeFailMode(HostFailMode::kRefuseConnection) ||
+      ConsumeFailMode(HostFailMode::kFlaky)) {
     return MR_UPDATE_CONN;
   }
   VerifiedIdentity identity;
@@ -92,7 +95,14 @@ int32_t SimHost::ReceiveFile(const std::string& target, std::string_view data,
     session_open_ = false;
     return MR_UPDATE_XFER;
   }
-  if (Crc32(data) != crc) {
+  if (ConsumeFailMode(HostFailMode::kSlow)) {
+    // The transfer completes but takes so long the client's transfer-phase
+    // deadline expires.  Only a simulated clock can be stalled.
+    if (sim_clock_ != nullptr) {
+      sim_clock_->Advance(slow_seconds_);
+    }
+  }
+  if (ConsumeFailMode(HostFailMode::kCorruptTransfer) || Crc32(data) != crc) {
     return MR_UPDATE_CKSUM;
   }
   // Complete transfer: the temp file is atomically renamed onto the target.
@@ -266,6 +276,48 @@ int32_t SimHost::ExecuteInstructions(std::string* errmsg) {
 
 void SimHost::RegisterCommand(std::string command, std::function<int(SimHost&)> handler) {
   commands_[std::move(command)] = std::move(handler);
+}
+
+namespace {
+
+void ArmHost(const FaultPlanSpec& spec, SimHost* host, uint64_t seed) {
+  // One independent, reproducible stream per (seed, pass, host).
+  SplitMix64 rng(seed);
+  host->SetFailMode(HostFailMode::kNone, 0);
+  if (spec.down_permille > 0 && rng.Chance(spec.down_permille, 1000)) {
+    // Down for the whole pass, however many attempts the client makes.
+    host->SetFailMode(HostFailMode::kRefuseConnection, 1 << 20);
+    return;
+  }
+  if (spec.flaky_permille > 0 && rng.Chance(spec.flaky_permille, 1000)) {
+    host->SetFailMode(HostFailMode::kFlaky, spec.flaky_fail_count);
+    return;
+  }
+  if (spec.slow_permille > 0 && rng.Chance(spec.slow_permille, 1000)) {
+    host->SetSlowDelay(spec.slow_seconds);
+    host->SetFailMode(HostFailMode::kSlow, 1);
+    return;
+  }
+  if (spec.corrupt_permille > 0 && rng.Chance(spec.corrupt_permille, 1000)) {
+    host->SetFailMode(HostFailMode::kCorruptTransfer, 1);
+  }
+}
+
+}  // namespace
+
+void FaultPlan::ArmPass(const std::vector<SimHost*>& hosts, int pass) const {
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    ArmHost(spec_, hosts[i],
+            spec_.seed + 0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(pass) * 8192 + i));
+  }
+}
+
+void FaultPlan::ArmPass(const std::vector<std::unique_ptr<SimHost>>& hosts,
+                        int pass) const {
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    ArmHost(spec_, hosts[i].get(),
+            spec_.seed + 0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(pass) * 8192 + i));
+  }
 }
 
 void HostDirectory::Register(SimHost* host) { hosts_[host->name()] = host; }

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,6 +39,9 @@ enum class HostFailMode {
   kCrashBeforeExecute,   // transfer completes, crash before the install command
   kCrashDuringExecute,   // crash after the first install instruction
   kScriptError,          // install script exits non-zero: hard error
+  kFlaky,                // refuse the next `count` attempts, then heal
+  kSlow,                 // transfer succeeds but stalls past the deadline
+  kCorruptTransfer,      // bits flip in flight: checksum mismatch, soft
 };
 
 class SimHost {
@@ -59,6 +63,10 @@ class SimHost {
   // --- failure injection and crash/reboot simulation ---
   // Arms `mode` for the next `count` update attempts, then reverts to kNone.
   void SetFailMode(HostFailMode mode, int count = 1);
+  // How long a kSlow transfer stalls (advances the attached simulated clock).
+  void SetSlowDelay(UnixTime seconds) { slow_seconds_ = seconds; }
+  // kSlow needs to move time forward; only a simulated clock can.
+  void AttachSimClock(SimulatedClock* clock) { sim_clock_ = clock; }
   bool crashed() const { return crashed_; }
   // Brings a crashed host back up.  Installed files survive; per the paper,
   // stale temporaries are cleaned when the next update starts, not at boot.
@@ -83,6 +91,12 @@ class SimHost {
   const std::vector<std::string>& executed_commands() const { return executed_commands_; }
   const std::vector<std::string>& signals_sent() const { return signals_sent_; }
   int update_count() const { return update_count_; }
+  // Connection attempts received (successful or refused): quarantined hosts
+  // should stop accumulating these while their breaker is open.
+  int connect_attempts() const { return connect_attempts_; }
+  // The currently armed fault (what FaultPlan::ArmPass drew for this pass).
+  HostFailMode fail_mode() const { return fail_mode_; }
+  int fail_count() const { return fail_count_; }
 
   // Registers a handler for `exec <command>` instructions (e.g. restarting a
   // hesiod server).  The handler's return value is the command exit status.
@@ -100,11 +114,14 @@ class SimHost {
   std::vector<std::string> signals_sent_;
   HostFailMode fail_mode_ = HostFailMode::kNone;
   int fail_count_ = 0;
+  SimulatedClock* sim_clock_ = nullptr;
+  UnixTime slow_seconds_ = kSecondsPerHour;
   bool crashed_ = false;
   bool session_open_ = false;
   std::string session_target_;  // target of the current session's data file
   std::string session_script_;
   int update_count_ = 0;
+  int connect_attempts_ = 0;
 };
 
 // A directory of hosts the DCM can reach, keyed by canonical machine name.
@@ -116,6 +133,40 @@ class HostDirectory {
 
  private:
   std::map<std::string, SimHost*, std::less<>> hosts_;
+};
+
+// Deterministic fleet-wide fault injection: before each DCM pass, every host
+// draws its fault mode for that pass from a stream seeded by (seed, pass,
+// host index), so the same spec replays the exact same fault schedule no
+// matter how many passes a configuration needs to converge.
+struct FaultPlanSpec {
+  uint64_t seed = 1988;
+  // Per-pass probability (permille) that a host is flaky: it refuses the
+  // first `flaky_fail_count` attempts of the pass, then heals.
+  int flaky_permille = 0;
+  int flaky_fail_count = 2;
+  // Probability that a host is down for the whole pass (refuses everything).
+  int down_permille = 0;
+  // Probability that a host's transfer stalls past the phase deadline.
+  int slow_permille = 0;
+  UnixTime slow_seconds = kSecondsPerHour;
+  // Probability that the transferred bytes are corrupted (checksum mismatch).
+  int corrupt_permille = 0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(const FaultPlanSpec& spec) : spec_(spec) {}
+
+  // Arms each host's fail mode for pass number `pass` (0-based).  Hosts not
+  // selected by any draw are reset to healthy.
+  void ArmPass(const std::vector<SimHost*>& hosts, int pass) const;
+  void ArmPass(const std::vector<std::unique_ptr<SimHost>>& hosts, int pass) const;
+
+  const FaultPlanSpec& spec() const { return spec_; }
+
+ private:
+  FaultPlanSpec spec_;
 };
 
 }  // namespace moira

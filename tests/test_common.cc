@@ -9,6 +9,7 @@
 #include "src/common/hash_table.h"
 #include "src/common/queue.h"
 #include "src/common/random.h"
+#include "src/common/retry.h"
 
 namespace moira {
 namespace {
@@ -161,6 +162,85 @@ TEST(SplitMix64, BoundsRespected) {
     EXPECT_GE(v, -5);
     EXPECT_LE(v, 5);
   }
+}
+
+
+TEST(RetryController, ExhaustsAttemptBudget) {
+  SimulatedClock clock(0);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = 4;
+  policy.multiplier = 2;
+  RetryController retry(policy, &clock);
+  EXPECT_EQ(4, retry.RecordFailure());   // before attempt 2
+  clock.Advance(4);
+  EXPECT_EQ(8, retry.RecordFailure());   // before attempt 3
+  clock.Advance(8);
+  EXPECT_EQ(-1, retry.RecordFailure());  // budget spent
+  EXPECT_EQ(3, retry.attempts());
+  EXPECT_EQ(12, retry.elapsed());
+}
+
+TEST(RetryController, SingleAttemptPolicyNeverRetries) {
+  SimulatedClock clock(0);
+  RetryController retry(RetryPolicy{}, &clock);
+  EXPECT_EQ(-1, retry.RecordFailure());
+}
+
+TEST(RetryController, BackoffCapsAtMax) {
+  SimulatedClock clock(0);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff = 100;
+  policy.multiplier = 10;
+  policy.max_backoff = 300;
+  RetryController retry(policy, &clock);
+  EXPECT_EQ(100, retry.RecordFailure());
+  EXPECT_EQ(300, retry.RecordFailure());  // 1000 capped to 300
+  EXPECT_EQ(300, retry.RecordFailure());
+}
+
+TEST(RetryController, DeadlineRefusesOverrunningWait) {
+  SimulatedClock clock(0);
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff = 30;
+  policy.multiplier = 1;
+  policy.deadline = 70;
+  RetryController retry(policy, &clock);
+  EXPECT_EQ(30, retry.RecordFailure());
+  clock.Advance(30);
+  EXPECT_EQ(30, retry.RecordFailure());  // ends exactly at 60 < 70
+  clock.Advance(30);
+  EXPECT_TRUE(retry.WithinDeadline());
+  EXPECT_EQ(-1, retry.RecordFailure());  // 60 + 30 >= 70: refused
+  clock.Advance(10);
+  EXPECT_FALSE(retry.WithinDeadline());
+}
+
+TEST(RetryController, JitterIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff = 1000;
+  policy.multiplier = 1;
+  policy.max_backoff = 1000;     // keep the base flat across attempts
+  policy.jitter_permille = 200;  // scale in [0.8, 1.2]
+  policy.seed = 42;
+  SimulatedClock clock_a(0);
+  SimulatedClock clock_b(0);
+  RetryController a(policy, &clock_a);
+  RetryController b(policy, &clock_b);
+  bool varied = false;
+  for (int i = 0; i < 40; ++i) {
+    UnixTime wa = a.RecordFailure();
+    EXPECT_EQ(wa, b.RecordFailure());  // same seed, same schedule
+    EXPECT_GE(wa, 800);
+    EXPECT_LE(wa, 1200);
+    if (wa != 1000) {
+      varied = true;
+    }
+  }
+  EXPECT_TRUE(varied);
 }
 
 }  // namespace

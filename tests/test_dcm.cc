@@ -255,6 +255,138 @@ TEST_F(DcmTest, ServiceLockBlocksConcurrentGeneration) {
   EXPECT_EQ(1, Host(hesiod_name_)->update_count());
 }
 
+TEST_F(DcmTest, BreakerFullCycleOnSimulatedClock) {
+  DcmResilienceConfig config;
+  config.breaker_threshold = 3;
+  config.breaker_cooldown = 30 * kSecondsPerMinute;
+  dcm_->set_resilience(config);
+  SimHost* nfs = Host(nfs_names_[0]);
+  nfs->SetFailMode(HostFailMode::kRefuseConnection, 1 << 20);  // down for good
+
+  // Three consecutive soft failures cross the threshold and open the breaker.
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_EQ(1, summary.host_soft_failures);
+  EXPECT_EQ(0, summary.breaker_opens);
+  for (int pass = 2; pass <= 3; ++pass) {
+    clock_.Advance(15 * kSecondsPerMinute);
+    summary = dcm_->RunOnce();
+  }
+  EXPECT_EQ(1, summary.breaker_opens);
+  EXPECT_EQ(3, nfs->connect_attempts());
+  // Quarantine is escalated exactly once via Zephyr class MOIRA instance DCM.
+  EXPECT_EQ(1u, zephyr_->Matching("MOIRA", "DCM").size());
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_host_health", {}, &tuples));
+  auto health = [&]() -> Tuple {
+    for (const Tuple& t : tuples) {
+      if (t[0] == "NFS" && t[1] == nfs_names_[0]) {
+        return t;
+      }
+    }
+    return {};
+  };
+  ASSERT_FALSE(health().empty());
+  EXPECT_EQ("OPEN", health()[2]);
+  EXPECT_EQ("3", health()[3]);  // consec_soft
+  EXPECT_EQ("1", health()[5]);  // breaker_opens
+
+  // While the breaker is open the host consumes zero update attempts.
+  clock_.Advance(15 * kSecondsPerMinute);
+  summary = dcm_->RunOnce();
+  EXPECT_EQ(1, summary.breaker_skips);
+  EXPECT_EQ(0, summary.host_soft_failures);
+  EXPECT_EQ(3, nfs->connect_attempts());
+
+  // After the cool-down, a single half-open probe; still down, so it reopens.
+  clock_.Advance(20 * kSecondsPerMinute);
+  summary = dcm_->RunOnce();
+  EXPECT_EQ(1, summary.probe_failures);
+  EXPECT_EQ(4, nfs->connect_attempts());
+  EXPECT_EQ(1u, zephyr_->Matching("MOIRA", "DCM").size());  // no re-escalation
+
+  // Host heals; the next probe closes the breaker and the update lands.
+  nfs->SetFailMode(HostFailMode::kNone);
+  clock_.Advance(31 * kSecondsPerMinute);
+  summary = dcm_->RunOnce();
+  EXPECT_EQ(1, summary.probe_successes);
+  EXPECT_EQ(1, summary.hosts_updated);
+  tuples.clear();
+  ASSERT_EQ(MR_SUCCESS, RunRoot("get_server_host_health", {}, &tuples));
+  EXPECT_EQ("CLOSED", health()[2]);
+  EXPECT_EQ("0", health()[3]);
+  EXPECT_EQ("1", health()[5]);  // lifetime quarantine count survives closing
+}
+
+TEST_F(DcmTest, OperatorResetClearsBreakerState) {
+  DcmResilienceConfig config;
+  config.breaker_threshold = 2;
+  config.breaker_cooldown = kSecondsPerHour;
+  dcm_->set_resilience(config);
+  SimHost* nfs = Host(nfs_names_[1]);
+  nfs->SetFailMode(HostFailMode::kRefuseConnection, 1 << 20);
+  dcm_->RunOnce();
+  clock_.Advance(15 * kSecondsPerMinute);
+  dcm_->RunOnce();  // second soft failure opens the breaker
+  clock_.Advance(15 * kSecondsPerMinute);
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_EQ(1, summary.breaker_skips);
+  // reset_server_host_error clears the quarantine as well as hosterror, so
+  // the operator can force an immediate retry.
+  nfs->SetFailMode(HostFailMode::kNone);
+  ASSERT_EQ(MR_SUCCESS, RunRoot("reset_server_host_error", {"NFS", nfs_names_[1]}));
+  clock_.Advance(15 * kSecondsPerMinute);
+  summary = dcm_->RunOnce();
+  EXPECT_EQ(0, summary.breaker_skips);
+  EXPECT_EQ(1, summary.hosts_updated);
+}
+
+TEST_F(DcmTest, InPassRetriesHealFlakyFleet) {
+  DcmResilienceConfig config;
+  config.retry.max_attempts = 3;
+  config.retry.initial_backoff = 2;
+  dcm_->set_resilience(config);
+  dcm_->update_client().set_sleep_fn([this](UnixTime s) { clock_.Advance(s); });
+  Host(nfs_names_[0])->SetFailMode(HostFailMode::kFlaky, 2);
+  Host("ZEPHYR-2.MIT.EDU")->SetFailMode(HostFailMode::kFlaky, 1);
+  DcmRunSummary summary = dcm_->RunOnce();
+  // Both flaky hosts heal within the pass; the summary counts the retries.
+  EXPECT_EQ(8, summary.hosts_updated);
+  EXPECT_EQ(0, summary.host_soft_failures);
+  EXPECT_EQ(3, summary.host_retries);
+}
+
+TEST_F(DcmTest, CrashDuringExecuteConvergesToSameFilesAsReplica) {
+  SimHost* z1 = Host("ZEPHYR-1.MIT.EDU");
+  z1->SetFailMode(HostFailMode::kCrashDuringExecute);
+  DcmRunSummary summary = dcm_->RunOnce();
+  EXPECT_TRUE(z1->crashed());
+  EXPECT_EQ(1, summary.host_soft_failures);
+  z1->Reboot();
+  clock_.Advance(15 * kSecondsPerMinute);
+  summary = dcm_->RunOnce();
+  EXPECT_EQ(1, summary.hosts_updated);
+  EXPECT_EQ(0, summary.host_soft_failures);
+  // Idempotence: re-running the instructions converges the crashed host to
+  // exactly the installed files of a replica that never crashed (ignoring
+  // protocol artifacts: the re-install keeps .moira_backup copies).
+  auto installed = [](SimHost* host) {
+    std::vector<std::string> files;
+    for (const std::string& path : host->ListFiles()) {
+      if (path.ends_with(kUpdateSuffix) || path.ends_with(kBackupSuffix)) {
+        continue;
+      }
+      files.push_back(path);
+    }
+    return files;
+  };
+  SimHost* z2 = Host("ZEPHYR-2.MIT.EDU");
+  ASSERT_EQ(installed(z2), installed(z1));
+  for (const std::string& path : installed(z2)) {
+    EXPECT_EQ(*z2->ReadFile(path), *z1->ReadFile(path)) << path;
+  }
+  EXPECT_FALSE(installed(z1).empty());
+}
+
 TEST_F(DcmTest, HesiodServesGeneratedFilesAfterUpdate) {
   // Wire a HesiodServer to the host's restart command, as the install script
   // does in production.

@@ -63,8 +63,10 @@ TEST_F(EdgeCaseTest, UnknownMajorRequest) {
 }
 
 TEST_F(EdgeCaseTest, DcmSurvivesMissingSimHost) {
-  // A serverhost row whose machine has no reachable host: the update is a
-  // soft failure, retried later, never a crash.
+  // A serverhost row whose machine has no registered host is a configuration
+  // error: the update fails hard (flagged in hosterror, halting replicated
+  // services) rather than being retried forever as a soft failure — and it
+  // never crashes the DCM.
   SiteBuilder builder(mc_.get(), realm_.get());
   builder.Build(TestSiteSpec());
   ZephyrBus zephyr(&clock_);
@@ -76,8 +78,10 @@ TEST_F(EdgeCaseTest, DcmSurvivesMissingSimHost) {
   EXPECT_TRUE(summary.ran);
   EXPECT_EQ(4, summary.services_generated);
   EXPECT_EQ(0, summary.hosts_updated);
-  EXPECT_EQ(8, summary.host_soft_failures);
-  EXPECT_EQ(0, summary.host_hard_failures);
+  EXPECT_EQ(0, summary.host_soft_failures);
+  // Replicated services halt their host scan on the first hard failure, so
+  // not every serverhost row is visited.
+  EXPECT_EQ(6, summary.host_hard_failures);
 }
 
 TEST_F(EdgeCaseTest, DcmWithNoServicesConfigured) {

@@ -103,6 +103,78 @@ TEST_F(TcpTest, MultipleSimultaneousConnections) {
   }
 }
 
+// Transport-level handler for the limit tests: acknowledges every payload.
+class TransportOnlyHandler : public MessageHandler {
+ public:
+  std::string OnMessage(uint64_t, std::string_view) override {
+    return EncodeReply(MrReply{kMrProtocolVersion, MR_SUCCESS, {}});
+  }
+  void OnDisconnect(uint64_t) override { ++disconnects; }
+  int disconnects = 0;
+};
+
+TEST(TcpServerLimits, IdleConnectionsSweptOnInjectedClock) {
+  SimulatedClock clock(1000);
+  TransportOnlyHandler handler;
+  TcpServer server(&handler, &clock);
+  server.set_idle_timeout(30);
+  ASSERT_EQ(MR_SUCCESS, server.Listen(0));
+  TcpChannel conn;
+  ASSERT_EQ(MR_SUCCESS, conn.Connect(server.port()));
+  for (int i = 0; i < 500 && server.connection_count() < 1; ++i) {
+    server.Poll(10);
+  }
+  ASSERT_EQ(1u, server.connection_count());
+  // Traffic within the window refreshes the idle clock.
+  clock.Advance(20);
+  ASSERT_EQ(MR_SUCCESS, conn.Send(EncodeRequest(MrRequest{})));
+  std::string payload;
+  for (int i = 0; i < 10; ++i) {
+    server.Poll(10);
+  }
+  ASSERT_EQ(MR_SUCCESS, conn.Recv(&payload));
+  clock.Advance(20);  // 20s since the last bytes arrived: still under 30
+  server.Poll(10);
+  EXPECT_EQ(1u, server.connection_count());
+  clock.Advance(31);  // now 51s idle: over the limit
+  server.Poll(10);
+  EXPECT_EQ(0u, server.connection_count());
+  EXPECT_EQ(1, server.idle_closes());
+  EXPECT_EQ(1, handler.disconnects);
+  // The idled client observes an orderly EOF.
+  EXPECT_EQ(MR_ABORTED, conn.Recv(&payload));
+}
+
+TEST(TcpServerLimits, ExcessConnectionsShedGracefully) {
+  TransportOnlyHandler handler;
+  TcpServer server(&handler);
+  server.set_max_connections(2);
+  ASSERT_EQ(MR_SUCCESS, server.Listen(0));
+  TcpChannel a, b, c;
+  ASSERT_EQ(MR_SUCCESS, a.Connect(server.port()));
+  ASSERT_EQ(MR_SUCCESS, b.Connect(server.port()));
+  for (int i = 0; i < 500 && server.connection_count() < 2; ++i) {
+    server.Poll(10);
+  }
+  ASSERT_EQ(2u, server.connection_count());
+  // The kernel accepts the third into the backlog; the server sheds it.
+  ASSERT_EQ(MR_SUCCESS, c.Connect(server.port()));
+  for (int i = 0; i < 500 && server.shed_connections() < 1; ++i) {
+    server.Poll(10);
+  }
+  EXPECT_EQ(1, server.shed_connections());
+  EXPECT_EQ(2u, server.connection_count());
+  // The shed client sees an orderly EOF, not a hang.
+  std::string payload;
+  EXPECT_EQ(MR_ABORTED, c.Recv(&payload));
+  // Survivors keep working.
+  ASSERT_EQ(MR_SUCCESS, a.Send(EncodeRequest(MrRequest{})));
+  for (int i = 0; i < 10; ++i) {
+    server.Poll(10);
+  }
+  EXPECT_EQ(MR_SUCCESS, a.Recv(&payload));
+}
+
 TEST_F(TcpTest, ServerSurvivesAbruptClientClose) {
   {
     MrClient client = MakeClient();

@@ -2,6 +2,9 @@
 // Moira-to-server update protocol (paper section 5.9).
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <set>
+
 #include "src/comerr/moira_errors.h"
 #include "src/common/checksum.h"
 #include "src/common/clock.h"
@@ -219,6 +222,119 @@ TEST_F(SimHostTest, ReplayedUpdateAuthenticatorRejected) {
   EXPECT_EQ(MR_BAD_AUTH, host_.BeginSession(authenticator));
 }
 
+TEST_F(SimHostTest, FlakyHostHealsAfterConfiguredFailures) {
+  host_.SetFailMode(HostFailMode::kFlaky, 2);
+  UpdateOutcome outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_UPDATE_CONN, outcome.code);
+  EXPECT_FALSE(outcome.hard);
+  outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_UPDATE_CONN, outcome.code);
+  outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_SUCCESS, outcome.code);
+  EXPECT_EQ(3, host_.connect_attempts());
+}
+
+TEST_F(SimHostTest, InPassRetriesHealFlakyHost) {
+  host_.SetFailMode(HostFailMode::kFlaky, 2);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = 5;
+  client_.set_retry_policy(policy);
+  client_.set_sleep_fn([this](UnixTime s) { clock_.Advance(s); });
+  UpdateOutcome outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_SUCCESS, outcome.code) << outcome.message;
+  EXPECT_EQ(3, outcome.attempts);
+  EXPECT_EQ(5 + 10, outcome.elapsed);  // the two backoffs, on the sim clock
+  EXPECT_EQ(UpdatePhase::kDone, outcome.phase);
+}
+
+TEST_F(SimHostTest, SingleAttemptSuppressesRetries) {
+  host_.SetFailMode(HostFailMode::kFlaky, 2);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  client_.set_retry_policy(policy);
+  UpdateOutcome outcome =
+      client_.Update(&host_, "/tmp/out", payload_, script_, /*single_attempt=*/true);
+  EXPECT_EQ(MR_UPDATE_CONN, outcome.code);
+  EXPECT_EQ(1, outcome.attempts);
+}
+
+TEST_F(SimHostTest, SlowTransferTripsPhaseDeadline) {
+  host_.AttachSimClock(&clock_);
+  host_.SetSlowDelay(10 * kSecondsPerMinute);
+  host_.SetFailMode(HostFailMode::kSlow);
+  UpdateDeadlines deadlines;
+  deadlines.transfer = 5 * kSecondsPerMinute;
+  client_.set_deadlines(deadlines);
+  UpdateOutcome outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_UPDATE_TIMEOUT, outcome.code);
+  EXPECT_FALSE(outcome.hard);
+  EXPECT_EQ(UpdatePhase::kTransfer, outcome.phase);
+  // Without a deadline the same stall is merely slow, not an error.
+  host_.SetFailMode(HostFailMode::kSlow);
+  client_.set_deadlines(UpdateDeadlines{});
+  outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_SUCCESS, outcome.code) << outcome.message;
+}
+
+TEST_F(SimHostTest, CorruptTransferIsSoftChecksumFailure) {
+  host_.SetFailMode(HostFailMode::kCorruptTransfer);
+  UpdateOutcome outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_UPDATE_CKSUM, outcome.code);
+  EXPECT_FALSE(outcome.hard);
+  EXPECT_EQ(UpdatePhase::kTransfer, outcome.phase);
+  outcome = client_.Update(&host_, "/tmp/out", payload_, script_);
+  EXPECT_EQ(MR_SUCCESS, outcome.code);
+}
+
+TEST_F(SimHostTest, TicketCachedForItsLifetime) {
+  SimHost other("SERVER-2.MIT.EDU", &realm_, &clock_);
+  EXPECT_EQ(0, client_.ticket_requests());
+  ASSERT_EQ(MR_SUCCESS, client_.Update(&host_, "/tmp/out", payload_, script_).code);
+  ASSERT_EQ(MR_SUCCESS, client_.Update(&other, "/tmp/out", payload_, script_).code);
+  ASSERT_EQ(MR_SUCCESS, client_.Update(&host_, "/tmp/out", payload_, script_).code);
+  // One KDC round trip covers the whole fleet scan.
+  EXPECT_EQ(1, client_.ticket_requests());
+  // Once the ticket expires the next update refreshes it.
+  clock_.Advance(KerberosRealm::kDefaultLifetime + 1);
+  ASSERT_EQ(MR_SUCCESS, client_.Update(&host_, "/tmp/out", payload_, script_).code);
+  EXPECT_EQ(2, client_.ticket_requests());
+}
+
+TEST(FaultPlanTest, SameSeedReplaysSameSchedule) {
+  SimulatedClock clock(0);
+  KerberosRealm realm(&clock);
+  auto make_fleet = [&] {
+    std::vector<std::unique_ptr<SimHost>> fleet;
+    for (int i = 0; i < 20; ++i) {
+      fleet.push_back(std::make_unique<SimHost>("H" + std::to_string(i) + ".MIT.EDU",
+                                                &realm, &clock));
+    }
+    return fleet;
+  };
+  std::vector<std::unique_ptr<SimHost>> fleet_a = make_fleet();
+  std::vector<std::unique_ptr<SimHost>> fleet_b = make_fleet();
+  FaultPlanSpec spec;
+  spec.seed = 7;
+  spec.flaky_permille = 300;
+  spec.down_permille = 150;
+  spec.corrupt_permille = 100;
+  FaultPlan plan(spec);
+  std::set<HostFailMode> seen;
+  for (int pass = 0; pass < 5; ++pass) {
+    plan.ArmPass(fleet_a, pass);
+    plan.ArmPass(fleet_b, pass);
+    for (size_t i = 0; i < fleet_a.size(); ++i) {
+      EXPECT_EQ(fleet_a[i]->fail_mode(), fleet_b[i]->fail_mode());
+      EXPECT_EQ(fleet_a[i]->fail_count(), fleet_b[i]->fail_count());
+      seen.insert(fleet_a[i]->fail_mode());
+    }
+  }
+  // The draw actually injects a mix of faults (and leaves some hosts healthy).
+  EXPECT_TRUE(seen.contains(HostFailMode::kNone));
+  EXPECT_GE(seen.size(), 3u);
+}
+
 TEST(HostDirectoryTest, RegisterAndFind) {
   SimulatedClock clock(0);
   KerberosRealm realm(&clock);
@@ -233,14 +349,21 @@ TEST(HostDirectoryTest, RegisterAndFind) {
   EXPECT_EQ(2u, directory.size());
 }
 
-TEST(UpdateClientTest, NullHostIsSoftConnFailure) {
+TEST(UpdateClientTest, NullHostIsHardConnFailure) {
+  // A host absent from the directory is a configuration error, not a
+  // transient outage: retrying it every pass forever would never succeed.
   SimulatedClock clock(0);
   KerberosRealm realm(&clock);
   realm.AddPrincipal("moira.dcm", "pw");
   UpdateClient client(&realm, "moira.dcm", "pw");
+  RetryPolicy retry;
+  retry.max_attempts = 5;  // must NOT be consumed on a missing host
+  client.set_retry_policy(retry);
   UpdateOutcome outcome = client.Update(nullptr, "/t", "p", "s");
   EXPECT_EQ(MR_UPDATE_CONN, outcome.code);
-  EXPECT_FALSE(outcome.hard);
+  EXPECT_TRUE(outcome.hard);
+  EXPECT_EQ(0, outcome.attempts);
+  EXPECT_EQ(UpdatePhase::kNone, outcome.phase);
 }
 
 }  // namespace
