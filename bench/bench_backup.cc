@@ -78,7 +78,8 @@ void BM_JournalReplay(benchmark::State& state) {
   for (int i = 0; i < 1000; ++i) {
     const std::string& login =
         site.builder->active_logins()[i % site.builder->active_logins().size()];
-    entries.push_back(JournalEntry{site.clock.Now(), "root", "update_user_shell",
+    entries.push_back(JournalEntry{0, site.clock.Now(), "root", "bench",
+                                   "update_user_shell",
                                    {login, "/bin/replay" + std::to_string(i % 7)}});
   }
   for (auto _ : state) {

@@ -1,0 +1,379 @@
+// Journal-shipping read replication (DESIGN.md "Replication layer").
+//
+// The paper scales reads by pushing derived data out to consumers (Hesiod);
+// this workload measures the complementary path: read replicas fed from the
+// primary's journal, with client-side read routing.  It writes
+// BENCH_replication.json and bakes the acceptance gates into the process exit
+// code:
+//   - with 4 replicas under the seeded fault plan, read throughput is at
+//     least 3x the single-server baseline;
+//   - every read-your-writes check passes;
+//   - after the run every replica's full database dump is byte-identical to
+//     the primary's.
+//
+// Throughput model: the host running this bench has a single core, so the
+// scaling claim cannot come from real threads.  Instead reads are costed with
+// a capacity model: every served read occupies exactly one server (the
+// replica that answered, or the primary on redirect), so the wall-clock to
+// drain N reads is proportional to the *busiest* server's share.  Read
+// speedup = total reads / busiest server's reads.  The counts are measured,
+// not assumed: a crashed or behind replica really does push its share onto
+// the others (the router skips it), so broken replication genuinely fails the
+// 3x gate.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/backup/backup.h"
+#include "src/client/client.h"
+#include "src/comerr/moira_errors.h"
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/core/context.h"
+#include "src/core/registry.h"
+#include "src/core/schema.h"
+#include "src/krb/kerberos.h"
+#include "src/net/channel.h"
+#include "src/repl/repl_fault.h"
+#include "src/repl/replica.h"
+#include "src/repl/router.h"
+#include "src/server/server.h"
+
+namespace moira {
+namespace {
+
+std::string Upper(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+// A primary deployment plus `nreplicas` read replicas and a routing client.
+struct ReplSite {
+  SimulatedClock clock{568000000};
+  std::unique_ptr<Database> db;
+  std::unique_ptr<MoiraContext> mc;
+  std::unique_ptr<KerberosRealm> realm;
+  std::unique_ptr<MoiraServer> primary;
+  std::vector<std::unique_ptr<ReplicaServer>> replicas;
+  std::vector<ReplicaServer*> raw;
+  std::unique_ptr<ReplicatedClient> router;
+
+  explicit ReplSite(int nreplicas) {
+    db = std::make_unique<Database>(&clock);
+    CreateMoiraSchema(db.get());
+    SeedMoiraDefaults(db.get());
+    mc = std::make_unique<MoiraContext>(db.get());
+    realm = std::make_unique<KerberosRealm>(&clock);
+    realm->AddPrincipal("root", "rootpw");
+    primary = std::make_unique<MoiraServer>(mc.get(), realm.get());
+
+    auto admin = std::make_unique<MrClient>(
+        [this] { return std::make_unique<LoopbackChannel>(primary.get()); });
+    admin->SetKerberosIdentity(realm.get(), "root", "rootpw");
+    admin->Connect();
+    admin->Auth("repl-bench");
+    router = std::make_unique<ReplicatedClient>(std::move(admin));
+    // Seeded through the wire so the change is journalled: replicas replay
+    // history from seq 1, so out-of-band mutations would never reach them.
+    router->Query("add_user",
+                  {"rbench", "200", "/bin/csh", "Bench", "Repl", "Q", "1", "hashr", "G"},
+                  [](Tuple) {});
+
+    for (int i = 0; i < nreplicas; ++i) {
+      ReplicaOptions options;
+      options.name = "r" + std::to_string(i);
+      auto rep = std::make_unique<ReplicaServer>(realm.get(), options);
+      rep->SetPrimaryLink(
+          [this] { return std::make_unique<LoopbackChannel>(primary.get()); }, "root",
+          "rootpw");
+      rep->CatchUp();
+      // Unauthenticated read client.  The retry policy matters: after a
+      // replica crash the loopback channel dies, and without a reconnect
+      // attempt the router would write the replica off forever.
+      auto reader = std::make_unique<MrClient>(
+          [r = rep.get()] { return std::make_unique<LoopbackChannel>(r); });
+      RetryPolicy policy;
+      policy.max_attempts = 2;
+      policy.initial_backoff = 1;
+      reader->SetRetryPolicy(policy, &clock);
+      reader->set_sleep_fn([this](UnixTime s) { clock.Advance(s); });
+      reader->Connect();
+      router->AddReplica(std::move(reader));
+      raw.push_back(rep.get());
+      replicas.push_back(std::move(rep));
+    }
+  }
+};
+
+struct RunResult {
+  int replicas = 0;
+  int rounds = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t write_failures = 0;
+  uint64_t busiest_reads = 0;
+  double speedup = 0.0;
+  uint64_t max_lag = 0;  // worst post-catch-up lag seen in any round
+  uint64_t ryw_checks = 0;
+  uint64_t ryw_failures = 0;
+  uint64_t redirects = 0;
+  uint64_t snapshot_loads = 0;
+  uint64_t apply_failures = 0;
+  bool converged = false;
+};
+
+// Runs `rounds` rounds of mixed traffic through the router; every write is
+// immediately followed by a read-your-writes check of the row it created.
+RunResult RunWorkload(int nreplicas, const ReplFaultSpec& fault_spec, int rounds,
+                      int writes_per_round, int extra_reads_per_round) {
+  ReplSite site(nreplicas);
+  ReplFaultPlan plan(fault_spec);
+  RunResult result;
+  result.replicas = nreplicas;
+  result.rounds = rounds;
+  std::vector<std::string> machines;
+  SplitMix64 pick(0xb3ac4);
+
+  for (int round = 0; round < rounds; ++round) {
+    plan.ArmRound(site.raw, site.realm.get(), round);
+    site.clock.Advance(30);
+    for (int w = 0; w < writes_per_round; ++w) {
+      std::string name =
+          "bm" + std::to_string(round) + "x" + std::to_string(w) + ".mit.edu";
+      ++result.writes;
+      if (site.router->Query("add_machine", {name, "VAX"}, [](Tuple) {}) != MR_SUCCESS) {
+        ++result.write_failures;
+      }
+      machines.push_back(Upper(name));
+      // Read-your-writes: the row just written must be visible to the very
+      // next read, wherever the router sends it.
+      ++result.ryw_checks;
+      ++result.reads;
+      bool found = false;
+      int32_t code = site.router->Query("get_machine", {machines.back()},
+                                        [&](Tuple) { found = true; });
+      if (code != MR_SUCCESS || !found) {
+        ++result.ryw_failures;
+      }
+    }
+    for (int r = 0; r < extra_reads_per_round; ++r) {
+      ++result.reads;
+      const std::string& name = machines[pick.Below(machines.size())];
+      site.router->Query("get_machine", {name}, [](Tuple) {});
+    }
+    // End-of-round catch-up sweep (the replicas' pull daemons).
+    for (ReplicaServer* rep : site.raw) {
+      rep->CatchUp();
+    }
+    const uint64_t primary_seq = site.primary->journal().last_seq();
+    for (ReplicaServer* rep : site.raw) {
+      if (primary_seq > rep->applied_seq()) {
+        result.max_lag = std::max(result.max_lag, primary_seq - rep->applied_seq());
+      }
+    }
+  }
+
+  // Heal everything and drain: replication must converge once faults stop.
+  site.realm->SetDown(false);
+  for (ReplicaServer* rep : site.raw) {
+    if (rep->crashed()) {
+      rep->Restart();
+    }
+    rep->set_apply_limit(0);
+    rep->CatchUp();
+  }
+  const std::string golden = BackupManager::DumpToString(*site.db);
+  result.converged = true;
+  for (ReplicaServer* rep : site.raw) {
+    if (BackupManager::DumpToString(rep->db()) != golden) {
+      result.converged = false;
+    }
+    result.snapshot_loads += rep->stats().snapshot_loads;
+    result.apply_failures += rep->stats().apply_failures;
+  }
+
+  // Capacity model: the busiest server bounds wall-clock read throughput.
+  result.busiest_reads = site.router->stats().primary_reads;
+  for (ReplicaServer* rep : site.raw) {
+    result.busiest_reads = std::max(result.busiest_reads, rep->stats().reads_served);
+  }
+  result.speedup = result.busiest_reads == 0
+                       ? 0.0
+                       : static_cast<double>(result.reads) /
+                             static_cast<double>(result.busiest_reads);
+  result.redirects = site.router->stats().redirects;
+  return result;
+}
+
+constexpr int kRounds = 16;
+constexpr int kWritesPerRound = 5;
+constexpr int kExtraReadsPerRound = 55;
+
+ReplFaultSpec SeededFaults() {
+  ReplFaultSpec spec;
+  spec.seed = 1988;
+  spec.crash_permille = 120;
+  spec.flap_permille = 250;
+  spec.slow_permille = 250;
+  spec.slow_apply_limit = 4;
+  spec.kdc_down_permille = 150;
+  return spec;
+}
+
+void PrintRun(const char* tag, const RunResult& r) {
+  std::printf("  %-28s replicas=%d reads=%llu busiest=%llu speedup=%.2fx "
+              "max_lag=%llu ryw=%llu/%llu redirects=%llu snapshots=%llu %s\n",
+              tag, r.replicas, static_cast<unsigned long long>(r.reads),
+              static_cast<unsigned long long>(r.busiest_reads), r.speedup,
+              static_cast<unsigned long long>(r.max_lag),
+              static_cast<unsigned long long>(r.ryw_checks - r.ryw_failures),
+              static_cast<unsigned long long>(r.ryw_checks),
+              static_cast<unsigned long long>(r.redirects),
+              static_cast<unsigned long long>(r.snapshot_loads),
+              r.converged ? "converged" : "DIVERGED");
+}
+
+void WriteRunJson(std::FILE* f, const RunResult& r, uint64_t seed, bool faulted) {
+  std::fprintf(f,
+               "    {\"replicas\": %d, \"rounds\": %d, \"seed\": %llu, "
+               "\"faulted\": %s, \"reads\": %llu, \"writes\": %llu, "
+               "\"write_failures\": %llu, \"busiest_server_reads\": %llu, "
+               "\"read_speedup_x\": %.3f, \"max_lag\": %llu, "
+               "\"ryw_checks\": %llu, \"ryw_failures\": %llu, "
+               "\"redirects\": %llu, \"snapshot_loads\": %llu, "
+               "\"apply_failures\": %llu, \"converged\": %s}",
+               r.replicas, r.rounds, static_cast<unsigned long long>(seed),
+               faulted ? "true" : "false", static_cast<unsigned long long>(r.reads),
+               static_cast<unsigned long long>(r.writes),
+               static_cast<unsigned long long>(r.write_failures),
+               static_cast<unsigned long long>(r.busiest_reads), r.speedup,
+               static_cast<unsigned long long>(r.max_lag),
+               static_cast<unsigned long long>(r.ryw_checks),
+               static_cast<unsigned long long>(r.ryw_failures),
+               static_cast<unsigned long long>(r.redirects),
+               static_cast<unsigned long long>(r.snapshot_loads),
+               static_cast<unsigned long long>(r.apply_failures),
+               r.converged ? "true" : "false");
+}
+
+// Runs the scaling sweep and the seeded faulty run, writes
+// BENCH_replication.json, and returns whether the acceptance gates hold.
+bool RunReplicationReport(const char* path) {
+  std::printf("Journal-shipping read replication:\n");
+
+  // Fault-free scaling sweep: how read throughput grows with replica count.
+  ReplFaultSpec clean;  // all permille at 0
+  std::vector<RunResult> scaling;
+  for (int n : {0, 1, 2, 4}) {
+    scaling.push_back(RunWorkload(n, clean, kRounds, kWritesPerRound,
+                                  kExtraReadsPerRound));
+    PrintRun(n == 0 ? "baseline (no replicas)" : "fault-free", scaling.back());
+  }
+
+  // The acceptance run: 4 replicas under the seeded fault plan.
+  const ReplFaultSpec faults = SeededFaults();
+  RunResult faulted = RunWorkload(4, faults, kRounds, kWritesPerRound,
+                                  kExtraReadsPerRound);
+  PrintRun("seeded faults", faulted);
+
+  const bool speedup_ok = faulted.speedup >= 3.0;
+  const bool ryw_ok = faulted.ryw_failures == 0 && faulted.write_failures == 0;
+  const bool converged_ok = faulted.converged && faulted.apply_failures == 0;
+  if (!speedup_ok) {
+    std::printf("FAIL: read speedup %.2fx under faults is below the 3x gate\n",
+                faulted.speedup);
+  }
+  if (!ryw_ok) {
+    std::printf("FAIL: %llu read-your-writes checks failed\n",
+                static_cast<unsigned long long>(faulted.ryw_failures +
+                                                faulted.write_failures));
+  }
+  if (!converged_ok) {
+    std::printf("FAIL: replica dumps diverged from the primary after the run\n");
+  }
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("FAIL: cannot write %s\n", path);
+    return false;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_replication\",\n");
+  std::fprintf(f, "  \"scaling\": [\n");
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    WriteRunJson(f, scaling[i], clean.seed, false);
+    std::fprintf(f, "%s\n", i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"faulted\": [\n");
+  WriteRunJson(f, faulted, faults.seed, true);
+  std::fprintf(f, "\n  ],\n  \"gates\": [\n");
+  std::fprintf(f,
+               "    {\"name\": \"read_speedup_with_4_replicas_ge_3x\", "
+               "\"value\": %.3f, \"pass\": %s},\n",
+               faulted.speedup, speedup_ok ? "true" : "false");
+  std::fprintf(f,
+               "    {\"name\": \"read_your_writes_all_pass\", \"value\": %llu, "
+               "\"pass\": %s},\n",
+               static_cast<unsigned long long>(faulted.ryw_failures),
+               ryw_ok ? "true" : "false");
+  std::fprintf(f,
+               "    {\"name\": \"replica_dumps_byte_identical\", \"value\": %d, "
+               "\"pass\": %s}\n",
+               faulted.replicas, converged_ok ? "true" : "false");
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("  wrote %s\n\n", path);
+  return speedup_ok && ryw_ok && converged_ok;
+}
+
+// --- microbenchmarks ---
+
+// A read served by a replica, token already satisfied (the steady state).
+void BM_ReplicaRead(benchmark::State& state) {
+  static ReplSite* site = [] {
+    auto* s = new ReplSite(1);
+    s->router->Query("add_machine", {"bmread.mit.edu", "VAX"}, [](Tuple) {});
+    s->raw[0]->CatchUp();
+    return s;
+  }();
+  for (auto _ : state) {
+    int32_t code =
+        site->router->Query("get_machine", {"BMREAD.MIT.EDU"}, [](Tuple) {});
+    benchmark::DoNotOptimize(code);
+  }
+}
+BENCHMARK(BM_ReplicaRead);
+
+// Shipping and applying one journal entry over the wire.
+void BM_CatchUpPerEntry(benchmark::State& state) {
+  static ReplSite* site = new ReplSite(1);
+  int i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    site->router->Query("update_user_shell",
+                        {"rbench", "/bin/b" + std::to_string(i++ % 7)}, [](Tuple) {});
+    state.ResumeTiming();
+    int32_t code = site->raw[0]->CatchUp();
+    benchmark::DoNotOptimize(code);
+  }
+}
+BENCHMARK(BM_CatchUpPerEntry);
+
+}  // namespace
+}  // namespace moira
+
+int main(int argc, char** argv) {
+  // The report (and its acceptance gates) runs even under an unmatchable
+  // --benchmark_filter, which is how scripts/check.sh smoke-tests it.
+  bool ok = moira::RunReplicationReport("BENCH_replication.json");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return ok ? 0 : 1;
+}

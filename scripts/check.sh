@@ -3,10 +3,14 @@
 # plus a bench smoke mode that runs the report-generating benchmark once
 # (microbenchmarks filtered out) and fails on malformed BENCH_*.json, plus a
 # fault smoke mode that replays the deterministic flaky-fleet sweep under the
-# sanitizers and fails if the resilience layer stops converging the fleet.
+# sanitizers and fails if the resilience layer stops converging the fleet,
+# plus a replication smoke mode that runs the journal-shipping
+# replication workload under the sanitizers and fails unless its scaling,
+# read-your-writes, and convergence gates hold.
 # Usage: scripts/check.sh [build-dir]                 (default: build-asan)
 #        scripts/check.sh --bench-smoke [build-dir]   (default: build)
 #        scripts/check.sh --fault-smoke [build-dir]   (default: build-asan)
+#        scripts/check.sh --repl-smoke [build-dir]    (default: build-asan)
 set -e
 cd "$(dirname "$0")/.."
 
@@ -21,6 +25,23 @@ if [ "$1" = "--fault-smoke" ]; then
   # The unmatchable filter skips the timing loops; the resilience report still
   # runs, writes BENCH_propagation.json, and exits non-zero if the flaky
   # fleet fails to converge (or converges no faster than the baseline).
+  (cd "$SMOKE_DIR" && "$BENCH_BIN" --benchmark_filter='^$')
+  python3 scripts/validate_bench_json.py "$SMOKE_DIR"/BENCH_*.json
+  exit 0
+fi
+
+if [ "$1" = "--repl-smoke" ]; then
+  BUILD_DIR="${2:-build-asan}"
+  cmake -B "$BUILD_DIR" -S . -DMOIRA_SANITIZE=ON >/dev/null
+  cmake --build "$BUILD_DIR" -j --target bench_replication
+  SMOKE_DIR="$BUILD_DIR/repl-smoke"
+  rm -rf "$SMOKE_DIR"
+  mkdir -p "$SMOKE_DIR"
+  BENCH_BIN="$(pwd)/$BUILD_DIR/bench/bench_replication"
+  # The unmatchable filter skips the timing loops; the replication report
+  # still runs, writes BENCH_replication.json, and exits non-zero unless the
+  # read-scaling (>= 3x with 4 replicas under seeded faults), read-your-writes,
+  # and byte-identical-convergence gates all hold.
   (cd "$SMOKE_DIR" && "$BENCH_BIN" --benchmark_filter='^$')
   python3 scripts/validate_bench_json.py "$SMOKE_DIR"/BENCH_*.json
   exit 0

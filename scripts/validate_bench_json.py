@@ -3,12 +3,25 @@
 
 A valid file is a JSON object with a string "benchmark" name and at least
 one non-empty array of flat sample records; every record field must be a
-finite number, a string, or a boolean.  Exits non-zero (failing the
-check_bench target) on the first malformed file.
+finite number, a string, or a boolean.  Known reports additionally carry
+required arrays and record fields (BENCH_replication.json must show the
+scaling sweep, the faulted run, and the acceptance gates).  Exits non-zero
+(failing the check_bench / check_repl targets) on the first malformed file.
 """
 import json
 import math
 import sys
+
+# Per-benchmark schema: array key -> fields every record must carry.
+REQUIRED_ARRAYS = {
+    "bench_replication": {
+        "scaling": ["replicas", "reads", "busiest_server_reads", "read_speedup_x",
+                    "ryw_failures", "converged"],
+        "faulted": ["replicas", "seed", "reads", "read_speedup_x", "max_lag",
+                    "ryw_checks", "ryw_failures", "snapshot_loads", "converged"],
+        "gates": ["name", "value", "pass"],
+    },
+}
 
 
 def fail(msg):
@@ -45,6 +58,16 @@ def main(paths):
                     elif not isinstance(value, str):
                         fail("%s: %s[%d].%s has type %s" %
                              (path, key, i, field, type(value).__name__))
+        required = REQUIRED_ARRAYS.get(doc["benchmark"], {})
+        for key, fields in required.items():
+            rows = doc.get(key)
+            if not isinstance(rows, list) or not rows:
+                fail("%s: missing required array '%s'" % (path, key))
+            for i, row in enumerate(rows):
+                for field in fields:
+                    if field not in row:
+                        fail("%s: %s[%d] lacks required field '%s'" %
+                             (path, key, i, field))
     print("validate_bench_json: %d file(s) OK" % len(paths))
 
 

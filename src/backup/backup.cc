@@ -110,13 +110,29 @@ int64_t BackupManager::RotateAndDump(const Database& db,
 int BackupManager::ReplayJournal(MoiraContext* mc, const std::vector<JournalEntry>& entries) {
   int replayed = 0;
   for (const JournalEntry& entry : entries) {
-    int32_t code = QueryRegistry::Instance().Execute(*mc, "root", "journal-replay",
-                                                     entry.query, entry.args, [](Tuple) {});
+    const std::string& principal = entry.principal.empty() ? "root" : entry.principal;
+    const std::string& client = entry.client.empty() ? "journal-replay" : entry.client;
+    int32_t code = QueryRegistry::Instance().Execute(*mc, principal, client, entry.query,
+                                                     entry.args, [](Tuple) {});
     if (code == MR_SUCCESS) {
       ++replayed;
     }
   }
   return replayed;
+}
+
+std::string BackupManager::DumpToString(const Database& db) {
+  std::string out;
+  for (const std::string& name : db.TableNames()) {
+    out += "table ";
+    out += name;
+    out += '\n';
+    db.GetTable(name)->Scan([&](size_t, const Row& row) {
+      out += RowToLine(row);
+      return true;
+    });
+  }
+  return out;
 }
 
 }  // namespace moira

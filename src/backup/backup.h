@@ -34,9 +34,17 @@ class BackupManager {
   // a fresh root/backup_1.  Returns bytes written or -1.
   static int64_t RotateAndDump(const Database& db, const std::filesystem::path& root);
 
-  // Re-executes journalled changes through the query registry (as root).
-  // Returns the number of entries that replayed successfully.
+  // Re-executes journalled changes through the query registry with each
+  // entry's original principal and client name (falling back to root /
+  // "journal-replay" for pre-upgrade entries without them), so modby/modwith
+  // stamps come out identical to the original run.  Returns the number of
+  // entries that replayed successfully.
   static int ReplayJournal(MoiraContext* mc, const std::vector<JournalEntry>& entries);
+
+  // The full dump as one in-memory string ("table <name>" header followed by
+  // that relation's backup lines).  Two databases in the same state produce
+  // byte-identical dumps — the replication layer's convergence check.
+  static std::string DumpToString(const Database& db);
 
   // Serializes one row / parses one line (exposed for tests).
   static std::string RowToLine(const Row& row);

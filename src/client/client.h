@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/retry.h"
 #include "src/core/context.h"
 #include "src/core/registry.h"
 #include "src/krb/kerberos.h"
@@ -39,6 +40,14 @@ class MoiraClientApi {
 };
 
 // RPC client: mr_connect / mr_auth / mr_query / ... of section 5.6.2.
+//
+// Resilience (ROADMAP PR-4 residual): with SetRetryPolicy installed, every
+// RPC that fails at the transport layer is transparently retried under the
+// clock-driven policy — reconnecting through the connector and replaying the
+// authentication with the cached Kerberos ticket — and the attempt count and
+// elapsed time are surfaced via last_rpc().  Tuples are buffered until the
+// final reply arrives so a replayed request never delivers duplicates to the
+// sink.  Without a policy the historical single-attempt behaviour is kept.
 class MrClient final : public MoiraClientApi {
  public:
   // Produces a connected channel; invoked by Connect().  Returning nullptr
@@ -51,6 +60,12 @@ class MrClient final : public MoiraClientApi {
   void SetKerberosIdentity(KerberosRealm* realm, std::string principal,
                            std::string password);
 
+  // Installs the transport retry policy.  `clock` drives backoff and elapsed
+  // accounting and must outlive the client; pass the realm's clock.
+  void SetRetryPolicy(const RetryPolicy& policy, const Clock* clock);
+  // How backoffs wait; tests install a hook advancing their SimulatedClock.
+  void set_sleep_fn(std::function<void(UnixTime)> fn) { sleep_fn_ = std::move(fn); }
+
   // mr_connect: connects without authenticating (cheap read-only queries may
   // not need authentication).  MR_ALREADY_CONNECTED if connected.
   int32_t Connect();
@@ -62,7 +77,9 @@ class MrClient final : public MoiraClientApi {
   int32_t Noop();
 
   // mr_auth: authenticates as the configured identity; `client_name` is the
-  // program acting on behalf of the user.
+  // program acting on behalf of the user.  The initial ticket is cached for
+  // its Kerberos lifetime, so re-authentication after a reconnect works even
+  // through a KDC outage (MakeAuthenticator never contacts the KDC).
   int32_t Auth(std::string_view client_name);
 
   // mr_access / mr_query.
@@ -70,19 +87,59 @@ class MrClient final : public MoiraClientApi {
   int32_t Query(std::string_view name, const std::vector<std::string>& args,
                 const TupleSink& sink) override;
 
+  // Read with a read-your-writes token: the serving replica must have applied
+  // at least `min_seq` (the primary trivially satisfies any token it issued).
+  int32_t QueryAtSeq(uint64_t min_seq, std::string_view name,
+                     const std::vector<std::string>& args, const TupleSink& sink);
+
+  // Replication stream RPCs (replica side; privileged on the server).  Each
+  // ReplFetch tuple is one journal line; each ReplSnapshot tuple is
+  // [table, row_line].  The final reply fields land in last_fields().
+  int32_t ReplFetch(std::string_view replica_name, uint64_t from_seq, int max_entries,
+                    const TupleSink& sink);
+  int32_t ReplSnapshot(std::string_view replica_name, const TupleSink& sink);
+
   // Asks the server to spawn a DCM immediately (Trigger_DCM).
   int32_t TriggerDcm();
 
   bool connected() const { return channel_ != nullptr; }
 
+  // Observability for the retry satellite and the replication router.
+  struct RpcStats {
+    int attempts = 0;      // transport attempts of the last RPC (>= 1)
+    UnixTime elapsed = 0;  // clock seconds the last RPC took (0 without clock)
+  };
+  const RpcStats& last_rpc() const { return last_rpc_; }
+  // Fields of the last final (non-MORE_DATA) reply; a successful mutation
+  // carries [assigned_journal_seq].
+  const std::vector<std::string>& last_fields() const { return last_fields_; }
+  // KDC round trips made (ticket-cache observability).
+  int ticket_requests() const { return ticket_requests_; }
+  void InvalidateTicket() { has_ticket_ = false; }
+
  private:
   int32_t RoundTrip(const MrRequest& request, const TupleSink* sink);
+  int32_t TryRoundTrip(const MrRequest& request, const TupleSink* sink);
+  int32_t EnsureTicket(Ticket* out);
+  // Re-establishes channel and, if this client had authenticated,
+  // re-authenticates with the cached/refreshed ticket.
+  bool Reconnect();
 
   Connector connector_;
   std::unique_ptr<ClientChannel> channel_;
   KerberosRealm* realm_ = nullptr;
   std::string principal_;
   std::string password_;
+  RetryPolicy retry_policy_;
+  const Clock* clock_ = nullptr;  // non-null once a retry policy is installed
+  std::function<void(UnixTime)> sleep_fn_;
+  Ticket ticket_;
+  bool has_ticket_ = false;
+  int ticket_requests_ = 0;
+  bool authed_ = false;
+  std::string auth_client_name_;
+  RpcStats last_rpc_;
+  std::vector<std::string> last_fields_;
 };
 
 // Glue client: same interface, direct execution, fixed root identity, no

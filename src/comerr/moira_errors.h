@@ -87,7 +87,13 @@ inline constexpr int32_t kMrErrorBase = ErrorTableBase("sms");
   X(MR_REG_NOT_FOUND, "No such student in registration database")                     \
   X(MR_REG_ALREADY, "Student already registered")                                     \
   X(MR_REG_LOGIN_TAKEN, "Login name already taken")                                   \
-  X(MR_REG_BAD_AUTH, "Registration authenticator invalid")
+  X(MR_REG_BAD_AUTH, "Registration authenticator invalid")                            \
+  /* Directory-outage / replication errors (appended; earlier codes keep */           \
+  /* their values).                                                      */           \
+  X(MR_KDC_UNAVAILABLE, "Kerberos KDC unreachable")                                   \
+  X(MR_REPL_READONLY, "Replica is read-only; send changes to the primary")            \
+  X(MR_REPL_TRUNCATED, "Requested journal entries have been truncated")               \
+  X(MR_REPL_BEHIND, "Replica has not caught up to the requested sequence")
 
 // Error code constants.  MR_SUCCESS is 0 by convention; all other codes are
 // offset into the "sms" com_err table.

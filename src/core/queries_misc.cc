@@ -449,6 +449,15 @@ int32_t TriggerDcmNoop(QueryCall& call) {
   return MR_SUCCESS;
 }
 
+// get_replica_status is likewise server-state backed: the Moira server
+// answers it from its replica directory, and its CAPACLS entry also gates the
+// journal-streaming ReplFetch/ReplSnapshot major requests (src/repl).
+// Through the direct glue path there is no replica directory to report.
+int32_t GetReplicaStatusNoop(QueryCall& call) {
+  (void)call;
+  return MR_SUCCESS;
+}
+
 }  // namespace
 
 void AppendMiscQueries(std::vector<QueryDef>* defs) {
@@ -520,6 +529,9 @@ void AppendMiscQueries(std::vector<QueryDef>* defs) {
            "long_query_name, short_query_name", nullptr, ListQueries},
           {"trigger_dcm", "tdcm", QueryClass::kUpdate, 0, false, "", "", nullptr,
            TriggerDcmNoop},
+          {"get_replica_status", "grst", QueryClass::kRetrieve, 0, false, "",
+           "replica, applied_seq, primary_seq, lag, last_contact", nullptr,
+           GetReplicaStatusNoop},
       });
 }
 

@@ -197,10 +197,19 @@ void Dcm::HostScanPhase(const ServiceRow& service, DcmRunSummary* summary) {
     MoiraContext::SetCellInternal(sh, row, "ltt", Value(now));
     const Archive& archive = staged_it->second.ForHost(machine_name);
     std::string payload = archive.Serialize();
-    UpdateOutcome outcome =
-        update_client_.Update(hosts_->Find(machine_name), service.target, payload,
-                              configs_[service.name].script,
-                              /*single_attempt=*/half_open_probe);
+    UpdateOutcome outcome;
+    if (hosts_->down()) {
+      // Hesiod outage: the machine cannot be resolved right now.  That is a
+      // transient directory failure, not a missing serverhosts entry — defer
+      // softly instead of hard-failing the host.
+      ++summary->directory_outages;
+      outcome = UpdateOutcome{MR_UPDATE_CONN, /*hard=*/false,
+                              "directory server unreachable", 0, 0, UpdatePhase::kNone};
+    } else {
+      outcome = update_client_.Update(hosts_->Find(machine_name), service.target, payload,
+                                      configs_[service.name].script,
+                                      /*single_attempt=*/half_open_probe);
+    }
     if (outcome.attempts > 1) {
       summary->host_retries += outcome.attempts - 1;
     }

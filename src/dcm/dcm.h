@@ -62,6 +62,7 @@ struct DcmRunSummary {
   int breaker_skips = 0;        // update attempts saved by open breakers
   int probe_successes = 0;      // half-open probes that closed the breaker
   int probe_failures = 0;       // half-open probes that re-opened it
+  int directory_outages = 0;    // updates deferred because Hesiod was down
 };
 
 // Knobs for the DCM's resilience layer: the in-pass retry policy handed to

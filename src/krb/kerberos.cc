@@ -124,6 +124,9 @@ uint64_t KerberosRealm::ServiceKey(std::string_view name) const {
 int32_t KerberosRealm::GetInitialTickets(std::string_view principal,
                                          std::string_view password,
                                          std::string_view service, Ticket* out) {
+  if (down_) {
+    return MR_KDC_UNAVAILABLE;
+  }
   auto it = principals_.find(principal);
   if (it == principals_.end()) {
     return MR_KRB_NO_PRINC;

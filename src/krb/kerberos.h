@@ -75,10 +75,19 @@ class KerberosRealm {
   // --- Client operations ---
 
   // Obtains initial tickets for `service`.  Returns MR_SUCCESS and fills
-  // `out`, or MR_KRB_NO_PRINC / MR_KRB_BAD_PASSWORD.  Userreg uses exactly
-  // this call to probe whether a login name is free (paper section 5.10).
+  // `out`, or MR_KRB_NO_PRINC / MR_KRB_BAD_PASSWORD, or MR_KDC_UNAVAILABLE
+  // during an injected KDC outage.  Userreg uses exactly this call to probe
+  // whether a login name is free (paper section 5.10).
   int32_t GetInitialTickets(std::string_view principal, std::string_view password,
                             std::string_view service, Ticket* out);
+
+  // Directory-outage injection (fault harness): while down, the
+  // ticket-granting path fails with MR_KDC_UNAVAILABLE.  Already-issued
+  // tickets keep working — MakeAuthenticator and server-side Verify never
+  // contact the KDC, which is exactly the cached-ticket path clients ride
+  // out a KDC blip on.
+  void SetDown(bool down) { down_ = down; }
+  bool down() const { return down_; }
 
   // Builds a wire authenticator from a ticket: sealed ticket + a fresh
   // {client, timestamp, nonce} sealed under the session key.
@@ -91,6 +100,7 @@ class KerberosRealm {
   std::map<std::string, std::string, std::less<>> principals_;  // name -> password
   std::map<std::string, uint64_t, std::less<>> services_;       // name -> key
   uint64_t nonce_counter_ = 1;
+  bool down_ = false;  // injected KDC outage
 };
 
 // Server-side verifier: owned by each authenticating service, holds the

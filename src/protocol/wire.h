@@ -27,6 +27,16 @@ enum class MajorRequest : uint32_t {
   kQuery = 2,        // query handle name + arguments
   kAccess = 3,       // access check without executing
   kTriggerDcm = 4,   // ask the server to spawn a DCM immediately
+  // Replication (src/repl).  kReplFetch streams journal entries from a
+  // sequence number: args [replica_name, from_seq, max_entries]; each
+  // MR_MORE_DATA tuple is one journal line, the final reply carries
+  // [last_seq, primary_time] (MR_REPL_TRUNCATED if from_seq predates the
+  // retained log).  kReplSnapshot streams the database: tuples [table, row_line],
+  // final reply [snapshot_seq, primary_time].  kQueryAtSeq is a read carrying
+  // the client's read-your-writes token: args [min_seq, query, query-args...].
+  kReplFetch = 5,
+  kReplSnapshot = 6,
+  kQueryAtSeq = 7,
 };
 
 struct MrRequest {

@@ -1,0 +1,50 @@
+#include "src/repl/repl_fault.h"
+
+#include "src/common/random.h"
+
+namespace moira {
+namespace {
+
+// One independent stream per (seed, round, index); the golden-ratio stride
+// matches the DCM fault plan's keying.  Replica indices stay well below the
+// reserved directory-server indices (8190/8191) used by FaultPlan, so a
+// shared seed never aliases streams.
+SplitMix64 StreamFor(uint64_t seed, int round, int index) {
+  return SplitMix64(seed +
+                    0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(round) * 8192 +
+                                             static_cast<uint64_t>(index)));
+}
+
+}  // namespace
+
+void ReplFaultPlan::ArmRound(const std::vector<ReplicaServer*>& replicas,
+                             KerberosRealm* realm, int round) const {
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    ReplicaServer* replica = replicas[i];
+    if (replica == nullptr) {
+      continue;
+    }
+    if (replica->crashed()) {
+      replica->Restart();  // last round's crash heals; state resyncs via snapshot
+    }
+    SplitMix64 rng = StreamFor(spec_.seed, round, static_cast<int>(i));
+    const bool crash = spec_.crash_permille > 0 && rng.Chance(spec_.crash_permille, 1000);
+    const bool flap = spec_.flap_permille > 0 && rng.Chance(spec_.flap_permille, 1000);
+    const bool slow = spec_.slow_permille > 0 && rng.Chance(spec_.slow_permille, 1000);
+    if (crash) {
+      replica->Crash();
+      continue;  // a dead replica neither flaps nor applies slowly
+    }
+    if (flap) {
+      replica->DropLink();
+    }
+    replica->set_apply_limit(slow ? spec_.slow_apply_limit : 0);
+  }
+  if (realm != nullptr && spec_.kdc_down_permille > 0) {
+    // Reserved index 8190, matching FaultPlan::ArmDirectories' KDC stream.
+    SplitMix64 rng = StreamFor(spec_.seed, round, 8190);
+    realm->SetDown(rng.Chance(spec_.kdc_down_permille, 1000));
+  }
+}
+
+}  // namespace moira

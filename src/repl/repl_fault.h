@@ -1,0 +1,53 @@
+// Seeded fault injection for the replication layer.
+//
+// Mirrors the DCM fault harness (src/update/sim_host.h): every fault draw
+// comes from its own SplitMix64 stream keyed on (seed, round, replica index),
+// so a given seed produces the same fault schedule regardless of how many
+// random draws any round consumes.  Faults modelled per round:
+//   - crash: the replica dies (stops answering) for one round, then reboots
+//     with its state lost and must resynchronize via a snapshot transfer;
+//   - link flap: the primary link drops; the next catch-up reconnects,
+//     re-authenticates, and resumes from applied_seq + 1;
+//   - slow apply: the replica applies at most `slow_apply_limit` entries per
+//     catch-up call, building observable lag;
+//   - KDC outage: the realm refuses new initial tickets (cached tickets keep
+//     working — the catch-up path must ride it out).
+#ifndef MOIRA_SRC_REPL_REPL_FAULT_H_
+#define MOIRA_SRC_REPL_REPL_FAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/krb/kerberos.h"
+#include "src/repl/replica.h"
+
+namespace moira {
+
+struct ReplFaultSpec {
+  uint64_t seed = 1988;
+  int crash_permille = 0;       // replica crashes for the round
+  int flap_permille = 0;        // primary link drops
+  int slow_permille = 0;        // apply limit engaged for the round
+  int slow_apply_limit = 8;     // entries per catch-up call while slowed
+  int kdc_down_permille = 0;    // realm refuses new tickets for the round
+};
+
+class ReplFaultPlan {
+ public:
+  explicit ReplFaultPlan(const ReplFaultSpec& spec) : spec_(spec) {}
+
+  // Applies round `round`'s draws: reboots replicas crashed in an earlier
+  // round (so a crash outage lasts exactly one round), then rolls each
+  // replica's crash/flap/slow fate and the realm-wide KDC outage.
+  void ArmRound(const std::vector<ReplicaServer*>& replicas, KerberosRealm* realm,
+                int round) const;
+
+  const ReplFaultSpec& spec() const { return spec_; }
+
+ private:
+  ReplFaultSpec spec_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_REPL_REPL_FAULT_H_

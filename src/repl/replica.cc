@@ -1,0 +1,320 @@
+#include "src/repl/replica.h"
+
+#include <utility>
+
+#include "src/backup/backup.h"
+#include "src/comerr/moira_errors.h"
+#include "src/common/strutil.h"
+#include "src/core/schema.h"
+
+namespace moira {
+namespace {
+
+std::string SingleReply(int32_t code) {
+  return EncodeReply(MrReply{kMrProtocolVersion, code, {}});
+}
+
+}  // namespace
+
+ReplicaServer::ReplicaServer(KerberosRealm* realm, ReplicaOptions options)
+    : options_(std::move(options)), clock_(options_.start_time), realm_(realm) {
+  db_ = std::make_unique<Database>(&clock_);
+  CreateMoiraSchema(db_.get());
+  SeedMoiraDefaults(db_.get());
+  mc_ = std::make_unique<MoiraContext>(db_.get());
+  server_ = std::make_unique<MoiraServer>(mc_.get(), realm);
+}
+
+void ReplicaServer::SetPrimaryLink(MrClient::Connector connector, std::string principal,
+                                   std::string password) {
+  link_ = std::make_unique<MrClient>(std::move(connector));
+  link_->SetKerberosIdentity(realm_, std::move(principal), std::move(password));
+  link_authed_ = false;
+}
+
+bool ReplicaServer::EnsureLink() {
+  if (link_ == nullptr) {
+    return false;
+  }
+  if (!link_->connected()) {
+    if (link_->Connect() != MR_SUCCESS) {
+      return false;
+    }
+    link_authed_ = false;
+  }
+  if (!link_authed_) {
+    // Auth reuses the cached Kerberos ticket for its lifetime, so a
+    // reconnect during a KDC outage still succeeds (the cached-ticket path).
+    if (link_->Auth("mrrepl-" + options_.name) != MR_SUCCESS) {
+      link_->Disconnect();
+      return false;
+    }
+    link_authed_ = true;
+  }
+  return true;
+}
+
+void ReplicaServer::DropLink() {
+  if (link_ != nullptr && link_->connected()) {
+    link_->Disconnect();
+  }
+  link_authed_ = false;
+}
+
+void ReplicaServer::Restart() {
+  crashed_ = false;
+  // The in-memory state died with the process: everything — including the
+  // seeded defaults — comes back via a full snapshot transfer.
+  db_->ClearAllRows();
+  applied_seq_ = 0;
+  force_snapshot_ = true;
+  server_->InvalidateAccessCaches();
+  DropLink();
+}
+
+void ReplicaServer::ApplyEntry(const JournalEntry& entry) {
+  // Replay with the entry's original timestamp, principal, and client so
+  // modtime/modby/modwith stamps — and therefore full dumps — are
+  // byte-identical to the primary's.
+  clock_.Set(entry.when);
+  const std::string& principal = entry.principal.empty() ? "root" : entry.principal;
+  const std::string& client = entry.client.empty() ? "journal-replay" : entry.client;
+  int32_t code = QueryRegistry::Instance().Execute(*mc_, principal, client, entry.query,
+                                                   entry.args, [](Tuple) {});
+  if (code == MR_SUCCESS) {
+    ++stats_.entries_applied;
+  } else {
+    ++stats_.apply_failures;
+  }
+  applied_seq_ = entry.seq;
+}
+
+int32_t ReplicaServer::LoadSnapshot() {
+  db_->ClearAllRows();
+  applied_seq_ = 0;
+  bool malformed = false;
+  ++stats_.snapshot_loads;
+  int32_t code = link_->ReplSnapshot(options_.name, [&](Tuple tuple) {
+    if (malformed) {
+      return;
+    }
+    if (tuple.size() != 2) {
+      malformed = true;
+      return;
+    }
+    Table* table = db_->GetTable(tuple[0]);
+    if (table == nullptr) {
+      malformed = true;
+      return;
+    }
+    Row row;
+    if (!BackupManager::LineToRow(tuple[1], table->schema(), &row)) {
+      malformed = true;
+      return;
+    }
+    table->Append(std::move(row));
+  });
+  if (code != MR_SUCCESS) {
+    DropLink();
+    return code;
+  }
+  if (malformed) {
+    return MR_INTERNAL;
+  }
+  const std::vector<std::string>& fields = link_->last_fields();
+  if (fields.size() >= 2) {
+    applied_seq_ = static_cast<uint64_t>(ParseInt(fields[0]).value_or(0));
+    UnixTime primary_now = ParseInt(fields[1]).value_or(0);
+    if (primary_now > 0) {
+      clock_.Set(primary_now);
+    }
+  }
+  force_snapshot_ = false;
+  server_->InvalidateAccessCaches();
+  return MR_SUCCESS;
+}
+
+int32_t ReplicaServer::CatchUp() {
+  return CatchUpInternal(UINT64_MAX, INT32_MAX);
+}
+
+int32_t ReplicaServer::CatchUpInternal(uint64_t target_seq, int max_batches) {
+  if (crashed_) {
+    return MR_ABORTED;
+  }
+  if (link_ == nullptr) {
+    return MR_NOT_CONNECTED;
+  }
+  int applied_this_call = 0;
+  for (int batch = 0; batch < max_batches; ++batch) {
+    if (!EnsureLink()) {
+      return MR_NOT_CONNECTED;
+    }
+    if (force_snapshot_) {
+      if (int32_t code = LoadSnapshot(); code != MR_SUCCESS) {
+        return code;
+      }
+      if (applied_seq_ >= target_seq) {
+        return MR_SUCCESS;
+      }
+      continue;  // resume incremental fetching from snapshot_seq + 1
+    }
+    std::vector<JournalEntry> entries;
+    bool parse_error = false;
+    ++stats_.fetch_rounds;
+    int32_t code = link_->ReplFetch(
+        options_.name, applied_seq_ + 1, options_.max_entries_per_fetch,
+        [&](Tuple tuple) {
+          std::optional<JournalEntry> entry =
+              tuple.empty() ? std::nullopt : JournalEntry::FromLine(tuple[0]);
+          if (entry.has_value()) {
+            entries.push_back(std::move(*entry));
+          } else {
+            parse_error = true;
+          }
+        });
+    if (code == MR_REPL_TRUNCATED) {
+      // The primary pruned its journal past our position; only a full
+      // snapshot can resynchronize us.
+      force_snapshot_ = true;
+      continue;
+    }
+    if (code != MR_SUCCESS) {
+      DropLink();
+      return code;
+    }
+    if (parse_error) {
+      return MR_INTERNAL;
+    }
+    uint64_t primary_seq = 0;
+    UnixTime primary_now = 0;
+    const std::vector<std::string>& fields = link_->last_fields();
+    if (fields.size() >= 2) {
+      primary_seq = static_cast<uint64_t>(ParseInt(fields[0]).value_or(0));
+      primary_now = ParseInt(fields[1]).value_or(0);
+    }
+    bool limited = false;
+    for (const JournalEntry& entry : entries) {
+      if (apply_limit_ > 0 && applied_this_call >= apply_limit_) {
+        limited = true;  // injected slow apply: stop with work outstanding
+        break;
+      }
+      ApplyEntry(entry);
+      ++applied_this_call;
+    }
+    // Applying rewound our clock to each entry's original time; step back to
+    // the primary's present so client authenticators stay within skew.
+    if (primary_now > clock_.Now()) {
+      clock_.Set(primary_now);
+    }
+    server_->InvalidateAccessCaches();
+    if (limited) {
+      return MR_MORE_DATA;
+    }
+    if (applied_seq_ >= target_seq && target_seq != UINT64_MAX) {
+      return MR_SUCCESS;  // a token read needs no directory-freshness fetch
+    }
+    if (applied_seq_ >= primary_seq) {
+      if (entries.empty()) {
+        return MR_SUCCESS;
+      }
+      // One more (empty) fetch so the primary's replica directory records our
+      // final position before this catch-up reports success.
+      continue;
+    }
+    if (entries.empty()) {
+      return MR_INTERNAL;  // behind but the primary sent nothing: a gap
+    }
+  }
+  return applied_seq_ >= target_seq ? MR_SUCCESS : MR_MORE_DATA;
+}
+
+MoiraServer* ReplicaServer::Promote() {
+  promoted_ = true;
+  // Post-failover mutations extend the old primary's sequence, so surviving
+  // replicas (and routing clients' tokens) stay meaningful.
+  server_->journal().ResetSequence(applied_seq_ + 1);
+  return server_.get();
+}
+
+std::string ReplicaServer::OnMessage(uint64_t conn_id, std::string_view payload) {
+  if (crashed_) {
+    // A crashed replica answers nothing; the client's Recv sees a dead
+    // connection (MR_ABORTED) and its router tries the next replica.
+    return std::string();
+  }
+  std::optional<MrRequest> request = DecodeRequest(payload);
+  if (!request.has_value() || request->version != kMrProtocolVersion) {
+    return server_->OnMessage(conn_id, payload);  // let the server report it
+  }
+  const QueryRegistry& registry = QueryRegistry::Instance();
+  switch (request->major) {
+    case MajorRequest::kQuery: {
+      if (!promoted_ && !request->args.empty()) {
+        const QueryDef* def = registry.Find(request->args[0]);
+        if (def != nullptr && def->qclass != QueryClass::kRetrieve) {
+          return SingleReply(MR_REPL_READONLY);
+        }
+      }
+      return server_->OnMessage(conn_id, payload);
+    }
+    case MajorRequest::kQueryAtSeq: {
+      if (request->args.size() < 2) {
+        return SingleReply(MR_ARGS);
+      }
+      std::optional<int64_t> token = ParseInt(request->args[0]);
+      if (!token.has_value() || *token < 0) {
+        return SingleReply(MR_ARGS);
+      }
+      if (!promoted_) {
+        const QueryDef* def = registry.Find(request->args[1]);
+        if (def != nullptr && def->qclass != QueryClass::kRetrieve) {
+          return SingleReply(MR_REPL_READONLY);
+        }
+        uint64_t want = static_cast<uint64_t>(*token);
+        if (want > applied_seq_) {
+          // Behind the caller's token: wait briefly (a bounded on-demand
+          // pull) before giving up and redirecting them to the primary.
+          if (options_.catch_up_on_read && link_ != nullptr) {
+            ++stats_.read_catch_ups;
+            CatchUpInternal(want, options_.read_catch_up_batches);
+          }
+          if (want > applied_seq_) {
+            ++stats_.reads_behind;
+            return SingleReply(MR_REPL_BEHIND);
+          }
+        }
+      }
+      ++stats_.reads_served;
+      // The embedded server strips the (now satisfied) token and serves.
+      return server_->OnMessage(conn_id, payload);
+    }
+    default:
+      return server_->OnMessage(conn_id, payload);
+  }
+}
+
+void ReplicaServer::OnConnect(uint64_t conn_id, std::string peer) {
+  server_->OnConnect(conn_id, std::move(peer));
+}
+
+void ReplicaServer::OnDisconnect(uint64_t conn_id) {
+  server_->OnDisconnect(conn_id);
+}
+
+ReplicaServer* ChooseFailoverCandidate(const std::vector<ReplicaServer*>& replicas) {
+  ReplicaServer* best = nullptr;
+  for (ReplicaServer* replica : replicas) {
+    if (replica == nullptr || replica->crashed() || replica->promoted()) {
+      continue;
+    }
+    if (best == nullptr || replica->applied_seq() > best->applied_seq() ||
+        (replica->applied_seq() == best->applied_seq() &&
+         replica->name() < best->name())) {
+      best = replica;
+    }
+  }
+  return best;
+}
+
+}  // namespace moira

@@ -1,0 +1,149 @@
+// Journal-shipping read replicas (DESIGN.md "Replication layer").
+//
+// The paper runs one central Moira server and offloads read traffic only
+// through derived services (Hesiod).  The journal of section 5.2.2 already
+// records every successful change as a replayable query+args line — exactly a
+// replication log.  A ReplicaServer owns its own embedded database (seeded to
+// the same initial state as the primary), pulls journal entries from the
+// primary over the authenticated wire protocol (kReplFetch), applies them
+// deterministically through the query registry with the original principal,
+// client name, and timestamp — so modby/modwith/modtime stamps, and therefore
+// full database dumps, come out byte-identical — and serves read-only queries
+// through an embedded MoiraServer.
+//
+// Consistency: replicas track applied_seq, the highest journal sequence
+// number applied.  A read carrying a read-your-writes token (kQueryAtSeq)
+// greater than applied_seq triggers a brief on-demand catch-up pull; if the
+// replica still cannot reach the token it answers MR_REPL_BEHIND and the
+// client redirects to the primary.  A replica that reconnects after a
+// disconnect resumes fetching from applied_seq + 1; if the primary has
+// truncated its journal past that point (MR_REPL_TRUNCATED) the replica falls
+// back to a full snapshot transfer (kReplSnapshot).  Operator-driven failover
+// promotes the most-caught-up replica: Promote() makes it writable and
+// continues the journal sequence from applied_seq + 1.
+#ifndef MOIRA_SRC_REPL_REPLICA_H_
+#define MOIRA_SRC_REPL_REPLICA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/client.h"
+#include "src/common/clock.h"
+#include "src/core/context.h"
+#include "src/krb/kerberos.h"
+#include "src/net/channel.h"
+#include "src/server/server.h"
+
+namespace moira {
+
+struct ReplicaOptions {
+  std::string name = "replica";
+  // The replica seeds its database (schema + defaults) at this time; it must
+  // match the primary's seed time or the two initial states diverge.
+  UnixTime start_time = 568000000;
+  // Batch size of one kReplFetch round trip.
+  int max_entries_per_fetch = 256;
+  // A read whose token is ahead of applied_seq "waits briefly": up to this
+  // many on-demand fetch batches before answering MR_REPL_BEHIND.
+  bool catch_up_on_read = true;
+  int read_catch_up_batches = 4;
+};
+
+class ReplicaServer final : public MessageHandler {
+ public:
+  // `realm` is the shared KDC: the embedded read server authenticates clients
+  // against it, and the primary link authenticates with it.  Must outlive the
+  // replica.
+  explicit ReplicaServer(KerberosRealm* realm, ReplicaOptions options = {});
+
+  // Configures the pull link to the primary.  `principal` must be authorized
+  // for get_replica_status on the primary (root or CAPACLS member) — the
+  // capability that gates journal streaming.
+  void SetPrimaryLink(MrClient::Connector connector, std::string principal,
+                      std::string password);
+
+  // One catch-up run: connect/authenticate if needed (cached ticket — a KDC
+  // blip does not stop a reconnect), then fetch and apply batches until
+  // caught up with the primary.  Falls back to a snapshot transfer when the
+  // primary's journal has been truncated past applied_seq.  Returns
+  // MR_SUCCESS when fully caught up, MR_MORE_DATA when an injected apply
+  // limit stopped it early, or the transport/server error otherwise.
+  int32_t CatchUp();
+
+  uint64_t applied_seq() const { return applied_seq_; }
+  bool promoted() const { return promoted_; }
+
+  // Operator failover: start accepting writes.  The embedded server's
+  // journal continues numbering from applied_seq + 1, so post-failover
+  // entries extend the old primary's sequence.  Returns the now-writable
+  // embedded server (its journal is the new replication source).
+  MoiraServer* Promote();
+
+  // --- fault hooks (seeded ReplFaultPlan) ---
+  // Crash: the replica loses its in-memory state and stops serving.
+  void Crash() { crashed_ = true; }
+  bool crashed() const { return crashed_; }
+  // Reboot after a crash: state is gone, so the next CatchUp performs a full
+  // snapshot transfer.
+  void Restart();
+  // Link flap: drops the primary connection; the next CatchUp reconnects,
+  // re-authenticates, and resumes from applied_seq + 1.
+  void DropLink();
+  // Slow apply: at most `limit` entries applied per CatchUp call (0 = no
+  // limit).
+  void set_apply_limit(int limit) { apply_limit_ = limit; }
+
+  // MessageHandler — the read-serving side.
+  std::string OnMessage(uint64_t conn_id, std::string_view payload) override;
+  void OnConnect(uint64_t conn_id, std::string peer) override;
+  void OnDisconnect(uint64_t conn_id) override;
+
+  struct Stats {
+    uint64_t entries_applied = 0;
+    uint64_t apply_failures = 0;  // divergence signal: an entry failed to replay
+    uint64_t fetch_rounds = 0;
+    uint64_t snapshot_loads = 0;
+    uint64_t reads_served = 0;
+    uint64_t reads_behind = 0;     // answered MR_REPL_BEHIND
+    uint64_t read_catch_ups = 0;   // on-demand pulls triggered by a token
+  };
+  const Stats& stats() const { return stats_; }
+
+  const std::string& name() const { return options_.name; }
+  SimulatedClock& clock() { return clock_; }
+  Database& db() { return *db_; }
+  MoiraContext& context() { return *mc_; }
+  MoiraServer& server() { return *server_; }
+  MrClient* primary_link() { return link_.get(); }
+
+ private:
+  bool EnsureLink();
+  int32_t CatchUpInternal(uint64_t target_seq, int max_batches);
+  int32_t LoadSnapshot();
+  void ApplyEntry(const JournalEntry& entry);
+
+  ReplicaOptions options_;
+  SimulatedClock clock_;
+  KerberosRealm* realm_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<MoiraContext> mc_;
+  std::unique_ptr<MoiraServer> server_;
+  std::unique_ptr<MrClient> link_;
+  bool link_authed_ = false;
+  uint64_t applied_seq_ = 0;
+  bool promoted_ = false;
+  bool crashed_ = false;
+  bool force_snapshot_ = false;
+  int apply_limit_ = 0;
+  Stats stats_;
+};
+
+// Operator failover helper: the most-caught-up live replica (max applied_seq,
+// ties broken by name so the choice is deterministic); nullptr if none.
+ReplicaServer* ChooseFailoverCandidate(const std::vector<ReplicaServer*>& replicas);
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_REPL_REPLICA_H_

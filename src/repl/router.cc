@@ -1,0 +1,75 @@
+#include "src/repl/router.h"
+
+#include <utility>
+
+#include "src/comerr/moira_errors.h"
+#include "src/common/strutil.h"
+
+namespace moira {
+namespace {
+
+// Server-state queries are answered from the primary's connection and replica
+// directories, which replicas do not have.
+bool PrimaryOnly(std::string_view name) {
+  return name == "_list_users" || name == "lusr" || name == "get_replica_status" ||
+         name == "grst";
+}
+
+}  // namespace
+
+ReplicatedClient::ReplicatedClient(std::unique_ptr<MrClient> primary)
+    : primary_(std::move(primary)) {}
+
+void ReplicatedClient::AddReplica(std::unique_ptr<MrClient> replica) {
+  replicas_.push_back(std::move(replica));
+}
+
+void ReplicatedClient::ReplacePrimary(std::unique_ptr<MrClient> primary) {
+  primary_ = std::move(primary);
+}
+
+int32_t ReplicatedClient::Access(std::string_view name,
+                                 const std::vector<std::string>& args) {
+  return primary_->Access(name, args);
+}
+
+int32_t ReplicatedClient::Query(std::string_view name,
+                                const std::vector<std::string>& args,
+                                const TupleSink& sink) {
+  const QueryDef* def = QueryRegistry::Instance().Find(name);
+  const bool is_read =
+      def != nullptr && def->qclass == QueryClass::kRetrieve && !PrimaryOnly(name);
+  if (!is_read) {
+    ++stats_.writes;
+    int32_t code = primary_->Query(name, args, sink);
+    if (code == MR_SUCCESS && def != nullptr && def->qclass != QueryClass::kRetrieve &&
+        !primary_->last_fields().empty()) {
+      // The final reply of a successful mutation carries the journal seq the
+      // primary assigned: our new read-your-writes floor.
+      std::optional<int64_t> seq = ParseInt(primary_->last_fields()[0]);
+      if (seq.has_value() && static_cast<uint64_t>(*seq) > token_) {
+        token_ = static_cast<uint64_t>(*seq);
+      }
+    }
+    return code;
+  }
+  // Round-robin across replicas, skipping any that is down or behind.
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    const size_t pick = (next_replica_ + i) % replicas_.size();
+    MrClient* replica = replicas_[pick].get();
+    int32_t code = replica->QueryAtSeq(token_, name, args, sink);
+    if (code == MR_REPL_BEHIND || code == MR_ABORTED || code == MR_NOT_CONNECTED) {
+      continue;
+    }
+    next_replica_ = (pick + 1) % replicas_.size();
+    ++stats_.replica_reads;
+    return code;  // a genuine query verdict (success, MR_NO_MATCH, MR_PERM, ...)
+  }
+  if (!replicas_.empty()) {
+    ++stats_.redirects;
+  }
+  ++stats_.primary_reads;
+  return primary_->Query(name, args, sink);
+}
+
+}  // namespace moira

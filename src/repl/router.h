@@ -1,0 +1,69 @@
+// Client-side read/write routing over a replicated Moira deployment.
+//
+// ReplicatedClient presents the ordinary MoiraClientApi but splits traffic:
+// mutations go to the primary, retrieval queries fan out round-robin across
+// the read replicas.  Read-your-writes consistency rides on a sequence token:
+// every successful write records the journal sequence number the primary
+// assigned (surfaced in the final reply), and every read is sent as
+// kQueryAtSeq carrying the highest token seen.  A replica that cannot reach
+// the token (MR_REPL_BEHIND) — or that is down (transport failure) — is
+// skipped; if no replica can serve, the read redirects to the primary, which
+// trivially satisfies any token it issued.
+#ifndef MOIRA_SRC_REPL_ROUTER_H_
+#define MOIRA_SRC_REPL_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/client/client.h"
+
+namespace moira {
+
+class ReplicatedClient final : public MoiraClientApi {
+ public:
+  // The clients arrive configured (identity, retry policy) and are owned by
+  // the router; connect/auth state is managed per client as usual.
+  explicit ReplicatedClient(std::unique_ptr<MrClient> primary);
+
+  void AddReplica(std::unique_ptr<MrClient> replica);
+
+  // Routes by query class: retrieval queries to a replica (with the
+  // read-your-writes token), everything else — mutations, unknown names, and
+  // the server-state queries (_list_users, get_replica_status) — to the
+  // primary.
+  int32_t Query(std::string_view name, const std::vector<std::string>& args,
+                const TupleSink& sink) override;
+  int32_t Access(std::string_view name, const std::vector<std::string>& args) override;
+
+  // The read-your-writes token: the highest journal seq this client's writes
+  // have been assigned.  Exposed for failover handoff and tests.
+  uint64_t write_token() const { return token_; }
+  void set_write_token(uint64_t token) { token_ = token; }
+
+  MrClient& primary() { return *primary_; }
+  // Replaces the primary client after an operator failover promotion.  The
+  // token survives: the promoted replica continues the same sequence.
+  void ReplacePrimary(std::unique_ptr<MrClient> primary);
+  size_t replica_count() const { return replicas_.size(); }
+  MrClient& replica(size_t i) { return *replicas_[i]; }
+
+  struct Stats {
+    uint64_t writes = 0;
+    uint64_t replica_reads = 0;  // reads a replica answered
+    uint64_t primary_reads = 0;  // reads the primary answered
+    uint64_t redirects = 0;      // reads that fell back to the primary
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::unique_ptr<MrClient> primary_;
+  std::vector<std::unique_ptr<MrClient>> replicas_;
+  size_t next_replica_ = 0;
+  uint64_t token_ = 0;
+  Stats stats_;
+};
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_REPL_ROUTER_H_

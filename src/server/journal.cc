@@ -74,9 +74,13 @@ std::vector<std::string> SplitEscaped(std::string_view line) {
 }
 
 std::string JournalEntry::ToLine() const {
-  std::string line = std::to_string(when);
+  std::string line = std::to_string(seq);
+  line += ':';
+  line += std::to_string(when);
   line += ':';
   line += JournalEscape(principal);
+  line += ':';
+  line += JournalEscape(client);
   line += ':';
   line += JournalEscape(query);
   for (const std::string& arg : args) {
@@ -92,29 +96,50 @@ std::optional<JournalEntry> JournalEntry::FromLine(std::string_view line) {
     line.remove_suffix(1);
   }
   std::vector<std::string> fields = SplitEscaped(line);
-  if (fields.size() < 3) {
+  if (fields.size() < 5) {
     return std::nullopt;
   }
-  std::optional<int64_t> when = ParseInt(fields[0]);
-  if (!when.has_value()) {
+  std::optional<int64_t> seq = ParseInt(fields[0]);
+  std::optional<int64_t> when = ParseInt(fields[1]);
+  if (!seq.has_value() || *seq < 0 || !when.has_value()) {
     return std::nullopt;
   }
   JournalEntry entry;
+  entry.seq = static_cast<uint64_t>(*seq);
   entry.when = *when;
-  entry.principal = fields[1];
-  entry.query = fields[2];
-  entry.args.assign(fields.begin() + 3, fields.end());
+  entry.principal = fields[2];
+  entry.client = fields[3];
+  entry.query = fields[4];
+  entry.args.assign(fields.begin() + 5, fields.end());
   return entry;
 }
 
-void Journal::Append(JournalEntry entry) {
+void Journal::SetFile(std::string path) {
+  file_path_ = std::move(path);
+  file_.close();
+  file_.clear();
   if (!file_path_.empty()) {
-    std::ofstream out(file_path_, std::ios::app | std::ios::binary);
-    if (out) {
-      out << entry.ToLine();
-    }
+    file_.open(file_path_, std::ios::app | std::ios::binary);
   }
+}
+
+uint64_t Journal::Append(JournalEntry entry) {
+  if (entry.seq == 0) {
+    entry.seq = last_seq_ + 1;
+  }
+  if (entry.seq > last_seq_) {
+    last_seq_ = entry.seq;
+  }
+  if (file_.is_open()) {
+    // Written and flushed before the append is acknowledged: a replica that
+    // saw this sequence number can always re-fetch it after a primary
+    // restart.
+    file_ << entry.ToLine();
+    file_.flush();
+  }
+  uint64_t seq = entry.seq;
   entries_.push_back(std::move(entry));
+  return seq;
 }
 
 std::vector<JournalEntry> Journal::EntriesSince(UnixTime since) const {
@@ -127,6 +152,47 @@ std::vector<JournalEntry> Journal::EntriesSince(UnixTime since) const {
   return out;
 }
 
+std::vector<JournalEntry> Journal::EntriesFromSeq(uint64_t from_seq, size_t max) const {
+  std::vector<JournalEntry> out;
+  for (const JournalEntry& entry : entries_) {
+    if (entry.seq >= from_seq) {
+      out.push_back(entry);
+      if (out.size() >= max) {
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t Journal::first_seq() const {
+  return entries_.empty() ? base_seq_ + 1 : entries_.front().seq;
+}
+
+size_t Journal::TruncateThrough(uint64_t through) {
+  size_t dropped = 0;
+  while (!entries_.empty() && entries_.front().seq <= through) {
+    ++dropped;
+    if (entries_.front().seq > base_seq_) {
+      base_seq_ = entries_.front().seq;
+    }
+    entries_.erase(entries_.begin());
+  }
+  if (through > base_seq_ && through <= last_seq_) {
+    base_seq_ = through;
+  }
+  return dropped;
+}
+
+void Journal::ResetSequence(uint64_t next_seq) {
+  if (next_seq > 0 && next_seq - 1 > last_seq_) {
+    last_seq_ = next_seq - 1;
+  }
+  if (base_seq_ < last_seq_ && entries_.empty()) {
+    base_seq_ = last_seq_;
+  }
+}
+
 int Journal::LoadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -135,9 +201,19 @@ int Journal::LoadFile(const std::string& path) {
   int count = 0;
   std::string line;
   while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
     if (std::optional<JournalEntry> entry = JournalEntry::FromLine(line)) {
+      if (entry->seq > last_seq_) {
+        last_seq_ = entry->seq;
+      }
       entries_.push_back(std::move(*entry));
       ++count;
+    } else {
+      // A torn write (crash mid-append) leaves a short final line; count it
+      // rather than silently dropping it so operators can see data loss.
+      ++corrupt_lines_skipped_;
     }
   }
   return count;

@@ -4,9 +4,17 @@
 //
 // Entries are kept in memory and optionally appended to a journal file, one
 // escaped line per change; mrrestore can replay entries newer than a backup.
+//
+// The journal doubles as the replication log (src/repl): every committed
+// entry carries a monotone sequence number assigned at append time, replicas
+// resume streaming from `applied_seq + 1`, and TruncateThrough lets the
+// primary drop already-backed-up prefixes (a replica asking for a truncated
+// range falls back to a snapshot transfer).
 #ifndef MOIRA_SRC_SERVER_JOURNAL_H_
 #define MOIRA_SRC_SERVER_JOURNAL_H_
 
+#include <cstdint>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -17,13 +25,21 @@
 namespace moira {
 
 struct JournalEntry {
+  // Monotone sequence number; 0 means "not yet assigned" (Journal::Append
+  // assigns the next one).
+  uint64_t seq = 0;
   UnixTime when = 0;
   std::string principal;
+  // Application name the change was made with (recorded in modwith).  Kept in
+  // the journal so replicas replay with the original identity and produce
+  // byte-identical modby/modwith stamps.
+  std::string client;
   std::string query;
   std::vector<std::string> args;
 
-  // Line format: time:principal:query:arg... with ':' and '\' escaped, ending
-  // in a newline.  Identical escaping to the backup files (section 5.2.2).
+  // Line format: seq:time:principal:client:query:arg... with ':' and '\'
+  // escaped, ending in a newline.  Identical escaping to the backup files
+  // (section 5.2.2).
   std::string ToLine() const;
   static std::optional<JournalEntry> FromLine(std::string_view line);
 };
@@ -32,25 +48,63 @@ class Journal {
  public:
   Journal() = default;
 
-  // If set, every entry is also appended to this file.
-  void SetFile(std::string path) { file_path_ = std::move(path); }
+  // If set, every entry is also appended to this file.  The stream is kept
+  // open and flushed after every append (see Append).
+  void SetFile(std::string path);
 
-  void Append(JournalEntry entry);
+  // Records one entry.  Assigns the next sequence number when entry.seq is 0
+  // (entries carrying a seq — e.g. reloaded from disk — keep it and advance
+  // the counter past it).  When a journal file is attached the line is
+  // written and flushed before this returns, so an entry is durable before it
+  // is acknowledged to the client or streamed to a replica.  Returns the
+  // entry's sequence number.
+  uint64_t Append(JournalEntry entry);
 
   const std::vector<JournalEntry>& entries() const { return entries_; }
 
   // Entries recorded strictly after `since`.
   std::vector<JournalEntry> EntriesSince(UnixTime since) const;
 
-  void Clear() { entries_.clear(); }
+  // Up to `max` retained entries with seq >= from_seq, in order.
+  std::vector<JournalEntry> EntriesFromSeq(uint64_t from_seq,
+                                           size_t max = SIZE_MAX) const;
+
+  // Sequence number of the oldest retained entry; with nothing retained,
+  // base_seq() + 1 (the seq the next retained entry would get).
+  uint64_t first_seq() const;
+  // Sequence number of the newest entry ever appended (0 if none).
+  uint64_t last_seq() const { return last_seq_; }
+  // Highest truncated sequence number: entries 1..base_seq() are gone.
+  uint64_t base_seq() const { return base_seq_; }
+
+  // Drops retained entries with seq <= through (journal pruning after a
+  // backup); replicas behind `through` must fall back to a snapshot.
+  // Returns the number of entries dropped.
+  size_t TruncateThrough(uint64_t through);
+
+  // Failover promotion: continue numbering from `next_seq` so the promoted
+  // replica's first post-failover entry extends the old primary's sequence.
+  void ResetSequence(uint64_t next_seq);
+
+  void Clear() {
+    entries_.clear();
+    base_seq_ = last_seq_;
+  }
 
   // Loads entries from a journal file (does not clear existing ones).
   // Returns the number of entries read, or -1 if the file cannot be opened.
+  // Unparsable lines — e.g. a torn final line from a crash mid-append — are
+  // skipped and counted in corrupt_lines_skipped().
   int LoadFile(const std::string& path);
+  int corrupt_lines_skipped() const { return corrupt_lines_skipped_; }
 
  private:
   std::vector<JournalEntry> entries_;
   std::string file_path_;
+  std::ofstream file_;
+  uint64_t last_seq_ = 0;
+  uint64_t base_seq_ = 0;  // entries 1..base_seq_ have been truncated
+  int corrupt_lines_skipped_ = 0;
 };
 
 // Escapes one field: ':' -> "\:", '\' -> "\\", non-printing -> \nnn octal.

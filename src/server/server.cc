@@ -1,12 +1,26 @@
 #include "src/server/server.h"
 
 #include "src/comerr/moira_errors.h"
+#include "src/common/strutil.h"
 
 namespace moira {
 namespace {
 
 std::string SingleReply(int32_t code) {
   return EncodeReply(MrReply{kMrProtocolVersion, code, {}});
+}
+
+// One snapshot row, serialized exactly like a backup line (minus the trailing
+// newline, which the wire tuple does not need).
+std::string SnapshotRowField(const Row& row) {
+  std::string line;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) {
+      line += ':';
+    }
+    line += JournalEscape(row[i].ToString());
+  }
+  return line;
 }
 
 // Burns deterministic work to model the cost athenareg paid forking an
@@ -97,6 +111,22 @@ std::string MoiraServer::HandleRequest(ConnState& conn, const MrRequest& request
       }
       return SingleReply(code);
     }
+    case MajorRequest::kReplFetch:
+      return HandleReplFetch(conn, request);
+    case MajorRequest::kReplSnapshot:
+      return HandleReplSnapshot(conn, request);
+    case MajorRequest::kQueryAtSeq: {
+      // The primary is authoritative: every sequence number it ever issued is
+      // already applied here, so the token is trivially satisfied — strip it
+      // and serve the query.  (ReplicaServer intercepts this major request
+      // and enforces the token against its own applied_seq.)
+      if (request.args.size() < 2 || !ParseInt(request.args[0]).has_value()) {
+        return SingleReply(MR_ARGS);
+      }
+      MrRequest inner{request.version, MajorRequest::kQuery,
+                      {request.args.begin() + 1, request.args.end()}};
+      return HandleQuery(conn, inner);
+    }
   }
   return SingleReply(MR_UNKNOWN_PROC);
 }
@@ -145,6 +175,11 @@ std::string MoiraServer::HandleQuery(ConnState& conn, const MrRequest& request) 
   if (name == "_list_users" || name == "lusr") {
     return HandleListUsers(request);
   }
+  // get_replica_status is likewise answered from server state: the replica
+  // directory fed by kReplFetch/kReplSnapshot requests.
+  if (name == "get_replica_status" || name == "grst") {
+    return HandleReplicaStatus(conn);
+  }
   std::vector<std::string> args(request.args.begin() + 1, request.args.end());
   std::string out;
   TupleSink emit = [&out](Tuple tuple) {
@@ -153,12 +188,101 @@ std::string MoiraServer::HandleQuery(ConnState& conn, const MrRequest& request) 
   const QueryRegistry& registry = QueryRegistry::Instance();
   int32_t code = registry.Execute(*mc_, conn.principal, conn.client_name, name, args, emit);
   const QueryDef* def = registry.Find(name);
+  std::vector<std::string> final_fields;
   if (code == MR_SUCCESS && def != nullptr && def->qclass != QueryClass::kRetrieve) {
-    // Successful change: journal it and invalidate caches.
-    journal_.Append(JournalEntry{mc_->Now(), conn.principal, std::string(def->name), args});
+    // Successful change: journal it (with the assigned sequence number
+    // reported back so routing clients can carry a read-your-writes token)
+    // and invalidate caches.
+    uint64_t seq = journal_.Append(JournalEntry{0, mc_->Now(), conn.principal,
+                                                conn.client_name, std::string(def->name),
+                                                args});
+    final_fields.push_back(std::to_string(seq));
     ++mutation_epoch_;
   }
-  out += EncodeReply(MrReply{kMrProtocolVersion, code, {}});
+  out += EncodeReply(MrReply{kMrProtocolVersion, code, std::move(final_fields)});
+  return out;
+}
+
+std::string MoiraServer::HandleReplicaStatus(ConnState& conn) {
+  if (int32_t code = CachedAccessCheck(conn, "get_replica_status", {});
+      code != MR_SUCCESS) {
+    return SingleReply(code);
+  }
+  const uint64_t primary_seq = journal_.last_seq();
+  std::string out;
+  for (const auto& [name, info] : replicas_) {
+    uint64_t lag = primary_seq > info.applied_seq ? primary_seq - info.applied_seq : 0;
+    MrReply tuple{kMrProtocolVersion, MR_MORE_DATA,
+                  {name, std::to_string(info.applied_seq), std::to_string(primary_seq),
+                   std::to_string(lag), std::to_string(info.last_contact)}};
+    out += EncodeReply(tuple);
+  }
+  out += EncodeReply(MrReply{kMrProtocolVersion, MR_SUCCESS, {}});
+  return out;
+}
+
+std::string MoiraServer::HandleReplFetch(ConnState& conn, const MrRequest& request) {
+  // Streaming the journal reveals every change in the database; gate it on
+  // the same capability as the replica-status query.
+  if (int32_t code = CachedAccessCheck(conn, "get_replica_status", {});
+      code != MR_SUCCESS) {
+    return SingleReply(code);
+  }
+  if (request.args.size() != 3) {
+    return SingleReply(MR_ARGS);
+  }
+  std::optional<int64_t> from_seq = ParseInt(request.args[1]);
+  std::optional<int64_t> max_entries = ParseInt(request.args[2]);
+  if (!from_seq.has_value() || *from_seq < 1 || !max_entries.has_value() ||
+      *max_entries < 1) {
+    return SingleReply(MR_ARGS);
+  }
+  ReplicaInfo& info = replicas_[request.args[0]];
+  info.applied_seq = static_cast<uint64_t>(*from_seq) - 1;
+  info.last_contact = mc_->Now();
+  ++info.fetches;
+  if (static_cast<uint64_t>(*from_seq) <= journal_.base_seq()) {
+    // The requested range predates the retained log (pruned after a backup);
+    // the replica must fall back to a snapshot transfer.
+    return SingleReply(MR_REPL_TRUNCATED);
+  }
+  std::string out;
+  for (const JournalEntry& entry : journal_.EntriesFromSeq(
+           static_cast<uint64_t>(*from_seq), static_cast<size_t>(*max_entries))) {
+    out += EncodeReply(MrReply{kMrProtocolVersion, MR_MORE_DATA, {entry.ToLine()}});
+  }
+  out += EncodeReply(MrReply{kMrProtocolVersion, MR_SUCCESS,
+                             {std::to_string(journal_.last_seq()),
+                              std::to_string(mc_->Now())}});
+  return out;
+}
+
+std::string MoiraServer::HandleReplSnapshot(ConnState& conn, const MrRequest& request) {
+  if (int32_t code = CachedAccessCheck(conn, "get_replica_status", {});
+      code != MR_SUCCESS) {
+    return SingleReply(code);
+  }
+  if (request.args.size() != 1) {
+    return SingleReply(MR_ARGS);
+  }
+  ReplicaInfo& info = replicas_[request.args[0]];
+  info.last_contact = mc_->Now();
+  ++info.snapshots;
+  // The snapshot is cut at the current last_seq: every journalled change is
+  // already in the tables being streamed, so the receiving replica resumes
+  // fetching from snapshot_seq + 1.
+  const uint64_t snapshot_seq = journal_.last_seq();
+  std::string out;
+  const Database& db = mc_->db();
+  for (const std::string& table_name : db.TableNames()) {
+    db.GetTable(table_name)->Scan([&](size_t, const Row& row) {
+      out += EncodeReply(MrReply{kMrProtocolVersion, MR_MORE_DATA,
+                                 {table_name, SnapshotRowField(row)}});
+      return true;
+    });
+  }
+  out += EncodeReply(MrReply{kMrProtocolVersion, MR_SUCCESS,
+                             {std::to_string(snapshot_seq), std::to_string(mc_->Now())}});
   return out;
 }
 

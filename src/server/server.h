@@ -49,6 +49,22 @@ class MoiraServer final : public MessageHandler {
 
   Journal& journal() { return journal_; }
 
+  // Invalidates per-connection access caches.  Called by the replication
+  // layer after applying journal entries directly through the query registry
+  // (which bypasses HandleQuery and so would otherwise leave cached access
+  // decisions stale).
+  void InvalidateAccessCaches() { ++mutation_epoch_; }
+
+  // One replica as seen by the primary, fed by its kReplFetch/kReplSnapshot
+  // requests and surfaced through the privileged get_replica_status query.
+  struct ReplicaInfo {
+    uint64_t applied_seq = 0;  // last seq the replica reported applied
+    UnixTime last_contact = 0;
+    uint64_t fetches = 0;
+    uint64_t snapshots = 0;
+  };
+  const std::map<std::string, ReplicaInfo>& replicas() const { return replicas_; }
+
   struct Stats {
     uint64_t requests = 0;
     uint64_t queries = 0;
@@ -95,6 +111,9 @@ class MoiraServer final : public MessageHandler {
   std::string HandleAccess(ConnState& conn, const MrRequest& request);
   std::string HandleAuth(ConnState& conn, const MrRequest& request);
   std::string HandleListUsers(const MrRequest& request);
+  std::string HandleReplicaStatus(ConnState& conn);
+  std::string HandleReplFetch(ConnState& conn, const MrRequest& request);
+  std::string HandleReplSnapshot(ConnState& conn, const MrRequest& request);
   int32_t CachedAccessCheck(ConnState& conn, const std::string& query,
                             const std::vector<std::string>& args);
 
@@ -104,6 +123,7 @@ class MoiraServer final : public MessageHandler {
   Journal journal_;
   std::function<void()> dcm_trigger_;
   std::map<uint64_t, ConnState> connections_;
+  std::map<std::string, ReplicaInfo> replicas_;
   uint64_t next_client_number_ = 1;
   uint64_t mutation_epoch_ = 1;  // bumped on every successful mutation
   Stats stats_;

@@ -320,9 +320,28 @@ void FaultPlan::ArmPass(const std::vector<std::unique_ptr<SimHost>>& hosts,
   }
 }
 
+void FaultPlan::ArmDirectories(KerberosRealm* realm, HostDirectory* directory,
+                               int pass) const {
+  if (realm != nullptr) {
+    SplitMix64 rng(spec_.seed +
+                   0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(pass) * 8192 + 8190));
+    realm->SetDown(spec_.kdc_down_permille > 0 &&
+                   rng.Chance(spec_.kdc_down_permille, 1000));
+  }
+  if (directory != nullptr) {
+    SplitMix64 rng(spec_.seed +
+                   0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(pass) * 8192 + 8191));
+    directory->SetDown(spec_.hesiod_down_permille > 0 &&
+                       rng.Chance(spec_.hesiod_down_permille, 1000));
+  }
+}
+
 void HostDirectory::Register(SimHost* host) { hosts_[host->name()] = host; }
 
 SimHost* HostDirectory::Find(std::string_view name) const {
+  if (down_) {
+    return nullptr;  // Hesiod outage: resolution fails until the next arm
+  }
   auto it = hosts_.find(name);
   return it != hosts_.end() ? it->second : nullptr;
 }

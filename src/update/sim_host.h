@@ -124,15 +124,22 @@ class SimHost {
   int connect_attempts_ = 0;
 };
 
-// A directory of hosts the DCM can reach, keyed by canonical machine name.
+// A directory of hosts the DCM can reach, keyed by canonical machine name —
+// the stand-in for Hesiod name resolution.  An injected outage makes every
+// lookup fail temporarily (Find returns nullptr), which callers must treat
+// as a soft, retry-later condition rather than a missing host.
 class HostDirectory {
  public:
   void Register(SimHost* host);
   SimHost* Find(std::string_view name) const;
   size_t size() const { return hosts_.size(); }
 
+  void SetDown(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
  private:
   std::map<std::string, SimHost*, std::less<>> hosts_;
+  bool down_ = false;
 };
 
 // Deterministic fleet-wide fault injection: before each DCM pass, every host
@@ -152,6 +159,12 @@ struct FaultPlanSpec {
   UnixTime slow_seconds = kSecondsPerHour;
   // Probability that the transferred bytes are corrupted (checksum mismatch).
   int corrupt_permille = 0;
+  // Directory-server outages (ROADMAP PR-4 residual): probability per pass
+  // that the KDC refuses ticket requests, and that Hesiod (the
+  // HostDirectory) fails lookups.  Already-issued tickets keep working, so
+  // cached-ticket paths ride out a KDC blip.
+  int kdc_down_permille = 0;
+  int hesiod_down_permille = 0;
 };
 
 class FaultPlan {
@@ -162,6 +175,12 @@ class FaultPlan {
   // selected by any draw are reset to healthy.
   void ArmPass(const std::vector<SimHost*>& hosts, int pass) const;
   void ArmPass(const std::vector<std::unique_ptr<SimHost>>& hosts, int pass) const;
+
+  // Arms the directory servers for pass number `pass` from their own
+  // deterministic streams (host indices stay below 8192, so the reserved
+  // indices 8190/8191 never collide with a host's stream).  Either pointer
+  // may be null.
+  void ArmDirectories(KerberosRealm* realm, HostDirectory* directory, int pass) const;
 
   const FaultPlanSpec& spec() const { return spec_; }
 

@@ -44,8 +44,10 @@ UpdateOutcome UpdateClient::AttemptOnce(SimHost* host, const std::string& target
                                         const std::string& script) {
   const Clock& clock = realm_->clock();
   if (int32_t code = EnsureTicket(/*force_refresh=*/false); code != MR_SUCCESS) {
-    return UpdateOutcome{code, /*hard=*/true, "cannot obtain update tickets", 0, 0,
-                         UpdatePhase::kAuth};
+    // A KDC outage is transient — retry later like any soft failure; a
+    // missing principal or bad password needs an operator.
+    return UpdateOutcome{code, /*hard=*/code != MR_KDC_UNAVAILABLE,
+                         "cannot obtain update tickets", 0, 0, UpdatePhase::kAuth};
   }
   // Phase A: transfer, under its own deadline.
   const UnixTime transfer_start = clock.Now();

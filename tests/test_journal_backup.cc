@@ -58,19 +58,23 @@ TEST(SplitEscapedTest, FieldsSeparateCleanly) {
 }
 
 TEST(JournalEntryTest, LineRoundTrip) {
-  JournalEntry entry{12345, "jrandom", "update_user_shell", {"jrandom", "/bin:odd"}};
+  JournalEntry entry{7, 12345, "jrandom", "moira-app", "update_user_shell",
+                     {"jrandom", "/bin:odd"}};
   std::optional<JournalEntry> back = JournalEntry::FromLine(entry.ToLine());
   ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(entry.seq, back->seq);
   EXPECT_EQ(entry.when, back->when);
   EXPECT_EQ(entry.principal, back->principal);
+  EXPECT_EQ(entry.client, back->client);
   EXPECT_EQ(entry.query, back->query);
   EXPECT_EQ(entry.args, back->args);
 }
 
 TEST(JournalEntryTest, RejectsMalformedLines) {
   EXPECT_FALSE(JournalEntry::FromLine("").has_value());
-  EXPECT_FALSE(JournalEntry::FromLine("notatime:p:q").has_value());
-  EXPECT_FALSE(JournalEntry::FromLine("123:only-two").has_value());
+  EXPECT_FALSE(JournalEntry::FromLine("notaseq:123:p:c:q").has_value());
+  EXPECT_FALSE(JournalEntry::FromLine("1:notatime:p:c:q").has_value());
+  EXPECT_FALSE(JournalEntry::FromLine("1:123:only:three").has_value());
 }
 
 TEST(JournalTest, FilePersistenceAndReload) {
@@ -79,13 +83,16 @@ TEST(JournalTest, FilePersistenceAndReload) {
   {
     Journal journal;
     journal.SetFile(path);
-    journal.Append(JournalEntry{1, "a", "q1", {"x"}});
-    journal.Append(JournalEntry{2, "b", "q2", {}});
+    journal.Append(JournalEntry{0, 1, "a", "app", "q1", {"x"}});
+    journal.Append(JournalEntry{0, 2, "b", "app", "q2", {}});
   }
   Journal reloaded;
   EXPECT_EQ(2, reloaded.LoadFile(path));
   ASSERT_EQ(2u, reloaded.entries().size());
   EXPECT_EQ("q1", reloaded.entries()[0].query);
+  // Sequence numbers were assigned at append time and survive the reload.
+  EXPECT_EQ(1u, reloaded.entries()[0].seq);
+  EXPECT_EQ(2u, reloaded.last_seq());
   EXPECT_EQ(1u, reloaded.EntriesSince(1).size());
   EXPECT_EQ(-1, reloaded.LoadFile((dir / "missing").string()));
 }
@@ -191,10 +198,10 @@ TEST_F(BackupTest, JournalReplayRecoversPostBackupChanges) {
   Journal journal;
   clock_.Advance(100);
   ASSERT_EQ(MR_SUCCESS, RunRoot("add_machine", {"late.mit.edu", "RT"}));
-  journal.Append(JournalEntry{clock_.Now(), "root", "add_machine",
+  journal.Append(JournalEntry{0, clock_.Now(), "root", "test", "add_machine",
                               {"late.mit.edu", "RT"}});
   ASSERT_EQ(MR_SUCCESS, RunRoot("update_user_shell", {"bkuser", "/bin/late"}));
-  journal.Append(JournalEntry{clock_.Now(), "root", "update_user_shell",
+  journal.Append(JournalEntry{0, clock_.Now(), "root", "test", "update_user_shell",
                               {"bkuser", "/bin/late"}});
   // Restore the backup, then replay the journal: no more than the journalled
   // window of transactions is lost.

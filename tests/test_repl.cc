@@ -1,0 +1,533 @@
+// Tests for the journal-shipping replication layer (src/repl): journal
+// sequence/durability semantics, replica catch-up and snapshot fallback,
+// client read routing with read-your-writes tokens, failover promotion, and
+// convergence under seeded faults.
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "src/backup/backup.h"
+#include "src/client/client.h"
+#include "src/common/random.h"
+#include "src/repl/repl_fault.h"
+#include "src/repl/replica.h"
+#include "src/repl/router.h"
+#include "src/server/server.h"
+#include "src/update/sim_host.h"
+#include "tests/test_env.h"
+
+namespace moira {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path TempDir(const char* name) {
+  fs::path dir = fs::temp_directory_path() / "moira-test" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// --- Journal sequence, durability, and torn-write handling ---
+
+TEST(JournalReplTest, SequenceNumbersAreMonotone) {
+  Journal journal;
+  EXPECT_EQ(1u, journal.Append(JournalEntry{0, 10, "p", "c", "q", {}}));
+  EXPECT_EQ(2u, journal.Append(JournalEntry{0, 11, "p", "c", "q", {}}));
+  EXPECT_EQ(2u, journal.last_seq());
+  EXPECT_EQ(1u, journal.first_seq());
+  EXPECT_EQ(0u, journal.base_seq());
+}
+
+TEST(JournalReplTest, EntriesFromSeqAndTruncation) {
+  Journal journal;
+  for (int i = 0; i < 10; ++i) {
+    journal.Append(JournalEntry{0, 100 + i, "p", "c", "q" + std::to_string(i), {}});
+  }
+  EXPECT_EQ(4u, journal.EntriesFromSeq(7).size());
+  EXPECT_EQ(2u, journal.EntriesFromSeq(7, 2).size());
+  EXPECT_EQ("q6", journal.EntriesFromSeq(7)[0].query);
+  // Prune the first six entries, as after a nightly backup.
+  EXPECT_EQ(6u, journal.TruncateThrough(6));
+  EXPECT_EQ(6u, journal.base_seq());
+  EXPECT_EQ(7u, journal.first_seq());
+  EXPECT_EQ(10u, journal.last_seq());
+  // The retained tail is still streamable; the pruned range is not.
+  EXPECT_EQ(4u, journal.EntriesFromSeq(7).size());
+  // Appends continue the sequence.
+  EXPECT_EQ(11u, journal.Append(JournalEntry{0, 200, "p", "c", "q", {}}));
+}
+
+TEST(JournalReplTest, ResetSequenceContinuesNumbering) {
+  Journal journal;
+  journal.ResetSequence(41);
+  EXPECT_EQ(41u, journal.Append(JournalEntry{0, 10, "p", "c", "q", {}}));
+  EXPECT_EQ(42u, journal.Append(JournalEntry{0, 11, "p", "c", "q", {}}));
+}
+
+TEST(JournalReplTest, AppendIsDurableBeforeAck) {
+  fs::path dir = TempDir("repl-durable");
+  std::string path = (dir / "journal").string();
+  Journal journal;
+  journal.SetFile(path);
+  journal.Append(JournalEntry{0, 123, "p", "c", "q", {"a"}});
+  // The stream is still open; the line must already be flushed to the file.
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  std::optional<JournalEntry> entry = JournalEntry::FromLine(line);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(1u, entry->seq);
+  EXPECT_EQ("q", entry->query);
+}
+
+TEST(JournalReplTest, TornTrailingLineSkippedOnReload) {
+  fs::path dir = TempDir("repl-torn");
+  std::string path = (dir / "journal").string();
+  {
+    Journal journal;
+    journal.SetFile(path);
+    journal.Append(JournalEntry{0, 100, "p", "c", "q1", {"x"}});
+    journal.Append(JournalEntry{0, 101, "p", "c", "q2", {"y"}});
+  }
+  {
+    // A crash mid-append leaves a torn final line.
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "3:10";
+  }
+  Journal reloaded;
+  EXPECT_EQ(2, reloaded.LoadFile(path));
+  EXPECT_EQ(1, reloaded.corrupt_lines_skipped());
+  ASSERT_EQ(2u, reloaded.entries().size());
+  EXPECT_EQ(2u, reloaded.last_seq());
+  EXPECT_EQ("q2", reloaded.entries()[1].query);
+}
+
+TEST(JournalReplTest, LineFuzzRoundTrip) {
+  // Seeded fuzz over ToLine/FromLine: every generated entry survives the
+  // round trip, whatever bytes land in its fields.
+  SplitMix64 rng(0x5ca1ab1e);
+  auto random_string = [&rng] {
+    std::string s;
+    const size_t len = rng.Below(12);
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>(rng.Below(256));
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 300; ++iter) {
+    JournalEntry entry;
+    entry.seq = rng.Below(1u << 30);
+    entry.when = static_cast<UnixTime>(rng.Below(1u << 30));
+    entry.principal = random_string();
+    entry.client = random_string();
+    entry.query = random_string();
+    const size_t argc = rng.Below(4);
+    for (size_t i = 0; i < argc; ++i) {
+      entry.args.push_back(random_string());
+    }
+    std::string line = entry.ToLine();
+    ASSERT_EQ('\n', line.back());
+    std::optional<JournalEntry> back = JournalEntry::FromLine(line);
+    ASSERT_TRUE(back.has_value()) << "iter " << iter;
+    EXPECT_EQ(entry.seq, back->seq) << "iter " << iter;
+    EXPECT_EQ(entry.when, back->when) << "iter " << iter;
+    EXPECT_EQ(entry.principal, back->principal) << "iter " << iter;
+    EXPECT_EQ(entry.client, back->client) << "iter " << iter;
+    EXPECT_EQ(entry.query, back->query) << "iter " << iter;
+    EXPECT_EQ(entry.args, back->args) << "iter " << iter;
+  }
+}
+
+// --- Replication over the wire ---
+
+class ReplTest : public MoiraEnv {
+ protected:
+  void SetUp() override {
+    primary_ = std::make_unique<MoiraServer>(mc_.get(), realm_.get());
+    realm_->AddPrincipal("root", "rootpw");
+    realm_->AddPrincipal("jrandom", "hunter2");
+    // Seed the test user through the wire: replicas replay history from the
+    // journal, so every mutation since the seeded defaults must go through
+    // the server to be visible to them.
+    MrClient admin = MakeAdmin();
+    ASSERT_EQ(MR_SUCCESS,
+              admin.Query("add_user",
+                          {"jrandom", "100", "/bin/csh", "Lastjrandom", "Firstjrandom",
+                           "Q", "1", "hashjrandom", "G"},
+                          [](Tuple) {}));
+  }
+
+  MrClient::Connector PrimaryConnector() {
+    return [this] { return std::make_unique<LoopbackChannel>(primary_.get()); };
+  }
+
+  static MrClient::Connector HandlerConnector(MessageHandler* handler) {
+    return [handler] { return std::make_unique<LoopbackChannel>(handler); };
+  }
+
+  std::unique_ptr<ReplicaServer> MakeReplica(const std::string& name,
+                                             bool catch_up_on_read = true) {
+    ReplicaOptions options;
+    options.name = name;
+    options.catch_up_on_read = catch_up_on_read;
+    auto replica = std::make_unique<ReplicaServer>(realm_.get(), options);
+    replica->SetPrimaryLink(PrimaryConnector(), "root", "rootpw");
+    return replica;
+  }
+
+  // A root-authenticated client to the primary.
+  MrClient MakeAdmin() {
+    MrClient client(PrimaryConnector());
+    client.SetKerberosIdentity(realm_.get(), "root", "rootpw");
+    EXPECT_EQ(MR_SUCCESS, client.Connect());
+    EXPECT_EQ(MR_SUCCESS, client.Auth("ops"));
+    return client;
+  }
+
+  // An unauthenticated read client with a retry policy (so it transparently
+  // reconnects after the target replica crashes and reboots).
+  std::unique_ptr<MrClient> MakeReadClient(MessageHandler* handler) {
+    auto client = std::make_unique<MrClient>(HandlerConnector(handler));
+    RetryPolicy policy;
+    policy.max_attempts = 2;
+    policy.initial_backoff = 1;
+    client->SetRetryPolicy(policy, &clock_);
+    client->set_sleep_fn([this](UnixTime s) { clock_.Advance(s); });
+    client->Connect();
+    return client;
+  }
+
+  std::string PrimaryDump() { return BackupManager::DumpToString(*db_); }
+
+  std::unique_ptr<MoiraServer> primary_;
+};
+
+TEST_F(ReplTest, CatchUpAppliesJournalAndConverges) {
+  MrClient admin = MakeAdmin();
+  ASSERT_EQ(MR_SUCCESS, admin.Query("add_machine", {"rep1.mit.edu", "VAX"}, [](Tuple) {}));
+  ASSERT_EQ(MR_SUCCESS,
+            admin.Query("update_user_shell", {"jrandom", "/bin/repl"}, [](Tuple) {}));
+  std::unique_ptr<ReplicaServer> replica = MakeReplica("r1");
+  ASSERT_EQ(MR_SUCCESS, replica->CatchUp());
+  EXPECT_EQ(primary_->journal().last_seq(), replica->applied_seq());
+  EXPECT_EQ(0u, replica->stats().apply_failures);
+  EXPECT_EQ(0u, replica->stats().snapshot_loads);
+  // Byte-identical state: same rows, same modby/modwith/modtime stamps.
+  EXPECT_EQ(PrimaryDump(), BackupManager::DumpToString(replica->db()));
+  // The replica serves the read.
+  std::unique_ptr<MrClient> reader = MakeReadClient(replica.get());
+  std::vector<Tuple> tuples;
+  EXPECT_EQ(MR_SUCCESS, reader->Query("get_machine", {"REP1.MIT.EDU"}, [&](Tuple t) {
+    tuples.push_back(std::move(t));
+  }));
+  ASSERT_EQ(1u, tuples.size());
+  // The primary saw the replica and reports zero lag.
+  ASSERT_EQ(1u, primary_->replicas().count("r1"));
+  EXPECT_EQ(replica->applied_seq(), primary_->replicas().at("r1").applied_seq);
+}
+
+TEST_F(ReplTest, ReplicaRefusesMutations) {
+  std::unique_ptr<ReplicaServer> replica = MakeReplica("r1");
+  ASSERT_EQ(MR_SUCCESS, replica->CatchUp());
+  std::unique_ptr<MrClient> client = MakeReadClient(replica.get());
+  EXPECT_EQ(MR_REPL_READONLY,
+            client->Query("add_machine", {"nope.mit.edu", "VAX"}, [](Tuple) {}));
+  EXPECT_EQ(MR_REPL_READONLY,
+            client->QueryAtSeq(0, "add_machine", {"nope.mit.edu", "VAX"}, [](Tuple) {}));
+}
+
+TEST_F(ReplTest, CatchUpAfterDisconnectResumesFromAppliedSeq) {
+  MrClient admin = MakeAdmin();
+  ASSERT_EQ(MR_SUCCESS, admin.Query("add_machine", {"a.mit.edu", "VAX"}, [](Tuple) {}));
+  std::unique_ptr<ReplicaServer> replica = MakeReplica("r1");
+  ASSERT_EQ(MR_SUCCESS, replica->CatchUp());
+  const uint64_t applied_before = replica->applied_seq();
+  // The link drops; the primary keeps moving.
+  replica->DropLink();
+  ASSERT_EQ(MR_SUCCESS, admin.Query("add_machine", {"b.mit.edu", "VAX"}, [](Tuple) {}));
+  ASSERT_EQ(MR_SUCCESS, admin.Query("add_machine", {"c.mit.edu", "VAX"}, [](Tuple) {}));
+  ASSERT_EQ(MR_SUCCESS, replica->CatchUp());
+  EXPECT_EQ(applied_before + 2, replica->applied_seq());
+  EXPECT_EQ(0u, replica->stats().snapshot_loads);  // incremental, not snapshot
+  EXPECT_EQ(PrimaryDump(), BackupManager::DumpToString(replica->db()));
+}
+
+TEST_F(ReplTest, SnapshotFallbackAfterJournalTruncation) {
+  MrClient admin = MakeAdmin();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(MR_SUCCESS, admin.Query("add_machine",
+                                      {"t" + std::to_string(i) + ".mit.edu", "VAX"},
+                                      [](Tuple) {}));
+  }
+  // The journal prefix is pruned (post-backup) before the replica ever
+  // connects: incremental fetch is impossible.
+  primary_->journal().TruncateThrough(3);
+  std::unique_ptr<ReplicaServer> replica = MakeReplica("r1");
+  ASSERT_EQ(MR_SUCCESS, replica->CatchUp());
+  EXPECT_EQ(1u, replica->stats().snapshot_loads);
+  EXPECT_EQ(primary_->journal().last_seq(), replica->applied_seq());
+  EXPECT_EQ(PrimaryDump(), BackupManager::DumpToString(replica->db()));
+  // Incremental fetching resumes on top of the snapshot.
+  ASSERT_EQ(MR_SUCCESS, admin.Query("add_machine", {"after.mit.edu", "VAX"}, [](Tuple) {}));
+  ASSERT_EQ(MR_SUCCESS, replica->CatchUp());
+  EXPECT_EQ(1u, replica->stats().snapshot_loads);
+  EXPECT_EQ(PrimaryDump(), BackupManager::DumpToString(replica->db()));
+}
+
+TEST_F(ReplTest, RouterGivesReadYourWrites) {
+  auto primary_client = std::make_unique<MrClient>(PrimaryConnector());
+  primary_client->SetKerberosIdentity(realm_.get(), "root", "rootpw");
+  ASSERT_EQ(MR_SUCCESS, primary_client->Connect());
+  ASSERT_EQ(MR_SUCCESS, primary_client->Auth("ops"));
+  std::unique_ptr<ReplicaServer> replica = MakeReplica("r1");
+  ASSERT_EQ(MR_SUCCESS, replica->CatchUp());
+  ReplicatedClient router(std::move(primary_client));
+  router.AddReplica(MakeReadClient(replica.get()));
+  // Write through the router: the token becomes the assigned journal seq.
+  ASSERT_EQ(MR_SUCCESS, router.Query("add_machine", {"ryw.mit.edu", "VAX"}, [](Tuple) {}));
+  EXPECT_EQ(primary_->journal().last_seq(), router.write_token());
+  // Immediately read it back.  The replica is behind but holds the link, so
+  // it catches up on demand ("waits briefly") and serves the read itself.
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, router.Query("get_machine", {"RYW.MIT.EDU"}, [&](Tuple t) {
+    tuples.push_back(std::move(t));
+  }));
+  ASSERT_EQ(1u, tuples.size());
+  EXPECT_EQ(1u, router.stats().replica_reads);
+  EXPECT_EQ(0u, router.stats().redirects);
+  EXPECT_GE(replica->stats().read_catch_ups, 1u);
+}
+
+TEST_F(ReplTest, BehindReplicaRedirectsToPrimary) {
+  auto primary_client = std::make_unique<MrClient>(PrimaryConnector());
+  primary_client->SetKerberosIdentity(realm_.get(), "root", "rootpw");
+  ASSERT_EQ(MR_SUCCESS, primary_client->Connect());
+  ASSERT_EQ(MR_SUCCESS, primary_client->Auth("ops"));
+  // This replica cannot catch up on demand: behind tokens redirect.
+  std::unique_ptr<ReplicaServer> replica = MakeReplica("r1", /*catch_up_on_read=*/false);
+  ASSERT_EQ(MR_SUCCESS, replica->CatchUp());
+  ReplicatedClient router(std::move(primary_client));
+  router.AddReplica(MakeReadClient(replica.get()));
+  ASSERT_EQ(MR_SUCCESS, router.Query("add_machine", {"rd.mit.edu", "VAX"}, [](Tuple) {}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, router.Query("get_machine", {"RD.MIT.EDU"}, [&](Tuple t) {
+    tuples.push_back(std::move(t));
+  }));
+  ASSERT_EQ(1u, tuples.size());  // read-your-writes held, via the primary
+  EXPECT_EQ(1u, router.stats().redirects);
+  EXPECT_EQ(1u, router.stats().primary_reads);
+  EXPECT_EQ(1u, replica->stats().reads_behind);
+  // Once the replica catches up, the same token is satisfiable locally.
+  ASSERT_EQ(MR_SUCCESS, replica->CatchUp());
+  ASSERT_EQ(MR_SUCCESS, router.Query("get_machine", {"RD.MIT.EDU"}, [](Tuple) {}));
+  EXPECT_EQ(1u, router.stats().replica_reads);
+}
+
+TEST_F(ReplTest, CrashedReplicaSkippedThenRecoversViaSnapshot) {
+  auto primary_client = std::make_unique<MrClient>(PrimaryConnector());
+  primary_client->SetKerberosIdentity(realm_.get(), "root", "rootpw");
+  ASSERT_EQ(MR_SUCCESS, primary_client->Connect());
+  ASSERT_EQ(MR_SUCCESS, primary_client->Auth("ops"));
+  std::unique_ptr<ReplicaServer> replica = MakeReplica("r1");
+  ASSERT_EQ(MR_SUCCESS, replica->CatchUp());
+  ReplicatedClient router(std::move(primary_client));
+  router.AddReplica(MakeReadClient(replica.get()));
+  ASSERT_EQ(MR_SUCCESS, router.Query("add_machine", {"cr.mit.edu", "VAX"}, [](Tuple) {}));
+  replica->Crash();
+  // Reads still succeed: the dead replica is skipped, the primary answers.
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, router.Query("get_machine", {"CR.MIT.EDU"}, [&](Tuple t) {
+    tuples.push_back(std::move(t));
+  }));
+  ASSERT_EQ(1u, tuples.size());
+  EXPECT_EQ(1u, router.stats().redirects);
+  // Reboot: state was lost, so recovery is a snapshot transfer.
+  replica->Restart();
+  ASSERT_EQ(MR_SUCCESS, replica->CatchUp());
+  EXPECT_EQ(1u, replica->stats().snapshot_loads);
+  EXPECT_EQ(PrimaryDump(), BackupManager::DumpToString(replica->db()));
+  // And the router serves from it again.
+  ASSERT_EQ(MR_SUCCESS, router.Query("get_machine", {"CR.MIT.EDU"}, [](Tuple) {}));
+  EXPECT_EQ(1u, router.stats().replica_reads);
+}
+
+TEST_F(ReplTest, FailoverPromotesMostCaughtUpAndContinuesSequence) {
+  MrClient admin = MakeAdmin();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(MR_SUCCESS, admin.Query("add_machine",
+                                      {"f" + std::to_string(i) + ".mit.edu", "VAX"},
+                                      [](Tuple) {}));
+  }
+  std::unique_ptr<ReplicaServer> lagging = MakeReplica("lagging");
+  std::unique_ptr<ReplicaServer> current = MakeReplica("current");
+  std::unique_ptr<ReplicaServer> dead = MakeReplica("dead");
+  lagging->set_apply_limit(2);
+  EXPECT_EQ(MR_MORE_DATA, lagging->CatchUp());
+  ASSERT_EQ(MR_SUCCESS, current->CatchUp());
+  ASSERT_EQ(MR_SUCCESS, dead->CatchUp());
+  dead->Crash();  // most caught-up but not alive: ineligible
+  std::vector<ReplicaServer*> all = {lagging.get(), current.get(), dead.get()};
+  ReplicaServer* candidate = ChooseFailoverCandidate(all);
+  ASSERT_EQ(current.get(), candidate);
+  const uint64_t failover_seq = candidate->applied_seq();
+  MoiraServer* promoted = candidate->Promote();
+  EXPECT_TRUE(candidate->promoted());
+  // The promoted replica accepts writes and extends the old sequence.
+  MrClient writer(HandlerConnector(candidate));
+  writer.SetKerberosIdentity(realm_.get(), "root", "rootpw");
+  ASSERT_EQ(MR_SUCCESS, writer.Connect());
+  ASSERT_EQ(MR_SUCCESS, writer.Auth("ops"));
+  ASSERT_EQ(MR_SUCCESS, writer.Query("add_machine", {"post.mit.edu", "VAX"}, [](Tuple) {}));
+  ASSERT_EQ(1u, promoted->journal().entries().size());
+  EXPECT_EQ(failover_seq + 1, promoted->journal().entries()[0].seq);
+  ASSERT_EQ(1u, writer.last_fields().size());
+  EXPECT_EQ(std::to_string(failover_seq + 1), writer.last_fields()[0]);
+}
+
+TEST_F(ReplTest, GetReplicaStatusIsPrivilegedAndReportsLag) {
+  std::unique_ptr<ReplicaServer> replica = MakeReplica("r1");
+  ASSERT_EQ(MR_SUCCESS, replica->CatchUp());
+  MrClient admin = MakeAdmin();
+  ASSERT_EQ(MR_SUCCESS, admin.Query("add_machine", {"lag.mit.edu", "VAX"}, [](Tuple) {}));
+  MrClient pleb(PrimaryConnector());
+  ASSERT_EQ(MR_SUCCESS, pleb.Connect());
+  EXPECT_EQ(MR_PERM, pleb.Query("get_replica_status", {}, [](Tuple) {}));
+  std::vector<Tuple> tuples;
+  ASSERT_EQ(MR_SUCCESS, admin.Query("get_replica_status", {}, [&](Tuple t) {
+    tuples.push_back(std::move(t));
+  }));
+  ASSERT_EQ(1u, tuples.size());
+  ASSERT_EQ(5u, tuples[0].size());
+  EXPECT_EQ("r1", tuples[0][0]);
+  EXPECT_EQ(std::to_string(replica->applied_seq()), tuples[0][1]);
+  EXPECT_EQ(std::to_string(primary_->journal().last_seq()), tuples[0][2]);
+  EXPECT_EQ("1", tuples[0][3]);  // one write behind
+}
+
+TEST_F(ReplTest, ClientRetriesSurfaceAttemptsAndElapsed) {
+  // A handler that answers nothing for the first two requests, then recovers:
+  // the transport sees a dead connection each failed attempt.
+  struct FlakyHandler final : MessageHandler {
+    MoiraServer* inner;
+    int failures_left = 2;
+    explicit FlakyHandler(MoiraServer* s) : inner(s) {}
+    std::string OnMessage(uint64_t conn_id, std::string_view payload) override {
+      if (failures_left > 0) {
+        --failures_left;
+        return std::string();
+      }
+      return inner->OnMessage(conn_id, payload);
+    }
+    void OnConnect(uint64_t conn_id, std::string peer) override {
+      inner->OnConnect(conn_id, std::move(peer));
+    }
+    void OnDisconnect(uint64_t conn_id) override { inner->OnDisconnect(conn_id); }
+  } flaky(primary_.get());
+  MrClient admin = MakeAdmin();
+  ASSERT_EQ(MR_SUCCESS,
+            admin.Query("add_machine", {"retry.mit.edu", "VAX"}, [](Tuple) {}));
+  MrClient client(HandlerConnector(&flaky));
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = 2;
+  client.SetRetryPolicy(policy, &clock_);
+  client.set_sleep_fn([this](UnixTime s) { clock_.Advance(s); });
+  ASSERT_EQ(MR_SUCCESS, client.Connect());
+  EXPECT_EQ(MR_SUCCESS, client.Query("get_machine", {"RETRY.MIT.EDU"}, [](Tuple) {}));
+  EXPECT_EQ(3, client.last_rpc().attempts);
+  EXPECT_GT(client.last_rpc().elapsed, 0);
+  // A clean RPC reports a single attempt.
+  EXPECT_EQ(MR_SUCCESS, client.Noop());
+  EXPECT_EQ(1, client.last_rpc().attempts);
+}
+
+TEST_F(ReplTest, CatchUpRidesOutKdcOutageOnCachedTicket) {
+  MrClient admin = MakeAdmin();
+  std::unique_ptr<ReplicaServer> replica = MakeReplica("r1");
+  ASSERT_EQ(MR_SUCCESS, replica->CatchUp());  // caches the link's ticket
+  realm_->SetDown(true);
+  replica->DropLink();  // force a reconnect + re-auth during the outage
+  ASSERT_EQ(MR_SUCCESS, admin.Query("add_machine", {"kdc.mit.edu", "VAX"}, [](Tuple) {}));
+  ASSERT_EQ(MR_SUCCESS, replica->CatchUp());
+  EXPECT_EQ(primary_->journal().last_seq(), replica->applied_seq());
+  // A brand-new replica has no cached ticket and cannot join mid-outage.
+  std::unique_ptr<ReplicaServer> fresh = MakeReplica("r2");
+  EXPECT_EQ(MR_NOT_CONNECTED, fresh->CatchUp());
+  realm_->SetDown(false);
+  EXPECT_EQ(MR_SUCCESS, fresh->CatchUp());
+}
+
+TEST_F(ReplTest, FaultPlanInjectsDirectoryOutagesDeterministically) {
+  HostDirectory hosts;
+  FaultPlanSpec spec;
+  spec.seed = 7;
+  spec.kdc_down_permille = 1000;
+  spec.hesiod_down_permille = 1000;
+  FaultPlan plan(spec);
+  plan.ArmDirectories(realm_.get(), &hosts, /*pass=*/0);
+  EXPECT_TRUE(realm_->down());
+  EXPECT_TRUE(hosts.down());
+  // A downed directory answers no lookups; tickets are refused.
+  EXPECT_EQ(nullptr, hosts.Find("anything.mit.edu"));
+  Ticket ticket;
+  EXPECT_EQ(MR_KDC_UNAVAILABLE,
+            realm_->GetInitialTickets("root", "rootpw", kMoiraServiceName, &ticket));
+  // Zero permille always heals — same API, deterministic either way.
+  FaultPlanSpec clear;
+  clear.seed = 7;
+  FaultPlan(clear).ArmDirectories(realm_.get(), &hosts, /*pass=*/1);
+  EXPECT_FALSE(realm_->down());
+  EXPECT_FALSE(hosts.down());
+}
+
+TEST_F(ReplTest, ConvergesByteIdenticalUnderSeededFaults) {
+  MrClient admin = MakeAdmin();
+  std::vector<std::unique_ptr<ReplicaServer>> replicas;
+  std::vector<ReplicaServer*> raw;
+  for (int i = 0; i < 3; ++i) {
+    replicas.push_back(MakeReplica("fr" + std::to_string(i)));
+    ASSERT_EQ(MR_SUCCESS, replicas.back()->CatchUp());
+    raw.push_back(replicas.back().get());
+  }
+  ReplFaultSpec spec;
+  spec.seed = 1988;
+  spec.crash_permille = 250;
+  spec.flap_permille = 300;
+  spec.slow_permille = 300;
+  spec.slow_apply_limit = 2;
+  spec.kdc_down_permille = 200;
+  ReplFaultPlan plan(spec);
+  for (int round = 0; round < 12; ++round) {
+    plan.ArmRound(raw, realm_.get(), round);
+    clock_.Advance(30);
+    for (int w = 0; w < 4; ++w) {
+      std::string name = "m" + std::to_string(round) + "x" + std::to_string(w) + ".mit.edu";
+      ASSERT_EQ(MR_SUCCESS, admin.Query("add_machine", {name, "VAX"}, [](Tuple) {}));
+    }
+    ASSERT_EQ(MR_SUCCESS,
+              admin.Query("update_user_shell", {"jrandom", "/bin/r" + std::to_string(round)},
+                          [](Tuple) {}));
+    for (ReplicaServer* replica : raw) {
+      replica->CatchUp();  // crashed/limited replicas fall behind; that's the point
+    }
+  }
+  // Heal everything and drain.
+  realm_->SetDown(false);
+  for (ReplicaServer* replica : raw) {
+    if (replica->crashed()) {
+      replica->Restart();
+    }
+    replica->set_apply_limit(0);
+    ASSERT_EQ(MR_SUCCESS, replica->CatchUp());
+  }
+  const std::string golden = PrimaryDump();
+  for (ReplicaServer* replica : raw) {
+    EXPECT_EQ(replica->applied_seq(), primary_->journal().last_seq()) << replica->name();
+    EXPECT_EQ(0u, replica->stats().apply_failures) << replica->name();
+    EXPECT_EQ(golden, BackupManager::DumpToString(replica->db())) << replica->name();
+  }
+}
+
+}  // namespace
+}  // namespace moira
