@@ -4,11 +4,16 @@
 // recursive membership, and mutation paths.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
+#include <thread>
+#include <utility>
 
 #include "bench/bench_common.h"
 #include "src/common/random.h"
+#include "src/common/worker_pool.h"
 #include "src/db/exec.h"
 
 namespace moira {
@@ -437,6 +442,215 @@ void RunJoinReport() {
   std::printf("\n");
 }
 
+// --- sharded-vs-flat sweep (tentpole: hash-partitioned hot tables) ---
+//
+// The same table at 100k and 1M rows, partitioned into 1/2/4/8 shards, under
+// a probe-heavy mix (equality on the partition key: routed to one shard) and
+// a scan-heavy mix (a ~rows/20 uid range window with a selective residual on
+// an unindexed column: fanned across every shard).  Each point reports wall
+// time AND the measured work model the acceptance gates use: modeled speedup
+// = flat rows examined / critical path, where the critical path sums, per
+// query, the busiest shard's rows examined (from the ShardRowsExamined
+// ledger).  On a multi-core host the parallel fan-out turns that model into
+// wall time; on a single-core host (like CI) wall time cannot show it, so
+// the gates bind to the model and wall time is informational.  The identical
+// query stream (fixed seed) must also match the flat table row-for-row.
+
+struct ShardSample {
+  const char* workload;
+  size_t table_rows;
+  size_t shards;
+  double ns_per_op;
+  double rows_examined_per_op;
+  double critical_path_rows_per_op;
+  double modeled_speedup_x;  // flat rows examined / this critical path
+  int64_t single_shard_probes;
+  int64_t fanout_scans;
+  int64_t matched_rows;
+};
+
+std::vector<ShardSample>& ShardSamples() {
+  static auto* samples = new std::vector<ShardSample>();
+  return *samples;
+}
+
+struct BenchGate {
+  std::string name;
+  double value;
+  bool pass;
+};
+
+std::vector<BenchGate>& ShardGates() {
+  static auto* gates = new std::vector<BenchGate>();
+  return *gates;
+}
+
+std::unique_ptr<Database> MakeShardBenchTable(size_t rows, size_t shards,
+                                              Table** out) {
+  static SimulatedClock clock(568000000);
+  auto db = std::make_unique<Database>(&clock);
+  Table* t = db->CreateShardedTable(TableSchema{"bench",
+                                                {{"uid", ColumnType::kInt},
+                                                 {"login", ColumnType::kString},
+                                                 {"flags", ColumnType::kInt}}},
+                                    "uid", shards);
+  t->CreateIndex("uid");
+  t->CreateIndex("login");
+  for (size_t i = 0; i < rows; ++i) {
+    t->Append({static_cast<int64_t>(i), "u" + std::to_string(i),
+               static_cast<int64_t>(i % 16)});
+  }
+  *out = t;
+  return db;
+}
+
+ShardSample RunShardWorkload(const char* name, bool probe_heavy, Table* t,
+                             size_t rows, size_t shards, int iterations) {
+  SplitMix64 rng(44);
+  const int64_t window = static_cast<int64_t>(rows / 20);
+  const TableStats& stats = t->stats();
+  const int64_t examined0 = stats.rows_examined;
+  const int64_t single0 = stats.single_shard_probes;
+  const int64_t fanout0 = stats.fanout_scans;
+  int64_t critical_path = 0;
+  int64_t matched = 0;
+  std::chrono::steady_clock::duration elapsed{0};
+  std::vector<int64_t> before = t->ShardRowsExamined();
+  for (int i = 0; i < iterations; ++i) {
+    std::vector<Condition> conditions;
+    if (probe_heavy) {
+      conditions.push_back(Condition{0, Condition::Op::kEq,
+                                     Value(static_cast<int64_t>(rng.Below(rows))),
+                                     Value()});
+    } else {
+      int64_t lo = static_cast<int64_t>(rng.Below(rows - window));
+      conditions.push_back(
+          Condition{0, Condition::Op::kBetween, Value(lo), Value(lo + window - 1)});
+      // Residual on the unindexed flags column: examined stays ~window wide,
+      // emitted shrinks 16x.
+      conditions.push_back(
+          Condition{2, Condition::Op::kEq, Value(int64_t{7}), Value()});
+    }
+    auto start = std::chrono::steady_clock::now();
+    std::vector<size_t> result = t->Match(conditions);
+    elapsed += std::chrono::steady_clock::now() - start;
+    matched += static_cast<int64_t>(result.size());
+    // Per-query critical path: the busiest shard bounds this query's latency
+    // on a shard-parallel executor.
+    std::vector<int64_t> after = t->ShardRowsExamined();
+    int64_t worst = 0;
+    for (size_t s = 0; s < after.size(); ++s) {
+      worst = std::max(worst, after[s] - before[s]);
+    }
+    critical_path += worst;
+    before = std::move(after);
+  }
+  ShardSample sample;
+  sample.workload = name;
+  sample.table_rows = rows;
+  sample.shards = shards;
+  sample.ns_per_op =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+      iterations;
+  sample.rows_examined_per_op =
+      static_cast<double>(t->stats().rows_examined - examined0) / iterations;
+  sample.critical_path_rows_per_op = static_cast<double>(critical_path) / iterations;
+  sample.modeled_speedup_x = 1.0;  // filled against the flat run by the caller
+  sample.single_shard_probes = t->stats().single_shard_probes - single0;
+  sample.fanout_scans = t->stats().fanout_scans - fanout0;
+  sample.matched_rows = matched;
+  return sample;
+}
+
+bool RunShardedReport() {
+  std::printf("Sharded vs flat: per-shard work model (single busiest shard = "
+              "critical path)\n");
+  std::printf("%-12s %9s %7s %12s %11s %11s %9s\n", "workload", "rows", "shards",
+              "ns/op", "examined", "crit. path", "modeled");
+  struct Flat {
+    double examined_per_op;
+    int64_t matched_rows;
+  };
+  // Keyed by (rows, probe_heavy) of the flat run the sharded points compare
+  // against; the sweep visits shards == 1 first.
+  std::map<std::pair<size_t, bool>, Flat> flats;
+  bool probe_work_ok = true;
+  bool probe_routing_ok = true;
+  bool results_ok = true;
+  double scan_1m_4s_speedup = 0.0;
+  double probe_1m_4s_examined = 0.0;
+  double probe_1m_flat_examined = 0.0;
+  WorkerPool pool(std::thread::hardware_concurrency());
+  for (size_t rows : {size_t{100000}, size_t{1000000}}) {
+    for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      Table* t = nullptr;
+      std::unique_ptr<Database> db = MakeShardBenchTable(rows, shards, &t);
+      if (shards > 1) {
+        db->AttachWorkerPool(&pool);
+      }
+      for (bool probe_heavy : {true, false}) {
+        const char* name = probe_heavy ? "probe_heavy" : "scan_heavy";
+        const int iters = probe_heavy ? 2000 : (rows > 500000 ? 10 : 30);
+        ShardSample s = RunShardWorkload(name, probe_heavy, t, rows, shards, iters);
+        if (shards == 1) {
+          flats[{rows, probe_heavy}] = {s.rows_examined_per_op, s.matched_rows};
+        }
+        const Flat& flat = flats[{rows, probe_heavy}];
+        if (s.critical_path_rows_per_op > 0) {
+          s.modeled_speedup_x = flat.examined_per_op / s.critical_path_rows_per_op;
+        }
+        results_ok = results_ok && s.matched_rows == flat.matched_rows;
+        if (probe_heavy && shards > 1) {
+          // Partition-key probes must route to one shard and cost no more
+          // work than the flat table answers them with.
+          probe_work_ok =
+              probe_work_ok && s.rows_examined_per_op <= flat.examined_per_op + 0.01;
+          probe_routing_ok = probe_routing_ok &&
+                             s.single_shard_probes == iters && s.fanout_scans == 0;
+        }
+        if (rows == 1000000 && shards == 4) {
+          (probe_heavy ? probe_1m_4s_examined : scan_1m_4s_speedup) =
+              probe_heavy ? s.rows_examined_per_op : s.modeled_speedup_x;
+        }
+        if (rows == 1000000 && shards == 1 && probe_heavy) {
+          probe_1m_flat_examined = s.rows_examined_per_op;
+        }
+        std::printf("%-12s %9zu %7zu %12.0f %11.1f %11.1f %8.2fx\n", name, rows,
+                    shards, s.ns_per_op, s.rows_examined_per_op,
+                    s.critical_path_rows_per_op, s.modeled_speedup_x);
+        ShardSamples().push_back(s);
+      }
+    }
+  }
+  const bool scan_ok = scan_1m_4s_speedup >= 2.0;
+  ShardGates().push_back(
+      {"scan_heavy_1m_rows_4_shards_modeled_speedup_ge_2x", scan_1m_4s_speedup,
+       scan_ok});
+  ShardGates().push_back({"probe_heavy_sharded_work_no_worse_than_flat",
+                          probe_1m_4s_examined - probe_1m_flat_examined,
+                          probe_work_ok});
+  ShardGates().push_back({"partition_key_probes_route_to_one_shard",
+                          probe_routing_ok ? 1.0 : 0.0, probe_routing_ok});
+  ShardGates().push_back(
+      {"sharded_results_match_flat", results_ok ? 1.0 : 0.0, results_ok});
+  if (!scan_ok) {
+    std::printf("FAIL: scan-heavy modeled speedup %.2fx at 1M rows / 4 shards "
+                "is below the 2x gate\n", scan_1m_4s_speedup);
+  }
+  if (!probe_work_ok) {
+    std::printf("FAIL: sharded partition-key probes examine more rows than flat\n");
+  }
+  if (!probe_routing_ok) {
+    std::printf("FAIL: partition-key probes did not all route to a single shard\n");
+  }
+  if (!results_ok) {
+    std::printf("FAIL: sharded results diverge from the flat table\n");
+  }
+  std::printf("\n");
+  return scan_ok && probe_work_ok && probe_routing_ok && results_ok;
+}
+
 void WriteBenchJson(const char* path) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -472,6 +686,30 @@ void WriteBenchJson(const char* path) {
                  s.rows_examined_per_op, s.index_probes_per_op, s.probe_cache_hits_per_op,
                  static_cast<long long>(s.join_reorders), s.tuples_per_op,
                  i + 1 < joins.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"sharded_samples\": [\n");
+  const std::vector<ShardSample>& sharded = ShardSamples();
+  for (size_t i = 0; i < sharded.size(); ++i) {
+    const ShardSample& s = sharded[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"table_rows\": %zu, \"shards\": %zu, "
+                 "\"ns_per_op\": %.1f, \"rows_examined_per_op\": %.2f, "
+                 "\"critical_path_rows_per_op\": %.2f, \"modeled_speedup_x\": %.3f, "
+                 "\"single_shard_probes\": %lld, \"fanout_scans\": %lld, "
+                 "\"matched_rows\": %lld}%s\n",
+                 s.workload, s.table_rows, s.shards, s.ns_per_op,
+                 s.rows_examined_per_op, s.critical_path_rows_per_op,
+                 s.modeled_speedup_x, static_cast<long long>(s.single_shard_probes),
+                 static_cast<long long>(s.fanout_scans),
+                 static_cast<long long>(s.matched_rows),
+                 i + 1 < sharded.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"gates\": [\n");
+  const std::vector<BenchGate>& gates = ShardGates();
+  for (size_t i = 0; i < gates.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.3f, \"pass\": %s}%s\n",
+                 gates[i].name.c_str(), gates[i].value,
+                 gates[i].pass ? "true" : "false", i + 1 < gates.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -511,9 +749,13 @@ int main(int argc, char** argv) {
   moira::PrintRegistryReport();
   moira::RunAccessPathReport();
   moira::RunJoinReport();
+  // The sharded-vs-flat gates run even under an unmatchable
+  // --benchmark_filter, which is how scripts/check.sh --bench-smoke fails on
+  // a routing or speedup regression.
+  bool ok = moira::RunShardedReport();
   moira::WriteBenchJson("BENCH_queries.json");
   moira::PaperSite();  // build the site outside any timing loop
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ok ? 0 : 1;
 }

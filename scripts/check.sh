@@ -6,13 +6,29 @@
 # sanitizers and fails if the resilience layer stops converging the fleet,
 # plus a replication smoke mode that runs the journal-shipping
 # replication workload under the sanitizers and fails unless its scaling,
-# read-your-writes, and convergence gates hold.
+# read-your-writes, and convergence gates hold, plus a TSan smoke mode that
+# builds the concurrency tests (worker pool, parallel shard fan-out, server
+# batch dispatch) under ThreadSanitizer and runs them.
 # Usage: scripts/check.sh [build-dir]                 (default: build-asan)
 #        scripts/check.sh --bench-smoke [build-dir]   (default: build)
 #        scripts/check.sh --fault-smoke [build-dir]   (default: build-asan)
 #        scripts/check.sh --repl-smoke [build-dir]    (default: build-asan)
+#        scripts/check.sh --tsan-smoke [build-dir]    (default: build-tsan)
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "$1" = "--tsan-smoke" ]; then
+  BUILD_DIR="${2:-build-tsan}"
+  cmake -B "$BUILD_DIR" -S . -DMOIRA_SANITIZE=thread >/dev/null
+  cmake --build "$BUILD_DIR" -j --target test_worker_pool --target test_shard_consistency
+  # The worker pool suite runs whole; the shard suite is narrowed to the
+  # tests that actually execute on multiple threads (parallel fan-out and
+  # server batch dispatch) — the shard-count-invariance sweeps are serial
+  # and already covered by the tier-1 run.
+  "$BUILD_DIR"/tests/test_worker_pool
+  "$BUILD_DIR"/tests/test_shard_consistency --gtest_filter='*Parallel*'
+  exit 0
+fi
 
 if [ "$1" = "--fault-smoke" ]; then
   BUILD_DIR="${2:-build-asan}"

@@ -14,6 +14,17 @@ import sys
 
 # Per-benchmark schema: array key -> fields every record must carry.
 REQUIRED_ARRAYS = {
+    "bench_queries_access_paths": {
+        "samples": ["workload", "table_rows", "indexed", "ns_per_op",
+                    "rows_examined_per_op", "rows_emitted_per_op"],
+        "join_samples": ["workload", "fact_rows", "cost_based", "ns_per_op",
+                         "rows_examined_per_op", "index_probes_per_op"],
+        "sharded_samples": ["workload", "table_rows", "shards", "ns_per_op",
+                            "rows_examined_per_op", "critical_path_rows_per_op",
+                            "modeled_speedup_x", "single_shard_probes",
+                            "fanout_scans", "matched_rows"],
+        "gates": ["name", "value", "pass"],
+    },
     "bench_replication": {
         "scaling": ["replicas", "reads", "busiest_server_reads", "read_speedup_x",
                     "ryw_failures", "converged"],

@@ -1,0 +1,219 @@
+#include "src/common/worker_pool.h"
+
+#include <algorithm>
+
+namespace moira {
+
+WorkerPool::WorkerPool(size_t threads, size_t queue_capacity)
+    : queue_capacity_(std::max<size_t>(queue_capacity, 1)) {
+  threads_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  try {
+    Shutdown();
+  } catch (...) {
+    // A captured task exception nobody drained; destruction is not the place
+    // to rethrow it.
+  }
+}
+
+void WorkerPool::RecordException() {
+  // Caller holds mu_.
+  if (!first_error_) {
+    first_error_ = std::current_exception();
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown with nothing left to do
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+      queue_space_.notify_one();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      RecordException();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.tasks_run;
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+bool WorkerPool::Submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    // Degenerate pool: run inline, capturing the exception like a worker
+    // would so Drain/Shutdown report it the same way.
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      RecordException();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.tasks_run;
+    return true;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.size() >= queue_capacity_) {
+    ++stats_.submit_blocks;
+    queue_space_.wait(lock,
+                      [this] { return shutdown_ || queue_.size() < queue_capacity_; });
+  }
+  if (shutdown_) {
+    return false;
+  }
+  queue_.push_back(std::move(task));
+  task_ready_.notify_one();
+  return true;
+}
+
+void WorkerPool::Drain() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.parallel_fors;
+  }
+  if (n == 0) {
+    return;
+  }
+  // Inline when there is nothing to spread over, or only one index.
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+  // Dynamic index claiming: each participant (workers + the caller) pulls the
+  // next index until none remain, so skewed per-index cost still balances.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto remaining = std::make_shared<std::atomic<size_t>>(n);
+  auto error = std::make_shared<std::atomic<bool>>(false);
+  auto error_ptr = std::make_shared<std::exception_ptr>();
+  auto error_mu = std::make_shared<std::mutex>();
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  auto run_indices = [=]() {
+    while (true) {
+      size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return size_t{0};
+      }
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(*error_mu);
+        if (!error->exchange(true)) {
+          *error_ptr = std::current_exception();
+        }
+      }
+      if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        return size_t{1};  // this call retired the last index
+      }
+    }
+  };
+
+  // One helper task per worker (not per index): the queue stays small and
+  // the dynamic claim above does the load balancing.  Helpers are best-effort
+  // — the caller runs indices too and always finishes the batch alone if the
+  // queue is full, so a nested ParallelFor can never deadlock waiting for
+  // queue space.
+  const size_t helpers = std::min(threads_.size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_ || queue_.size() >= queue_capacity_) {
+        break;
+      }
+      queue_.push_back([run_indices, &done_mu, &done_cv, &done] {
+        if (run_indices() == 1) {
+          std::lock_guard<std::mutex> inner(done_mu);
+          done = true;
+          done_cv.notify_all();
+        }
+      });
+    }
+    task_ready_.notify_one();
+  }
+  if (run_indices() == 1) {
+    std::lock_guard<std::mutex> lock(done_mu);
+    done = true;
+    done_cv.notify_all();
+  }
+  {
+    // Wait for the retirement of the last index, not for queue idleness:
+    // other producers may be feeding the pool concurrently.
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return done; });
+  }
+  if (error->load()) {
+    std::lock_guard<std::mutex> lock(*error_mu);
+    std::rethrow_exception(*error_ptr);
+  }
+}
+
+void WorkerPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+    task_ready_.notify_all();
+    queue_space_.notify_all();
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+WorkerPool::PoolStats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace moira

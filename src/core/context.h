@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "src/comerr/moira_errors.h"
+#include "src/common/stat_counter.h"
 #include "src/core/schema.h"
 #include "src/db/database.h"
 
@@ -29,10 +31,12 @@ struct RowRef {
 };
 
 // Counters for the memoized list-closure cache (ContainingListClosure).
+// Atomic because they are bumped under the closure mutex but read without it
+// (access_path_stats aggregation while parallel readers run).
 struct ListClosureStats {
-  int64_t hits = 0;           // lookups answered from a memoized closure
-  int64_t misses = 0;         // lookups that computed a fresh closure
-  int64_t invalidations = 0;  // wholesale flushes after a members write
+  StatCounter hits = 0;           // lookups answered from a memoized closure
+  StatCounter misses = 0;         // lookups that computed a fresh closure
+  StatCounter invalidations = 0;  // wholesale flushes after a members write
 };
 
 class MoiraContext {
@@ -115,6 +119,12 @@ class MoiraContext {
   // lazily invalidates everything on the next lookup; the returned
   // reference is only valid until then.  Backs IsUserInList (src/core/acl.cc),
   // recursive get_lists_of_member, and RUSER/RLIST ACE expansion.
+  //
+  // Safe to call from concurrent read-only queries: lookups and cache fills
+  // serialize on an internal mutex, and the invalidating version can only
+  // advance on the serialized mutation path, so a returned reference stays
+  // valid for the remainder of the read batch (std::map inserts do not move
+  // other nodes).
   const std::vector<int64_t>& ContainingListClosure(std::string_view type, int64_t id);
 
   const ListClosureStats& closure_stats() const { return closure_stats_; }
@@ -150,6 +160,10 @@ class MoiraContext {
   int64_t MembersVersion() const;
 
   Database* db_;
+  // Guards closures_ and closure_version_ against concurrent read-only
+  // queries resolving ACLs in parallel (see DESIGN.md "Sharding &
+  // concurrency model").
+  std::mutex closure_mu_;
   std::map<std::pair<std::string, int64_t>, std::vector<int64_t>> closures_;
   int64_t closure_version_ = -1;
   ListClosureStats closure_stats_;

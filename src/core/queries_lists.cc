@@ -1,5 +1,7 @@
 // List queries (paper section 7.0.3): general-purpose grouping of objects,
 // used for mailing lists, unix groups, and access control.
+#include <algorithm>
+#include <iterator>
 #include <set>
 
 #include "src/core/queries_common.h"
@@ -243,14 +245,10 @@ bool ListIsReferenced(MoiraContext& mc, int64_t list_id) {
   }
   // Another list's ACE (not counting the list itself, which may be
   // self-referential).
-  Table* lists = mc.list();
-  int l_id_col = lists->ColumnIndex("list_id");
-  if (From(lists)
+  if (From(mc.list())
           .WhereEq("acl_type", Value("LIST"))
           .WhereEq("acl_id", Value(list_id))
-          .Filter([&](const Table& t, size_t row) {
-            return t.Cell(row, l_id_col).AsInt() != list_id;
-          })
+          .WhereNe("list_id", Value(list_id))
           .Any()) {
     return true;
   }
@@ -396,20 +394,35 @@ int32_t GetAceUse(QueryCall& call) {
       code != MR_SUCCESS) {
     return code;
   }
-  auto matches = [&](const std::string& type, int64_t id) {
-    return entities.contains({type, id});
+  // The entity set splits by type into two sorted id vectors, which drive
+  // typed WhereEq(type) + WhereIn(ids) probes.  A row references at most one
+  // ace, so the per-type row sets are disjoint; merging the sorted Rows()
+  // results reproduces the old whole-table Filter scan's storage order.
+  std::vector<Value> user_ids;
+  std::vector<Value> list_ids;
+  for (const auto& [type, id] : entities) {
+    (type == "USER" ? user_ids : list_ids).emplace_back(id);
+  }
+  auto merged_rows = [](std::vector<size_t> a, const std::vector<size_t>& b) {
+    std::vector<size_t> out;
+    out.reserve(a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  };
+  auto typed_rows = [&](Table* table, const char* tname, const char* iname) {
+    auto branch = [&](const char* type, const std::vector<Value>& ids) {
+      return ids.empty()
+                 ? std::vector<size_t>()
+                 : From(table).WhereEq(tname, Value(type)).WhereIn(iname, ids).Rows();
+    };
+    return merged_rows(branch("USER", user_ids), branch("LIST", list_ids));
   };
   auto scan_ace = [&](Table* table, const char* tname, const char* iname,
                       const char* obj_type, const char* name_col) {
-    int tcol = table->ColumnIndex(tname);
-    int icol = table->ColumnIndex(iname);
-    From(table)
-        .Filter([&](const Table& t, size_t row) {
-          return matches(t.Cell(row, tcol).AsString(), t.Cell(row, icol).AsInt());
-        })
-        .Emit([&](const std::vector<size_t>& rows) {
-          call.emit({obj_type, MoiraContext::StrCell(table, rows[0], name_col)});
-        });
+    for (size_t row : typed_rows(table, tname, iname)) {
+      call.emit({obj_type, MoiraContext::StrCell(table, row, name_col)});
+    }
   };
   scan_ace(mc.list(), "acl_type", "acl_id", "LIST", "name");
   scan_ace(mc.servers(), "acl_type", "acl_id", "SERVICE", "name");
@@ -417,43 +430,33 @@ int32_t GetAceUse(QueryCall& call) {
   scan_ace(mc.zephyr(), "sub_type", "sub_id", "ZEPHYR", "class");
   scan_ace(mc.zephyr(), "iws_type", "iws_id", "ZEPHYR", "class");
   scan_ace(mc.zephyr(), "iui_type", "iui_id", "ZEPHYR", "class");
-  // Filesystems: owner is a USER ace, owners a LIST ace.
+  // Filesystems: owner is a USER ace, owners a LIST ace.  The disjunction is
+  // the union of two typed probes; here a row can match both branches, so the
+  // merge's dedup matters.
   Table* filesys = mc.filesys();
-  int owner_col = filesys->ColumnIndex("owner");
-  int owners_col = filesys->ColumnIndex("owners");
-  From(filesys)
-      .Filter([&](const Table& t, size_t row) {
-        return matches("USER", t.Cell(row, owner_col).AsInt()) ||
-               matches("LIST", t.Cell(row, owners_col).AsInt());
-      })
-      .Emit([&](const std::vector<size_t>& rows) {
-        call.emit({"FILESYS", MoiraContext::StrCell(filesys, rows[0], "label")});
-      });
+  for (size_t row : merged_rows(
+           user_ids.empty() ? std::vector<size_t>()
+                            : From(filesys).WhereIn("owner", user_ids).Rows(),
+           list_ids.empty() ? std::vector<size_t>()
+                            : From(filesys).WhereIn("owners", list_ids).Rows())) {
+    call.emit({"FILESYS", MoiraContext::StrCell(filesys, row, "label")});
+  }
   // Hostaccess.
   Table* hostaccess = mc.hostaccess();
-  int ha_tcol = hostaccess->ColumnIndex("acl_type");
-  int ha_icol = hostaccess->ColumnIndex("acl_id");
-  From(hostaccess)
-      .Filter([&](const Table& t, size_t row) {
-        return matches(t.Cell(row, ha_tcol).AsString(), t.Cell(row, ha_icol).AsInt());
-      })
-      .Emit([&](const std::vector<size_t>& rows) {
-        int64_t mach_id = MoiraContext::IntCell(hostaccess, rows[0], "mach_id");
-        RowRef mach = mc.ExactOne(mc.machine(), "mach_id", Value(mach_id), MR_MACHINE);
-        call.emit({"HOSTACCESS", mach.code == MR_SUCCESS
-                                     ? MoiraContext::StrCell(mc.machine(), mach.row, "name")
-                                     : "???"});
-      });
+  for (size_t row : typed_rows(hostaccess, "acl_type", "acl_id")) {
+    int64_t mach_id = MoiraContext::IntCell(hostaccess, row, "mach_id");
+    RowRef mach = mc.ExactOne(mc.machine(), "mach_id", Value(mach_id), MR_MACHINE);
+    call.emit({"HOSTACCESS", mach.code == MR_SUCCESS
+                                 ? MoiraContext::StrCell(mc.machine(), mach.row, "name")
+                                 : "???"});
+  }
   // Queries (CAPACLS): only LIST entities appear there.
-  Table* capacls = mc.capacls();
-  int cap_list_col = capacls->ColumnIndex("list_id");
-  From(capacls)
-      .Filter([&](const Table& t, size_t row) {
-        return matches("LIST", t.Cell(row, cap_list_col).AsInt());
-      })
-      .Emit([&](const std::vector<size_t>& rows) {
-        call.emit({"QUERY", MoiraContext::StrCell(capacls, rows[0], "capability")});
-      });
+  if (!list_ids.empty()) {
+    Table* capacls = mc.capacls();
+    for (size_t row : From(capacls).WhereIn("list_id", list_ids).Rows()) {
+      call.emit({"QUERY", MoiraContext::StrCell(capacls, row, "capability")});
+    }
+  }
   return MR_SUCCESS;
 }
 

@@ -403,8 +403,9 @@ int32_t GetAllTableStats(QueryCall& call) {
 // Per-table access-path statistics: how queries actually executed.  A row per
 // table: mutation counters plus planner counters (index hits, prefix-pruned
 // scans, full scans, rows examined vs emitted, join reorders, batched-probe
-// cache hits).  Privileged (dbadmin only via CAPACLS; not world_ok) since it
-// exposes workload shape.
+// cache hits) plus shard routing counters (shard count, probes answered by a
+// single shard, accesses fanned across every shard, set probes).  Privileged
+// (dbadmin only via CAPACLS; not world_ok) since it exposes workload shape.
 int32_t GetTableStatistics(QueryCall& call) {
   MoiraContext& mc = call.mc;
   for (const std::string& name : mc.db().TableNames()) {
@@ -415,7 +416,9 @@ int32_t GetTableStatistics(QueryCall& call) {
                std::to_string(stats.prefix_scans), std::to_string(stats.range_scans),
                std::to_string(stats.full_scans), std::to_string(stats.rows_examined),
                std::to_string(stats.rows_emitted), std::to_string(stats.join_reorders),
-               std::to_string(stats.probe_cache_hits)});
+               std::to_string(stats.probe_cache_hits), std::to_string(table->shard_count()),
+               std::to_string(stats.single_shard_probes), std::to_string(stats.fanout_scans),
+               std::to_string(stats.set_probes)});
   }
   return MR_SUCCESS;
 }

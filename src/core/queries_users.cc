@@ -96,9 +96,7 @@ int32_t LeastLoadedNfsPhys(MoiraContext& mc, int64_t fstype_bits, size_t* phys_r
   Table* phys = mc.nfsphys();
   int64_t best_free = -1;
   From(phys)
-      .Filter([&](const Table& t, size_t row) {
-        return (MoiraContext::IntCell(&t, row, "status") & fstype_bits) != 0;
-      })
+      .WhereAnyBits("status", fstype_bits)
       .Emit([&](const std::vector<size_t>& rows) {
         int64_t free_units = MoiraContext::IntCell(phys, rows[0], "size") -
                              MoiraContext::IntCell(phys, rows[0], "allocated");
@@ -532,9 +530,7 @@ int32_t GetAllPoboxes(QueryCall& call) {
   const Table* users = mc.users();
   int potype_col = users->ColumnIndex("potype");
   From(users)
-      .Filter([&](const Table& t, size_t row) {
-        return t.Cell(row, potype_col).AsString() != "NONE";
-      })
+      .WhereNe("potype", Value("NONE"))
       .Emit([&](const std::vector<size_t>& rows) {
         call.emit({MoiraContext::StrCell(users, rows[0], "login"),
                    users->Cell(rows[0], potype_col).AsString(), PoboxBox(mc, rows[0])});

@@ -10,8 +10,12 @@ constexpr ColumnType kStr = ColumnType::kString;
 
 void MakeTable(Database* db, const char* name, std::vector<ColumnDef> columns,
                std::vector<const char*> indexes,
-               std::vector<const char*> folded_indexes = {}) {
-  Table* table = db->CreateTable(TableSchema{name, std::move(columns)});
+               std::vector<const char*> folded_indexes = {},
+               const char* partition_column = nullptr, size_t shards = 1) {
+  TableSchema schema{name, std::move(columns)};
+  Table* table = (partition_column != nullptr && shards > 1)
+                     ? db->CreateShardedTable(std::move(schema), partition_column, shards)
+                     : db->CreateTable(std::move(schema));
   assert(table != nullptr);
   for (const char* column : indexes) {
     table->CreateIndex(column);
@@ -23,7 +27,7 @@ void MakeTable(Database* db, const char* name, std::vector<ColumnDef> columns,
 
 }  // namespace
 
-void CreateMoiraSchema(Database* db) {
+void CreateMoiraSchema(Database* db, const SchemaOptions& options) {
   // USERS: account, finger, and pobox information (paper section 6).
   MakeTable(db, kUsersTable,
             {
@@ -43,7 +47,9 @@ void CreateMoiraSchema(Database* db) {
             {"login", "users_id", "uid", "mit_id", "status"},
             // Folded-case indexes back the case-insensitive name retrievals
             // (and prefix-prune their wildcard forms).
-            {"login", "last"});
+            {"login", "last"},
+            // Hot relation: hash-partitioned over users_id (SchemaOptions).
+            "users_id", options.users_shards);
 
   MakeTable(db, kMachineTable,
             {
@@ -99,7 +105,9 @@ void CreateMoiraSchema(Database* db) {
                 {"member_type", kStr},
                 {"member_id", kInt},
             },
-            {"list_id", "member_id"});
+            {"list_id", "member_id"}, {},
+            // Hot relation: hash-partitioned over list_id (SchemaOptions).
+            "list_id", options.members_shards);
 
   MakeTable(db, kServersTable,
             {

@@ -10,13 +10,34 @@ Table* Database::CreateTable(TableSchema schema) {
   if (tables_.contains(schema.name)) {
     return nullptr;
   }
-  std::string name = schema.name;
-  auto table = std::make_unique<Table>(std::move(schema));
+  return Install(std::make_unique<Table>(std::move(schema)));
+}
+
+Table* Database::CreateShardedTable(TableSchema schema,
+                                    std::string_view partition_column,
+                                    size_t shards) {
+  if (tables_.contains(schema.name)) {
+    return nullptr;
+  }
+  return Install(
+      std::make_unique<ShardedTable>(std::move(schema), partition_column, shards));
+}
+
+Table* Database::Install(std::unique_ptr<Table> table) {
+  std::string name = table->name();
   table->set_time_source([this] { return clock_->Now(); });
+  table->set_worker_pool(pool_);
   Table* raw = table.get();
   tables_.emplace(name, std::move(table));
   table_order_.push_back(name);
   return raw;
+}
+
+void Database::AttachWorkerPool(WorkerPool* pool) {
+  pool_ = pool;
+  for (auto& [name, table] : tables_) {
+    table->set_worker_pool(pool);
+  }
 }
 
 Table* Database::GetTable(std::string_view name) {

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "src/common/strutil.h"
+#include "src/common/worker_pool.h"
 
 namespace moira {
 namespace {
@@ -93,6 +94,14 @@ double EstimateMatchRows(const Table& table, const std::vector<Condition>& condi
                  ? static_cast<double>(desc.entries) / static_cast<double>(desc.distinct_keys)
                  : 0.0;
     }
+    case AccessPath::Kind::kIndexIn: {
+      const IndexDesc desc = table.IndexDescs()[path.index_pos];
+      const double per_key =
+          desc.distinct_keys > 0
+              ? static_cast<double>(desc.entries) / static_cast<double>(desc.distinct_keys)
+              : 0.0;
+      return std::min(live, per_key * static_cast<double>(path.in_keys.size()));
+    }
     case AccessPath::Kind::kIndexRange:
       return path.range_lower.present && path.range_upper.present ? live / 4.0 : live / 2.0;
     case AccessPath::Kind::kIndexPrefix:
@@ -149,6 +158,36 @@ AccessPath PlanAccess(const Table& table, const std::vector<Condition>& conditio
     }
   }
   if (path.kind == AccessPath::Kind::kIndexEq) {
+    return path;
+  }
+
+  // 1b. Membership sets.  A kIn over an exact index runs as a union of
+  // equality probes — one small probe per key — which beats any scan as long
+  // as the set is a sliver of the table.  The probes answer the condition
+  // exactly, so it runs no residual.  Rank by cardinality like step 1.
+  size_t best_in_keys = 0;
+  for (size_t c = 0; c < conditions.size(); ++c) {
+    const Condition& cond = conditions[c];
+    if (cond.op != Condition::Op::kIn) {
+      continue;
+    }
+    for (size_t i = 0; i < indexes.size(); ++i) {
+      if (indexes[i].column != cond.column || indexes[i].folded) {
+        continue;  // folded keys would need per-key folding + residual; skip
+      }
+      if (path.kind == AccessPath::Kind::kIndexIn &&
+          indexes[i].distinct_keys <= best_in_keys) {
+        continue;
+      }
+      path.kind = AccessPath::Kind::kIndexIn;
+      path.index_pos = i;
+      path.cond_pos = c;
+      path.skip_cond = true;
+      path.in_keys = cond.operand_set;  // sorted + deduped (Condition contract)
+      best_in_keys = indexes[i].distinct_keys;
+    }
+  }
+  if (path.kind == AccessPath::Kind::kIndexIn) {
     return path;
   }
 
@@ -314,6 +353,28 @@ Selector& Selector::WhereWild(std::string_view column, std::string_view pattern,
   return Where(column, op, Value(pattern));
 }
 
+Selector& Selector::WhereNe(std::string_view column, Value operand) {
+  return Where(column, Condition::Op::kNe, std::move(operand));
+}
+
+Selector& Selector::WhereAnyBits(std::string_view column, int64_t mask) {
+  return Where(column, Condition::Op::kAnyBits, Value(mask));
+}
+
+Selector& Selector::WhereIn(std::string_view column, std::vector<Value> set) {
+  int col = MustResolveColumn(stages_.back().table, column, "WhereIn");
+  // Sorted + deduplicated is the Condition::kIn contract: evaluation
+  // binary-searches the set, and the planner turns it into one index probe
+  // per distinct key.
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  Condition cond;
+  cond.column = col;
+  cond.op = Condition::Op::kIn;
+  cond.operand_set = std::move(set);
+  return Where(std::move(cond));
+}
+
 Selector& Selector::Filter(std::function<bool(const Table&, size_t)> pred) {
   stages_.back().filters.push_back(std::move(pred));
   return *this;
@@ -443,46 +504,90 @@ bool Selector::ExecuteJoin(
     std::sort(tuple_order.begin(), tuple_order.end(),
               [&](size_t a, size_t b) { return key_of(a) < key_of(b); });
 
-    bool planned = false;
+    // Group the sorted tuples by distinct key: one probe per group, with the
+    // duplicates inside a group served from that probe's result (counted as
+    // probe_cache_hits, the batched distinct-key cache).
+    struct KeyGroup {
+      size_t begin = 0;  // range [begin, end) in tuple_order
+      size_t end = 0;
+    };
+    std::vector<KeyGroup> groups;
+    for (size_t i = 0; i < ntuples;) {
+      const Value& key = key_of(tuple_order[i]);
+      size_t j = i + 1;
+      while (j < ntuples) {
+        const Value& next = key_of(tuple_order[j]);
+        if (key < next || next < key) {
+          break;
+        }
+        ++j;
+      }
+      groups.push_back(KeyGroup{i, j});
+      i = j;
+    }
+
+    // Plan the stage once against the first group's key; every other group
+    // reuses the plan with the probe key patched.  PlanAccess ranks
+    // candidates by index statistics and ops alone, never by operand value,
+    // so the plan is reusable across keys.
     AccessPath plan;
     bool plan_probes_key = false;
     bool plan_key_folded = false;
-    next_tuples.clear();
-    std::vector<size_t> matched;  // survivors of the current key group
-    const Value* prev_key = nullptr;
-    for (size_t ti : tuple_order) {
-      const Value& key = key_of(ti);
-      if (prev_key != nullptr && !(*prev_key < key) && !(key < *prev_key)) {
-        // Same key as the previous tuple: reuse its probe result.
-        stage.table->NoteProbeCacheHits(1);
-      } else {
-        conds[key_slot].operand = key;
-        if (!planned) {
-          plan = PlanAccess(*stage.table, conds);
-          // PlanAccess ranks candidates by index statistics and ops alone,
-          // never by operand value, so the plan is reusable across keys once
-          // the probe key is patched.
-          plan_probes_key =
-              plan.kind == AccessPath::Kind::kIndexEq && plan.cond_pos == key_slot;
-          if (plan_probes_key) {
-            plan_key_folded = stage.table->IndexDescs()[plan.index_pos].folded;
-          }
-          planned = true;
-        } else if (plan_probes_key) {
-          plan.eq_key = plan_key_folded ? FoldCaseKey(key) : key;
-        }
-        matched.clear();
-        for (size_t row : stage.table->Match(conds, plan)) {
-          if (PassesFilters(stage, row)) {
-            matched.push_back(row);
-          }
+    if (!groups.empty()) {
+      conds[key_slot].operand = key_of(tuple_order[0]);
+      plan = PlanAccess(*stage.table, conds);
+      plan_probes_key =
+          plan.kind == AccessPath::Kind::kIndexEq && plan.cond_pos == key_slot;
+      if (plan_probes_key) {
+        plan_key_folded = stage.table->IndexDescs()[plan.index_pos].folded;
+      }
+    }
+
+    std::vector<std::vector<size_t>> group_matches(groups.size());
+    auto probe_group = [&](size_t g) {
+      const Value& key = key_of(tuple_order[groups[g].begin]);
+      std::vector<Condition> local_conds = conds;
+      local_conds[key_slot].operand = key;
+      AccessPath local_plan = plan;
+      if (plan_probes_key) {
+        local_plan.eq_key = plan_key_folded ? FoldCaseKey(key) : key;
+      }
+      for (size_t row : stage.table->Match(local_conds, local_plan)) {
+        if (PassesFilters(stage, row)) {
+          group_matches[g].push_back(row);
         }
       }
-      prev_key = &key;
-      for (size_t row : matched) {
-        next_tuples.insert(next_tuples.end(), tuples.begin() + ti * n,
-                           tuples.begin() + (ti + 1) * n);
-        next_tuples[next_tuples.size() - n + t] = row;
+    };
+    // Distinct-key probes are independent of each other, so a stage with
+    // enough groups runs them on the table's worker pool (each task writes
+    // only its own group_matches slot; Match only bumps atomic counters).
+    // Opaque Filter lambdas are the exception — they may touch shared caller
+    // state — so a filtered stage stays serial.
+    WorkerPool* pool = stage.table->worker_pool();
+    constexpr size_t kParallelProbeMinGroups = 8;
+    if (pool != nullptr && stage.filters.empty() &&
+        groups.size() >= kParallelProbeMinGroups) {
+      pool->ParallelFor(groups.size(), probe_group);
+    } else {
+      for (size_t g = 0; g < groups.size(); ++g) {
+        probe_group(g);
+      }
+    }
+
+    next_tuples.clear();
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const KeyGroup& group = groups[g];
+      if (group.end - group.begin > 1) {
+        stage.table->NoteProbeCacheHits(
+            static_cast<int64_t>(group.end - group.begin - 1));
+      }
+      for (size_t gi = group.begin; gi < group.end; ++gi) {
+        const size_t ti = tuple_order[gi];
+        for (size_t row : group_matches[g]) {
+          next_tuples.insert(next_tuples.end(), tuples.begin() + ti * n,
+                             tuples.begin() + (ti + 1) * n);
+          next_tuples[next_tuples.size() - n + t] = row;
+        }
       }
     }
     tuples.swap(next_tuples);
@@ -564,9 +669,16 @@ std::vector<size_t> Selector::Rows() const {
     out.push_back(rows[0]);
     return true;
   });
-  // Dedup must not assume duplicates arrive adjacent (a reordered join may
-  // revisit base rows in any pattern), and the result must stay sorted to
-  // storage order so it is independent of the plan that ran.
+  if (stages_.size() == 1) {
+    // Single stage: Match's merge point already guarantees ascending, unique
+    // storage order (every access path and shard fan-out merges there), so
+    // re-sorting would only hide a breach of that contract.  Assert instead.
+    assert(std::is_sorted(out.begin(), out.end()));
+    assert(std::adjacent_find(out.begin(), out.end()) == out.end());
+    return out;
+  }
+  // Joined pipelines may revisit base rows in any pattern (a reordered join
+  // does not emit base rows adjacently), so sort + dedup to storage order.
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;

@@ -44,6 +44,7 @@ struct AccessPath {
     kIndexEq,      // equality probe of one index
     kIndexPrefix,  // range scan of one index over a literal prefix
     kIndexRange,   // range scan of one index over an ordered-predicate window
+    kIndexIn,      // union of equality probes for a kIn membership set
   };
   // One end of a kIndexRange window.  An absent bound scans to that end of
   // the index.
@@ -63,6 +64,8 @@ struct AccessPath {
   Bound range_upper;       //   tightest intersection of every range condition
   std::vector<size_t> range_conds;  // kIndexRange: conditions the window
                                     // fully absorbs (no residual check)
+  std::vector<Value> in_keys;       // kIndexIn: the distinct probe keys
+                                    // (sorted; one index probe per key)
 };
 
 // Case-folds an index key: strings are lowercased, other values pass
@@ -82,6 +85,8 @@ double EstimateMatchRows(const Table& table, const std::vector<Condition>& condi
 //   1. the equality-indexable condition whose index has the highest
 //      cardinality (fewest expected rows per key) — kEq on an exact index,
 //      kEqNoCase on a folded index, kEq on a folded index as a fallback;
+//   1b. otherwise a kIn membership set over an exact index, executed as a
+//      union of equality probes (most selective index on ties);
 //   2. otherwise the indexed column with the tightest ordered-range window:
 //      every kLt/kLe/kGt/kGe/kBetween condition on one indexed column is
 //      intersected into a single [lower, upper] window over the index keys
@@ -134,6 +139,17 @@ class Selector {
   // metacharacters, else kWild/kWildNoCase.
   Selector& WhereWild(std::string_view column, std::string_view pattern,
                       bool case_insensitive = false);
+  // Typed predicates the planner can see into (unlike an opaque Filter,
+  // these push down into shard-local scans and cost estimation).
+  Selector& WhereNe(std::string_view column, Value operand);
+  // (column & mask) != 0 — the flag-membership shape of the qualifier
+  // queries (DCM-enable bits, status masks).
+  Selector& WhereAnyBits(std::string_view column, int64_t mask);
+  // column ∈ set — the membership shape previously expressed as a
+  // set-capturing Filter lambda.  The set is sorted and deduplicated here;
+  // with an exact index on the column it plans as a union of index probes
+  // (kIndexIn) instead of a full scan.
+  Selector& WhereIn(std::string_view column, std::vector<Value> set);
 
   // Residual predicate the planner cannot index (ranges, bitmasks,
   // tri-state).  Runs after the stage's conditions.
@@ -162,7 +178,10 @@ class Selector {
   void ForEach(const std::function<bool(const std::vector<size_t>&)>& visit) const;
 
   // Base-table row indices of every surviving tuple (deduplicated, in
-  // storage order).  With no joins this is exactly Table::Match + filters.
+  // storage order).  With no joins this is exactly Table::Match + filters —
+  // already sorted and unique by Match's merge-point guarantee, so the
+  // single-stage path asserts that order instead of re-sorting; only joined
+  // pipelines (which may revisit base rows) sort + dedup here.
   std::vector<size_t> Rows() const;
 
   // The single surviving base row; nullopt when zero or several match.

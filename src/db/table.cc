@@ -2,12 +2,40 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 
 #include "src/common/strutil.h"
+#include "src/common/worker_pool.h"
 #include "src/db/exec.h"
 
 namespace moira {
 namespace {
+
+// Shard hashing must be deterministic across builds and runs: the journal
+// replays rows in append order on replicas, and dumps are compared
+// byte-for-byte, so a platform-dependent std::hash would not do.  Integers
+// go through the SplitMix64 finalizer (sequential ids must not land on
+// sequential shards); strings through FNV-1a.
+uint64_t HashInt(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashBytes(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t HashValue(const Value& v) {
+  return v.is_int() ? HashInt(static_cast<uint64_t>(v.AsInt()))
+                    : HashBytes(v.AsString());
+}
 
 bool ConditionHolds(const Condition& cond, const Row& row) {
   const Value& cell = row[cond.column];
@@ -35,13 +63,86 @@ bool ConditionHolds(const Condition& cond, const Row& row) {
       return !(cell < cond.operand);
     case Condition::Op::kBetween:
       return !(cell < cond.operand) && !(cond.operand2 < cell);
+    case Condition::Op::kNe:
+      return cell != cond.operand;
+    case Condition::Op::kAnyBits:
+      // Flag-mask membership; only meaningful between ints.
+      return cell.is_int() && cond.operand.is_int() &&
+             (cell.AsInt() & cond.operand.AsInt()) != 0;
+    case Condition::Op::kIn:
+      // operand_set is sorted (Selector::WhereIn enforces it).
+      return std::binary_search(cond.operand_set.begin(), cond.operand_set.end(),
+                                cell);
   }
   return false;
 }
 
+// Merges ascending per-shard runs into one ascending vector.  Shard counts
+// are single digits, so a sequential two-way merge cascade is fine.
+std::vector<size_t> MergeSortedRuns(std::vector<std::vector<size_t>>* runs) {
+  std::vector<size_t> out;
+  std::vector<size_t> tmp;
+  for (std::vector<size_t>& run : *runs) {
+    if (run.empty()) {
+      continue;
+    }
+    if (out.empty()) {
+      out = std::move(run);
+      continue;
+    }
+    tmp.clear();
+    tmp.reserve(out.size() + run.size());
+    std::merge(out.begin(), out.end(), run.begin(), run.end(),
+               std::back_inserter(tmp));
+    out.swap(tmp);
+  }
+  return out;
+}
+
 }  // namespace
 
-Table::Table(TableSchema schema) : schema_(std::move(schema)) {}
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  shard_live_.assign(1, 0);
+  shard_examined_.assign(1, 0);
+}
+
+Table::Table(TableSchema schema, std::string_view partition_column, size_t shards)
+    : schema_(std::move(schema)), shard_count_(shards == 0 ? 1 : shards) {
+  partition_col_ = ColumnIndex(partition_column);
+  // A multi-shard table without a real partition column would silently hash
+  // row[-1]; make the misconfiguration loud in every build.
+  assert(shard_count_ == 1 || partition_col_ >= 0);
+  if (partition_col_ < 0) {
+    shard_count_ = 1;
+  }
+  shard_live_.assign(shard_count_, 0);
+  shard_examined_.assign(shard_count_, 0);
+}
+
+size_t Table::ShardOfKey(const Value& key) const {
+  if (shard_count_ <= 1) {
+    return 0;
+  }
+  return static_cast<size_t>(HashValue(key) % shard_count_);
+}
+
+uint32_t Table::ShardOfRowValue(const Row& row) const {
+  if (shard_count_ <= 1 || partition_col_ < 0) {
+    return 0;
+  }
+  return static_cast<uint32_t>(ShardOfKey(row[partition_col_]));
+}
+
+std::vector<int64_t> Table::ShardLiveCounts() const { return shard_live_; }
+
+std::vector<int64_t> Table::ShardRowsExamined() const {
+  std::vector<int64_t> out;
+  out.reserve(shard_examined_.size());
+  for (const StatCounter& c : shard_examined_) {
+    out.push_back(c.load());
+  }
+  return out;
+}
 
 int Table::ColumnIndex(std::string_view column) const {
   for (size_t i = 0; i < schema_.columns.size(); ++i) {
@@ -73,15 +174,17 @@ void Table::BuildIndex(int column, bool folded) {
   Index index;
   index.column = column;
   index.folded = folded;
+  index.shards.resize(shard_count_);
   for (size_t i = 0; i < slots_.size(); ++i) {
     if (!slots_[i].live) {
       continue;
     }
+    IndexShard& shard = index.shards[slots_[i].shard];
     Value key = folded ? FoldCaseKey(slots_[i].row[column]) : slots_[i].row[column];
-    if (index.entries.find(key) == index.entries.end()) {
-      ++index.distinct_keys;
+    if (shard.entries.find(key) == shard.entries.end()) {
+      ++shard.distinct_keys;
     }
-    index.entries.emplace(std::move(key), i);
+    shard.entries.emplace(std::move(key), i);
   }
   indexes_.push_back(std::move(index));
 }
@@ -90,26 +193,46 @@ std::vector<IndexDesc> Table::IndexDescs() const {
   std::vector<IndexDesc> out;
   out.reserve(indexes_.size());
   for (const Index& index : indexes_) {
-    out.push_back(IndexDesc{index.column, index.folded, index.distinct_keys,
-                            index.entries.size()});
+    IndexDesc desc;
+    desc.column = index.column;
+    desc.folded = index.folded;
+    for (const IndexShard& shard : index.shards) {
+      desc.distinct_keys += shard.distinct_keys;
+      desc.entries += shard.entries.size();
+    }
+    out.push_back(desc);
   }
   return out;
 }
 
 size_t Table::Append(Row row) {
   assert(row.size() == schema_.columns.size());
-  slots_.push_back(Slot{std::move(row), /*live=*/true});
+  uint32_t shard = ShardOfRowValue(row);
+  slots_.push_back(Slot{std::move(row), /*live=*/true, shard});
   size_t row_index = slots_.size() - 1;
   ++live_count_;
+  ++shard_live_[shard];
   IndexInsert(row_index);
   Touch(&stats_.appends);
   return row_index;
+}
+
+void Table::ReshardRow(size_t row_index) {
+  uint32_t shard = ShardOfRowValue(slots_[row_index].row);
+  if (shard != slots_[row_index].shard) {
+    --shard_live_[slots_[row_index].shard];
+    slots_[row_index].shard = shard;
+    ++shard_live_[shard];
+  }
 }
 
 void Table::Update(size_t row_index, int column, Value value) {
   assert(IsLive(row_index));
   IndexErase(row_index);
   slots_[row_index].row[column] = std::move(value);
+  if (column == partition_col_) {
+    ReshardRow(row_index);
+  }
   IndexInsert(row_index);
   Touch(&stats_.updates);
 }
@@ -118,6 +241,9 @@ void Table::UpdateNoStats(size_t row_index, int column, Value value) {
   assert(IsLive(row_index));
   IndexErase(row_index);
   slots_[row_index].row[column] = std::move(value);
+  if (column == partition_col_) {
+    ReshardRow(row_index);
+  }
   IndexInsert(row_index);
 }
 
@@ -126,6 +252,7 @@ void Table::UpdateRow(size_t row_index, Row row) {
   assert(row.size() == schema_.columns.size());
   IndexErase(row_index);
   slots_[row_index].row = std::move(row);
+  ReshardRow(row_index);
   IndexInsert(row_index);
   Touch(&stats_.updates);
 }
@@ -136,6 +263,7 @@ void Table::Delete(size_t row_index) {
   slots_[row_index].live = false;
   slots_[row_index].row.clear();
   --live_count_;
+  --shard_live_[slots_[row_index].shard];
   Touch(&stats_.deletes);
 }
 
@@ -155,15 +283,21 @@ std::vector<size_t> Table::ExecutePath(const AccessPath& path,
   // condition `c`, so the residual pass must not re-evaluate it.  Computed
   // once up front: the per-row loop is the hot path.
   std::vector<bool> planned_away(conditions.size(), false);
-  if (path.kind == AccessPath::Kind::kIndexEq && path.skip_cond) {
+  if ((path.kind == AccessPath::Kind::kIndexEq ||
+       path.kind == AccessPath::Kind::kIndexIn) &&
+      path.skip_cond) {
     planned_away[path.cond_pos] = true;
   } else if (path.kind == AccessPath::Kind::kIndexRange) {
     for (size_t c : path.range_conds) {
       planned_away[c] = true;
     }
   }
+  // Thread-safety: `satisfies` runs concurrently from fan-out legs; it only
+  // reads immutable state and bumps relaxed atomic counters, and every leg
+  // writes its own run vector.
   auto satisfies = [&](size_t row_index) {
     ++stats_.rows_examined;
+    ++shard_examined_[slots_[row_index].shard];
     const Row& row = slots_[row_index].row;
     for (size_t c = 0; c < conditions.size(); ++c) {
       if (planned_away[c]) {
@@ -175,25 +309,87 @@ std::vector<size_t> Table::ExecutePath(const AccessPath& path,
     }
     return true;
   };
+  // Probes one shard's run of an index for `key`.  An equal range holds rows
+  // in insertion order (an update re-inserts its row at the end), so each
+  // run is sorted to storage order before the merge.
+  auto probe_shard = [&](const IndexShard& shard, const Value& key,
+                         std::vector<size_t>* run) {
+    auto [begin, end] = shard.entries.equal_range(key);
+    for (auto it = begin; it != end; ++it) {
+      if (slots_[it->second].live && satisfies(it->second)) {
+        run->push_back(it->second);
+      }
+    }
+    std::sort(run->begin(), run->end());
+  };
+  // Runs `leg` against every shard of `index` — on the worker pool when one
+  // is attached — and merges the ascending per-shard runs.
+  auto fan_out = [&](const Index& index,
+                     const std::function<void(const IndexShard&, std::vector<size_t>*)>& leg) {
+    if (shard_count_ > 1) {
+      ++stats_.fanout_scans;
+    }
+    std::vector<std::vector<size_t>> runs(shard_count_);
+    if (pool_ != nullptr && shard_count_ > 1) {
+      pool_->ParallelFor(shard_count_,
+                         [&](size_t s) { leg(index.shards[s], &runs[s]); });
+    } else {
+      for (size_t s = 0; s < shard_count_; ++s) {
+        leg(index.shards[s], &runs[s]);
+      }
+    }
+    return MergeSortedRuns(&runs);
+  };
   switch (path.kind) {
     case AccessPath::Kind::kIndexEq: {
       ++stats_.index_hits;
       const Index& index = indexes_[path.index_pos];
-      auto [begin, end] = index.entries.equal_range(path.eq_key);
-      for (auto it = begin; it != end; ++it) {
-        if (slots_[it->second].live && satisfies(it->second)) {
-          out.push_back(it->second);
+      if (shard_count_ > 1 && !index.folded && index.column == partition_col_) {
+        // Exact probe on the partition column: the key's hash names the only
+        // shard that can hold matches.
+        ++stats_.single_shard_probes;
+        probe_shard(index.shards[ShardOfKey(path.eq_key)], path.eq_key, &out);
+      } else {
+        out = fan_out(index, [&](const IndexShard& shard, std::vector<size_t>* run) {
+          probe_shard(shard, path.eq_key, run);
+        });
+      }
+      break;
+    }
+    case AccessPath::Kind::kIndexIn: {
+      ++stats_.set_probes;
+      const Index& index = indexes_[path.index_pos];
+      const bool routed =
+          shard_count_ > 1 && !index.folded && index.column == partition_col_;
+      if (routed) {
+        ++stats_.single_shard_probes;
+      } else if (shard_count_ > 1) {
+        ++stats_.fanout_scans;
+      }
+      auto probe_into = [&](const IndexShard& shard, const Value& key) {
+        auto [begin, end] = shard.entries.equal_range(key);
+        for (auto it = begin; it != end; ++it) {
+          if (slots_[it->second].live && satisfies(it->second)) {
+            out.push_back(it->second);
+          }
+        }
+      };
+      for (const Value& key : path.in_keys) {
+        if (routed) {
+          probe_into(index.shards[ShardOfKey(key)], key);
+        } else {
+          for (size_t s = 0; s < shard_count_; ++s) {
+            probe_into(index.shards[s], key);
+          }
         }
       }
-      // An equal range holds rows in insertion order (an update re-inserts
-      // its row at the end), so report storage order like the other paths —
-      // result order must not depend on the plan chosen.
+      // Per-key probes arrive key-ordered, not storage-ordered; this is the
+      // union's merge step (keys are distinct, so runs are disjoint).
       std::sort(out.begin(), out.end());
       break;
     }
     case AccessPath::Kind::kIndexRange: {
       ++stats_.range_scans;
-      const Index& index = indexes_[path.index_pos];
       const AccessPath::Bound& lo = path.range_lower;
       const AccessPath::Bound& hi = path.range_upper;
       // A contradictory window (lower above upper, or a touching pair with
@@ -203,49 +399,84 @@ std::vector<size_t> Table::ExecutePath(const AccessPath& path,
                    (hi.key < lo.key ||
                     (!(lo.key < hi.key) && !(lo.inclusive && hi.inclusive)));
       if (!empty) {
-        auto begin = !lo.present          ? index.entries.begin()
-                     : lo.inclusive       ? index.entries.lower_bound(lo.key)
-                                          : index.entries.upper_bound(lo.key);
-        auto end = !hi.present      ? index.entries.end()
-                   : hi.inclusive   ? index.entries.upper_bound(hi.key)
-                                    : index.entries.lower_bound(hi.key);
-        for (auto it = begin; it != end; ++it) {
-          if (slots_[it->second].live && satisfies(it->second)) {
-            out.push_back(it->second);
+        out = fan_out(indexes_[path.index_pos],
+                      [&](const IndexShard& shard, std::vector<size_t>* run) {
+          auto begin = !lo.present    ? shard.entries.begin()
+                       : lo.inclusive ? shard.entries.lower_bound(lo.key)
+                                      : shard.entries.upper_bound(lo.key);
+          auto end = !hi.present    ? shard.entries.end()
+                     : hi.inclusive ? shard.entries.upper_bound(hi.key)
+                                    : shard.entries.lower_bound(hi.key);
+          for (auto it = begin; it != end; ++it) {
+            if (slots_[it->second].live && satisfies(it->second)) {
+              run->push_back(it->second);
+            }
           }
-        }
+          // Key order -> storage order before the merge, as for every run.
+          std::sort(run->begin(), run->end());
+        });
       }
-      // Key order -> storage order, as for every other path.
-      std::sort(out.begin(), out.end());
       break;
     }
     case AccessPath::Kind::kIndexPrefix: {
       ++stats_.prefix_scans;
-      const Index& index = indexes_[path.index_pos];
-      auto it = index.entries.lower_bound(Value(path.lower));
-      auto end = path.upper.empty() ? index.entries.end()
-                                    : index.entries.lower_bound(Value(path.upper));
-      for (; it != end; ++it) {
-        if (slots_[it->second].live && satisfies(it->second)) {
-          out.push_back(it->second);
+      out = fan_out(indexes_[path.index_pos],
+                    [&](const IndexShard& shard, std::vector<size_t>* run) {
+        auto it = shard.entries.lower_bound(Value(path.lower));
+        auto end = path.upper.empty() ? shard.entries.end()
+                                      : shard.entries.lower_bound(Value(path.upper));
+        for (; it != end; ++it) {
+          if (slots_[it->second].live && satisfies(it->second)) {
+            run->push_back(it->second);
+          }
         }
-      }
-      // The range visits rows in key order; report them in storage order like
-      // the scan path would, so result order is stable across plan changes.
-      std::sort(out.begin(), out.end());
+        std::sort(run->begin(), run->end());
+      });
       break;
     }
     case AccessPath::Kind::kFullScan: {
       ++stats_.full_scans;
-      for (size_t i = 0; i < slots_.size(); ++i) {
-        if (slots_[i].live && satisfies(i)) {
-          out.push_back(i);
+      if (shard_count_ > 1) {
+        ++stats_.fanout_scans;  // a full scan visits every shard's rows
+      }
+      const size_t n = slots_.size();
+      // Chunked parallel sweep: contiguous slot ranges keep each run
+      // ascending, so concatenation in chunk order is already merged.
+      constexpr size_t kParallelScanMinSlots = 4096;
+      if (pool_ != nullptr && pool_->thread_count() > 0 &&
+          n >= kParallelScanMinSlots) {
+        const size_t chunks = pool_->thread_count() + 1;
+        const size_t chunk = (n + chunks - 1) / chunks;
+        std::vector<std::vector<size_t>> runs(chunks);
+        pool_->ParallelFor(chunks, [&](size_t c) {
+          const size_t lo = c * chunk;
+          const size_t hi = std::min(n, lo + chunk);
+          for (size_t i = lo; i < hi; ++i) {
+            if (slots_[i].live && satisfies(i)) {
+              runs[c].push_back(i);
+            }
+          }
+        });
+        for (std::vector<size_t>& run : runs) {
+          out.insert(out.end(), run.begin(), run.end());
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (slots_[i].live && satisfies(i)) {
+            out.push_back(i);
+          }
         }
       }
       break;
     }
   }
   stats_.rows_emitted += static_cast<int64_t>(out.size());
+  // THE merge point: every path above — single-shard probe, merged fan-out,
+  // kIn union, chunked scan — must deliver ascending storage order here, so
+  // results never depend on the plan or the shard count.  Downstream
+  // consumers (Selector::Rows and the query handlers) rely on this instead
+  // of re-sorting.
+  assert(std::is_sorted(out.begin(), out.end()));
   return out;
 }
 
@@ -254,6 +485,7 @@ void Table::Scan(const std::function<bool(size_t, const Row&)>& visit) const {
   for (size_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].live) {
       ++stats_.rows_examined;
+      ++shard_examined_[slots_[i].shard];
       // A raw sweep has no predicate: every visited row reaches the caller,
       // so it counts as emitted too, keeping the examined/emitted selectivity
       // ratio meaningful for scan-heavy callers.
@@ -272,28 +504,30 @@ void Table::Touch(int64_t* counter) {
 
 void Table::IndexInsert(size_t row_index) {
   for (Index& index : indexes_) {
+    IndexShard& shard = index.shards[slots_[row_index].shard];
     Value key = index.folded ? FoldCaseKey(slots_[row_index].row[index.column])
                              : slots_[row_index].row[index.column];
-    if (index.entries.find(key) == index.entries.end()) {
-      ++index.distinct_keys;
+    if (shard.entries.find(key) == shard.entries.end()) {
+      ++shard.distinct_keys;
     }
-    index.entries.emplace(std::move(key), row_index);
+    shard.entries.emplace(std::move(key), row_index);
   }
 }
 
 void Table::IndexErase(size_t row_index) {
   for (Index& index : indexes_) {
+    IndexShard& shard = index.shards[slots_[row_index].shard];
     Value key = index.folded ? FoldCaseKey(slots_[row_index].row[index.column])
                              : slots_[row_index].row[index.column];
-    auto [begin, end] = index.entries.equal_range(key);
+    auto [begin, end] = shard.entries.equal_range(key);
     for (auto it = begin; it != end; ++it) {
       if (it->second == row_index) {
-        index.entries.erase(it);
+        shard.entries.erase(it);
         break;
       }
     }
-    if (index.entries.find(key) == index.entries.end()) {
-      --index.distinct_keys;
+    if (shard.entries.find(key) == shard.entries.end()) {
+      --shard.distinct_keys;
     }
   }
 }

@@ -8,6 +8,20 @@
 // serve literal-prefix pruning for wildcard patterns and ordered-range
 // predicates (kLt/kLe/kGt/kGe/kBetween) — see src/db/exec.h for the planner
 // that chooses among them.
+//
+// Sharding.  A table may be hash-partitioned over a partition column into N
+// shards (ShardedTable, or the three-argument constructor).  Sharding is an
+// *index* organization, not a storage one: the slot vector stays global and
+// row indices are identical for any shard count, so query results are
+// byte-identical whether a table has 1 shard or 8 (the sharded-vs-flat
+// consistency suite pins this).  What changes is that every index is split
+// into per-shard runs: an exact equality probe on the partition column
+// routes to a single shard (one small multimap probe), while every other
+// path fans out across all shards and merges the per-shard runs back into
+// storage order at a single merge point.  Fan-out legs and chunked full
+// scans run on the attached WorkerPool when one is set, serially otherwise —
+// with identical results either way.  See DESIGN.md "Sharding & concurrency
+// model".
 #ifndef MOIRA_SRC_DB_TABLE_H_
 #define MOIRA_SRC_DB_TABLE_H_
 
@@ -18,9 +32,12 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/stat_counter.h"
 #include "src/db/value.h"
 
 namespace moira {
+
+class WorkerPool;
 
 struct ColumnDef {
   std::string name;
@@ -46,16 +63,35 @@ struct Condition {
     kGt,          // cell >  operand
     kGe,          // cell >= operand
     kBetween,     // operand <= cell <= operand2 (closed range)
+    kNe,          // cell != operand
+    kAnyBits,     // (cell & operand) != 0, ints only (flag-mask membership)
+    kIn,          // cell is one of operand_set (which must be sorted)
   };
+  Condition() = default;
+  Condition(int column_in, Op op_in, Value operand_in, const Value& operand2_in = Value())
+      : column(column_in),
+        op(op_in),
+        operand(std::move(operand_in)),
+        operand2(operand2_in) {}
+
   int column = 0;
   Op op = Op::kEq;
   Value operand;
   Value operand2{};  // kBetween only: the upper bound
+  // kIn only: the membership set.  Must be sorted ascending and deduplicated
+  // (Selector::WhereIn enforces this); evaluation binary-searches it.
+  std::vector<Value> operand_set;
 };
 
 // Mutation counters, surfaced as the TBLSTATS relation (paper section 6),
 // plus the access-path counters the query executor maintains so load can be
 // reasoned about per table (index-backed vs. scanning execution).
+//
+// Mutation counters are plain integers: all writes are serialized on the
+// journal path (DESIGN.md locking contract).  Access-path counters are
+// bumped on const read paths that may execute concurrently (parallel shard
+// fan-out, the server's read worker pool), so they are relaxed atomics that
+// read like plain int64_t fields.
 struct TableStats {
   int64_t appends = 0;
   int64_t updates = 0;
@@ -63,21 +99,27 @@ struct TableStats {
   int64_t modtime = 0;  // unix time of last append/update/delete
 
   // Access paths taken by Match (one increment per Match call).
-  int64_t index_hits = 0;    // answered by an equality-index probe
-  int64_t prefix_scans = 0;  // answered by a literal-prefix index range
-  int64_t range_scans = 0;   // answered by an ordered-index range scan
-  int64_t full_scans = 0;    // had to visit every live row
+  StatCounter index_hits = 0;    // answered by an equality-index probe
+  StatCounter prefix_scans = 0;  // answered by a literal-prefix index range
+  StatCounter range_scans = 0;   // answered by an ordered-index range scan
+  StatCounter full_scans = 0;    // had to visit every live row
+  StatCounter set_probes = 0;    // answered by a kIn union of index probes
+
+  // Shard routing taken by Match on a sharded table (both zero when the
+  // table has a single shard).
+  StatCounter single_shard_probes = 0;  // routed to exactly one shard
+  StatCounter fanout_scans = 0;         // had to visit every shard
 
   // Work done vs. work returned across all Match calls.
-  int64_t rows_examined = 0;  // rows fetched and tested against predicates
-  int64_t rows_emitted = 0;   // rows that satisfied every predicate
+  StatCounter rows_examined = 0;  // rows fetched and tested against predicates
+  StatCounter rows_emitted = 0;   // rows that satisfied every predicate
 
   // Join-executor counters, bumped by Selector (src/db/exec.cc) rather than
   // by Match itself.
-  int64_t join_reorders = 0;     // pipelines rooted here whose probe order
-                                 // was rewritten by the cost-based planner
-  int64_t probe_cache_hits = 0;  // join probes of this table answered from
-                                 // the batched distinct-key cache
+  StatCounter join_reorders = 0;     // pipelines rooted here whose probe order
+                                     // was rewritten by the cost-based planner
+  StatCounter probe_cache_hits = 0;  // join probes of this table answered from
+                                     // the batched distinct-key cache
 };
 
 // Public description of one index, consumed by the planner (src/db/exec.cc)
@@ -85,7 +127,13 @@ struct TableStats {
 struct IndexDesc {
   int column = 0;
   bool folded = false;       // keys are stored case-folded (supports NoCase ops)
-  size_t distinct_keys = 0;  // live cardinality; higher means more selective
+  size_t distinct_keys = 0;  // live cardinality; higher means more selective.
+                             // Summed over shards, so a key that appears in k
+                             // shards counts k times — exact for a single
+                             // shard and for the partition column, an
+                             // overestimate otherwise (documented planner
+                             // bias toward such indexes; acceptable because
+                             // every candidate is biased the same way).
   size_t entries = 0;        // live rows indexed (== Table::LiveCount())
 };
 
@@ -93,7 +141,15 @@ struct AccessPath;  // planner output; defined in src/db/exec.h
 
 class Table {
  public:
+  // A flat (single-shard) table; the historical constructor.
   explicit Table(TableSchema schema);
+
+  // A hash-partitioned table: rows are assigned to one of `shards` shards by
+  // a deterministic hash of `partition_column` (which must exist in the
+  // schema).  `shards` == 1 is exactly the flat table.
+  Table(TableSchema schema, std::string_view partition_column, size_t shards);
+
+  virtual ~Table() = default;
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
@@ -143,7 +199,9 @@ class Table {
   }
 
   // Returns the indices of all live rows satisfying every condition, using
-  // the cheapest access path the planner finds (see src/db/exec.h).
+  // the cheapest access path the planner finds (see src/db/exec.h).  The
+  // result is always in ascending row-index (storage) order, independent of
+  // the plan and of the shard count.
   std::vector<size_t> Match(const std::vector<Condition>& conditions) const;
 
   // Executes `conditions` along a caller-supplied plan.  The Selector join
@@ -172,6 +230,26 @@ class Table {
 
   const TableStats& stats() const { return stats_; }
 
+  // --- sharding introspection ---
+  size_t shard_count() const { return shard_count_; }
+  // Column position rows are partitioned on, or -1 for a flat table.
+  int partition_column() const { return partition_col_; }
+  // The shard a key on the partition column routes to.
+  size_t ShardOfKey(const Value& key) const;
+  // The shard a live row was assigned to.
+  size_t ShardOfRow(size_t row_index) const { return slots_[row_index].shard; }
+  // Live rows per shard (size == shard_count()).
+  std::vector<int64_t> ShardLiveCounts() const;
+  // rows_examined broken down by the shard each examined row lives in
+  // (size == shard_count()).  This is the per-shard work ledger the
+  // sharded-vs-flat bench turns into a critical-path speedup model.
+  std::vector<int64_t> ShardRowsExamined() const;
+
+  // Attaches a worker pool for parallel fan-out scans; nullptr (the default)
+  // keeps execution serial.  Results are identical either way.  Not owned.
+  void set_worker_pool(WorkerPool* pool) { pool_ = pool; }
+  WorkerPool* worker_pool() const { return pool_; }
+
   // The engine stamps stats modtimes through this hook; set by Database.
   void set_time_source(const std::function<int64_t()>& now) { now_ = now; }
 
@@ -179,19 +257,29 @@ class Table {
   struct Slot {
     Row row;
     bool live = true;
+    uint32_t shard = 0;
+  };
+
+  // One shard's run of an index: an ordered multimap from key to row index.
+  struct IndexShard {
+    size_t distinct_keys = 0;
+    std::multimap<Value, size_t> entries;
   };
 
   struct Index {
     int column;
     bool folded = false;
-    size_t distinct_keys = 0;
-    std::multimap<Value, size_t> entries;
+    std::vector<IndexShard> shards;  // size == shard_count_
   };
 
   void Touch(int64_t* counter);
   void BuildIndex(int column, bool folded);
   void IndexInsert(size_t row_index);
   void IndexErase(size_t row_index);
+  uint32_t ShardOfRowValue(const Row& row) const;
+  // Re-derives a row's shard after a cell write (the partition cell may have
+  // changed); must run between IndexErase and IndexInsert.
+  void ReshardRow(size_t row_index);
   // Executes a plan produced by PlanAccess (src/db/exec.cc), bumping the
   // access-path counters.
   std::vector<size_t> ExecutePath(const AccessPath& path,
@@ -201,10 +289,27 @@ class Table {
   std::vector<Slot> slots_;
   std::vector<Index> indexes_;
   size_t live_count_ = 0;
+  size_t shard_count_ = 1;
+  int partition_col_ = -1;
+  std::vector<int64_t> shard_live_;  // live rows per shard
   // Mutation counters are bumped by writers; the access-path counters are
-  // bumped by const reads, hence mutable.
+  // bumped by const reads, hence mutable (and atomic — see TableStats).
   mutable TableStats stats_;
+  mutable std::vector<StatCounter> shard_examined_;  // size == shard_count_
+  WorkerPool* pool_ = nullptr;
   std::function<int64_t()> now_;
+};
+
+// A hash-partitioned table.  Behaviour lives entirely in Table (the shard
+// machinery activates whenever shard_count > 1); this type exists so schema
+// code and dumps can say what a relation *is* — `new ShardedTable(schema,
+// "users_id", 4)` reads as the paper's hot-relation partitioning decision,
+// and Database::CreateShardedTable returns one.
+class ShardedTable : public Table {
+ public:
+  ShardedTable(TableSchema schema, std::string_view partition_column,
+               size_t shards)
+      : Table(std::move(schema), partition_column, shards) {}
 };
 
 }  // namespace moira

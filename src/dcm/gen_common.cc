@@ -50,8 +50,6 @@ std::vector<std::string> ExpandListToLogins(MoiraContext& mc, int64_t list_id,
 std::map<int64_t, std::vector<GroupMembership>> BuildUserGroupMap(MoiraContext& mc) {
   std::map<int64_t, std::vector<GroupMembership>> out;
   Table* lists = mc.list();
-  int active_col = lists->ColumnIndex("active");
-  int group_col = lists->ColumnIndex("grouplist");
   int id_col = lists->ColumnIndex("list_id");
   int gid_col = lists->ColumnIndex("gid");
   int name_col = lists->ColumnIndex("name");
@@ -65,9 +63,8 @@ std::map<int64_t, std::vector<GroupMembership>> BuildUserGroupMap(MoiraContext& 
         users->Cell(rows[0], users_id_col).AsInt();
   });
   From(lists)
-      .Filter([&](const Table& t, size_t row) {
-        return t.Cell(row, active_col).AsInt() != 0 && t.Cell(row, group_col).AsInt() != 0;
-      })
+      .WhereNe("active", Value(int64_t{0}))
+      .WhereNe("grouplist", Value(int64_t{0}))
       .Emit([&](const std::vector<size_t>& rows) {
         size_t row = rows[0];
         GroupMembership membership{lists->Cell(row, name_col).AsString(),

@@ -82,11 +82,8 @@ std::string BuildClusterDb(MoiraContext& mc) {
 std::string BuildFilsysDb(MoiraContext& mc) {
   std::string out;
   Table* filesys = mc.filesys();
-  int type_col = filesys->ColumnIndex("type");
   From(filesys)
-      .Filter([&](const Table& t, size_t row) {
-        return t.Cell(row, type_col).AsString() != "ERR";
-      })
+      .WhereNe("type", Value("ERR"))
       .Emit([&](const std::vector<size_t>& rows) {
         size_t row = rows[0];
         const std::string& type = MoiraContext::StrCell(filesys, row, "type");
@@ -104,12 +101,9 @@ std::string BuildFilsysDb(MoiraContext& mc) {
 void BuildGroupFiles(MoiraContext& mc, std::string* group_db, std::string* gid_db,
                      std::string* grplist_db) {
   Table* lists = mc.list();
-  int active_col = lists->ColumnIndex("active");
-  int group_col = lists->ColumnIndex("grouplist");
   From(lists)
-      .Filter([&](const Table& t, size_t row) {
-        return t.Cell(row, active_col).AsInt() != 0 && t.Cell(row, group_col).AsInt() != 0;
-      })
+      .WhereNe("active", Value(int64_t{0}))
+      .WhereNe("grouplist", Value(int64_t{0}))
       .Emit([&](const std::vector<size_t>& rows) {
         const std::string& name = MoiraContext::StrCell(lists, rows[0], "name");
         int64_t gid = MoiraContext::IntCell(lists, rows[0], "gid");
@@ -119,12 +113,9 @@ void BuildGroupFiles(MoiraContext& mc, std::string* group_db, std::string* gid_d
   // grplist.db: one entry per active user listing (groupname, gid) pairs.
   std::map<int64_t, std::vector<GroupMembership>> user_groups = BuildUserGroupMap(mc);
   Table* users = mc.users();
-  int status_col = users->ColumnIndex("status");
   int users_id_col = users->ColumnIndex("users_id");
   From(users)
-      .Filter([&](const Table& t, size_t row) {
-        return t.Cell(row, status_col).AsInt() == kUserActive;
-      })
+      .WhereEq("status", Value(int64_t{kUserActive}))
       .Emit([&](const std::vector<size_t>& rows) {
     size_t row = rows[0];
     const std::string& login = MoiraContext::StrCell(users, row, "login");
@@ -151,11 +142,8 @@ void BuildGroupFiles(MoiraContext& mc, std::string* group_db, std::string* gid_d
 void BuildUserFiles(MoiraContext& mc, std::string* passwd_db, std::string* uid_db,
                     std::string* pobox_db) {
   Table* users = mc.users();
-  int status_col = users->ColumnIndex("status");
   From(users)
-      .Filter([&](const Table& t, size_t row) {
-        return t.Cell(row, status_col).AsInt() == kUserActive;
-      })
+      .WhereEq("status", Value(int64_t{kUserActive}))
       .Emit([&](const std::vector<size_t>& rows) {
         size_t row = rows[0];
         const std::string& login = MoiraContext::StrCell(users, row, "login");

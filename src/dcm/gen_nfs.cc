@@ -32,7 +32,6 @@ std::string BuildCredentials(MoiraContext& mc,
                              int64_t list_id) {
   std::string out;
   Table* users = mc.users();
-  int status_col = users->ColumnIndex("status");
   int users_id_col = users->ColumnIndex("users_id");
   std::map<std::string, bool> allowed;
   bool restrict = list_id >= 0;
@@ -42,9 +41,7 @@ std::string BuildCredentials(MoiraContext& mc,
     }
   }
   From(users)
-      .Filter([&](const Table& t, size_t row) {
-        return t.Cell(row, status_col).AsInt() == kUserActive;
-      })
+      .WhereEq("status", Value(int64_t{kUserActive}))
       .Emit([&](const std::vector<size_t>& rows) {
         size_t row = rows[0];
         const std::string& login = MoiraContext::StrCell(users, row, "login");
@@ -80,12 +77,9 @@ int32_t GenerateNfs(MoiraContext& mc, GeneratorResult* out) {
   std::map<int64_t, std::string> quotas_by_phys;
 
   int fs_phys_col = filesys->ColumnIndex("phys_id");
-  int fs_create_col = filesys->ColumnIndex("createflg");
   From(filesys)
       .WhereEq("type", Value("NFS"))
-      .Filter([&](const Table& t, size_t row) {
-        return t.Cell(row, fs_create_col).AsInt() != 0;
-      })
+      .WhereNe("createflg", Value(int64_t{0}))
       .Emit([&](const std::vector<size_t>& rows) {
         size_t row = rows[0];
         // directory name, owning uid, owning gid, locker type.

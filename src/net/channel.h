@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace moira {
 
@@ -34,6 +35,26 @@ class MessageHandler {
   virtual ~MessageHandler() = default;
 
   virtual std::string OnMessage(uint64_t conn_id, std::string_view payload) = 0;
+
+  // One request collected by a batching transport round.
+  struct BatchItem {
+    uint64_t conn_id = 0;
+    std::string payload;
+    std::string reply;  // filled in by OnMessageBatch
+  };
+
+  // Processes one transport round's worth of requests.  The default forwards
+  // each item to OnMessage in arrival order; handlers that can execute
+  // read-only requests concurrently override this (MoiraServer).  The filled
+  // replies must be indistinguishable from the sequential OnMessage loop —
+  // the transport writes them back in batch order, so per-connection reply
+  // order is preserved regardless of execution order.
+  virtual void OnMessageBatch(std::vector<BatchItem>* batch) {
+    for (BatchItem& item : *batch) {
+      item.reply = OnMessage(item.conn_id, item.payload);
+    }
+  }
+
   virtual void OnConnect(uint64_t conn_id, std::string peer) {
     (void)conn_id;
     (void)peer;

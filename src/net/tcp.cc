@@ -176,6 +176,17 @@ int TcpServer::Poll(int timeout_ms) {
       ++handled;
     }
   }
+  // Drain every readable connection first, collecting complete frames into
+  // one batch, then dispatch the whole round at once: OnMessageBatch lets the
+  // handler execute independent read-only requests concurrently.  Replies are
+  // written back in batch order, so each connection sees its replies in the
+  // order it sent the requests.
+  std::vector<MessageHandler::BatchItem> batch;
+  struct Drained {
+    uint64_t conn_id;
+    bool close_after;
+  };
+  std::vector<Drained> drained;
   for (size_t i = 1; i < fds.size(); ++i) {
     uint64_t conn_id = ids[i];
     auto it = connections_.find(conn_id);
@@ -187,6 +198,7 @@ int TcpServer::Poll(int timeout_ms) {
       ++handled;
       continue;
     }
+    bool close_after = false;
     if ((fds[i].revents & POLLIN) != 0) {
       char buf[16384];
       bool closed = false;
@@ -206,17 +218,26 @@ int TcpServer::Poll(int timeout_ms) {
         break;
       }
       while (std::optional<std::string> payload = it->second.reader.Next()) {
-        it->second.outbound += handler_->OnMessage(conn_id, *payload);
+        batch.push_back(MessageHandler::BatchItem{conn_id, std::move(*payload), {}});
       }
-      if (it->second.reader.corrupt() || closed) {
-        FlushWrites(conn_id);
-        CloseConnection(conn_id);
-        ++handled;
-        continue;
-      }
+      close_after = it->second.reader.corrupt() || closed;
       ++handled;
     }
-    FlushWrites(conn_id);
+    drained.push_back(Drained{conn_id, close_after});
+  }
+  if (!batch.empty()) {
+    handler_->OnMessageBatch(&batch);
+    for (MessageHandler::BatchItem& item : batch) {
+      if (auto it = connections_.find(item.conn_id); it != connections_.end()) {
+        it->second.outbound += item.reply;
+      }
+    }
+  }
+  for (const Drained& d : drained) {
+    FlushWrites(d.conn_id);
+    if (d.close_after) {
+      CloseConnection(d.conn_id);
+    }
   }
   return handled;
 }

@@ -12,9 +12,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <string>
 
 #include "src/common/hash_table.h"
+#include "src/common/stat_counter.h"
+#include "src/common/worker_pool.h"
 #include "src/core/context.h"
 #include "src/core/registry.h"
 #include "src/krb/kerberos.h"
@@ -33,6 +36,11 @@ struct ServerOptions {
   // synthetic work iterations; 0 for the persistent-backend design.  Used by
   // bench_connection_startup to model athenareg.
   int simulated_backend_spawn_cost = 0;
+  // When set, OnMessageBatch executes runs of independent read-only queries
+  // on this pool (see DESIGN.md "Sharding & concurrency model"); mutations
+  // and special requests stay serialized on the transport thread.  Null keeps
+  // every request on the sequential path.
+  WorkerPool* read_pool = nullptr;
 };
 
 class MoiraServer final : public MessageHandler {
@@ -41,6 +49,12 @@ class MoiraServer final : public MessageHandler {
 
   // MessageHandler:
   std::string OnMessage(uint64_t conn_id, std::string_view payload) override;
+  // Partitions the round into maximal runs of registry-resolvable retrieve
+  // queries, executed concurrently on options_.read_pool under a shared lock,
+  // with everything else (mutations, auth, replication, server-state queries)
+  // acting as a barrier executed serially under an exclusive lock.  Without a
+  // pool this is exactly the sequential OnMessage loop.
+  void OnMessageBatch(std::vector<BatchItem>* batch) override;
   void OnConnect(uint64_t conn_id, std::string peer) override;
   void OnDisconnect(uint64_t conn_id) override;
 
@@ -66,12 +80,19 @@ class MoiraServer final : public MessageHandler {
   const std::map<std::string, ReplicaInfo>& replicas() const { return replicas_; }
 
   struct Stats {
-    uint64_t requests = 0;
-    uint64_t queries = 0;
+    // requests/queries are bumped from pool workers during parallel read
+    // dispatch, hence atomic; the remaining counters are only touched on the
+    // serialized path.
+    StatCounter requests = 0;
+    StatCounter queries = 0;
     uint64_t access_checks = 0;
     uint64_t access_cache_hits = 0;
     uint64_t auth_successes = 0;
     uint64_t auth_failures = 0;
+    // Parallel read dispatch: groups handed to the pool, and the read-only
+    // queries they contained.
+    uint64_t parallel_read_batches = 0;
+    uint64_t parallel_read_queries = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -106,6 +127,10 @@ class MoiraServer final : public MessageHandler {
     MrHashTable<int32_t> access_cache;
   };
 
+  // True if the payload is a well-formed kQuery request for a registry
+  // retrieve query: safe to execute concurrently with other such requests.
+  static bool IsParallelSafeRead(std::string_view payload);
+
   std::string HandleRequest(ConnState& conn, const MrRequest& request);
   std::string HandleQuery(ConnState& conn, const MrRequest& request);
   std::string HandleAccess(ConnState& conn, const MrRequest& request);
@@ -126,6 +151,12 @@ class MoiraServer final : public MessageHandler {
   std::map<std::string, ReplicaInfo> replicas_;
   uint64_t next_client_number_ = 1;
   uint64_t mutation_epoch_ = 1;  // bumped on every successful mutation
+  // Reader/writer gate for batch dispatch: pool workers hold it shared while
+  // executing read-only queries; the serialized path (mutations, auth,
+  // replication) holds it exclusive.  Group barriers already prevent overlap,
+  // so this is uncontended in practice, but it makes the invariant checkable
+  // (TSan) rather than implicit.
+  std::shared_mutex db_mu_;
   Stats stats_;
 };
 

@@ -659,6 +659,16 @@ TEST_F(DbTest, RandomizedIndexConsistency) {
           case Condition::Op::kBetween:
             ok = !(cell < c.operand) && !(c.operand2 < cell);
             break;
+          case Condition::Op::kNe:
+            ok = cell != c.operand;
+            break;
+          case Condition::Op::kAnyBits:
+            ok = cell.is_int() && c.operand.is_int() &&
+                 (cell.AsInt() & c.operand.AsInt()) != 0;
+            break;
+          case Condition::Op::kIn:
+            ok = std::binary_search(c.operand_set.begin(), c.operand_set.end(), cell);
+            break;
         }
         if (!ok) break;
       }

@@ -1,0 +1,446 @@
+// Sharded-vs-flat consistency: the same workload against the same schema at
+// different shard counts must produce byte-identical results (sharding is an
+// index organization, not a semantic change), routing counters must reflect
+// how probes were actually answered, and parallel execution — fan-out shard
+// scans and the server's parallel read batches — must match serial execution
+// exactly.  The *Parallel* tests here are the TSan smoke subset
+// (scripts/check.sh --tsan-smoke).
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/comerr/moira_errors.h"
+#include "src/common/clock.h"
+#include "src/common/worker_pool.h"
+#include "src/core/context.h"
+#include "src/core/registry.h"
+#include "src/core/schema.h"
+#include "src/db/exec.h"
+#include "src/krb/kerberos.h"
+#include "src/protocol/wire.h"
+#include "src/server/server.h"
+
+namespace moira {
+namespace {
+
+// --- table-level consistency --------------------------------------------
+
+// One table partitioned over "id" at a given shard count, plus the mirror of
+// live row indices the randomized workload mutates through.
+struct ShardVariant {
+  SimulatedClock clock{568000000};
+  Database db{&clock};
+  Table* t = nullptr;
+
+  explicit ShardVariant(size_t shards) {
+    TableSchema schema{"t",
+                       {{"id", ColumnType::kInt},
+                        {"name", ColumnType::kString},
+                        {"grp", ColumnType::kInt},
+                        {"flags", ColumnType::kInt}}};
+    t = db.CreateShardedTable(std::move(schema), "id", shards);
+    t->CreateIndex("id");
+    t->CreateIndex("name");
+    t->CreateIndex("grp");
+  }
+};
+
+TEST(ShardConsistencyTest, RandomizedWorkloadIsShardCountInvariant) {
+  constexpr size_t kShardCounts[] = {1, 2, 4, 8};
+  std::vector<std::unique_ptr<ShardVariant>> variants;
+  for (size_t shards : kShardCounts) {
+    variants.push_back(std::make_unique<ShardVariant>(shards));
+  }
+  std::mt19937 rng(42);
+  std::vector<size_t> live;  // identical storage indices across variants
+  int64_t next_id = 1000;
+  auto everywhere = [&](auto&& fn) {
+    for (auto& v : variants) {
+      fn(*v);
+    }
+  };
+  for (int step = 0; step < 600; ++step) {
+    int op = static_cast<int>(rng() % 10);
+    if (op < 4 || live.empty()) {
+      int64_t id = next_id++;
+      std::string name = "n" + std::to_string(rng() % 40);
+      int64_t grp = static_cast<int64_t>(rng() % 8);
+      int64_t flags = static_cast<int64_t>(rng() % 16);
+      size_t row = 0;
+      everywhere([&](ShardVariant& v) { row = v.t->Append({id, name, grp, flags}); });
+      live.push_back(row);
+    } else if (op < 6) {
+      // Update a non-partition column.
+      size_t row = live[rng() % live.size()];
+      int64_t grp = static_cast<int64_t>(rng() % 8);
+      everywhere([&](ShardVariant& v) {
+        v.t->Update(row, v.t->ColumnIndex("grp"), Value(grp));
+      });
+    } else if (op < 8) {
+      // Update the partition column: the row must migrate shards and remain
+      // findable under its new key.
+      size_t row = live[rng() % live.size()];
+      int64_t id = next_id++;
+      everywhere([&](ShardVariant& v) {
+        v.t->Update(row, v.t->ColumnIndex("id"), Value(id));
+      });
+    } else {
+      size_t pick = rng() % live.size();
+      size_t row = live[pick];
+      live.erase(live.begin() + pick);
+      everywhere([&](ShardVariant& v) { v.t->Delete(row); });
+    }
+
+    if (step % 20 != 0) {
+      continue;
+    }
+    // Query battery: every access-path shape, compared row-for-row against
+    // the flat (1-shard) variant.
+    int64_t probe_id = next_id - 1 - static_cast<int64_t>(rng() % 50);
+    // Named (not temporary) to dodge a GCC 12 -Wmaybe-uninitialized false
+    // positive on moved-from Value variants.
+    Value probe_name("n" + std::to_string(rng() % 40));
+    int64_t probe_grp = static_cast<int64_t>(rng() % 8);
+    std::vector<Value> in_set;
+    for (int k = 0; k < 5; ++k) {
+      in_set.emplace_back(static_cast<int64_t>(rng() % 8));
+    }
+    auto battery = [&](const Table* t) {
+      std::vector<std::vector<size_t>> out;
+      out.push_back(From(t).WhereEq("id", Value(probe_id)).Rows());
+      out.push_back(From(t).WhereEq("name", probe_name).Rows());
+      out.push_back(From(t).WhereEq("grp", Value(probe_grp)).Rows());
+      out.push_back(
+          From(t).WhereBetween("id", Value(probe_id - 100), Value(probe_id)).Rows());
+      out.push_back(From(t).WhereIn("grp", in_set).Rows());
+      out.push_back(From(t).WhereNe("grp", Value(probe_grp)).Rows());
+      out.push_back(From(t).WhereAnyBits("flags", 0x5).Rows());
+      out.push_back(From(t).WhereWild("name", "n1*").Rows());
+      out.push_back(From(t).Rows());
+      return out;
+    };
+    std::vector<std::vector<size_t>> flat = battery(variants[0]->t);
+    for (size_t vi = 1; vi < variants.size(); ++vi) {
+      EXPECT_EQ(flat, battery(variants[vi]->t))
+          << "shards=" << kShardCounts[vi] << " step=" << step;
+    }
+  }
+  // Shard bookkeeping: per-shard live counts add up to the mirror.
+  for (auto& v : variants) {
+    std::vector<int64_t> counts = v->t->ShardLiveCounts();
+    ASSERT_EQ(v->t->shard_count(), counts.size());
+    int64_t total = 0;
+    for (int64_t c : counts) {
+      total += c;
+    }
+    EXPECT_EQ(static_cast<int64_t>(live.size()), total);
+  }
+}
+
+TEST(ShardConsistencyTest, RoutingCountersReflectProbeShape) {
+  ShardVariant v(4);
+  for (int64_t i = 0; i < 64; ++i) {
+    v.t->Append({i, "name" + std::to_string(i % 4), i % 8, int64_t{0}});
+  }
+  const TableStats& stats = v.t->stats();
+  int64_t single_before = stats.single_shard_probes;
+  int64_t fanout_before = stats.fanout_scans;
+  int64_t set_before = stats.set_probes;
+
+  // Equality on the partition key routes to exactly one shard.
+  EXPECT_EQ(1u, From(v.t).WhereEq("id", Value(int64_t{17})).Rows().size());
+  EXPECT_EQ(single_before + 1, stats.single_shard_probes);
+  EXPECT_EQ(fanout_before, stats.fanout_scans);
+
+  // Equality on any other indexed column fans across every shard.
+  EXPECT_EQ(16u, From(v.t).WhereEq("name", Value("name2")).Rows().size());
+  EXPECT_EQ(single_before + 1, stats.single_shard_probes);
+  EXPECT_EQ(fanout_before + 1, stats.fanout_scans);
+
+  // Membership probes are counted as set probes.
+  From(v.t).WhereIn("grp", {Value(int64_t{1}), Value(int64_t{3})}).Rows();
+  EXPECT_GT(stats.set_probes, set_before);
+
+  // The per-shard examined ledger only charges the probed shard for a
+  // partition-key probe.
+  std::vector<int64_t> before = v.t->ShardRowsExamined();
+  From(v.t).WhereEq("id", Value(int64_t{23})).Rows();
+  std::vector<int64_t> after = v.t->ShardRowsExamined();
+  int shards_charged = 0;
+  for (size_t s = 0; s < after.size(); ++s) {
+    if (after[s] != before[s]) {
+      ++shards_charged;
+    }
+  }
+  EXPECT_EQ(1, shards_charged);
+}
+
+TEST(ShardConsistencyTest, ParallelFanOutMatchesSerial) {
+  ShardVariant serial(4);
+  ShardVariant parallel(4);
+  WorkerPool pool(3);
+  parallel.db.AttachWorkerPool(&pool);
+  std::mt19937 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    int64_t id = static_cast<int64_t>(rng() % 100000);
+    std::string name = "n" + std::to_string(rng() % 100);
+    Row row{id, name, static_cast<int64_t>(rng() % 10),
+            static_cast<int64_t>(rng() % 4)};
+    serial.t->Append(row);
+    parallel.t->Append(std::move(row));
+  }
+  // Fan-out shapes: non-partition eq, range window, full scan with residual.
+  EXPECT_EQ(From(serial.t).WhereEq("name", Value("n42")).Rows(),
+            From(parallel.t).WhereEq("name", Value("n42")).Rows());
+  EXPECT_EQ(From(serial.t)
+                .WhereBetween("id", Value(int64_t{1000}), Value(int64_t{5000}))
+                .Rows(),
+            From(parallel.t)
+                .WhereBetween("id", Value(int64_t{1000}), Value(int64_t{5000}))
+                .Rows());
+  EXPECT_EQ(From(serial.t).WhereNe("grp", Value(int64_t{3})).Count(),
+            From(parallel.t).WhereNe("grp", Value(int64_t{3})).Count());
+
+  // Concurrent readers on the same sharded table: every reader must see the
+  // same answer (this is the read-read race the atomic counters exist for).
+  std::vector<size_t> expect =
+      From(parallel.t).WhereEq("name", Value("n7")).Rows();
+  WorkerPool readers(4);
+  std::vector<std::vector<size_t>> got(16);
+  readers.ParallelFor(got.size(), [&](size_t i) {
+    got[i] = From(parallel.t).WhereEq("name", Value("n7")).Rows();
+  });
+  for (const std::vector<size_t>& g : got) {
+    EXPECT_EQ(expect, g);
+  }
+}
+
+// --- query-level consistency --------------------------------------------
+
+// A full Moira stack at a given shard layout.
+struct MoiraVariant {
+  SimulatedClock clock{568000000};
+  std::unique_ptr<Database> db;
+  std::unique_ptr<MoiraContext> mc;
+
+  explicit MoiraVariant(const SchemaOptions& options) {
+    db = std::make_unique<Database>(&clock);
+    CreateMoiraSchema(db.get(), options);
+    SeedMoiraDefaults(db.get());
+    mc = std::make_unique<MoiraContext>(db.get());
+  }
+
+  // Runs one registry query as root and serializes code + tuples.
+  std::string Run(const std::string& query, const std::vector<std::string>& args) {
+    std::string out = query + " code=";
+    std::string tuples;
+    int32_t code = QueryRegistry::Instance().Execute(
+        *mc, "root", "shardtest", query, args, [&](Tuple tuple) {
+          tuples += " |";
+          for (const std::string& f : tuple) {
+            tuples += ' ';
+            tuples += f;
+          }
+        });
+    out += std::to_string(code);
+    out += tuples;
+    out += '\n';
+    return out;
+  }
+};
+
+TEST(ShardConsistencyTest, RegistryWorkloadIsShardCountInvariant) {
+  // The op list is generated once, then replayed against every layout.
+  std::mt19937 rng(1988);
+  std::vector<std::pair<std::string, std::vector<std::string>>> ops;
+  int users = 0;
+  int lists = 0;
+  for (int step = 0; step < 250; ++step) {
+    switch (rng() % 8) {
+      case 0:
+        ops.emplace_back("add_user",
+                         std::vector<std::string>{
+                             "u" + std::to_string(users), std::to_string(7000 + users),
+                             "/bin/csh", "Last", "First", "M", "1",
+                             "id" + std::to_string(users), "G"});
+        ++users;
+        break;
+      case 1:
+        ops.emplace_back("add_list", std::vector<std::string>{
+                                         "l" + std::to_string(lists), "1", "0", "0", "1",
+                                         "1", "-1", "NONE", "NONE", "d"});
+        ++lists;
+        break;
+      case 2:
+        if (users > 0 && lists > 0) {
+          ops.emplace_back("add_member_to_list",
+                           std::vector<std::string>{
+                               "l" + std::to_string(rng() % lists), "USER",
+                               "u" + std::to_string(rng() % users)});
+        }
+        break;
+      case 3:
+        if (lists > 1) {
+          ops.emplace_back("add_member_to_list",
+                           std::vector<std::string>{
+                               "l" + std::to_string(rng() % lists), "LIST",
+                               "l" + std::to_string(rng() % lists)});
+        }
+        break;
+      case 4:
+        if (lists > 0) {
+          ops.emplace_back("get_members_of_list",
+                           std::vector<std::string>{"l" + std::to_string(rng() % lists)});
+        }
+        break;
+      case 5:
+        if (users > 0) {
+          ops.emplace_back("get_lists_of_member",
+                           std::vector<std::string>{
+                               rng() % 2 == 0 ? "USER" : "RUSER",
+                               "u" + std::to_string(rng() % users)});
+        }
+        break;
+      case 6:
+        ops.emplace_back("get_user_by_login", std::vector<std::string>{"u*"});
+        break;
+      default:
+        if (users > 0) {
+          ops.emplace_back("update_user_shell",
+                           std::vector<std::string>{
+                               "u" + std::to_string(rng() % users), "/bin/sh"});
+        }
+        break;
+    }
+  }
+
+  auto transcript = [&](const SchemaOptions& options) {
+    MoiraVariant v(options);
+    std::string out;
+    for (const auto& [query, args] : ops) {
+      out += v.Run(query, args);
+    }
+    return out;
+  };
+  std::string flat = transcript(SchemaOptions{1, 1});
+  // The workload must actually exercise the database, not just fail argument
+  // checks identically.
+  EXPECT_NE(std::string::npos, flat.find("add_user code=0"));
+  EXPECT_NE(std::string::npos, flat.find("get_members_of_list code=0"));
+  EXPECT_EQ(flat, transcript(SchemaOptions{4, 4}));
+  EXPECT_EQ(flat, transcript(SchemaOptions{8, 8}));
+  EXPECT_EQ(flat, transcript(SchemaOptions{3, 5}));
+}
+
+// --- server parallel read dispatch --------------------------------------
+
+// Extracts the payload OnMessage expects (frame header stripped).
+std::string Payload(const MrRequest& request) {
+  FrameReader reader;
+  reader.Feed(EncodeRequest(request));
+  std::optional<std::string> payload = reader.Next();
+  EXPECT_TRUE(payload.has_value());
+  return payload.value_or(std::string());
+}
+
+struct ServerVariant {
+  SimulatedClock clock{568000000};
+  std::unique_ptr<Database> db;
+  std::unique_ptr<MoiraContext> mc;
+  std::unique_ptr<KerberosRealm> realm;
+  std::unique_ptr<MoiraServer> server;
+
+  explicit ServerVariant(WorkerPool* read_pool) {
+    db = std::make_unique<Database>(&clock);
+    CreateMoiraSchema(db.get());
+    SeedMoiraDefaults(db.get());
+    mc = std::make_unique<MoiraContext>(db.get());
+    realm = std::make_unique<KerberosRealm>(&clock);
+    ServerOptions options;
+    options.read_pool = read_pool;
+    server = std::make_unique<MoiraServer>(mc.get(), realm.get(), options);
+    // Public, visible lists: get_list_info on them is world_ok, so the
+    // batch's unauthenticated retrieves return real tuples.
+    for (int i = 0; i < 8; ++i) {
+      QueryRegistry::Instance().Execute(
+          *mc, "root", "seed", "add_list",
+          {"pub" + std::to_string(i), "1", "1", "0", "0", "0", "-1", "NONE", "NONE",
+           "list " + std::to_string(i)},
+          [](Tuple) {});
+    }
+    for (uint64_t conn = 1; conn <= 4; ++conn) {
+      server->OnConnect(conn, "test:" + std::to_string(conn));
+    }
+  }
+};
+
+TEST(ShardConsistencyTest, ServerBatchParallelRepliesMatchSerial) {
+  WorkerPool pool(3);
+  ServerVariant with_pool(&pool);
+  ServerVariant without_pool(nullptr);
+
+  // A round mixing parallel-safe retrieves with barrier requests: an
+  // unauthorized mutation mid-batch and a server-state query near the end.
+  std::vector<MessageHandler::BatchItem> batch;
+  auto add = [&](uint64_t conn, MrRequest request) {
+    batch.push_back(
+        MessageHandler::BatchItem{conn, Payload(request), std::string()});
+  };
+  for (int i = 0; i < 5; ++i) {
+    add(1 + static_cast<uint64_t>(i) % 4,
+        MrRequest{kMrProtocolVersion, MajorRequest::kQuery,
+                  {"get_list_info", "pub" + std::to_string(i)}});
+  }
+  add(2, MrRequest{kMrProtocolVersion, MajorRequest::kQuery,
+                   {"add_machine", "box.mit.edu", "VAX"}});
+  for (int i = 5; i < 8; ++i) {
+    add(1 + static_cast<uint64_t>(i) % 4,
+        MrRequest{kMrProtocolVersion, MajorRequest::kQuery,
+                  {"get_list_info", "pub" + std::to_string(i)}});
+  }
+  add(3, MrRequest{kMrProtocolVersion, MajorRequest::kQuery, {"_list_users"}});
+  add(3, MrRequest{kMrProtocolVersion, MajorRequest::kQuery,
+                   {"get_list_info", "pub0"}});
+
+  std::vector<MessageHandler::BatchItem> serial_batch = batch;
+  with_pool.server->OnMessageBatch(&batch);
+  without_pool.server->OnMessageBatch(&serial_batch);
+  ASSERT_EQ(serial_batch.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(serial_batch[i].reply, batch[i].reply) << "item " << i;
+    EXPECT_FALSE(batch[i].reply.empty()) << "item " << i;
+  }
+  // The pool server actually dispatched groups in parallel; the serial
+  // server never did.
+  EXPECT_GE(with_pool.server->stats().parallel_read_batches, 2u);
+  EXPECT_GE(with_pool.server->stats().parallel_read_queries, 8u);
+  EXPECT_EQ(0u, without_pool.server->stats().parallel_read_batches);
+}
+
+TEST(ShardConsistencyTest, ServerBatchPreservesPerConnectionOrder) {
+  WorkerPool pool(3);
+  ServerVariant v(&pool);
+  // One connection sends several distinguishable retrieves in one round;
+  // replies must come back in send order.
+  std::vector<MessageHandler::BatchItem> batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back(MessageHandler::BatchItem{
+        1,
+        Payload(MrRequest{kMrProtocolVersion, MajorRequest::kQuery,
+                          {"get_list_info", "pub" + std::to_string(i)}}),
+        std::string()});
+  }
+  v.server->OnMessageBatch(&batch);
+  for (int i = 0; i < 6; ++i) {
+    // Each reply is a tuple stream mentioning the list it asked for.
+    EXPECT_NE(std::string::npos, batch[i].reply.find("pub" + std::to_string(i)))
+        << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace moira

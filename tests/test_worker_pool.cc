@@ -1,0 +1,147 @@
+// WorkerPool unit tests: bounded queue back-pressure, shutdown semantics,
+// exception propagation, the 0-thread inline degenerate pool, and nested
+// ParallelFor (which must not deadlock on a full queue).
+#include "src/common/worker_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace moira {
+namespace {
+
+TEST(WorkerPoolTest, RunsSubmittedTasks) {
+  WorkerPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pool.Submit([&] { ++count; }));
+  }
+  pool.Drain();
+  EXPECT_EQ(50, count.load());
+  EXPECT_EQ(50, pool.stats().tasks_run);
+}
+
+TEST(WorkerPoolTest, ZeroThreadPoolRunsInline) {
+  WorkerPool pool(0);
+  EXPECT_EQ(0u, pool.thread_count());
+  int count = 0;
+  // Inline execution: the task has run by the time Submit returns, so a
+  // plain int (no synchronization) is enough.
+  ASSERT_TRUE(pool.Submit([&] { ++count; }));
+  EXPECT_EQ(1, count);
+  std::vector<size_t> seen;
+  pool.ParallelFor(4, [&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ((std::vector<size_t>{0, 1, 2, 3}), seen);
+  pool.Drain();
+  EXPECT_EQ(1, pool.stats().tasks_run);
+}
+
+TEST(WorkerPoolTest, BoundedQueueBlocksProducer) {
+  WorkerPool pool(1, /*queue_capacity=*/2);
+  std::atomic<bool> release{false};
+  // Occupy the single worker so queued tasks cannot drain.
+  ASSERT_TRUE(pool.Submit([&] {
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  }));
+  // Fill the queue, then one more: the extra Submit must block until the
+  // worker is released, and the pool records the back-pressure event.
+  std::atomic<int> done{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 3; ++i) {
+      pool.Submit([&] { ++done; });
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release = true;
+  producer.join();
+  pool.Drain();
+  EXPECT_EQ(3, done.load());
+  EXPECT_GE(pool.stats().submit_blocks, 1);
+}
+
+TEST(WorkerPoolTest, ShutdownStopsAcceptingWork) {
+  WorkerPool pool(2);
+  std::atomic<int> count{0};
+  ASSERT_TRUE(pool.Submit([&] { ++count; }));
+  pool.Shutdown();
+  EXPECT_EQ(1, count.load());
+  // After shutdown, Submit reports the drop instead of silently queueing.
+  EXPECT_FALSE(pool.Submit([&] { ++count; }));
+  EXPECT_EQ(1, count.load());
+  pool.Shutdown();  // idempotent
+}
+
+TEST(WorkerPoolTest, DrainRethrowsFirstTaskException) {
+  WorkerPool pool(2);
+  ASSERT_TRUE(pool.Submit([] { throw std::runtime_error("task failed"); }));
+  EXPECT_THROW(pool.Drain(), std::runtime_error);
+  // The error is consumed: subsequent drains are clean and the pool still
+  // runs work.
+  std::atomic<int> count{0};
+  ASSERT_TRUE(pool.Submit([&] { ++count; }));
+  EXPECT_NO_THROW(pool.Drain());
+  EXPECT_EQ(1, count.load());
+}
+
+TEST(WorkerPoolTest, ParallelForCoversEveryIndexOnce) {
+  WorkerPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(1, hits[i].load()) << "index " << i;
+  }
+  EXPECT_EQ(1, pool.stats().parallel_fors);
+}
+
+TEST(WorkerPoolTest, ParallelForRethrowsAfterBarrier) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(16,
+                                [&](size_t i) {
+                                  ++ran;
+                                  if (i == 3) {
+                                    throw std::runtime_error("body failed");
+                                  }
+                                }),
+               std::runtime_error);
+  // The throw happens after the barrier, so no body call is still running
+  // and the pool remains usable.
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](size_t) { ++count; });
+  EXPECT_EQ(8, count.load());
+}
+
+TEST(WorkerPoolTest, NestedParallelForDoesNotDeadlock) {
+  // An outer ParallelFor whose bodies each run an inner ParallelFor on the
+  // same pool: helper enqueueing is best-effort, so even with every thread
+  // busy in outer bodies the inner loops complete on their callers.
+  WorkerPool pool(2, /*queue_capacity=*/2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(6, [&](size_t) {
+    pool.ParallelFor(5, [&](size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(30, inner_total.load());
+}
+
+TEST(WorkerPoolTest, ConcurrentParallelForCallers) {
+  // Two threads sharing one pool must both complete their batches.
+  WorkerPool pool(2);
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  std::thread other([&] { pool.ParallelFor(200, [&](size_t) { ++a; }); });
+  pool.ParallelFor(200, [&](size_t) { ++b; });
+  other.join();
+  EXPECT_EQ(200, a.load());
+  EXPECT_EQ(200, b.load());
+}
+
+}  // namespace
+}  // namespace moira
