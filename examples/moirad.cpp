@@ -3,18 +3,26 @@
 // startup, listening for TCP connections on a well-known port and
 // multiplexing them with poll(2).
 //
-// Usage: ./build/examples/moirad [port] [duration-seconds]
+// Usage: ./build/examples/moirad [port] [duration-seconds] [data-dir]
 //   port 0 (default) picks an ephemeral port and prints it.
 //   duration 0 runs until killed; the default 5 seconds suits demos.
+//   data-dir enables the checkpoint/changelog lifecycle: startup recovers
+//   the latest checkpoint + changelog tail from the directory, mutations are
+//   journalled into rotated segments, a cron job checkpoints periodically,
+//   and replica bootstrap streams the on-disk checkpoint.  Restarting with
+//   the same directory resumes where the previous run stopped.
 //
 // Pair with mrtest:  ./build/examples/moirad 4750 30 &
 //                    ./build/examples/mrtest 4750 get_machine 'NFS-*'
+// Inspect a data dir offline with mrrestore.
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
 
+#include "src/backup/checkpoint.h"
 #include "src/core/registry.h"
 #include "src/core/schema.h"
+#include "src/dcm/cron.h"
 #include "src/net/tcp.h"
 #include "src/server/server.h"
 #include "src/sim/population.h"
@@ -24,6 +32,7 @@ using namespace moira;
 int main(int argc, char** argv) {
   uint16_t port = argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 0;
   int duration = argc > 2 ? std::atoi(argv[2]) : 5;
+  const char* data_dir = argc > 3 ? argv[3] : nullptr;
 
   SystemClock clock;
   Database db(&clock);
@@ -31,11 +40,39 @@ int main(int argc, char** argv) {
   SeedMoiraDefaults(&db);
   MoiraContext mc(&db);
   KerberosRealm realm(&clock);
-  // A demo site so clients have something to query.
+  // A demo site so clients have something to query.  Built before recovery so
+  // the base state is the same on every start; a checkpoint load replaces it
+  // wholesale, and journal replay runs on top of it.
   SiteBuilder builder(&mc, &realm);
   builder.Build(TestSiteSpec());
 
-  MoiraServer server(&mc, &realm);
+  ServerOptions options;
+  if (data_dir != nullptr) {
+    options.data_dir = data_dir;
+  }
+  MoiraServer server(&mc, &realm, options);
+  CronScheduler cron(&clock);
+  if (data_dir != nullptr) {
+    std::optional<RecoveryResult> recovered =
+        RecoverServerState(&mc, nullptr, &server.journal(), data_dir);
+    if (!recovered.has_value()) {
+      std::fprintf(stderr,
+                   "moirad: cannot recover from %s (gapped or unreadable); "
+                   "refusing to serve a diverged state\n",
+                   data_dir);
+      return 1;
+    }
+    server.InvalidateAccessCaches();
+    server.journal().set_rotate_threshold(512);
+    CheckpointPolicy policy;
+    policy.keep = 2;
+    policy.grace_entries = 256;  // lagging replicas catch up over the wire
+    ScheduleCheckpoints(&cron, &db, &server.journal(), 5 * kSecondsPerMinute, policy);
+    std::printf("moirad: recovered checkpoint seq %llu + %d entries from %s\n",
+                static_cast<unsigned long long>(recovered->checkpoint_seq),
+                recovered->entries_loaded, data_dir);
+  }
+
   TcpServer tcp(&server);
   if (int32_t code = tcp.Listen(port); code != MR_SUCCESS) {
     std::fprintf(stderr, "moirad: cannot listen on port %u (error %d)\n", port, code);
@@ -50,6 +87,7 @@ int main(int argc, char** argv) {
   std::time_t deadline = std::time(nullptr) + duration;
   while (duration == 0 || std::time(nullptr) < deadline) {
     tcp.Poll(200);
+    cron.RunDue();
   }
   std::printf("moirad: served %llu requests across %llu queries; shutting down\n",
               static_cast<unsigned long long>(server.stats().requests),

@@ -9,11 +9,16 @@
 # read-your-writes, and convergence gates hold, plus a TSan smoke mode that
 # builds the concurrency tests (worker pool, parallel shard fan-out, server
 # batch dispatch) under ThreadSanitizer and runs them.
-# Usage: scripts/check.sh [build-dir]                 (default: build-asan)
-#        scripts/check.sh --bench-smoke [build-dir]   (default: build)
-#        scripts/check.sh --fault-smoke [build-dir]   (default: build-asan)
-#        scripts/check.sh --repl-smoke [build-dir]    (default: build-asan)
-#        scripts/check.sh --tsan-smoke [build-dir]    (default: build-tsan)
+# A restore smoke mode exercises the checkpoint/changelog lifecycle
+# (checkpoint -> rotate -> truncate -> restart -> replica bootstrap under the
+# seeded fault plan) under the sanitizers and replays a recorded data
+# directory through the offline mrrestore CLI.
+# Usage: scripts/check.sh [build-dir]                   (default: build-asan)
+#        scripts/check.sh --bench-smoke [build-dir]     (default: build)
+#        scripts/check.sh --fault-smoke [build-dir]     (default: build-asan)
+#        scripts/check.sh --repl-smoke [build-dir]      (default: build-asan)
+#        scripts/check.sh --restore-smoke [build-dir]   (default: build-asan)
+#        scripts/check.sh --tsan-smoke [build-dir]      (default: build-tsan)
 set -e
 cd "$(dirname "$0")/.."
 
@@ -60,6 +65,31 @@ if [ "$1" = "--repl-smoke" ]; then
   # and byte-identical-convergence gates all hold.
   (cd "$SMOKE_DIR" && "$BENCH_BIN" --benchmark_filter='^$')
   python3 scripts/validate_bench_json.py "$SMOKE_DIR"/BENCH_*.json
+  exit 0
+fi
+
+if [ "$1" = "--restore-smoke" ]; then
+  BUILD_DIR="${2:-build-asan}"
+  cmake -B "$BUILD_DIR" -S . -DMOIRA_SANITIZE=ON >/dev/null
+  cmake --build "$BUILD_DIR" -j --target test_restore --target mrrestore
+  # The full lifecycle suite: segment rotation and on-disk truncation
+  # invariants, crash-safe checkpoint writes, recovery (including the
+  # gapped-tail refusal and base_seq restoration), point-in-time replay
+  # against reference dumps, and the end-to-end checkpoint -> rotate ->
+  # truncate -> restart -> replica bootstrap flow under seeded faults.
+  "$BUILD_DIR"/tests/test_restore
+  # The point-in-time test leaves its data directory behind; replay it
+  # through the offline CLI to a mid-history seq and to the end, exercising
+  # the same recovery code path an operator would run.
+  PIT_DIR="${TMPDIR:-/tmp}/moira-test/restore-pit"
+  if [ -d "$PIT_DIR" ]; then
+    "$BUILD_DIR"/examples/mrrestore "$PIT_DIR" --to-seq 5 >/dev/null
+    "$BUILD_DIR"/examples/mrrestore "$PIT_DIR" --dump >/dev/null
+  else
+    echo "restore-smoke: missing $PIT_DIR (test_restore should have left it)" >&2
+    exit 1
+  fi
+  echo "restore-smoke: ok"
   exit 0
 fi
 

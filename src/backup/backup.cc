@@ -107,9 +107,13 @@ int64_t BackupManager::RotateAndDump(const Database& db,
   return Dump(db, root / "backup_1");
 }
 
-int BackupManager::ReplayJournal(MoiraContext* mc, const std::vector<JournalEntry>& entries) {
+int BackupManager::ReplayJournal(MoiraContext* mc, const std::vector<JournalEntry>& entries,
+                                 SimulatedClock* replay_clock) {
   int replayed = 0;
   for (const JournalEntry& entry : entries) {
+    if (replay_clock != nullptr) {
+      replay_clock->Set(entry.when);
+    }
     const std::string& principal = entry.principal.empty() ? "root" : entry.principal;
     const std::string& client = entry.client.empty() ? "journal-replay" : entry.client;
     int32_t code = QueryRegistry::Instance().Execute(*mc, principal, client, entry.query,

@@ -37,9 +37,12 @@ class BackupManager {
   // Re-executes journalled changes through the query registry with each
   // entry's original principal and client name (falling back to root /
   // "journal-replay" for pre-upgrade entries without them), so modby/modwith
-  // stamps come out identical to the original run.  Returns the number of
-  // entries that replayed successfully.
-  static int ReplayJournal(MoiraContext* mc, const std::vector<JournalEntry>& entries);
+  // stamps come out identical to the original run.  When `replay_clock` is
+  // given it is Set to each entry's recorded time before executing, so
+  // modtime stamps also come out identical (the caller restores the clock
+  // afterwards).  Returns the number of entries that replayed successfully.
+  static int ReplayJournal(MoiraContext* mc, const std::vector<JournalEntry>& entries,
+                           SimulatedClock* replay_clock = nullptr);
 
   // The full dump as one in-memory string ("table <name>" header followed by
   // that relation's backup lines).  Two databases in the same state produce

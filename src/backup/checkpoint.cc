@@ -1,0 +1,211 @@
+#include "src/backup/checkpoint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace moira {
+
+namespace fs = std::filesystem;
+
+bool CheckpointManager::Write(const Database& db, const std::string& root, uint64_t seq) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    return false;
+  }
+  const fs::path final_dir = fs::path(root) / CheckpointDirName(seq);
+  if (fs::exists(final_dir, ec)) {
+    return false;
+  }
+  const fs::path tmp_dir = fs::path(root) / kCheckpointTempName;
+  fs::remove_all(tmp_dir, ec);  // a crashed writer's leftovers
+  if (BackupManager::Dump(db, tmp_dir) < 0) {
+    return false;
+  }
+  {
+    // The stamp is written last: a tmp directory without it (or a renamed
+    // directory whose stamp disagrees) is never treated as a checkpoint.
+    std::ofstream stamp(tmp_dir / kCheckpointStampName, std::ios::trunc);
+    if (!stamp) {
+      return false;
+    }
+    stamp << seq << '\n';
+    stamp.flush();
+    if (!stamp) {
+      return false;
+    }
+  }
+  fs::rename(tmp_dir, final_dir, ec);
+  return !ec;
+}
+
+std::vector<CheckpointRef> CheckpointManager::List(const std::string& root) {
+  return ListCheckpoints(root);
+}
+
+std::optional<CheckpointRef> CheckpointManager::Latest(const std::string& root) {
+  std::vector<CheckpointRef> all = ListCheckpoints(root);
+  if (all.empty()) {
+    return std::nullopt;
+  }
+  return all.back();
+}
+
+std::optional<CheckpointRef> CheckpointManager::LatestAtOrBefore(const std::string& root,
+                                                                 uint64_t through_seq) {
+  std::optional<CheckpointRef> best;
+  for (const CheckpointRef& checkpoint : ListCheckpoints(root)) {
+    if (checkpoint.seq <= through_seq) {
+      best = checkpoint;
+    }
+  }
+  return best;
+}
+
+bool CheckpointManager::Load(Database* db, const CheckpointRef& checkpoint) {
+  db->ClearAllRows();
+  if (BackupManager::Restore(db, checkpoint.path) != MR_SUCCESS) {
+    db->ClearAllRows();
+    return false;
+  }
+  return true;
+}
+
+int CheckpointManager::Prune(const std::string& root, int keep) {
+  if (keep < 1) {
+    keep = 1;
+  }
+  std::error_code ec;
+  fs::remove_all(fs::path(root) / kCheckpointTempName, ec);
+  std::vector<CheckpointRef> all = ListCheckpoints(root);
+  int removed = 0;
+  for (size_t i = 0; i + static_cast<size_t>(keep) < all.size(); ++i) {
+    fs::remove_all(all[i].path, ec);
+    if (!ec) {
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+CheckpointSummary RunCheckpointPass(const Database& db, Journal* journal,
+                                    const CheckpointPolicy& policy) {
+  CheckpointSummary summary;
+  const std::string& root = journal->directory();
+  if (root.empty()) {
+    return summary;
+  }
+  const uint64_t seq = journal->last_seq();
+  std::optional<CheckpointRef> latest = CheckpointManager::Latest(root);
+  const uint64_t floor = std::max<uint64_t>(policy.min_new_entries, 1);
+  if (latest.has_value() && seq < latest->seq + floor) {
+    return summary;  // not enough new entries to be worth a pass
+  }
+  if (!CheckpointManager::Write(db, root, seq)) {
+    return summary;
+  }
+  summary.ran = true;
+  summary.seq = seq;
+  journal->Rotate();
+  const size_t segments_before = journal->segments().size();
+  const uint64_t cut = seq > policy.grace_entries ? seq - policy.grace_entries : 0;
+  summary.entries_truncated = journal->TruncateThrough(cut);
+  summary.segments_retired = segments_before - journal->segments().size();
+  summary.checkpoints_pruned = CheckpointManager::Prune(root, policy.keep);
+  return summary;
+}
+
+void ScheduleCheckpoints(CronScheduler* cron, const Database* db, Journal* journal,
+                         UnixTime interval, CheckpointPolicy policy,
+                         CheckpointSummary* last) {
+  cron->Schedule("checkpoint", interval, [db, journal, policy, last]() {
+    CheckpointSummary summary = RunCheckpointPass(*db, journal, policy);
+    if (last != nullptr) {
+      *last = summary;
+    }
+  });
+}
+
+namespace {
+
+// entries must start at checkpoint_seq + 1 (when any exist below it on disk
+// the range is gapped) and be contiguous; otherwise replay would silently
+// skip committed changes.
+bool TailIsContiguous(const std::vector<JournalEntry>& entries, uint64_t checkpoint_seq) {
+  uint64_t expect = checkpoint_seq;
+  for (const JournalEntry& entry : entries) {
+    if (entry.seq != expect + 1) {
+      return false;
+    }
+    expect = entry.seq;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<RecoveryResult> RecoverServerState(MoiraContext* mc,
+                                                 SimulatedClock* replay_clock,
+                                                 Journal* journal,
+                                                 const std::string& root) {
+  RecoveryResult result;
+  std::optional<CheckpointRef> latest = CheckpointManager::Latest(root);
+  if (latest.has_value()) {
+    if (!CheckpointManager::Load(&mc->db(), *latest)) {
+      return std::nullopt;
+    }
+    result.checkpoint_seq = latest->seq;
+  }
+  std::error_code ec;
+  fs::remove_all(fs::path(root) / kCheckpointTempName, ec);  // crashed writer
+  const int loaded = journal->AttachDirectory(root, result.checkpoint_seq);
+  if (loaded < 0) {
+    return std::nullopt;
+  }
+  result.entries_loaded = loaded;
+  const std::vector<JournalEntry>& tail = journal->entries();
+  if (!TailIsContiguous(tail, result.checkpoint_seq)) {
+    return std::nullopt;
+  }
+  const UnixTime before = replay_clock != nullptr ? replay_clock->Now() : 0;
+  result.entries_replayed = BackupManager::ReplayJournal(mc, tail, replay_clock);
+  if (replay_clock != nullptr && before > replay_clock->Now()) {
+    replay_clock->Set(before);  // replay never moves the clock backwards
+  }
+  result.last_seq = journal->last_seq();
+  return result;
+}
+
+std::optional<RecoveryResult> RestoreToSeq(MoiraContext* mc,
+                                           SimulatedClock* replay_clock,
+                                           const std::string& root,
+                                           uint64_t target_seq) {
+  RecoveryResult result;
+  std::optional<CheckpointRef> checkpoint =
+      CheckpointManager::LatestAtOrBefore(root, target_seq);
+  if (checkpoint.has_value()) {
+    if (!CheckpointManager::Load(&mc->db(), *checkpoint)) {
+      return std::nullopt;
+    }
+    result.checkpoint_seq = checkpoint->seq;
+  }
+  std::optional<std::vector<JournalEntry>> tail =
+      Journal::ReadRange(root, result.checkpoint_seq, target_seq);
+  if (!tail.has_value()) {
+    return std::nullopt;
+  }
+  result.entries_loaded = static_cast<int>(tail->size());
+  if (!TailIsContiguous(*tail, result.checkpoint_seq)) {
+    return std::nullopt;
+  }
+  const UnixTime before = replay_clock != nullptr ? replay_clock->Now() : 0;
+  result.entries_replayed = BackupManager::ReplayJournal(mc, *tail, replay_clock);
+  if (replay_clock != nullptr && before > replay_clock->Now()) {
+    replay_clock->Set(before);
+  }
+  result.last_seq = tail->empty() ? result.checkpoint_seq : tail->back().seq;
+  return result;
+}
+
+}  // namespace moira

@@ -1,0 +1,121 @@
+// Checkpoint + changelog lifecycle (DESIGN.md "Checkpoint & changelog
+// lifecycle"), modelled on the MooseFS master's metadata discipline: the DCM
+// cron periodically writes a full backup-format snapshot of the database
+// stamped with the journal's last_seq into `checkpoint.<seq>`, seals the live
+// changelog into a numbered segment, and retires segments wholly covered by
+// the checkpoint.  Recovery is then "load the latest checkpoint, replay the
+// segment tail" — both online (server restart, replica bootstrap) and offline
+// (the mrrestore CLI's point-in-time replay).
+#ifndef MOIRA_SRC_BACKUP_CHECKPOINT_H_
+#define MOIRA_SRC_BACKUP_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/backup/backup.h"
+#include "src/core/context.h"
+#include "src/dcm/cron.h"
+#include "src/server/journal.h"
+
+namespace moira {
+
+class CheckpointManager {
+ public:
+  // Writes a checkpoint of `db` stamped `seq` under root/checkpoint.<seq>.
+  // Crash-safe: the tables are dumped into root/checkpoint.tmp, the SEQ stamp
+  // file is written last, and the directory is renamed into place — so a
+  // half-written checkpoint is never listed (ListCheckpoints validates the
+  // stamp) and a stale tmp from a crash is overwritten by the next writer.
+  // Returns false on I/O failure or if checkpoint.<seq> already exists.
+  static bool Write(const Database& db, const std::string& root, uint64_t seq);
+
+  // Complete checkpoints under root, ascending by seq (see ListCheckpoints).
+  static std::vector<CheckpointRef> List(const std::string& root);
+  static std::optional<CheckpointRef> Latest(const std::string& root);
+  // Newest checkpoint with seq <= through_seq (point-in-time recovery).
+  static std::optional<CheckpointRef> LatestAtOrBefore(const std::string& root,
+                                                       uint64_t through_seq);
+
+  // Replaces db's rows with the checkpoint's contents.  Returns false on
+  // malformed input (the database is left cleared in that case).
+  static bool Load(Database* db, const CheckpointRef& checkpoint);
+
+  // Deletes all but the newest `keep` checkpoints (and any stale
+  // checkpoint.tmp).  Returns the number removed.
+  static int Prune(const std::string& root, int keep);
+};
+
+// Retention knobs for one checkpoint pass.
+struct CheckpointPolicy {
+  // Checkpoints kept on disk after a pass (>= 1).
+  int keep = 2;
+  // Skip the pass when fewer than this many entries landed since the last
+  // checkpoint (an idle primary should not churn disk).
+  uint64_t min_new_entries = 1;
+  // Retain this many entries below the checkpoint seq when truncating, so
+  // replicas lagging a little catch up over the wire instead of re-
+  // bootstrapping from a snapshot after every pass.
+  uint64_t grace_entries = 0;
+};
+
+struct CheckpointSummary {
+  bool ran = false;            // false: skipped (no new entries) or failed
+  uint64_t seq = 0;            // seq of the checkpoint written
+  size_t segments_retired = 0;
+  size_t entries_truncated = 0;
+  int checkpoints_pruned = 0;
+};
+
+// One full lifecycle pass against the journal's attached directory:
+// checkpoint at last_seq, rotate the live changelog, truncate retired
+// segments (keeping the policy's grace window), prune old checkpoints.  The
+// journal must be in directory mode; `db` must be quiesced for the dump (the
+// caller holds the server's write lock or runs on the serialized poll loop).
+CheckpointSummary RunCheckpointPass(const Database& db, Journal* journal,
+                                    const CheckpointPolicy& policy = {});
+
+// Registers the pass as the cron job "checkpoint", firing every `interval`
+// seconds (the paper's nightly.sh slot).  When `last` is non-null the most
+// recent pass's summary is stored there.
+void ScheduleCheckpoints(CronScheduler* cron, const Database* db, Journal* journal,
+                         UnixTime interval, CheckpointPolicy policy = {},
+                         CheckpointSummary* last = nullptr);
+
+// What startup recovery reconstructed.
+struct RecoveryResult {
+  uint64_t checkpoint_seq = 0;  // 0: no checkpoint, replayed from scratch
+  int entries_loaded = 0;       // journal entries loaded from segments + live
+  int entries_replayed = 0;     // entries re-executed against the database
+  uint64_t last_seq = 0;        // journal position after recovery
+};
+
+// Server restart: loads the newest checkpoint under `root` (if any) into
+// mc->db(), attaches `journal` to the directory recovering the segment tail,
+// and replays every entry past the checkpoint.  mc must hold a freshly
+// seeded database (schema + defaults at the original start time, the same
+// convention replicas follow): with no checkpoint on disk, the whole journal
+// replays against that seeded state.  With `replay_clock` given,
+// each entry replays at its recorded time and the clock is restored
+// afterwards, so the recovered state is byte-identical to the pre-crash
+// primary.  Returns nullopt when the tail does not connect to the checkpoint
+// (first entry on disk > checkpoint_seq + 1, or a gap between entries) —
+// recovering from such a directory would silently lose committed changes.
+std::optional<RecoveryResult> RecoverServerState(MoiraContext* mc,
+                                                 SimulatedClock* replay_clock,
+                                                 Journal* journal,
+                                                 const std::string& root);
+
+// Offline point-in-time recovery (the mrrestore CLI): rebuilds mc->db() as of
+// `target_seq` from the newest checkpoint at or before it plus the on-disk
+// segment range, without attaching a journal.  Same contiguity and
+// freshly-seeded-database rules as RecoverServerState.
+std::optional<RecoveryResult> RestoreToSeq(MoiraContext* mc,
+                                           SimulatedClock* replay_clock,
+                                           const std::string& root,
+                                           uint64_t target_seq);
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_BACKUP_CHECKPOINT_H_

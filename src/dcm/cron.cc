@@ -28,6 +28,17 @@ int CronScheduler::RunDue() {
   return fired;
 }
 
+bool CronScheduler::TriggerNow(const std::string& name) {
+  for (Job& job : jobs_) {
+    if (job.name == name) {
+      job.run();
+      job.next_due = clock_->Now() + job.interval;
+      return true;
+    }
+  }
+  return false;
+}
+
 UnixTime CronScheduler::NextDue() const {
   UnixTime earliest = 0;
   for (const Job& job : jobs_) {

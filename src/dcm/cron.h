@@ -29,6 +29,10 @@ class CronScheduler {
   // Earliest due time across all jobs; 0 if none scheduled.
   UnixTime NextDue() const;
 
+  // Fires the named job immediately (operator "run it now"), rescheduling its
+  // next regular firing one interval out.  Returns false if no such job.
+  bool TriggerNow(const std::string& name);
+
   size_t job_count() const { return jobs_.size(); }
 
  private:

@@ -124,6 +124,7 @@ int32_t ReplicaServer::LoadSnapshot() {
   const std::vector<std::string>& fields = link_->last_fields();
   if (fields.size() >= 2) {
     applied_seq_ = static_cast<uint64_t>(ParseInt(fields[0]).value_or(0));
+    stats_.last_snapshot_seq = applied_seq_;
     UnixTime primary_now = ParseInt(fields[1]).value_or(0);
     if (primary_now > 0) {
       clock_.Set(primary_now);

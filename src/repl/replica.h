@@ -108,6 +108,10 @@ class ReplicaServer final : public MessageHandler {
     uint64_t reads_served = 0;
     uint64_t reads_behind = 0;     // answered MR_REPL_BEHIND
     uint64_t read_catch_ups = 0;   // on-demand pulls triggered by a token
+    // Seq the last snapshot transfer was cut at.  With a checkpoint-serving
+    // primary this is the checkpoint's stamped seq (bootstrap = checkpoint +
+    // journal tail), not the primary's last_seq.
+    uint64_t last_snapshot_seq = 0;
   };
   const Stats& stats() const { return stats_; }
 

@@ -1,11 +1,64 @@
 #include "src/server/journal.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "src/common/strutil.h"
 
 namespace moira {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kLiveName[] = "journal";
+constexpr char kSegmentPrefix[] = "journal.";
+
+bool IsOctalDigit(char c) { return c >= '0' && c <= '7'; }
+
+// Parses "journal.<first>-<last>" into a segment record; nullopt for the
+// live file or any other name.
+std::optional<JournalSegment> ParseSegmentName(const fs::path& path) {
+  const std::string name = path.filename().string();
+  const size_t prefix_len = sizeof(kSegmentPrefix) - 1;
+  if (name.size() <= prefix_len || name.compare(0, prefix_len, kSegmentPrefix) != 0) {
+    return std::nullopt;
+  }
+  const size_t dash = name.find('-', prefix_len);
+  if (dash == std::string::npos) {
+    return std::nullopt;
+  }
+  std::optional<int64_t> first = ParseInt(name.substr(prefix_len, dash - prefix_len));
+  std::optional<int64_t> last = ParseInt(name.substr(dash + 1));
+  if (!first.has_value() || !last.has_value() || *first < 1 || *last < *first) {
+    return std::nullopt;
+  }
+  JournalSegment segment;
+  segment.first_seq = static_cast<uint64_t>(*first);
+  segment.last_seq = static_cast<uint64_t>(*last);
+  segment.path = path.string();
+  return segment;
+}
+
+// Sealed segments under dir, ascending by first_seq.
+std::vector<JournalSegment> ScanSegments(const std::string& dir) {
+  std::vector<JournalSegment> segments;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (std::optional<JournalSegment> segment = ParseSegmentName(entry.path())) {
+      segments.push_back(std::move(*segment));
+    }
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const JournalSegment& a, const JournalSegment& b) {
+              return a.first_seq < b.first_seq;
+            });
+  return segments;
+}
+
+}  // namespace
 
 std::string JournalEscape(std::string_view field) {
   std::string out;
@@ -35,21 +88,22 @@ std::string JournalUnescape(std::string_view field) {
       out += field[i];
       continue;
     }
-    if (i + 1 >= field.size()) {
-      break;
-    }
-    char next = field[i + 1];
-    if (next == ':' || next == '\\') {
-      out += next;
+    if (i + 1 < field.size() && (field[i + 1] == ':' || field[i + 1] == '\\')) {
+      out += field[i + 1];
       ++i;
-    } else if (next >= '0' && next <= '7' && i + 3 < field.size()) {
+      continue;
+    }
+    if (i + 3 < field.size() && IsOctalDigit(field[i + 1]) && IsOctalDigit(field[i + 2]) &&
+        IsOctalDigit(field[i + 3])) {
       int v = (field[i + 1] - '0') * 64 + (field[i + 2] - '0') * 8 + (field[i + 3] - '0');
       out += static_cast<char>(v);
       i += 3;
-    } else {
-      out += next;
-      ++i;
+      continue;
     }
+    // Not a sequence JournalEscape emits (short or non-octal \nnn, a lone
+    // trailing backslash): keep the backslash literally instead of decoding
+    // garbage or dropping it asymmetrically.
+    out += '\\';
   }
   return out;
 }
@@ -115,6 +169,10 @@ std::optional<JournalEntry> JournalEntry::FromLine(std::string_view line) {
 }
 
 void Journal::SetFile(std::string path) {
+  dir_.clear();
+  segments_.clear();
+  live_first_seq_ = live_last_seq_ = 0;
+  live_count_ = 0;
   file_path_ = std::move(path);
   file_.close();
   file_.clear();
@@ -123,7 +181,164 @@ void Journal::SetFile(std::string path) {
   }
 }
 
+std::string Journal::LivePath() const { return (fs::path(dir_) / kLiveName).string(); }
+
+void Journal::OpenLive() {
+  file_path_ = LivePath();
+  file_.close();
+  file_.clear();
+  file_.open(file_path_, std::ios::app | std::ios::binary);
+}
+
+int Journal::LoadOneFile(const std::string& path, uint64_t after_seq, bool track_live) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return -1;
+  }
+  int kept = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::optional<JournalEntry> entry = JournalEntry::FromLine(line);
+    if (!entry.has_value()) {
+      // A torn write (crash mid-append or mid-rotation) leaves a short final
+      // line; count it rather than silently dropping it so operators can see
+      // data loss.
+      ++corrupt_lines_skipped_;
+      continue;
+    }
+    if (track_live) {
+      if (live_first_seq_ == 0) {
+        live_first_seq_ = entry->seq;
+      }
+      live_last_seq_ = entry->seq;
+      ++live_count_;
+    }
+    if (entry->seq > last_seq_) {
+      last_seq_ = entry->seq;
+    }
+    if (entry->seq > after_seq) {
+      entries_.push_back(std::move(*entry));
+      ++kept;
+    }
+  }
+  return kept;
+}
+
+int Journal::AttachDirectory(const std::string& dir, uint64_t after_seq) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return -1;
+  }
+  dir_ = dir;
+  segments_ = ScanSegments(dir);
+  live_first_seq_ = live_last_seq_ = 0;
+  live_count_ = 0;
+  // A checkpoint at after_seq proves entries 1..after_seq once existed, even
+  // if every changelog file is gone.
+  if (after_seq > last_seq_) {
+    last_seq_ = after_seq;
+  }
+  if (after_seq > base_seq_) {
+    base_seq_ = after_seq;
+  }
+  int loaded = 0;
+  for (const JournalSegment& segment : segments_) {
+    if (segment.last_seq <= after_seq) {
+      continue;  // fully covered by the checkpoint; retired at next truncate
+    }
+    int kept = LoadOneFile(segment.path, after_seq, /*track_live=*/false);
+    if (kept > 0) {
+      loaded += kept;
+    }
+  }
+  // The live file may be absent (fresh directory, or a crash between the
+  // rotation rename and the reopen); Append recreates it.
+  if (fs::exists(LivePath(), ec)) {
+    int kept = LoadOneFile(LivePath(), after_seq, /*track_live=*/true);
+    if (kept > 0) {
+      loaded += kept;
+    }
+  }
+  // Retained entries run (base_seq_, last_seq_]; when disk starts later than
+  // the checkpoint (segments retired after the checkpoint was cut), the cut
+  // is wherever the first retained entry begins.
+  if (!entries_.empty() && entries_.front().seq - 1 > base_seq_) {
+    base_seq_ = entries_.front().seq - 1;
+  }
+  OpenLive();
+  return loaded;
+}
+
+bool Journal::Rotate() {
+  if (dir_.empty() || live_first_seq_ == 0) {
+    return false;
+  }
+  file_.close();
+  file_.clear();
+  JournalSegment segment;
+  segment.first_seq = live_first_seq_;
+  segment.last_seq = live_last_seq_;
+  segment.path =
+      (fs::path(dir_) / (std::string(kSegmentPrefix) + std::to_string(live_first_seq_) +
+                         "-" + std::to_string(live_last_seq_)))
+          .string();
+  std::error_code ec;
+  fs::rename(LivePath(), segment.path, ec);
+  if (ec) {
+    OpenLive();
+    return false;
+  }
+  segments_.push_back(std::move(segment));
+  live_first_seq_ = live_last_seq_ = 0;
+  live_count_ = 0;
+  OpenLive();
+  return true;
+}
+
+std::optional<std::vector<JournalEntry>> Journal::ReadRange(const std::string& dir,
+                                                            uint64_t after_seq,
+                                                            uint64_t through_seq) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return std::nullopt;
+  }
+  std::vector<std::string> files;
+  for (const JournalSegment& segment : ScanSegments(dir)) {
+    if (segment.last_seq > after_seq && segment.first_seq <= through_seq) {
+      files.push_back(segment.path);
+    }
+  }
+  if (fs::exists(fs::path(dir) / kLiveName, ec)) {
+    files.push_back((fs::path(dir) / kLiveName).string());
+  }
+  std::vector<JournalEntry> out;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return std::nullopt;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      std::optional<JournalEntry> entry = JournalEntry::FromLine(line);
+      if (entry.has_value() && entry->seq > after_seq && entry->seq <= through_seq) {
+        out.push_back(std::move(*entry));
+      }
+    }
+  }
+  return out;
+}
+
 uint64_t Journal::Append(JournalEntry entry) {
+  if (!dir_.empty() && rotate_threshold_ > 0 && live_count_ >= rotate_threshold_) {
+    Rotate();
+  }
   if (entry.seq == 0) {
     entry.seq = last_seq_ + 1;
   }
@@ -136,6 +351,13 @@ uint64_t Journal::Append(JournalEntry entry) {
     // restart.
     file_ << entry.ToLine();
     file_.flush();
+    if (!dir_.empty()) {
+      if (live_first_seq_ == 0) {
+        live_first_seq_ = entry.seq;
+      }
+      live_last_seq_ = entry.seq;
+      ++live_count_;
+    }
   }
   uint64_t seq = entry.seq;
   entries_.push_back(std::move(entry));
@@ -170,6 +392,33 @@ uint64_t Journal::first_seq() const {
 }
 
 size_t Journal::TruncateThrough(uint64_t through) {
+  if (!dir_.empty()) {
+    // Disk-backed truncation at segment granularity: seal the live file when
+    // the cut covers all of it, delete fully-covered sealed segments, and
+    // prune memory only to the highest retired boundary so the on-disk bytes
+    // always equal the retained entries.
+    if (live_first_seq_ != 0 && through >= live_last_seq_) {
+      Rotate();
+    }
+    uint64_t effective = base_seq_;
+    auto it = segments_.begin();
+    while (it != segments_.end() && it->last_seq <= through) {
+      std::error_code ec;
+      fs::remove(it->path, ec);
+      effective = std::max(effective, it->last_seq);
+      it = segments_.erase(it);
+    }
+    auto keep_from = entries_.begin();
+    while (keep_from != entries_.end() && keep_from->seq <= effective) {
+      ++keep_from;
+    }
+    size_t dropped = static_cast<size_t>(keep_from - entries_.begin());
+    entries_.erase(entries_.begin(), keep_from);
+    if (effective > base_seq_) {
+      base_seq_ = effective;
+    }
+    return dropped;
+  }
   size_t dropped = 0;
   while (!entries_.empty() && entries_.front().seq <= through) {
     ++dropped;
@@ -193,7 +442,29 @@ void Journal::ResetSequence(uint64_t next_seq) {
   }
 }
 
+void Journal::Clear() {
+  entries_.clear();
+  base_seq_ = last_seq_;
+  if (!dir_.empty()) {
+    for (const JournalSegment& segment : segments_) {
+      std::error_code ec;
+      fs::remove(segment.path, ec);
+    }
+    segments_.clear();
+    file_.close();
+    file_.clear();
+    // Truncate the live file so restart cannot resurrect cleared entries.
+    file_.open(file_path_, std::ios::trunc | std::ios::binary);
+    file_.close();
+    file_.clear();
+    file_.open(file_path_, std::ios::app | std::ios::binary);
+    live_first_seq_ = live_last_seq_ = 0;
+    live_count_ = 0;
+  }
+}
+
 int Journal::LoadFile(const std::string& path) {
+  const bool was_empty = entries_.empty();
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return -1;
@@ -216,7 +487,51 @@ int Journal::LoadFile(const std::string& path) {
       ++corrupt_lines_skipped_;
     }
   }
+  // A file that starts past seq 1 was truncated/rotated before it was
+  // written; restore base_seq_ so a restarted primary refuses to stream the
+  // missing prefix (MR_REPL_TRUNCATED) instead of sending a gapped range.
+  if (was_empty && !entries_.empty() && entries_.front().seq - 1 > base_seq_) {
+    base_seq_ = entries_.front().seq - 1;
+  }
   return count;
+}
+
+// --- Checkpoint directory naming --------------------------------------------
+
+namespace {
+constexpr char kCheckpointPrefix[] = "checkpoint.";
+}  // namespace
+
+std::string CheckpointDirName(uint64_t seq) {
+  return std::string(kCheckpointPrefix) + std::to_string(seq);
+}
+
+std::vector<CheckpointRef> ListCheckpoints(const std::string& root) {
+  std::vector<CheckpointRef> out;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root, ec)) {
+    const std::string name = entry.path().filename().string();
+    const size_t prefix_len = sizeof(kCheckpointPrefix) - 1;
+    if (name.size() <= prefix_len || name.compare(0, prefix_len, kCheckpointPrefix) != 0) {
+      continue;
+    }
+    std::optional<int64_t> seq = ParseInt(name.substr(prefix_len));
+    if (!seq.has_value() || *seq < 0) {
+      continue;  // checkpoint.tmp and other non-numeric names
+    }
+    // The SEQ stamp is written last before the rename; a directory without a
+    // matching stamp is a crashed or tampered write.
+    std::ifstream stamp(entry.path() / kCheckpointStampName);
+    std::string stamped;
+    if (!stamp || !std::getline(stamp, stamped) ||
+        ParseInt(stamped) != std::optional<int64_t>(*seq)) {
+      continue;
+    }
+    out.push_back(CheckpointRef{static_cast<uint64_t>(*seq), entry.path().string()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CheckpointRef& a, const CheckpointRef& b) { return a.seq < b.seq; });
+  return out;
 }
 
 }  // namespace moira

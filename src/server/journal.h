@@ -10,6 +10,18 @@
 // resume streaming from `applied_seq + 1`, and TruncateThrough lets the
 // primary drop already-backed-up prefixes (a replica asking for a truncated
 // range falls back to a snapshot transfer).
+//
+// On disk the journal follows the MooseFS master's metadata discipline
+// (DESIGN.md "Checkpoint & changelog lifecycle"): a data directory holds the
+// live changelog file `journal` plus sealed, numbered segments
+// `journal.<first_seq>-<last_seq>` produced by Rotate().  TruncateThrough
+// retires whole sealed segments from disk, so the retained on-disk bytes
+// always equal the retained in-memory entries, and AttachDirectory recovers
+// the tail (and base_seq_/last_seq_) after a restart.  Periodic checkpoints
+// of the full database are written next to the segments by the backup layer
+// (src/backup/checkpoint.h) as `checkpoint.<seq>` directories; the naming
+// helpers live here so the server can stream a checkpoint for replica
+// bootstrap without depending on the backup library.
 #ifndef MOIRA_SRC_SERVER_JOURNAL_H_
 #define MOIRA_SRC_SERVER_JOURNAL_H_
 
@@ -44,13 +56,57 @@ struct JournalEntry {
   static std::optional<JournalEntry> FromLine(std::string_view line);
 };
 
+// One sealed changelog segment: <dir>/journal.<first_seq>-<last_seq>,
+// covering exactly that inclusive sequence range.
+struct JournalSegment {
+  uint64_t first_seq = 0;
+  uint64_t last_seq = 0;
+  std::string path;
+};
+
 class Journal {
  public:
   Journal() = default;
 
   // If set, every entry is also appended to this file.  The stream is kept
-  // open and flushed after every append (see Append).
+  // open and flushed after every append (see Append).  Legacy single-file
+  // mode: rotation and on-disk truncation need a directory (below).
   void SetFile(std::string path);
+
+  // Attaches the journal to a data directory and recovers it from what is on
+  // disk: sealed segments and the live file are scanned in order, every entry
+  // with seq > after_seq is loaded into memory (entries at or below
+  // after_seq are covered by a checkpoint), base_seq_/last_seq_ are restored
+  // (base_seq_ = after_seq, or the first retained seq - 1 when older entries
+  // were already retired), and the live file is opened for appending.  The
+  // directory is created if missing, so a fresh primary and a restarted one
+  // use the same call.  Returns the number of entries loaded, or -1 if the
+  // directory cannot be created or read.
+  int AttachDirectory(const std::string& dir, uint64_t after_seq = 0);
+
+  // Directory-mode root ("" when unattached or in single-file mode).
+  const std::string& directory() const { return dir_; }
+
+  // Seals the live file into journal.<first>-<last> and reopens an empty
+  // live file.  Returns false (and does nothing) when not in directory mode
+  // or the live file holds no entries.
+  bool Rotate();
+
+  // Auto-rotation: in directory mode, Append seals the live file once it
+  // holds this many entries (0 disables, the default).
+  void set_rotate_threshold(size_t n) { rotate_threshold_ = n; }
+
+  // Sealed segments currently on disk, ascending by first_seq.
+  const std::vector<JournalSegment>& segments() const { return segments_; }
+
+  // Offline scan of a journal directory: every entry on disk with
+  // after_seq < seq <= through_seq, in order (sealed segments, then the live
+  // file).  Corrupt lines are skipped.  Returns nullopt if the directory
+  // cannot be read.  Used by mrrestore-style point-in-time replay and by
+  // tests asserting disk contents.
+  static std::optional<std::vector<JournalEntry>> ReadRange(
+      const std::string& dir, uint64_t after_seq = 0,
+      uint64_t through_seq = UINT64_MAX);
 
   // Records one entry.  Assigns the next sequence number when entry.seq is 0
   // (entries carrying a seq — e.g. reloaded from disk — keep it and advance
@@ -78,41 +134,93 @@ class Journal {
   uint64_t base_seq() const { return base_seq_; }
 
   // Drops retained entries with seq <= through (journal pruning after a
-  // backup); replicas behind `through` must fall back to a snapshot.
-  // Returns the number of entries dropped.
+  // checkpoint); replicas behind the cut must fall back to a snapshot.
+  // In directory mode the truncation is at segment granularity: sealed
+  // segments whose whole range is <= through are deleted from disk (the live
+  // file is sealed first when `through` covers it entirely), a segment
+  // straddling `through` is kept in full both on disk and in memory, and
+  // base_seq advances only to the highest retired segment boundary — so the
+  // on-disk bytes always equal the retained entries.  Returns the number of
+  // entries dropped from memory.
   size_t TruncateThrough(uint64_t through);
 
   // Failover promotion: continue numbering from `next_seq` so the promoted
   // replica's first post-failover entry extends the old primary's sequence.
   void ResetSequence(uint64_t next_seq);
 
-  void Clear() {
-    entries_.clear();
-    base_seq_ = last_seq_;
-  }
+  // Drops every retained entry (base_seq catches up to last_seq).  In
+  // directory mode the sealed segments are deleted and the live file is
+  // emptied, so disk matches memory.
+  void Clear();
 
   // Loads entries from a journal file (does not clear existing ones).
   // Returns the number of entries read, or -1 if the file cannot be opened.
   // Unparsable lines — e.g. a torn final line from a crash mid-append — are
-  // skipped and counted in corrupt_lines_skipped().
+  // skipped and counted in corrupt_lines_skipped().  When the journal was
+  // empty and the file starts past seq 1 (a truncated/rotated journal),
+  // base_seq_ is restored to first_seq - 1 so a restarted primary reports
+  // MR_REPL_TRUNCATED instead of streaming a gapped range.
   int LoadFile(const std::string& path);
   int corrupt_lines_skipped() const { return corrupt_lines_skipped_; }
 
  private:
+  std::string LivePath() const;
+  // Opens the live file for appending (creating it if needed).
+  void OpenLive();
+  // Loads one on-disk file, keeping entries with seq > after_seq; returns
+  // entries kept, or -1 if the file cannot be opened.  `track_live` also
+  // records the file's first/last seq and line count as the live-file state.
+  int LoadOneFile(const std::string& path, uint64_t after_seq, bool track_live);
+
   std::vector<JournalEntry> entries_;
   std::string file_path_;
   std::ofstream file_;
   uint64_t last_seq_ = 0;
   uint64_t base_seq_ = 0;  // entries 1..base_seq_ have been truncated
   int corrupt_lines_skipped_ = 0;
+
+  // Directory mode (empty dir_ = legacy single-file or memory-only mode).
+  std::string dir_;
+  std::vector<JournalSegment> segments_;
+  uint64_t live_first_seq_ = 0;  // 0 = live file holds no entries
+  uint64_t live_last_seq_ = 0;
+  size_t live_count_ = 0;
+  size_t rotate_threshold_ = 0;
 };
 
 // Escapes one field: ':' -> "\:", '\' -> "\\", non-printing -> \nnn octal.
 std::string JournalEscape(std::string_view field);
-// Inverse of JournalEscape.
+// Inverse of JournalEscape.  A backslash sequence JournalEscape never emits
+// (fewer than three octal digits, a non-octal digit in the triple, a lone
+// trailing backslash) is copied literally rather than decoded as garbage.
 std::string JournalUnescape(std::string_view field);
 // Splits a line on unescaped colons.
 std::vector<std::string> SplitEscaped(std::string_view line);
+
+// --- Checkpoint directory naming --------------------------------------------
+// Checkpoints live next to the changelog segments as `checkpoint.<seq>`
+// directories of backup-format table files plus a SEQ stamp file written
+// last; the writer (src/backup/checkpoint.h) builds them under
+// `checkpoint.tmp` and renames, so a directory without a matching stamp is a
+// crashed write and is ignored here.  The naming lives in moira_server so
+// the wire server can stream a checkpoint for replica bootstrap without a
+// dependency cycle onto the backup library.
+
+inline constexpr char kCheckpointTempName[] = "checkpoint.tmp";
+inline constexpr char kCheckpointStampName[] = "SEQ";
+
+struct CheckpointRef {
+  uint64_t seq = 0;
+  std::string path;
+};
+
+// "checkpoint.<seq>" (the directory's basename).
+std::string CheckpointDirName(uint64_t seq);
+
+// Complete checkpoints under root, ascending by seq.  checkpoint.tmp,
+// malformed names, and directories whose SEQ stamp is missing or disagrees
+// with the name are skipped.  An unreadable/missing root lists as empty.
+std::vector<CheckpointRef> ListCheckpoints(const std::string& root);
 
 }  // namespace moira
 

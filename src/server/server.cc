@@ -1,5 +1,7 @@
 #include "src/server/server.h"
 
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 
 #include "src/comerr/moira_errors.h"
@@ -320,12 +322,51 @@ std::string MoiraServer::HandleReplSnapshot(ConnState& conn, const MrRequest& re
   ReplicaInfo& info = replicas_[request.args[0]];
   info.last_contact = mc_->Now();
   ++info.snapshots;
-  // The snapshot is cut at the current last_seq: every journalled change is
-  // already in the tables being streamed, so the receiving replica resumes
+  const Database& db = mc_->db();
+  // Checkpoint+tail bootstrap: with a data directory configured, stream the
+  // newest on-disk checkpoint (its table files are exactly the snapshot wire
+  // format) cut at its stamped seq; the replica replays the journal tail from
+  // there.  The checkpoint must not predate the retained log, or the replica's
+  // follow-up fetch would come back MR_REPL_TRUNCATED and loop forever —
+  // fall back to a live dump in that (operator-error) case, and when no
+  // checkpoint exists yet.
+  if (!options_.data_dir.empty()) {
+    std::vector<CheckpointRef> checkpoints = ListCheckpoints(options_.data_dir);
+    if (!checkpoints.empty() && checkpoints.back().seq >= journal_.base_seq()) {
+      const CheckpointRef& checkpoint = checkpoints.back();
+      std::string out;
+      bool ok = true;
+      for (const std::string& table_name : db.TableNames()) {
+        std::ifstream in(std::filesystem::path(checkpoint.path) / table_name,
+                         std::ios::binary);
+        if (!in) {
+          continue;  // a missing file is an empty relation, as in Restore
+        }
+        std::string line;
+        while (std::getline(in, line)) {
+          if (line.empty()) {
+            continue;
+          }
+          out += EncodeReply(MrReply{kMrProtocolVersion, MR_MORE_DATA, {table_name, line}});
+        }
+        if (in.bad()) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        out += EncodeReply(MrReply{kMrProtocolVersion, MR_SUCCESS,
+                                   {std::to_string(checkpoint.seq),
+                                    std::to_string(mc_->Now())}});
+        return out;
+      }
+    }
+  }
+  // The live snapshot is cut at the current last_seq: every journalled change
+  // is already in the tables being streamed, so the receiving replica resumes
   // fetching from snapshot_seq + 1.
   const uint64_t snapshot_seq = journal_.last_seq();
   std::string out;
-  const Database& db = mc_->db();
   for (const std::string& table_name : db.TableNames()) {
     db.GetTable(table_name)->Scan([&](size_t, const Row& row) {
       out += EncodeReply(MrReply{kMrProtocolVersion, MR_MORE_DATA,

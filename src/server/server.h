@@ -41,6 +41,14 @@ struct ServerOptions {
   // and special requests stay serialized on the transport thread.  Null keeps
   // every request on the sequential path.
   WorkerPool* read_pool = nullptr;
+  // Data directory holding the changelog segments and `checkpoint.<seq>`
+  // directories (DESIGN.md "Checkpoint & changelog lifecycle").  When set,
+  // kReplSnapshot streams the latest on-disk checkpoint instead of dumping
+  // the live tables, so replica bootstrap costs one file read rather than a
+  // full-table scan under the write lock.  The server does NOT attach the
+  // journal itself — the operator wires recovery (RecoverServerState) and the
+  // checkpoint cron; this option only tells the snapshot path where to look.
+  std::string data_dir;
 };
 
 class MoiraServer final : public MessageHandler {

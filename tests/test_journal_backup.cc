@@ -45,6 +45,44 @@ INSTANTIATE_TEST_SUITE_P(
                       "\\:edge::\\\\", std::string("\xff\x80\x01", 3),
                       "Harmon C Fowler,,,,:/mit/babette:/bin/csh"));
 
+TEST(UnescapeTest, MalformedSequencesCopyLiterally) {
+  // Sequences JournalEscape never emits must not decode as garbage or drop
+  // the backslash: the parser keeps them byte-for-byte.
+  EXPECT_EQ("\\0x9", JournalUnescape("\\0x9"));   // non-octal digit at i+2
+  EXPECT_EQ("\\079", JournalUnescape("\\079"));   // non-octal digit at i+3
+  EXPECT_EQ("\\7", JournalUnescape("\\7"));       // short trailing escape
+  EXPECT_EQ("\\81", JournalUnescape("\\81"));     // non-octal first digit
+  EXPECT_EQ("\\", JournalUnescape("\\"));         // lone trailing backslash
+  EXPECT_EQ("ab\\", JournalUnescape("ab\\"));
+  // Well-formed escapes still decode.
+  EXPECT_EQ("A", JournalUnescape("\\101"));
+  EXPECT_EQ("\na", JournalUnescape("\\012a"));
+  EXPECT_EQ(":", JournalUnescape("\\:"));
+  EXPECT_EQ("\\", JournalUnescape("\\\\"));
+  // A valid triple followed by more digits consumes exactly three.
+  EXPECT_EQ("\0012", JournalUnescape(std::string("\\0012")).substr(0, 2));
+}
+
+TEST(UnescapeTest, FuzzNeverCrashesAndDecodedIsStable) {
+  // Arbitrary byte soup through JournalUnescape: no crash, and re-escaping
+  // the decoded form round-trips (escape ∘ unescape is idempotent on its
+  // image, even when the input was never a legal escaped field).
+  uint64_t state = 0xfeedface;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string input;
+    const size_t len = next() % 24;
+    for (size_t i = 0; i < len; ++i) {
+      input += static_cast<char>(next() % 256);
+    }
+    std::string decoded = JournalUnescape(input);
+    EXPECT_EQ(decoded, JournalUnescape(JournalEscape(decoded))) << "iter " << iter;
+  }
+}
+
 TEST(SplitEscapedTest, FieldsSeparateCleanly) {
   std::vector<std::string> fields = {"a:b", "c\\d", "", "plain"};
   std::string line;
