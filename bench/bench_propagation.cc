@@ -6,11 +6,18 @@
 // BENCH_propagation.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "src/common/random.h"
+#include "src/db/exec.h"
+#include "src/dcm/delta.h"
+#include "src/dcm/generators.h"
 #include "src/update/update_client.h"
 
 namespace moira {
@@ -194,11 +201,12 @@ QuarantineSample RunQuarantine(bool breaker_on, int passes) {
   return sample;
 }
 
-// Runs the sweep, writes BENCH_propagation.json, prints a summary.  Returns
-// false if the resilient configuration fails its acceptance bar (convergence,
-// strictly fewer passes than baseline, quarantine saving attempts), which
-// scripts/check.sh --fault-smoke turns into a build failure.
-bool RunResilienceReport(const char* path) {
+// Runs the sweep, writes the "convergence" and "quarantine" arrays into the
+// already-open report, prints a summary.  Returns false if the resilient
+// configuration fails its acceptance bar (convergence, strictly fewer passes
+// than baseline, quarantine saving attempts), which scripts/check.sh
+// --fault-smoke turns into a build failure.
+bool RunResilienceReport(FILE* f) {
   constexpr uint64_t kSeed = 1988;
   std::vector<ConvergenceSample> convergence;
   for (int flaky_permille : {100, 300, 500}) {
@@ -209,13 +217,7 @@ bool RunResilienceReport(const char* path) {
   quarantine.push_back(RunQuarantine(/*breaker_on=*/false, 12));
   quarantine.push_back(RunQuarantine(/*breaker_on=*/true, 12));
 
-  FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return false;
-  }
-  std::fprintf(f, "{\n  \"benchmark\": \"bench_propagation_resilience\",\n"
-                  "  \"convergence\": [\n");
+  std::fprintf(f, "  \"convergence\": [\n");
   for (size_t i = 0; i < convergence.size(); ++i) {
     const ConvergenceSample& s = convergence[i];
     std::fprintf(f,
@@ -237,8 +239,7 @@ bool RunResilienceReport(const char* path) {
                  s.breaker_skips, s.probe_failures,
                  i + 1 < quarantine.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  std::fprintf(f, "  ]");
 
   bool ok = true;
   std::printf("E6 resilience: flaky-fleet convergence (%d hosts, seed %llu)\n",
@@ -270,7 +271,302 @@ bool RunResilienceReport(const char* path) {
     std::printf("  ^^ FAIL: an open breaker must stop consuming update attempts\n");
     ok = false;
   }
-  std::printf("wrote %s\n\n", path);
+  std::printf("\n");
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental-propagation sweep: full regeneration vs journal-delta patch
+// shipping at 0.1% churn per pass, with a seeded fault plan and a
+// byte-identity oracle, written to BENCH_propagation.json.
+
+struct IncrementalSample {
+  const char* config;        // "full" or "incremental"
+  int users;
+  int churn_per_pass;        // update_user_shell ops per measured pass
+  int passes;                // measured churn passes (prime pass excluded)
+  int64_t rows_examined;     // db-wide rows examined across the measured passes
+  int64_t bytes_shipped;     // update payload bytes across the measured passes
+  int64_t journal_entries;   // journal entries consumed by delta extraction
+  int patch_ships;           // host updates delivered as keyed patches
+  int patch_fallbacks;       // base-CRC refusals -> same-pass full reship
+  int full_regens;           // journal-mode passes escalated to full regen
+  int services_patched;
+  double wall_ms;            // informational, not gated
+  int oracle_files;          // installed files compared against fresh regen
+  bool oracle_ok;
+};
+
+// Where each service's install script puts archive members on a host.
+struct ServiceInstall {
+  const char* service;
+  GeneratorFn generate;
+  const char* dir;
+};
+const ServiceInstall kInstalls[] = {
+    {"HESIOD", GenerateHesiod, "/etc/athena/hesiod/"},
+    {"NFS", GenerateNfs, "/site/moira/"},
+    {"SMTP", GenerateMail, "/usr/lib/moira.staged/"},
+    {"ZEPHYR", GenerateZephyrAcls, "/etc/athena/zephyr/acl/"},
+};
+
+int64_t DbRows(MoiraContext& mc) {
+  int64_t total = 0;
+  for (const std::string& name : mc.db().TableNames()) {
+    total += mc.db().GetTable(name)->stats().rows_examined;
+  }
+  return total;
+}
+
+// The byte-identity oracle: regenerates every service from scratch and
+// compares the installed files of every up-to-date host against the fresh
+// output.  Hosts the fault plan left stale or quarantined (lts < dfgen,
+// hosterror set) are excluded — the DCM itself knows they need a reship.
+int VerifyInstalledAgainstFreshRegen(BenchSite& site, bool* ok) {
+  int compared = 0;
+  *ok = true;
+  for (const ServiceInstall& svc : kInstalls) {
+    GeneratorResult fresh;
+    if (svc.generate(*site.mc, &fresh) != MR_SUCCESS) {
+      std::printf("  oracle: %s regeneration failed\n", svc.service);
+      *ok = false;
+      continue;
+    }
+    Table* servers = site.mc->servers();
+    std::vector<size_t> srows =
+        From(servers).WhereEq("name", Value(std::string(svc.service))).Rows();
+    if (srows.empty()) {
+      continue;
+    }
+    const UnixTime dfgen = MoiraContext::IntCell(servers, srows[0], "dfgen");
+    Table* sh = site.mc->serverhosts();
+    for (size_t row :
+         From(sh).WhereEq("service", Value(std::string(svc.service))).Rows()) {
+      if (MoiraContext::IntCell(sh, row, "enable") < 1 ||
+          MoiraContext::IntCell(sh, row, "hosterror") != 0 ||
+          MoiraContext::IntCell(sh, row, "lts") < dfgen) {
+        continue;
+      }
+      RowRef mach = site.mc->ExactOne(site.mc->machine(), "mach_id",
+                                      Value(MoiraContext::IntCell(sh, row, "mach_id")),
+                                      MR_MACHINE);
+      if (mach.code != MR_SUCCESS) {
+        continue;
+      }
+      const std::string& name =
+          MoiraContext::StrCell(site.mc->machine(), mach.row, "name");
+      SimHost* host = site.directory.Find(name);
+      if (host == nullptr) {
+        continue;
+      }
+      for (const auto& [member, contents] : fresh.ForHost(name).members()) {
+        const std::string* got = host->ReadFile(std::string(svc.dir) + member);
+        ++compared;
+        if (got == nullptr || *got != contents) {
+          std::printf("  oracle MISMATCH: %s %s%s on %s (%s)\n", svc.service, svc.dir,
+                      member.c_str(), name.c_str(),
+                      got == nullptr ? "missing" : "differs");
+          *ok = false;
+        }
+      }
+    }
+  }
+  return compared;
+}
+
+// One arm of the sweep: a fresh site primed with a first full pass, then
+// kChurnPasses passes of 0.1% user-shell churn — the first kFaultedPasses
+// under the seeded fault plan, the tail clean so torn hosts self-heal before
+// the oracle runs.  Both arms replay the identical churn and fault schedule;
+// only the journal attachment differs.
+IncrementalSample RunIncrementalArm(bool incremental, int users) {
+  constexpr int kChurnPasses = 5;
+  constexpr int kFaultedPasses = 3;
+  SiteSpec spec;
+  spec.total_users = users;
+  BenchSite site{spec};
+  Journal journal;
+  if (incremental) {
+    site.dcm->AttachJournal(&journal);
+  }
+  // Identical resilience in both arms: one in-pass retry outlasts the plan's
+  // single flaky refusal, so no host misses a pass and forces a catch-up
+  // full ship that the fault draw, not the propagation mode, caused.
+  DcmResilienceConfig config;
+  config.retry.max_attempts = 3;
+  config.retry.initial_backoff = 30;
+  site.dcm->set_resilience(config);
+  site.dcm->update_client().set_sleep_fn(
+      [&site](UnixTime s) { site.clock.Advance(s); });
+  site.dcm->RunOnce();  // prime pass: both arms generate and ship everything
+
+  const int churn = std::max(1, users / 1000);  // the paper's 0.1%/pass churn
+  const std::vector<std::string>& logins = site.builder->active_logins();
+  SplitMix64 rng(4242);
+  FaultPlanSpec fault;
+  fault.seed = 1988;
+  fault.flaky_permille = 80;
+  fault.flaky_fail_count = 1;
+  fault.torn_permille = 25;
+  FaultPlan plan(fault);
+
+  IncrementalSample s{incremental ? "incremental" : "full",
+                      users,
+                      churn,
+                      kChurnPasses,
+                      0,
+                      0,
+                      0,
+                      0,
+                      0,
+                      0,
+                      0,
+                      0.0,
+                      0,
+                      true};
+  for (int pass = 0; pass < kChurnPasses; ++pass) {
+    // Advance before mutating: the legacy arm detects churn by table modtime
+    // strictly newer than dfgen.
+    site.clock.Advance(25 * kSecondsPerHour);
+    for (int i = 0; i < churn; ++i) {
+      const std::string& login = logins[rng.Below(logins.size())];
+      ExecuteJournaled(*site.mc, &journal, "root", "bench", "update_user_shell",
+                       {login, "/bin/p" + std::to_string(pass)});
+    }
+    if (pass < kFaultedPasses) {
+      plan.ArmPass(site.hosts, pass);
+    }
+    const int64_t rows_before = DbRows(*site.mc);
+    auto t0 = std::chrono::steady_clock::now();
+    DcmRunSummary sum = site.dcm->RunOnce();
+    s.wall_ms += std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    s.rows_examined += DbRows(*site.mc) - rows_before;
+    s.bytes_shipped += sum.bytes_propagated;
+    s.journal_entries += sum.journal_entries_examined;
+    s.patch_ships += sum.patch_ships;
+    s.patch_fallbacks += sum.patch_fallbacks;
+    s.full_regens += sum.full_regens;
+    s.services_patched += sum.services_patched;
+  }
+  s.oracle_files = VerifyInstalledAgainstFreshRegen(site, &s.oracle_ok);
+  return s;
+}
+
+// Runs full vs incremental at each population size, writes the "incremental"
+// and "gates" arrays, prints a table.  Returns false if the largest size run
+// misses the reduction bars (>= 50x fewer rows examined AND >= 50x fewer
+// bytes shipped) or any incremental arm fails the byte-identity oracle.
+bool RunIncrementalReport(FILE* f) {
+  int64_t max_users = 100000;
+  if (const char* env = std::getenv("MOIRA_BENCH_INCREMENTAL_MAX_USERS")) {
+    max_users = std::atoll(env);
+  }
+  std::vector<IncrementalSample> samples;
+  for (int users : {10000, 100000, 1000000}) {
+    if (users > max_users) {
+      std::printf("E8 incremental: skipping %d users "
+                  "(MOIRA_BENCH_INCREMENTAL_MAX_USERS=%lld)\n",
+                  users, static_cast<long long>(max_users));
+      continue;
+    }
+    samples.push_back(RunIncrementalArm(/*incremental=*/false, users));
+    samples.push_back(RunIncrementalArm(/*incremental=*/true, users));
+  }
+
+  std::fprintf(f, "  \"incremental\": [\n");
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const IncrementalSample& s = samples[i];
+    std::fprintf(
+        f,
+        "    {\"config\": \"%s\", \"users\": %d, \"churn_per_pass\": %d, "
+        "\"passes\": %d, \"rows_examined\": %lld, \"bytes_shipped\": %lld, "
+        "\"journal_entries\": %lld, \"patch_ships\": %d, "
+        "\"patch_fallbacks\": %d, \"full_regens\": %d, "
+        "\"services_patched\": %d, \"wall_ms\": %.2f, \"oracle_files\": %d, "
+        "\"oracle_ok\": %s}%s\n",
+        s.config, s.users, s.churn_per_pass, s.passes,
+        static_cast<long long>(s.rows_examined),
+        static_cast<long long>(s.bytes_shipped),
+        static_cast<long long>(s.journal_entries), s.patch_ships,
+        s.patch_fallbacks, s.full_regens, s.services_patched, s.wall_ms,
+        s.oracle_files, s.oracle_ok ? "true" : "false",
+        i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+
+  bool ok = true;
+  std::printf("E8 incremental propagation (full vs journal-delta, 0.1%% churn "
+              "per pass, seeded faults):\n");
+  std::printf("  %8s %-12s %14s %14s %9s %7s %6s %10s %9s\n", "users", "config",
+              "rows_examined", "bytes_shipped", "jrnl", "patch", "fallb",
+              "wall_ms", "oracle");
+  for (const IncrementalSample& s : samples) {
+    std::printf("  %8d %-12s %14lld %14lld %9lld %7d %6d %10.1f %9s\n", s.users,
+                s.config, static_cast<long long>(s.rows_examined),
+                static_cast<long long>(s.bytes_shipped),
+                static_cast<long long>(s.journal_entries), s.patch_ships,
+                s.patch_fallbacks, s.wall_ms, s.oracle_ok ? "ok" : "FAIL");
+    if (std::string(s.config) == "incremental" &&
+        (!s.oracle_ok || s.oracle_files <= 0)) {
+      std::printf("  ^^ FAIL: patched fleet must match a fresh full "
+                  "regeneration byte for byte\n");
+      ok = false;
+    }
+  }
+
+  double rows_ratio = 0.0;
+  double bytes_ratio = 0.0;
+  int gated_users = 0;
+  if (samples.size() >= 2) {
+    // Gate on the largest size that ran (>= 100k users unless capped lower).
+    const IncrementalSample& full = samples[samples.size() - 2];
+    const IncrementalSample& incr = samples[samples.size() - 1];
+    gated_users = full.users;
+    rows_ratio = incr.rows_examined > 0
+                     ? static_cast<double>(full.rows_examined) /
+                           static_cast<double>(incr.rows_examined)
+                     : 0.0;
+    bytes_ratio = incr.bytes_shipped > 0
+                      ? static_cast<double>(full.bytes_shipped) /
+                            static_cast<double>(incr.bytes_shipped)
+                      : 0.0;
+    std::printf("  at %d users: %.1fx fewer rows examined, %.1fx fewer bytes "
+                "shipped\n",
+                gated_users, rows_ratio, bytes_ratio);
+    if (rows_ratio < 50.0 || bytes_ratio < 50.0) {
+      std::printf("  ^^ FAIL: incremental mode must examine >= 50x fewer rows "
+                  "and ship >= 50x fewer bytes\n");
+      ok = false;
+    }
+  } else {
+    std::printf("  ^^ FAIL: no incremental samples ran\n");
+    ok = false;
+  }
+
+  bool oracle_all = !samples.empty();
+  int oracle_files = 0;
+  for (const IncrementalSample& s : samples) {
+    if (std::string(s.config) == "incremental") {
+      oracle_all = oracle_all && s.oracle_ok && s.oracle_files > 0;
+      oracle_files += s.oracle_files;
+    }
+  }
+  std::fprintf(
+      f,
+      "  \"gates\": [\n"
+      "    {\"name\": \"incremental_rows_reduction_x\", \"users\": %d, "
+      "\"value\": %.2f, \"pass\": %s},\n"
+      "    {\"name\": \"incremental_bytes_reduction_x\", \"users\": %d, "
+      "\"value\": %.2f, \"pass\": %s},\n"
+      "    {\"name\": \"patched_outputs_byte_identical\", \"value\": %d, "
+      "\"pass\": %s}\n"
+      "  ]",
+      gated_users, rows_ratio, rows_ratio >= 50.0 ? "true" : "false",
+      gated_users, bytes_ratio, bytes_ratio >= 50.0 ? "true" : "false",
+      oracle_files, oracle_all ? "true" : "false");
+  std::printf("\n");
   return ok;
 }
 
@@ -290,8 +586,20 @@ void PrintCycleReport() {
 
 int main(int argc, char** argv) {
   moira::PrintCycleReport();
-  bool resilience_ok = moira::RunResilienceReport("BENCH_propagation.json");
+  const char* path = "BENCH_propagation.json";
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_propagation\",\n");
+  bool resilience_ok = moira::RunResilienceReport(f);
+  std::fprintf(f, ",\n");
+  bool incremental_ok = moira::RunIncrementalReport(f);
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n\n", path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return resilience_ok ? 0 : 1;
+  return (resilience_ok && incremental_ok) ? 0 : 1;
 }

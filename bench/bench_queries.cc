@@ -464,6 +464,9 @@ struct ShardSample {
   double rows_examined_per_op;
   double critical_path_rows_per_op;
   double modeled_speedup_x;  // flat rows examined / this critical path
+  double wall_speedup_x;     // flat ns/op / this ns/op — informational only:
+                             // on a loaded or single-core host it understates
+                             // the model, so no gate binds to it
   int64_t single_shard_probes;
   int64_t fanout_scans;
   int64_t matched_rows;
@@ -557,6 +560,7 @@ ShardSample RunShardWorkload(const char* name, bool probe_heavy, Table* t,
       static_cast<double>(t->stats().rows_examined - examined0) / iterations;
   sample.critical_path_rows_per_op = static_cast<double>(critical_path) / iterations;
   sample.modeled_speedup_x = 1.0;  // filled against the flat run by the caller
+  sample.wall_speedup_x = 1.0;     // likewise
   sample.single_shard_probes = t->stats().single_shard_probes - single0;
   sample.fanout_scans = t->stats().fanout_scans - fanout0;
   sample.matched_rows = matched;
@@ -566,10 +570,11 @@ ShardSample RunShardWorkload(const char* name, bool probe_heavy, Table* t,
 bool RunShardedReport() {
   std::printf("Sharded vs flat: per-shard work model (single busiest shard = "
               "critical path)\n");
-  std::printf("%-12s %9s %7s %12s %11s %11s %9s\n", "workload", "rows", "shards",
-              "ns/op", "examined", "crit. path", "modeled");
+  std::printf("%-12s %9s %7s %12s %11s %11s %9s %8s\n", "workload", "rows",
+              "shards", "ns/op", "examined", "crit. path", "modeled", "wall");
   struct Flat {
     double examined_per_op;
+    double ns_per_op;
     int64_t matched_rows;
   };
   // Keyed by (rows, probe_heavy) of the flat run the sharded points compare
@@ -594,11 +599,15 @@ bool RunShardedReport() {
         const int iters = probe_heavy ? 2000 : (rows > 500000 ? 10 : 30);
         ShardSample s = RunShardWorkload(name, probe_heavy, t, rows, shards, iters);
         if (shards == 1) {
-          flats[{rows, probe_heavy}] = {s.rows_examined_per_op, s.matched_rows};
+          flats[{rows, probe_heavy}] = {s.rows_examined_per_op, s.ns_per_op,
+                                        s.matched_rows};
         }
         const Flat& flat = flats[{rows, probe_heavy}];
         if (s.critical_path_rows_per_op > 0) {
           s.modeled_speedup_x = flat.examined_per_op / s.critical_path_rows_per_op;
+        }
+        if (s.ns_per_op > 0) {
+          s.wall_speedup_x = flat.ns_per_op / s.ns_per_op;
         }
         results_ok = results_ok && s.matched_rows == flat.matched_rows;
         if (probe_heavy && shards > 1) {
@@ -616,9 +625,10 @@ bool RunShardedReport() {
         if (rows == 1000000 && shards == 1 && probe_heavy) {
           probe_1m_flat_examined = s.rows_examined_per_op;
         }
-        std::printf("%-12s %9zu %7zu %12.0f %11.1f %11.1f %8.2fx\n", name, rows,
-                    shards, s.ns_per_op, s.rows_examined_per_op,
-                    s.critical_path_rows_per_op, s.modeled_speedup_x);
+        std::printf("%-12s %9zu %7zu %12.0f %11.1f %11.1f %8.2fx %7.2fx\n", name,
+                    rows, shards, s.ns_per_op, s.rows_examined_per_op,
+                    s.critical_path_rows_per_op, s.modeled_speedup_x,
+                    s.wall_speedup_x);
         ShardSamples().push_back(s);
       }
     }
@@ -695,11 +705,13 @@ void WriteBenchJson(const char* path) {
                  "    {\"workload\": \"%s\", \"table_rows\": %zu, \"shards\": %zu, "
                  "\"ns_per_op\": %.1f, \"rows_examined_per_op\": %.2f, "
                  "\"critical_path_rows_per_op\": %.2f, \"modeled_speedup_x\": %.3f, "
+                 "\"wall_ns_per_op\": %.1f, \"wall_speedup_x\": %.3f, "
                  "\"single_shard_probes\": %lld, \"fanout_scans\": %lld, "
                  "\"matched_rows\": %lld}%s\n",
                  s.workload, s.table_rows, s.shards, s.ns_per_op,
                  s.rows_examined_per_op, s.critical_path_rows_per_op,
-                 s.modeled_speedup_x, static_cast<long long>(s.single_shard_probes),
+                 s.modeled_speedup_x, s.ns_per_op, s.wall_speedup_x,
+                 static_cast<long long>(s.single_shard_probes),
                  static_cast<long long>(s.fanout_scans),
                  static_cast<long long>(s.matched_rows),
                  i + 1 < sharded.size() ? "," : "");

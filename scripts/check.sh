@@ -13,8 +13,13 @@
 # (checkpoint -> rotate -> truncate -> restart -> replica bootstrap under the
 # seeded fault plan) under the sanitizers and replays a recorded data
 # directory through the offline mrrestore CLI.
+# A DCM smoke mode runs the incremental-propagation sweep (full regeneration
+# vs journal-delta patch shipping at 100k users / 0.1% churn per pass) plus
+# the dedicated incremental test binary, and fails unless the row/byte
+# reduction and byte-identity gates hold.
 # Usage: scripts/check.sh [build-dir]                   (default: build-asan)
 #        scripts/check.sh --bench-smoke [build-dir]     (default: build)
+#        scripts/check.sh --dcm-smoke [build-dir]       (default: build)
 #        scripts/check.sh --fault-smoke [build-dir]     (default: build-asan)
 #        scripts/check.sh --repl-smoke [build-dir]      (default: build-asan)
 #        scripts/check.sh --restore-smoke [build-dir]   (default: build-asan)
@@ -45,8 +50,35 @@ if [ "$1" = "--fault-smoke" ]; then
   BENCH_BIN="$(pwd)/$BUILD_DIR/bench/bench_propagation"
   # The unmatchable filter skips the timing loops; the resilience report still
   # runs, writes BENCH_propagation.json, and exits non-zero if the flaky
-  # fleet fails to converge (or converges no faster than the baseline).
-  (cd "$SMOKE_DIR" && "$BENCH_BIN" --benchmark_filter='^$')
+  # fleet fails to converge (or converges no faster than the baseline).  The
+  # incremental sweep is capped at 10k users here — the sanitizers make the
+  # 100k full-regeneration arm too slow for a smoke; the full-size sweep is
+  # the --dcm-smoke mode's job.
+  (cd "$SMOKE_DIR" && MOIRA_BENCH_INCREMENTAL_MAX_USERS=10000 \
+    "$BENCH_BIN" --benchmark_filter='^$')
+  python3 scripts/validate_bench_json.py "$SMOKE_DIR"/BENCH_*.json
+  exit 0
+fi
+
+if [ "$1" = "--dcm-smoke" ]; then
+  BUILD_DIR="${2:-build}"
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" -j --target bench_propagation --target test_dcm_incremental
+  # The dedicated suite first: delta extraction, keyed patch shipping with
+  # base-CRC fallback, truncation fallback, torn-write self-healing, the
+  # randomized churn oracle, and replica-offloaded generation reads.
+  "$BUILD_DIR"/tests/test_dcm_incremental
+  SMOKE_DIR="$BUILD_DIR/dcm-smoke"
+  rm -rf "$SMOKE_DIR"
+  mkdir -p "$SMOKE_DIR"
+  BENCH_BIN="$(pwd)/$BUILD_DIR/bench/bench_propagation"
+  # The unmatchable filter skips the timing loops; the incremental sweep
+  # still runs full vs journal-delta arms at 10k and 100k users and exits
+  # non-zero unless incremental mode examines >= 50x fewer rows, ships
+  # >= 50x fewer bytes, and the patched fleets match a fresh full
+  # regeneration byte for byte under the seeded fault plan.
+  (cd "$SMOKE_DIR" && MOIRA_BENCH_INCREMENTAL_MAX_USERS=100000 \
+    "$BENCH_BIN" --benchmark_filter='^$')
   python3 scripts/validate_bench_json.py "$SMOKE_DIR"/BENCH_*.json
   exit 0
 fi

@@ -21,8 +21,20 @@ REQUIRED_ARRAYS = {
                          "rows_examined_per_op", "index_probes_per_op"],
         "sharded_samples": ["workload", "table_rows", "shards", "ns_per_op",
                             "rows_examined_per_op", "critical_path_rows_per_op",
-                            "modeled_speedup_x", "single_shard_probes",
+                            "modeled_speedup_x", "wall_ns_per_op",
+                            "wall_speedup_x", "single_shard_probes",
                             "fanout_scans", "matched_rows"],
+        "gates": ["name", "value", "pass"],
+    },
+    "bench_propagation": {
+        "convergence": ["config", "flaky_permille", "seed", "hosts", "passes",
+                        "converged", "soft_failures", "host_retries"],
+        "quarantine": ["config", "passes", "attempts_on_down_host",
+                       "breaker_opens", "breaker_skips", "probe_failures"],
+        "incremental": ["config", "users", "churn_per_pass", "passes",
+                        "rows_examined", "bytes_shipped", "journal_entries",
+                        "patch_ships", "patch_fallbacks", "full_regens",
+                        "wall_ms", "oracle_files", "oracle_ok"],
         "gates": ["name", "value", "pass"],
     },
     "bench_replication": {

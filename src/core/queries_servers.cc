@@ -94,6 +94,7 @@ int32_t AddServerInfo(QueryCall& call) {
       Value(parsed.enable), Value(int64_t{0}) /* inprogress */,
       Value(int64_t{0}) /* harderror */, Value("") /* errmsg */, Value(call.args[6]),
       Value(parsed.ace_id), Value(int64_t{0}), Value(""), Value(""),
+      Value(int64_t{0}) /* last_gen_seq */,
   });
   mc.Stamp(mc.servers(), row, call.principal, call.client_name);
   return MR_SUCCESS;

@@ -109,6 +109,9 @@ void CreateMoiraSchema(Database* db, const SchemaOptions& options) {
             // Hot relation: hash-partitioned over list_id (SchemaOptions).
             "list_id", options.members_shards);
 
+  // last_gen_seq: the journal sequence covered by the service's last
+  // successful generation pass — the low-water mark for incremental
+  // (delta-based) regeneration (DESIGN.md "Incremental propagation").
   MakeTable(db, kServersTable,
             {
                 {"name", kStr},       {"update_int", kInt}, {"target_file", kStr},
@@ -116,7 +119,7 @@ void CreateMoiraSchema(Database* db, const SchemaOptions& options) {
                 {"type", kStr},       {"enable", kInt},     {"inprogress", kInt},
                 {"harderror", kInt},  {"errmsg", kStr},     {"acl_type", kStr},
                 {"acl_id", kInt},     {"modtime", kInt},    {"modby", kStr},
-                {"modwith", kStr},
+                {"modwith", kStr},    {"last_gen_seq", kInt},
             },
             {"name"});
 

@@ -9,6 +9,114 @@
 #include "src/db/exec.h"
 
 namespace moira {
+namespace {
+
+// Total rows examined across every table of a context's database: the
+// generation-read ledger the replica-offload counters are built from.
+int64_t DbRowsExamined(MoiraContext& mc) {
+  int64_t total = 0;
+  for (const std::string& name : mc.db().TableNames()) {
+    const Table* table = mc.db().GetTable(name);
+    total += table->stats().rows_examined;
+  }
+  return total;
+}
+
+// Splits a script into trimmed lines.
+std::vector<std::string> ScriptLines(const std::string& script) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < script.size()) {
+    size_t nl = script.find('\n', pos);
+    std::string_view line(script.data() + pos,
+                          (nl == std::string::npos ? script.size() : nl) - pos);
+    pos = nl == std::string::npos ? script.size() : nl + 1;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (!trimmed.empty()) {
+      lines.emplace_back(trimmed);
+    }
+  }
+  return lines;
+}
+
+// The install path of an archive member under a service's script: an
+// "extract <member> <dest>" line pins it exactly, a "syncdir <dir>" line
+// maps the whole archive to <dir>/<member>.
+struct InstallPaths {
+  std::map<std::string, std::string> by_member;
+  std::string sync_dir;
+
+  explicit InstallPaths(const std::string& script) {
+    for (const std::string& line : ScriptLines(script)) {
+      std::vector<std::string> words = Split(line, ' ');
+      if (words.size() == 3 && words[0] == "extract") {
+        by_member[words[1]] = words[2];
+      } else if (words.size() == 2 && words[0] == "syncdir") {
+        sync_dir = words[1];
+      }
+    }
+  }
+
+  std::string For(const std::string& member) const {
+    auto it = by_member.find(member);
+    if (it != by_member.end()) {
+      return it->second;
+    }
+    return sync_dir.empty() ? member : sync_dir + "/" + member;
+  }
+};
+
+// Derives the patch-apply script from a service's install script: the
+// extract/install/syncdir file plumbing collapses into one applypatch
+// instruction (the patch carries its own install paths); the exec/signal
+// tail is preserved so daemons still restart after a patched install.
+std::string PatchScript(const std::string& script) {
+  std::string out = "applypatch\n";
+  for (const std::string& line : ScriptLines(script)) {
+    std::vector<std::string> words = Split(line, ' ');
+    if (words[0] == "extract" || words[0] == "install" || words[0] == "syncdir") {
+      continue;
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+// Regenerate-and-diff fallback for services without a patch builder: every
+// member whose bytes changed becomes a whole-file replace edit.  Machines
+// absent from the old result are skipped — their hosts fail the
+// lts >= base_dfgen gate and take the full archive.
+ServicePatch DiffResults(const GeneratorResult& old_result,
+                         const GeneratorResult& fresh) {
+  ServicePatch sp;
+  auto diff_archive = [](const Archive& old_archive, const Archive& new_archive,
+                         std::map<std::string, MemberEdit>* edits) {
+    for (const auto& [member, contents] : new_archive.members()) {
+      const std::string* old_contents = old_archive.Find(member);
+      if (old_contents == nullptr || *old_contents != contents) {
+        MemberEdit edit;
+        edit.replace = true;
+        edit.replacement = contents;
+        (*edits)[member] = std::move(edit);
+      }
+    }
+  };
+  diff_archive(old_result.common, fresh.common, &sp.common);
+  for (const auto& [machine, archive] : fresh.per_host) {
+    auto it = old_result.per_host.find(machine);
+    if (it == old_result.per_host.end()) {
+      continue;
+    }
+    std::map<std::string, MemberEdit> edits;
+    diff_archive(it->second, archive, &edits);
+    if (!edits.empty()) {
+      sp.per_host[machine] = std::move(edits);
+    }
+  }
+  return sp;
+}
+
+}  // namespace
 
 // Snapshot of one servers-relation row the DCM works from.
 struct Dcm::ServiceRow {
@@ -41,6 +149,78 @@ void Dcm::set_resilience(const DcmResilienceConfig& config) {
 
 void Dcm::ConfigureService(const std::string& service, DcmServiceConfig config) {
   configs_[ToUpperCopy(service)] = std::move(config);
+}
+
+void Dcm::SetReadSource(MoiraContext* replica,
+                        std::function<bool(uint64_t)> catch_up) {
+  read_mc_ = replica;
+  catch_up_ = std::move(catch_up);
+  read_source_ok_ = false;
+}
+
+MoiraContext& Dcm::GenContext() {
+  return read_source_ok_ && read_mc_ != nullptr ? *read_mc_ : *mc_;
+}
+
+void Dcm::ChargeGenerationRows(MoiraContext& gen, int64_t rows_before,
+                               DcmRunSummary* summary) {
+  int64_t delta = DbRowsExamined(gen) - rows_before;
+  if (&gen == mc_) {
+    summary->generation_rows_primary += delta;
+  } else {
+    summary->generation_rows_replica += delta;
+  }
+}
+
+bool Dcm::ResolveEdits(const std::map<std::string, MemberEdit>& edits,
+                       const std::string& script, Archive* archive,
+                       ArchivePatch* out) {
+  static const std::string kEmptyBase;
+  InstallPaths paths(script);
+  for (const auto& [member, edit] : edits) {
+    const std::string* old_contents = archive->Find(member);
+    if (old_contents == nullptr) {
+      // A keyed edit needs the member's current bytes; only whole-file
+      // replacements may introduce a member (hosts that already carry a
+      // stale copy fail the base CRC and take the full archive).
+      if (!edit.replace) {
+        return false;
+      }
+      old_contents = &kEmptyBase;
+    }
+    std::string fresh;
+    if (edit.replace) {
+      fresh = edit.replacement;
+    } else {
+      KeyedFile file = KeyedFile::Parse(*old_contents, edit.rule);
+      for (const PatchOp& op : edit.ops) {
+        if (op.kind == PatchOp::kDelete) {
+          file.DeleteBlock(op.key);
+        } else {
+          file.SetBlock(op.key, op.block);
+        }
+      }
+      fresh = file.Serialize();
+    }
+    if (fresh == *old_contents) {
+      continue;  // the mutation had no effect on this member's bytes
+    }
+    FilePatch patch;
+    patch.member = member;
+    patch.path = paths.For(member);
+    patch.key_rule = edit.rule;
+    patch.base_crc = Crc32(*old_contents);
+    patch.result_crc = Crc32(fresh);
+    patch.replace = edit.replace;
+    if (edit.replace) {
+      patch.contents = edit.replacement;
+    } else {
+      patch.ops = edit.ops;
+    }
+    out->Add(std::move(patch));
+    archive->Add(member, std::move(fresh));
+  }
+  return true;
 }
 
 const GeneratorResult* Dcm::StagedPayload(const std::string& service) const {
@@ -77,6 +257,13 @@ void Dcm::GeneratePhase(const ServiceRow& service, DcmRunSummary* summary) {
   }
   MoiraContext::SetCellInternal(servers, service.row, "inprogress", Value(int64_t{1}));
   const UnixTime now = mc_->Now();
+  if (journal_ != nullptr) {
+    // Journal mode: delta extraction and patch staging replace the
+    // table-modtime check entirely.
+    JournalGenerate(service, config_it->second, now, summary);
+    MoiraContext::SetCellInternal(servers, service.row, "inprogress", Value(int64_t{0}));
+    return;
+  }
   // Incremental check: only rebuild if a relevant table changed since the
   // files were last generated (paper section 5.1.E).
   if (staged_.contains(service.name) &&
@@ -115,14 +302,199 @@ void Dcm::GeneratePhase(const ServiceRow& service, DcmRunSummary* summary) {
   MoiraContext::SetCellInternal(servers, service.row, "inprogress", Value(int64_t{0}));
 }
 
+void Dcm::JournalGenerate(const ServiceRow& service, const DcmServiceConfig& config,
+                          UnixTime now, DcmRunSummary* summary) {
+  Table* servers = mc_->servers();
+  MoiraContext& gen = GenContext();
+  const int64_t rows_before = DbRowsExamined(gen);
+  const uint64_t last_gen = static_cast<uint64_t>(
+      MoiraContext::IntCell(servers, service.row, "last_gen_seq"));
+  const uint64_t high = pass_high_seq_;
+
+  // Advances the consumed-journal marker (and dfgen when fresh files were
+  // staged, so hosts become due).
+  auto advance = [&](bool bump_dfgen) {
+    if (bump_dfgen) {
+      MoiraContext::SetCellInternal(servers, service.row, "dfgen", Value(now));
+    }
+    MoiraContext::SetCellInternal(servers, service.row, "dfcheck", Value(now));
+    MoiraContext::SetCellInternal(servers, service.row, "last_gen_seq",
+                                  Value(static_cast<int64_t>(high)));
+  };
+
+  auto skip_pass = [&] {
+    advance(/*bump_dfgen=*/false);
+    ++summary->services_no_change;
+    ++summary->services_delta_skipped;
+  };
+
+  auto count_distinct_files = [&](const GeneratorResult& result) {
+    std::set<std::pair<std::string, uint32_t>> distinct;
+    for (const auto& [name, contents] : result.common.members()) {
+      distinct.emplace(name, Crc32(contents));
+    }
+    for (const auto& [host, archive] : result.per_host) {
+      for (const auto& [name, contents] : archive.members()) {
+        distinct.emplace(name, Crc32(contents));
+      }
+    }
+    summary->files_generated += static_cast<int>(distinct.size());
+  };
+
+  // Full regeneration: first pass, truncated journal, unbounded mutation
+  // reach, or a patch build that could not complete.  Clears the patch state
+  // so every host takes the full archive.
+  auto full_regen = [&](bool truncated) {
+    patch_state_.erase(service.name);
+    ++summary->full_regens;
+    if (truncated) {
+      ++summary->truncation_fallbacks;
+    }
+    GeneratorResult result;
+    int32_t code = config.generator(gen, &result);
+    if (code != MR_SUCCESS) {
+      MoiraContext::SetCellInternal(servers, service.row, "harderror",
+                                    Value(int64_t{code}));
+      MoiraContext::SetCellInternal(servers, service.row, "errmsg",
+                                    Value(ErrorMessage(code)));
+      ReportHardError("generator " + service.name, ErrorMessage(code));
+      ++summary->generation_hard_errors;
+      return;
+    }
+    count_distinct_files(result);
+    staged_[service.name] = std::move(result);
+    advance(/*bump_dfgen=*/true);
+    ++summary->services_generated;
+  };
+
+  auto run = [&] {
+    if (!staged_.contains(service.name)) {
+      // First journal-mode pass (or a restarted DCM): no staged base to
+      // patch against.
+      full_regen(/*truncated=*/false);
+      return;
+    }
+    if (journal_->base_seq() > last_gen) {
+      // Entries (last_gen, base_seq] were pruned past a checkpoint: the
+      // delta cannot be reconstructed, so regenerate — never ship a gapped
+      // patch (same contract as the replica snapshot fallback).
+      full_regen(/*truncated=*/true);
+      return;
+    }
+    if (high <= last_gen) {
+      skip_pass();
+      return;
+    }
+    std::vector<JournalEntry> entries = journal_->EntriesFromSeq(last_gen + 1);
+    while (!entries.empty() && entries.back().seq > high) {
+      entries.pop_back();  // appended after this pass's high-water snapshot
+    }
+    summary->journal_entries_examined += static_cast<int64_t>(entries.size());
+    DeltaPlan plan = ExtractDeltaPlan(gen, entries);
+    if (plan.FullFor(service.name)) {
+      full_regen(/*truncated=*/false);
+      return;
+    }
+    if (config.delta_affected ? !config.delta_affected(plan) : plan.entries == 0) {
+      skip_pass();
+      return;
+    }
+
+    GeneratorResult& staged = staged_[service.name];
+    std::set<std::string> old_machines;
+    for (const auto& [machine, archive] : staged.per_host) {
+      old_machines.insert(machine);
+    }
+    ServicePatch sp;
+    GeneratorResult fresh;
+    bool have_fresh = false;
+    if (config.patch_builder) {
+      if (config.patch_builder(gen, plan, staged, &sp) != MR_SUCCESS) {
+        full_regen(/*truncated=*/false);
+        return;
+      }
+    } else {
+      // No keyed builder: regenerate and diff, shipping only changed members.
+      if (config.generator(gen, &fresh) != MR_SUCCESS) {
+        full_regen(/*truncated=*/false);
+        return;
+      }
+      sp = DiffResults(staged, fresh);
+      have_fresh = true;
+    }
+
+    PatchState ps;
+    ps.base_dfgen = MoiraContext::IntCell(servers, service.row, "dfgen");
+    ps.script = PatchScript(config.script);
+    int total_files = 0;
+    ArchivePatch common_patch;
+    if (!ResolveEdits(sp.common, config.script, &staged.common, &common_patch)) {
+      full_regen(/*truncated=*/false);
+      return;
+    }
+    if (!common_patch.empty()) {
+      total_files += static_cast<int>(common_patch.size());
+      ps.per_host[""] =
+          HostPatch{common_patch.Serialize(), static_cast<int>(common_patch.size())};
+    }
+    for (const auto& [machine, edits] : sp.per_host) {
+      auto archive_it = staged.per_host.find(machine);
+      if (archive_it == staged.per_host.end()) {
+        full_regen(/*truncated=*/false);
+        return;
+      }
+      ArchivePatch host_patch;
+      if (!ResolveEdits(edits, config.script, &archive_it->second, &host_patch)) {
+        full_regen(/*truncated=*/false);
+        return;
+      }
+      if (!host_patch.empty()) {
+        total_files += static_cast<int>(host_patch.size());
+        ps.per_host[machine] =
+            HostPatch{host_patch.Serialize(), static_cast<int>(host_patch.size())};
+      }
+    }
+    if (have_fresh) {
+      staged_[service.name] = std::move(fresh);
+    }
+    if (total_files == 0) {
+      // Every recomputed block matched the staged bytes: the mutations had
+      // no effect on this service's files.
+      skip_pass();
+      return;
+    }
+    // Hosts whose per-host archive was untouched this pass still need their
+    // lts bumped; they get an empty (verify-nothing) patch.
+    std::string empty_patch = ArchivePatch().Serialize();
+    for (const std::string& machine : old_machines) {
+      if (!ps.per_host.contains(machine)) {
+        ps.per_host[machine] = HostPatch{empty_patch, 0};
+      }
+    }
+    patch_state_[service.name] = std::move(ps);
+    advance(/*bump_dfgen=*/true);
+    summary->files_generated += total_files;
+    ++summary->services_generated;
+    ++summary->services_patched;
+  };
+  run();
+  ChargeGenerationRows(gen, rows_before, summary);
+}
+
 void Dcm::HostScanPhase(const ServiceRow& service, DcmRunSummary* summary) {
   auto staged_it = staged_.find(service.name);
   if (staged_it == staged_.end()) {
     // Nothing staged (e.g. the DCM restarted): regenerate on demand without
-    // touching dfgen so host due-ness is preserved.
+    // touching dfgen so host due-ness is preserved.  In journal mode
+    // last_gen_seq is also left alone — the staged files simply reflect a
+    // state at least as new, which idempotent keyed recomputes tolerate.
     auto config_it = configs_.find(service.name);
+    MoiraContext& gen = GenContext();
+    const int64_t rows_before = DbRowsExamined(gen);
     GeneratorResult result;
-    if (config_it->second.generator(*mc_, &result) != MR_SUCCESS) {
+    int32_t code = config_it->second.generator(gen, &result);
+    ChargeGenerationRows(gen, rows_before, summary);
+    if (code != MR_SUCCESS) {
       return;
     }
     staged_it = staged_.emplace(service.name, std::move(result)).first;
@@ -138,6 +510,27 @@ void Dcm::HostScanPhase(const ServiceRow& service, DcmRunSummary* summary) {
   Table* servers = mc_->servers();
   Table* sh = mc_->serverhosts();
   const UnixTime dfgen = MoiraContext::IntCell(servers, service.row, "dfgen");
+  // Per-service breaker tunables, falling back to the global knobs.
+  int breaker_threshold = resilience_.breaker_threshold;
+  UnixTime breaker_cooldown = resilience_.breaker_cooldown;
+  if (auto tunables = resilience_.per_service.find(service.name);
+      tunables != resilience_.per_service.end()) {
+    if (tunables->second.threshold > 0) {
+      breaker_threshold = tunables->second.threshold;
+    }
+    if (tunables->second.cooldown > 0) {
+      breaker_cooldown = tunables->second.cooldown;
+    }
+  }
+  // The patch staged for this service, if its last generating pass was
+  // incremental.
+  const PatchState* patch_state = nullptr;
+  if (journal_ != nullptr) {
+    auto ps_it = patch_state_.find(service.name);
+    if (ps_it != patch_state_.end()) {
+      patch_state = &ps_it->second;
+    }
+  }
   // A host needs an update when it is eligible (enabled, no standing hard
   // error) and either stale — last success predates the current data files
   // (lts < dfgen) — or explicitly forced via the override flag.  Both arms
@@ -196,7 +589,23 @@ void Dcm::HostScanPhase(const ServiceRow& service, DcmRunSummary* summary) {
     const UnixTime now = mc_->Now();
     MoiraContext::SetCellInternal(sh, row, "ltt", Value(now));
     const Archive& archive = staged_it->second.ForHost(machine_name);
-    std::string payload = archive.Serialize();
+    // Patch eligibility: the host installed the previous payload (lts at
+    // least the patch's base dfgen) and is not explicitly forced.  Forced
+    // hosts and stragglers receive the full archive.
+    const HostPatch* host_patch = nullptr;
+    if (patch_state != nullptr &&
+        MoiraContext::IntCell(sh, row, "override") == 0 &&
+        MoiraContext::IntCell(sh, row, "lts") >= patch_state->base_dfgen) {
+      auto hp_it = patch_state->per_host.find(machine_name);
+      if (hp_it == patch_state->per_host.end()) {
+        hp_it = patch_state->per_host.find("");
+      }
+      if (hp_it != patch_state->per_host.end()) {
+        host_patch = &hp_it->second;
+      }
+    }
+    bool use_patch = host_patch != nullptr;
+    std::string payload = use_patch ? host_patch->bytes : archive.Serialize();
     UpdateOutcome outcome;
     if (hosts_->down()) {
       // Hesiod outage: the machine cannot be resolved right now.  That is a
@@ -206,9 +615,21 @@ void Dcm::HostScanPhase(const ServiceRow& service, DcmRunSummary* summary) {
       outcome = UpdateOutcome{MR_UPDATE_CONN, /*hard=*/false,
                               "directory server unreachable", 0, 0, UpdatePhase::kNone};
     } else {
-      outcome = update_client_.Update(hosts_->Find(machine_name), service.target, payload,
-                                      configs_[service.name].script,
-                                      /*single_attempt=*/half_open_probe);
+      outcome = update_client_.Update(
+          hosts_->Find(machine_name), service.target, payload,
+          use_patch ? patch_state->script : configs_[service.name].script,
+          /*single_attempt=*/half_open_probe);
+      if (outcome.code == MR_UPDATE_PATCH && use_patch) {
+        // The host's installed base did not match the patch (missed pass,
+        // torn write, manual edit): reship the full archive in the same pass
+        // so it self-heals instead of drifting.
+        ++summary->patch_fallbacks;
+        use_patch = false;
+        payload = archive.Serialize();
+        outcome = update_client_.Update(hosts_->Find(machine_name), service.target,
+                                        payload, configs_[service.name].script,
+                                        /*single_attempt=*/half_open_probe);
+      }
     }
     if (outcome.attempts > 1) {
       summary->host_retries += outcome.attempts - 1;
@@ -230,7 +651,12 @@ void Dcm::HostScanPhase(const ServiceRow& service, DcmRunSummary* summary) {
         ++summary->probe_successes;
       }
       ++summary->hosts_updated;
-      summary->propagations += static_cast<int>(archive.size());
+      if (use_patch) {
+        ++summary->patch_ships;
+        summary->propagations += host_patch->files;
+      } else {
+        summary->propagations += static_cast<int>(archive.size());
+      }
       summary->bytes_propagated += static_cast<int64_t>(payload.size());
     } else if (!outcome.hard) {
       // Soft failure: record the message, retry on a later pass.
@@ -246,12 +672,12 @@ void Dcm::HostScanPhase(const ServiceRow& service, DcmRunSummary* summary) {
         if (half_open_probe) {
           MoiraContext::SetCellInternal(sh, row, "breaker", Value(kBreakerOpen));
           MoiraContext::SetCellInternal(sh, row, "breaker_until",
-                                        Value(after + resilience_.breaker_cooldown));
+                                        Value(after + breaker_cooldown));
           ++summary->probe_failures;
-        } else if (consec >= resilience_.breaker_threshold) {
+        } else if (consec >= breaker_threshold) {
           MoiraContext::SetCellInternal(sh, row, "breaker", Value(kBreakerOpen));
           MoiraContext::SetCellInternal(sh, row, "breaker_until",
-                                        Value(after + resilience_.breaker_cooldown));
+                                        Value(after + breaker_cooldown));
           MoiraContext::SetCellInternal(
               sh, row, "breaker_opens",
               Value(MoiraContext::IntCell(sh, row, "breaker_opens") + 1));
@@ -294,6 +720,12 @@ DcmRunSummary Dcm::RunOnce() {
     return summary;
   }
   summary.ran = true;
+  // Journal mode: fix the pass's high-water seq, and try to bring the read
+  // replica (if any) up to it so generation reads can be offloaded.  All
+  // writes (dfgen/lts/last_gen_seq bookkeeping) stay on the primary.
+  pass_high_seq_ = journal_ != nullptr ? journal_->last_seq() : 0;
+  read_source_ok_ = journal_ != nullptr && read_mc_ != nullptr &&
+                    catch_up_ && catch_up_(pass_high_seq_);
   Table* servers = mc_->servers();
   std::vector<ServiceRow> services;
   From(servers).Emit([&](const std::vector<size_t>& rows) {
@@ -349,14 +781,23 @@ void ConfigureStandardServices(Dcm* dcm) {
                        {kUsersTable, kMachineTable, kClusterTable, kMcmapTable, kSvcTable,
                         kListTable, kMembersTable, kFilesysTable, kPrintcapTable,
                         kServicesTable, kServerHostsTable},
-                       hesiod_script});
+                       hesiod_script, BuildHesiodPatch,
+                       [](const DeltaPlan& plan) {
+                         return !plan.users.empty() || !plan.lists.empty() ||
+                                plan.clusters_dirty || plan.filsys_dirty ||
+                                plan.printcaps_dirty || plan.services_dirty ||
+                                plan.sloc_dirty;
+                       }});
 
   // NFS: partition files and credentials, then the quota/locker script runs.
   dcm->ConfigureService(
       "NFS", DcmServiceConfig{GenerateNfs,
                               {kUsersTable, kListTable, kMembersTable, kFilesysTable,
                                kNfsPhysTable, kNfsQuotaTable, kServerHostsTable},
-                              "syncdir /site/moira\nexec update_lockers\n"});
+                              "syncdir /site/moira\nexec update_lockers\n",
+                              BuildNfsPatch, [](const DeltaPlan& plan) {
+                                return !plan.users.empty() || !plan.quotas.empty();
+                              }});
 
   // SMTP (mail hub): the aliases file is staged but not auto-installed — the
   // mail spool must be disabled during the switchover (paper section 5.8.2).
@@ -364,13 +805,21 @@ void ConfigureStandardServices(Dcm* dcm) {
       "SMTP", DcmServiceConfig{GenerateMail,
                                {kUsersTable, kListTable, kMembersTable, kMachineTable,
                                 kStringsTable},
-                               "syncdir /usr/lib/moira.staged\n"});
+                               "syncdir /usr/lib/moira.staged\n", BuildMailPatch,
+                               [](const DeltaPlan& plan) {
+                                 return !plan.users.empty() || !plan.lists.empty();
+                               }});
 
   // ZEPHYR: acl files installed and the servers restarted.
+  // No patch builder: journal mode regenerates and diffs the acl files
+  // (zephyr class membership expansion is not block-local).
   dcm->ConfigureService(
       "ZEPHYR", DcmServiceConfig{GenerateZephyrAcls,
                                  {kZephyrTable, kListTable, kMembersTable, kUsersTable},
-                                 "syncdir /etc/athena/zephyr/acl\nexec restart_zephyrd\n"});
+                                 "syncdir /etc/athena/zephyr/acl\nexec restart_zephyrd\n",
+                                 nullptr, [](const DeltaPlan& plan) {
+                                   return plan.zephyr_dirty;
+                                 }});
 }
 
 }  // namespace moira

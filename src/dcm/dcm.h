@@ -12,6 +12,7 @@
 #define MOIRA_SRC_DCM_DCM_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "src/core/context.h"
 #include "src/dcm/generators.h"
 #include "src/dcm/locks.h"
+#include "src/server/journal.h"
 #include "src/update/sim_host.h"
 #include "src/update/update_client.h"
 #include "src/zephyrd/zephyr_bus.h"
@@ -41,6 +43,14 @@ struct DcmServiceConfig {
   // The install instruction sequence shipped to the hosts (the "script"
   // column names it; the DCM owns the content, one per service).
   std::string script;
+  // Incremental mode (journal attached): recomputes the blocks of the dirty
+  // records in a delta plan.  Null: the service falls back to
+  // regenerate-and-diff, still shipping patches but paying full-scan reads.
+  PatchBuilderFn patch_builder;
+  // Whether a delta plan touches this service at all; a pass whose plan does
+  // not affect the service skips generation entirely (the seq high-water
+  // mark still advances).  Null: any journal entry counts as relevant.
+  std::function<bool(const DeltaPlan&)> delta_affected;
 };
 
 struct DcmRunSummary {
@@ -63,17 +73,37 @@ struct DcmRunSummary {
   int probe_successes = 0;      // half-open probes that closed the breaker
   int probe_failures = 0;       // half-open probes that re-opened it
   int directory_outages = 0;    // updates deferred because Hesiod was down
+  // Incremental-propagation counters (journal mode; DESIGN.md).
+  int services_patched = 0;       // passes that staged a keyed/diff patch
+  int services_delta_skipped = 0; // journal showed no relevant mutations
+  int full_regens = 0;            // journal-mode passes regenerated fully
+  int truncation_fallbacks = 0;   // full regens forced by a truncated journal
+  int patch_ships = 0;            // host updates delivered as patches
+  int patch_fallbacks = 0;        // base-CRC refusals -> full archive reship
+  int64_t journal_entries_examined = 0;
+  int64_t generation_rows_primary = 0;  // generation reads on the primary
+  int64_t generation_rows_replica = 0;  // generation reads on the replica
 };
 
 // Knobs for the DCM's resilience layer: the in-pass retry policy handed to
 // the UpdateClient and the per-host circuit breaker.  Disabled reproduces the
 // paper's one-attempt-per-pass behaviour exactly.
+// Per-service-class breaker overrides: a replicated service whose hosts must
+// converge quickly can trip faster and cool down sooner than a bulk file
+// service.  Zero fields fall back to the global knobs.
+struct BreakerTunables {
+  int threshold = 0;          // 0 -> DcmResilienceConfig::breaker_threshold
+  UnixTime cooldown = 0;      // 0 -> DcmResilienceConfig::breaker_cooldown
+};
+
 struct DcmResilienceConfig {
   bool enabled = true;
   // Consecutive soft failures (across passes) that open a host's breaker.
   int breaker_threshold = 3;
   // How long an open breaker quarantines its host before a half-open probe.
   UnixTime breaker_cooldown = kSecondsPerHour;
+  // Overrides keyed by uppercase service name.
+  std::map<std::string, BreakerTunables> per_service;
   RetryPolicy retry;            // default: one attempt, no in-pass retries
   UpdateDeadlines deadlines;    // default: unbounded phases
 };
@@ -98,6 +128,20 @@ class Dcm {
   // a simulated clock during retry backoffs.
   UpdateClient& update_client() { return update_client_; }
 
+  // Attaches the server journal: generation switches from table-modtime
+  // checks to journal-delta extraction (servers.last_gen_seq records each
+  // service's consumed prefix), and host updates ship keyed patches with a
+  // full-archive fallback (DESIGN.md "Incremental propagation").  Null
+  // detaches and restores the legacy behaviour.
+  void AttachJournal(const Journal* journal) { journal_ = journal; }
+
+  // Routes generation reads through a replica context.  At the start of each
+  // pass `catch_up` is invoked with the pass's high-water journal seq and
+  // must return true once the replica has applied at least that much; on
+  // false the pass falls back to reading the primary.  Null detaches.
+  void SetReadSource(MoiraContext* replica,
+                     std::function<bool(uint64_t)> catch_up);
+
   // One cron-invoked DCM pass over all services and hosts.
   DcmRunSummary RunOnce();
 
@@ -110,11 +154,47 @@ class Dcm {
  private:
   struct ServiceRow;
 
+  // One host's shippable patch bytes plus its file count (for propagation
+  // accounting).
+  struct HostPatch {
+    std::string bytes;
+    int files = 0;
+  };
+  // The patch staged by the last generating pass of a service.  Hosts whose
+  // lts matches base_dfgen (they installed the previous payload) take the
+  // patch; everyone else gets the full archive.
+  struct PatchState {
+    UnixTime base_dfgen = 0;
+    std::string script;  // applypatch + the service script's exec tail
+    // Keyed by machine name; "" holds the common-archive patch.  A machine
+    // present in the staged per-host map but untouched by the pass maps to
+    // an empty (bump-only) patch.
+    std::map<std::string, HostPatch> per_host;
+  };
+
   bool GenerationDue(const ServiceRow& service) const;
   bool TablesChangedSince(const DcmServiceConfig& config, UnixTime since) const;
   void GeneratePhase(const ServiceRow& service, DcmRunSummary* summary);
+  // Journal-mode generation: delta extraction, patch build, fallbacks.
+  void JournalGenerate(const ServiceRow& service, const DcmServiceConfig& config,
+                       UnixTime now, DcmRunSummary* summary);
   void HostScanPhase(const ServiceRow& service, DcmRunSummary* summary);
   void ReportHardError(const std::string& where, const std::string& message);
+
+  // The context generation reads go through (the replica when a read source
+  // is attached and caught up, the primary otherwise).
+  MoiraContext& GenContext();
+  // Adds the rows examined in `gen`'s database since `rows_before` to the
+  // matching generation-read counter.
+  void ChargeGenerationRows(MoiraContext& gen, int64_t rows_before,
+                            DcmRunSummary* summary);
+
+  // Applies keyed/replace edits to `archive` in place and appends a
+  // FilePatch per member whose bytes changed.  Returns false when an edit
+  // references a missing member (caller escalates to a full regeneration).
+  bool ResolveEdits(const std::map<std::string, MemberEdit>& edits,
+                    const std::string& script, Archive* archive,
+                    ArchivePatch* out);
 
   MoiraContext* mc_;
   ZephyrBus* zephyr_;
@@ -123,8 +203,15 @@ class Dcm {
   LockManager locks_;
   std::map<std::string, DcmServiceConfig> configs_;
   std::map<std::string, GeneratorResult> staged_;
+  std::map<std::string, PatchState> patch_state_;
   DcmResilienceConfig resilience_;
   bool nodcm_ = false;
+
+  const Journal* journal_ = nullptr;
+  MoiraContext* read_mc_ = nullptr;
+  std::function<bool(uint64_t)> catch_up_;
+  bool read_source_ok_ = false;   // this pass: replica caught up to high water
+  uint64_t pass_high_seq_ = 0;    // journal last_seq at pass start
 };
 
 // Installs the four standard Athena services' generators and scripts

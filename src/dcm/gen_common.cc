@@ -53,7 +53,11 @@ std::map<int64_t, std::vector<GroupMembership>> BuildUserGroupMap(MoiraContext& 
   int id_col = lists->ColumnIndex("list_id");
   int gid_col = lists->ColumnIndex("gid");
   int name_col = lists->ColumnIndex("name");
-  // For each active group list, expand to users once, then invert.
+  // For each active group list, expand to users once, then invert.  The
+  // expansion runs in ascending list-id order so each user's membership
+  // vector matches UserGroupsFor's closure-derived order exactly — the
+  // incremental patch builders recompute single users and must reproduce the
+  // full build byte for byte.
   Table* users = mc.users();
   int login_col = users->ColumnIndex("login");
   int users_id_col = users->ColumnIndex("users_id");
@@ -62,21 +66,43 @@ std::map<int64_t, std::vector<GroupMembership>> BuildUserGroupMap(MoiraContext& 
     login_to_id[users->Cell(rows[0], login_col).AsString()] =
         users->Cell(rows[0], users_id_col).AsInt();
   });
+  std::map<int64_t, GroupMembership> group_lists;  // list_id -> (name, gid)
   From(lists)
       .WhereNe("active", Value(int64_t{0}))
       .WhereNe("grouplist", Value(int64_t{0}))
       .Emit([&](const std::vector<size_t>& rows) {
         size_t row = rows[0];
-        GroupMembership membership{lists->Cell(row, name_col).AsString(),
-                                   lists->Cell(row, gid_col).AsInt()};
-        for (const std::string& login :
-             ExpandListToLogins(mc, lists->Cell(row, id_col).AsInt(), /*active_only=*/true)) {
-          auto it = login_to_id.find(login);
-          if (it != login_to_id.end()) {
-            out[it->second].push_back(membership);
-          }
-        }
+        group_lists[lists->Cell(row, id_col).AsInt()] =
+            GroupMembership{lists->Cell(row, name_col).AsString(),
+                            lists->Cell(row, gid_col).AsInt()};
       });
+  for (const auto& [list_id, membership] : group_lists) {
+    for (const std::string& login :
+         ExpandListToLogins(mc, list_id, /*active_only=*/true)) {
+      auto it = login_to_id.find(login);
+      if (it != login_to_id.end()) {
+        out[it->second].push_back(membership);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<GroupMembership> UserGroupsFor(MoiraContext& mc, int64_t users_id) {
+  std::vector<GroupMembership> out;
+  Table* lists = mc.list();
+  // The containing-list closure is already ascending by list id, mirroring
+  // BuildUserGroupMap's expansion order.
+  for (int64_t list_id : mc.ContainingListClosure("USER", users_id)) {
+    RowRef list = mc.ListById(list_id);
+    if (list.code != MR_SUCCESS ||
+        MoiraContext::IntCell(lists, list.row, "active") == 0 ||
+        MoiraContext::IntCell(lists, list.row, "grouplist") == 0) {
+      continue;
+    }
+    out.push_back(GroupMembership{MoiraContext::StrCell(lists, list.row, "name"),
+                                  MoiraContext::IntCell(lists, list.row, "gid")});
+  }
   return out;
 }
 

@@ -1,6 +1,11 @@
 // Hesiod generator: the 11 BIND-format .db files of paper section 5.8.2.
 // All hesiod target machines receive identical files, so the DCM prepares one
 // archive and propagates it to every target host.
+//
+// The per-record files (passwd/uid/pobox/grplist/group/gid) are emitted
+// through KeyedFile so the full build and the incremental patch path produce
+// byte-identical output; the small topology files (cluster/filsys/printcap/
+// service/sloc) are rebuilt whole and shipped as replacements when dirty.
 #include <map>
 #include <set>
 
@@ -24,6 +29,56 @@ std::string MachineNameById(MoiraContext& mc, int64_t mach_id) {
   RowRef mach = mc.ExactOne(mc.machine(), "mach_id", Value(mach_id), MR_MACHINE);
   return mach.code == MR_SUCCESS ? MoiraContext::StrCell(mc.machine(), mach.row, "name")
                                  : "???";
+}
+
+// --- per-record lines, shared by the full build and the patch builder ---
+
+std::string UserPasswdLine(MoiraContext& mc, size_t user_row) {
+  const std::string& login = MoiraContext::StrCell(mc.users(), user_row, "login");
+  return UnspecA(login + ".passwd", PasswdLine(mc, user_row));
+}
+
+std::string UserUidLine(MoiraContext& mc, size_t user_row) {
+  const std::string& login = MoiraContext::StrCell(mc.users(), user_row, "login");
+  return Cname(std::to_string(MoiraContext::IntCell(mc.users(), user_row, "uid")) + ".uid",
+               login + ".passwd");
+}
+
+// Empty unless the user has a POP box.
+std::string UserPoboxLine(MoiraContext& mc, size_t user_row) {
+  if (MoiraContext::StrCell(mc.users(), user_row, "potype") != "POP") {
+    return "";
+  }
+  const std::string& login = MoiraContext::StrCell(mc.users(), user_row, "login");
+  std::string machine =
+      MachineNameById(mc, MoiraContext::IntCell(mc.users(), user_row, "pop_id"));
+  return UnspecA(login + ".pobox", "POP " + machine + " " + login);
+}
+
+std::string GrplistLine(const std::string& login,
+                        const std::vector<GroupMembership>& groups) {
+  std::string data = login;
+  // The user's own group (named after the login) leads, as in the paper's
+  // examples.
+  for (const GroupMembership& m : groups) {
+    if (m.group_name == login) {
+      data += ":" + std::to_string(m.gid);
+    }
+  }
+  for (const GroupMembership& m : groups) {
+    if (m.group_name != login) {
+      data += ":" + m.group_name + ":" + std::to_string(m.gid);
+    }
+  }
+  return UnspecA(login + ".grplist", data);
+}
+
+std::string GroupLine(const std::string& name, int64_t gid) {
+  return UnspecA(name + ".group", name + ":*:" + std::to_string(gid) + ":");
+}
+
+std::string GidLine(const std::string& name, int64_t gid) {
+  return Cname(std::to_string(gid) + ".gid", name + ".group");
 }
 
 // cluster.db: per-cluster service data plus a CNAME for every machine; a
@@ -98,8 +153,8 @@ std::string BuildFilsysDb(MoiraContext& mc) {
 }
 
 // group.db / gid.db / grplist.db share the active-group scan.
-void BuildGroupFiles(MoiraContext& mc, std::string* group_db, std::string* gid_db,
-                     std::string* grplist_db) {
+void BuildGroupFiles(MoiraContext& mc, KeyedFile* group_db, KeyedFile* gid_db,
+                     KeyedFile* grplist_db) {
   Table* lists = mc.list();
   From(lists)
       .WhereNe("active", Value(int64_t{0}))
@@ -107,53 +162,37 @@ void BuildGroupFiles(MoiraContext& mc, std::string* group_db, std::string* gid_d
       .Emit([&](const std::vector<size_t>& rows) {
         const std::string& name = MoiraContext::StrCell(lists, rows[0], "name");
         int64_t gid = MoiraContext::IntCell(lists, rows[0], "gid");
-        *group_db += UnspecA(name + ".group", name + ":*:" + std::to_string(gid) + ":");
-        *gid_db += Cname(std::to_string(gid) + ".gid", name + ".group");
+        group_db->AppendLine(GroupLine(name, gid));
+        gid_db->AppendLine(GidLine(name, gid));
       });
   // grplist.db: one entry per active user listing (groupname, gid) pairs.
   std::map<int64_t, std::vector<GroupMembership>> user_groups = BuildUserGroupMap(mc);
   Table* users = mc.users();
   int users_id_col = users->ColumnIndex("users_id");
+  static const std::vector<GroupMembership> kNoGroups;
   From(users)
       .WhereEq("status", Value(int64_t{kUserActive}))
       .Emit([&](const std::vector<size_t>& rows) {
-    size_t row = rows[0];
-    const std::string& login = MoiraContext::StrCell(users, row, "login");
-    std::string data = login;
-    auto it = user_groups.find(users->Cell(row, users_id_col).AsInt());
-    if (it != user_groups.end()) {
-      // The user's own group (named after the login) leads, as in the
-      // paper's examples.
-      for (const GroupMembership& m : it->second) {
-        if (m.group_name == login) {
-          data += ":" + std::to_string(m.gid);
-        }
-      }
-      for (const GroupMembership& m : it->second) {
-        if (m.group_name != login) {
-          data += ":" + m.group_name + ":" + std::to_string(m.gid);
-        }
-      }
-    }
-    *grplist_db += UnspecA(login + ".grplist", data);
-  });
+        size_t row = rows[0];
+        auto it = user_groups.find(users->Cell(row, users_id_col).AsInt());
+        grplist_db->AppendLine(
+            GrplistLine(MoiraContext::StrCell(users, row, "login"),
+                        it != user_groups.end() ? it->second : kNoGroups));
+      });
 }
 
-void BuildUserFiles(MoiraContext& mc, std::string* passwd_db, std::string* uid_db,
-                    std::string* pobox_db) {
+void BuildUserFiles(MoiraContext& mc, KeyedFile* passwd_db, KeyedFile* uid_db,
+                    KeyedFile* pobox_db) {
   Table* users = mc.users();
   From(users)
       .WhereEq("status", Value(int64_t{kUserActive}))
       .Emit([&](const std::vector<size_t>& rows) {
         size_t row = rows[0];
-        const std::string& login = MoiraContext::StrCell(users, row, "login");
-        *passwd_db += UnspecA(login + ".passwd", PasswdLine(mc, row));
-        *uid_db += Cname(std::to_string(MoiraContext::IntCell(users, row, "uid")) + ".uid",
-                         login + ".passwd");
-        if (MoiraContext::StrCell(users, row, "potype") == "POP") {
-          std::string machine =
-              MachineNameById(mc, MoiraContext::IntCell(users, row, "pop_id"));
-          *pobox_db += UnspecA(login + ".pobox", "POP " + machine + " " + login);
+        passwd_db->AppendLine(UserPasswdLine(mc, row));
+        uid_db->AppendLine(UserUidLine(mc, row));
+        std::string pobox = UserPoboxLine(mc, row);
+        if (!pobox.empty()) {
+          pobox_db->AppendLine(pobox);
         }
       });
 }
@@ -197,28 +236,130 @@ std::string BuildSlocDb(MoiraContext& mc) {
   return out;
 }
 
+void Upsert(MemberEdit* edit, std::string key, std::string block) {
+  edit->ops.push_back(PatchOp{PatchOp::kUpsert, std::move(key), std::move(block)});
+}
+
+void Delete(MemberEdit* edit, std::string key) {
+  edit->ops.push_back(PatchOp{PatchOp::kDelete, std::move(key), ""});
+}
+
 }  // namespace
 
 int32_t GenerateHesiod(MoiraContext& mc, GeneratorResult* out) {
-  std::string group_db;
-  std::string gid_db;
-  std::string grplist_db;
+  KeyedFile group_db;
+  KeyedFile gid_db;
+  KeyedFile grplist_db;
   BuildGroupFiles(mc, &group_db, &gid_db, &grplist_db);
-  std::string passwd_db;
-  std::string uid_db;
-  std::string pobox_db;
+  KeyedFile passwd_db;
+  KeyedFile uid_db;
+  KeyedFile pobox_db;
   BuildUserFiles(mc, &passwd_db, &uid_db, &pobox_db);
   out->common.Add("cluster.db", BuildClusterDb(mc));
   out->common.Add("filsys.db", BuildFilsysDb(mc));
-  out->common.Add("gid.db", std::move(gid_db));
-  out->common.Add("group.db", std::move(group_db));
-  out->common.Add("grplist.db", std::move(grplist_db));
-  out->common.Add("passwd.db", std::move(passwd_db));
-  out->common.Add("pobox.db", std::move(pobox_db));
+  out->common.Add("gid.db", gid_db.Serialize());
+  out->common.Add("group.db", group_db.Serialize());
+  out->common.Add("grplist.db", grplist_db.Serialize());
+  out->common.Add("passwd.db", passwd_db.Serialize());
+  out->common.Add("pobox.db", pobox_db.Serialize());
   out->common.Add("printcap.db", BuildPrintcapDb(mc));
   out->common.Add("service.db", BuildServiceDb(mc));
   out->common.Add("sloc.db", BuildSlocDb(mc));
-  out->common.Add("uid.db", std::move(uid_db));
+  out->common.Add("uid.db", uid_db.Serialize());
+  return MR_SUCCESS;
+}
+
+int32_t BuildHesiodPatch(MoiraContext& mc, const DeltaPlan& plan,
+                         const GeneratorResult& staged, ServicePatch* out) {
+  (void)staged;  // hesiod ships one common archive; nothing per-host to probe
+  MemberEdit& passwd = out->common["passwd.db"];
+  MemberEdit& uid = out->common["uid.db"];
+  MemberEdit& pobox = out->common["pobox.db"];
+  MemberEdit& grplist = out->common["grplist.db"];
+  MemberEdit& group = out->common["group.db"];
+  MemberEdit& gid = out->common["gid.db"];
+
+  for (const std::string& login : plan.users) {
+    RowRef user = mc.UserByLogin(login);
+    if (user.code != MR_SUCCESS) {
+      return user.code;  // escalate: the plan says dirty but the row is gone
+    }
+    bool active =
+        MoiraContext::IntCell(mc.users(), user.row, "status") == kUserActive;
+    // A dirty user's uid is stable across the delta window (uid changes
+    // escalate to full regeneration), so the uid.db key is reconstructible.
+    std::string uid_key =
+        std::to_string(MoiraContext::IntCell(mc.users(), user.row, "uid")) + ".uid";
+    if (active) {
+      Upsert(&passwd, login + ".passwd", UserPasswdLine(mc, user.row));
+      Upsert(&uid, uid_key, UserUidLine(mc, user.row));
+      std::string pobox_line = UserPoboxLine(mc, user.row);
+      if (pobox_line.empty()) {
+        Delete(&pobox, login + ".pobox");
+      } else {
+        Upsert(&pobox, login + ".pobox", std::move(pobox_line));
+      }
+      int64_t users_id = MoiraContext::IntCell(mc.users(), user.row, "users_id");
+      Upsert(&grplist, login + ".grplist",
+             GrplistLine(login, UserGroupsFor(mc, users_id)));
+    } else {
+      Delete(&passwd, login + ".passwd");
+      Delete(&uid, uid_key);
+      Delete(&pobox, login + ".pobox");
+      Delete(&grplist, login + ".grplist");
+    }
+  }
+
+  for (const std::string& name : plan.lists) {
+    RowRef list = mc.ListByName(name);
+    if (list.code != MR_SUCCESS) {
+      return list.code;
+    }
+    int64_t list_gid = MoiraContext::IntCell(mc.list(), list.row, "gid");
+    bool grouped =
+        MoiraContext::IntCell(mc.list(), list.row, "active") != 0 &&
+        MoiraContext::IntCell(mc.list(), list.row, "grouplist") != 0;
+    if (grouped) {
+      Upsert(&group, name + ".group", GroupLine(name, list_gid));
+      Upsert(&gid, std::to_string(list_gid) + ".gid", GidLine(name, list_gid));
+    } else {
+      Delete(&group, name + ".group");
+      Delete(&gid, std::to_string(list_gid) + ".gid");
+    }
+  }
+
+  // Small topology files: rebuild whole and ship as replacements.
+  if (plan.clusters_dirty) {
+    MemberEdit& edit = out->common["cluster.db"];
+    edit.replace = true;
+    edit.replacement = BuildClusterDb(mc);
+  }
+  if (plan.filsys_dirty) {
+    MemberEdit& edit = out->common["filsys.db"];
+    edit.replace = true;
+    edit.replacement = BuildFilsysDb(mc);
+  }
+  if (plan.printcaps_dirty) {
+    MemberEdit& edit = out->common["printcap.db"];
+    edit.replace = true;
+    edit.replacement = BuildPrintcapDb(mc);
+  }
+  if (plan.services_dirty) {
+    MemberEdit& edit = out->common["service.db"];
+    edit.replace = true;
+    edit.replacement = BuildServiceDb(mc);
+  }
+  if (plan.sloc_dirty) {
+    MemberEdit& edit = out->common["sloc.db"];
+    edit.replace = true;
+    edit.replacement = BuildSlocDb(mc);
+  }
+
+  // Drop edit entries that gathered no ops (e.g. no dirty user had a pobox).
+  for (auto it = out->common.begin(); it != out->common.end();) {
+    it = (it->second.ops.empty() && !it->second.replace) ? out->common.erase(it)
+                                                         : std::next(it);
+  }
   return MR_SUCCESS;
 }
 

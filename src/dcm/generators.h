@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "src/core/context.h"
+#include "src/dcm/delta.h"
 #include "src/update/archive.h"
+#include "src/update/patch.h"
 
 namespace moira {
 
@@ -43,6 +45,43 @@ int32_t GenerateNfs(MoiraContext& mc, GeneratorResult* out);
 int32_t GenerateMail(MoiraContext& mc, GeneratorResult* out);
 int32_t GenerateZephyrAcls(MoiraContext& mc, GeneratorResult* out);
 
+// --- incremental patch builders (DESIGN.md "Incremental propagation") ---
+
+// Keyed edits for one archive member, before the DCM resolves them against
+// the staged bytes (computes CRCs, drops no-op members, updates the staged
+// archive).
+struct MemberEdit {
+  KeyRule rule = KeyRule::kFirstToken;
+  bool replace = false;       // whole-file rebuild (unkeyed members)
+  std::string replacement;    // contents when replace is set
+  std::vector<PatchOp> ops;   // keyed edits otherwise
+};
+
+// The edits a delta plan implies for one service: edits against the common
+// archive plus per-host edits (keyed by canonical machine name, for services
+// like NFS whose files differ per server).
+struct ServicePatch {
+  std::map<std::string, MemberEdit> common;
+  std::map<std::string, std::map<std::string, MemberEdit>> per_host;
+
+  bool empty() const { return common.empty() && per_host.empty(); }
+};
+
+// Recomputes the blocks of every dirty record in `plan` against the current
+// database state and emits the implied edits.  Builders see the staged
+// result only to know which per-host archives exist; the DCM diffs the edits
+// against the staged bytes afterwards.  Any nonzero return escalates the
+// service to a full regeneration.
+using PatchBuilderFn = std::function<int32_t(
+    MoiraContext&, const DeltaPlan&, const GeneratorResult&, ServicePatch*)>;
+
+int32_t BuildHesiodPatch(MoiraContext& mc, const DeltaPlan& plan,
+                         const GeneratorResult& staged, ServicePatch* out);
+int32_t BuildNfsPatch(MoiraContext& mc, const DeltaPlan& plan,
+                      const GeneratorResult& staged, ServicePatch* out);
+int32_t BuildMailPatch(MoiraContext& mc, const DeltaPlan& plan,
+                       const GeneratorResult& staged, ServicePatch* out);
+
 // --- helpers shared by the generators (exposed for tests) ---
 
 // Recursively expands a list to its USER member logins (active users only if
@@ -57,6 +96,10 @@ struct GroupMembership {
   int64_t gid = 0;
 };
 std::map<int64_t, std::vector<GroupMembership>> BuildUserGroupMap(MoiraContext& mc);
+
+// The same pairs for one user, recomputed from the containing-list closure.
+// Matches BuildUserGroupMap's per-user vector exactly (ascending list id).
+std::vector<GroupMembership> UserGroupsFor(MoiraContext& mc, int64_t users_id);
 
 // A standard /etc/passwd line for a users-relation row.
 std::string PasswdLine(MoiraContext& mc, size_t user_row);

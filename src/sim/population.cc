@@ -370,7 +370,7 @@ int SiteBuilder::Build(const SiteSpec& spec) {
                          const char* script, const char* type) {
     mc.servers()->Append({Value(name), Value(interval_minutes), Value(target), Value(script),
                           zero, zero, Value(type), Value(int64_t{1}), zero, zero, Value(""),
-                          Value("NONE"), zero, Value(now), root, setup});
+                          Value("NONE"), zero, Value(now), root, setup, zero});
   };
   auto add_serverhost = [&](const char* service, int64_t mach_id, int64_t value1,
                             int64_t value2, const std::string& value3) {

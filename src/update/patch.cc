@@ -1,0 +1,234 @@
+#include "src/update/patch.h"
+
+#include <cstring>
+
+#include "src/common/checksum.h"
+
+namespace moira {
+namespace {
+
+constexpr char kPatchMagic[4] = {'M', 'P', 'A', 'T'};
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool GetU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < sizeof(*v)) {
+    return false;
+  }
+  std::memcpy(v, in->data(), sizeof(*v));
+  in->remove_prefix(sizeof(*v));
+  return true;
+}
+
+void PutCounted(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetCounted(std::string_view* in, std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(in, &len) || in->size() < len) {
+    return false;
+  }
+  s->assign(in->data(), len);
+  in->remove_prefix(len);
+  return true;
+}
+
+}  // namespace
+
+std::string KeyedFile::KeyOf(std::string_view line, KeyRule rule) {
+  if (rule == KeyRule::kUpToColon) {
+    size_t colon = line.find(':');
+    return std::string(line.substr(0, colon == std::string_view::npos
+                                          ? line.size()
+                                          : colon));
+  }
+  size_t start = line.find_first_not_of(" \t");
+  if (start == std::string_view::npos) {
+    return std::string();
+  }
+  size_t end = line.find_first_of(" \t", start);
+  return std::string(line.substr(start, end == std::string_view::npos
+                                            ? line.size() - start
+                                            : end - start));
+}
+
+KeyedFile KeyedFile::Parse(std::string_view text, KeyRule rule) {
+  KeyedFile file(rule);
+  bool in_prologue = true;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+    if (in_prologue && !line.empty() && (line[0] == ';' || line[0] == '#')) {
+      file.AppendPrologue(line);
+      continue;
+    }
+    in_prologue = false;
+    if (!line.empty()) {
+      file.AppendLine(line);
+    }
+  }
+  return file;
+}
+
+void KeyedFile::AppendLine(std::string_view line) {
+  std::string& block = blocks_[KeyOf(line, rule_)];
+  block.append(line);
+  if (block.empty() || block.back() != '\n') {
+    block.push_back('\n');
+  }
+}
+
+void KeyedFile::AppendPrologue(std::string_view line) {
+  prologue_.append(line);
+  if (prologue_.empty() || prologue_.back() != '\n') {
+    prologue_.push_back('\n');
+  }
+}
+
+void KeyedFile::SetBlock(const std::string& key, std::string block) {
+  if (!block.empty() && block.back() != '\n') {
+    block.push_back('\n');
+  }
+  blocks_[key] = std::move(block);
+}
+
+void KeyedFile::DeleteBlock(const std::string& key) { blocks_.erase(key); }
+
+const std::string* KeyedFile::FindBlock(std::string_view key) const {
+  auto it = blocks_.find(std::string(key));
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+std::string KeyedFile::Serialize() const {
+  std::string out = prologue_;
+  for (const auto& [key, block] : blocks_) {
+    out.append(block);
+  }
+  return out;
+}
+
+void ArchivePatch::Add(FilePatch patch) {
+  for (FilePatch& existing : files_) {
+    if (existing.member == patch.member) {
+      existing = std::move(patch);
+      return;
+    }
+  }
+  files_.push_back(std::move(patch));
+}
+
+const FilePatch* ArchivePatch::Find(std::string_view member) const {
+  for (const FilePatch& patch : files_) {
+    if (patch.member == member) {
+      return &patch;
+    }
+  }
+  return nullptr;
+}
+
+std::string ArchivePatch::Serialize() const {
+  std::string out(kPatchMagic, sizeof(kPatchMagic));
+  PutU32(&out, static_cast<uint32_t>(files_.size()));
+  for (const FilePatch& file : files_) {
+    PutCounted(&out, file.member);
+    PutCounted(&out, file.path);
+    PutU32(&out, static_cast<uint32_t>(file.key_rule));
+    PutU32(&out, file.base_crc);
+    PutU32(&out, file.result_crc);
+    PutU32(&out, file.replace ? 1 : 0);
+    PutCounted(&out, file.contents);
+    PutU32(&out, static_cast<uint32_t>(file.ops.size()));
+    for (const PatchOp& op : file.ops) {
+      PutU32(&out, static_cast<uint32_t>(op.kind));
+      PutCounted(&out, op.key);
+      PutCounted(&out, op.block);
+    }
+  }
+  PutU32(&out, Crc32(out));
+  return out;
+}
+
+std::optional<ArchivePatch> ArchivePatch::Parse(std::string_view bytes) {
+  if (bytes.size() < sizeof(kPatchMagic) + 2 * sizeof(uint32_t) ||
+      std::memcmp(bytes.data(), kPatchMagic, sizeof(kPatchMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::string_view body = bytes.substr(0, bytes.size() - sizeof(uint32_t));
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + body.size(), sizeof(stored_crc));
+  if (stored_crc != Crc32(body)) {
+    return std::nullopt;
+  }
+  std::string_view in = body.substr(sizeof(kPatchMagic));
+  uint32_t count = 0;
+  if (!GetU32(&in, &count)) {
+    return std::nullopt;
+  }
+  ArchivePatch patch;
+  for (uint32_t i = 0; i < count; ++i) {
+    FilePatch file;
+    uint32_t rule = 0;
+    uint32_t replace = 0;
+    uint32_t op_count = 0;
+    if (!GetCounted(&in, &file.member) || !GetCounted(&in, &file.path) ||
+        !GetU32(&in, &rule) || !GetU32(&in, &file.base_crc) ||
+        !GetU32(&in, &file.result_crc) || !GetU32(&in, &replace) ||
+        !GetCounted(&in, &file.contents) || !GetU32(&in, &op_count)) {
+      return std::nullopt;
+    }
+    if (rule > static_cast<uint32_t>(KeyRule::kUpToColon)) {
+      return std::nullopt;
+    }
+    file.key_rule = static_cast<KeyRule>(rule);
+    file.replace = replace != 0;
+    for (uint32_t j = 0; j < op_count; ++j) {
+      PatchOp op;
+      uint32_t kind = 0;
+      if (!GetU32(&in, &kind) || kind > PatchOp::kDelete ||
+          !GetCounted(&in, &op.key) || !GetCounted(&in, &op.block)) {
+        return std::nullopt;
+      }
+      op.kind = static_cast<PatchOp::Kind>(kind);
+      file.ops.push_back(std::move(op));
+    }
+    patch.Add(std::move(file));
+  }
+  if (!in.empty()) {
+    return std::nullopt;
+  }
+  return patch;
+}
+
+std::optional<std::string> ApplyFilePatch(std::string_view base,
+                                          const FilePatch& patch) {
+  if (Crc32(base) != patch.base_crc) {
+    return std::nullopt;
+  }
+  std::string result;
+  if (patch.replace) {
+    result = patch.contents;
+  } else {
+    KeyedFile file = KeyedFile::Parse(base, patch.key_rule);
+    for (const PatchOp& op : patch.ops) {
+      if (op.kind == PatchOp::kDelete) {
+        file.DeleteBlock(op.key);
+      } else {
+        file.SetBlock(op.key, op.block);
+      }
+    }
+    result = file.Serialize();
+  }
+  if (Crc32(result) != patch.result_crc) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+}  // namespace moira

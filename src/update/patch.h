@@ -1,0 +1,121 @@
+// Keyed-file patches for incremental DCM propagation (paper section 5.1.E:
+// files "will only be generated and propagated if the data has changed").
+//
+// Every server file the DCM patches incrementally is a *keyed text file*: a
+// sequence of blocks, each owned by one record key (a Hesiod name, a login,
+// a uid), preceded by an optional comment prologue.  KeyedFile is the
+// canonical in-memory form; both the full generators and the patch appliers
+// serialize through it (prologue verbatim, blocks sorted by key), so
+// "apply this patch to the old file" and "regenerate the file from the
+// database" produce byte-identical output whenever they agree on block
+// contents.
+//
+// An ArchivePatch is the wire form: per installed file, the expected base
+// CRC, a list of keyed upsert/delete ops (or a whole-file replacement for
+// unkeyed files), and the expected result CRC.  A host whose installed file
+// does not match the base CRC — it missed a pass, or tore a write — refuses
+// the patch, and the DCM falls back to shipping the full archive.
+#ifndef MOIRA_SRC_UPDATE_PATCH_H_
+#define MOIRA_SRC_UPDATE_PATCH_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moira {
+
+// How a line's owning key is derived.
+enum class KeyRule : uint8_t {
+  // Key is the first whitespace-delimited token ("login.passwd HS ...",
+  // "lockername uid gid type", "uid quota").
+  kFirstToken = 0,
+  // Key is everything before the first ':' ("login:*:uid:...",
+  // "listname: member, member").  Needed where later fields contain spaces.
+  kUpToColon = 1,
+};
+
+// Canonical keyed text file: comment prologue + key-sorted blocks.
+class KeyedFile {
+ public:
+  explicit KeyedFile(KeyRule rule = KeyRule::kFirstToken) : rule_(rule) {}
+
+  // Parses text into prologue + blocks.  Leading lines starting with ';' or
+  // '#' form the prologue; every following line is appended to the block of
+  // its derived key (consecutive or not — blocks are keyed, not positional).
+  static KeyedFile Parse(std::string_view text, KeyRule rule);
+
+  // Appends one line (newline added if missing) to its key's block.
+  void AppendLine(std::string_view line);
+  // Appends a raw prologue line (kept verbatim, before all blocks).
+  void AppendPrologue(std::string_view line);
+
+  void SetBlock(const std::string& key, std::string block);
+  void DeleteBlock(const std::string& key);
+  // Returns the block for a key, or nullptr.
+  const std::string* FindBlock(std::string_view key) const;
+
+  // Prologue, then blocks in ascending key order.
+  std::string Serialize() const;
+
+  KeyRule rule() const { return rule_; }
+  const std::map<std::string, std::string>& blocks() const { return blocks_; }
+
+  // The key a line belongs to under a rule.
+  static std::string KeyOf(std::string_view line, KeyRule rule);
+
+ private:
+  KeyRule rule_;
+  std::string prologue_;
+  std::map<std::string, std::string> blocks_;
+};
+
+// One keyed edit inside a file.
+struct PatchOp {
+  enum Kind : uint8_t { kUpsert = 0, kDelete = 1 };
+  Kind kind = kUpsert;
+  std::string key;
+  std::string block;  // empty for kDelete
+};
+
+// Edits for one installed file.
+struct FilePatch {
+  std::string member;    // archive member name (e.g. "passwd.db")
+  std::string path;      // installed path on the host
+  KeyRule key_rule = KeyRule::kFirstToken;
+  uint32_t base_crc = 0;    // CRC of the file the ops apply to
+  uint32_t result_crc = 0;  // CRC the patched file must hash to
+  bool replace = false;     // whole-file replacement (unkeyed files)
+  std::string contents;     // replacement contents when replace is set
+  std::vector<PatchOp> ops;
+};
+
+// The shippable unit: patches for every file a pass changed on one host.
+class ArchivePatch {
+ public:
+  void Add(FilePatch patch);
+  const FilePatch* Find(std::string_view member) const;
+
+  const std::vector<FilePatch>& files() const { return files_; }
+  bool empty() const { return files_.empty(); }
+  size_t size() const { return files_.size(); }
+
+  // Same framing discipline as Archive: magic, counted fields, trailing CRC.
+  std::string Serialize() const;
+  static std::optional<ArchivePatch> Parse(std::string_view bytes);
+
+ private:
+  std::vector<FilePatch> files_;
+};
+
+// Applies one file's patch to its base bytes.  Returns the patched contents,
+// or nullopt if the base does not hash to base_crc or the result does not
+// hash to result_crc (the caller falls back to a full ship).
+std::optional<std::string> ApplyFilePatch(std::string_view base,
+                                          const FilePatch& patch);
+
+}  // namespace moira
+
+#endif  // MOIRA_SRC_UPDATE_PATCH_H_

@@ -4,6 +4,7 @@
 #include "src/common/checksum.h"
 #include "src/common/random.h"
 #include "src/common/strutil.h"
+#include "src/update/patch.h"
 
 namespace moira {
 
@@ -175,12 +176,41 @@ int32_t SimHost::RunInstruction(std::string_view line, std::string* errmsg) {
     for (const auto& [member, contents] : archive->members()) {
       std::string dest = words[1] + "/" + member;
       files_[dest + kUpdateSuffix] = contents;
-      auto current = files_.find(dest);
-      if (current != files_.end()) {
-        files_[dest + kBackupSuffix] = std::move(current->second);
-      }
-      files_[dest] = contents;
+      FlushWrites(dest, contents);
       files_.erase(dest + kUpdateSuffix);
+    }
+    return MR_SUCCESS;
+  }
+  if (op == "applypatch" && words.size() == 1) {
+    // applypatch: the transferred data file is an ArchivePatch.  Two phases:
+    // first verify every base CRC and compute every result (nothing is
+    // touched if any file mismatches), then install them all.
+    const std::string* payload = ReadFile(session_target_);
+    if (payload == nullptr) {
+      *errmsg = "no transferred data file";
+      return MR_UPDATE_EXEC;
+    }
+    std::optional<ArchivePatch> patch = ArchivePatch::Parse(*payload);
+    if (!patch.has_value()) {
+      *errmsg = "transferred file is not a valid patch";
+      return MR_UPDATE_EXEC;
+    }
+    std::vector<std::pair<std::string, std::string>> staged;
+    staged.reserve(patch->size());
+    for (const FilePatch& file : patch->files()) {
+      const std::string* base = ReadFile(file.path);
+      std::optional<std::string> result =
+          ApplyFilePatch(base != nullptr ? std::string_view(*base)
+                                         : std::string_view(),
+                         file);
+      if (!result.has_value()) {
+        *errmsg = "patch base mismatch: " + file.path;
+        return MR_UPDATE_PATCH;
+      }
+      staged.emplace_back(file.path, std::move(*result));
+    }
+    for (auto& [path, contents] : staged) {
+      FlushWrites(path, std::move(contents));
     }
     return MR_SUCCESS;
   }
@@ -192,11 +222,7 @@ int32_t SimHost::RunInstruction(std::string_view line, std::string* errmsg) {
       *errmsg = "nothing to install for " + words[1];
       return MR_UPDATE_EXEC;
     }
-    auto current = files_.find(words[1]);
-    if (current != files_.end()) {
-      files_[words[1] + kBackupSuffix] = std::move(current->second);
-    }
-    files_[words[1]] = std::move(temp_it->second);
+    FlushWrites(words[1], std::move(temp_it->second));
     files_.erase(words[1] + kUpdateSuffix);
     return MR_SUCCESS;
   }
@@ -234,6 +260,19 @@ int32_t SimHost::RunInstruction(std::string_view line, std::string* errmsg) {
   }
   *errmsg = "unknown instruction: " + std::string(trimmed);
   return MR_UPDATE_EXEC;
+}
+
+void SimHost::FlushWrites(const std::string& path, std::string contents) {
+  auto current = files_.find(path);
+  if (current != files_.end()) {
+    files_[path + kBackupSuffix] = std::move(current->second);
+  }
+  if (ConsumeFailMode(HostFailMode::kTornFlush)) {
+    // Silent partial write: the caller (and thus the DCM) still sees
+    // success, so the host's lts advances over a torn file.
+    contents.resize(contents.size() / 2);
+  }
+  files_[path] = std::move(contents);
 }
 
 int32_t SimHost::ExecuteInstructions(std::string* errmsg) {
@@ -300,6 +339,10 @@ void ArmHost(const FaultPlanSpec& spec, SimHost* host, uint64_t seed) {
   }
   if (spec.corrupt_permille > 0 && rng.Chance(spec.corrupt_permille, 1000)) {
     host->SetFailMode(HostFailMode::kCorruptTransfer, 1);
+    return;
+  }
+  if (spec.torn_permille > 0 && rng.Chance(spec.torn_permille, 1000)) {
+    host->SetFailMode(HostFailMode::kTornFlush, 1);
   }
 }
 

@@ -42,6 +42,9 @@ enum class HostFailMode {
   kFlaky,                // refuse the next `count` attempts, then heal
   kSlow,                 // transfer succeeds but stalls past the deadline
   kCorruptTransfer,      // bits flip in flight: checksum mismatch, soft
+  kTornFlush,            // one installed file is silently truncated mid-flush:
+                         // the update reports success, so only the next
+                         // patch's base-CRC check can catch it
 };
 
 class SimHost {
@@ -105,6 +108,11 @@ class SimHost {
  private:
   bool ConsumeFailMode(HostFailMode mode);
   int32_t RunInstruction(std::string_view line, std::string* errmsg);
+  // Installs `contents` at `path` with the backup discipline shared by
+  // install/syncdir/applypatch.  A kTornFlush draw truncates the write but
+  // still reports success — the torn file is only caught later, by the next
+  // patch's base-CRC verification.
+  void FlushWrites(const std::string& path, std::string contents);
 
   std::string name_;
   ServiceVerifier verifier_;
@@ -159,6 +167,10 @@ struct FaultPlanSpec {
   UnixTime slow_seconds = kSecondsPerHour;
   // Probability that the transferred bytes are corrupted (checksum mismatch).
   int corrupt_permille = 0;
+  // Probability that one installed file tears mid-flush (silent truncation:
+  // the update still reports success; self-healing relies on the next
+  // patch's base-CRC check forcing a full ship).
+  int torn_permille = 0;
   // Directory-server outages (ROADMAP PR-4 residual): probability per pass
   // that the KDC refuses ticket requests, and that Hesiod (the
   // HostDirectory) fails lookups.  Already-issued tickets keep working, so

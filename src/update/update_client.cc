@@ -135,6 +135,12 @@ UpdateOutcome UpdateClient::Update(SimHost* host, const std::string& target,
     if (outcome.code == MR_SUCCESS || outcome.hard) {
       break;
     }
+    if (outcome.code == MR_UPDATE_PATCH) {
+      // A patch-base mismatch is deterministic — the installed file will not
+      // change by retrying.  Soft (the host is healthy), but handed straight
+      // back so the DCM can fall back to a full-archive ship.
+      break;
+    }
     UnixTime backoff = retry.RecordFailure();
     if (backoff < 0) {
       break;  // attempt budget or overall deadline exhausted
