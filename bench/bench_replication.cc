@@ -26,6 +26,7 @@
 #include <cctype>
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "src/core/schema.h"
 #include "src/krb/kerberos.h"
 #include "src/net/channel.h"
+#include "src/repl/cluster.h"
 #include "src/repl/repl_fault.h"
 #include "src/repl/replica.h"
 #include "src/repl/router.h"
@@ -228,6 +230,203 @@ ReplFaultSpec SeededFaults() {
   return spec;
 }
 
+// --- Failover sweep: quorum writes + automatic failover under faults ---
+
+struct FailoverResult {
+  int rounds = 0;
+  uint64_t seed = 0;
+  uint64_t write_attempts = 0;
+  uint64_t acked_writes = 0;        // writes the router acked to the caller
+  uint64_t lost_acked_writes = 0;   // acked but missing from the final dump
+  uint64_t elections_started = 0;
+  uint64_t promotions = 0;          // every one is election-driven, not operator
+  uint64_t step_downs = 0;
+  uint64_t epochs_observed = 0;
+  uint64_t split_brain_epochs = 0;  // an epoch seen writable on two nodes
+  bool unique_final_primary = false;
+  bool converged = false;
+};
+
+// A 3-node live-wire cluster under the seeded fault plan (crashes, link
+// flaps, slow applies, KDC outages, torn quorum pushes, symmetric and
+// asymmetric partitions).  Mirrors FailoverSweepTest: the oracle is the list
+// of writes the router ACKED — every one must appear in the final primary's
+// dump — plus a per-tick one-writable-primary-per-epoch scan.
+FailoverResult RunFailoverSweep(uint64_t seed, int rounds) {
+  ReplClusterOptions options;
+  options.missed_heartbeats = 2;
+  ReplCluster cluster(options);
+
+  auto factory = [&cluster](const ReplEndpoint& endpoint) {
+    auto client = std::make_unique<MrClient>(endpoint.connector);
+    client->SetKerberosIdentity(&cluster.realm(), "root", "rootpw");
+    return client;
+  };
+  std::vector<ReplEndpoint> endpoints;
+  for (int i = 0; i < cluster.size(); ++i) {
+    endpoints.push_back({cluster.node_name(i), cluster.ClientConnector(i)});
+  }
+  auto first = factory(endpoints[0]);
+  first->Connect();
+  first->Auth("bench-failover");
+  auto router = std::make_unique<ReplicatedClient>(std::move(first));
+  router->SetEndpoints(std::move(endpoints), factory, "bench-failover");
+  router->EnableTaggedWrites("fb");
+
+  ReplFaultSpec spec;
+  spec.seed = seed;
+  spec.crash_permille = 150;
+  spec.flap_permille = 200;
+  spec.slow_permille = 150;
+  spec.slow_apply_limit = 2;
+  spec.kdc_down_permille = 100;
+  spec.torn_push_permille = 200;
+  spec.partition_permille = 300;
+  spec.asym_partition_permille = 300;
+  ReplFaultPlan plan(spec);
+
+  std::vector<ReplicaServer*> raw;
+  std::vector<std::string> names;
+  for (int i = 0; i < cluster.size(); ++i) {
+    raw.push_back(cluster.node(i));
+    names.push_back(cluster.node_name(i));
+  }
+
+  FailoverResult result;
+  result.rounds = rounds;
+  result.seed = seed;
+  std::vector<std::string> acked;  // canonical uppercase, grepped verbatim
+  std::map<uint64_t, std::string> epoch_owner;
+  auto observe_primaries = [&] {
+    for (ReplicaServer* p : cluster.WritablePrimaries()) {
+      auto [it, inserted] = epoch_owner.emplace(p->epoch(), p->name());
+      if (!inserted && it->second != p->name()) {
+        ++result.split_brain_epochs;
+      }
+    }
+  };
+
+  for (int round = 0; round < rounds; ++round) {
+    plan.ArmRound(raw, &cluster.realm(), round, &cluster.net(), names);
+    for (int tick = 0; tick < 3; ++tick) {
+      cluster.Tick();
+      observe_primaries();
+    }
+    for (int w = 0; w < 2; ++w) {
+      std::string name =
+          "FB" + std::to_string(round) + "X" + std::to_string(w) + ".MIT.EDU";
+      ++result.write_attempts;
+      if (router->Query("add_machine", {name, "VAX"}, [](Tuple) {}) ==
+          MR_SUCCESS) {
+        acked.push_back(name);
+      }
+    }
+    observe_primaries();
+  }
+
+  // Heal everything; the cluster must converge on its own heartbeats — no
+  // operator Promote() anywhere in this sweep.
+  cluster.net().HealAll();
+  cluster.realm().SetDown(false);
+  for (ReplicaServer* node : raw) {
+    if (node->crashed()) {
+      node->Restart();
+    }
+    node->set_apply_limit(0);
+  }
+  ReplicaServer* final_primary = nullptr;
+  for (int i = 0; i < 40 && final_primary == nullptr; ++i) {
+    cluster.Tick();
+    final_primary = cluster.primary();
+  }
+  result.acked_writes = acked.size();
+  result.epochs_observed = epoch_owner.size();
+  for (ReplicaServer* node : raw) {
+    result.elections_started += node->stats().elections_started;
+    result.promotions += node->stats().promotions;
+    result.step_downs += node->stats().step_downs;
+  }
+  result.unique_final_primary = final_primary != nullptr;
+  if (final_primary == nullptr) {
+    // No dump to check against: every acked write is unverifiable, so the
+    // lost-write gate fails closed.
+    result.lost_acked_writes = result.acked_writes;
+    return result;
+  }
+
+  // One more write flushes the router's pending replay queue, then drain.
+  bool drained = router->Query("add_machine", {"fbdrain.mit.edu", "VAX"},
+                               [](Tuple) {}) == MR_SUCCESS &&
+                 router->pending_writes() == 0;
+  for (int i = 0; i < 60; ++i) {
+    cluster.Tick();
+    bool all = true;
+    for (ReplicaServer* node : raw) {
+      if (!node->crashed() && node != final_primary &&
+          node->applied_seq() < final_primary->server().journal().last_seq()) {
+        all = false;
+      }
+    }
+    if (all) {
+      break;
+    }
+  }
+  observe_primaries();
+  result.epochs_observed = epoch_owner.size();
+
+  const std::string golden = BackupManager::DumpToString(final_primary->db());
+  for (const std::string& name : acked) {
+    if (golden.find(name) == std::string::npos) {
+      ++result.lost_acked_writes;
+    }
+  }
+  result.converged = drained;
+  for (ReplicaServer* node : raw) {
+    if (node->crashed() || node == final_primary) {
+      continue;
+    }
+    if (BackupManager::DumpToString(node->db()) != golden ||
+        node->stats().apply_failures != 0) {
+      result.converged = false;
+    }
+  }
+  return result;
+}
+
+void PrintFailover(const FailoverResult& r) {
+  std::printf("  failover sweep               rounds=%d acked=%llu/%llu lost=%llu "
+              "elections=%llu promotions=%llu epochs=%llu split_brain=%llu %s\n",
+              r.rounds, static_cast<unsigned long long>(r.acked_writes),
+              static_cast<unsigned long long>(r.write_attempts),
+              static_cast<unsigned long long>(r.lost_acked_writes),
+              static_cast<unsigned long long>(r.elections_started),
+              static_cast<unsigned long long>(r.promotions),
+              static_cast<unsigned long long>(r.epochs_observed),
+              static_cast<unsigned long long>(r.split_brain_epochs),
+              r.converged ? "converged" : "DIVERGED");
+}
+
+void WriteFailoverJson(std::FILE* f, const FailoverResult& r) {
+  std::fprintf(f,
+               "    {\"rounds\": %d, \"seed\": %llu, \"write_attempts\": %llu, "
+               "\"acked_writes\": %llu, \"lost_acked_writes\": %llu, "
+               "\"elections_started\": %llu, \"promotions\": %llu, "
+               "\"step_downs\": %llu, \"epochs_observed\": %llu, "
+               "\"split_brain_epochs\": %llu, \"unique_final_primary\": %s, "
+               "\"converged\": %s}",
+               r.rounds, static_cast<unsigned long long>(r.seed),
+               static_cast<unsigned long long>(r.write_attempts),
+               static_cast<unsigned long long>(r.acked_writes),
+               static_cast<unsigned long long>(r.lost_acked_writes),
+               static_cast<unsigned long long>(r.elections_started),
+               static_cast<unsigned long long>(r.promotions),
+               static_cast<unsigned long long>(r.step_downs),
+               static_cast<unsigned long long>(r.epochs_observed),
+               static_cast<unsigned long long>(r.split_brain_epochs),
+               r.unique_final_primary ? "true" : "false",
+               r.converged ? "true" : "false");
+}
+
 void PrintRun(const char* tag, const RunResult& r) {
   std::printf("  %-28s replicas=%d reads=%llu busiest=%llu speedup=%.2fx "
               "max_lag=%llu ryw=%llu/%llu redirects=%llu snapshots=%llu %s\n",
@@ -284,9 +483,21 @@ bool RunReplicationReport(const char* path) {
                                   kExtraReadsPerRound);
   PrintRun("seeded faults", faulted);
 
+  // The failover acceptance run: quorum writes + heartbeat elections on a
+  // 3-node cluster under randomized partitions, flaps, and crashes.
+  FailoverResult failover = RunFailoverSweep(1988, 25);
+  PrintFailover(failover);
+
   const bool speedup_ok = faulted.speedup >= 3.0;
   const bool ryw_ok = faulted.ryw_failures == 0 && faulted.write_failures == 0;
   const bool converged_ok = faulted.converged && faulted.apply_failures == 0;
+  // The sweep must actually exercise failover (acked writes and elections
+  // both happened) for a zero-loss result to prove anything.
+  const bool no_lost_ok =
+      failover.lost_acked_writes == 0 && failover.acked_writes >= 10;
+  const bool auto_failover_ok = failover.unique_final_primary &&
+                                failover.converged && failover.promotions >= 1;
+  const bool one_primary_ok = failover.split_brain_epochs == 0;
   if (!speedup_ok) {
     std::printf("FAIL: read speedup %.2fx under faults is below the 3x gate\n",
                 faulted.speedup);
@@ -298,6 +509,19 @@ bool RunReplicationReport(const char* path) {
   }
   if (!converged_ok) {
     std::printf("FAIL: replica dumps diverged from the primary after the run\n");
+  }
+  if (!no_lost_ok) {
+    std::printf("FAIL: %llu acked write(s) lost in the failover sweep "
+                "(%llu acked)\n",
+                static_cast<unsigned long long>(failover.lost_acked_writes),
+                static_cast<unsigned long long>(failover.acked_writes));
+  }
+  if (!auto_failover_ok) {
+    std::printf("FAIL: failover sweep did not converge automatically\n");
+  }
+  if (!one_primary_ok) {
+    std::printf("FAIL: split brain — %llu epoch(s) writable on two nodes\n",
+                static_cast<unsigned long long>(failover.split_brain_epochs));
   }
 
   std::FILE* f = std::fopen(path, "w");
@@ -313,6 +537,8 @@ bool RunReplicationReport(const char* path) {
   }
   std::fprintf(f, "  ],\n  \"faulted\": [\n");
   WriteRunJson(f, faulted, faults.seed, true);
+  std::fprintf(f, "\n  ],\n  \"failover\": [\n");
+  WriteFailoverJson(f, failover);
   std::fprintf(f, "\n  ],\n  \"gates\": [\n");
   std::fprintf(f,
                "    {\"name\": \"read_speedup_with_4_replicas_ge_3x\", "
@@ -325,12 +551,28 @@ bool RunReplicationReport(const char* path) {
                ryw_ok ? "true" : "false");
   std::fprintf(f,
                "    {\"name\": \"replica_dumps_byte_identical\", \"value\": %d, "
-               "\"pass\": %s}\n",
+               "\"pass\": %s},\n",
                faulted.replicas, converged_ok ? "true" : "false");
+  std::fprintf(f,
+               "    {\"name\": \"failover_zero_acked_writes_lost\", "
+               "\"value\": %llu, \"pass\": %s},\n",
+               static_cast<unsigned long long>(failover.lost_acked_writes),
+               no_lost_ok ? "true" : "false");
+  std::fprintf(f,
+               "    {\"name\": \"failover_converges_automatically\", "
+               "\"value\": %llu, \"pass\": %s},\n",
+               static_cast<unsigned long long>(failover.promotions),
+               auto_failover_ok ? "true" : "false");
+  std::fprintf(f,
+               "    {\"name\": \"one_primary_per_epoch\", \"value\": %llu, "
+               "\"pass\": %s}\n",
+               static_cast<unsigned long long>(failover.split_brain_epochs),
+               one_primary_ok ? "true" : "false");
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("  wrote %s\n\n", path);
-  return speedup_ok && ryw_ok && converged_ok;
+  return speedup_ok && ryw_ok && converged_ok && no_lost_ok &&
+         auto_failover_ok && one_primary_ok;
 }
 
 // --- microbenchmarks ---

@@ -17,9 +17,16 @@
 # vs journal-delta patch shipping at 100k users / 0.1% churn per pass) plus
 # the dedicated incremental test binary, and fails unless the row/byte
 # reduction and byte-identity gates hold.
+# A failover smoke mode runs the quorum-write + automatic-failover suite
+# (elections, epoch fencing, router replay, the randomized
+# partition/flap/crash sweep) under ASan+UBSan and again under TSan, plus the
+# bench_replication failover gates (zero acked writes lost, automatic
+# convergence, one primary per epoch).
 # Usage: scripts/check.sh [build-dir]                   (default: build-asan)
 #        scripts/check.sh --bench-smoke [build-dir]     (default: build)
 #        scripts/check.sh --dcm-smoke [build-dir]       (default: build)
+#        scripts/check.sh --failover-smoke [build-dir] [tsan-build-dir]
+#                                          (defaults: build-asan, build-tsan)
 #        scripts/check.sh --fault-smoke [build-dir]     (default: build-asan)
 #        scripts/check.sh --repl-smoke [build-dir]      (default: build-asan)
 #        scripts/check.sh --restore-smoke [build-dir]   (default: build-asan)
@@ -97,6 +104,35 @@ if [ "$1" = "--repl-smoke" ]; then
   # and byte-identical-convergence gates all hold.
   (cd "$SMOKE_DIR" && "$BENCH_BIN" --benchmark_filter='^$')
   python3 scripts/validate_bench_json.py "$SMOKE_DIR"/BENCH_*.json
+  exit 0
+fi
+
+if [ "$1" = "--failover-smoke" ]; then
+  BUILD_DIR="${2:-build-asan}"
+  cmake -B "$BUILD_DIR" -S . -DMOIRA_SANITIZE=ON >/dev/null
+  cmake --build "$BUILD_DIR" -j --target test_failover --target bench_replication
+  # The dedicated suite: the quorum gate and its degraded modes, heartbeat
+  # elections with pre-vote and epoch fencing (split-brain regressions),
+  # asymmetric partitions, torn quorum pushes, tagged router replay, DCM
+  # offload over a cluster replica, and the randomized partition/flap/crash
+  # sweep against the lost-acked-write oracle.
+  "$BUILD_DIR"/tests/test_failover
+  SMOKE_DIR="$BUILD_DIR/failover-smoke"
+  rm -rf "$SMOKE_DIR"
+  mkdir -p "$SMOKE_DIR"
+  BENCH_BIN="$(pwd)/$BUILD_DIR/bench/bench_replication"
+  # The unmatchable filter skips the timing loops; the report still runs the
+  # failover sweep and exits non-zero unless zero acked writes were lost,
+  # failover converged without operator action, and every epoch had exactly
+  # one writable primary.
+  (cd "$SMOKE_DIR" && "$BENCH_BIN" --benchmark_filter='^$')
+  python3 scripts/validate_bench_json.py "$SMOKE_DIR"/BENCH_*.json
+  # The same suite again under ThreadSanitizer (TSan and ASan cannot share a
+  # build tree, hence the second one).
+  TSAN_DIR="${3:-build-tsan}"
+  cmake -B "$TSAN_DIR" -S . -DMOIRA_SANITIZE=thread >/dev/null
+  cmake --build "$TSAN_DIR" -j --target test_failover
+  "$TSAN_DIR"/tests/test_failover
   exit 0
 fi
 

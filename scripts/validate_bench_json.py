@@ -42,6 +42,10 @@ REQUIRED_ARRAYS = {
                     "ryw_failures", "converged"],
         "faulted": ["replicas", "seed", "reads", "read_speedup_x", "max_lag",
                     "ryw_checks", "ryw_failures", "snapshot_loads", "converged"],
+        "failover": ["rounds", "seed", "write_attempts", "acked_writes",
+                     "lost_acked_writes", "elections_started", "promotions",
+                     "epochs_observed", "split_brain_epochs",
+                     "unique_final_primary", "converged"],
         "gates": ["name", "value", "pass"],
     },
 }

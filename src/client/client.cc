@@ -219,6 +219,57 @@ int32_t MrClient::ReplFetch(std::string_view replica_name, uint64_t from_seq,
   return RoundTrip(request, &sink);
 }
 
+int32_t MrClient::ReplFetch(std::string_view replica_name, uint64_t from_seq,
+                            int max_entries, uint64_t epoch, const TupleSink& sink) {
+  if (epoch == 0) {
+    return ReplFetch(replica_name, from_seq, max_entries, sink);
+  }
+  MrRequest request{kMrProtocolVersion,
+                    MajorRequest::kReplFetch,
+                    {std::string(replica_name), std::to_string(from_seq),
+                     std::to_string(max_entries), std::to_string(epoch)}};
+  return RoundTrip(request, &sink);
+}
+
+int32_t MrClient::ReplPush(uint64_t epoch, uint64_t prev_seq, uint64_t prev_epoch,
+                           const std::vector<std::string>& lines) {
+  MrRequest request{kMrProtocolVersion, MajorRequest::kReplPush, {}};
+  request.args.reserve(lines.size() + 3);
+  request.args.push_back(std::to_string(epoch));
+  request.args.push_back(std::to_string(prev_seq));
+  request.args.push_back(std::to_string(prev_epoch));
+  request.args.insert(request.args.end(), lines.begin(), lines.end());
+  return RoundTrip(request, nullptr);
+}
+
+int32_t MrClient::ReplHello() {
+  return RoundTrip(MrRequest{kMrProtocolVersion, MajorRequest::kReplHello, {}}, nullptr);
+}
+
+int32_t MrClient::ReplVote(uint64_t epoch, uint64_t candidate_applied_seq,
+                           uint64_t candidate_tail_epoch,
+                           std::string_view candidate_name, bool pre) {
+  MrRequest request{kMrProtocolVersion,
+                    MajorRequest::kReplVote,
+                    {std::to_string(epoch), std::to_string(candidate_applied_seq),
+                     std::to_string(candidate_tail_epoch), std::string(candidate_name)}};
+  if (pre) {
+    request.args.push_back("pre");
+  }
+  return RoundTrip(request, nullptr);
+}
+
+int32_t MrClient::QueryTagged(std::string_view tag, std::string_view name,
+                              const std::vector<std::string>& args,
+                              const TupleSink& sink) {
+  MrRequest request{kMrProtocolVersion, MajorRequest::kQueryTagged, {}};
+  request.args.reserve(args.size() + 2);
+  request.args.emplace_back(tag);
+  request.args.emplace_back(name);
+  request.args.insert(request.args.end(), args.begin(), args.end());
+  return RoundTrip(request, &sink);
+}
+
 int32_t MrClient::ReplSnapshot(std::string_view replica_name, const TupleSink& sink) {
   MrRequest request{kMrProtocolVersion, MajorRequest::kReplSnapshot,
                     {std::string(replica_name)}};

@@ -97,7 +97,30 @@ class MrClient final : public MoiraClientApi {
   // [table, row_line].  The final reply fields land in last_fields().
   int32_t ReplFetch(std::string_view replica_name, uint64_t from_seq, int max_entries,
                     const TupleSink& sink);
+  // As above, carrying the replica's epoch floor so a deposed primary is
+  // fenced on contact (MR_REPL_EPOCH); epoch 0 omits the floor.
+  int32_t ReplFetch(std::string_view replica_name, uint64_t from_seq, int max_entries,
+                    uint64_t epoch, const TupleSink& sink);
   int32_t ReplSnapshot(std::string_view replica_name, const TupleSink& sink);
+
+  // Quorum replication + failover RPCs (DESIGN.md "Replication layer").
+  // ReplPush ships epoch-stamped journal lines primary -> replica; the final
+  // reply (last_fields()) is [applied_seq, replica_epoch].  ReplHello is the
+  // unauthenticated liveness/role probe, final reply
+  // [applied_seq, epoch, writable].  ReplVote solicits an election vote,
+  // final reply [granted, voter_epoch_floor]; with `pre` set the voter
+  // answers whether it WOULD grant without binding itself (Raft pre-vote),
+  // so a candidate that cannot win never poisons its own epoch floor.
+  // QueryTagged runs a mutation under an idempotency tag: replaying the tag
+  // acks the original seq.
+  int32_t ReplPush(uint64_t epoch, uint64_t prev_seq, uint64_t prev_epoch,
+                   const std::vector<std::string>& lines);
+  int32_t ReplHello();
+  int32_t ReplVote(uint64_t epoch, uint64_t candidate_applied_seq,
+                   uint64_t candidate_tail_epoch, std::string_view candidate_name,
+                   bool pre = false);
+  int32_t QueryTagged(std::string_view tag, std::string_view name,
+                      const std::vector<std::string>& args, const TupleSink& sink);
 
   // Asks the server to spawn a DCM immediately (Trigger_DCM).
   int32_t TriggerDcm();

@@ -94,7 +94,9 @@ inline constexpr int32_t kMrErrorBase = ErrorTableBase("sms");
   X(MR_REPL_READONLY, "Replica is read-only; send changes to the primary")            \
   X(MR_REPL_TRUNCATED, "Requested journal entries have been truncated")               \
   X(MR_REPL_BEHIND, "Replica has not caught up to the requested sequence")            \
-  X(MR_UPDATE_PATCH, "Installed file does not match patch base")
+  X(MR_UPDATE_PATCH, "Installed file does not match patch base")                      \
+  X(MR_QUORUM_TIMEOUT, "Write not acknowledged by a quorum of replicas")              \
+  X(MR_REPL_EPOCH, "Stale replication epoch; a newer primary has been elected")
 
 // Error code constants.  MR_SUCCESS is 0 by convention; all other codes are
 // offset into the "sms" com_err table.

@@ -37,6 +37,21 @@ enum class MajorRequest : uint32_t {
   kReplFetch = 5,
   kReplSnapshot = 6,
   kQueryAtSeq = 7,
+  // Quorum replication + failover (src/repl).  kReplPush ships journal
+  // entries primary -> replica: args [epoch, line...]; the final reply is
+  // [applied_seq, replica_epoch] (MR_REPL_BEHIND when the first line does not
+  // extend the replica's applied prefix, MR_REPL_EPOCH when the pusher's
+  // epoch is stale).  kReplHello is an unauthenticated liveness/role probe:
+  // no args, reply [applied_seq, epoch, writable] — used for heartbeat
+  // discovery and primary re-discovery.  kReplVote solicits an election vote:
+  // args [epoch, candidate_applied_seq, candidate_name], reply
+  // [granted, voter_epoch_floor].  kQueryTagged is a mutation carrying an
+  // idempotency tag: args [tag, query, query-args...]; a replayed tag is
+  // acknowledged with the original sequence number instead of re-executing.
+  kReplPush = 8,
+  kReplHello = 9,
+  kReplVote = 10,
+  kQueryTagged = 11,
 };
 
 struct MrRequest {

@@ -1,6 +1,7 @@
 #include "src/repl/repl_fault.h"
 
 #include "src/common/random.h"
+#include "src/repl/cluster.h"
 
 namespace moira {
 namespace {
@@ -19,6 +20,16 @@ SplitMix64 StreamFor(uint64_t seed, int round, int index) {
 
 void ReplFaultPlan::ArmRound(const std::vector<ReplicaServer*>& replicas,
                              KerberosRealm* realm, int round) const {
+  ArmRound(replicas, realm, round, nullptr, {});
+}
+
+void ReplFaultPlan::ArmRound(const std::vector<ReplicaServer*>& replicas,
+                             KerberosRealm* realm, int round,
+                             NetworkPartition* net,
+                             const std::vector<std::string>& names) const {
+  if (net != nullptr) {
+    net->HealAll();  // last round's cuts heal; this round re-draws below
+  }
   for (size_t i = 0; i < replicas.size(); ++i) {
     ReplicaServer* replica = replicas[i];
     if (replica == nullptr) {
@@ -31,6 +42,8 @@ void ReplFaultPlan::ArmRound(const std::vector<ReplicaServer*>& replicas,
     const bool crash = spec_.crash_permille > 0 && rng.Chance(spec_.crash_permille, 1000);
     const bool flap = spec_.flap_permille > 0 && rng.Chance(spec_.flap_permille, 1000);
     const bool slow = spec_.slow_permille > 0 && rng.Chance(spec_.slow_permille, 1000);
+    const bool torn =
+        spec_.torn_push_permille > 0 && rng.Chance(spec_.torn_push_permille, 1000);
     if (crash) {
       replica->Crash();
       continue;  // a dead replica neither flaps nor applies slowly
@@ -38,12 +51,37 @@ void ReplFaultPlan::ArmRound(const std::vector<ReplicaServer*>& replicas,
     if (flap) {
       replica->DropLink();
     }
+    if (torn) {
+      replica->ArmTornPush();
+    }
     replica->set_apply_limit(slow ? spec_.slow_apply_limit : 0);
   }
   if (realm != nullptr && spec_.kdc_down_permille > 0) {
     // Reserved index 8190, matching FaultPlan::ArmDirectories' KDC stream.
     SplitMix64 rng = StreamFor(spec_.seed, round, 8190);
     realm->SetDown(rng.Chance(spec_.kdc_down_permille, 1000));
+  }
+  if (net != nullptr && names.size() >= 2) {
+    // Reserved index 8189 for the network draws (below the directory-server
+    // indices, above any realistic node count).
+    SplitMix64 rng = StreamFor(spec_.seed, round, 8189);
+    if (spec_.partition_permille > 0 && rng.Chance(spec_.partition_permille, 1000)) {
+      const size_t a = static_cast<size_t>(rng.Below(names.size()));
+      size_t b = static_cast<size_t>(rng.Below(names.size() - 1));
+      if (b >= a) {
+        ++b;
+      }
+      net->BlockBoth(names[a], names[b]);
+    }
+    if (spec_.asym_partition_permille > 0 &&
+        rng.Chance(spec_.asym_partition_permille, 1000)) {
+      const size_t a = static_cast<size_t>(rng.Below(names.size()));
+      size_t b = static_cast<size_t>(rng.Below(names.size() - 1));
+      if (b >= a) {
+        ++b;
+      }
+      net->Block(names[a], names[b]);
+    }
   }
 }
 

@@ -12,16 +12,26 @@
 //     catch-up call, building observable lag;
 //   - KDC outage: the realm refuses new initial tickets (cached tickets keep
 //     working — the catch-up path must ride it out).
+//   - torn push: the replica's next kReplPush applies only half its entries
+//     and dies mid-reply — the mid-FlushWrites partial write of a quorum
+//     batch; the pusher must converge by idempotent re-push;
+//   - partition: a random node pair loses both directions for the round;
+//   - asymmetric partition: a random ordered pair loses one direction only
+//     (requests arrive but replies vanish, or vice versa).
 #ifndef MOIRA_SRC_REPL_REPL_FAULT_H_
 #define MOIRA_SRC_REPL_REPL_FAULT_H_
 
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "src/krb/kerberos.h"
 #include "src/repl/replica.h"
 
 namespace moira {
+
+class NetworkPartition;
 
 struct ReplFaultSpec {
   uint64_t seed = 1988;
@@ -30,6 +40,9 @@ struct ReplFaultSpec {
   int slow_permille = 0;        // apply limit engaged for the round
   int slow_apply_limit = 8;     // entries per catch-up call while slowed
   int kdc_down_permille = 0;    // realm refuses new tickets for the round
+  int torn_push_permille = 0;   // next quorum push tears halfway through
+  int partition_permille = 0;   // a random pair partitions (both directions)
+  int asym_partition_permille = 0;  // a random ordered pair loses one direction
 };
 
 class ReplFaultPlan {
@@ -41,6 +54,15 @@ class ReplFaultPlan {
   // replica's crash/flap/slow fate and the realm-wide KDC outage.
   void ArmRound(const std::vector<ReplicaServer*>& replicas, KerberosRealm* realm,
                 int round) const;
+
+  // As above, plus the network dimensions: heals the whole partition matrix
+  // (last round's cuts last exactly one round, like crashes), then draws this
+  // round's full and asymmetric partitions between nodes named in `names`,
+  // and each node's torn-push fate.  `net` may be null (network draws skipped,
+  // same per-node schedule as the 3-argument form).
+  void ArmRound(const std::vector<ReplicaServer*>& replicas, KerberosRealm* realm,
+                int round, NetworkPartition* net,
+                const std::vector<std::string>& names) const;
 
   const ReplFaultSpec& spec() const { return spec_; }
 

@@ -1,5 +1,6 @@
 #include "src/repl/replica.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/backup/backup.h"
@@ -14,6 +15,61 @@ std::string SingleReply(int32_t code) {
   return EncodeReply(MrReply{kMrProtocolVersion, code, {}});
 }
 
+// Quorum push target over the authenticated wire: a promoted replica installs
+// one of these per cluster peer, so the embedded server's QuorumGate ships
+// journal windows exactly as a from-birth primary would.
+class WirePushPeer final : public QuorumPeer {
+ public:
+  WirePushPeer(std::string name, MrClient::Connector connector, KerberosRealm* realm,
+               std::string principal, std::string password)
+      : name_(std::move(name)), client_(std::make_unique<MrClient>(std::move(connector))) {
+    client_->SetKerberosIdentity(realm, std::move(principal), std::move(password));
+  }
+
+  const std::string& name() const override { return name_; }
+
+  int32_t Push(uint64_t epoch, uint64_t prev_seq, uint64_t prev_epoch,
+               const std::vector<std::string>& lines, uint64_t* applied_seq,
+               uint64_t* peer_epoch) override {
+    if (!Ensure()) {
+      return MR_NOT_CONNECTED;
+    }
+    int32_t code = client_->ReplPush(epoch, prev_seq, prev_epoch, lines);
+    if (code == MR_ABORTED || code == MR_NOT_CONNECTED) {
+      authed_ = false;  // the channel died; reconnect and re-auth next round
+      return code;
+    }
+    const std::vector<std::string>& fields = client_->last_fields();
+    if (fields.size() >= 2) {
+      *applied_seq = static_cast<uint64_t>(ParseInt(fields[0]).value_or(0));
+      *peer_epoch = static_cast<uint64_t>(ParseInt(fields[1]).value_or(0));
+    }
+    return code;
+  }
+
+ private:
+  bool Ensure() {
+    if (!client_->connected()) {
+      if (client_->Connect() != MR_SUCCESS) {
+        return false;
+      }
+      authed_ = false;
+    }
+    if (!authed_) {
+      if (client_->Auth("mrrepl-push") != MR_SUCCESS) {
+        client_->Disconnect();
+        return false;
+      }
+      authed_ = true;
+    }
+    return true;
+  }
+
+  std::string name_;
+  std::unique_ptr<MrClient> client_;
+  bool authed_ = false;
+};
+
 }  // namespace
 
 ReplicaServer::ReplicaServer(KerberosRealm* realm, ReplicaOptions options)
@@ -22,14 +78,24 @@ ReplicaServer::ReplicaServer(KerberosRealm* realm, ReplicaOptions options)
   CreateMoiraSchema(db_.get());
   SeedMoiraDefaults(db_.get());
   mc_ = std::make_unique<MoiraContext>(db_.get());
-  server_ = std::make_unique<MoiraServer>(mc_.get(), realm);
+  server_ = std::make_unique<MoiraServer>(mc_.get(), realm, options_.server_options);
 }
+
+ReplicaServer::~ReplicaServer() = default;
 
 void ReplicaServer::SetPrimaryLink(MrClient::Connector connector, std::string principal,
                                    std::string password) {
+  // Keep the credentials: adopting a new primary after failover (or pushing
+  // as one) re-authenticates with the same identity.
+  repl_principal_ = principal;
+  repl_password_ = password;
   link_ = std::make_unique<MrClient>(std::move(connector));
   link_->SetKerberosIdentity(realm_, std::move(principal), std::move(password));
   link_authed_ = false;
+}
+
+void ReplicaServer::AddPeer(const std::string& name, MrClient::Connector connector) {
+  peers_[name] = std::move(connector);
 }
 
 bool ReplicaServer::EnsureLink() {
@@ -61,15 +127,65 @@ void ReplicaServer::DropLink() {
   link_authed_ = false;
 }
 
+void ReplicaServer::DisconnectAll() {
+  DropLink();
+  server_->SetQuorumPeers({});
+  push_peers_.clear();
+}
+
+uint64_t ReplicaServer::VoteFloor() const { return std::max(epoch_, voted_epoch_); }
+
+uint64_t ReplicaServer::epoch() const {
+  return promoted_ ? server_->journal().epoch() : std::max(epoch_, voted_epoch_);
+}
+
 void ReplicaServer::Restart() {
   crashed_ = false;
   // The in-memory state died with the process: everything — including the
-  // seeded defaults — comes back via a full snapshot transfer.
+  // seeded defaults — comes back via a full snapshot transfer.  epoch_ and
+  // voted_epoch_ survive on purpose: they are the one durable bit a correct
+  // election needs (cf. Raft's persisted votedFor), keeping a rebooted node
+  // from helping elect two primaries in the same epoch.
   db_->ClearAllRows();
   applied_seq_ = 0;
+  applied_entry_epoch_ = 0;
+  force_snapshot_ = true;
+  if (promoted_) {
+    // A primary reboots as a replica; re-promotion takes a fresh election.
+    promoted_ = false;
+    push_peers_.clear();
+    server_->SetQuorumPeers({});
+  }
+  server_->InvalidateAccessCaches();
+  DropLink();
+  misses_ = options_.missed_heartbeats;  // re-discover the primary promptly
+}
+
+void ReplicaServer::StepDown() {
+  // This reign is over and its local suffix may contain writes no quorum
+  // acknowledged (that is exactly why MR_QUORUM_TIMEOUT is a soft error):
+  // condemn the whole local state and resync from the new primary's history.
+  promoted_ = false;
+  push_peers_.clear();
+  server_->SetQuorumPeers({});
+  db_->ClearAllRows();
+  applied_seq_ = 0;
+  applied_entry_epoch_ = 0;
   force_snapshot_ = true;
   server_->InvalidateAccessCaches();
   DropLink();
+  misses_ = options_.missed_heartbeats;  // probe for the new primary at once
+  ++stats_.step_downs;
+}
+
+void ReplicaServer::AdoptPrimary(const std::string& peer_name) {
+  auto it = peers_.find(peer_name);
+  if (it == peers_.end()) {
+    return;
+  }
+  SetPrimaryLink(it->second, repl_principal_, repl_password_);
+  misses_ = 0;
+  ++stats_.adoptions;
 }
 
 void ReplicaServer::ApplyEntry(const JournalEntry& entry) {
@@ -87,6 +203,16 @@ void ReplicaServer::ApplyEntry(const JournalEntry& entry) {
     ++stats_.apply_failures;
   }
   applied_seq_ = entry.seq;
+  applied_entry_epoch_ = entry.epoch;
+  if (entry.epoch > epoch_) {
+    epoch_ = entry.epoch;
+  }
+  if (!entry.tag.empty()) {
+    // Tag dedup must survive failover: record it on the embedded server so a
+    // client replaying the tag after this node's promotion is acknowledged
+    // with the original seq instead of double-applying.
+    server_->RecordAppliedTag(entry.tag, entry.seq);
+  }
 }
 
 int32_t ReplicaServer::LoadSnapshot() {
@@ -122,6 +248,19 @@ int32_t ReplicaServer::LoadSnapshot() {
     return MR_INTERNAL;
   }
   const std::vector<std::string>& fields = link_->last_fields();
+  // A snapshot can be the first contact with a node, so the epoch check
+  // happens here, on the reply: never bootstrap from a primary older than an
+  // epoch we have already seen or voted in.
+  if (fields.size() >= 3) {
+    uint64_t snapshot_epoch = static_cast<uint64_t>(ParseInt(fields[2]).value_or(0));
+    if (snapshot_epoch < VoteFloor()) {
+      DropLink();
+      return MR_REPL_EPOCH;
+    }
+    if (snapshot_epoch > epoch_) {
+      epoch_ = snapshot_epoch;
+    }
+  }
   if (fields.size() >= 2) {
     applied_seq_ = static_cast<uint64_t>(ParseInt(fields[0]).value_or(0));
     stats_.last_snapshot_seq = applied_seq_;
@@ -130,6 +269,9 @@ int32_t ReplicaServer::LoadSnapshot() {
       clock_.Set(primary_now);
     }
   }
+  // The epoch of the entry at the snapshot cut is unknown; 0 marks it
+  // "trusted, by construction a prefix of the source's log".
+  applied_entry_epoch_ = 0;
   force_snapshot_ = false;
   server_->InvalidateAccessCaches();
   return MR_SUCCESS;
@@ -163,8 +305,14 @@ int32_t ReplicaServer::CatchUpInternal(uint64_t target_seq, int max_batches) {
     std::vector<JournalEntry> entries;
     bool parse_error = false;
     ++stats_.fetch_rounds;
+    // The fetch carries the highest epoch we have SEEN (not VoteFloor): a
+    // deposed primary is fenced on first contact with any node that lived
+    // under its successor, but a failed candidacy — voted_epoch_ raised with
+    // no election won anywhere — must not depose a healthy primary when the
+    // flapped link heals.  Split-brain safety never rests on this floor; the
+    // push and vote paths check the full VoteFloor.
     int32_t code = link_->ReplFetch(
-        options_.name, applied_seq_ + 1, options_.max_entries_per_fetch,
+        options_.name, applied_seq_ + 1, options_.max_entries_per_fetch, epoch_,
         [&](Tuple tuple) {
           std::optional<JournalEntry> entry =
               tuple.empty() ? std::nullopt : JournalEntry::FromLine(tuple[0]);
@@ -189,10 +337,38 @@ int32_t ReplicaServer::CatchUpInternal(uint64_t target_seq, int max_batches) {
     }
     uint64_t primary_seq = 0;
     UnixTime primary_now = 0;
+    uint64_t primary_epoch = 0;
+    uint64_t prev_epoch = 0;
     const std::vector<std::string>& fields = link_->last_fields();
     if (fields.size() >= 2) {
       primary_seq = static_cast<uint64_t>(ParseInt(fields[0]).value_or(0));
       primary_now = ParseInt(fields[1]).value_or(0);
+    }
+    if (fields.size() >= 3) {
+      primary_epoch = static_cast<uint64_t>(ParseInt(fields[2]).value_or(0));
+      if (primary_epoch > epoch_) {
+        epoch_ = primary_epoch;
+      }
+    }
+    if (fields.size() >= 4) {
+      prev_epoch = static_cast<uint64_t>(ParseInt(fields[3]).value_or(0));
+    }
+    // Divergence checks (DESIGN.md "epoch fencing"): our applied prefix must
+    // be a prefix of the serving primary's log.  Either mismatch means our
+    // tail came from a dead reign that the elected history replaced — the
+    // only cure is a snapshot resync.
+    if (prev_epoch != 0 && applied_entry_epoch_ != 0 &&
+        prev_epoch != applied_entry_epoch_) {
+      ++stats_.divergence_resyncs;
+      force_snapshot_ = true;
+      continue;
+    }
+    if (applied_seq_ > primary_seq && primary_epoch > applied_entry_epoch_ &&
+        applied_entry_epoch_ != 0) {
+      // We extend past a newer primary's whole log: the suffix is dead.
+      ++stats_.divergence_resyncs;
+      force_snapshot_ = true;
+      continue;
     }
     bool limited = false;
     for (const JournalEntry& entry : entries) {
@@ -231,11 +407,351 @@ int32_t ReplicaServer::CatchUpInternal(uint64_t target_seq, int max_batches) {
 }
 
 MoiraServer* ReplicaServer::Promote() {
+  // Operator-driven failover keeps the historical entry point; the epoch
+  // still advances so the deposed primary is fenced on first contact.
+  return PromoteWithEpoch(VoteFloor() + 1);
+}
+
+MoiraServer* ReplicaServer::PromoteWithEpoch(uint64_t epoch) {
   promoted_ = true;
+  if (epoch > epoch_) {
+    epoch_ = epoch;
+  }
+  // A primary pulls from nobody.  Dropping the link matters after a crash:
+  // a restarted ex-primary with a live link would happily "catch up" from a
+  // stale source instead of probing for the reign that replaced it.
+  link_.reset();
+  link_authed_ = false;
+  server_->UnfenceAt(epoch_);
   // Post-failover mutations extend the old primary's sequence, so surviving
-  // replicas (and routing clients' tokens) stay meaningful.
-  server_->journal().ResetSequence(applied_seq_ + 1);
+  // replicas (and routing clients' tokens) stay meaningful.  RebaseTo also
+  // discards any stale entries left from an earlier reign of this node.
+  server_->journal().RebaseTo(applied_seq_ + 1);
+  // Every registered peer becomes a quorum push target: post-failover writes
+  // are quorum-acknowledged exactly like the old primary's were.
+  push_peers_.clear();
+  std::vector<QuorumPeer*> raw;
+  for (const auto& [peer_name, connector] : peers_) {
+    push_peers_.push_back(std::make_unique<WirePushPeer>(
+        peer_name, connector, realm_, repl_principal_, repl_password_));
+    raw.push_back(push_peers_.back().get());
+  }
+  server_->SetQuorumPeers(std::move(raw));
+  server_->InvalidateAccessCaches();
+  misses_ = 0;
   return server_.get();
+}
+
+ReplicaServer::HeartbeatEvent ReplicaServer::HeartbeatTick() {
+  if (crashed_) {
+    return HeartbeatEvent::kCrashed;
+  }
+  if (promoted_) {
+    if (server_->fenced()) {
+      // A successor exists; a fenced primary that stayed up rejoins as a
+      // replica rather than refusing writes forever.
+      StepDown();
+      return HeartbeatEvent::kSteppedDown;
+    }
+    // An idle primary is only fenced when one of its own pushes meets a node
+    // that outlived it — which never happens without writes.  Probe the
+    // peers so a deposed primary that sat out a partition discovers the
+    // successor reign promptly; only a WRITABLE peer at a higher epoch
+    // proves a new reign exists (a raised vote floor alone might be a failed
+    // candidacy, and stepping down on that would sacrifice the one live
+    // primary).
+    for (const auto& [peer_name, connector] : peers_) {
+      MrClient probe(connector);
+      if (probe.Connect() != MR_SUCCESS || probe.ReplHello() != MR_SUCCESS) {
+        continue;
+      }
+      const std::vector<std::string>& f = probe.last_fields();
+      if (f.size() >= 3 && f[2] == "1") {
+        const uint64_t peer_epoch =
+            static_cast<uint64_t>(ParseInt(f[1]).value_or(0));
+        if (peer_epoch > server_->journal().epoch()) {
+          server_->Fence(peer_epoch);
+          StepDown();
+          return HeartbeatEvent::kSteppedDown;
+        }
+      }
+    }
+    return HeartbeatEvent::kPrimaryRole;
+  }
+  // 1. Heartbeat: one bounded catch-up batch against the primary link.
+  // Contact (even partial progress) is a heartbeat; transport failure or a
+  // fenced/stale primary is a miss.
+  if (link_ != nullptr) {
+    int32_t code = CatchUpInternal(UINT64_MAX, 1);
+    if (code == MR_SUCCESS || code == MR_MORE_DATA) {
+      misses_ = 0;
+      return HeartbeatEvent::kOk;
+    }
+  }
+  ++misses_;
+  ++stats_.heartbeat_misses;
+  if (link_ != nullptr && misses_ < options_.missed_heartbeats) {
+    return HeartbeatEvent::kMiss;
+  }
+  if (peers_.empty()) {
+    return HeartbeatEvent::kMiss;  // nobody to fail over with
+  }
+  // 2. Probe every peer with the unauthenticated hello: who is reachable,
+  // how far along is their log, and is one of them already primary?
+  struct View {
+    std::string name;
+    uint64_t applied = 0;
+    uint64_t epoch = 0;
+    uint64_t tail_epoch = 0;
+    bool writable = false;
+  };
+  std::vector<View> views;
+  for (const auto& [peer_name, connector] : peers_) {
+    MrClient probe(connector);
+    if (probe.Connect() != MR_SUCCESS) {
+      continue;
+    }
+    if (probe.ReplHello() != MR_SUCCESS) {
+      continue;
+    }
+    const std::vector<std::string>& f = probe.last_fields();
+    if (f.size() < 3) {
+      continue;
+    }
+    View v;
+    v.name = peer_name;
+    v.applied = static_cast<uint64_t>(ParseInt(f[0]).value_or(0));
+    v.epoch = static_cast<uint64_t>(ParseInt(f[1]).value_or(0));
+    v.writable = f[2] == "1";
+    v.tail_epoch =
+        f.size() >= 4 ? static_cast<uint64_t>(ParseInt(f[3]).value_or(0)) : 0;
+    views.push_back(std::move(v));
+  }
+  // 2a. Someone is already primary at an acceptable epoch: adopt it (this
+  // also heals a plain link flap, where the old primary is alive and well).
+  const View* best_primary = nullptr;
+  for (const View& v : views) {
+    if (v.writable && v.epoch >= VoteFloor() &&
+        (best_primary == nullptr || v.epoch > best_primary->epoch)) {
+      best_primary = &v;
+    }
+  }
+  if (best_primary != nullptr) {
+    AdoptPrimary(best_primary->name);
+    return HeartbeatEvent::kAdopted;
+  }
+  // 2b. Candidacy self-check: stand only with the best log among reachable
+  // peers — compare (tail_epoch, applied_seq), name as the deterministic
+  // tie-break — so at most one node starts an election per round.
+  for (const View& v : views) {
+    if (std::make_pair(v.tail_epoch, v.applied) >
+            std::make_pair(TailEpoch(), applied_seq_) ||
+        (v.tail_epoch == TailEpoch() && v.applied == applied_seq_ &&
+         v.name < options_.name)) {
+      return HeartbeatEvent::kDeferred;
+    }
+  }
+  // 3. Stand for election one epoch past everything seen or reported — in
+  // two phases.  The pre-vote round binds nobody: only once a majority says
+  // it WOULD grant does the candidate raise its own floor and collect real
+  // votes.  Without this, a node on the wrong side of an asymmetric
+  // partition inflates voted_epoch_ with every hopeless candidacy and
+  // fences the healthy primary the moment its link heals.
+  uint64_t election_epoch = VoteFloor();
+  for (const View& v : views) {
+    election_epoch = std::max(election_epoch, v.epoch);
+  }
+  ++election_epoch;
+  ++stats_.elections_started;
+  const int cluster = static_cast<int>(peers_.size()) + 1;
+  const int needed = cluster / 2 + 1;  // strict majority
+  auto solicit = [&](bool pre) {
+    int votes = 1;  // self
+    for (const View& v : views) {
+      if (v.writable) {
+        continue;  // a primary never grants votes
+      }
+      MrClient voter(peers_[v.name]);
+      if (voter.Connect() != MR_SUCCESS) {
+        continue;
+      }
+      if (voter.ReplVote(election_epoch, applied_seq_, TailEpoch(), options_.name,
+                         pre) != MR_SUCCESS) {
+        continue;
+      }
+      const std::vector<std::string>& f = voter.last_fields();
+      if (!f.empty() && f[0] == "1") {
+        ++votes;
+      }
+    }
+    return votes;
+  };
+  if (solicit(/*pre=*/true) < needed) {
+    return HeartbeatEvent::kElectionLost;
+  }
+  voted_epoch_ = election_epoch;  // vote for self, binding from here on
+  if (solicit(/*pre=*/false) >= needed) {
+    PromoteWithEpoch(election_epoch);
+    ++stats_.promotions;
+    return HeartbeatEvent::kPromoted;
+  }
+  return HeartbeatEvent::kElectionLost;
+}
+
+std::string ReplicaServer::HandleReplPush(uint64_t conn_id, const MrRequest& request) {
+  if (request.args.size() < 3) {
+    return SingleReply(MR_ARGS);
+  }
+  // Same capability as journal streaming: applying pushed entries is the
+  // write half of the replication stream.
+  if (int32_t code = server_->CheckConnPrivilege(conn_id, "get_replica_status");
+      code != MR_SUCCESS) {
+    return SingleReply(code);
+  }
+  std::optional<int64_t> push_epoch = ParseInt(request.args[0]);
+  std::optional<int64_t> prev_seq = ParseInt(request.args[1]);
+  std::optional<int64_t> prev_epoch = ParseInt(request.args[2]);
+  if (!push_epoch.has_value() || *push_epoch < 1 || !prev_seq.has_value() ||
+      *prev_seq < 0 || !prev_epoch.has_value() || *prev_epoch < 0) {
+    return SingleReply(MR_ARGS);
+  }
+  const uint64_t epoch = static_cast<uint64_t>(*push_epoch);
+  auto reply = [&](int32_t code, uint64_t applied) {
+    return EncodeReply(MrReply{kMrProtocolVersion, code,
+                               {std::to_string(applied), std::to_string(VoteFloor())}});
+  };
+  if (epoch < VoteFloor()) {
+    ++stats_.fence_refusals;
+    return reply(MR_REPL_EPOCH, applied_seq_);
+  }
+  if (epoch > epoch_) {
+    epoch_ = epoch;
+  }
+  if (force_snapshot_) {
+    // Mid-resync: nothing may be applied onto a condemned state.  Reporting
+    // position 0 keeps the pusher from counting us toward its quorum until
+    // the pull path has re-bootstrapped us.
+    return reply(MR_REPL_BEHIND, 0);
+  }
+  std::vector<JournalEntry> entries;
+  for (size_t i = 3; i < request.args.size(); ++i) {
+    std::optional<JournalEntry> entry = JournalEntry::FromLine(request.args[i]);
+    if (!entry.has_value()) {
+      return SingleReply(MR_INTERNAL);
+    }
+    entries.push_back(std::move(*entry));
+  }
+  const uint64_t window_top = entries.empty() ? static_cast<uint64_t>(*prev_seq)
+                                              : entries.back().seq;
+  // Divergence checks: our applied prefix must be a prefix of the pusher's
+  // log, or our tail came from a dead reign and only a snapshot resync cures
+  // it (stop counting toward quorums until then).
+  auto condemn = [&] {
+    ++stats_.divergence_resyncs;
+    force_snapshot_ = true;
+    return reply(MR_REPL_BEHIND, 0);
+  };
+  if (static_cast<uint64_t>(*prev_seq) == applied_seq_ && *prev_epoch != 0 &&
+      applied_entry_epoch_ != 0 &&
+      static_cast<uint64_t>(*prev_epoch) != applied_entry_epoch_) {
+    return condemn();
+  }
+  if (window_top < applied_seq_ && applied_entry_epoch_ != 0 &&
+      epoch > applied_entry_epoch_) {
+    // A newer primary's whole log ends below our position.
+    return condemn();
+  }
+  for (const JournalEntry& entry : entries) {
+    if (entry.seq == applied_seq_ && entry.epoch != 0 && applied_entry_epoch_ != 0 &&
+        entry.epoch != applied_entry_epoch_) {
+      return condemn();
+    }
+  }
+  if (static_cast<uint64_t>(*prev_seq) > applied_seq_) {
+    // The window starts past our position; the pusher re-sends from ours.
+    return reply(MR_REPL_BEHIND, applied_seq_);
+  }
+  // Apply the new suffix contiguously.  An armed torn push applies only half
+  // and then the connection dies mid-reply — the pusher must treat the batch
+  // as unacknowledged and converge by re-pushing.
+  size_t allow = entries.size();
+  bool torn = false;
+  if (torn_push_armed_ && !entries.empty()) {
+    torn_push_armed_ = false;
+    torn = true;
+    allow = entries.size() / 2;
+  }
+  const UnixTime before = clock_.Now();
+  bool gap = false;
+  size_t applied_count = 0;
+  for (const JournalEntry& entry : entries) {
+    if (entry.seq <= applied_seq_) {
+      continue;  // duplicate delivery (re-push after a lost reply)
+    }
+    if (entry.seq != applied_seq_ + 1) {
+      gap = true;
+      break;
+    }
+    if (torn && applied_count >= allow) {
+      break;
+    }
+    ApplyEntry(entry);
+    ++applied_count;
+  }
+  if (before > clock_.Now()) {
+    clock_.Set(before);  // applying never rewinds our present
+  }
+  if (applied_count > 0) {
+    ++stats_.push_batches;
+    server_->InvalidateAccessCaches();
+  }
+  if (torn) {
+    return std::string();  // the connection died before the reply
+  }
+  return reply(gap ? MR_REPL_BEHIND : MR_SUCCESS, applied_seq_);
+}
+
+std::string ReplicaServer::HandleReplVote(const MrRequest& request) {
+  // Unauthenticated by design, like the hello probe: failover liveness must
+  // not depend on the KDC, and a vote grant is fenced by epoch monotonicity.
+  if (request.args.size() < 4) {
+    return SingleReply(MR_ARGS);
+  }
+  std::optional<int64_t> vote_epoch = ParseInt(request.args[0]);
+  std::optional<int64_t> cand_applied = ParseInt(request.args[1]);
+  std::optional<int64_t> cand_tail = ParseInt(request.args[2]);
+  if (!vote_epoch.has_value() || *vote_epoch < 1 || !cand_applied.has_value() ||
+      *cand_applied < 0 || !cand_tail.has_value() || *cand_tail < 0) {
+    return SingleReply(MR_ARGS);
+  }
+  const uint64_t epoch = static_cast<uint64_t>(*vote_epoch);
+  // A 5th argument marks a pre-vote: answer whether we WOULD grant, without
+  // recording anything (Raft pre-vote) — the candidate only stands for real
+  // once a majority says yes, so a partitioned node's hopeless candidacies
+  // never inflate any epoch floor.
+  const bool pre = request.args.size() >= 5 && request.args[4] == "pre";
+  bool granted = false;
+  // Grant iff (a) the epoch is new to us, (b) the candidate's log is at
+  // least as complete as ours — (tail_epoch, applied_seq) lexicographically,
+  // the Raft log-comparison rule, which guarantees every quorum-acked write
+  // survives into the new reign — and (c) leader stickiness: we have missed
+  // at least one heartbeat ourselves, so a candidate with a broken link
+  // cannot depose a primary the rest of the cluster still sees.
+  if (epoch > VoteFloor() &&
+      std::make_pair(static_cast<uint64_t>(*cand_tail),
+                     static_cast<uint64_t>(*cand_applied)) >=
+          std::make_pair(TailEpoch(), applied_seq_) &&
+      (misses_ >= 1 || link_ == nullptr)) {
+    granted = true;
+    if (!pre) {
+      voted_epoch_ = epoch;
+      ++stats_.votes_granted;
+    }
+  } else if (epoch <= VoteFloor() && !pre) {
+    ++stats_.fence_refusals;
+  }
+  return EncodeReply(MrReply{kMrProtocolVersion, MR_SUCCESS,
+                             {granted ? "1" : "0", std::to_string(VoteFloor())}});
 }
 
 std::string ReplicaServer::OnMessage(uint64_t conn_id, std::string_view payload) {
@@ -258,6 +774,35 @@ std::string ReplicaServer::OnMessage(uint64_t conn_id, std::string_view payload)
         }
       }
       return server_->OnMessage(conn_id, payload);
+    }
+    case MajorRequest::kQueryTagged: {
+      if (!promoted_) {
+        // Tagged writes are a primary-only operation; the router redirects.
+        return SingleReply(MR_REPL_READONLY);
+      }
+      return server_->OnMessage(conn_id, payload);
+    }
+    case MajorRequest::kReplPush: {
+      if (promoted_) {
+        // The embedded server fences the stale pusher (or is fenced by it).
+        return server_->OnMessage(conn_id, payload);
+      }
+      return HandleReplPush(conn_id, *request);
+    }
+    case MajorRequest::kReplHello: {
+      if (promoted_) {
+        return server_->OnMessage(conn_id, payload);
+      }
+      return EncodeReply(MrReply{kMrProtocolVersion, MR_SUCCESS,
+                                 {std::to_string(applied_seq_),
+                                  std::to_string(VoteFloor()), "0",
+                                  std::to_string(TailEpoch())}});
+    }
+    case MajorRequest::kReplVote: {
+      if (promoted_) {
+        return server_->OnMessage(conn_id, payload);  // primaries never grant
+      }
+      return HandleReplVote(*request);
     }
     case MajorRequest::kQueryAtSeq: {
       if (request->args.size() < 2) {

@@ -130,11 +130,15 @@ std::vector<std::string> SplitEscaped(std::string_view line) {
 std::string JournalEntry::ToLine() const {
   std::string line = std::to_string(seq);
   line += ':';
+  line += std::to_string(epoch);
+  line += ':';
   line += std::to_string(when);
   line += ':';
   line += JournalEscape(principal);
   line += ':';
   line += JournalEscape(client);
+  line += ':';
+  line += JournalEscape(tag);
   line += ':';
   line += JournalEscape(query);
   for (const std::string& arg : args) {
@@ -150,21 +154,25 @@ std::optional<JournalEntry> JournalEntry::FromLine(std::string_view line) {
     line.remove_suffix(1);
   }
   std::vector<std::string> fields = SplitEscaped(line);
-  if (fields.size() < 5) {
+  if (fields.size() < 7) {
     return std::nullopt;
   }
   std::optional<int64_t> seq = ParseInt(fields[0]);
-  std::optional<int64_t> when = ParseInt(fields[1]);
-  if (!seq.has_value() || *seq < 0 || !when.has_value()) {
+  std::optional<int64_t> epoch = ParseInt(fields[1]);
+  std::optional<int64_t> when = ParseInt(fields[2]);
+  if (!seq.has_value() || *seq < 0 || !epoch.has_value() || *epoch < 0 ||
+      !when.has_value()) {
     return std::nullopt;
   }
   JournalEntry entry;
   entry.seq = static_cast<uint64_t>(*seq);
+  entry.epoch = static_cast<uint64_t>(*epoch);
   entry.when = *when;
-  entry.principal = fields[2];
-  entry.client = fields[3];
-  entry.query = fields[4];
-  entry.args.assign(fields.begin() + 5, fields.end());
+  entry.principal = fields[3];
+  entry.client = fields[4];
+  entry.tag = fields[5];
+  entry.query = fields[6];
+  entry.args.assign(fields.begin() + 7, fields.end());
   return entry;
 }
 
@@ -218,6 +226,9 @@ int Journal::LoadOneFile(const std::string& path, uint64_t after_seq, bool track
     }
     if (entry->seq > last_seq_) {
       last_seq_ = entry->seq;
+    }
+    if (entry->epoch > epoch_) {
+      epoch_ = entry->epoch;
     }
     if (entry->seq > after_seq) {
       entries_.push_back(std::move(*entry));
@@ -345,6 +356,13 @@ uint64_t Journal::Append(JournalEntry entry) {
   if (entry.seq > last_seq_) {
     last_seq_ = entry.seq;
   }
+  // Stamp the current epoch; an entry reloaded from a newer epoch advances
+  // the journal's fencing position instead.
+  if (entry.epoch == 0) {
+    entry.epoch = epoch_;
+  } else if (entry.epoch > epoch_) {
+    epoch_ = entry.epoch;
+  }
   if (file_.is_open()) {
     // Written and flushed before the append is acknowledged: a replica that
     // saw this sequence number can always re-fetch it after a primary
@@ -442,6 +460,15 @@ void Journal::ResetSequence(uint64_t next_seq) {
   }
 }
 
+void Journal::RebaseTo(uint64_t next_seq) {
+  if (!dir_.empty()) {
+    return;  // directory-mode journals are never rebased
+  }
+  entries_.clear();
+  last_seq_ = next_seq > 0 ? next_seq - 1 : 0;
+  base_seq_ = last_seq_;
+}
+
 void Journal::Clear() {
   entries_.clear();
   base_seq_ = last_seq_;
@@ -478,6 +505,9 @@ int Journal::LoadFile(const std::string& path) {
     if (std::optional<JournalEntry> entry = JournalEntry::FromLine(line)) {
       if (entry->seq > last_seq_) {
         last_seq_ = entry->seq;
+      }
+      if (entry->epoch > epoch_) {
+        epoch_ = entry->epoch;
       }
       entries_.push_back(std::move(*entry));
       ++count;

@@ -48,10 +48,20 @@ struct JournalEntry {
   std::string client;
   std::string query;
   std::vector<std::string> args;
+  // Replication epoch the entry was written under; 0 means "not yet
+  // stamped" (Journal::Append stamps the journal's current epoch).  Carried
+  // in the line format so replicas can refuse entries from a fenced primary.
+  // Kept at the end of the struct (with `tag`) so existing aggregate
+  // initializers stay valid.
+  uint64_t epoch = 0;
+  // Client-supplied idempotency tag ("" = untagged).  Replicas record applied
+  // tags so a replayed mutation is acknowledged with its original seq instead
+  // of re-executing — even after a failover.
+  std::string tag;
 
-  // Line format: seq:time:principal:client:query:arg... with ':' and '\'
-  // escaped, ending in a newline.  Identical escaping to the backup files
-  // (section 5.2.2).
+  // Line format: seq:epoch:time:principal:client:tag:query:arg... with ':'
+  // and '\' escaped, ending in a newline.  Identical escaping to the backup
+  // files (section 5.2.2).
   std::string ToLine() const;
   static std::optional<JournalEntry> FromLine(std::string_view line);
 };
@@ -148,6 +158,22 @@ class Journal {
   // replica's first post-failover entry extends the old primary's sequence.
   void ResetSequence(uint64_t next_seq);
 
+  // Hard reset for a demoted-and-re-promoted embedded journal: drops every
+  // retained entry and restarts numbering at `next_seq`, treating entries
+  // 1..next_seq-1 as cluster history this server does not hold (base_seq
+  // moves to next_seq - 1).  Unlike ResetSequence this also moves the
+  // counter BACKWARD, discarding a dead reign's unreplicated suffix.  Only
+  // supported for memory-only journals (replica-embedded); directory mode is
+  // not rebased.
+  void RebaseTo(uint64_t next_seq);
+
+  // Replication epoch stamped onto appended entries.  Starts at 1; a
+  // promoted replica installs its election epoch with set_epoch, and loading
+  // entries from disk restores the highest epoch seen (so a restarted
+  // primary keeps its fencing position).
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) { if (epoch > epoch_) epoch_ = epoch; }
+
   // Drops every retained entry (base_seq catches up to last_seq).  In
   // directory mode the sealed segments are deleted and the live file is
   // emptied, so disk matches memory.
@@ -177,6 +203,7 @@ class Journal {
   std::ofstream file_;
   uint64_t last_seq_ = 0;
   uint64_t base_seq_ = 0;  // entries 1..base_seq_ have been truncated
+  uint64_t epoch_ = 1;     // current replication epoch (monotone)
   int corrupt_lines_skipped_ = 0;
 
   // Directory mode (empty dir_ = legacy single-file or memory-only mode).

@@ -10,10 +10,12 @@
 #define MOIRA_SRC_SERVER_SERVER_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "src/common/hash_table.h"
 #include "src/common/stat_counter.h"
@@ -49,6 +51,52 @@ struct ServerOptions {
   // journal itself — the operator wires recovery (RecoverServerState) and the
   // checkpoint cron; this option only tells the snapshot path where to look.
   std::string data_dir;
+
+  // --- Quorum-acknowledged writes (DESIGN.md "Replication layer") ----------
+  // Acks needed (including the primary's own durable append) before a
+  // mutation is acknowledged to the client.  0 = automatic majority,
+  // ceil(cluster_size / 2); with no quorum peers installed the gate is a
+  // no-op, so single-server deployments are unaffected.
+  int write_quorum = 0;
+  // Total voting members the majority is computed over (self + push peers +
+  // any members currently unreachable, e.g. a deposed primary).  0 = push
+  // peers + 1.  A promoted replica sets this so the old primary still counts
+  // toward the denominator.
+  int cluster_size = 0;
+  // Bounded wait: push sweeps over unacked peers before giving up.  Each
+  // sweep re-ships the window a peer is missing, so this also bounds the
+  // catch-up work a slow peer can demand on the ack path.
+  int quorum_attempts = 3;
+  // Degraded-mode policy when quorum stays unreachable: false = refuse the
+  // ack (client sees MR_QUORUM_TIMEOUT; the write is journalled locally and
+  // may still commit — replaying its tag resolves the ambiguity), true =
+  // acknowledge locally and fire the quorum alarm (availability over
+  // durability; such writes can be lost to failover).
+  bool quorum_ack_local = false;
+  // Applied idempotency tags remembered for replay dedup (FIFO eviction);
+  // 0 disables tag recording.
+  size_t idempotency_window = 4096;
+};
+
+// One push target of the quorum gate: ships journal lines primary -> replica
+// synchronously.  Implemented over the wire by the replication layer
+// (src/repl); the server only sees this interface so it never depends on the
+// client library.
+class QuorumPeer {
+ public:
+  virtual ~QuorumPeer() = default;
+  virtual const std::string& name() const = 0;
+  // Ships epoch-stamped journal lines.  (prev_seq, prev_epoch) identify the
+  // entry just before the window in the pusher's log (0 = start of history /
+  // unknown), so the receiver can detect a diverged suffix instead of
+  // silently keeping it.  On contact sets *applied_seq to the replica's
+  // applied position and *peer_epoch to its epoch floor, returning MR_SUCCESS
+  // (applied), MR_REPL_BEHIND (window does not extend the replica's prefix),
+  // or MR_REPL_EPOCH (this primary is fenced).  Transport failures return
+  // MR_NOT_CONNECTED/MR_ABORTED.
+  virtual int32_t Push(uint64_t epoch, uint64_t prev_seq, uint64_t prev_epoch,
+                       const std::vector<std::string>& lines,
+                       uint64_t* applied_seq, uint64_t* peer_epoch) = 0;
 };
 
 class MoiraServer final : public MessageHandler {
@@ -71,6 +119,38 @@ class MoiraServer final : public MessageHandler {
 
   Journal& journal() { return journal_; }
 
+  // Installs the quorum push targets (non-owning).  While any peers are set,
+  // every mutation is acknowledged only after ServerOptions::write_quorum
+  // members (counting this server) have durably applied it.
+  void SetQuorumPeers(std::vector<QuorumPeer*> peers);
+
+  // Called when quorum is unreachable and the degraded policy acks locally
+  // (the "alarm" of ack-local-with-alarm).
+  void set_quorum_alarm(std::function<void(const std::string&)> alarm) {
+    quorum_alarm_ = std::move(alarm);
+  }
+
+  // A fenced primary has observed a newer epoch (a successor was elected);
+  // it refuses every further mutation and quorum push with MR_REPL_EPOCH.
+  bool fenced() const { return fenced_; }
+  void Fence(uint64_t newer_epoch);
+  // Re-arms a fenced server when its owning ReplicaServer is promoted again
+  // at a newer epoch (the only legitimate path back to writability).
+  void UnfenceAt(uint64_t epoch) {
+    journal_.set_epoch(epoch);
+    fenced_ = false;
+  }
+
+  // Access check on behalf of an embedding ReplicaServer, which intercepts
+  // repl wire requests before they reach this server but shares its
+  // connection/authentication state.  MR_INTERNAL for an unknown connection.
+  int32_t CheckConnPrivilege(uint64_t conn_id, const std::string& query);
+
+  // Records an applied idempotency tag -> seq (FIFO-bounded by
+  // ServerOptions::idempotency_window).  Also called by ReplicaServer while
+  // replaying journal entries, so replayed-tag dedup survives a failover.
+  void RecordAppliedTag(const std::string& tag, uint64_t seq);
+
   // Invalidates per-connection access caches.  Called by the replication
   // layer after applying journal entries directly through the query registry
   // (which bypasses HandleQuery and so would otherwise leave cached access
@@ -84,6 +164,7 @@ class MoiraServer final : public MessageHandler {
     UnixTime last_contact = 0;
     uint64_t fetches = 0;
     uint64_t snapshots = 0;
+    uint64_t pushes = 0;  // quorum pushes acknowledged by this replica
   };
   const std::map<std::string, ReplicaInfo>& replicas() const { return replicas_; }
 
@@ -103,6 +184,18 @@ class MoiraServer final : public MessageHandler {
     uint64_t parallel_read_queries = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  struct QuorumStats {
+    uint64_t quorum_writes = 0;    // mutations that ran the quorum gate
+    uint64_t quorum_acks = 0;      // ... that reached quorum
+    uint64_t push_rounds = 0;      // individual peer pushes attempted
+    uint64_t push_failures = 0;    // pushes that failed or fell short
+    uint64_t quorum_timeouts = 0;  // gate gave up (refuse policy)
+    uint64_t degraded_acks = 0;    // gate gave up but acked locally (alarm)
+    uint64_t fence_refusals = 0;   // mutations/pushes refused while fenced
+    uint64_t tag_hits = 0;         // tagged replays answered from the tag map
+  };
+  const QuorumStats& quorum_stats() const { return quorum_stats_; }
 
   // Access-path counters summed over every table in the attached database:
   // how the executor actually answered this server's queries (see
@@ -140,15 +233,24 @@ class MoiraServer final : public MessageHandler {
   static bool IsParallelSafeRead(std::string_view payload);
 
   std::string HandleRequest(ConnState& conn, const MrRequest& request);
-  std::string HandleQuery(ConnState& conn, const MrRequest& request);
+  std::string HandleQuery(ConnState& conn, const MrRequest& request,
+                          const std::string& tag = std::string());
+  std::string HandleQueryTagged(ConnState& conn, const MrRequest& request);
   std::string HandleAccess(ConnState& conn, const MrRequest& request);
   std::string HandleAuth(ConnState& conn, const MrRequest& request);
   std::string HandleListUsers(const MrRequest& request);
   std::string HandleReplicaStatus(ConnState& conn);
   std::string HandleReplFetch(ConnState& conn, const MrRequest& request);
   std::string HandleReplSnapshot(ConnState& conn, const MrRequest& request);
+  std::string HandleReplPush(ConnState& conn, const MrRequest& request);
+  std::string HandleReplHello();
   int32_t CachedAccessCheck(ConnState& conn, const std::string& query,
                             const std::vector<std::string>& args);
+  // Runs the quorum gate for the journalled write at target_seq: pushes each
+  // unacked peer's missing window until write_quorum members hold it or
+  // quorum_attempts sweeps are exhausted.  Returns MR_SUCCESS,
+  // MR_QUORUM_TIMEOUT, or MR_REPL_EPOCH (a peer fenced us).
+  int32_t QuorumGate(uint64_t target_seq);
 
   MoiraContext* mc_;
   ServiceVerifier verifier_;
@@ -166,6 +268,15 @@ class MoiraServer final : public MessageHandler {
   // (TSan) rather than implicit.
   std::shared_mutex db_mu_;
   Stats stats_;
+
+  // Quorum replication state (serialized path only).
+  std::vector<QuorumPeer*> quorum_peers_;
+  std::map<std::string, uint64_t> peer_acked_;  // peer name -> acked seq
+  bool fenced_ = false;
+  std::function<void(const std::string&)> quorum_alarm_;
+  QuorumStats quorum_stats_;
+  std::map<std::string, uint64_t> applied_tags_;  // idempotency tag -> seq
+  std::deque<std::string> tag_order_;             // FIFO eviction order
 };
 
 }  // namespace moira

@@ -118,9 +118,11 @@ TEST(JournalReplTest, LineFuzzRoundTrip) {
   for (int iter = 0; iter < 300; ++iter) {
     JournalEntry entry;
     entry.seq = rng.Below(1u << 30);
+    entry.epoch = rng.Below(1u << 30);
     entry.when = static_cast<UnixTime>(rng.Below(1u << 30));
     entry.principal = random_string();
     entry.client = random_string();
+    entry.tag = random_string();
     entry.query = random_string();
     const size_t argc = rng.Below(4);
     for (size_t i = 0; i < argc; ++i) {
@@ -131,9 +133,11 @@ TEST(JournalReplTest, LineFuzzRoundTrip) {
     std::optional<JournalEntry> back = JournalEntry::FromLine(line);
     ASSERT_TRUE(back.has_value()) << "iter " << iter;
     EXPECT_EQ(entry.seq, back->seq) << "iter " << iter;
+    EXPECT_EQ(entry.epoch, back->epoch) << "iter " << iter;
     EXPECT_EQ(entry.when, back->when) << "iter " << iter;
     EXPECT_EQ(entry.principal, back->principal) << "iter " << iter;
     EXPECT_EQ(entry.client, back->client) << "iter " << iter;
+    EXPECT_EQ(entry.tag, back->tag) << "iter " << iter;
     EXPECT_EQ(entry.query, back->query) << "iter " << iter;
     EXPECT_EQ(entry.args, back->args) << "iter " << iter;
   }
@@ -438,11 +442,12 @@ TEST_F(ReplTest, GetReplicaStatusIsPrivilegedAndReportsLag) {
     tuples.push_back(std::move(t));
   }));
   ASSERT_EQ(1u, tuples.size());
-  ASSERT_EQ(5u, tuples[0].size());
+  ASSERT_EQ(6u, tuples[0].size());
   EXPECT_EQ("r1", tuples[0][0]);
   EXPECT_EQ(std::to_string(replica->applied_seq()), tuples[0][1]);
   EXPECT_EQ(std::to_string(primary_->journal().last_seq()), tuples[0][2]);
   EXPECT_EQ("1", tuples[0][3]);  // one write behind
+  EXPECT_EQ(std::to_string(primary_->journal().epoch()), tuples[0][5]);
 }
 
 TEST_F(ReplTest, ClientRetriesSurfaceAttemptsAndElapsed) {
