@@ -17,6 +17,10 @@
 # vs journal-delta patch shipping at 100k users / 0.1% churn per pass) plus
 # the dedicated incremental test binary, and fails unless the row/byte
 # reduction and byte-identity gates hold.
+# A quota smoke mode runs the hierarchical quota suite (ingest/rollup
+# accounting, grace lifecycle, notice dedup, replica replay, dbck repair)
+# under the sanitizers, then the bench_quota gates (rollup row reduction,
+# seeded-fault sweep vs the notice oracle) in a plain build.
 # A failover smoke mode runs the quorum-write + automatic-failover suite
 # (elections, epoch fencing, router replay, the randomized
 # partition/flap/crash sweep) under ASan+UBSan and again under TSan, plus the
@@ -28,6 +32,8 @@
 #        scripts/check.sh --failover-smoke [build-dir] [tsan-build-dir]
 #                                          (defaults: build-asan, build-tsan)
 #        scripts/check.sh --fault-smoke [build-dir]     (default: build-asan)
+#        scripts/check.sh --quota-smoke [build-dir] [plain-build-dir]
+#                                          (defaults: build-asan, build)
 #        scripts/check.sh --repl-smoke [build-dir]      (default: build-asan)
 #        scripts/check.sh --restore-smoke [build-dir]   (default: build-asan)
 #        scripts/check.sh --tsan-smoke [build-dir]      (default: build-tsan)
@@ -86,6 +92,35 @@ if [ "$1" = "--dcm-smoke" ]; then
   # regeneration byte for byte under the seeded fault plan.
   (cd "$SMOKE_DIR" && MOIRA_BENCH_INCREMENTAL_MAX_USERS=100000 \
     "$BENCH_BIN" --benchmark_filter='^$')
+  python3 scripts/validate_bench_json.py "$SMOKE_DIR"/BENCH_*.json
+  exit 0
+fi
+
+if [ "$1" = "--quota-smoke" ]; then
+  BUILD_DIR="${2:-build-asan}"
+  cmake -B "$BUILD_DIR" -S . -DMOIRA_SANITIZE=ON >/dev/null
+  cmake --build "$BUILD_DIR" -j --target test_quota
+  # The dedicated suite: journalled ingest with per-machine sequence dedup,
+  # rollup maintenance, limit validation, the grace lifecycle on the
+  # simulated clock, exactly-one-notice under flapping, the dirty-bit sweep
+  # skip, byte-identical replica replay, the seeded-fault telemetry oracle,
+  # and dbck detection/repair of the quota invariants.
+  "$BUILD_DIR"/tests/test_quota
+  # The bench gates run in a plain build: the rollup arm ingests telemetry
+  # for a 100k-user site, too slow under the sanitizers.
+  PLAIN_DIR="${3:-build}"
+  cmake -B "$PLAIN_DIR" -S . >/dev/null
+  cmake --build "$PLAIN_DIR" -j --target bench_quota
+  SMOKE_DIR="$PLAIN_DIR/quota-smoke"
+  rm -rf "$SMOKE_DIR"
+  mkdir -p "$SMOKE_DIR"
+  BENCH_BIN="$(pwd)/$PLAIN_DIR/bench/bench_quota"
+  # The unmatchable filter skips the timing loops; the report still runs,
+  # writes BENCH_quota.json, and exits non-zero unless the rollups examine
+  # >= 50x fewer rows than the full-scan baseline (agreeing on every answer)
+  # and the seeded-fault sweep fires every oracle-expected hard-limit notice
+  # exactly once.
+  (cd "$SMOKE_DIR" && "$BENCH_BIN" --benchmark_filter='^$')
   python3 scripts/validate_bench_json.py "$SMOKE_DIR"/BENCH_*.json
   exit 0
 fi

@@ -37,6 +37,14 @@ REQUIRED_ARRAYS = {
                         "wall_ms", "oracle_files", "oracle_ok"],
         "gates": ["name", "value", "pass"],
     },
+    "bench_quota": {
+        "rollup": ["config", "users", "queries", "rows_examined", "wall_ms",
+                   "mismatches"],
+        "sweep": ["config", "rounds", "sweeps", "skipped", "applied",
+                  "ingest_deduped", "flagged", "notices_expected",
+                  "notices_fired", "missed", "duplicates"],
+        "gates": ["name", "value", "pass"],
+    },
     "bench_replication": {
         "scaling": ["replicas", "reads", "busiest_server_reads", "read_speedup_x",
                     "ryw_failures", "converged"],

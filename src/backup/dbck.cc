@@ -2,6 +2,9 @@
 
 #include <map>
 #include <set>
+#include <utility>
+
+#include "src/core/schema.h"
 
 namespace moira {
 namespace {
@@ -177,6 +180,108 @@ void DbConsistencyChecker::CheckQuotasAndAllocation(std::vector<DbckIssue>* issu
   });
 }
 
+void DbConsistencyChecker::CheckQuotaUsage(std::vector<DbckIssue>* issues) {
+  Table* quota = mc_->nfsquota();
+  // Keys of the quota rows that survive Repair(): (users_id, phys_id) of
+  // every nfsquota row whose user and filesystem both still exist.  The
+  // dangling rows themselves are reported by CheckQuotasAndAllocation.
+  std::set<std::pair<int64_t, int64_t>> quota_keys;
+  quota->Scan([&](size_t row, const Row& r) {
+    int64_t hard = r[quota->ColumnIndex("quota")].AsInt();
+    int64_t soft = r[quota->ColumnIndex("soft")].AsInt();
+    if (soft < 0) {
+      issues->push_back(
+          Issue("nfsquota", row, "negative soft limit " + std::to_string(soft), true));
+    } else if (soft > hard) {
+      issues->push_back(Issue("nfsquota", row,
+                              "soft limit " + std::to_string(soft) +
+                                  " exceeds hard quota " + std::to_string(hard),
+                              true));
+    }
+    bool dangling =
+        !UserIdExists(r[quota->ColumnIndex("users_id")].AsInt()) ||
+        mc_->ExactOne(mc_->filesys(), "filsys_id",
+                      Value(r[quota->ColumnIndex("filsys_id")].AsInt()), MR_FILESYS)
+                .code != MR_SUCCESS;
+    if (!dangling) {
+      quota_keys.insert({r[quota->ColumnIndex("users_id")].AsInt(),
+                         r[quota->ColumnIndex("phys_id")].AsInt()});
+    }
+    return true;
+  });
+  // Usage rows must point at a live user, filesystem, and quota row; the
+  // rollup expectations below count only the rows that pass (with negative
+  // usage treated as the 0 that Repair() clamps it to).
+  Table* usage = mc_->quotausage();
+  std::map<std::pair<std::string, int64_t>, std::pair<int64_t, int64_t>> sums;
+  usage->Scan([&](size_t row, const Row& r) {
+    int64_t users_id = r[usage->ColumnIndex("users_id")].AsInt();
+    int64_t filsys_id = r[usage->ColumnIndex("filsys_id")].AsInt();
+    int64_t phys_id = r[usage->ColumnIndex("phys_id")].AsInt();
+    int64_t used = r[usage->ColumnIndex("usage")].AsInt();
+    int64_t reports = r[usage->ColumnIndex("reports")].AsInt();
+    if (!UserIdExists(users_id)) {
+      issues->push_back(Issue("quotausage", row, "usage for missing user", true));
+      return true;
+    }
+    if (mc_->ExactOne(mc_->filesys(), "filsys_id", Value(filsys_id), MR_FILESYS).code !=
+        MR_SUCCESS) {
+      issues->push_back(Issue("quotausage", row, "usage for missing filesystem", true));
+      return true;
+    }
+    if (!quota_keys.contains({users_id, phys_id})) {
+      issues->push_back(Issue("quotausage", row, "usage with no matching quota", true));
+      return true;
+    }
+    if (used < 0) {
+      issues->push_back(
+          Issue("quotausage", row, "negative usage " + std::to_string(used), true));
+      used = 0;
+    }
+    sums[{kRollupUser, users_id}].first += used;
+    sums[{kRollupUser, users_id}].second += reports;
+    sums[{kRollupFilesys, filsys_id}].first += used;
+    sums[{kRollupFilesys, filsys_id}].second += reports;
+    return true;
+  });
+  Table* rollup = mc_->quotarollup();
+  std::set<std::pair<std::string, int64_t>> seen;
+  rollup->Scan([&](size_t row, const Row&) {
+    const std::string& kind = MoiraContext::StrCell(rollup, row, "kind");
+    int64_t id = MoiraContext::IntCell(rollup, row, "id");
+    if (kind != kRollupUser && kind != kRollupFilesys) {
+      issues->push_back(Issue("quotarollup", row, "unknown rollup kind " + kind, true));
+      return true;
+    }
+    if (!seen.insert({kind, id}).second) {
+      issues->push_back(Issue("quotarollup", row,
+                              "duplicate " + kind + " rollup for id " + std::to_string(id),
+                              true));
+      return true;
+    }
+    auto it = sums.find({kind, id});
+    int64_t want_usage = it == sums.end() ? 0 : it->second.first;
+    int64_t want_reports = it == sums.end() ? 0 : it->second.second;
+    if (MoiraContext::IntCell(rollup, row, "usage") != want_usage ||
+        MoiraContext::IntCell(rollup, row, "reports") != want_reports) {
+      issues->push_back(
+          Issue("quotarollup", row,
+                kind + " " + std::to_string(id) + " rollup usage=" +
+                    std::to_string(MoiraContext::IntCell(rollup, row, "usage")) +
+                    " but usage rows sum to " + std::to_string(want_usage),
+                true));
+    }
+    return true;
+  });
+  for (const auto& [key, totals] : sums) {
+    if ((totals.first != 0 || totals.second != 0) && !seen.contains(key)) {
+      issues->push_back(DbckIssue{
+          "quotarollup",
+          "missing " + key.first + " rollup for id " + std::to_string(key.second), true});
+    }
+  }
+}
+
 void DbConsistencyChecker::CheckServerHosts(std::vector<DbckIssue>* issues) {
   Table* sh = mc_->serverhosts();
   sh->Scan([&](size_t row, const Row&) {
@@ -218,13 +323,22 @@ std::vector<DbckIssue> DbConsistencyChecker::Check() {
   CheckMachinesAndClusters(&issues);
   CheckFilesys(&issues);
   CheckQuotasAndAllocation(&issues);
+  CheckQuotaUsage(&issues);
   CheckServerHosts(&issues);
   CheckAcls(&issues);
   return issues;
 }
 
-int DbConsistencyChecker::Repair() {
+int DbConsistencyChecker::Repair(std::vector<std::string>* log) {
   int repairs = 0;
+  // Counts a repair and, when the caller asked for the per-violation report,
+  // records one line describing it.
+  auto note = [&](const char* table, size_t row, const std::string& what) {
+    ++repairs;
+    if (log != nullptr) {
+      log->push_back(std::string(table) + " row " + std::to_string(row) + ": " + what);
+    }
+  };
   // Dangling members.
   Table* members = mc_->members();
   std::vector<size_t> drop;
@@ -243,7 +357,7 @@ int DbConsistencyChecker::Repair() {
   });
   for (size_t row : drop) {
     members->Delete(row);
-    ++repairs;
+    note("members", row, "dropped dangling membership");
   }
   // Dangling quotas.
   Table* quota = mc_->nfsquota();
@@ -259,10 +373,107 @@ int DbConsistencyChecker::Repair() {
   });
   for (size_t row : drop) {
     quota->Delete(row);
-    ++repairs;
+    note("nfsquota", row, "dropped quota for missing user or filesystem");
+  }
+  // Soft limits clamped into [0, hard quota].
+  quota->Scan([&](size_t row, const Row& r) {
+    int64_t hard = r[quota->ColumnIndex("quota")].AsInt();
+    int64_t soft = r[quota->ColumnIndex("soft")].AsInt();
+    int64_t fixed = soft < 0 ? 0 : (soft > hard ? hard : soft);
+    if (fixed != soft) {
+      MoiraContext::SetCell(quota, row, "soft", Value(fixed));
+      note("nfsquota", row,
+           "clamped soft limit " + std::to_string(soft) + " -> " + std::to_string(fixed));
+    }
+    return true;
+  });
+  // Usage rows without a live user, filesystem, or backing quota row are
+  // dropped; negative usage is clamped to zero.
+  std::set<std::pair<int64_t, int64_t>> quota_keys;
+  quota->Scan([&](size_t, const Row& r) {
+    quota_keys.insert({r[quota->ColumnIndex("users_id")].AsInt(),
+                       r[quota->ColumnIndex("phys_id")].AsInt()});
+    return true;
+  });
+  Table* usage = mc_->quotausage();
+  std::vector<std::pair<size_t, std::string>> doomed_usage;
+  usage->Scan([&](size_t row, const Row& r) {
+    int64_t users_id = r[usage->ColumnIndex("users_id")].AsInt();
+    int64_t filsys_id = r[usage->ColumnIndex("filsys_id")].AsInt();
+    int64_t phys_id = r[usage->ColumnIndex("phys_id")].AsInt();
+    if (!UserIdExists(users_id)) {
+      doomed_usage.emplace_back(row, "dropped usage for missing user");
+    } else if (mc_->ExactOne(mc_->filesys(), "filsys_id", Value(filsys_id), MR_FILESYS)
+                   .code != MR_SUCCESS) {
+      doomed_usage.emplace_back(row, "dropped usage for missing filesystem");
+    } else if (!quota_keys.contains({users_id, phys_id})) {
+      doomed_usage.emplace_back(row, "dropped usage with no matching quota");
+    } else if (int64_t used = r[usage->ColumnIndex("usage")].AsInt(); used < 0) {
+      MoiraContext::SetCell(usage, row, "usage", Value(int64_t{0}));
+      note("quotausage", row, "clamped negative usage " + std::to_string(used) + " -> 0");
+    }
+    return true;
+  });
+  for (const auto& [row, what] : doomed_usage) {
+    usage->Delete(row);
+    note("quotausage", row, what);
+  }
+  // Rebuild the rollup aggregates from the surviving usage rows.
+  std::map<std::pair<std::string, int64_t>, std::pair<int64_t, int64_t>> sums;
+  usage->Scan([&](size_t, const Row& r) {
+    int64_t used = r[usage->ColumnIndex("usage")].AsInt();
+    int64_t reports = r[usage->ColumnIndex("reports")].AsInt();
+    sums[{kRollupUser, r[usage->ColumnIndex("users_id")].AsInt()}].first += used;
+    sums[{kRollupUser, r[usage->ColumnIndex("users_id")].AsInt()}].second += reports;
+    sums[{kRollupFilesys, r[usage->ColumnIndex("filsys_id")].AsInt()}].first += used;
+    sums[{kRollupFilesys, r[usage->ColumnIndex("filsys_id")].AsInt()}].second += reports;
+    return true;
+  });
+  Table* rollup = mc_->quotarollup();
+  std::set<std::pair<std::string, int64_t>> seen_rollups;
+  std::vector<std::pair<size_t, std::string>> stray_rollups;
+  rollup->Scan([&](size_t row, const Row&) {
+    const std::string& kind = MoiraContext::StrCell(rollup, row, "kind");
+    int64_t id = MoiraContext::IntCell(rollup, row, "id");
+    if (kind != kRollupUser && kind != kRollupFilesys) {
+      stray_rollups.emplace_back(row, "dropped rollup with unknown kind " + kind);
+      return true;
+    }
+    if (!seen_rollups.insert({kind, id}).second) {
+      stray_rollups.emplace_back(
+          row, "dropped duplicate " + kind + " rollup for id " + std::to_string(id));
+      return true;
+    }
+    auto it = sums.find({kind, id});
+    int64_t want_usage = it == sums.end() ? 0 : it->second.first;
+    int64_t want_reports = it == sums.end() ? 0 : it->second.second;
+    int64_t have_usage = MoiraContext::IntCell(rollup, row, "usage");
+    if (have_usage != want_usage ||
+        MoiraContext::IntCell(rollup, row, "reports") != want_reports) {
+      MoiraContext::SetCell(rollup, row, "usage", Value(want_usage));
+      MoiraContext::SetCell(rollup, row, "reports", Value(want_reports));
+      MoiraContext::SetCell(rollup, row, "modtime", Value(mc_->Now()));
+      note("quotarollup", row,
+           kind + " " + std::to_string(id) + " rollup usage " +
+               std::to_string(have_usage) + " -> " + std::to_string(want_usage));
+    }
+    return true;
+  });
+  for (const auto& [row, what] : stray_rollups) {
+    rollup->Delete(row);
+    note("quotarollup", row, what);
+  }
+  for (const auto& [key, totals] : sums) {
+    if ((totals.first != 0 || totals.second != 0) && !seen_rollups.contains(key)) {
+      size_t row = rollup->Append({Value(key.first), Value(key.second),
+                                   Value(totals.first), Value(totals.second),
+                                   Value(mc_->Now())});
+      note("quotarollup", row,
+           "recreated " + key.first + " rollup for id " + std::to_string(key.second));
+    }
   }
   // Dangling mcmap / svc / serverhosts / capacls / hostaccess rows.
-  auto drop_where = [&](Table* table, auto bad) {
+  auto drop_where = [&](Table* table, const char* name, const char* what, auto bad) {
     std::vector<size_t> doomed;
     table->Scan([&](size_t row, const Row& r) {
       if (bad(row, r)) {
@@ -272,32 +483,39 @@ int DbConsistencyChecker::Repair() {
     });
     for (size_t row : doomed) {
       table->Delete(row);
-      ++repairs;
+      note(name, row, what);
     }
   };
-  drop_where(mc_->mcmap(), [&](size_t, const Row& r) {
-    return !MachineIdExists(r[0].AsInt()) ||
-           mc_->ExactOne(mc_->cluster(), "clu_id", Value(r[1].AsInt()), MR_CLUSTER).code !=
-               MR_SUCCESS;
-  });
-  drop_where(mc_->svc(), [&](size_t, const Row& r) {
-    return mc_->ExactOne(mc_->cluster(), "clu_id", Value(r[0].AsInt()), MR_CLUSTER).code !=
-           MR_SUCCESS;
-  });
+  drop_where(mc_->mcmap(), "mcmap", "dropped dangling mapping",
+             [&](size_t, const Row& r) {
+               return !MachineIdExists(r[0].AsInt()) ||
+                      mc_->ExactOne(mc_->cluster(), "clu_id", Value(r[1].AsInt()),
+                                    MR_CLUSTER)
+                              .code != MR_SUCCESS;
+             });
+  drop_where(mc_->svc(), "svc", "dropped service data for missing cluster",
+             [&](size_t, const Row& r) {
+               return mc_->ExactOne(mc_->cluster(), "clu_id", Value(r[0].AsInt()),
+                                    MR_CLUSTER)
+                          .code != MR_SUCCESS;
+             });
   Table* sh = mc_->serverhosts();
-  drop_where(sh, [&](size_t row, const Row&) {
-    return mc_->ServiceByName(MoiraContext::StrCell(sh, row, "service")).code !=
-               MR_SUCCESS ||
-           !MachineIdExists(MoiraContext::IntCell(sh, row, "mach_id"));
-  });
+  drop_where(sh, "serverhosts", "dropped dangling server host",
+             [&](size_t row, const Row&) {
+               return mc_->ServiceByName(MoiraContext::StrCell(sh, row, "service")).code !=
+                          MR_SUCCESS ||
+                      !MachineIdExists(MoiraContext::IntCell(sh, row, "mach_id"));
+             });
   Table* capacls = mc_->capacls();
-  drop_where(capacls, [&](size_t row, const Row&) {
-    return !ListIdExists(MoiraContext::IntCell(capacls, row, "list_id"));
-  });
+  drop_where(capacls, "capacls", "dropped capability for missing list",
+             [&](size_t row, const Row&) {
+               return !ListIdExists(MoiraContext::IntCell(capacls, row, "list_id"));
+             });
   Table* hostaccess = mc_->hostaccess();
-  drop_where(hostaccess, [&](size_t row, const Row&) {
-    return !MachineIdExists(MoiraContext::IntCell(hostaccess, row, "mach_id"));
-  });
+  drop_where(hostaccess, "hostaccess", "dropped access entry for missing machine",
+             [&](size_t row, const Row&) {
+               return !MachineIdExists(MoiraContext::IntCell(hostaccess, row, "mach_id"));
+             });
   // Poboxes pointing nowhere are cleared to NONE.
   Table* users = mc_->users();
   users->Scan([&](size_t row, const Row&) {
@@ -308,7 +526,7 @@ int DbConsistencyChecker::Repair() {
         (potype == "SMTP" && !StringIdExists(MoiraContext::IntCell(users, row, "box_id")));
     if (broken) {
       MoiraContext::SetCell(users, row, "potype", Value("NONE"));
-      ++repairs;
+      note("users", row, "cleared " + potype + " pobox to NONE");
     }
     return true;
   });
@@ -323,9 +541,12 @@ int DbConsistencyChecker::Repair() {
   phys->Scan([&](size_t row, const Row&) {
     int64_t phys_id = MoiraContext::IntCell(phys, row, "nfsphys_id");
     int64_t actual = allocation.contains(phys_id) ? allocation[phys_id] : 0;
-    if (MoiraContext::IntCell(phys, row, "allocated") != actual) {
+    int64_t recorded = MoiraContext::IntCell(phys, row, "allocated");
+    if (recorded != actual) {
       MoiraContext::SetCell(phys, row, "allocated", Value(actual));
-      ++repairs;
+      note("nfsphys", row,
+           "recomputed allocated " + std::to_string(recorded) + " -> " +
+               std::to_string(actual));
     }
     return true;
   });

@@ -30,10 +30,12 @@ class DbConsistencyChecker {
   std::vector<DbckIssue> Check();
 
   // Fixes the repairable findings: deletes dangling membership, quota,
-  // mcmap, svc, serverhost, and capacls rows; clears poboxes pointing at
-  // missing machines; recomputes partition allocations.  Returns the number
-  // of repairs applied.  Idempotent: a second run repairs nothing.
-  int Repair();
+  // usage, mcmap, svc, serverhost, and capacls rows; clears poboxes pointing
+  // at missing machines; recomputes partition allocations, quota soft-limit
+  // clamps, and the quotarollup aggregates.  Returns the number of repairs
+  // applied; with `log` given, one line is appended per repair (the
+  // per-violation repair report).  Idempotent: a second run repairs nothing.
+  int Repair(std::vector<std::string>* log = nullptr);
 
  private:
   void CheckUsers(std::vector<DbckIssue>* issues);
@@ -42,6 +44,7 @@ class DbConsistencyChecker {
   void CheckMachinesAndClusters(std::vector<DbckIssue>* issues);
   void CheckFilesys(std::vector<DbckIssue>* issues);
   void CheckQuotasAndAllocation(std::vector<DbckIssue>* issues);
+  void CheckQuotaUsage(std::vector<DbckIssue>* issues);
   void CheckServerHosts(std::vector<DbckIssue>* issues);
   void CheckAcls(std::vector<DbckIssue>* issues);
 

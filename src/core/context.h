@@ -59,6 +59,8 @@ class MoiraContext {
   Table* filesys() { return db_->GetTable(kFilesysTable); }
   Table* nfsphys() { return db_->GetTable(kNfsPhysTable); }
   Table* nfsquota() { return db_->GetTable(kNfsQuotaTable); }
+  Table* quotausage() { return db_->GetTable(kQuotaUsageTable); }
+  Table* quotarollup() { return db_->GetTable(kQuotaRollupTable); }
   Table* zephyr() { return db_->GetTable(kZephyrTable); }
   Table* hostaccess() { return db_->GetTable(kHostAccessTable); }
   Table* strings() { return db_->GetTable(kStringsTable); }

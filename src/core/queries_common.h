@@ -97,6 +97,11 @@ bool SelfOnListAce(MoiraContext& mc, std::string_view principal,
 bool SelfOnServiceAce(MoiraContext& mc, std::string_view principal,
                       const std::vector<std::string>& args);
 
+// Removes the live quotausage rows for (user, partition) and rolls their
+// usage/report counts out of the quotarollup aggregates.  Called when quota
+// rows are deleted so the accounting never dangles (queries_quota.cc).
+void RemoveQuotaUsage(MoiraContext& mc, int64_t users_id, int64_t phys_id);
+
 // Renders an int64 cell as a decimal string.
 inline std::string IntStr(const Table* table, size_t row, const char* column) {
   return std::to_string(MoiraContext::IntCell(table, row, column));

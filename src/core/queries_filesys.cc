@@ -259,6 +259,8 @@ int32_t DeleteFilesys(QueryCall& call) {
   std::vector<size_t> quota_rows = From(quota).WhereEq("filsys_id", Value(filsys_id)).Rows();
   for (size_t row : quota_rows) {
     released += quota->Cell(row, q_col).AsInt();
+    RemoveQuotaUsage(mc, MoiraContext::IntCell(quota, row, "users_id"),
+                     MoiraContext::IntCell(quota, row, "phys_id"));
     quota->Delete(row);
   }
   ReleaseQuotaAllocation(mc, phys_id, released);
@@ -524,9 +526,11 @@ int32_t AddNfsQuota(QueryCall& call) {
   }
   RowRef user = mc.UserByLogin(call.args[1]);
   int64_t users_id = MoiraContext::IntCell(mc.users(), user.row, "users_id");
+  // soft == 0 means "soft limit equals the hard quota" (schema.cc).
   size_t row = mc.nfsquota()->Append({Value(users_id), Value(filsys_id), Value(phys_id),
-                                      Value(quota_units), Value(int64_t{0}), Value(""),
-                                      Value("")});
+                                      Value(quota_units), Value(int64_t{0}),
+                                      Value(int64_t{0}), Value(int64_t{0}),
+                                      Value(int64_t{0}), Value(""), Value("")});
   mc.Stamp(mc.nfsquota(), row, call.principal, call.client_name);
   ReleaseQuotaAllocation(mc, phys_id, -quota_units);  // i.e. allocate
   return MR_SUCCESS;
@@ -573,6 +577,7 @@ int32_t DeleteNfsQuota(QueryCall& call) {
   }
   Table* quota = mc.nfsquota();
   int64_t released = MoiraContext::IntCell(quota, row, "quota");
+  RemoveQuotaUsage(mc, MoiraContext::IntCell(quota, row, "users_id"), phys_id);
   quota->Delete(row);
   ReleaseQuotaAllocation(mc, phys_id, released);
   return MR_SUCCESS;

@@ -332,7 +332,8 @@ int32_t RegisterUser(QueryCall& call) {
 
   // 5. Quota from def_quota; bump the partition allocation.
   size_t quota_row = mc.nfsquota()->Append({
-      Value(users_id), Value(filsys_id), Value(phys_id), Value(def_quota), Value(int64_t{0}),
+      Value(users_id), Value(filsys_id), Value(phys_id), Value(def_quota),
+      Value(int64_t{0}), Value(int64_t{0}), Value(int64_t{0}), Value(int64_t{0}),
       Value(""), Value(""),
   });
   mc.Stamp(mc.nfsquota(), quota_row, call.principal, call.client_name);

@@ -25,6 +25,7 @@ QueryRegistry::QueryRegistry() {
   AppendServerQueries(&defs_);
   AppendFilesysQueries(&defs_);
   AppendMiscQueries(&defs_);
+  AppendQuotaQueries(&defs_);
 }
 
 const QueryRegistry& QueryRegistry::Instance() {

@@ -100,6 +100,7 @@ void AppendListQueries(std::vector<QueryDef>* defs);
 void AppendServerQueries(std::vector<QueryDef>* defs);
 void AppendFilesysQueries(std::vector<QueryDef>* defs);
 void AppendMiscQueries(std::vector<QueryDef>* defs);
+void AppendQuotaQueries(std::vector<QueryDef>* defs);
 
 }  // namespace moira
 

@@ -160,17 +160,49 @@ void CreateMoiraSchema(Database* db, const SchemaOptions& options) {
             },
             {"nfsphys_id", "mach_id"});
 
+  // quota is the hard limit shipped to fileservers; soft is the advisory
+  // limit backing the grace timer (0 means "same as quota"), sexceeded is the
+  // clock time the soft limit was first exceeded (0 when under), and qflags
+  // carries the QuotaFlags sweep bits (DESIGN.md "Quota engine").
   MakeTable(db, kNfsQuotaTable,
             {
                 {"users_id", kInt},
                 {"filsys_id", kInt},
                 {"phys_id", kInt},
                 {"quota", kInt},
+                {"soft", kInt},
+                {"sexceeded", kInt},
+                {"qflags", kInt},
                 {"modtime", kInt},
                 {"modby", kStr},
                 {"modwith", kStr},
             },
             {"users_id", "filsys_id", "phys_id"});
+
+  // QUOTAUSAGE: live per-user/per-partition usage accounting fed by the
+  // fileserver usage-report path.  reports counts applied delta reports.
+  MakeTable(db, kQuotaUsageTable,
+            {
+                {"users_id", kInt},
+                {"filsys_id", kInt},
+                {"phys_id", kInt},
+                {"usage", kInt},
+                {"reports", kInt},
+                {"modtime", kInt},
+            },
+            {"users_id", "filsys_id", "phys_id"});
+
+  // QUOTAROLLUP: indexed aggregates over quotausage, maintained exactly at
+  // ingest time — get_quota_status answers from these instead of scanning.
+  MakeTable(db, kQuotaRollupTable,
+            {
+                {"kind", kStr},
+                {"id", kInt},
+                {"usage", kInt},
+                {"reports", kInt},
+                {"modtime", kInt},
+            },
+            {"id"});
 
   MakeTable(db, kZephyrTable,
             {
@@ -308,6 +340,8 @@ void SeedMoiraDefaults(Database* db) {
   add_value("string_id", 100);
   add_value("def_quota", 300);
   add_value("dcm_enable", 1);
+  // Soft-quota grace window in seconds (7 days, MooseFS-style default).
+  add_value("quota_grace", 604800);
 
   // Bootstrap administrator list; capacls rows are appended per-query by the
   // registry when it is attached to a database (see QueryRegistry::Bind).

@@ -23,6 +23,8 @@ inline constexpr char kServerHostsTable[] = "serverhosts";
 inline constexpr char kFilesysTable[] = "filesys";
 inline constexpr char kNfsPhysTable[] = "nfsphys";
 inline constexpr char kNfsQuotaTable[] = "nfsquota";
+inline constexpr char kQuotaUsageTable[] = "quotausage";
+inline constexpr char kQuotaRollupTable[] = "quotarollup";
 inline constexpr char kZephyrTable[] = "zephyr";
 inline constexpr char kHostAccessTable[] = "hostaccess";
 inline constexpr char kStringsTable[] = "strings";
@@ -48,6 +50,16 @@ enum NfsPhysStatus : int {
   kFsStaff = 1 << 2,
   kFsMisc = 1 << 3,
 };
+
+// NFSQUOTA.qflags bits (quota engine, DESIGN.md "Quota engine").
+enum QuotaFlags : int {
+  kQuotaGraceExpired = 1 << 0,  // soft limit exceeded past the grace window
+  kQuotaHardNoticed = 1 << 1,   // a hard-limit Zephyr notice is outstanding
+};
+
+// QUOTAROLLUP.kind values: which axis the aggregate row sums over.
+inline constexpr char kRollupUser[] = "USER";
+inline constexpr char kRollupFilesys[] = "FILESYS";
 
 // Sentinels used by add_user / add_list (paper section 7, <moira.h>).
 inline constexpr int64_t kUniqueUid = -1;

@@ -101,9 +101,20 @@ void ApplyEntry(MoiraContext& mc, const JournalEntry& entry, DeltaPlan* plan) {
 
   // --- quota mutations: recompute one (filesystem, login) block ---
   if (q == "add_nfs_quota" || q == "update_nfs_quota" ||
-      q == "delete_nfs_quota") {
+      q == "delete_nfs_quota" || q == "set_quota_limits") {
     plan->quotas.emplace(arg(0), arg(1));
+    plan->quota_state_dirty = true;
     return;
+  }
+
+  // --- quota accounting: no generated-file footprint (the shipped .quotas
+  // files carry only the hard limits), but the sweep's idle-skip cares ---
+  if (q == "report_quota_usage") {
+    plan->quota_state_dirty = true;
+    return;
+  }
+  if (q == "process_quota_sweep") {
+    return;  // flag/counter bookkeeping only
   }
 
   // --- dirty-file rebuilds (small or rarely-touched members) ---

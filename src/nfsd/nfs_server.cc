@@ -1,5 +1,9 @@
 #include "src/nfsd/nfs_server.h"
 
+#include <algorithm>
+#include <set>
+
+#include "src/common/random.h"
 #include "src/common/strutil.h"
 
 namespace moira {
@@ -53,7 +57,8 @@ int NfsServerSim::ApplyCredentials(const std::string& contents) {
   });
 }
 
-int NfsServerSim::ApplyQuotas(const std::string& contents) {
+int NfsServerSim::ApplyQuotas(const std::string& partition, const std::string& contents) {
+  std::set<int64_t> seen;
   return ForEachLine(contents, [&](std::string_view line) {
     std::vector<std::string> fields = Split(std::string(line), ' ');
     if (fields.size() != 2) {
@@ -64,8 +69,15 @@ int NfsServerSim::ApplyQuotas(const std::string& contents) {
     if (!uid.has_value() || !quota.has_value()) {
       return false;
     }
+    if (*quota < 0) {
+      return false;  // negative units are malformed, not "no quota"
+    }
+    if (!seen.insert(*uid).second) {
+      return false;  // duplicate uid within one partition file
+    }
     // setquota <quota>
     quotas_[*uid] = *quota;
+    partition_of_[*uid] = partition;
     return true;
   });
 }
@@ -109,7 +121,9 @@ int NfsServerSim::ApplyMoiraFiles(const std::string& dir) {
     if (path == prefix + "credentials") {
       status |= ApplyCredentials(contents);
     } else if (path.ends_with(".quotas")) {
-      status |= ApplyQuotas(contents);
+      std::string stem =
+          path.substr(prefix.size(), path.size() - prefix.size() - 7 /* ".quotas" */);
+      status |= ApplyQuotas(stem, contents);
     } else if (path.ends_with(".dirs")) {
       status |= ApplyDirs(contents);
     }
@@ -122,9 +136,49 @@ const NfsLocker* NfsServerSim::FindLocker(std::string_view path) const {
   return it != lockers_.end() ? &it->second : nullptr;
 }
 
-int64_t NfsServerSim::QuotaFor(int64_t uid) const {
+std::optional<int64_t> NfsServerSim::QuotaFor(int64_t uid) const {
   auto it = quotas_.find(uid);
-  return it != quotas_.end() ? it->second : 0;
+  return it != quotas_.end() ? std::optional<int64_t>(it->second) : std::nullopt;
+}
+
+int64_t NfsServerSim::UsageFor(int64_t uid) const {
+  auto it = usage_.find(uid);
+  return it != usage_.end() ? it->second : 0;
+}
+
+void NfsServerSim::ChurnUsage(uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (const auto& [uid, quota] : quotas_) {
+    int64_t& used = usage_[uid];
+    // Biased toward growth so the population drifts across its soft limits:
+    // 70% grow, 20% shrink, 10% idle.  Steps scale with the quota so small
+    // and large lockers churn proportionally.
+    int64_t step = std::max<int64_t>(int64_t{1}, quota / 8);
+    uint64_t roll = rng.Below(10);
+    if (roll < 7) {
+      used += rng.Between(1, step);
+    } else if (roll < 9) {
+      used -= rng.Between(1, std::max<int64_t>(int64_t{1}, used / 2));
+    }
+    used = std::max<int64_t>(int64_t{0}, used);
+  }
+}
+
+std::vector<UsageReportLine> NfsServerSim::DrainUsageReports() {
+  std::vector<UsageReportLine> out;
+  for (const auto& [uid, used] : usage_) {
+    int64_t& last = reported_[uid];
+    if (used == last) {
+      continue;
+    }
+    auto pit = partition_of_.find(uid);
+    if (pit == partition_of_.end()) {
+      continue;  // usage for a uid that never appeared in a .quotas file
+    }
+    out.push_back(UsageReportLine{pit->second, uid, used - last, ++report_seq_});
+    last = used;
+  }
+  return out;
 }
 
 bool NfsServerSim::HasCredential(std::string_view login) const {

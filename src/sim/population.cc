@@ -249,7 +249,8 @@ int SiteBuilder::Build(const SiteSpec& spec) {
                           Value(spec.per_user_groups ? id.list_id - 1 : 0),
                           Value(int64_t{1}), Value("HOMEDIR"), Value(now), root, setup});
     mc.nfsquota()->Append({Value(users_id), Value(filsys_id), Value(slot.phys_id),
-                           Value(def_quota), Value(now), root, setup});
+                           Value(def_quota), Value(int64_t{0}), Value(int64_t{0}),
+                           Value(int64_t{0}), Value(now), root, setup});
     slot.allocated += def_quota;
     if (spec.register_kerberos_principals) {
       realm_->AddPrincipal(login, "pw:" + login);

@@ -71,7 +71,7 @@ TEST_F(ConsumerTest, LockersCreatedWithOwnershipAndQuota) {
     RowRef user = mc_->UserByLogin(login);
     int64_t uid = MoiraContext::IntCell(mc_->users(), user.row, "uid");
     EXPECT_EQ(uid, locker->uid);
-    EXPECT_EQ(300, server.QuotaFor(uid));
+    EXPECT_EQ(300, server.QuotaFor(uid).value_or(-1));
     ++found;
   }
   EXPECT_EQ(static_cast<int>(logins_.size()), found);
@@ -141,7 +141,7 @@ TEST_F(ConsumerTest, QuotaChangeReachesSetquota) {
       mc_->machine(), "mach_id",
       Value(MoiraContext::IntCell(mc_->filesys(), fs.row, "mach_id")), MR_MACHINE);
   const std::string& server_name = MoiraContext::StrCell(mc_->machine(), mach.row, "name");
-  EXPECT_EQ(750, Nfs(server_name).QuotaFor(uid));
+  EXPECT_EQ(750, Nfs(server_name).QuotaFor(uid).value_or(-1));
 }
 
 TEST_F(ConsumerTest, ZephyrAclsLoadedOnAllServers) {
